@@ -1,0 +1,102 @@
+//===-- bench/AblationCommon.h - Custom-sampler ablation driver -*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Driver for ablation benches that compare custom sampler variants (not
+/// the standard Table 3 suite) on one benchmark using the §5.3
+/// methodology: one Experiment-mode run, detection per filtered view.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_BENCH_ABLATIONCOMMON_H
+#define LITERACE_BENCH_ABLATIONCOMMON_H
+
+#include "detector/HBDetector.h"
+#include "harness/Tables.h"
+#include "support/TableFormatter.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace literace {
+
+struct AblationOutcome {
+  std::string Name;
+  double EffectiveSamplingRate = 0.0;
+  double DetectionRate = 0.0;
+  double RareDetectionRate = 0.0;
+};
+
+/// Runs \p Kind once in Experiment mode with \p Samplers attached and
+/// returns per-sampler ESR + detection rates against the full log.
+inline std::vector<AblationOutcome>
+runAblation(WorkloadKind Kind, const WorkloadParams &Params,
+            std::vector<std::unique_ptr<Sampler>> Samplers) {
+  MemorySink Sink(128);
+  RuntimeConfig Config;
+  Config.Mode = RunMode::Experiment;
+  Config.Seed = Params.Seed;
+  Runtime RT(Config, &Sink);
+  std::vector<std::string> Names;
+  for (auto &S : Samplers) {
+    Names.push_back(S->shortName());
+    RT.addSampler(std::move(S));
+  }
+  std::unique_ptr<Workload> W = makeWorkload(Kind);
+  W->bind(RT);
+  W->run(RT, Params);
+
+  Trace T = Sink.takeTrace();
+  RuntimeStats Stats = RT.stats();
+
+  RaceReport Full;
+  detectRaces(T, Full);
+  auto FullKeys = Full.keys();
+  auto [RareKeys, FreqKeys] = Full.splitRareFrequent(Stats.MemOpsLogged);
+  (void)FreqKeys;
+
+  std::vector<AblationOutcome> Out;
+  for (unsigned Slot = 0; Slot != Names.size(); ++Slot) {
+    RaceReport Sampled;
+    ReplayOptions Options;
+    Options.SamplerSlot = static_cast<int>(Slot);
+    detectRaces(T, Sampled, Options);
+    size_t Hit = 0, RareHit = 0;
+    for (const StaticRaceKey &Key : Sampled.keys()) {
+      Hit += FullKeys.count(Key);
+      RareHit += RareKeys.count(Key);
+    }
+    AblationOutcome O;
+    O.Name = Names[Slot];
+    O.EffectiveSamplingRate = Stats.effectiveSamplingRate(Slot);
+    O.DetectionRate =
+        FullKeys.empty()
+            ? 1.0
+            : static_cast<double>(Hit) / static_cast<double>(FullKeys.size());
+    O.RareDetectionRate =
+        RareKeys.empty() ? 1.0
+                         : static_cast<double>(RareHit) /
+                               static_cast<double>(RareKeys.size());
+    Out.push_back(O);
+  }
+  return Out;
+}
+
+inline void printAblation(const char *Title,
+                          const std::vector<AblationOutcome> &Outcomes) {
+  TableFormatter Table(Title);
+  Table.addRow({"Variant", "ESR", "Detection rate", "Rare detection rate"});
+  for (const AblationOutcome &O : Outcomes)
+    Table.addRow({O.Name, TableFormatter::percent(O.EffectiveSamplingRate),
+                  TableFormatter::percent(O.DetectionRate),
+                  TableFormatter::percent(O.RareDetectionRate)});
+  Table.print();
+}
+
+} // namespace literace
+
+#endif // LITERACE_BENCH_ABLATIONCOMMON_H

@@ -1,0 +1,46 @@
+//===-- bench/ablation_backoff.cpp - Back-off schedule ablation -------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Ablates the adaptive back-off schedule of §3.4: the floor rate (how far
+// the sampler decays) and the decay shape, against the paper's
+// 100% → 10% → 1% → 0.1% schedule, on the Apache-1 pair.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AblationCommon.h"
+
+using namespace literace;
+
+namespace {
+
+std::unique_ptr<Sampler> makeVariant(const char *Name,
+                                     std::vector<double> Rates) {
+  AdaptiveSchedule Sched;
+  Sched.Rates = std::move(Rates);
+  Sched.BurstLength = 10;
+  return std::make_unique<ThreadLocalBurstySampler>(Name, Name, Sched);
+}
+
+} // namespace
+
+int main() {
+  WorkloadParams Params = paramsFromEnv();
+  std::vector<std::unique_ptr<Sampler>> Samplers;
+  Samplers.push_back(
+      makeVariant("paper(1,.1,.01,.001)", {1.0, 0.1, 0.01, 0.001}));
+  Samplers.push_back(makeVariant("floor=1%", {1.0, 0.1, 0.01}));
+  Samplers.push_back(
+      makeVariant("floor=0.01%", {1.0, 0.1, 0.01, 0.001, 0.0001}));
+  Samplers.push_back(
+      makeVariant("steep(1,.001)", {1.0, 0.001}));
+  Samplers.push_back(makeVariant(
+      "gentle(halving)", AdaptiveSchedule::globalDefault().Rates));
+  Samplers.push_back(makeVariant("no-backoff(100%)", {1.0}));
+  auto Outcomes =
+      runAblation(WorkloadKind::Httpd1, Params, std::move(Samplers));
+  printAblation("Ablation: adaptive back-off schedule of the thread-local "
+                "sampler (Apache-1)",
+                Outcomes);
+  return 0;
+}

@@ -1,0 +1,21 @@
+//===-- bench/fig4_detection.cpp - Paper Figure 4 ---------------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Regenerates Figure 4: the proportion of static data races each sampler
+// finds per benchmark, on one and the same execution per benchmark (§5.3
+// methodology), plus the weighted-average effective sampling rates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "DetectionSuiteCommon.h"
+
+using namespace literace;
+
+int main() {
+  // The paper averages three runs per benchmark.
+  auto Results = runDetectionSuite(detectionSuiteKinds(),
+                                   /*DefaultRepeats=*/3);
+  printFigure4(Results);
+  return 0;
+}

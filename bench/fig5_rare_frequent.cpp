@@ -1,0 +1,19 @@
+//===-- bench/fig5_rare_frequent.cpp - Paper Figure 5 -----------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Regenerates Figure 5: per-sampler detection rates split into rare and
+// frequent static races (§5.3.1), over the six non-ConcRT pairs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "DetectionSuiteCommon.h"
+
+using namespace literace;
+
+int main() {
+  auto Results = runDetectionSuite(rareFrequentSuiteKinds(),
+                                   /*DefaultRepeats=*/3);
+  printFigure5(Results);
+  return 0;
+}

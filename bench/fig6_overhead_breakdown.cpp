@@ -1,0 +1,33 @@
+//===-- bench/fig6_overhead_breakdown.cpp - Paper Figure 6 ------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Regenerates Figure 6: the stacked overhead of LiteRace's components —
+// dispatch checks only, plus synchronization logging, plus sampled memory
+// logging — as cumulative slowdowns over the uninstrumented baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Tables.h"
+
+#include <cstdio>
+
+using namespace literace;
+
+int main() {
+  WorkloadParams Params = paramsFromEnv();
+  unsigned Repeats = repeatsFromEnv(2);
+  const WorkloadKind Kinds[] = {
+      WorkloadKind::LKRHash,          WorkloadKind::LFList,
+      WorkloadKind::ChannelWithStdLib, WorkloadKind::Channel,
+      WorkloadKind::ConcRTMessaging,  WorkloadKind::ConcRTScheduling,
+      WorkloadKind::Httpd1,           WorkloadKind::Httpd2,
+      WorkloadKind::BrowserStart,     WorkloadKind::BrowserRender};
+  std::vector<OverheadRow> Rows;
+  for (WorkloadKind Kind : Kinds) {
+    Rows.push_back(runOverheadExperiment(Kind, Params, Repeats));
+    std::fprintf(stderr, "  [fig6] %s done\n", Rows.back().Benchmark.c_str());
+  }
+  printFigure6(Rows);
+  return 0;
+}

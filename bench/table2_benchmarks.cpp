@@ -1,0 +1,20 @@
+//===-- bench/table2_benchmarks.cpp - Paper Table 2 ------------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Regenerates Table 2: the benchmark inventory. The paper reports static
+// function counts and binary sizes of the instrumented x86 images; our
+// source-level equivalent reports registered instrumented functions,
+// thread counts, and runtime event volumes per benchmark-input pair.
+//
+//===----------------------------------------------------------------------===//
+
+#include "DetectionSuiteCommon.h"
+
+using namespace literace;
+
+int main() {
+  auto Results = runDetectionSuite(detectionSuiteKinds());
+  printTable2(Results);
+  return 0;
+}

@@ -1,0 +1,19 @@
+//===-- bench/table3_samplers.cpp - Paper Table 3 --------------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Regenerates Table 3: the seven samplers with their average and
+// memop-weighted average effective sampling rates over the benchmark
+// suite (§5.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "DetectionSuiteCommon.h"
+
+using namespace literace;
+
+int main() {
+  auto Results = runDetectionSuite(detectionSuiteKinds());
+  printTable3(Results);
+  return 0;
+}

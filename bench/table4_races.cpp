@@ -1,0 +1,22 @@
+//===-- bench/table4_races.cpp - Paper Table 4 ------------------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Regenerates Table 4: static data races found per benchmark under full
+// logging (median over runs; the paper uses three), split rare/frequent
+// by the 3-per-million-memory-ops rule, plus our ground-truth columns
+// (seeded races found, absence of false positives) which the paper's
+// un-seeded benchmarks could not provide.
+//
+//===----------------------------------------------------------------------===//
+
+#include "DetectionSuiteCommon.h"
+
+using namespace literace;
+
+int main() {
+  auto Results = runDetectionSuite(rareFrequentSuiteKinds(),
+                                   /*DefaultRepeats=*/3);
+  printTable4(Results);
+  return 0;
+}

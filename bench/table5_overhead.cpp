@@ -1,0 +1,34 @@
+//===-- bench/table5_overhead.cpp - Paper Table 5 ---------------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Regenerates Table 5: baseline execution time, LiteRace and full-logging
+// slowdowns, and generated log rates, for the eight application pairs and
+// the two synchronization-heavy micro-benchmarks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Tables.h"
+
+#include <cstdio>
+
+using namespace literace;
+
+int main() {
+  WorkloadParams Params = paramsFromEnv();
+  unsigned Repeats = repeatsFromEnv(2);
+  const WorkloadKind Kinds[] = {
+      WorkloadKind::LKRHash,          WorkloadKind::LFList,
+      WorkloadKind::ChannelWithStdLib, WorkloadKind::Channel,
+      WorkloadKind::ConcRTMessaging,  WorkloadKind::ConcRTScheduling,
+      WorkloadKind::Httpd1,           WorkloadKind::Httpd2,
+      WorkloadKind::BrowserStart,     WorkloadKind::BrowserRender};
+  std::vector<OverheadRow> Rows;
+  for (WorkloadKind Kind : Kinds) {
+    Rows.push_back(runOverheadExperiment(Kind, Params, Repeats));
+    std::fprintf(stderr, "  [overhead] %s done (baseline %.3fs)\n",
+                 Rows.back().Benchmark.c_str(), Rows.back().BaselineSec);
+  }
+  printTable5(Rows);
+  return 0;
+}

@@ -1,0 +1,154 @@
+//===-- detector/FastTrackDetector.cpp - Epoch-optimized HB ---------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/FastTrackDetector.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace literace;
+
+FastTrackDetector::FastTrackDetector(RaceReport &Report) : Report(Report) {}
+
+VectorClock &FastTrackDetector::clockOf(ThreadId T) {
+  if (T >= ThreadClocks.size())
+    ThreadClocks.resize(T + 1);
+  VectorClock &Clock = ThreadClocks[T];
+  if (Clock.get(T) == 0)
+    Clock.set(T, 1);
+  return Clock;
+}
+
+void FastTrackDetector::acquire(ThreadId T, SyncVar S) {
+  auto It = SyncClocks.find(S);
+  if (It != SyncClocks.end())
+    clockOf(T).joinWith(It->second);
+}
+
+void FastTrackDetector::release(ThreadId T, SyncVar S) {
+  VectorClock &Thread = clockOf(T);
+  SyncClocks[S].joinWith(Thread);
+  Thread.tick(T);
+}
+
+void FastTrackDetector::onEvent(const EventRecord &R) {
+  switch (R.Kind) {
+  case EventKind::ThreadStart:
+  case EventKind::ThreadEnd:
+    (void)clockOf(R.Tid);
+    return;
+  case EventKind::Read:
+    ++MemoryEvents;
+    onRead(R);
+    return;
+  case EventKind::Write:
+    ++MemoryEvents;
+    onWrite(R);
+    return;
+  case EventKind::Acquire:
+    acquire(R.Tid, R.Addr);
+    return;
+  case EventKind::Release:
+    release(R.Tid, R.Addr);
+    return;
+  case EventKind::AcqRel:
+  case EventKind::Alloc:
+  case EventKind::Free:
+    acquire(R.Tid, R.Addr);
+    release(R.Tid, R.Addr);
+    return;
+  }
+  literaceUnreachable("invalid event kind");
+}
+
+void FastTrackDetector::report(const Epoch &Old, const EventRecord &New,
+                               bool OldIsWrite) {
+  RaceSighting Sighting;
+  Sighting.FirstPc = Old.Site;
+  Sighting.SecondPc = New.Pc;
+  Sighting.Addr = New.Addr;
+  Sighting.FirstTid = Old.Tid;
+  Sighting.SecondTid = New.Tid;
+  Sighting.FirstIsWrite = OldIsWrite;
+  Sighting.SecondIsWrite = New.Kind == EventKind::Write;
+  Report.record(Sighting);
+}
+
+void FastTrackDetector::onRead(const EventRecord &R) {
+  const ThreadId T = R.Tid;
+  const VectorClock &Clock = clockOf(T);
+  AddressState &State = Shadow[R.Addr];
+
+  // Read-write check against the single write epoch.
+  if (State.Write.Clock != 0 && State.Write.Tid != T &&
+      Clock.get(State.Write.Tid) < State.Write.Clock)
+    report(State.Write, R, /*OldIsWrite=*/true);
+
+  const Epoch Mine{T, Clock.get(T), R.Pc};
+  if (State.SharedRead) {
+    // Slow path: per-thread read epochs.
+    if (T >= State.ReadShared.size())
+      State.ReadShared.resize(T + 1);
+    State.ReadShared[T] = Mine;
+    return;
+  }
+  // Exclusive / same-epoch fast paths.
+  if (State.Read.Clock == 0 || State.Read.Tid == T ||
+      Clock.get(State.Read.Tid) >= State.Read.Clock) {
+    State.Read = Mine;
+    return;
+  }
+  // Concurrent reads by two threads: promote to read-shared.
+  ++Promotions;
+  State.SharedRead = true;
+  State.ReadShared.clear();
+  State.ReadShared.resize(std::max<size_t>(T, State.Read.Tid) + 1);
+  State.ReadShared[State.Read.Tid] = State.Read;
+  State.ReadShared[T] = Mine;
+  State.Read = Epoch();
+}
+
+void FastTrackDetector::onWrite(const EventRecord &R) {
+  const ThreadId T = R.Tid;
+  const VectorClock &Clock = clockOf(T);
+  AddressState &State = Shadow[R.Addr];
+
+  // Write-write check against the single write epoch: writes to a
+  // race-free variable are totally ordered, so one epoch suffices.
+  if (State.Write.Clock != 0 && State.Write.Tid != T &&
+      Clock.get(State.Write.Tid) < State.Write.Clock)
+    report(State.Write, R, /*OldIsWrite=*/true);
+
+  // Write-read checks.
+  if (State.SharedRead) {
+    for (const Epoch &Old : State.ReadShared)
+      if (Old.Clock != 0 && Old.Tid != T &&
+          Clock.get(Old.Tid) < Old.Clock)
+        report(Old, R, /*OldIsWrite=*/false);
+    // The write supersedes the read set (ordered reads are published;
+    // racing ones were just reported — either way future conflicts are
+    // caught against this write).
+    State.SharedRead = false;
+    State.ReadShared.clear();
+  } else if (State.Read.Clock != 0 && State.Read.Tid != T &&
+             Clock.get(State.Read.Tid) < State.Read.Clock) {
+    report(State.Read, R, /*OldIsWrite=*/false);
+    State.Read = Epoch();
+  } else if (State.Read.Clock != 0 &&
+             (State.Read.Tid == T ||
+              Clock.get(State.Read.Tid) >= State.Read.Clock)) {
+    State.Read = Epoch();
+  }
+
+  State.Write = Epoch{T, Clock.get(T), R.Pc};
+}
+
+bool literace::detectRacesFastTrack(const Trace &T, RaceReport &Report,
+                                    const ReplayOptions &Options) {
+  FastTrackDetector Detector(Report);
+  return replayTrace(T, Detector, Options);
+}

@@ -1,0 +1,91 @@
+//===-- detector/FastTrackDetector.h - Epoch-optimized HB -----*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FastTrack-style happens-before detector (Flanagan & Freund, PLDI
+/// 2009 — the same conference as LiteRace; §6 discusses the vector-clock
+/// cost it addresses). Where HBDetector keeps per-thread last-access maps
+/// per address, FastTrack observes that most variables are accessed in
+/// ways that need only a single epoch (thread, clock):
+///
+///   - the last write epoch suffices for write checks, because writes to
+///     a data-race-free variable are totally ordered;
+///   - reads need a full per-thread view only while a variable is read
+///     shared; an exclusive or ordered read keeps a single epoch.
+///
+/// The result detects a race on an address if and only if HBDetector does
+/// (the equivalence is exercised by the test suite), while doing O(1)
+/// work for the overwhelmingly common access patterns. Reported pc pairs
+/// can differ: both detectors report *a* witness pair per racy address,
+/// not all pairs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_DETECTOR_FASTTRACKDETECTOR_H
+#define LITERACE_DETECTOR_FASTTRACKDETECTOR_H
+
+#include "detector/RaceReport.h"
+#include "detector/Replay.h"
+#include "detector/VectorClock.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace literace {
+
+/// Epoch-based happens-before detector over replayed event streams.
+class FastTrackDetector : public TraceConsumer {
+public:
+  explicit FastTrackDetector(RaceReport &Report);
+
+  void onEvent(const EventRecord &R) override;
+
+  /// Number of addresses whose read state was ever promoted to a full
+  /// per-thread view (the slow path; exposed for tests and benches).
+  uint64_t readSharePromotions() const { return Promotions; }
+
+  uint64_t memoryEventsProcessed() const { return MemoryEvents; }
+
+private:
+  /// A (thread, clock) pair plus the access site for reporting. Clock 0
+  /// means "none".
+  struct Epoch {
+    ThreadId Tid = 0;
+    uint64_t Clock = 0;
+    Pc Site = 0;
+  };
+
+  struct AddressState {
+    Epoch Write;
+    /// Exclusive/ordered read epoch; unused once SharedRead.
+    Epoch Read;
+    bool SharedRead = false;
+    /// Per-thread read epochs while read shared.
+    std::vector<Epoch> ReadShared;
+  };
+
+  VectorClock &clockOf(ThreadId T);
+  void acquire(ThreadId T, SyncVar S);
+  void release(ThreadId T, SyncVar S);
+  void onRead(const EventRecord &R);
+  void onWrite(const EventRecord &R);
+  void report(const Epoch &Old, const EventRecord &New, bool OldIsWrite);
+
+  RaceReport &Report;
+  std::vector<VectorClock> ThreadClocks;
+  std::unordered_map<SyncVar, VectorClock> SyncClocks;
+  std::unordered_map<uint64_t, AddressState> Shadow;
+  uint64_t Promotions = 0;
+  uint64_t MemoryEvents = 0;
+};
+
+/// Convenience wrapper mirroring detectRaces().
+bool detectRacesFastTrack(const Trace &T, RaceReport &Report,
+                          const ReplayOptions &Options = ReplayOptions());
+
+} // namespace literace
+
+#endif // LITERACE_DETECTOR_FASTTRACKDETECTOR_H

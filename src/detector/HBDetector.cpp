@@ -1,0 +1,146 @@
+//===-- detector/HBDetector.cpp - Happens-before race detection ----------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/HBDetector.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace literace;
+
+HBDetector::HBDetector(RaceReport &Report) : Report(Report) {}
+
+VectorClock &HBDetector::clockOf(ThreadId T) {
+  if (T >= ThreadClocks.size())
+    ThreadClocks.resize(T + 1);
+  VectorClock &Clock = ThreadClocks[T];
+  // A thread's own component starts at 1 so that its accesses have a
+  // nonzero epoch distinguishable from "never accessed".
+  if (Clock.get(T) == 0)
+    Clock.set(T, 1);
+  return Clock;
+}
+
+const VectorClock &HBDetector::threadClock(ThreadId T) { return clockOf(T); }
+
+void HBDetector::acquire(ThreadId T, SyncVar S) {
+  auto It = SyncClocks.find(S);
+  if (It != SyncClocks.end())
+    clockOf(T).joinWith(It->second);
+}
+
+void HBDetector::release(ThreadId T, SyncVar S) {
+  VectorClock &Thread = clockOf(T);
+  SyncClocks[S].joinWith(Thread);
+  // Tick so that accesses after the release are not confused with the
+  // knowledge just published.
+  Thread.tick(T);
+}
+
+void HBDetector::onEvent(const EventRecord &R) {
+  switch (R.Kind) {
+  case EventKind::ThreadStart:
+  case EventKind::ThreadEnd:
+    // Lifetime markers; fork/join edges arrive as sync events.
+    (void)clockOf(R.Tid);
+    return;
+  case EventKind::Read:
+  case EventKind::Write:
+    onMemory(R);
+    return;
+  case EventKind::Acquire:
+    ++SyncEvents;
+    acquire(R.Tid, R.Addr);
+    return;
+  case EventKind::Release:
+    ++SyncEvents;
+    release(R.Tid, R.Addr);
+    return;
+  case EventKind::AcqRel:
+  case EventKind::Alloc:
+  case EventKind::Free:
+    // Allocation events are §4.3 page synchronization: acquire+release.
+    ++SyncEvents;
+    acquire(R.Tid, R.Addr);
+    release(R.Tid, R.Addr);
+    return;
+  }
+  literaceUnreachable("invalid event kind");
+}
+
+void HBDetector::checkAgainst(const std::vector<AccessRecord> &Prior,
+                              const EventRecord &New,
+                              const VectorClock &NewClock,
+                              bool PriorAreWrites) {
+  const bool NewIsWrite = New.Kind == EventKind::Write;
+  for (const AccessRecord &Old : Prior) {
+    if (Old.Tid == New.Tid)
+      continue;
+    if (!PriorAreWrites && !NewIsWrite)
+      continue; // Read/read pairs never conflict.
+    if (NewClock.get(Old.Tid) >= Old.Clock)
+      continue; // Ordered: Old happens-before New.
+    RaceSighting Sighting;
+    Sighting.FirstPc = Old.Site;
+    Sighting.SecondPc = New.Pc;
+    Sighting.Addr = New.Addr;
+    Sighting.FirstTid = Old.Tid;
+    Sighting.SecondTid = New.Tid;
+    Sighting.FirstIsWrite = PriorAreWrites;
+    Sighting.SecondIsWrite = NewIsWrite;
+    Report.record(Sighting);
+  }
+}
+
+void HBDetector::updateAccessList(std::vector<AccessRecord> &List,
+                                  ThreadId T, uint64_t Clock, Pc Site,
+                                  const VectorClock &NewClock) {
+  // Drop entries the new access happens-after: any future access racing a
+  // dropped entry also races the new one (and with a conflicting kind,
+  // because the new entry's kind matches or strengthens the list's kind).
+  List.erase(std::remove_if(List.begin(), List.end(),
+                            [&](const AccessRecord &Old) {
+                              return NewClock.get(Old.Tid) >= Old.Clock;
+                            }),
+             List.end());
+  List.push_back(AccessRecord{T, Clock, Site});
+}
+
+void HBDetector::onMemory(const EventRecord &R) {
+  ++MemoryEvents;
+  const ThreadId T = R.Tid;
+  const VectorClock &Clock = clockOf(T);
+  const uint64_t Epoch = Clock.get(T);
+  AddressState &State = Shadow[R.Addr];
+
+  // A read conflicts with prior writes; a write conflicts with both.
+  checkAgainst(State.Writes, R, Clock, /*PriorAreWrites=*/true);
+  if (R.Kind == EventKind::Write) {
+    checkAgainst(State.Reads, R, Clock, /*PriorAreWrites=*/false);
+    updateAccessList(State.Writes, T, Epoch, R.Pc, Clock);
+    // A write that happens-after a read subsumes it: future accesses
+    // unordered with that read are also unordered with this write, and
+    // every access kind conflicts with a write.
+    State.Reads.erase(std::remove_if(State.Reads.begin(), State.Reads.end(),
+                                     [&](const AccessRecord &Old) {
+                                       return Clock.get(Old.Tid) >=
+                                              Old.Clock;
+                                     }),
+                      State.Reads.end());
+  } else {
+    // Reads must never prune writes: a later read racing a pruned write
+    // would go unreported (read/read pairs do not conflict).
+    updateAccessList(State.Reads, T, Epoch, R.Pc, Clock);
+  }
+}
+
+bool literace::detectRaces(const Trace &T, RaceReport &Report,
+                           const ReplayOptions &Options) {
+  HBDetector Detector(Report);
+  return replayTrace(T, Detector, Options);
+}

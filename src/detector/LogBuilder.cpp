@@ -1,0 +1,83 @@
+//===-- detector/LogBuilder.cpp - Synthetic trace construction -----------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/LogBuilder.h"
+
+using namespace literace;
+
+LogBuilder::LogBuilder(unsigned NumTimestampCounters)
+    : Timestamps(NumTimestampCounters), NumCounters(NumTimestampCounters) {
+  Streams.resize(1);
+}
+
+LogBuilder &LogBuilder::onThread(ThreadId Tid) {
+  if (Tid >= Streams.size())
+    Streams.resize(Tid + 1);
+  Current = Tid;
+  return *this;
+}
+
+LogBuilder &LogBuilder::append(EventKind K, uint64_t Addr, Pc Site,
+                               uint16_t Mask, bool DrawTs) {
+  EventRecord R;
+  R.Addr = Addr;
+  R.Pc = Site;
+  R.Tid = Current;
+  R.Kind = K;
+  R.Mask = Mask;
+  if (DrawTs)
+    R.Ts = Timestamps.draw(Addr);
+  Streams[Current].push_back(R);
+  return *this;
+}
+
+LogBuilder &LogBuilder::threadStart() {
+  return append(EventKind::ThreadStart, 0, 0, 0, false);
+}
+
+LogBuilder &LogBuilder::threadEnd() {
+  return append(EventKind::ThreadEnd, 0, 0, 0, false);
+}
+
+LogBuilder &LogBuilder::read(uint64_t Addr, Pc Site, uint16_t Mask) {
+  return append(EventKind::Read, Addr, Site, Mask, false);
+}
+
+LogBuilder &LogBuilder::write(uint64_t Addr, Pc Site, uint16_t Mask) {
+  return append(EventKind::Write, Addr, Site, Mask, false);
+}
+
+LogBuilder &LogBuilder::acquire(SyncVar S, Pc Site) {
+  return append(EventKind::Acquire, S, Site, 0, true);
+}
+
+LogBuilder &LogBuilder::release(SyncVar S, Pc Site) {
+  return append(EventKind::Release, S, Site, 0, true);
+}
+
+LogBuilder &LogBuilder::acqRel(SyncVar S, Pc Site) {
+  return append(EventKind::AcqRel, S, Site, 0, true);
+}
+
+LogBuilder &LogBuilder::alloc(SyncVar PageVar) {
+  return append(EventKind::Alloc, PageVar, 0, 0, true);
+}
+
+LogBuilder &LogBuilder::free(SyncVar PageVar) {
+  return append(EventKind::Free, PageVar, 0, 0, true);
+}
+
+LogBuilder &LogBuilder::raw(EventRecord R) {
+  Streams[Current].push_back(R);
+  return *this;
+}
+
+Trace LogBuilder::build() const {
+  Trace T;
+  T.NumTimestampCounters = NumCounters;
+  T.PerThread = Streams;
+  return T;
+}

@@ -1,0 +1,78 @@
+//===-- detector/LogBuilder.h - Synthetic trace construction --*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fluent construction of synthetic traces for tests and examples. The
+/// builder plays the role of the runtime: it draws logical timestamps from
+/// its own counter bank in the order builder calls are made, so the call
+/// sequence IS the interleaving being described. This makes it easy to
+/// write down the scenarios from the paper's figures (e.g. Fig. 1's
+/// properly- and improperly-synchronized executions, Fig. 2's missed-sync
+/// false positive) as deterministic unit tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_DETECTOR_LOGBUILDER_H
+#define LITERACE_DETECTOR_LOGBUILDER_H
+
+#include "runtime/EventLog.h"
+#include "runtime/TimestampManager.h"
+
+#include <vector>
+
+namespace literace {
+
+/// Builds a Trace event by event. Switch the current thread with
+/// onThread(); every subsequent call appends to that thread's stream.
+class LogBuilder {
+public:
+  explicit LogBuilder(unsigned NumTimestampCounters = 16);
+
+  /// Selects the thread receiving subsequent events (created on demand).
+  LogBuilder &onThread(ThreadId Tid);
+
+  LogBuilder &threadStart();
+  LogBuilder &threadEnd();
+
+  /// Memory accesses. \p Mask defaults to "in the full log only".
+  LogBuilder &read(uint64_t Addr, Pc Site = 0,
+                   uint16_t Mask = FullLogMaskBit);
+  LogBuilder &write(uint64_t Addr, Pc Site = 0,
+                    uint16_t Mask = FullLogMaskBit);
+
+  /// Sync operations; the timestamp is drawn now, so the relative order of
+  /// builder calls on the same SyncVar is the recorded serialization.
+  LogBuilder &acquire(SyncVar S, Pc Site = 0);
+  LogBuilder &release(SyncVar S, Pc Site = 0);
+  LogBuilder &acqRel(SyncVar S, Pc Site = 0);
+  LogBuilder &alloc(SyncVar PageVar);
+  LogBuilder &free(SyncVar PageVar);
+
+  /// Mutex-flavoured aliases matching the runtime's timestamp placement.
+  LogBuilder &lock(SyncVar Mutex) { return acquire(Mutex); }
+  LogBuilder &unlock(SyncVar Mutex) { return release(Mutex); }
+
+  /// Appends a fully custom record (timestamp NOT drawn; caller controls
+  /// it). For malformed-log tests.
+  LogBuilder &raw(EventRecord R);
+
+  /// Finalizes and returns the trace. The builder may keep being used; the
+  /// returned trace is a snapshot.
+  Trace build() const;
+
+private:
+  LogBuilder &append(EventKind K, uint64_t Addr, Pc Site, uint16_t Mask,
+                     bool DrawTs);
+
+  TimestampManager Timestamps;
+  unsigned NumCounters;
+  ThreadId Current = 0;
+  std::vector<std::vector<EventRecord>> Streams;
+};
+
+} // namespace literace
+
+#endif // LITERACE_DETECTOR_LOGBUILDER_H

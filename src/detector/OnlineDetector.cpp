@@ -1,0 +1,63 @@
+//===-- detector/OnlineDetector.cpp - Concurrent detection ---------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/OnlineDetector.h"
+
+using namespace literace;
+
+OnlineDetector::OnlineDetector(unsigned NumTimestampCounters,
+                               RaceReport &Report, ReplayOptions Options)
+    : Scheduler(NumTimestampCounters, Options), Detector(Report),
+      Worker([this] { workerLoop(); }) {}
+
+OnlineDetector::~OnlineDetector() { finish(); }
+
+void OnlineDetector::writeChunk(ThreadId Tid, const EventRecord *Records,
+                                size_t Count) {
+  addBytes(Count * sizeof(EventRecord));
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Queue.emplace_back(Tid,
+                       std::vector<EventRecord>(Records, Records + Count));
+  }
+  Ready.notify_one();
+}
+
+bool OnlineDetector::finish() {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    if (Done && !Worker.joinable())
+      return Consistent;
+    Done = true;
+  }
+  Ready.notify_one();
+  if (Worker.joinable())
+    Worker.join();
+  // Anything still pending means some timestamp never arrived: the stream
+  // was inconsistent (or truncated).
+  std::lock_guard<std::mutex> Guard(Lock);
+  Consistent = Scheduler.fullyDrained();
+  return Consistent;
+}
+
+void OnlineDetector::workerLoop() {
+  std::vector<std::pair<ThreadId, std::vector<EventRecord>>> Batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Guard(Lock);
+      Ready.wait(Guard, [&] { return !Queue.empty() || Done; });
+      Batch.swap(Queue);
+      if (Batch.empty() && Done)
+        return;
+    }
+    for (auto &Chunk : Batch)
+      Scheduler.addEvents(Chunk.first, Chunk.second.data(),
+                          Chunk.second.size());
+    Batch.clear();
+    Processed.fetch_add(Scheduler.drain(Detector),
+                        std::memory_order_relaxed);
+  }
+}

@@ -1,0 +1,73 @@
+//===-- detector/OnlineDetector.h - Concurrent detection -------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Online race detection (§4.4 / §7): the paper logs to disk and analyzes
+/// offline, but notes that the same stream could be consumed by a detector
+/// running concurrently on a spare core. OnlineDetector implements that: it
+/// is a LogSink, so a Runtime can write straight into it; a worker thread
+/// drains arriving chunks through the incremental ReplayScheduler into an
+/// HBDetector while the instrumented program keeps running.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_DETECTOR_ONLINEDETECTOR_H
+#define LITERACE_DETECTOR_ONLINEDETECTOR_H
+
+#include "detector/HBDetector.h"
+#include "detector/Replay.h"
+#include "runtime/EventLog.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace literace {
+
+/// A LogSink that performs happens-before detection concurrently with the
+/// instrumented execution.
+class OnlineDetector : public LogSink {
+public:
+  /// \p NumTimestampCounters must match the producing Runtime's
+  /// configuration. Races accumulate into \p Report; do not read it until
+  /// finish() has returned.
+  OnlineDetector(unsigned NumTimestampCounters, RaceReport &Report,
+                 ReplayOptions Options = ReplayOptions());
+  ~OnlineDetector() override;
+
+  void writeChunk(ThreadId Tid, const EventRecord *Records,
+                  size_t Count) override;
+
+  /// Signals end-of-stream, waits for the worker to process everything,
+  /// and returns true if the whole stream was consistent and fully
+  /// processed. Idempotent.
+  bool finish();
+
+  /// Events processed so far (approximate while running).
+  uint64_t eventsProcessed() const {
+    return Processed.load(std::memory_order_relaxed);
+  }
+
+private:
+  void workerLoop();
+
+  ReplayScheduler Scheduler;
+  HBDetector Detector;
+
+  std::mutex Lock;
+  std::condition_variable Ready;
+  std::vector<std::pair<ThreadId, std::vector<EventRecord>>> Queue;
+  bool Done = false;
+  bool Consistent = true;
+  std::atomic<uint64_t> Processed{0};
+  std::thread Worker;
+};
+
+} // namespace literace
+
+#endif // LITERACE_DETECTOR_ONLINEDETECTOR_H

@@ -1,0 +1,83 @@
+//===-- detector/ReferenceDetector.h - Brute-force HB oracle --*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately naive happens-before oracle used to verify the
+/// production detectors. It stores a full vector clock for EVERY memory
+/// event and, at the end, checks EVERY pair of conflicting accesses for
+/// ordering — O(events × threads) memory and O(events² per address)
+/// time. Nothing is pruned and no witness is chosen: the result is the
+/// complete set of racing access pairs of the execution.
+///
+/// Intended exclusively for tests and cross-validation (see
+/// ModelCheckTest): the production detectors must report
+///   - only pairs the oracle confirms unordered (soundness — no false
+///     positives), and
+///   - a race on exactly the addresses the oracle finds racy
+///     (address-completeness; witness pairs may legitimately differ).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_DETECTOR_REFERENCEDETECTOR_H
+#define LITERACE_DETECTOR_REFERENCEDETECTOR_H
+
+#include "detector/RaceReport.h"
+#include "detector/Replay.h"
+#include "detector/VectorClock.h"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace literace {
+
+/// Collects every memory access with its full vector clock, then
+/// enumerates all racing pairs on demand.
+class ReferenceDetector : public TraceConsumer {
+public:
+  /// One recorded access with its complete happens-before knowledge.
+  struct Access {
+    ThreadId Tid = 0;
+    Pc Site = 0;
+    bool IsWrite = false;
+    /// The executing thread's own clock at the access.
+    uint64_t OwnClock = 0;
+    VectorClock Clock;
+  };
+
+  void onEvent(const EventRecord &R) override;
+
+  /// All-pairs race enumeration; call after the replay finished.
+  /// \returns every unordered conflicting pair as (earlier-processed,
+  /// later-processed) sightings recorded into \p Report.
+  void enumerateRaces(RaceReport &Report) const;
+
+  /// The set of addresses with at least one racing pair.
+  std::set<uint64_t> racyAddresses() const;
+
+  /// True iff accesses \p A then \p B (processing order) are ordered by
+  /// happens-before.
+  static bool ordered(const Access &A, const Access &B) {
+    return B.Clock.get(A.Tid) >= A.OwnClock;
+  }
+
+  size_t accessesRecorded() const;
+
+private:
+  VectorClock &clockOf(ThreadId T);
+
+  std::vector<VectorClock> ThreadClocks;
+  std::unordered_map<SyncVar, VectorClock> SyncClocks;
+  std::unordered_map<uint64_t, std::vector<Access>> Accesses;
+};
+
+/// Replays \p T through a ReferenceDetector and enumerates all races.
+/// Returns false on an inconsistent log.
+bool detectRacesReference(const Trace &T, RaceReport &Report);
+
+} // namespace literace
+
+#endif // LITERACE_DETECTOR_REFERENCEDETECTOR_H

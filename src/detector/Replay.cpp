@@ -1,0 +1,108 @@
+//===-- detector/Replay.cpp - Log replay scheduling ----------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/Replay.h"
+
+#include "runtime/TimestampManager.h"
+
+#include <cassert>
+
+using namespace literace;
+
+TraceConsumer::~TraceConsumer() = default;
+
+namespace {
+
+/// Returns true if \p R should be handed to the consumer under \p Options.
+bool passesFilter(const EventRecord &R, const ReplayOptions &Options) {
+  if (!isMemoryKind(R.Kind) || Options.SamplerSlot < 0)
+    return true;
+  return (R.Mask & (1u << Options.SamplerSlot)) != 0;
+}
+
+} // namespace
+
+bool literace::replayTrace(const Trace &T, TraceConsumer &Consumer,
+                           const ReplayOptions &Options) {
+  const unsigned NumCounters = T.NumTimestampCounters;
+  const size_t NumThreads = T.PerThread.size();
+  std::vector<size_t> Cursor(NumThreads, 0);
+  std::vector<uint64_t> NextTs(NumCounters, 1);
+
+  size_t Remaining = T.totalEvents();
+  bool Progress = true;
+  while (Remaining > 0 && Progress) {
+    Progress = false;
+    for (size_t Tid = 0; Tid != NumThreads; ++Tid) {
+      const auto &Stream = T.PerThread[Tid];
+      size_t &C = Cursor[Tid];
+      while (C < Stream.size()) {
+        const EventRecord &R = Stream[C];
+        if (isSyncKind(R.Kind)) {
+          if (R.Ts == 0)
+            return false; // Malformed: sync event without a timestamp.
+          unsigned Counter = counterForSyncVar(R.Addr, NumCounters);
+          if (R.Ts != NextTs[Counter]) {
+            if (R.Ts < NextTs[Counter])
+              return false; // Duplicate timestamp: inconsistent log.
+            break;          // Not yet enabled; try another thread.
+          }
+          ++NextTs[Counter];
+          Consumer.onEvent(R);
+        } else if (passesFilter(R, Options)) {
+          Consumer.onEvent(R);
+        }
+        ++C;
+        --Remaining;
+        Progress = true;
+      }
+    }
+  }
+  // If no thread could make progress, a timestamp is missing from the log
+  // (e.g. a sync operation whose record was lost).
+  return Remaining == 0;
+}
+
+ReplayScheduler::ReplayScheduler(unsigned NumTimestampCounters,
+                                 ReplayOptions Options)
+    : NumCounters(NumTimestampCounters), Options(Options),
+      NextTs(NumTimestampCounters, 1) {}
+
+void ReplayScheduler::addEvents(ThreadId Tid, const EventRecord *Records,
+                                size_t Count) {
+  if (Tid >= Streams.size())
+    Streams.resize(Tid + 1);
+  Streams[Tid].insert(Streams[Tid].end(), Records, Records + Count);
+  Pending += Count;
+}
+
+size_t ReplayScheduler::drain(TraceConsumer &Consumer) {
+  size_t Delivered = 0;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (auto &Stream : Streams) {
+      while (!Stream.empty()) {
+        const EventRecord &R = Stream.front();
+        if (isSyncKind(R.Kind)) {
+          assert(R.Ts != 0 && "sync event without timestamp");
+          unsigned Counter = counterForSyncVar(R.Addr, NumCounters);
+          if (R.Ts != NextTs[Counter])
+            break; // Waits for earlier timestamps, possibly not yet added.
+          ++NextTs[Counter];
+          Consumer.onEvent(R);
+        } else if (passesFilter(R, Options)) {
+          Consumer.onEvent(R);
+        }
+        Stream.pop_front();
+        --Pending;
+        ++Delivered;
+        Progress = true;
+      }
+    }
+  }
+  return Delivered;
+}

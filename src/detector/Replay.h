@@ -1,0 +1,89 @@
+//===-- detector/Replay.h - Log replay scheduling ---------------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reconstructs a processing order for a logged execution.
+///
+/// The log contains one program-order stream per thread. Cross-thread
+/// ordering is recoverable only through the logical timestamps drawn by
+/// synchronization operations: all operations hashing to the same counter
+/// drew strictly increasing timestamps in their real serialization order
+/// (§4.2). The replay scheduler therefore interleaves the per-thread
+/// streams subject to one constraint: a sync event with timestamp k on
+/// counter c is processed only after every timestamp < k on counter c.
+/// Memory events have no constraint beyond program order.
+///
+/// Replay optionally filters memory events by sampler slot, implementing
+/// the §5.3 methodology of running detection over each sampler's view of
+/// one and the same execution. Sync events are never filtered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_DETECTOR_REPLAY_H
+#define LITERACE_DETECTOR_REPLAY_H
+
+#include "runtime/EventLog.h"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace literace {
+
+/// Receiver of replayed events, in a happens-before-consistent order.
+class TraceConsumer {
+public:
+  virtual ~TraceConsumer();
+
+  /// Called once per delivered event.
+  virtual void onEvent(const EventRecord &R) = 0;
+};
+
+/// Replay configuration.
+struct ReplayOptions {
+  /// If in [0, MaxSamplerSlots), deliver only memory events whose mask has
+  /// that sampler's bit. Negative: deliver all memory events.
+  int SamplerSlot = -1;
+};
+
+/// Replays \p T into \p Consumer. Returns false if the log is inconsistent
+/// (a timestamp is missing or duplicated, so no valid order exists); in
+/// that case a prefix may already have been delivered.
+bool replayTrace(const Trace &T, TraceConsumer &Consumer,
+                 const ReplayOptions &Options = ReplayOptions());
+
+/// Incremental version of replayTrace for online detection (§4.4): events
+/// arrive chunk by chunk while the program runs, and drain() delivers
+/// whatever has become processable. Not thread-safe; callers serialize.
+class ReplayScheduler {
+public:
+  explicit ReplayScheduler(unsigned NumTimestampCounters,
+                           ReplayOptions Options = ReplayOptions());
+
+  /// Appends \p Count records of thread \p Tid's stream (program order).
+  void addEvents(ThreadId Tid, const EventRecord *Records, size_t Count);
+
+  /// Delivers every event that is currently processable. Returns the
+  /// number delivered.
+  size_t drain(TraceConsumer &Consumer);
+
+  /// True if every added event has been delivered.
+  bool fullyDrained() const { return Pending == 0; }
+
+  /// Number of added-but-undelivered events.
+  size_t pendingEvents() const { return Pending; }
+
+private:
+  unsigned NumCounters;
+  ReplayOptions Options;
+  std::vector<std::deque<EventRecord>> Streams;
+  std::vector<uint64_t> NextTs;
+  size_t Pending = 0;
+};
+
+} // namespace literace
+
+#endif // LITERACE_DETECTOR_REPLAY_H

@@ -1,0 +1,62 @@
+//===-- detector/VectorClock.h - Vector clocks ------------------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector clocks for happens-before tracking (§2.1). Components are
+/// indexed by dense ThreadId; a clock grows on demand and missing
+/// components read as zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_DETECTOR_VECTORCLOCK_H
+#define LITERACE_DETECTOR_VECTORCLOCK_H
+
+#include "runtime/Ids.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace literace {
+
+/// A growable vector clock over dense thread ids.
+class VectorClock {
+public:
+  VectorClock() = default;
+
+  /// Component for thread \p T (zero if never set).
+  uint64_t get(ThreadId T) const {
+    return T < Clocks.size() ? Clocks[T] : 0;
+  }
+
+  /// Sets the component for thread \p T.
+  void set(ThreadId T, uint64_t V);
+
+  /// Increments the component for thread \p T.
+  void tick(ThreadId T) { set(T, get(T) + 1); }
+
+  /// Pointwise maximum with \p Other.
+  void joinWith(const VectorClock &Other);
+
+  /// True if every component of this clock is >= the corresponding
+  /// component of \p Other (i.e. Other happened-before-or-equals this).
+  bool dominates(const VectorClock &Other) const;
+
+  /// Number of allocated components (trailing zeros may be omitted).
+  size_t size() const { return Clocks.size(); }
+
+  bool operator==(const VectorClock &Other) const;
+
+  /// Debug rendering like "[3, 0, 7]".
+  std::string str() const;
+
+private:
+  std::vector<uint64_t> Clocks;
+};
+
+} // namespace literace
+
+#endif // LITERACE_DETECTOR_VECTORCLOCK_H

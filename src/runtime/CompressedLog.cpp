@@ -1,0 +1,218 @@
+//===-- runtime/CompressedLog.cpp - Delta/varint log encoding -------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CompressedLog.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+using namespace literace;
+
+namespace {
+
+constexpr uint64_t CompressedMagic = 0x4C52436F6D7001ULL;
+
+/// Per-event header byte: low 4 bits the kind, high bits flags.
+constexpr uint8_t FlagHasMask = 0x10;
+
+void putVarint(std::vector<uint8_t> &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<uint8_t>(V) | 0x80);
+    V >>= 7;
+  }
+  Out.push_back(static_cast<uint8_t>(V));
+}
+
+bool getVarint(const uint8_t *&P, const uint8_t *End, uint64_t &V) {
+  V = 0;
+  unsigned Shift = 0;
+  while (P != End) {
+    uint8_t Byte = *P++;
+    V |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80))
+      return true;
+    Shift += 7;
+    if (Shift >= 64)
+      return false;
+  }
+  return false;
+}
+
+uint64_t zigzag(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) ^
+         static_cast<uint64_t>(V >> 63);
+}
+
+int64_t unzigzag(uint64_t V) {
+  return static_cast<int64_t>(V >> 1) ^ -static_cast<int64_t>(V & 1);
+}
+
+} // namespace
+
+size_t literace::compressEventStream(const std::vector<EventRecord> &Stream,
+                                     std::vector<uint8_t> &Out) {
+  size_t Before = Out.size();
+  uint64_t PrevAddr = 0;
+  uint64_t PrevPc = 0;
+  uint64_t PrevTs = 0;
+  uint16_t PrevMask = 0;
+  for (const EventRecord &R : Stream) {
+    uint8_t Header = static_cast<uint8_t>(R.Kind);
+    assert(Header < 0x10 && "kind must fit the header's low bits");
+    if (R.Mask != PrevMask)
+      Header |= FlagHasMask;
+    Out.push_back(Header);
+    putVarint(Out, zigzag(static_cast<int64_t>(R.Addr - PrevAddr)));
+    putVarint(Out, zigzag(static_cast<int64_t>(R.Pc - PrevPc)));
+    if (isSyncKind(R.Kind))
+      putVarint(Out, zigzag(static_cast<int64_t>(R.Ts - PrevTs)));
+    if (Header & FlagHasMask) {
+      putVarint(Out, R.Mask);
+      PrevMask = R.Mask;
+    }
+    PrevAddr = R.Addr;
+    PrevPc = R.Pc;
+    if (isSyncKind(R.Kind))
+      PrevTs = R.Ts;
+  }
+  return Out.size() - Before;
+}
+
+std::optional<std::vector<EventRecord>>
+literace::decompressEventStream(const uint8_t *Data, size_t Size,
+                                ThreadId Tid) {
+  std::vector<EventRecord> Stream;
+  const uint8_t *P = Data;
+  const uint8_t *End = Data + Size;
+  uint64_t PrevAddr = 0;
+  uint64_t PrevPc = 0;
+  uint64_t PrevTs = 0;
+  uint16_t PrevMask = 0;
+  while (P != End) {
+    uint8_t Header = *P++;
+    uint8_t KindBits = Header & 0x0f;
+    if (KindBits > static_cast<uint8_t>(EventKind::Free))
+      return std::nullopt;
+    EventRecord R;
+    R.Kind = static_cast<EventKind>(KindBits);
+    R.Tid = Tid;
+    uint64_t V;
+    if (!getVarint(P, End, V))
+      return std::nullopt;
+    R.Addr = PrevAddr + static_cast<uint64_t>(unzigzag(V));
+    if (!getVarint(P, End, V))
+      return std::nullopt;
+    R.Pc = PrevPc + static_cast<uint64_t>(unzigzag(V));
+    if (isSyncKind(R.Kind)) {
+      if (!getVarint(P, End, V))
+        return std::nullopt;
+      R.Ts = PrevTs + static_cast<uint64_t>(unzigzag(V));
+      PrevTs = R.Ts;
+    }
+    if (Header & FlagHasMask) {
+      if (!getVarint(P, End, V) || V > 0xffff)
+        return std::nullopt;
+      PrevMask = static_cast<uint16_t>(V);
+    }
+    R.Mask = PrevMask;
+    PrevAddr = R.Addr;
+    PrevPc = R.Pc;
+    Stream.push_back(R);
+  }
+  return Stream;
+}
+
+CompressedFileSink::CompressedFileSink(const std::string &Path,
+                                       unsigned NumTimestampCounters)
+    : Path(Path), NumTimestampCounters(NumTimestampCounters) {}
+
+CompressedFileSink::~CompressedFileSink() { close(); }
+
+void CompressedFileSink::writeChunk(ThreadId Tid,
+                                    const EventRecord *Records,
+                                    size_t Count) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  assert(!Closed && "writeChunk after close()");
+  if (Tid >= PerThread.size())
+    PerThread.resize(Tid + 1);
+  PerThread[Tid].insert(PerThread[Tid].end(), Records, Records + Count);
+  addBytes(Count * sizeof(EventRecord));
+}
+
+bool CompressedFileSink::close() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (Closed)
+    return true;
+  Closed = true;
+
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  bool Ok = true;
+  uint64_t Magic = CompressedMagic;
+  uint32_t Counters = NumTimestampCounters;
+  uint32_t NumThreads = static_cast<uint32_t>(PerThread.size());
+  Ok &= std::fwrite(&Magic, sizeof(Magic), 1, File) == 1;
+  Ok &= std::fwrite(&Counters, sizeof(Counters), 1, File) == 1;
+  Ok &= std::fwrite(&NumThreads, sizeof(NumThreads), 1, File) == 1;
+  CompressedSize = sizeof(Magic) + sizeof(Counters) + sizeof(NumThreads);
+
+  std::vector<uint8_t> Buffer;
+  for (const auto &Stream : PerThread) {
+    Buffer.clear();
+    compressEventStream(Stream, Buffer);
+    uint64_t Size = Buffer.size();
+    Ok &= std::fwrite(&Size, sizeof(Size), 1, File) == 1;
+    if (Size)
+      Ok &= std::fwrite(Buffer.data(), 1, Buffer.size(), File) ==
+            Buffer.size();
+    CompressedSize += sizeof(Size) + Buffer.size();
+  }
+  Ok &= std::fclose(File) == 0;
+  return Ok;
+}
+
+std::optional<Trace>
+literace::readCompressedTraceFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return std::nullopt;
+  uint64_t Magic = 0;
+  uint32_t Counters = 0;
+  uint32_t NumThreads = 0;
+  if (std::fread(&Magic, sizeof(Magic), 1, File) != 1 ||
+      Magic != CompressedMagic ||
+      std::fread(&Counters, sizeof(Counters), 1, File) != 1 ||
+      std::fread(&NumThreads, sizeof(NumThreads), 1, File) != 1) {
+    std::fclose(File);
+    return std::nullopt;
+  }
+  Trace T;
+  T.NumTimestampCounters = Counters;
+  T.PerThread.resize(NumThreads);
+  std::vector<uint8_t> Buffer;
+  for (uint32_t Tid = 0; Tid != NumThreads; ++Tid) {
+    uint64_t Size = 0;
+    if (std::fread(&Size, sizeof(Size), 1, File) != 1) {
+      std::fclose(File);
+      return std::nullopt;
+    }
+    Buffer.resize(Size);
+    if (Size && std::fread(Buffer.data(), 1, Size, File) != Size) {
+      std::fclose(File);
+      return std::nullopt;
+    }
+    auto Stream = decompressEventStream(Buffer.data(), Size, Tid);
+    if (!Stream) {
+      std::fclose(File);
+      return std::nullopt;
+    }
+    T.PerThread[Tid] = std::move(*Stream);
+  }
+  std::fclose(File);
+  return T;
+}

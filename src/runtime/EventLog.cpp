@@ -1,0 +1,164 @@
+//===-- runtime/EventLog.cpp - Event streams and log sinks ---------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/EventLog.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace literace;
+
+namespace {
+
+constexpr uint64_t FileMagic = 0x4C695465526163ULL; // "LiteRac"
+constexpr uint32_t FileVersion = 1;
+
+struct FileHeader {
+  uint64_t Magic;
+  uint32_t Version;
+  uint32_t NumTimestampCounters;
+};
+
+struct ChunkHeader {
+  uint32_t Tid;
+  uint32_t Count;
+};
+
+} // namespace
+
+size_t Trace::totalEvents() const {
+  size_t N = 0;
+  for (const auto &Stream : PerThread)
+    N += Stream.size();
+  return N;
+}
+
+size_t Trace::memoryOps() const {
+  size_t N = 0;
+  for (const auto &Stream : PerThread)
+    for (const EventRecord &R : Stream)
+      if (isMemoryKind(R.Kind))
+        ++N;
+  return N;
+}
+
+size_t Trace::syncOps() const {
+  size_t N = 0;
+  for (const auto &Stream : PerThread)
+    for (const EventRecord &R : Stream)
+      if (isSyncKind(R.Kind))
+        ++N;
+  return N;
+}
+
+size_t Trace::memoryOpsForSlot(unsigned Slot) const {
+  assert(Slot < MaxSamplerSlots && "slot out of range");
+  const uint16_t Bit = static_cast<uint16_t>(1u << Slot);
+  size_t N = 0;
+  for (const auto &Stream : PerThread)
+    for (const EventRecord &R : Stream)
+      if (isMemoryKind(R.Kind) && (R.Mask & Bit))
+        ++N;
+  return N;
+}
+
+LogSink::~LogSink() = default;
+
+void LogSink::flush() {}
+
+MemorySink::MemorySink(unsigned NumTimestampCounters)
+    : NumTimestampCounters(NumTimestampCounters) {}
+
+void MemorySink::writeChunk(ThreadId Tid, const EventRecord *Records,
+                            size_t Count) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (Tid >= PerThread.size())
+    PerThread.resize(Tid + 1);
+  PerThread[Tid].insert(PerThread[Tid].end(), Records, Records + Count);
+  addBytes(Count * sizeof(EventRecord));
+}
+
+Trace MemorySink::takeTrace() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Trace T;
+  T.NumTimestampCounters = NumTimestampCounters;
+  T.PerThread = std::move(PerThread);
+  PerThread.clear();
+  return T;
+}
+
+FileSink::FileSink(const std::string &Path, unsigned NumTimestampCounters) {
+  File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return;
+  FileHeader Header{FileMagic, FileVersion, NumTimestampCounters};
+  if (std::fwrite(&Header, sizeof(Header), 1, File) != 1) {
+    std::fclose(File);
+    File = nullptr;
+  }
+}
+
+FileSink::~FileSink() { close(); }
+
+void FileSink::writeChunk(ThreadId Tid, const EventRecord *Records,
+                          size_t Count) {
+  assert(File && "writeChunk on a closed or failed FileSink");
+  ChunkHeader Header{Tid, static_cast<uint32_t>(Count)};
+  std::lock_guard<std::mutex> Guard(Lock);
+  std::fwrite(&Header, sizeof(Header), 1, File);
+  std::fwrite(Records, sizeof(EventRecord), Count, File);
+  addBytes(Count * sizeof(EventRecord));
+}
+
+void FileSink::flush() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (File)
+    std::fflush(File);
+}
+
+void FileSink::close() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+}
+
+void NullSink::writeChunk(ThreadId, const EventRecord *, size_t Count) {
+  addBytes(Count * sizeof(EventRecord));
+}
+
+std::optional<Trace> literace::readTraceFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return std::nullopt;
+
+  Trace T;
+  FileHeader Header;
+  if (std::fread(&Header, sizeof(Header), 1, File) != 1 ||
+      Header.Magic != FileMagic || Header.Version != FileVersion) {
+    std::fclose(File);
+    return std::nullopt;
+  }
+  T.NumTimestampCounters = Header.NumTimestampCounters;
+
+  ChunkHeader Chunk;
+  std::vector<EventRecord> Buffer;
+  while (std::fread(&Chunk, sizeof(Chunk), 1, File) == 1) {
+    Buffer.resize(Chunk.Count);
+    if (std::fread(Buffer.data(), sizeof(EventRecord), Chunk.Count, File) !=
+        Chunk.Count) {
+      std::fclose(File);
+      return std::nullopt; // Truncated chunk.
+    }
+    if (Chunk.Tid >= T.PerThread.size())
+      T.PerThread.resize(Chunk.Tid + 1);
+    auto &Stream = T.PerThread[Chunk.Tid];
+    Stream.insert(Stream.end(), Buffer.begin(), Buffer.end());
+  }
+  std::fclose(File);
+  return T;
+}

@@ -1,0 +1,131 @@
+//===-- runtime/EventLog.h - Event streams and log sinks --------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Log storage for the LiteRace profiler (paper §4.4). Each thread buffers
+/// its events locally and flushes fixed-size chunks to a LogSink. Chunks
+/// from one thread arrive in program order, so a sink can reassemble exact
+/// per-thread event streams. Three sinks are provided: in-memory (for the
+/// detection experiments), file-backed (for the §5.4 log-size measurements),
+/// and a counting null sink.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_RUNTIME_EVENTLOG_H
+#define LITERACE_RUNTIME_EVENTLOG_H
+
+#include "runtime/Ids.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace literace {
+
+/// A complete logged execution: one event stream per thread, in program
+/// order, plus the runtime configuration the detector must agree on.
+struct Trace {
+  /// Number of timestamp counters the producing runtime used.
+  unsigned NumTimestampCounters = 128;
+  /// PerThread[Tid] is the program-order event stream of thread Tid.
+  std::vector<std::vector<EventRecord>> PerThread;
+
+  /// Total number of records across all threads.
+  size_t totalEvents() const;
+  /// Number of Read/Write records across all threads.
+  size_t memoryOps() const;
+  /// Number of sync records (Acquire/Release/AcqRel/Alloc/Free).
+  size_t syncOps() const;
+  /// Number of memory records whose mask includes sampler \p Slot.
+  size_t memoryOpsForSlot(unsigned Slot) const;
+};
+
+/// Destination for flushed event chunks. Implementations must tolerate
+/// concurrent writeChunk calls from different threads.
+class LogSink {
+public:
+  virtual ~LogSink();
+
+  /// Appends \p Count records produced by thread \p Tid. Successive calls
+  /// with the same Tid carry consecutive slices of that thread's stream.
+  virtual void writeChunk(ThreadId Tid, const EventRecord *Records,
+                          size_t Count) = 0;
+
+  /// Flushes any buffered state (no-op by default).
+  virtual void flush();
+
+  /// Total payload bytes accepted so far.
+  uint64_t bytesWritten() const {
+    return Bytes.load(std::memory_order_relaxed);
+  }
+
+protected:
+  void addBytes(uint64_t N) { Bytes.fetch_add(N, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Bytes{0};
+};
+
+/// Collects the full trace in memory, for offline analysis in-process.
+class MemorySink : public LogSink {
+public:
+  /// \p NumTimestampCounters is recorded into the produced Trace.
+  explicit MemorySink(unsigned NumTimestampCounters = 128);
+
+  void writeChunk(ThreadId Tid, const EventRecord *Records,
+                  size_t Count) override;
+
+  /// Moves the accumulated trace out of the sink. Call after all producing
+  /// threads have finished.
+  Trace takeTrace();
+
+private:
+  unsigned NumTimestampCounters;
+  std::mutex Lock;
+  std::vector<std::vector<EventRecord>> PerThread;
+};
+
+/// Streams chunks to a binary log file. Format: FileHeader, then a sequence
+/// of ChunkHeader + records. Readable with readTraceFile().
+class FileSink : public LogSink {
+public:
+  /// Opens \p Path for writing. Check ok() before use.
+  FileSink(const std::string &Path, unsigned NumTimestampCounters = 128);
+  ~FileSink() override;
+
+  /// True if the file opened and the header was written.
+  bool ok() const { return File != nullptr; }
+
+  void writeChunk(ThreadId Tid, const EventRecord *Records,
+                  size_t Count) override;
+  void flush() override;
+
+  /// Flushes and closes the file; further writes are invalid.
+  void close();
+
+private:
+  std::mutex Lock;
+  std::FILE *File = nullptr;
+};
+
+/// Discards all records but counts bytes; used to measure pure logging CPU
+/// cost without filesystem noise.
+class NullSink : public LogSink {
+public:
+  void writeChunk(ThreadId Tid, const EventRecord *Records,
+                  size_t Count) override;
+};
+
+/// Reads a log file written by FileSink back into a Trace. Returns
+/// std::nullopt if the file is missing or malformed.
+std::optional<Trace> readTraceFile(const std::string &Path);
+
+} // namespace literace
+
+#endif // LITERACE_RUNTIME_EVENTLOG_H

@@ -1,0 +1,28 @@
+//===-- runtime/FunctionRegistry.cpp - Instrumented code regions ---------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/FunctionRegistry.h"
+
+#include <cassert>
+
+using namespace literace;
+
+FunctionId FunctionRegistry::registerFunction(std::string Name) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Names.push_back(std::move(Name));
+  return static_cast<FunctionId>(Names.size() - 1);
+}
+
+const std::string &FunctionRegistry::name(FunctionId F) const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  assert(F < Names.size() && "unregistered function id");
+  return Names[F];
+}
+
+size_t FunctionRegistry::size() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Names.size();
+}

@@ -1,0 +1,49 @@
+//===-- runtime/FunctionRegistry.h - Instrumented code regions -*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of instrumented code regions. The paper instruments at function
+/// granularity (§3.3): the Phoenix rewriter enumerates every function in the
+/// binary. Our source-level equivalent registers each instrumented function
+/// once and receives a dense FunctionId that indexes the per-thread sampler
+/// counter tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_RUNTIME_FUNCTIONREGISTRY_H
+#define LITERACE_RUNTIME_FUNCTIONREGISTRY_H
+
+#include "runtime/Ids.h"
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace literace {
+
+/// Maps instrumented functions to dense ids and back to names for reports.
+/// Registration is thread-safe; lookups are safe concurrently with
+/// registration only for already-registered ids.
+class FunctionRegistry {
+public:
+  /// Registers a code region and returns its id. Duplicate names are
+  /// allowed (they denote distinct regions, e.g. template instantiations).
+  FunctionId registerFunction(std::string Name);
+
+  /// Returns the name of \p F. \p F must have been registered.
+  const std::string &name(FunctionId F) const;
+
+  /// Number of registered functions.
+  size_t size() const;
+
+private:
+  mutable std::mutex Lock;
+  std::vector<std::string> Names;
+};
+
+} // namespace literace
+
+#endif // LITERACE_RUNTIME_FUNCTIONREGISTRY_H

@@ -1,0 +1,134 @@
+//===-- runtime/Ids.h - Core identifier types -------------------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifier types shared by the instrumentation runtime and the offline
+/// detector: thread ids, function ids, program counters, synchronization
+/// variables (paper Table 1), and the on-disk event record.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_RUNTIME_IDS_H
+#define LITERACE_RUNTIME_IDS_H
+
+#include <cstdint>
+
+namespace literace {
+
+/// Dense thread identifier assigned by the Runtime, starting at 0.
+using ThreadId = uint32_t;
+
+/// Dense identifier of an instrumented code region (a function, §3.3).
+using FunctionId = uint32_t;
+
+/// Identifier of a synchronization object (paper Table 1's SyncVar).
+using SyncVar = uint64_t;
+
+/// A synthetic program counter identifying a static access site. The paper
+/// uses the x86 instruction address; we use (FunctionId, SiteId) where the
+/// site is a stable per-function label (usually a line number).
+using Pc = uint64_t;
+
+/// Builds a Pc from a function id and a per-function site label.
+constexpr Pc makePc(FunctionId F, uint32_t Site) {
+  return (static_cast<uint64_t>(F) << 32) | Site;
+}
+
+/// Extracts the function id from a Pc.
+constexpr FunctionId pcFunction(Pc P) {
+  return static_cast<FunctionId>(P >> 32);
+}
+
+/// Extracts the site label from a Pc.
+constexpr uint32_t pcSite(Pc P) { return static_cast<uint32_t>(P); }
+
+/// Namespaces SyncVar values so that distinct kinds of synchronization
+/// objects never collide even if they share an address (e.g. a mutex
+/// allocated where a freed event used to live is still a fresh SyncVar
+/// chain only per §4.3 allocation monitoring; the tag prevents accidental
+/// cross-kind aliasing).
+enum class SyncObjectKind : uint8_t {
+  Mutex = 1,
+  Event = 2,
+  Semaphore = 3,
+  Barrier = 4,
+  ThreadFork = 5,
+  ThreadExit = 6,
+  Atomic = 7,
+  Page = 8,
+  User = 9,
+};
+
+/// Builds a tagged SyncVar from an object kind and a raw identity (usually
+/// the object's address).
+constexpr SyncVar makeSyncVar(SyncObjectKind K, uint64_t Identity) {
+  return (static_cast<uint64_t>(K) << 56) ^
+         (Identity & 0x00ffffffffffffffULL);
+}
+
+/// Extracts the kind tag of a SyncVar.
+constexpr SyncObjectKind syncVarKind(SyncVar S) {
+  return static_cast<SyncObjectKind>(S >> 56);
+}
+
+/// The kind of a logged event. Read/Write are the sampled memory
+/// operations; Acquire/Release/AcqRel are synchronization operations that
+/// are always logged (§3.2); Alloc/Free are the §4.3 allocation events
+/// (treated as AcqRel on the containing page by the detector).
+enum class EventKind : uint8_t {
+  ThreadStart = 0,
+  ThreadEnd = 1,
+  Read = 2,
+  Write = 3,
+  Acquire = 4,
+  Release = 5,
+  AcqRel = 6,
+  Alloc = 7,
+  Free = 8,
+};
+
+/// Returns true for kinds that carry a logical timestamp and participate in
+/// happens-before edges.
+constexpr bool isSyncKind(EventKind K) {
+  return K >= EventKind::Acquire && K <= EventKind::Free;
+}
+
+/// Returns true for sampled memory operations.
+constexpr bool isMemoryKind(EventKind K) {
+  return K == EventKind::Read || K == EventKind::Write;
+}
+
+/// Sampler mask bit reserved for "logged by the full (unsampled) log". Set
+/// on every memory record written in Experiment and FullLogging modes.
+constexpr uint16_t FullLogMaskBit = 0x8000;
+
+/// Number of sampler slots available in Experiment mode (mask bits 0..14).
+constexpr unsigned MaxSamplerSlots = 15;
+
+/// One logged event. 32 bytes, written verbatim to log files (same-machine
+/// format; not endian-portable).
+struct EventRecord {
+  /// Memory address for Read/Write; SyncVar for sync kinds; 0 otherwise.
+  uint64_t Addr = 0;
+  /// Synthetic program counter of the operation (memory ops and sync ops).
+  uint64_t Pc = 0;
+  /// Logical timestamp drawn from the hashed counter (sync kinds only).
+  uint64_t Ts = 0;
+  /// Thread that executed the operation.
+  uint32_t Tid = 0;
+  /// Event kind.
+  EventKind Kind = EventKind::ThreadStart;
+  uint8_t Pad = 0;
+  /// Per-sampler decision bits (Experiment mode) plus FullLogMaskBit.
+  uint16_t Mask = 0;
+};
+
+static_assert(sizeof(EventRecord) == 32, "event record layout is part of "
+                                         "the log file format");
+
+} // namespace literace
+
+#endif // LITERACE_RUNTIME_IDS_H

@@ -1,0 +1,95 @@
+//===-- runtime/Runtime.cpp - LiteRace instrumentation runtime -----------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include "support/Compiler.h"
+
+#include <cassert>
+
+using namespace literace;
+
+const char *literace::runModeName(RunMode Mode) {
+  switch (Mode) {
+  case RunMode::Baseline:
+    return "Baseline";
+  case RunMode::DispatchOnly:
+    return "DispatchOnly";
+  case RunMode::SyncLogging:
+    return "SyncLogging";
+  case RunMode::LiteRace:
+    return "LiteRace";
+  case RunMode::FullLogging:
+    return "FullLogging";
+  case RunMode::Experiment:
+    return "Experiment";
+  }
+  literaceUnreachable("invalid RunMode");
+}
+
+double RuntimeStats::effectiveSamplingRate(unsigned Slot) const {
+  assert(Slot < MaxSamplerSlots && "slot out of range");
+  if (MemOpsLogged == 0)
+    return 0.0;
+  return static_cast<double>(MemOpsPerSlot[Slot]) /
+         static_cast<double>(MemOpsLogged);
+}
+
+void RuntimeStats::mergeFrom(const RuntimeStats &Other) {
+  MemOpsLogged += Other.MemOpsLogged;
+  SyncOps += Other.SyncOps;
+  for (unsigned I = 0; I != MaxSamplerSlots; ++I)
+    MemOpsPerSlot[I] += Other.MemOpsPerSlot[I];
+}
+
+Runtime::Runtime(const RuntimeConfig &Config, LogSink *Sink)
+    : Config(Config), Sink(Sink),
+      Timestamps(Config.TimestampCounters) {
+  assert((Sink != nullptr || Config.Mode <= RunMode::DispatchOnly) &&
+         "logging modes require a sink");
+}
+
+Runtime::~Runtime() = default;
+
+unsigned Runtime::addSampler(std::unique_ptr<Sampler> S) {
+  assert(S && "null sampler");
+  assert(Samplers.size() < MaxSamplerSlots && "sampler suite is full");
+  assert(NextTid.load() == 0 &&
+         "attach all samplers before any thread starts");
+  unsigned Slot = static_cast<unsigned>(Samplers.size());
+  S->setSlot(Slot);
+  Samplers.push_back(std::move(S));
+  return Slot;
+}
+
+void Runtime::addStandardSamplers() {
+  for (auto &S : makeStandardSamplers())
+    addSampler(std::move(S));
+}
+
+unsigned Runtime::numSamplers() const {
+  return static_cast<unsigned>(Samplers.size());
+}
+
+Sampler &Runtime::sampler(unsigned Slot) {
+  assert(Slot < Samplers.size() && "sampler slot out of range");
+  return *Samplers[Slot];
+}
+
+const Sampler &Runtime::sampler(unsigned Slot) const {
+  assert(Slot < Samplers.size() && "sampler slot out of range");
+  return *Samplers[Slot];
+}
+
+void Runtime::accumulateStats(const RuntimeStats &Local) {
+  std::lock_guard<std::mutex> Guard(StatsLock);
+  GlobalStats.mergeFrom(Local);
+}
+
+RuntimeStats Runtime::stats() const {
+  std::lock_guard<std::mutex> Guard(StatsLock);
+  return GlobalStats;
+}

@@ -1,0 +1,157 @@
+//===-- runtime/Runtime.h - LiteRace instrumentation runtime ---*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level instrumentation runtime. A Runtime owns everything shared
+/// between the threads of one instrumented execution: the function
+/// registry, the logical timestamp counters (§4.2), the log sink, the
+/// sampler suite, and aggregate statistics.
+///
+/// The run mode selects which instrumentation layers are active, mirroring
+/// the four measurement configurations of §5.4 plus the §5.3 multi-sampler
+/// experiment configuration:
+///
+///   Baseline      no dispatch checks, no logging (uninstrumented app)
+///   DispatchOnly  dispatch checks run, nothing is logged
+///   SyncLogging   dispatch checks + synchronization operations logged
+///   LiteRace      full LiteRace: sync ops + sampled memory ops logged
+///   FullLogging   every memory and sync operation logged, no dispatch
+///   Experiment    full logging + every attached sampler's dispatch
+///                 decision recorded per memory op (§5.3 methodology)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_RUNTIME_RUNTIME_H
+#define LITERACE_RUNTIME_RUNTIME_H
+
+#include "runtime/EventLog.h"
+#include "runtime/FunctionRegistry.h"
+#include "runtime/Ids.h"
+#include "runtime/Samplers.h"
+#include "runtime/TimestampManager.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+namespace literace {
+
+/// Instrumentation configuration of one execution. See file comment.
+enum class RunMode : uint8_t {
+  Baseline = 0,
+  DispatchOnly = 1,
+  SyncLogging = 2,
+  LiteRace = 3,
+  FullLogging = 4,
+  Experiment = 5,
+};
+
+/// Human-readable mode name for reports.
+const char *runModeName(RunMode Mode);
+
+/// Construction-time parameters of a Runtime.
+struct RuntimeConfig {
+  RunMode Mode = RunMode::Experiment;
+  /// Number of hashed logical-timestamp counters (paper uses 128).
+  unsigned TimestampCounters = 128;
+  /// Schedule of the primary (LiteRace) sampler used by the DispatchOnly,
+  /// SyncLogging, and LiteRace modes.
+  AdaptiveSchedule PrimarySchedule = AdaptiveSchedule::threadLocalDefault();
+  /// Seed for per-thread RNGs (random samplers, workload shuffling).
+  uint64_t Seed = 0x11feaceULL;
+  /// Records buffered per thread before flushing a chunk to the sink.
+  size_t ThreadBufferRecords = 1 << 14;
+};
+
+/// Aggregate execution statistics, accumulated from thread-local counters
+/// when each ThreadContext is destroyed.
+struct RuntimeStats {
+  /// Memory operations logged to the sink (in Experiment and FullLogging
+  /// modes this equals the number of memory operations executed inside
+  /// instrumented regions, because every one is logged).
+  uint64_t MemOpsLogged = 0;
+  /// Synchronization operations logged.
+  uint64_t SyncOps = 0;
+  /// Memory operations each sampler slot chose to sample.
+  uint64_t MemOpsPerSlot[MaxSamplerSlots] = {};
+
+  /// Effective sampling rate of sampler \p Slot: the fraction of executed
+  /// memory operations it chose to log (§5.2). Only meaningful in
+  /// Experiment mode. Returns 0 if no memory ops were executed.
+  double effectiveSamplingRate(unsigned Slot) const;
+
+  void mergeFrom(const RuntimeStats &Other);
+};
+
+/// Shared state of one instrumented execution. Thread-safe; threads attach
+/// by constructing a ThreadContext against this Runtime.
+class Runtime {
+public:
+  /// \p Sink may be null only for modes that log nothing (Baseline,
+  /// DispatchOnly).
+  Runtime(const RuntimeConfig &Config, LogSink *Sink);
+  ~Runtime();
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  RunMode mode() const { return Config.Mode; }
+  const RuntimeConfig &config() const { return Config; }
+  FunctionRegistry &registry() { return Registry; }
+  const FunctionRegistry &registry() const { return Registry; }
+  TimestampManager &timestamps() { return Timestamps; }
+  LogSink *sink() { return Sink; }
+
+  /// True when synchronization operations are logged (SyncLogging mode and
+  /// above). Sampling never applies to sync ops: missing one would create
+  /// false races (§3.2, Fig. 2).
+  bool syncLoggingEnabled() const {
+    return Config.Mode >= RunMode::SyncLogging && Sink != nullptr;
+  }
+
+  /// Attaches a sampler to the Experiment-mode suite; returns its slot.
+  unsigned addSampler(std::unique_ptr<Sampler> S);
+
+  /// Attaches the seven Table 3 samplers in the paper's order.
+  void addStandardSamplers();
+
+  /// Number of attached samplers.
+  unsigned numSamplers() const;
+
+  /// Returns sampler at \p Slot.
+  Sampler &sampler(unsigned Slot);
+  const Sampler &sampler(unsigned Slot) const;
+
+  /// Assigns the next dense thread id.
+  ThreadId allocateThreadId() {
+    return NextTid.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Number of thread ids handed out so far.
+  uint32_t numThreads() const {
+    return NextTid.load(std::memory_order_relaxed);
+  }
+
+  /// Folds a thread's local statistics into the global aggregate.
+  void accumulateStats(const RuntimeStats &Local);
+
+  /// Snapshot of the global aggregate statistics.
+  RuntimeStats stats() const;
+
+private:
+  RuntimeConfig Config;
+  LogSink *Sink;
+  FunctionRegistry Registry;
+  TimestampManager Timestamps;
+  std::vector<std::unique_ptr<Sampler>> Samplers;
+  std::atomic<uint32_t> NextTid{0};
+  mutable std::mutex StatsLock;
+  RuntimeStats GlobalStats;
+};
+
+} // namespace literace
+
+#endif // LITERACE_RUNTIME_RUNTIME_H

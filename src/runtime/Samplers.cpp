@@ -1,0 +1,176 @@
+//===-- runtime/Samplers.cpp - Memory-access sampling strategies ---------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Samplers.h"
+
+#include "runtime/ThreadContext.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace literace;
+
+AdaptiveSchedule AdaptiveSchedule::threadLocalDefault() {
+  AdaptiveSchedule S;
+  S.Rates = {1.0, 0.1, 0.01, 0.001};
+  S.BurstLength = 10;
+  return S;
+}
+
+AdaptiveSchedule AdaptiveSchedule::globalDefault() {
+  AdaptiveSchedule S;
+  S.Rates.clear();
+  // 100%, 50%, 25%, ... halving until the 0.1% floor.
+  for (double Rate = 1.0; Rate > 0.001; Rate /= 2.0)
+    S.Rates.push_back(Rate);
+  S.Rates.push_back(0.001);
+  S.BurstLength = 10;
+  return S;
+}
+
+AdaptiveSchedule AdaptiveSchedule::fixedRate(double Rate,
+                                             uint32_t BurstLength) {
+  assert(Rate > 0.0 && Rate <= 1.0 && "sampling rate must be in (0, 1]");
+  AdaptiveSchedule S;
+  S.Rates = {Rate};
+  S.BurstLength = BurstLength;
+  return S;
+}
+
+uint32_t AdaptiveSchedule::gapAfterBurst(uint8_t RateIndex) const {
+  assert(!Rates.empty() && "schedule needs at least one rate");
+  if (RateIndex >= Rates.size())
+    RateIndex = static_cast<uint8_t>(Rates.size() - 1);
+  double Rate = Rates[RateIndex];
+  assert(Rate > 0.0 && Rate <= 1.0 && "sampling rate must be in (0, 1]");
+  // Sampling BurstLength consecutive calls then skipping Gap calls yields a
+  // long-run rate of BurstLength / (BurstLength + Gap); solve for Gap.
+  double Gap = BurstLength * (1.0 - Rate) / Rate;
+  return static_cast<uint32_t>(std::llround(Gap));
+}
+
+bool literace::stepBurstySampler(SamplerFnState &State,
+                                 const AdaptiveSchedule &Sched) {
+  ++State.Calls;
+
+  // Continue an in-progress burst.
+  if (State.BurstRemaining > 0) {
+    if (--State.BurstRemaining == 0) {
+      // Burst complete: back off the rate and schedule the next gap.
+      if (State.RateIndex + 1u < Sched.Rates.size())
+        ++State.RateIndex;
+      State.SkipRemaining = Sched.gapAfterBurst(State.RateIndex);
+    }
+    return true;
+  }
+
+  // Inside the gap between bursts.
+  if (State.SkipRemaining > 0) {
+    --State.SkipRemaining;
+    return false;
+  }
+
+  // Begin a new burst. This call is its first sampled execution, so a burst
+  // of length L leaves L-1 further sampled calls.
+  if (Sched.BurstLength <= 1) {
+    if (State.RateIndex + 1u < Sched.Rates.size())
+      ++State.RateIndex;
+    State.SkipRemaining = Sched.gapAfterBurst(State.RateIndex);
+    return true;
+  }
+  State.BurstRemaining = Sched.BurstLength - 1;
+  return true;
+}
+
+Sampler::Sampler(std::string ShortName, std::string Description)
+    : ShortName(std::move(ShortName)), Description(std::move(Description)) {}
+
+Sampler::~Sampler() = default;
+
+void Sampler::reset() {}
+
+ThreadLocalBurstySampler::ThreadLocalBurstySampler(std::string ShortName,
+                                                   std::string Description,
+                                                   AdaptiveSchedule Sched)
+    : Sampler(std::move(ShortName), std::move(Description)),
+      Sched(std::move(Sched)) {}
+
+bool ThreadLocalBurstySampler::shouldSample(ThreadContext &TC, FunctionId F) {
+  return stepBurstySampler(TC.localSamplerState(slot(), F), Sched);
+}
+
+GlobalBurstySampler::GlobalBurstySampler(std::string ShortName,
+                                         std::string Description,
+                                         AdaptiveSchedule Sched)
+    : Sampler(std::move(ShortName), std::move(Description)),
+      Sched(std::move(Sched)) {}
+
+bool GlobalBurstySampler::shouldSample(ThreadContext &, FunctionId F) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (F >= States.size())
+    States.resize(F + 1);
+  return stepBurstySampler(States[F], Sched);
+}
+
+void GlobalBurstySampler::reset() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  States.clear();
+}
+
+RandomSampler::RandomSampler(std::string ShortName, std::string Description,
+                             double Rate)
+    : Sampler(std::move(ShortName), std::move(Description)), Rate(Rate) {
+  assert(Rate >= 0.0 && Rate <= 1.0 && "sampling rate must be in [0, 1]");
+}
+
+bool RandomSampler::shouldSample(ThreadContext &TC, FunctionId) {
+  return TC.rng().nextBernoulli(Rate);
+}
+
+UnColdRegionSampler::UnColdRegionSampler(uint32_t ColdCalls)
+    : Sampler("UCP", "first " + std::to_string(ColdCalls) +
+                         " calls per function / per thread are NOT "
+                         "sampled, all remaining calls are sampled"),
+      ColdCalls(ColdCalls) {}
+
+bool UnColdRegionSampler::shouldSample(ThreadContext &TC, FunctionId F) {
+  SamplerFnState &State = TC.localSamplerState(slot(), F);
+  return State.Calls++ >= ColdCalls;
+}
+
+AlwaysSampler::AlwaysSampler() : Sampler("All", "samples every call") {}
+
+bool AlwaysSampler::shouldSample(ThreadContext &, FunctionId) { return true; }
+
+NeverSampler::NeverSampler() : Sampler("None", "samples no calls") {}
+
+bool NeverSampler::shouldSample(ThreadContext &, FunctionId) { return false; }
+
+std::vector<std::unique_ptr<Sampler>> literace::makeStandardSamplers() {
+  std::vector<std::unique_ptr<Sampler>> Samplers;
+  Samplers.push_back(std::make_unique<ThreadLocalBurstySampler>(
+      "TL-Ad",
+      "adaptive back-off per function / per thread "
+      "(100%, 10%, 1%, 0.1%); bursty",
+      AdaptiveSchedule::threadLocalDefault()));
+  Samplers.push_back(std::make_unique<ThreadLocalBurstySampler>(
+      "TL-Fx", "fixed 5% per function / per thread; bursty",
+      AdaptiveSchedule::fixedRate(0.05)));
+  Samplers.push_back(std::make_unique<GlobalBurstySampler>(
+      "G-Ad",
+      "adaptive back-off per function globally "
+      "(100%, 50%, 25%, ..., 0.1%); bursty",
+      AdaptiveSchedule::globalDefault()));
+  Samplers.push_back(std::make_unique<GlobalBurstySampler>(
+      "G-Fx", "fixed 10% per function globally; bursty",
+      AdaptiveSchedule::fixedRate(0.10)));
+  Samplers.push_back(std::make_unique<RandomSampler>(
+      "Rnd10", "random 10% of dynamic calls chosen for sampling", 0.10));
+  Samplers.push_back(std::make_unique<RandomSampler>(
+      "Rnd25", "random 25% of dynamic calls chosen for sampling", 0.25));
+  Samplers.push_back(std::make_unique<UnColdRegionSampler>(10));
+  return Samplers;
+}

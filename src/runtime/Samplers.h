@@ -1,0 +1,184 @@
+//===-- runtime/Samplers.h - Memory-access sampling strategies -*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sampling strategies evaluated in the paper (Table 3):
+///
+///   TL-Ad  thread-local adaptive bursty (the LiteRace sampler, §3.4)
+///   TL-Fx  thread-local fixed-rate bursty (5%)
+///   G-Ad   global adaptive bursty
+///   G-Fx   global fixed-rate bursty (10%)
+///   Rnd10  random 10% of dynamic calls
+///   Rnd25  random 25% of dynamic calls
+///   UCP    un-cold-region: everything except the first 10 calls per
+///          function per thread
+///
+/// A sampler decides, at function entry, whether this call runs the
+/// instrumented copy (memory operations logged) or the uninstrumented copy.
+/// Bursty samplers sample several consecutive executions; adaptive samplers
+/// progressively back off a region's sampling rate each time it is sampled,
+/// down to a floor, implementing the cold-region hypothesis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_RUNTIME_SAMPLERS_H
+#define LITERACE_RUNTIME_SAMPLERS_H
+
+#include "runtime/Ids.h"
+#include "support/SplitMix64.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace literace {
+
+class ThreadContext;
+
+/// Per-(sampler, function) counter block. Thread-local samplers keep one of
+/// these per thread in the ThreadContext; global samplers keep a shared one
+/// per function. Mirrors the paper's "frequency counter" (Calls) and
+/// "sampling counter" (SkipRemaining/BurstRemaining) of §4.1.
+struct SamplerFnState {
+  /// Number of times this function has been entered (frequency counter).
+  uint32_t Calls = 0;
+  /// Calls left to skip before the next burst begins.
+  uint32_t SkipRemaining = 0;
+  /// Calls left in the current burst (0 when not in a burst).
+  uint32_t BurstRemaining = 0;
+  /// Index into the back-off schedule's rate list.
+  uint8_t RateIndex = 0;
+};
+
+/// A bursty back-off schedule: Rates[i] is the sampling rate in effect
+/// after i completed bursts (clamped to the last entry, the floor rate).
+struct AdaptiveSchedule {
+  std::vector<double> Rates{1.0};
+  uint32_t BurstLength = 10;
+
+  /// The paper's thread-local adaptive schedule: 100%, 10%, 1%, 0.1%.
+  static AdaptiveSchedule threadLocalDefault();
+  /// The paper's global adaptive schedule: 100%, 50%, 25%, ... down to
+  /// a 0.1% floor (halving back-off, per §5.2).
+  static AdaptiveSchedule globalDefault();
+  /// A fixed-rate bursty schedule (single rate, no back-off).
+  static AdaptiveSchedule fixedRate(double Rate, uint32_t BurstLength = 10);
+
+  /// Number of calls to skip between bursts at rate Rates[RateIndex], so
+  /// that the long-run sampling rate converges to that rate.
+  uint32_t gapAfterBurst(uint8_t RateIndex) const;
+};
+
+/// Advances one bursty-sampler state machine step for a function entry and
+/// returns whether this call is sampled. Shared by the thread-local and
+/// global bursty samplers and by the LiteRace fast path.
+bool stepBurstySampler(SamplerFnState &State, const AdaptiveSchedule &Sched);
+
+/// Abstract sampling strategy, evaluated once per function entry.
+class Sampler {
+public:
+  Sampler(std::string ShortName, std::string Description);
+  virtual ~Sampler();
+
+  /// Decides whether this entry of \p F by \p TC's thread is sampled.
+  virtual bool shouldSample(ThreadContext &TC, FunctionId F) = 0;
+
+  /// Clears any global state so the sampler can be reused for a fresh run.
+  /// Thread-local state lives in ThreadContexts and dies with them.
+  virtual void reset();
+
+  const std::string &shortName() const { return ShortName; }
+  const std::string &description() const { return Description; }
+
+  /// Slot index within the runtime's sampler suite (set by Runtime).
+  unsigned slot() const { return Slot; }
+  void setSlot(unsigned S) { Slot = S; }
+
+private:
+  std::string ShortName;
+  std::string Description;
+  unsigned Slot = 0;
+};
+
+/// Bursty sampler with per-thread per-function state (TL-Ad, TL-Fx).
+class ThreadLocalBurstySampler : public Sampler {
+public:
+  ThreadLocalBurstySampler(std::string ShortName, std::string Description,
+                           AdaptiveSchedule Sched);
+
+  bool shouldSample(ThreadContext &TC, FunctionId F) override;
+
+  const AdaptiveSchedule &schedule() const { return Sched; }
+
+private:
+  AdaptiveSchedule Sched;
+};
+
+/// Bursty sampler with per-function state shared across threads (G-Ad,
+/// G-Fx). This is the SWAT-style sampler the paper compares against: a
+/// region hot in any thread is considered hot for all threads.
+class GlobalBurstySampler : public Sampler {
+public:
+  GlobalBurstySampler(std::string ShortName, std::string Description,
+                      AdaptiveSchedule Sched);
+
+  bool shouldSample(ThreadContext &TC, FunctionId F) override;
+  void reset() override;
+
+private:
+  AdaptiveSchedule Sched;
+  std::mutex Lock;
+  std::vector<SamplerFnState> States;
+};
+
+/// Samples each dynamic call independently with fixed probability; not
+/// bursty (Rnd10, Rnd25).
+class RandomSampler : public Sampler {
+public:
+  RandomSampler(std::string ShortName, std::string Description, double Rate);
+
+  bool shouldSample(ThreadContext &TC, FunctionId F) override;
+
+  double rate() const { return Rate; }
+
+private:
+  double Rate;
+};
+
+/// Logs everything EXCEPT the first \p ColdCalls calls of each function in
+/// each thread (UCP). Evaluates the cold-region hypothesis by inverting it.
+class UnColdRegionSampler : public Sampler {
+public:
+  explicit UnColdRegionSampler(uint32_t ColdCalls = 10);
+
+  bool shouldSample(ThreadContext &TC, FunctionId F) override;
+
+private:
+  uint32_t ColdCalls;
+};
+
+/// Samples every call; reference sampler for tests.
+class AlwaysSampler : public Sampler {
+public:
+  AlwaysSampler();
+  bool shouldSample(ThreadContext &TC, FunctionId F) override;
+};
+
+/// Samples no calls; reference sampler for tests.
+class NeverSampler : public Sampler {
+public:
+  NeverSampler();
+  bool shouldSample(ThreadContext &TC, FunctionId F) override;
+};
+
+/// Builds the seven samplers of Table 3 in the paper's order: TL-Ad, TL-Fx,
+/// G-Ad, G-Fx, Rnd10, Rnd25, UCP.
+std::vector<std::unique_ptr<Sampler>> makeStandardSamplers();
+
+} // namespace literace
+
+#endif // LITERACE_RUNTIME_SAMPLERS_H

@@ -1,0 +1,126 @@
+//===-- runtime/ThreadContext.cpp - Per-thread runtime state -------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ThreadContext.h"
+
+#include "support/Hashing.h"
+
+using namespace literace;
+
+ThreadContext::ThreadContext(Runtime &RT)
+    : RT(RT), Tid(RT.allocateThreadId()),
+      Rng(mix64(RT.config().Seed ^ (static_cast<uint64_t>(Tid) << 32))) {
+  Buffer.reserve(RT.config().ThreadBufferRecords);
+  if (RT.syncLoggingEnabled()) {
+    EventRecord R;
+    R.Kind = EventKind::ThreadStart;
+    R.Tid = Tid;
+    append(R);
+  }
+}
+
+ThreadContext::~ThreadContext() {
+  if (RT.syncLoggingEnabled()) {
+    EventRecord R;
+    R.Kind = EventKind::ThreadEnd;
+    R.Tid = Tid;
+    append(R);
+  }
+  flush();
+  RT.accumulateStats(Stats);
+}
+
+void ThreadContext::flush() {
+  if (Buffer.empty())
+    return;
+  if (LogSink *Sink = RT.sink())
+    Sink->writeChunk(Tid, Buffer.data(), Buffer.size());
+  Buffer.clear();
+}
+
+SamplerFnState &ThreadContext::localSamplerState(unsigned Slot,
+                                                 FunctionId F) {
+  assert(Slot < MaxSamplerSlots && "sampler slot out of range");
+  if (Slot >= LocalStates.size())
+    LocalStates.resize(Slot + 1);
+  auto &Table = LocalStates[Slot];
+  if (F >= Table.size())
+    Table.resize(F + 1);
+  return Table[F];
+}
+
+bool ThreadContext::stepPrimary(FunctionId F) {
+  if (F >= PrimaryStates.size())
+    PrimaryStates.resize(F + 1);
+  return stepBurstySampler(PrimaryStates[F], RT.config().PrimarySchedule);
+}
+
+uint16_t ThreadContext::computeSampleMask(FunctionId F) {
+  switch (RT.mode()) {
+  case RunMode::Baseline:
+    return 0;
+  case RunMode::DispatchOnly:
+  case RunMode::SyncLogging:
+    // The dispatch check runs (we are measuring its cost, §5.4 Fig. 6),
+    // but memory logging stays off.
+    (void)stepPrimary(F);
+    return 0;
+  case RunMode::LiteRace:
+    return stepPrimary(F) ? uint16_t{1} : uint16_t{0};
+  case RunMode::FullLogging:
+    return FullLogMaskBit;
+  case RunMode::Experiment: {
+    // §5.3 methodology: log everything, and additionally record each
+    // attached sampler's dispatch decision for this activation.
+    uint16_t Mask = FullLogMaskBit;
+    const unsigned N = RT.numSamplers();
+    for (unsigned Slot = 0; Slot != N; ++Slot)
+      if (RT.sampler(Slot).shouldSample(*this, F))
+        Mask |= static_cast<uint16_t>(1u << Slot);
+    return Mask;
+  }
+  }
+  literaceUnreachable("invalid RunMode");
+}
+
+void ThreadContext::logMemory(EventKind K, const void *Addr, Pc P,
+                              uint16_t Mask) {
+  assert(isMemoryKind(K) && "logMemory expects Read or Write");
+  EventRecord R;
+  R.Addr = reinterpret_cast<uint64_t>(Addr);
+  R.Pc = P;
+  R.Tid = Tid;
+  R.Kind = K;
+  R.Mask = Mask;
+  append(R);
+
+  ++Stats.MemOpsLogged;
+  uint16_t SlotBits = static_cast<uint16_t>(Mask & ~FullLogMaskBit);
+  while (SlotBits) {
+    unsigned Slot = static_cast<unsigned>(__builtin_ctz(SlotBits));
+    ++Stats.MemOpsPerSlot[Slot];
+    SlotBits &= static_cast<uint16_t>(SlotBits - 1);
+  }
+}
+
+void ThreadContext::logSync(EventKind K, SyncVar S, Pc P) {
+  if (!RT.syncLoggingEnabled())
+    return;
+  EventRecord R;
+  R.Addr = S;
+  R.Pc = P;
+  R.Ts = RT.timestamps().draw(S);
+  R.Tid = Tid;
+  R.Kind = K;
+  append(R);
+  ++Stats.SyncOps;
+}
+
+void ThreadContext::append(const EventRecord &R) {
+  Buffer.push_back(R);
+  if (LR_UNLIKELY(Buffer.size() >= RT.config().ThreadBufferRecords))
+    flush();
+}

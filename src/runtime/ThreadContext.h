@@ -1,0 +1,195 @@
+//===-- runtime/ThreadContext.h - Per-thread runtime state -----*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-thread instrumentation state and the function-entry dispatch check.
+///
+/// The paper's instrumentation (§3.3, Fig. 3) creates two copies of every
+/// function: an instrumented copy that logs memory operations, and an
+/// uninstrumented copy that logs only synchronization. A dispatch check at
+/// function entry picks a copy based on per-thread sampling counters. Our
+/// source-level equivalent is ThreadContext::run(): the function body is a
+/// generic callable, and run() instantiates it once with a LoggingTracer
+/// and once with a NullTracer — two compiled copies — choosing between them
+/// with the same counter scheme (§4.1).
+///
+/// Crucially, synchronization is logged through ThreadContext directly (by
+/// the primitives in src/sync), not through the tracer, so BOTH copies log
+/// every sync operation. Missing one would fabricate races (§3.2, Fig. 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_RUNTIME_THREADCONTEXT_H
+#define LITERACE_RUNTIME_THREADCONTEXT_H
+
+#include "runtime/Runtime.h"
+#include "support/Compiler.h"
+#include "support/SplitMix64.h"
+
+#include <cassert>
+#include <vector>
+
+namespace literace {
+
+/// State of one application thread attached to a Runtime. Construct at
+/// thread start, destroy at thread end (flushes the log buffer and folds
+/// statistics into the Runtime). Not thread-safe: use from its own thread.
+class ThreadContext {
+public:
+  explicit ThreadContext(Runtime &RT);
+  ~ThreadContext();
+
+  ThreadContext(const ThreadContext &) = delete;
+  ThreadContext &operator=(const ThreadContext &) = delete;
+
+  ThreadId tid() const { return Tid; }
+  Runtime &runtime() { return RT; }
+  SplitMix64 &rng() { return Rng; }
+
+  /// Runs \p Body as an instrumented code region. \p Body must be callable
+  /// with either tracer type; memory accesses inside it go through the
+  /// tracer it receives. This is the dispatch check of Fig. 3.
+  template <typename BodyT> void run(FunctionId F, BodyT &&Body);
+
+  /// \name Synchronization logging (always-on; called by src/sync).
+  /// Each call atomically draws a logical timestamp for \p S and appends a
+  /// sync record. No-ops unless the mode enables sync logging.
+  /// @{
+  void logAcquire(SyncVar S, Pc P = 0) { logSync(EventKind::Acquire, S, P); }
+  void logRelease(SyncVar S, Pc P = 0) { logSync(EventKind::Release, S, P); }
+  void logAcqRel(SyncVar S, Pc P = 0) { logSync(EventKind::AcqRel, S, P); }
+  /// Allocation-as-synchronization (§4.3); \p IsAlloc selects Alloc/Free.
+  void logAllocation(SyncVar PageVar, bool IsAlloc) {
+    logSync(IsAlloc ? EventKind::Alloc : EventKind::Free, PageVar, 0);
+  }
+  /// @}
+
+  /// Appends a memory-access record (called by LoggingTracer).
+  void logMemory(EventKind K, const void *Addr, Pc P, uint16_t Mask);
+
+  /// Flushes buffered records to the sink.
+  void flush();
+
+  /// Per-(sampler slot, function) counters of this thread; grown on demand.
+  SamplerFnState &localSamplerState(unsigned Slot, FunctionId F);
+
+  /// This thread's statistics so far (folded into the Runtime at
+  /// destruction; exposed for tests).
+  const RuntimeStats &localStats() const { return Stats; }
+
+private:
+  /// Evaluates the dispatch check for one entry of \p F and returns the
+  /// sampler mask. Zero means: run the uninstrumented copy.
+  uint16_t computeSampleMask(FunctionId F);
+
+  /// Steps the primary (LiteRace TL-Ad) sampler's thread-local state.
+  bool stepPrimary(FunctionId F);
+
+  void logSync(EventKind K, SyncVar S, Pc P);
+  void append(const EventRecord &R);
+
+  Runtime &RT;
+  ThreadId Tid;
+  SplitMix64 Rng;
+  std::vector<EventRecord> Buffer;
+  /// LocalStates[Slot][F]: per-sampler, per-function counters.
+  std::vector<std::vector<SamplerFnState>> LocalStates;
+  /// States of the primary sampler used by non-Experiment modes.
+  std::vector<SamplerFnState> PrimaryStates;
+  RuntimeStats Stats;
+};
+
+/// Tracer for the uninstrumented function copy: performs the accesses,
+/// logs nothing, costs nothing.
+class NullTracer {
+public:
+  static constexpr bool IsLogging = false;
+
+  void read(const void *, uint32_t) {}
+  void write(const void *, uint32_t) {}
+
+  /// Reads *P (really) without logging.
+  template <typename T> T load(const T *P, uint32_t) { return *P; }
+  /// Writes *P (really) without logging.
+  template <typename T, typename V> void store(T *P, V Val, uint32_t) {
+    *P = static_cast<T>(Val);
+  }
+
+  /// Loop-granularity sampling hint (§7 extension); no-op here.
+  void loopIteration() {}
+};
+
+/// Tracer for the instrumented function copy: logs every read and write
+/// with this activation's sampler mask.
+class LoggingTracer {
+public:
+  static constexpr bool IsLogging = true;
+
+  LoggingTracer(ThreadContext &TC, FunctionId F, uint16_t Mask)
+      : TC(TC), PcFunction(F), Mask(Mask) {}
+
+  void read(const void *Addr, uint32_t Site) {
+    if (LR_LIKELY(Active))
+      TC.logMemory(EventKind::Read, Addr, makePc(PcFunction, Site), Mask);
+  }
+
+  void write(const void *Addr, uint32_t Site) {
+    if (LR_LIKELY(Active))
+      TC.logMemory(EventKind::Write, Addr, makePc(PcFunction, Site), Mask);
+  }
+
+  /// Reads *P and logs the access.
+  template <typename T> T load(const T *P, uint32_t Site) {
+    read(P, Site);
+    return *P;
+  }
+
+  /// Writes *P and logs the access.
+  template <typename T, typename V> void store(T *P, V Val, uint32_t Site) {
+    write(P, Site);
+    *P = static_cast<T>(Val);
+  }
+
+  /// Loop-granularity sampling (§7 future-work extension): call once per
+  /// iteration of a high-trip-count loop. After LoopFullIterations
+  /// iterations of one activation, only every LoopDecayStride-th
+  /// iteration's accesses are logged, bounding the cost of hot loops
+  /// within a single sampled activation.
+  void loopIteration() {
+    ++LoopCount;
+    if (LoopCount <= LoopFullIterations) {
+      Active = true;
+      return;
+    }
+    Active = (LoopCount % LoopDecayStride) == 0;
+  }
+
+  static constexpr uint32_t LoopFullIterations = 64;
+  static constexpr uint32_t LoopDecayStride = 16;
+
+private:
+  ThreadContext &TC;
+  FunctionId PcFunction;
+  uint16_t Mask;
+  bool Active = true;
+  uint32_t LoopCount = 0;
+};
+
+template <typename BodyT>
+void ThreadContext::run(FunctionId F, BodyT &&Body) {
+  uint16_t Mask = computeSampleMask(F);
+  if (Mask) {
+    LoggingTracer T(*this, F, Mask);
+    Body(T);
+  } else {
+    NullTracer T;
+    Body(T);
+  }
+}
+
+} // namespace literace
+
+#endif // LITERACE_RUNTIME_THREADCONTEXT_H

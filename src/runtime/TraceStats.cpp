@@ -1,0 +1,143 @@
+//===-- runtime/TraceStats.cpp - Trace profiling summaries ----------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TraceStats.h"
+
+#include "runtime/FunctionRegistry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+using namespace literace;
+
+TraceStats TraceStats::compute(const Trace &T) {
+  TraceStats Stats;
+  Stats.NumThreads = static_cast<uint32_t>(T.PerThread.size());
+  Stats.EventsPerThread.resize(T.PerThread.size(), 0);
+  std::unordered_set<uint64_t> Addresses;
+  std::unordered_set<uint64_t> SyncVars;
+
+  for (size_t Tid = 0; Tid != T.PerThread.size(); ++Tid) {
+    for (const EventRecord &R : T.PerThread[Tid]) {
+      ++Stats.TotalEvents;
+      ++Stats.EventsPerThread[Tid];
+      switch (R.Kind) {
+      case EventKind::Read:
+        ++Stats.Reads;
+        break;
+      case EventKind::Write:
+        ++Stats.Writes;
+        break;
+      case EventKind::Alloc:
+        ++Stats.Allocations;
+        ++Stats.SyncOps;
+        break;
+      case EventKind::Free:
+        ++Stats.Frees;
+        ++Stats.SyncOps;
+        break;
+      case EventKind::Acquire:
+      case EventKind::Release:
+      case EventKind::AcqRel:
+        ++Stats.SyncOps;
+        break;
+      case EventKind::ThreadStart:
+      case EventKind::ThreadEnd:
+        break;
+      }
+      if (isMemoryKind(R.Kind)) {
+        Addresses.insert(R.Addr);
+        ++Stats.MemOpsPerFunction[pcFunction(R.Pc)];
+        uint16_t Bits = static_cast<uint16_t>(R.Mask & ~FullLogMaskBit);
+        while (Bits) {
+          unsigned Slot = static_cast<unsigned>(__builtin_ctz(Bits));
+          ++Stats.MemOpsPerSlot[Slot];
+          Bits &= static_cast<uint16_t>(Bits - 1);
+        }
+      } else if (isSyncKind(R.Kind)) {
+        SyncVars.insert(R.Addr);
+      }
+    }
+  }
+  Stats.DistinctAddresses = Addresses.size();
+  Stats.DistinctSyncVars = SyncVars.size();
+  return Stats;
+}
+
+std::vector<std::pair<FunctionId, uint64_t>>
+TraceStats::hottestFunctions() const {
+  std::vector<std::pair<FunctionId, uint64_t>> Out(
+      MemOpsPerFunction.begin(), MemOpsPerFunction.end());
+  std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first < B.first; // Deterministic tie-break.
+  });
+  return Out;
+}
+
+std::string TraceStats::describe(const FunctionRegistry *Registry) const {
+  char Line[256];
+  std::string Out;
+  std::snprintf(Line, sizeof(Line),
+                "events: %llu (%llu reads, %llu writes, %llu sync, "
+                "%llu alloc, %llu free)\n",
+                static_cast<unsigned long long>(TotalEvents),
+                static_cast<unsigned long long>(Reads),
+                static_cast<unsigned long long>(Writes),
+                static_cast<unsigned long long>(SyncOps),
+                static_cast<unsigned long long>(Allocations),
+                static_cast<unsigned long long>(Frees));
+  Out += Line;
+  std::snprintf(Line, sizeof(Line),
+                "threads: %u; distinct addresses: %llu; distinct "
+                "sync vars: %llu\n",
+                NumThreads,
+                static_cast<unsigned long long>(DistinctAddresses),
+                static_cast<unsigned long long>(DistinctSyncVars));
+  Out += Line;
+
+  Out += "hottest functions by memory ops:\n";
+  auto Hot = hottestFunctions();
+  const uint64_t MemOps = Reads + Writes;
+  size_t Shown = 0;
+  for (const auto &[F, Count] : Hot) {
+    if (++Shown > 8)
+      break;
+    std::string Name;
+    if (Registry && F < Registry->size())
+      Name = Registry->name(F);
+    else
+      Name = "fn" + std::to_string(F);
+    std::snprintf(Line, sizeof(Line), "  %-28s %12llu  (%.1f%%)\n",
+                  Name.c_str(), static_cast<unsigned long long>(Count),
+                  MemOps ? 100.0 * static_cast<double>(Count) /
+                               static_cast<double>(MemOps)
+                         : 0.0);
+    Out += Line;
+  }
+
+  bool AnySlot = false;
+  for (unsigned Slot = 0; Slot != MaxSamplerSlots; ++Slot)
+    AnySlot |= MemOpsPerSlot[Slot] != 0;
+  if (AnySlot) {
+    Out += "sampler mask coverage:\n";
+    for (unsigned Slot = 0; Slot != MaxSamplerSlots; ++Slot) {
+      if (!MemOpsPerSlot[Slot])
+        continue;
+      std::snprintf(Line, sizeof(Line), "  slot %-2u %12llu  (%.2f%%)\n",
+                    Slot,
+                    static_cast<unsigned long long>(MemOpsPerSlot[Slot]),
+                    MemOps ? 100.0 * static_cast<double>(
+                                         MemOpsPerSlot[Slot]) /
+                                 static_cast<double>(MemOps)
+                           : 0.0);
+      Out += Line;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,43 @@
+//===-- support/Compiler.h - Compiler portability helpers ------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability macros used throughout the library: branch hints for
+/// the sampling fast path and an unreachable marker for covered switches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_SUPPORT_COMPILER_H
+#define LITERACE_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define LR_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define LR_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+#define LR_ALWAYS_INLINE inline __attribute__((always_inline))
+#define LR_NOINLINE __attribute__((noinline))
+#else
+#define LR_LIKELY(x) (x)
+#define LR_UNLIKELY(x) (x)
+#define LR_ALWAYS_INLINE inline
+#define LR_NOINLINE
+#endif
+
+namespace literace {
+
+/// Marks a point in the code that must never be reached if the program
+/// invariants hold. Prints the message and aborts.
+[[noreturn]] inline void literaceUnreachable(const char *Msg) {
+  std::fprintf(stderr, "literace: unreachable executed: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace literace
+
+#endif // LITERACE_SUPPORT_COMPILER_H

@@ -1,0 +1,37 @@
+//===-- support/Hashing.h - Integer hash utilities --------------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic 64-bit mixing functions. The runtime hashes SyncVars to one
+/// of a small number of logical timestamp counters (paper §4.2), so the hash
+/// must be cheap, well distributed, and identical between the runtime that
+/// writes logs and the offline detector that replays them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_SUPPORT_HASHING_H
+#define LITERACE_SUPPORT_HASHING_H
+
+#include <cstdint>
+
+namespace literace {
+
+/// Finalizer of the splitmix64 generator; a strong, cheap 64-bit mixer.
+inline uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Combines two hash values into one (order-sensitive).
+inline uint64_t hashCombine(uint64_t A, uint64_t B) {
+  return mix64(A ^ (B + 0x9e3779b97f4a7c15ULL + (A << 6) + (A >> 2)));
+}
+
+} // namespace literace
+
+#endif // LITERACE_SUPPORT_HASHING_H

@@ -1,0 +1,66 @@
+//===-- support/SplitMix64.h - Deterministic PRNG ---------------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny deterministic pseudo-random generator (splitmix64). Used by the
+/// random samplers and by the workload drivers, so that experiments are
+/// reproducible for a fixed seed regardless of the standard library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_SUPPORT_SPLITMIX64_H
+#define LITERACE_SUPPORT_SPLITMIX64_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace literace {
+
+/// splitmix64: passes BigCrush, one add + three shifts per draw. Not
+/// cryptographic; plenty for sampling decisions and workload shuffling.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed = 0x853c49e6748fea9bULL) : State(Seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound). \p Bound must be
+  /// nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    // Multiply-shift range reduction; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBernoulli(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return nextDouble() < P;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace literace
+
+#endif // LITERACE_SUPPORT_SPLITMIX64_H

@@ -1,0 +1,97 @@
+//===-- support/TableFormatter.cpp - Console table rendering -------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableFormatter.h"
+
+#include <algorithm>
+#include <cstdarg>
+
+using namespace literace;
+
+TableFormatter::TableFormatter(std::string Title) : Title(std::move(Title)) {}
+
+void TableFormatter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void TableFormatter::addSeparator() { Rows.push_back({SeparatorMarker}); }
+
+static std::string formatPrintf(const char *Fmt, ...) {
+  char Buf[64];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  return Buf;
+}
+
+std::string TableFormatter::num(double Value, int Decimals) {
+  return formatPrintf("%.*f", Decimals, Value);
+}
+
+std::string TableFormatter::percent(double Fraction, int Decimals) {
+  return formatPrintf("%.*f%%", Decimals, Fraction * 100.0);
+}
+
+std::string TableFormatter::times(double Factor, int Decimals) {
+  return formatPrintf("%.*fx", Decimals, Factor);
+}
+
+std::string TableFormatter::str() const {
+  // Compute column widths over all non-separator rows.
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (!Row.empty() && Row[0] == SeparatorMarker)
+      continue;
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  }
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+  TotalWidth = TotalWidth > 2 ? TotalWidth - 2 : 0;
+
+  std::string Out;
+  if (!Title.empty()) {
+    Out += "== " + Title + " ==\n";
+  }
+  bool PrintedHeader = false;
+  for (const auto &Row : Rows) {
+    if (!Row.empty() && Row[0] == SeparatorMarker) {
+      Out.append(TotalWidth, '-');
+      Out += '\n';
+      continue;
+    }
+    std::string Line;
+    for (size_t I = 0; I != Row.size(); ++I) {
+      std::string Cell = Row[I];
+      Cell.resize(Widths[I], ' ');
+      Line += Cell;
+      if (I + 1 != Row.size())
+        Line += "  ";
+    }
+    // Trim trailing padding spaces.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Out += Line;
+    Out += '\n';
+    if (!PrintedHeader) {
+      Out.append(TotalWidth, '-');
+      Out += '\n';
+      PrintedHeader = true;
+    }
+  }
+  return Out;
+}
+
+void TableFormatter::print(std::FILE *OutFile) const {
+  std::string S = str();
+  std::fwrite(S.data(), 1, S.size(), OutFile);
+  std::fflush(OutFile);
+}

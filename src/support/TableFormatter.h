@@ -1,0 +1,60 @@
+//===-- support/TableFormatter.h - Console table rendering -----*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders aligned plain-text tables. The benchmark harness uses this to
+/// print the rows of the paper's tables and figures in a diff-friendly,
+/// monospace-aligned form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_SUPPORT_TABLEFORMATTER_H
+#define LITERACE_SUPPORT_TABLEFORMATTER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace literace {
+
+/// Accumulates rows of string cells and renders them with columns padded to
+/// the widest cell. The first addRow() call after construction is treated as
+/// the header and is underlined when printed.
+class TableFormatter {
+public:
+  explicit TableFormatter(std::string Title = "");
+
+  /// Appends one row. Rows may have differing cell counts; missing cells
+  /// render empty.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table to a string.
+  std::string str() const;
+
+  /// Renders the table to \p Out (stdout by default).
+  void print(std::FILE *Out = stdout) const;
+
+  /// Formats a double with \p Decimals fraction digits.
+  static std::string num(double Value, int Decimals = 1);
+
+  /// Formats a ratio as a percentage string like "71.4%".
+  static std::string percent(double Fraction, int Decimals = 1);
+
+  /// Formats a slowdown multiple like "2.4x".
+  static std::string times(double Factor, int Decimals = 2);
+
+private:
+  std::string Title;
+  std::vector<std::vector<std::string>> Rows;
+  static constexpr const char *SeparatorMarker = "\x01--";
+};
+
+} // namespace literace
+
+#endif // LITERACE_SUPPORT_TABLEFORMATTER_H

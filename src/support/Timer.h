@@ -1,0 +1,48 @@
+//===-- support/Timer.h - Wall clock timing ---------------------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timer used by the overhead experiments (paper §5.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_SUPPORT_TIMER_H
+#define LITERACE_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace literace {
+
+/// Measures elapsed wall time from construction or the last restart().
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void restart() { Start = Clock::now(); }
+
+  /// Returns seconds elapsed since the start point.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns nanoseconds elapsed since the start point.
+  uint64_t nanoseconds() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             Start)
+            .count());
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace literace
+
+#endif // LITERACE_SUPPORT_TIMER_H

@@ -1,0 +1,40 @@
+//===-- sync/MonitoredAllocator.cpp - Allocation monitoring --------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/MonitoredAllocator.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace literace;
+
+void *MonitoredAllocator::allocate(ThreadContext &TC, size_t Bytes) {
+  assert(Bytes > 0 && "zero-byte allocation");
+  void *Ptr = std::malloc(Bytes);
+  if (!Ptr)
+    return nullptr;
+  // The timestamp is drawn after malloc returned: any earlier free of
+  // these pages drew its timestamp before releasing them to the allocator,
+  // so free < alloc holds on the page counter.
+  logPages(TC, Ptr, Bytes, /*IsAlloc=*/true);
+  return Ptr;
+}
+
+void MonitoredAllocator::deallocate(ThreadContext &TC, void *Ptr,
+                                    size_t Bytes) {
+  if (!Ptr)
+    return;
+  logPages(TC, Ptr, Bytes, /*IsAlloc=*/false);
+  std::free(Ptr);
+}
+
+void MonitoredAllocator::logPages(ThreadContext &TC, void *Ptr, size_t Bytes,
+                                  bool IsAlloc) {
+  uint64_t Start = reinterpret_cast<uint64_t>(Ptr) >> PageShift;
+  uint64_t End = (reinterpret_cast<uint64_t>(Ptr) + Bytes - 1) >> PageShift;
+  for (uint64_t Page = Start; Page <= End; ++Page)
+    TC.logAllocation(makeSyncVar(SyncObjectKind::Page, Page), IsAlloc);
+}

@@ -1,0 +1,72 @@
+//===-- sync/MonitoredAllocator.h - Allocation monitoring ------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Allocation-as-synchronization (paper §4.3). When memory is freed by one
+/// thread and the allocator hands the same addresses to another thread, a
+/// naive detector reports a race between accesses from the two lifetimes.
+/// LiteRace monitors allocation routines and treats every allocation and
+/// free as synchronization on the page(s) containing the block: the free
+/// happens-before the reallocation (the allocator's own internal locking
+/// guarantees the real-time order, and the page SyncVar's timestamp counter
+/// captures it), so cross-lifetime accesses are ordered and never reported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_SYNC_MONITOREDALLOCATOR_H
+#define LITERACE_SYNC_MONITOREDALLOCATOR_H
+
+#include "runtime/ThreadContext.h"
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace literace {
+
+/// Builds the SyncVar of the page containing \p Addr.
+inline SyncVar pageSyncVar(uint64_t Addr, unsigned PageShift = 12) {
+  return makeSyncVar(SyncObjectKind::Page, Addr >> PageShift);
+}
+
+/// A malloc/free façade that logs the §4.3 page synchronization events
+/// around every allocation and deallocation.
+class MonitoredAllocator {
+public:
+  /// \p PageShift selects the page granularity (default 4 KiB).
+  explicit MonitoredAllocator(unsigned PageShift = 12)
+      : PageShift(PageShift) {}
+
+  /// Allocates \p Bytes and logs an Alloc sync event on every page the
+  /// block touches.
+  void *allocate(ThreadContext &TC, size_t Bytes);
+
+  /// Logs a Free sync event on every page the block touches, then frees.
+  /// \p Bytes must match the allocation size.
+  void deallocate(ThreadContext &TC, void *Ptr, size_t Bytes);
+
+  /// Typed convenience: allocate + placement-construct.
+  template <typename T, typename... ArgTs>
+  T *create(ThreadContext &TC, ArgTs &&...Args) {
+    void *Raw = allocate(TC, sizeof(T));
+    return new (Raw) T(std::forward<ArgTs>(Args)...);
+  }
+
+  /// Typed convenience: destroy + deallocate.
+  template <typename T> void destroy(ThreadContext &TC, T *Ptr) {
+    Ptr->~T();
+    deallocate(TC, Ptr, sizeof(T));
+  }
+
+private:
+  void logPages(ThreadContext &TC, void *Ptr, size_t Bytes, bool IsAlloc);
+
+  unsigned PageShift;
+};
+
+} // namespace literace
+
+#endif // LITERACE_SYNC_MONITOREDALLOCATOR_H

@@ -1,0 +1,187 @@
+//===-- sync/Primitives.cpp - Logged synchronization primitives ----------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/Primitives.h"
+
+#include <cassert>
+
+using namespace literace;
+
+void ManualResetEvent::set(ThreadContext &TC) {
+  // Timestamp before the notify (§4.2): any waiter that wakes because of
+  // this signal draws its timestamp afterwards.
+  TC.logRelease(syncVar());
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Signalled = true;
+  }
+  Cond.notify_all();
+}
+
+void ManualResetEvent::wait(ThreadContext &TC) {
+  {
+    std::unique_lock<std::mutex> Guard(Lock);
+    Cond.wait(Guard, [&] { return Signalled; });
+  }
+  // Timestamp after the wait (§4.2).
+  TC.logAcquire(syncVar());
+}
+
+void ManualResetEvent::reset() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Signalled = false;
+}
+
+bool ManualResetEvent::isSet() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Signalled;
+}
+
+void Semaphore::release(ThreadContext &TC, uint32_t N) {
+  assert(N > 0 && "release of zero permits");
+  TC.logRelease(syncVar());
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Count += N;
+  }
+  if (N == 1)
+    Cond.notify_one();
+  else
+    Cond.notify_all();
+}
+
+void Semaphore::acquire(ThreadContext &TC) {
+  {
+    std::unique_lock<std::mutex> Guard(Lock);
+    Cond.wait(Guard, [&] { return Count > 0; });
+    --Count;
+  }
+  TC.logAcquire(syncVar());
+}
+
+Barrier::Barrier(uint32_t Parties) : Parties(Parties) {
+  assert(Parties > 0 && "barrier needs at least one party");
+}
+
+void Barrier::arriveAndWait(ThreadContext &TC) {
+  // Read the generation first. It cannot advance until we arrive (we are
+  // one of the parties it is waiting for), so the release below is
+  // guaranteed to land on the generation we actually join.
+  uint64_t MyGeneration;
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    MyGeneration = Generation;
+  }
+  // Release before blocking: every party's pre-barrier work is published
+  // on this generation's variable.
+  TC.logRelease(generationVar(MyGeneration));
+  {
+    std::unique_lock<std::mutex> Guard(Lock);
+    if (++Waiting == Parties) {
+      Waiting = 0;
+      ++Generation;
+      Cond.notify_all();
+    } else {
+      Cond.wait(Guard, [&] { return Generation != MyGeneration; });
+    }
+  }
+  // Acquire after the barrier opens: observes exactly this generation's
+  // releases (all of which really preceded the opening, so the per-
+  // variable timestamp order is release-before-acquire).
+  TC.logAcquire(generationVar(MyGeneration));
+}
+
+namespace {
+
+/// Fork/join SyncVars need an identity that outlives the Thread object and
+/// is never recycled within a run, unlike object addresses.
+std::atomic<uint64_t> NextThreadUniqueId{1};
+
+} // namespace
+
+Thread::Thread(Runtime &RT, ThreadContext &Parent,
+               std::function<void(ThreadContext &)> Fn)
+    : UniqueId(NextThreadUniqueId.fetch_add(1, std::memory_order_relaxed)) {
+  SyncVar ForkVar = makeSyncVar(SyncObjectKind::ThreadFork, UniqueId);
+  // Parent's timestamp is drawn before the thread exists, so it is smaller
+  // than the child's acquire timestamp on the same SyncVar.
+  Parent.logRelease(ForkVar);
+  Impl = std::thread([&RT, Fn = std::move(Fn), UniqueId = UniqueId] {
+    ThreadContext TC(RT);
+    TC.logAcquire(makeSyncVar(SyncObjectKind::ThreadFork, UniqueId));
+    Fn(TC);
+    // Published to whoever joins us.
+    TC.logRelease(makeSyncVar(SyncObjectKind::ThreadExit, UniqueId));
+  });
+}
+
+Thread::~Thread() {
+  assert(Joined && "Thread destroyed without join()");
+  if (!Joined && Impl.joinable())
+    Impl.join(); // Last-resort safety in no-assert builds.
+}
+
+void Thread::join(ThreadContext &Parent) {
+  assert(!Joined && "double join");
+  Impl.join();
+  // The child's exit release was logged before the join returned.
+  Parent.logAcquire(makeSyncVar(SyncObjectKind::ThreadExit, UniqueId));
+  Joined = true;
+}
+
+template <typename OpT>
+auto AtomicU64::guarded(ThreadContext &TC, EventKind K, OpT Op) {
+  // §4.2 critical section: without it, two CASes could log timestamps in
+  // the opposite of their execution order, fabricating races downstream.
+  while (Spin.test_and_set(std::memory_order_acquire)) {
+  }
+  auto Result = Op();
+  switch (K) {
+  case EventKind::Acquire:
+    TC.logAcquire(syncVar());
+    break;
+  case EventKind::AcqRel:
+    TC.logAcqRel(syncVar());
+    break;
+  default:
+    literaceUnreachable("unexpected atomic edge kind");
+  }
+  Spin.clear(std::memory_order_release);
+  return Result;
+}
+
+uint64_t AtomicU64::load(ThreadContext &TC) {
+  return guarded(TC, EventKind::Acquire, [&] {
+    return Value.load(std::memory_order_seq_cst);
+  });
+}
+
+void AtomicU64::store(ThreadContext &TC, uint64_t V) {
+  guarded(TC, EventKind::AcqRel, [&] {
+    Value.store(V, std::memory_order_seq_cst);
+    return 0;
+  });
+}
+
+uint64_t AtomicU64::fetchAdd(ThreadContext &TC, uint64_t Delta) {
+  return guarded(TC, EventKind::AcqRel, [&] {
+    return Value.fetch_add(Delta, std::memory_order_seq_cst);
+  });
+}
+
+uint64_t AtomicU64::exchange(ThreadContext &TC, uint64_t V) {
+  return guarded(TC, EventKind::AcqRel, [&] {
+    return Value.exchange(V, std::memory_order_seq_cst);
+  });
+}
+
+bool AtomicU64::compareExchange(ThreadContext &TC, uint64_t &Expected,
+                                uint64_t Desired) {
+  return guarded(TC, EventKind::AcqRel, [&] {
+    return Value.compare_exchange_strong(Expected, Desired,
+                                         std::memory_order_seq_cst);
+  });
+}

@@ -1,0 +1,249 @@
+//===-- sync/Primitives.h - Logged synchronization primitives --*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synchronization substrate. Each primitive both performs real
+/// synchronization and logs a SyncVar + logical timestamp per the paper's
+/// Table 1 and the atomic-timestamping rules of §4.2:
+///
+///   lock        timestamp drawn after acquiring the lock
+///   unlock      timestamp drawn before releasing the lock
+///   notify/set  timestamp drawn before signalling
+///   wait        timestamp drawn after waking
+///   fork        parent's timestamp drawn before the thread starts;
+///               child's drawn after it starts
+///   join        child's timestamp drawn before exit; parent's after join
+///   atomic ops  op + timestamp + log wrapped in a critical section,
+///               because a user-level CAS may act as either a lock or an
+///               unlock (§4.2)
+///
+/// Every primitive logs unconditionally whenever the run mode enables sync
+/// logging: sampling never applies here (§3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_SYNC_PRIMITIVES_H
+#define LITERACE_SYNC_PRIMITIVES_H
+
+#include "runtime/ThreadContext.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace literace {
+
+/// A logged mutual-exclusion lock. SyncVar identity is the object address.
+class Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  /// Acquires the lock, then draws and logs the timestamp (so this lock's
+  /// timestamp is greater than the previous unlock's).
+  void lock(ThreadContext &TC) {
+    Impl.lock();
+    TC.logAcquire(syncVar());
+  }
+
+  /// Draws and logs the timestamp, then releases the lock.
+  void unlock(ThreadContext &TC) {
+    TC.logRelease(syncVar());
+    Impl.unlock();
+  }
+
+  SyncVar syncVar() const {
+    return makeSyncVar(SyncObjectKind::Mutex,
+                       reinterpret_cast<uint64_t>(this));
+  }
+
+private:
+  std::mutex Impl;
+};
+
+/// RAII guard for Mutex.
+class MutexGuard {
+public:
+  MutexGuard(Mutex &M, ThreadContext &TC) : M(M), TC(TC) { M.lock(TC); }
+  ~MutexGuard() { M.unlock(TC); }
+
+  MutexGuard(const MutexGuard &) = delete;
+  MutexGuard &operator=(const MutexGuard &) = delete;
+
+private:
+  Mutex &M;
+  ThreadContext &TC;
+};
+
+/// A logged manual-reset event (Win32-style wait/notify). set() wakes all
+/// current and future waiters until reset() is called.
+class ManualResetEvent {
+public:
+  ManualResetEvent() = default;
+  ManualResetEvent(const ManualResetEvent &) = delete;
+  ManualResetEvent &operator=(const ManualResetEvent &) = delete;
+
+  /// Logs the release edge, then signals.
+  void set(ThreadContext &TC);
+
+  /// Blocks until signalled, then logs the acquire edge.
+  void wait(ThreadContext &TC);
+
+  /// Clears the signalled state. Does not create happens-before edges.
+  void reset();
+
+  /// Non-blocking signalled check; does not create happens-before edges.
+  bool isSet();
+
+  SyncVar syncVar() const {
+    return makeSyncVar(SyncObjectKind::Event,
+                       reinterpret_cast<uint64_t>(this));
+  }
+
+private:
+  std::mutex Lock;
+  std::condition_variable Cond;
+  bool Signalled = false;
+};
+
+/// A logged counting semaphore. Each release happens-before the acquire it
+/// permits (and, conservatively, later acquires on the same semaphore).
+class Semaphore {
+public:
+  explicit Semaphore(uint32_t Initial = 0) : Count(Initial) {}
+  Semaphore(const Semaphore &) = delete;
+  Semaphore &operator=(const Semaphore &) = delete;
+
+  /// Logs the release edge, then increments and wakes one waiter.
+  void release(ThreadContext &TC, uint32_t N = 1);
+
+  /// Blocks until a permit is available, takes it, then logs the acquire
+  /// edge.
+  void acquire(ThreadContext &TC);
+
+  SyncVar syncVar() const {
+    return makeSyncVar(SyncObjectKind::Semaphore,
+                       reinterpret_cast<uint64_t>(this));
+  }
+
+private:
+  std::mutex Lock;
+  std::condition_variable Cond;
+  uint32_t Count;
+};
+
+/// A logged reusable barrier for a fixed party count. Arrival logs a
+/// release edge before blocking and an acquire edge after the barrier
+/// opens, producing all-to-all happens-before edges per generation.
+///
+/// Each generation uses its own SyncVar: with a single shared variable, a
+/// thread that wakes late from generation g could draw its acquire
+/// timestamp after a fast thread's generation g+1 release, and the
+/// per-variable timestamp chain would then fabricate a (sound but
+/// race-hiding) edge from the next generation back into this one.
+class Barrier {
+public:
+  explicit Barrier(uint32_t Parties);
+  Barrier(const Barrier &) = delete;
+  Barrier &operator=(const Barrier &) = delete;
+
+  /// Blocks until all parties have arrived.
+  void arriveAndWait(ThreadContext &TC);
+
+  /// SyncVar of generation \p Generation.
+  SyncVar generationVar(uint64_t Generation) const {
+    return makeSyncVar(SyncObjectKind::Barrier,
+                       reinterpret_cast<uint64_t>(this) +
+                           Generation * 0x9e3779b9ULL);
+  }
+
+private:
+  std::mutex Lock;
+  std::condition_variable Cond;
+  const uint32_t Parties;
+  uint32_t Waiting = 0;
+  uint64_t Generation = 0;
+};
+
+/// A logged application thread. The constructor creates the fork
+/// happens-before edge (parent → child) and join() creates the join edge
+/// (child → parent). The body receives a fresh ThreadContext attached to
+/// the same Runtime.
+class Thread {
+public:
+  /// Spawns a thread running \p Fn. \p Parent is the spawning thread's
+  /// context (its release edge is logged before the thread starts).
+  Thread(Runtime &RT, ThreadContext &Parent,
+         std::function<void(ThreadContext &)> Fn);
+
+  /// Threads must be joined before destruction.
+  ~Thread();
+
+  Thread(const Thread &) = delete;
+  Thread &operator=(const Thread &) = delete;
+
+  /// Joins the thread and logs the join edge into \p Parent.
+  void join(ThreadContext &Parent);
+
+private:
+  uint64_t UniqueId;
+  std::thread Impl;
+  bool Joined = false;
+};
+
+/// A logged 64-bit atomic cell. Every read-modify-write is wrapped in an
+/// internal critical section together with the timestamp draw and the log
+/// append (§4.2): a user-level CAS may implement a lock or an unlock, so
+/// the logged order must match the execution order exactly — the paper
+/// reports hundreds of false races without this.
+class AtomicU64 {
+public:
+  explicit AtomicU64(uint64_t Initial = 0) : Value(Initial) {}
+  AtomicU64(const AtomicU64 &) = delete;
+  AtomicU64 &operator=(const AtomicU64 &) = delete;
+
+  /// Atomic load; logs an acquire edge from the last RMW/store.
+  uint64_t load(ThreadContext &TC);
+
+  /// Atomic store; logs an acquire+release edge.
+  void store(ThreadContext &TC, uint64_t V);
+
+  /// Atomic fetch-add; returns the previous value.
+  uint64_t fetchAdd(ThreadContext &TC, uint64_t Delta);
+
+  /// Atomic exchange; returns the previous value.
+  uint64_t exchange(ThreadContext &TC, uint64_t V);
+
+  /// Atomic compare-exchange. On failure, \p Expected is updated with the
+  /// observed value. Logs an acquire+release edge whether or not it
+  /// succeeds (a failed CAS still reads the cell).
+  bool compareExchange(ThreadContext &TC, uint64_t &Expected,
+                       uint64_t Desired);
+
+  /// Raw unlogged load, for assertions and post-join validation only.
+  uint64_t peek() const { return Value.load(std::memory_order_relaxed); }
+
+  SyncVar syncVar() const {
+    return makeSyncVar(SyncObjectKind::Atomic,
+                       reinterpret_cast<uint64_t>(this));
+  }
+
+private:
+  /// The §4.2 critical section: executes \p Op, then draws + logs the
+  /// timestamp, atomically with respect to other operations on this cell.
+  template <typename OpT> auto guarded(ThreadContext &TC, EventKind K, OpT Op);
+
+  std::atomic<uint64_t> Value;
+  std::atomic_flag Spin = ATOMIC_FLAG_INIT;
+};
+
+} // namespace literace
+
+#endif // LITERACE_SYNC_PRIMITIVES_H

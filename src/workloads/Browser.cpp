@@ -1,0 +1,467 @@
+//===-- workloads/Browser.cpp - Browser workload ---------------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Browser.h"
+
+#include "support/Hashing.h"
+#include "support/SplitMix64.h"
+#include "sync/Primitives.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+using namespace literace;
+
+namespace {
+
+/// One layout box of the Render input.
+struct BoxNode {
+  uint32_t X = 0;
+  uint32_t Y = 0;
+  uint32_t Width = 0;
+  uint32_t Height = 0;
+  uint64_t StyleKey = 0;
+  uint64_t Measure = 0;
+};
+
+} // namespace
+
+struct BrowserWorkload::SharedState {
+  static constexpr unsigned RegistryEntries = 256;
+  static constexpr unsigned StyleEntries = 128;
+  static constexpr unsigned StyleStripes = 8;
+  static constexpr uint32_t MaxBoxes = 8192;
+
+  // Read-only input blobs, initialized before any fork.
+  uint8_t Blob[1024] = {};
+  uint8_t Glyphs[256] = {};
+
+  // Component registry (properly locked).
+  Mutex RegistryLock;
+  uint64_t RegistryKey[RegistryEntries] = {};
+  uint64_t RegistryVal[RegistryEntries] = {};
+
+  // Style cache (striped locks, properly synchronized).
+  Mutex StyleLocks[StyleStripes];
+  uint64_t StyleKey[StyleEntries] = {};
+  uint64_t StyleVal[StyleEntries] = {};
+
+  // Box tree: built by main before forking the layout threads, reflowed
+  // in disjoint halves — properly ordered.
+  std::vector<BoxNode> Boxes;
+
+  // -- Intentionally racy diagnostics. --
+  uint64_t StartStamp = 0;       // browser-start-stamp (rare)
+  uint32_t PrefsVersion = 0;     // browser-prefs-version (rare)
+  bool ThemeReady = false;       // browser-theme-flag / -table (rare)
+  uint64_t ThemeTable[4] = {};
+  uint64_t FallbackFont = 0;     // browser-fallback-font (rare)
+  uint64_t DoneMark = 0;         // browser-done-mark (rare)
+  uint64_t SplashHint = 0;       // browser-splash-hint (rare-in-hot)
+  uint64_t ProgressSlots[8] = {};// browser-progress (frequent)
+  uint64_t LastComponent = 0;    // browser-last-component (frequent)
+  uint64_t RegistryDepth = 0;    // browser-registry-depth (frequent)
+  uint8_t UiStop = 0;            // browser-stop-flag (rare)
+  uint64_t DirtyRegion = 0;      // render-dirty-region (frequent)
+  uint64_t BoxesDoneSlots[8] = {}; // render-boxes-done (frequent)
+  uint64_t LastStyle = 0;        // render-last-style (frequent)
+  uint64_t OverflowMark = 0;     // render-overflow-mark (rare-in-hot)
+  uint64_t FirstPaint = 0;       // render-first-paint (rare)
+  uint64_t FinishStamp = 0;      // render-finish-stamp (rare)
+};
+
+BrowserWorkload::BrowserWorkload(Input In) : In(In) {}
+
+std::string BrowserWorkload::name() const {
+  return In == Input::Start ? "Firefox Start" : "Firefox Render";
+}
+
+void BrowserWorkload::bind(Runtime &RT) {
+  assert(!Bound && "workload bound twice; create a fresh instance per run");
+  FunctionRegistry &Reg = RT.registry();
+  FnServiceStart = Reg.registerFunction("svc.serviceStart");
+  FnLoadItem = Reg.registerFunction("svc.loadItem");
+  FnRegister = Reg.registerFunction("reg.registerComponent");
+  FnLookup = Reg.registerFunction("reg.lookup");
+  FnServiceFinish = Reg.registerFunction("svc.serviceFinish");
+  FnUiProgress = Reg.registerFunction("ui.progress");
+  FnShutdown = Reg.registerFunction("app.shutdown");
+  FnBuildNode = Reg.registerFunction("dom.buildNode");
+  FnReflowBox = Reg.registerFunction("layout.reflowBox");
+  FnMeasureText = Reg.registerFunction("layout.measureText");
+  FnStyleResolve = Reg.registerFunction("style.resolve");
+  FnPaint = Reg.registerFunction("render.paint");
+  FnWorkerFinish = Reg.registerFunction("layout.workerFinish");
+  Bound = true;
+}
+
+void BrowserWorkload::uiMain(ThreadContext &TC, SharedState &S) {
+  uint32_t Poll = 0;
+  uint64_t Sink = 0;
+  bool ReadSplash = false;
+  bool ReadOverflow = false;
+  for (;;) {
+    bool Stop = false;
+    TC.run(FnUiProgress, [&](auto &T) {
+      // RACE (frequent, browser-stop-flag).
+      Stop = T.load(&S.UiStop, SiteUiStopRead) != 0;
+      for (unsigned Slot = 0; Slot != 8; ++Slot)
+        Sink ^= T.load(&S.ProgressSlots[Slot], SiteUiProgress);
+      Sink ^= T.load(&S.LastComponent, SiteUiLastComponent);
+      Sink ^= T.load(&S.RegistryDepth, SiteUiDepth);
+      Sink ^= T.load(&S.DirtyRegion, SiteUiDirty);
+      for (unsigned Slot = 0; Slot != 8; ++Slot)
+        Sink ^= T.load(&S.BoxesDoneSlots[Slot], SiteUiBoxesDone);
+      Sink ^= T.load(&S.LastStyle, SiteUiLastStyle);
+      // RACE (rare-in-hot, browser-splash-hint): single diagnostic read.
+      if ((Poll == 43 || Stop) && !ReadSplash) {
+        Sink ^= T.load(&S.SplashHint, SiteUiSplashHint);
+        ReadSplash = true;
+      }
+      // RACE (rare-in-hot, render-overflow-mark): single diagnostic read.
+      if ((Poll == 83 || Stop) && !ReadOverflow) {
+        Sink ^= T.load(&S.OverflowMark, SiteUiOverflow);
+        ReadOverflow = true;
+      }
+    });
+    ++Poll;
+    if (Stop || Poll > 200000)
+      break;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void BrowserWorkload::serviceMain(ThreadContext &TC, SharedState &S,
+                                  unsigned Kind, uint32_t Items) {
+  // Service bring-up happens before any synchronization, so the sibling
+  // services are mutually unordered here on every schedule.
+  TC.run(FnServiceStart, [&](auto &T) {
+    // RACE (rare, browser-start-stamp).
+    T.store(&S.StartStamp, static_cast<uint64_t>(TC.tid()),
+            SiteStartStampWrite);
+    // RACE (rare, browser-prefs-version): the prefs service negotiates
+    // the version; its siblings read it bare, once each.
+    if (Kind == 0)
+      T.store(&S.PrefsVersion, 11u, SitePrefsVersionWrite);
+    else
+      (void)T.load(&S.PrefsVersion, SitePrefsVersionRead);
+  });
+
+  // Warm-up lookup BEFORE the first registry lock: the theme table's lazy
+  // init runs while the services are still mutually unordered (only fork
+  // edges exist), so the init races manifest on every schedule. Taking a
+  // lock first would let the lock chains order the init against the
+  // other services' probes.
+  TC.run(FnLookup, [&](auto &T) {
+    // RACE (rare, browser-theme-flag / browser-theme-table).
+    if (!T.load(&S.ThemeReady, SiteThemeReadyRead)) {
+      for (unsigned K = 0; K != 4; ++K)
+        T.store(&S.ThemeTable[K], mix64(K + 5), SiteThemeTableWrite);
+      T.store(&S.ThemeReady, true, SiteThemeReadyWrite);
+    }
+    (void)T.load(&S.ThemeTable[0], SiteThemeProbeRead);
+  });
+
+  bool WroteSplash = false;
+  uint64_t Registered = 0;
+  for (uint32_t I = 0; I != Items; ++I) {
+    uint64_t ComponentId = mix64((uint64_t(Kind) << 40) | I);
+
+    // Parse/import the item: read-only blob traffic + private scratch.
+    TC.run(FnLoadItem, [&](auto &T) {
+      uint8_t Scratch[32];
+      uint64_t Acc = ComponentId;
+      for (unsigned K = 0; K != 160; ++K)
+        Acc = Acc * 131 + T.load(&S.Blob[(ComponentId + K) & 1023],
+                                 SiteBlobLoad);
+      for (unsigned K = 0; K != 32; ++K)
+        T.store(&Scratch[K], static_cast<uint8_t>(Acc >> (K & 7)),
+                SiteScratchStore);
+      // RACE (frequent, browser-progress): per-thread slot counters read
+      // bare by the UI thread.
+      unsigned Slot = TC.tid() & 7u;
+      uint64_t N = T.load(&S.ProgressSlots[Slot], SiteProgressRead);
+      T.store(&S.ProgressSlots[Slot], N + 1, SiteProgressWrite);
+    });
+
+    // Register the component (properly locked) + racy diagnostics.
+    TC.run(FnRegister, [&](auto &T) {
+      unsigned Entry = ComponentId % SharedState::RegistryEntries;
+      S.RegistryLock.lock(TC);
+      T.store(&S.RegistryKey[Entry], ComponentId, SiteRegistryKeyWrite);
+      T.store(&S.RegistryVal[Entry], ComponentId * 3, SiteRegistryValWrite);
+      S.RegistryLock.unlock(TC);
+      // RACE (frequent, browser-last-component / browser-registry-depth).
+      T.store(&S.LastComponent, ComponentId, SiteLastComponentWrite);
+      T.store(&S.RegistryDepth, ++Registered, SiteDepthWrite);
+      // RACE (rare-in-hot, browser-splash-hint): one-shot write per
+      // service on a rarely satisfied predicate of a hot function (the
+      // I == 7 trigger exists at any scale).
+      if ((ComponentId % 511 == 77 || I == 7) && !WroteSplash) {
+        T.store(&S.SplashHint, ComponentId, SiteSplashHintWrite);
+        WroteSplash = true;
+      }
+    });
+
+    // Occasional lookups (properly locked).
+    if (I % 8 == 3) {
+      TC.run(FnLookup, [&](auto &T) {
+        unsigned Entry = ComponentId % SharedState::RegistryEntries;
+        S.RegistryLock.lock(TC);
+        (void)T.load(&S.RegistryKey[Entry], SiteRegistryKeyRead);
+        S.RegistryLock.unlock(TC);
+      });
+    }
+  }
+
+  TC.run(FnServiceFinish, [&](auto &T) {
+    // RACE (rare, browser-fallback-font): the font service publishes its
+    // fallback choice as its last act; the extension service reads it as
+    // its last act. Neither ever synchronizes with the other.
+    if (Kind == 1)
+      T.store(&S.FallbackFont, Registered, SiteFallbackFontWrite);
+    if (Kind == 2)
+      (void)T.load(&S.FallbackFont, SiteFallbackFontRead);
+    // RACE (rare, browser-done-mark): one-shot write/write at teardown.
+    T.store(&S.DoneMark, static_cast<uint64_t>(TC.tid()), SiteDoneMarkWrite);
+  });
+}
+
+void BrowserWorkload::layoutMain(ThreadContext &TC, SharedState &S,
+                                 unsigned Index, uint32_t Begin,
+                                 uint32_t End) {
+  // RACE (rare, render-first-paint): one-shot per worker, written BEFORE
+  // the first style-cache lock so the workers are still mutually
+  // unordered on every schedule.
+  TC.run(FnReflowBox, [&](auto &T) {
+    T.store(&S.FirstPaint, static_cast<uint64_t>(TC.tid()),
+            SiteFirstPaintWrite);
+  });
+
+  for (uint32_t B = Begin; B != End; ++B) {
+    BoxNode &Box = S.Boxes[B];
+
+    // Measure text: a high-trip-count loop using the §7 loop-granularity
+    // sampling hint — after 64 iterations of one activation, only every
+    // 16th iteration's accesses are logged.
+    uint64_t Measure = 0;
+    TC.run(FnMeasureText, [&](auto &T) {
+      uint64_t Key = Box.StyleKey;
+      for (unsigned K = 0; K != 96; ++K) {
+        T.loopIteration();
+        Measure += T.load(&S.Glyphs[(Key + K) & 255], SiteGlyphLoad);
+      }
+      T.store(&Box.Measure, Measure, SiteMeasureWrite);
+    });
+
+    // Resolve style through the striped cache (properly locked).
+    uint64_t Style = 0;
+    TC.run(FnStyleResolve, [&](auto &T) {
+      unsigned Entry = Box.StyleKey % SharedState::StyleEntries;
+      Mutex &Stripe = S.StyleLocks[Entry % SharedState::StyleStripes];
+      Stripe.lock(TC);
+      uint64_t Key = T.load(&S.StyleKey[Entry], SiteStyleKeyRead);
+      if (Key != Box.StyleKey) {
+        T.store(&S.StyleKey[Entry], Box.StyleKey, SiteStyleKeyWrite);
+        T.store(&S.StyleVal[Entry], mix64(Box.StyleKey), SiteStyleValWrite);
+      }
+      Style = mix64(Box.StyleKey);
+      Stripe.unlock(TC);
+      // RACE (frequent, render-last-style): read bare by the UI thread.
+      T.store(&S.LastStyle, Style, SiteLastStyleWrite);
+    });
+
+    // Reflow: writes the box geometry (disjoint halves, properly ordered
+    // by fork/join) plus racy repaint diagnostics.
+    TC.run(FnReflowBox, [&](auto &T) {
+      uint32_t W = static_cast<uint32_t>((Style >> 8) & 1023) + 16;
+      uint32_t H = static_cast<uint32_t>((Box.Measure >> 4) & 255) + 12;
+      uint32_t X = T.load(&Box.X, SiteBoxRead);
+      T.store(&Box.Width, W, SiteBoxWrite);
+      T.store(&Box.Height, H, SiteBoxWrite);
+      T.store(&Box.Y, X + W, SiteBoxWrite);
+      // RACE (frequent, render-dirty-region): last-writer diagnostic.
+      T.store(&S.DirtyRegion, (uint64_t(X) << 32) | W, SiteDirtyWrite);
+      // RACE (frequent, render-boxes-done): slot counters.
+      unsigned Slot = TC.tid() & 7u;
+      uint64_t N = T.load(&S.BoxesDoneSlots[Slot], SiteBoxesDoneRead);
+      T.store(&S.BoxesDoneSlots[Slot], N + 1, SiteBoxesDoneWrite);
+      // RACE (rare-in-hot, render-overflow-mark): a single box in the
+      // whole tree triggers the overflow diagnostic.
+      if (B == 5)
+        T.store(&S.OverflowMark, (uint64_t(W) << 32) | H,
+                SiteOverflowWrite);
+    });
+
+    // Paint the box into a thread-private tile (the bulk of Render's
+    // memory-operation volume, as rasterization is in a real browser).
+    TC.run(FnPaint, [&](auto &T) {
+      uint8_t Tile[256];
+      uint64_t Brush = Style ^ Measure;
+      for (unsigned K = 0; K != 64; ++K)
+        Brush = Brush * 131 + T.load(&S.Glyphs[(Brush + K) & 255],
+                                     SitePaintSrc);
+      for (unsigned K = 0; K != sizeof(Tile); ++K)
+        T.store(&Tile[K], static_cast<uint8_t>(Brush >> (K & 7)),
+                SitePaintTile);
+    });
+  }
+
+  TC.run(FnWorkerFinish, [&](auto &T) {
+    // RACE (rare, render-finish-stamp): last unsynchronized act.
+    T.store(&S.FinishStamp, static_cast<uint64_t>(Index), SiteFinishStampWrite);
+  });
+}
+
+void BrowserWorkload::runStart(Runtime &RT, SharedState &S,
+                               const WorkloadParams &Params) {
+  ThreadContext Main(RT);
+  Thread Ui(RT, Main, [this, &S](ThreadContext &TC) { uiMain(TC, S); });
+
+  const uint32_t ItemCounts[3] = {Params.scaled(2500, 40),
+                                  Params.scaled(1800, 30),
+                                  Params.scaled(1400, 30)};
+  std::vector<std::unique_ptr<Thread>> Services;
+  for (unsigned Kind = 0; Kind != 3; ++Kind)
+    Services.push_back(std::make_unique<Thread>(
+        RT, Main, [this, &S, Kind, &ItemCounts](ThreadContext &TC) {
+          // Staggered bring-up (see ChannelWorkload): later services run
+          // their first (thread-cold) registry/theme code when those
+          // functions are already globally hot.
+          std::this_thread::sleep_for(std::chrono::milliseconds(20 * Kind));
+          serviceMain(TC, S, Kind, ItemCounts[Kind]);
+        }));
+  for (auto &Svc : Services)
+    Svc->join(Main);
+
+  Main.run(FnShutdown, [&](auto &T) {
+    // RACE (frequent, browser-stop-flag).
+    T.store(&S.UiStop, uint8_t{1}, SiteStopWrite);
+  });
+  Ui.join(Main);
+}
+
+void BrowserWorkload::runRender(Runtime &RT, SharedState &S,
+                                const WorkloadParams &Params) {
+  ThreadContext Main(RT);
+  const uint32_t NumBoxes =
+      std::min(Params.scaled(2500, 64), SharedState::MaxBoxes);
+  S.Boxes.resize(NumBoxes);
+
+  // Build the box tree (single-threaded, before the layout forks).
+  SplitMix64 Rng(Params.Seed);
+  for (uint32_t B = 0; B != NumBoxes; ++B) {
+    Main.run(FnBuildNode, [&](auto &T) {
+      BoxNode &Box = S.Boxes[B];
+      T.store(&Box.X, static_cast<uint32_t>(Rng.nextBelow(1024)),
+              SiteNodeInit);
+      T.store(&Box.Y, uint32_t{0}, SiteNodeInit);
+      T.store(&Box.StyleKey, Rng.nextBelow(400) + 1, SiteNodeInit);
+    });
+  }
+
+  Thread Ui(RT, Main, [this, &S](ThreadContext &TC) { uiMain(TC, S); });
+  const uint32_t Half = NumBoxes / 2;
+  Thread Worker0(RT, Main, [this, &S, Half](ThreadContext &TC) {
+    layoutMain(TC, S, 0, 0, Half);
+  });
+  Thread Worker1(RT, Main, [this, &S, Half, NumBoxes](ThreadContext &TC) {
+    // Staggered start (see ChannelWorkload): this worker's first-paint
+    // write happens when the layout functions are already globally hot.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    layoutMain(TC, S, 1, Half, NumBoxes);
+  });
+  Worker0.join(Main);
+  Worker1.join(Main);
+
+  Main.run(FnShutdown, [&](auto &T) {
+    T.store(&S.UiStop, uint8_t{1}, SiteStopWrite);
+  });
+  Ui.join(Main);
+}
+
+void BrowserWorkload::run(Runtime &RT, const WorkloadParams &Params) {
+  assert(Bound && "bind() must run before run()");
+  SharedState S;
+  SplitMix64 Rng(Params.Seed ^ 0xb20055e2ULL);
+  for (unsigned K = 0; K != 1024; ++K)
+    S.Blob[K] = static_cast<uint8_t>(Rng.next());
+  for (unsigned K = 0; K != 256; ++K)
+    S.Glyphs[K] = static_cast<uint8_t>(Rng.next());
+
+  if (In == Input::Start)
+    runStart(RT, S, Params);
+  else
+    runRender(RT, S, Params);
+}
+
+std::vector<SeededRaceSpec> BrowserWorkload::seededRaces() const {
+  assert(Bound && "manifest valid only after bind()");
+  auto P = [&](FunctionId F, uint32_t Site) { return makePc(F, Site); };
+  std::vector<SeededRaceSpec> Races;
+  auto Add = [&](const char *Label, std::vector<Pc> Sites, bool Frequent) {
+    Races.push_back(SeededRaceSpec{Label, std::move(Sites), Frequent});
+  };
+
+  Add("browser-stop-flag",
+      {P(FnShutdown, SiteStopWrite), P(FnUiProgress, SiteUiStopRead)},
+      false);
+
+  if (In == Input::Start) {
+    Add("browser-start-stamp", {P(FnServiceStart, SiteStartStampWrite)},
+        false);
+    Add("browser-prefs-version",
+        {P(FnServiceStart, SitePrefsVersionWrite),
+         P(FnServiceStart, SitePrefsVersionRead)},
+        false);
+    Add("browser-theme-flag",
+        {P(FnLookup, SiteThemeReadyRead), P(FnLookup, SiteThemeReadyWrite)},
+        false);
+    Add("browser-theme-table",
+        {P(FnLookup, SiteThemeTableWrite), P(FnLookup, SiteThemeProbeRead)},
+        false);
+    Add("browser-fallback-font",
+        {P(FnServiceFinish, SiteFallbackFontWrite),
+         P(FnServiceFinish, SiteFallbackFontRead)},
+        false);
+    Add("browser-done-mark", {P(FnServiceFinish, SiteDoneMarkWrite)}, false);
+    Add("browser-splash-hint",
+        {P(FnRegister, SiteSplashHintWrite),
+         P(FnUiProgress, SiteUiSplashHint)},
+        false);
+    Add("browser-progress",
+        {P(FnLoadItem, SiteProgressRead), P(FnLoadItem, SiteProgressWrite),
+         P(FnUiProgress, SiteUiProgress)},
+        true);
+    Add("browser-last-component",
+        {P(FnRegister, SiteLastComponentWrite),
+         P(FnUiProgress, SiteUiLastComponent)},
+        true);
+    Add("browser-registry-depth",
+        {P(FnRegister, SiteDepthWrite), P(FnUiProgress, SiteUiDepth)}, true);
+  } else {
+    Add("render-first-paint", {P(FnReflowBox, SiteFirstPaintWrite)}, false);
+    Add("render-finish-stamp", {P(FnWorkerFinish, SiteFinishStampWrite)},
+        false);
+    Add("render-overflow-mark",
+        {P(FnReflowBox, SiteOverflowWrite), P(FnUiProgress, SiteUiOverflow)},
+        false);
+    Add("render-dirty-region",
+        {P(FnReflowBox, SiteDirtyWrite), P(FnUiProgress, SiteUiDirty)},
+        true);
+    Add("render-boxes-done",
+        {P(FnReflowBox, SiteBoxesDoneRead),
+         P(FnReflowBox, SiteBoxesDoneWrite),
+         P(FnUiProgress, SiteUiBoxesDone)},
+        true);
+    Add("render-last-style",
+        {P(FnStyleResolve, SiteLastStyleWrite),
+         P(FnUiProgress, SiteUiLastStyle)},
+        true);
+  }
+  return Races;
+}

@@ -1,0 +1,139 @@
+//===-- workloads/Browser.h - Browser workload ----------------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "Firefox" benchmark equivalent (§5.1), with the paper's two inputs:
+///
+///   Start   browser start-up: three service threads (preferences, fonts,
+///           extensions) bring up subsystems concurrently, registering
+///           components in a shared, properly locked registry, while a UI
+///           thread polls splash-screen progress bare.
+///   Render  layout of a page with 2500 positioned boxes: the main thread
+///           builds the box tree, two layout threads reflow disjoint
+///           halves through a striped-lock style cache, and a UI thread
+///           polls repaint progress bare. The layout measure loop uses
+///           the loop-granularity sampling hint (§7 extension).
+///
+/// Start is dominated by per-thread-cold initialization code (the
+/// cold-region hypothesis' home turf); Render by hot layout loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_WORKLOADS_BROWSER_H
+#define LITERACE_WORKLOADS_BROWSER_H
+
+#include "workloads/Workload.h"
+
+namespace literace {
+
+/// "Firefox Start" / "Firefox Render" benchmark-input pair.
+class BrowserWorkload : public Workload {
+public:
+  enum class Input { Start, Render };
+
+  explicit BrowserWorkload(Input In);
+
+  std::string name() const override;
+  void bind(Runtime &RT) override;
+  void run(Runtime &RT, const WorkloadParams &Params) override;
+  std::vector<SeededRaceSpec> seededRaces() const override;
+
+  /// Stable site labels.
+  enum Site : uint32_t {
+    // svc.serviceStart
+    SiteStartStampWrite = 1,
+    SitePrefsVersionRead = 2,
+    SitePrefsVersionWrite = 3,
+    // svc.loadItem (prefs/fonts/extensions item processing)
+    SiteBlobLoad = 20,
+    SiteScratchStore = 21,
+    SiteProgressRead = 22,
+    SiteProgressWrite = 23,
+    // reg.registerComponent
+    SiteRegistryKeyWrite = 40,
+    SiteRegistryValWrite = 41,
+    SiteLastComponentWrite = 42,
+    SiteDepthWrite = 43,
+    SiteSplashHintWrite = 44,
+    // reg.lookup
+    SiteRegistryKeyRead = 60,
+    SiteThemeReadyRead = 61,
+    SiteThemeReadyWrite = 62,
+    SiteThemeTableWrite = 63,
+    SiteThemeProbeRead = 64,
+    // svc.serviceFinish
+    SiteFallbackFontWrite = 80,
+    SiteFallbackFontRead = 81,
+    SiteDoneMarkWrite = 82,
+    // ui.progress
+    SiteUiStopRead = 100,
+    SiteUiProgress = 101,
+    SiteUiLastComponent = 102,
+    SiteUiDepth = 103,
+    SiteUiSplashHint = 104,
+    SiteUiDirty = 105,
+    SiteUiBoxesDone = 106,
+    SiteUiLastStyle = 107,
+    SiteUiOverflow = 108,
+    // app.shutdown
+    SiteStopWrite = 120,
+    // dom.buildNode
+    SiteNodeInit = 140,
+    // layout.reflowBox
+    SiteBoxRead = 160,
+    SiteBoxWrite = 161,
+    SiteDirtyWrite = 162,
+    SiteBoxesDoneRead = 163,
+    SiteBoxesDoneWrite = 164,
+    SiteOverflowWrite = 165,
+    SiteFirstPaintWrite = 166,
+    // layout.measureText
+    SiteGlyphLoad = 180,
+    SiteMeasureWrite = 181,
+    // render.paint
+    SitePaintTile = 190,
+    SitePaintSrc = 191,
+    // style.resolve
+    SiteStyleKeyRead = 200,
+    SiteStyleKeyWrite = 201,
+    SiteStyleValWrite = 202,
+    SiteLastStyleWrite = 203,
+    // layout.workerFinish
+    SiteFinishStampWrite = 220,
+  };
+
+private:
+  struct SharedState;
+
+  void uiMain(ThreadContext &TC, SharedState &S);
+  void serviceMain(ThreadContext &TC, SharedState &S, unsigned Kind,
+                   uint32_t Items);
+  void layoutMain(ThreadContext &TC, SharedState &S, unsigned Index,
+                  uint32_t Begin, uint32_t End);
+  void runStart(Runtime &RT, SharedState &S, const WorkloadParams &P);
+  void runRender(Runtime &RT, SharedState &S, const WorkloadParams &P);
+
+  Input In;
+  bool Bound = false;
+
+  FunctionId FnServiceStart = 0;
+  FunctionId FnLoadItem = 0;
+  FunctionId FnRegister = 0;
+  FunctionId FnLookup = 0;
+  FunctionId FnServiceFinish = 0;
+  FunctionId FnUiProgress = 0;
+  FunctionId FnShutdown = 0;
+  FunctionId FnBuildNode = 0;
+  FunctionId FnReflowBox = 0;
+  FunctionId FnMeasureText = 0;
+  FunctionId FnStyleResolve = 0;
+  FunctionId FnPaint = 0;
+  FunctionId FnWorkerFinish = 0;
+};
+
+} // namespace literace
+
+#endif // LITERACE_WORKLOADS_BROWSER_H

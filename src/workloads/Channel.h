@@ -1,0 +1,133 @@
+//===-- workloads/Channel.h - Dryad-channel workload ----------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "Dryad Channel" benchmark equivalent (§5.1): a shared-memory
+/// channel library exercised by a coarse-grained data-parallel pipeline.
+/// Three producers build fixed-size records (fill + checksum + formatted
+/// sequence number via the stdlib), push them through a bounded MPMC
+/// channel to two consumers that validate and free them, while an
+/// unsynchronized statistics reporter polls shared diagnostics and a
+/// late-starting drainer empties the channel at shutdown.
+///
+/// The WithStdLib variant instruments the bundled utility library too,
+/// mirroring the paper's "Dryad + stdlib" configuration (more functions,
+/// more memory ops, and the stdlib's own seeded races become visible).
+///
+/// Seeded races (see seededRaces() for the authoritative manifest):
+///   rare:     tuning-hint init, producer final-total write/write at
+///             teardown, drainer-vs-reporter heartbeat, one-shot oversize
+///             diagnostic in the hot push path (designed to evade even
+///             LiteRace's sampler most runs)
+///   frequent: stop flag polled bare, per-producer push counters,
+///             per-consumer pop counters, last-push-size diagnostic
+///
+//======---------------------------------------------------------------===//
+
+#ifndef LITERACE_WORKLOADS_CHANNEL_H
+#define LITERACE_WORKLOADS_CHANNEL_H
+
+#include "sync/MonitoredAllocator.h"
+#include "workloads/StdLib.h"
+#include "workloads/Workload.h"
+
+#include <array>
+
+namespace literace {
+
+/// "Dryad Channel" / "Dryad Channel + stdlib" benchmark-input pair.
+class ChannelWorkload : public Workload {
+public:
+  /// \p WithStdLib selects the instrumented-stdlib configuration.
+  explicit ChannelWorkload(bool WithStdLib);
+
+  std::string name() const override;
+  void bind(Runtime &RT) override;
+  void run(Runtime &RT, const WorkloadParams &Params) override;
+  std::vector<SeededRaceSpec> seededRaces() const override;
+
+  /// Stable site labels.
+  enum Site : uint32_t {
+    // chan.push
+    SiteTailRead = 1,
+    SiteRingWrite = 2,
+    SiteTailWrite = 3,
+    SitePushCountRead = 4,
+    SitePushCountWrite = 5,
+    SiteLastSizeWrite = 6,
+    SiteOversizeWrite = 7,
+    // chan.pop
+    SiteHeadRead = 20,
+    SiteRingRead = 21,
+    SiteHeadWrite = 22,
+    SitePopCountRead = 23,
+    SitePopCountWrite = 24,
+    // pipeline.produce
+    SiteTuningRead = 40,
+    SitePayloadFold = 41,
+    SiteRecSeqWrite = 42,
+    SiteRecChecksumWrite = 43,
+    SiteRecOversizeWrite = 44,
+    // pipeline.consume
+    SiteRecSeqRead = 60,
+    SiteRecChecksumRead = 61,
+    SiteRecOversizeRead = 62,
+    SiteConsumeFold = 63,
+    SiteValidRead = 64,
+    SiteValidWrite = 65,
+    // pipeline.setup
+    SiteSetupInit = 80,
+    // pipeline.tune
+    SiteTuneWrite = 90,
+    // pipeline.finishProducer
+    SiteFinalTotalWrite = 100,
+    // pipeline.teardown
+    SiteStopWrite = 110,
+    SiteFinalTotalCheck = 111,
+    // reporter.poll
+    SiteStopRead = 120,
+    SitePollPushCount = 121,
+    SitePollPopCount = 122,
+    SitePollLastSize = 123,
+    SiteHeartbeatWrite = 124,
+    SiteOversizeRead = 125,
+    // pipeline.drain
+    SiteHeartbeatRead = 140,
+  };
+
+private:
+  struct Record;
+  struct QueueState;
+  struct SharedState;
+
+  void chanPush(ThreadContext &TC, SharedState &S, Record *Rec,
+                uint32_t Size, bool FromProducer, bool *WroteOversize);
+  Record *chanPop(ThreadContext &TC, SharedState &S);
+  void producerMain(ThreadContext &TC, SharedState &S, unsigned Index,
+                    uint32_t Items, uint64_t Seed);
+  void consumerMain(ThreadContext &TC, SharedState &S);
+  void reporterMain(ThreadContext &TC, SharedState &S);
+  void drainerMain(ThreadContext &TC, SharedState &S);
+
+  bool WithStdLib;
+  InstrumentedStdLib StdLib;
+  bool Bound = false;
+
+  FunctionId FnPush = 0;
+  FunctionId FnPop = 0;
+  FunctionId FnSetup = 0;
+  FunctionId FnTune = 0;
+  FunctionId FnProduce = 0;
+  FunctionId FnConsume = 0;
+  FunctionId FnFinishProducer = 0;
+  FunctionId FnTeardown = 0;
+  FunctionId FnPoll = 0;
+  FunctionId FnDrain = 0;
+};
+
+} // namespace literace
+
+#endif // LITERACE_WORKLOADS_CHANNEL_H

@@ -1,0 +1,425 @@
+//===-- workloads/ConcRT.cpp - Concurrency-runtime workload ---------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ConcRT.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+using namespace literace;
+
+/// A bounded single-slot-ring mailbox (mutex + semaphores), the agent
+/// messaging primitive.
+struct ConcRTWorkload::Mailbox {
+  static constexpr uint32_t Capacity = 32;
+  uint64_t Ring[Capacity] = {};
+  uint32_t Head = 0;
+  uint32_t Tail = 0;
+  Mutex Lock;
+  Semaphore Slots{Capacity};
+  Semaphore Items{0};
+};
+
+/// An explicit per-worker task queue.
+struct ConcRTWorkload::TaskQueue {
+  static constexpr uint32_t Capacity = 256;
+  uint64_t Ring[Capacity] = {};
+  uint32_t Head = 0;
+  uint32_t Tail = 0;
+  Mutex Lock;
+  Semaphore Slots{Capacity};
+  Semaphore Items{0};
+};
+
+struct ConcRTWorkload::SharedState {
+  static constexpr unsigned NumAgents = 4;
+  static constexpr unsigned NumWorkers = 3;
+
+  Mailbox Boxes[NumAgents];
+  TaskQueue Queues[NumWorkers];
+  Barrier PhaseBarrier{NumWorkers + 1};
+
+  /// Read-only task input, initialized before any thread is forked.
+  uint64_t ReadOnly[64] = {};
+  /// Result cells; each task id owns one cell, and phases are separated by
+  /// the barrier, so writes are properly ordered.
+  uint64_t Results[4096] = {};
+
+  // -- Intentionally racy diagnostics. --
+  uint8_t MonStop = 0;              // rare: concrt-stop-flag
+  uint64_t TasksRetiredSlots[8] = {}; // concrt-tasks-retired
+  uint64_t InFlightSlots[8] = {};   // concrt-in-flight
+  uint64_t DepthEstimate = 0;       // concrt-depth-estimate
+  uint64_t LastAgentActive = 0;     // concrt-last-agent
+  uint64_t CongestionMark = 0;      // concrt-congestion (rare-in-hot)
+  uint64_t StealHint = 0;           // concrt-steal-hint (rare-in-hot)
+  uint64_t StartStamp = 0;          // concrt-start-stamp (rare)
+  uint64_t FinalSeq = 0;            // concrt-final-seq (rare)
+  uint64_t PhaseLabel = 0;          // concrt-phase-label (rare)
+  bool TunablesReady = false;       // concrt-tunables (rare lazy init)
+  uint64_t Tunables[4] = {};
+};
+
+ConcRTWorkload::ConcRTWorkload(Input In) : In(In) {}
+
+std::string ConcRTWorkload::name() const {
+  return In == Input::Messaging ? "ConcRT Messaging"
+                                : "ConcRT Explicit Scheduling";
+}
+
+void ConcRTWorkload::bind(Runtime &RT) {
+  assert(!Bound && "workload bound twice; create a fresh instance per run");
+  FunctionRegistry &Reg = RT.registry();
+  FnEnqueue = Reg.registerFunction("rt.enqueue");
+  FnDequeue = Reg.registerFunction("rt.dequeue");
+  FnExecute = Reg.registerFunction("rt.execute");
+  FnMonitor = Reg.registerFunction("rt.monitor");
+  FnSend = Reg.registerFunction("agent.send");
+  FnReceive = Reg.registerFunction("agent.receive");
+  FnAgentStart = Reg.registerFunction("rt.workerStart");
+  FnAgentFinish = Reg.registerFunction("rt.workerFinish");
+  FnOpenPhase = Reg.registerFunction("sched.openPhase");
+  FnBeginPhase = Reg.registerFunction("worker.beginPhase");
+  FnSpotCheck = Reg.registerFunction("sched.spotCheck");
+  FnStop = Reg.registerFunction("sched.stop");
+  Bound = true;
+}
+
+void ConcRTWorkload::monitorMain(ThreadContext &TC, SharedState &S) {
+  uint32_t Poll = 0;
+  uint64_t Sink = 0;
+  bool ReadSteal = false;
+  bool ReadCongestion = false;
+  for (;;) {
+    bool Stop = false;
+    TC.run(FnMonitor, [&](auto &T) {
+      // RACE (concrt-stop-flag): polled bare.
+      Stop = T.load(&S.MonStop, SiteMonStopRead) != 0;
+      for (unsigned Slot = 0; Slot != 8; ++Slot)
+        Sink ^= T.load(&S.TasksRetiredSlots[Slot], SiteMonRetired);
+      for (unsigned Slot = 0; Slot != 8; ++Slot)
+        Sink ^= T.load(&S.InFlightSlots[Slot], SiteMonInFlight);
+      Sink ^= T.load(&S.DepthEstimate, SiteMonDepth);
+      Sink ^= T.load(&S.LastAgentActive, SiteMonLastAgent);
+      // RACE (concrt-steal-hint, rare-in-hot): single diagnostic read at
+      // a poll index that falls in the sampler's back-off gap (or at the
+      // stop poll, so short test-scale runs still read it).
+      if ((Poll == 61 || Stop) && !ReadSteal) {
+        Sink ^= T.load(&S.StealHint, SiteStealHintRead);
+        ReadSteal = true;
+      }
+      // RACE (concrt-congestion, rare-in-hot): same shape.
+      if ((Poll == 97 || Stop) && !ReadCongestion) {
+        Sink ^= T.load(&S.CongestionMark, SiteMonCongestion);
+        ReadCongestion = true;
+      }
+    });
+    ++Poll;
+    if (Stop || Poll > 200000)
+      break;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void ConcRTWorkload::runMessaging(Runtime &RT, SharedState &S,
+                                  const WorkloadParams &Params) {
+  ThreadContext Main(RT);
+  const uint32_t Messages = Params.scaled(2500, 40);
+
+  Thread Monitor(RT, Main,
+                 [this, &S](ThreadContext &TC) { monitorMain(TC, S); });
+
+  std::vector<std::unique_ptr<Thread>> Agents;
+  for (unsigned Index = 0; Index != SharedState::NumAgents; ++Index) {
+    Agents.push_back(std::make_unique<Thread>(
+        RT, Main, [this, &S, Index, Messages](ThreadContext &TC) {
+          // RACE (concrt-start-stamp): sibling threads stamp a shared
+          // cell before any synchronization has ordered them.
+          TC.run(FnAgentStart, [&](auto &T) {
+            T.store(&S.StartStamp, static_cast<uint64_t>(TC.tid()),
+                    SiteStartStampWrite);
+          });
+
+          Mailbox &Out = S.Boxes[(Index + 1) % SharedState::NumAgents];
+          Mailbox &Inbox = S.Boxes[Index];
+          uint64_t Sink = 0;
+          for (uint32_t I = 0; I != Messages; ++I) {
+            uint64_t Token = mix64((uint64_t(Index) << 32) | I);
+            Out.Slots.acquire(TC);
+            TC.run(FnSend, [&](auto &T) {
+              Out.Lock.lock(TC);
+              uint32_t Tail = T.load(&Out.Tail, SiteMailboxStore);
+              T.store(&Out.Ring[Tail % Mailbox::Capacity], Token,
+                      SiteMailboxStore);
+              T.store(&Out.Tail, Tail + 1, SiteMailboxStore);
+              Out.Lock.unlock(TC);
+              // RACE (concrt-in-flight): per-thread slot estimate read
+              // bare by the monitor.
+              unsigned Slot = TC.tid() & 7u;
+              uint64_t N = T.load(&S.InFlightSlots[Slot], SiteInFlightRead);
+              T.store(&S.InFlightSlots[Slot], N + 1, SiteInFlightWrite);
+              // RACE (concrt-congestion): one-shot diagnostic on a rare
+              // iteration of a hot function (11 exists at any scale).
+              if (I == 777 || I == 11)
+                T.store(&S.CongestionMark, Token, SiteCongestionWrite);
+            });
+            Out.Items.release(TC);
+
+            Inbox.Items.acquire(TC);
+            TC.run(FnReceive, [&](auto &T) {
+              Inbox.Lock.lock(TC);
+              uint32_t Head = T.load(&Inbox.Head, SiteMailboxLoad);
+              uint64_t Received =
+                  T.load(&Inbox.Ring[Head % Mailbox::Capacity],
+                         SiteMailboxLoad);
+              T.store(&Inbox.Head, Head + 1, SiteMailboxLoad);
+              Inbox.Lock.unlock(TC);
+              Sink ^= Received;
+              // RACE (concrt-last-agent): read bare by the monitor.
+              T.store(&S.LastAgentActive, static_cast<uint64_t>(TC.tid()),
+                      SiteLastAgentWrite);
+            });
+            Inbox.Slots.release(TC);
+          }
+
+          // RACE (concrt-final-seq): each agent's last unsynchronized act.
+          TC.run(FnAgentFinish, [&](auto &T) {
+            T.store(&S.FinalSeq, Sink, SiteFinalSeqWrite);
+          });
+        }));
+  }
+
+  for (auto &A : Agents)
+    A->join(Main);
+
+  Main.run(FnStop, [&](auto &T) {
+    // RACE (concrt-stop-flag).
+    T.store(&S.MonStop, uint8_t{1}, SiteMonStopWrite);
+  });
+  Monitor.join(Main);
+}
+
+void ConcRTWorkload::runExplicit(Runtime &RT, SharedState &S,
+                                 const WorkloadParams &Params) {
+  ThreadContext Main(RT);
+  const uint32_t TasksPerWorkerPhase = Params.scaled(500, 10);
+  constexpr unsigned Phases = 6;
+  constexpr uint64_t EndMarker = ~0ULL;
+
+  for (unsigned I = 0; I != 64; ++I)
+    S.ReadOnly[I] = mix64(Params.Seed + I);
+
+  Thread Monitor(RT, Main,
+                 [this, &S](ThreadContext &TC) { monitorMain(TC, S); });
+
+  std::vector<std::unique_ptr<Thread>> Workers;
+  for (unsigned Index = 0; Index != SharedState::NumWorkers; ++Index) {
+    Workers.push_back(std::make_unique<Thread>(
+        RT, Main, [this, &S, Index](ThreadContext &TC) {
+          TC.run(FnAgentStart, [&](auto &T) {
+            // RACE (concrt-start-stamp).
+            T.store(&S.StartStamp, static_cast<uint64_t>(TC.tid()),
+                    SiteStartStampWrite);
+          });
+
+          TaskQueue &Q = S.Queues[Index];
+          bool SeenTunables = false;
+          uint32_t Dequeues = 0;
+          for (unsigned Phase = 0; Phase != Phases; ++Phase) {
+            S.PhaseBarrier.arriveAndWait(TC);
+            TC.run(FnBeginPhase, [&](auto &T) {
+              // RACE (concrt-phase-label): the scheduler publishes the
+              // label after the barrier, concurrently with this read.
+              (void)T.load(&S.PhaseLabel, SitePhaseLabelRead);
+              // RACE (concrt-tunables): unsynchronized lazy init, done
+              // right after the barrier opens — the initializing worker
+              // and its sibling readers share no synchronization between
+              // the barrier and these accesses, on any schedule.
+              if (!SeenTunables) {
+                if (!T.load(&S.TunablesReady, SiteTunablesReadyRead)) {
+                  for (unsigned K = 0; K != 4; ++K)
+                    T.store(&S.Tunables[K], mix64(K + 99),
+                            SiteTunablesTableWrite);
+                  T.store(&S.TunablesReady, true, SiteTunablesReadyWrite);
+                }
+                (void)T.load(&S.Tunables[0], SiteTunablesProbeRead);
+                SeenTunables = true;
+              }
+            });
+            for (;;) {
+              Q.Items.acquire(TC);
+              uint64_t Task = 0;
+              TC.run(FnDequeue, [&](auto &T) {
+                Q.Lock.lock(TC);
+                uint32_t Head = T.load(&Q.Head, SiteSlotLoad);
+                Task = T.load(&Q.Ring[Head % TaskQueue::Capacity],
+                              SiteSlotLoad);
+                T.store(&Q.Head, Head + 1, SiteSlotLoad);
+                Q.Lock.unlock(TC);
+                // RACE (concrt-steal-hint): one-shot write deep in the
+                // hot dequeue path, read once by the monitor (the early
+                // trigger exists at any scale).
+                ++Dequeues;
+                if (Dequeues == 512 || Dequeues == 7)
+                  T.store(&S.StealHint, static_cast<uint64_t>(TC.tid()),
+                          SiteStealHintWrite);
+              });
+              Q.Slots.release(TC);
+              if (Task == EndMarker)
+                break;
+
+              TC.run(FnExecute, [&](auto &T) {
+                uint64_t Acc = 0;
+                for (unsigned K = 0; K != 32; ++K)
+                  Acc += T.load(&S.ReadOnly[(Task + K) & 63],
+                                SiteTaskPayload);
+                T.store(&S.Results[Task & 4095], Acc, SiteResultWrite);
+                // RACE (concrt-tasks-retired): slot counters read bare by
+                // the monitor.
+                unsigned Slot = TC.tid() & 7u;
+                uint64_t N =
+                    T.load(&S.TasksRetiredSlots[Slot], SiteRetiredRead);
+                T.store(&S.TasksRetiredSlots[Slot], N + 1, SiteRetiredWrite);
+              });
+            }
+          }
+
+          TC.run(FnAgentFinish, [&](auto &T) {
+            // RACE (concrt-final-seq).
+            T.store(&S.FinalSeq, static_cast<uint64_t>(Dequeues),
+                    SiteFinalSeqWrite);
+          });
+        }));
+  }
+
+  uint64_t NextTask = 1;
+  for (unsigned Phase = 0; Phase != Phases; ++Phase) {
+    S.PhaseBarrier.arriveAndWait(Main);
+    Main.run(FnOpenPhase, [&](auto &T) {
+      // RACE (concrt-phase-label): published after the barrier opens.
+      T.store(&S.PhaseLabel, static_cast<uint64_t>(Phase + 1),
+              SitePhaseLabelWrite);
+    });
+    for (uint32_t I = 0; I != TasksPerWorkerPhase; ++I) {
+      for (unsigned W = 0; W != SharedState::NumWorkers; ++W) {
+        TaskQueue &Q = S.Queues[W];
+        Q.Slots.acquire(Main);
+        Main.run(FnEnqueue, [&](auto &T) {
+          Q.Lock.lock(Main);
+          uint32_t Tail = T.load(&Q.Tail, SiteSlotStore);
+          T.store(&Q.Ring[Tail % TaskQueue::Capacity], NextTask,
+                  SiteSlotStore);
+          T.store(&Q.Tail, Tail + 1, SiteSlotStore);
+          Q.Lock.unlock(Main);
+          // RACE (concrt-depth-estimate): read bare by the monitor.
+          T.store(&S.DepthEstimate, static_cast<uint64_t>(Tail),
+                  SiteDepthWrite);
+        });
+        Q.Items.release(Main);
+        ++NextTask;
+      }
+    }
+    // One phase-end marker per worker.
+    for (unsigned W = 0; W != SharedState::NumWorkers; ++W) {
+      TaskQueue &Q = S.Queues[W];
+      Q.Slots.acquire(Main);
+      Main.run(FnEnqueue, [&](auto &T) {
+        Q.Lock.lock(Main);
+        uint32_t Tail = T.load(&Q.Tail, SiteSlotStore);
+        T.store(&Q.Ring[Tail % TaskQueue::Capacity], EndMarker,
+                SiteSlotStore);
+        T.store(&Q.Tail, Tail + 1, SiteSlotStore);
+        Q.Lock.unlock(Main);
+      });
+      Q.Items.release(Main);
+    }
+    if (Phase == 3) {
+      // RACE (concrt-spot-check): bare mid-run peek at the cell of the
+      // LAST task just enqueued. The worker cannot have published that
+      // cell's write back to us yet (we do not acquire anything between
+      // the enqueue and this read), so read and write are unordered.
+      const uint64_t LastTask = NextTask - 1;
+      Main.run(FnSpotCheck, [&](auto &T) {
+        (void)T.load(&S.Results[LastTask & 4095], SiteSpotCheckRead);
+      });
+    }
+  }
+
+  for (auto &W : Workers)
+    W->join(Main);
+
+  Main.run(FnStop, [&](auto &T) {
+    T.store(&S.MonStop, uint8_t{1}, SiteMonStopWrite);
+  });
+  Monitor.join(Main);
+}
+
+void ConcRTWorkload::run(Runtime &RT, const WorkloadParams &Params) {
+  assert(Bound && "bind() must run before run()");
+  SharedState S;
+  if (In == Input::Messaging)
+    runMessaging(RT, S, Params);
+  else
+    runExplicit(RT, S, Params);
+}
+
+std::vector<SeededRaceSpec> ConcRTWorkload::seededRaces() const {
+  assert(Bound && "manifest valid only after bind()");
+  auto P = [&](FunctionId F, uint32_t Site) { return makePc(F, Site); };
+  std::vector<SeededRaceSpec> Races;
+  auto Add = [&](const char *Label, std::vector<Pc> Sites, bool Frequent) {
+    Races.push_back(SeededRaceSpec{Label, std::move(Sites), Frequent});
+  };
+
+  // Shared by both inputs.
+  Add("concrt-stop-flag",
+      {P(FnStop, SiteMonStopWrite), P(FnMonitor, SiteMonStopRead)}, false);
+  Add("concrt-start-stamp", {P(FnAgentStart, SiteStartStampWrite)}, false);
+  Add("concrt-final-seq", {P(FnAgentFinish, SiteFinalSeqWrite)}, false);
+
+  if (In == Input::Messaging) {
+    Add("concrt-in-flight",
+        {P(FnSend, SiteInFlightRead), P(FnSend, SiteInFlightWrite),
+         P(FnMonitor, SiteMonInFlight)},
+        true);
+    Add("concrt-last-agent",
+        {P(FnReceive, SiteLastAgentWrite), P(FnMonitor, SiteMonLastAgent)},
+        true);
+    Add("concrt-congestion",
+        {P(FnSend, SiteCongestionWrite), P(FnMonitor, SiteMonCongestion)},
+        false);
+  } else {
+    Add("concrt-tasks-retired",
+        {P(FnExecute, SiteRetiredRead), P(FnExecute, SiteRetiredWrite),
+         P(FnMonitor, SiteMonRetired)},
+        true);
+    Add("concrt-depth-estimate",
+        {P(FnEnqueue, SiteDepthWrite), P(FnMonitor, SiteMonDepth)}, true);
+    Add("concrt-phase-label",
+        {P(FnOpenPhase, SitePhaseLabelWrite),
+         P(FnBeginPhase, SitePhaseLabelRead)},
+        false);
+    Add("concrt-tunables-flag",
+        {P(FnBeginPhase, SiteTunablesReadyRead),
+         P(FnBeginPhase, SiteTunablesReadyWrite)},
+        false);
+    Add("concrt-tunables-table",
+        {P(FnBeginPhase, SiteTunablesTableWrite),
+         P(FnBeginPhase, SiteTunablesProbeRead)},
+        false);
+    Add("concrt-steal-hint",
+        {P(FnDequeue, SiteStealHintWrite),
+         P(FnMonitor, SiteStealHintRead)},
+        false);
+    Add("concrt-spot-check",
+        {P(FnExecute, SiteResultWrite), P(FnSpotCheck, SiteSpotCheckRead)},
+        false);
+  }
+  return Races;
+}

@@ -1,0 +1,412 @@
+//===-- workloads/Httpd.cpp - Web-server workload --------------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Httpd.h"
+
+#include "support/Hashing.h"
+#include "support/SplitMix64.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+using namespace literace;
+
+namespace {
+
+/// A parsed request travelling through the queue (by value).
+struct Request {
+  enum Type : uint32_t { SmallStatic = 0, LargeStatic = 1, Cgi = 2,
+                         Shutdown = 3 };
+  uint32_t Kind = SmallStatic;
+  uint32_t Size = 0;
+  uint64_t UrlHash = 0;
+};
+
+} // namespace
+
+struct HttpdWorkload::SharedState {
+  static constexpr unsigned NumWorkers = 4;
+  static constexpr uint32_t QueueCapacity = 128;
+  static constexpr unsigned CacheEntries = 64;
+  static constexpr unsigned CacheStripes = 8;
+
+  // Request queue (properly synchronized).
+  Request Ring[QueueCapacity];
+  uint32_t Head = 0;
+  uint32_t Tail = 0;
+  Mutex QueueLock;
+  Semaphore Slots{QueueCapacity};
+  Semaphore Items{0};
+
+  // Read-only document store, initialized before any fork.
+  uint8_t Page[512] = {};
+  uint8_t CgiEnv[64] = {};
+
+  // Response cache with striped locks (properly synchronized).
+  uint64_t CacheKey[CacheEntries] = {};
+  uint64_t CacheDigest[CacheEntries] = {};
+  Mutex CacheLocks[CacheStripes];
+
+  MonitoredAllocator Allocator;
+
+  // -- Intentionally racy diagnostics. --
+  bool MimeReady = false;            // httpd-mime-flag / -table (rare)
+  uint64_t MimeTable[4] = {};
+  bool TzReady = false;              // httpd-tz-flag / -table (rare)
+  uint64_t TzTable[4] = {};
+  uint64_t StartOrder = 0;           // httpd-start-order (rare)
+  uint64_t FinalRequestCount = 0;    // httpd-final-count (rare)
+  uint64_t CacheGeneration = 0;      // httpd-cache-generation (rare)
+  uint64_t LastErrorCode = 0;        // httpd-error-code (rare-in-hot)
+  uint8_t MonStop = 0;               // httpd-stop-flag (rare)
+  uint64_t ServedSlots[8] = {};      // httpd-served (frequent)
+  uint64_t BytesSlots[8] = {};       // httpd-bytes (frequent)
+  uint64_t LastUrlHash = 0;          // httpd-last-url (frequent)
+};
+
+HttpdWorkload::HttpdWorkload(Input In) : In(In) {}
+
+std::string HttpdWorkload::name() const {
+  return In == Input::Mixed1 ? "Apache-1" : "Apache-2";
+}
+
+void HttpdWorkload::bind(Runtime &RT) {
+  assert(!Bound && "workload bound twice; create a fresh instance per run");
+  FunctionRegistry &Reg = RT.registry();
+  FnParse = Reg.registerFunction("http.parse");
+  FnServeStatic = Reg.registerFunction("http.serveStatic");
+  FnServeCgi = Reg.registerFunction("http.serveCgi");
+  FnLogAccess = Reg.registerFunction("http.logAccess");
+  FnEnqueue = Reg.registerFunction("srv.enqueue");
+  FnDequeue = Reg.registerFunction("srv.dequeue");
+  FnWorkerStart = Reg.registerFunction("srv.workerStart");
+  FnWorkerFinish = Reg.registerFunction("srv.workerFinish");
+  FnMonitor = Reg.registerFunction("srv.monitor");
+  FnScrub = Reg.registerFunction("srv.scrub");
+  FnStop = Reg.registerFunction("srv.stop");
+  Bound = true;
+}
+
+void HttpdWorkload::workerMain(ThreadContext &TC, SharedState &S) {
+  // RACE (rare, httpd-start-order): sibling workers stamp the shared cell
+  // before anything orders them.
+  TC.run(FnWorkerStart, [&](auto &T) {
+    T.store(&S.StartOrder, static_cast<uint64_t>(TC.tid()),
+            SiteStartOrderWrite);
+  });
+
+  bool WroteGeneration = false;
+  bool WroteError = false;
+  uint64_t Served = 0;
+
+  // Warm up the parser and log formatter BEFORE touching the request
+  // queue: the lazy inits below run while sibling workers are still
+  // mutually unordered (only fork edges exist), so the init races
+  // manifest on every schedule.
+  TC.run(FnParse, [&](auto &T) {
+    // RACE (rare, httpd-mime-flag / httpd-mime-table).
+    if (!T.load(&S.MimeReady, SiteMimeReadyRead)) {
+      for (unsigned K = 0; K != 4; ++K)
+        T.store(&S.MimeTable[K], mix64(K + 7), SiteMimeTableWrite);
+      T.store(&S.MimeReady, true, SiteMimeReadyWrite);
+    }
+    (void)T.load(&S.MimeTable[0], SiteMimeProbeRead);
+  });
+  TC.run(FnLogAccess, [&](auto &T) {
+    // RACE (rare, httpd-tz-flag / httpd-tz-table).
+    if (!T.load(&S.TzReady, SiteTzReadyRead)) {
+      for (unsigned K = 0; K != 4; ++K)
+        T.store(&S.TzTable[K], mix64(K + 77), SiteTzTableWrite);
+      T.store(&S.TzReady, true, SiteTzReadyWrite);
+    }
+    (void)T.load(&S.TzTable[0], SiteTzProbeRead);
+  });
+
+  for (;;) {
+    // Dequeue a request (properly synchronized).
+    S.Items.acquire(TC);
+    Request Req;
+    TC.run(FnDequeue, [&](auto &T) {
+      S.QueueLock.lock(TC);
+      uint32_t Head = T.load(&S.Head, SiteQueueLoad);
+      Request &SlotRef = S.Ring[Head % SharedState::QueueCapacity];
+      Req.Kind = T.load(&SlotRef.Kind, SiteQueueLoad);
+      Req.Size = T.load(&SlotRef.Size, SiteQueueLoad);
+      Req.UrlHash = T.load(&SlotRef.UrlHash, SiteQueueLoad);
+      T.store(&S.Head, Head + 1, SiteQueueLoad);
+      S.QueueLock.unlock(TC);
+    });
+    S.Slots.release(TC);
+    if (Req.Kind == Request::Shutdown)
+      break;
+
+    // Parse: rare malformed-request branch.
+    TC.run(FnParse, [&](auto &T) {
+      (void)T.load(&S.Page[Req.UrlHash & 511], SiteReqFieldRead);
+      // RACE (rare-in-hot, httpd-error-code): a malformed request (about
+      // one in 900) records a diagnostic, once per worker; the monitor
+      // reads it once, deep in both functions' back-off gaps.
+      if ((Req.UrlHash % 901) == 0 && !WroteError) {
+        T.store(&S.LastErrorCode, Req.UrlHash, SiteErrorCodeWrite);
+        WroteError = true;
+      }
+    });
+
+    // Serve.
+    if (Req.Kind == Request::Cgi) {
+      TC.run(FnServeCgi, [&](auto &T) {
+        uint8_t *Scratch =
+            static_cast<uint8_t *>(S.Allocator.allocate(TC, 256));
+        uint64_t Acc = Req.UrlHash;
+        for (unsigned K = 0; K != 256; ++K) {
+          Acc = Acc * 131 + T.load(&S.CgiEnv[K & 63], SiteCgiEnvLoad);
+          T.store(&Scratch[K], static_cast<uint8_t>(Acc), SiteCgiScratch);
+        }
+        S.Allocator.deallocate(TC, Scratch, 256);
+      });
+    } else {
+      TC.run(FnServeStatic, [&](auto &T) {
+        const uint32_t Bytes = Req.Size;
+        uint8_t *Response =
+            static_cast<uint8_t *>(S.Allocator.allocate(TC, Bytes / 4));
+        uint64_t Digest = 1469598103934665603ULL;
+        for (uint32_t K = 0; K != Bytes; ++K)
+          Digest =
+              (Digest ^ T.load(&S.Page[K & 511], SitePageLoad)) *
+              1099511628211ULL;
+        for (uint32_t K = 0; K != Bytes / 4; ++K)
+          T.store(&Response[K], static_cast<uint8_t>(Digest >> (K & 7)),
+                  SiteResponseStore);
+        S.Allocator.deallocate(TC, Response, Bytes / 4);
+
+        // Response cache probe/update under the stripe lock: properly
+        // synchronized shared writes the detector must not flag.
+        unsigned Entry = Req.UrlHash % SharedState::CacheEntries;
+        Mutex &Stripe =
+            S.CacheLocks[Entry % SharedState::CacheStripes];
+        Stripe.lock(TC);
+        uint64_t Key = T.load(&S.CacheKey[Entry], SiteCacheKeyRead);
+        bool Evict = Key != 0 && Key != Req.UrlHash;
+        T.store(&S.CacheKey[Entry], Req.UrlHash, SiteCacheKeyWrite);
+        T.store(&S.CacheDigest[Entry], Digest, SiteCacheDigestWrite);
+        Stripe.unlock(TC);
+        // RACE (rare, httpd-cache-generation): one-shot eviction
+        // diagnostic written OUTSIDE the stripe lock, read bare by the
+        // late scrubber.
+        if (Evict && !WroteGeneration) {
+          T.store(&S.CacheGeneration, Req.UrlHash, SiteGenerationWrite);
+          WroteGeneration = true;
+        }
+
+        // RACE (frequent, httpd-served / httpd-bytes / httpd-last-url):
+        // bare statistics polled by the monitor.
+        unsigned Slot = TC.tid() & 7u;
+        uint64_t N = T.load(&S.ServedSlots[Slot], SiteServedRead);
+        T.store(&S.ServedSlots[Slot], N + 1, SiteServedWrite);
+        uint64_t B = T.load(&S.BytesSlots[Slot], SiteBytesRead);
+        T.store(&S.BytesSlots[Slot], B + Bytes, SiteBytesWrite);
+        T.store(&S.LastUrlHash, Req.UrlHash, SiteLastUrlWrite);
+      });
+    }
+
+    // Access log formatting: private buffer writes.
+    TC.run(FnLogAccess, [&](auto &T) {
+      char Line[48];
+      for (unsigned K = 0; K != sizeof(Line); ++K)
+        T.store(&Line[K], static_cast<char>('a' + (Req.UrlHash >> (K & 7))),
+                SiteLogBufWrite);
+    });
+
+    ++Served;
+  }
+
+  // RACE (rare, httpd-final-count): last unsynchronized act of each
+  // worker.
+  TC.run(FnWorkerFinish, [&](auto &T) {
+    T.store(&S.FinalRequestCount, Served, SiteFinalCountWrite);
+  });
+}
+
+void HttpdWorkload::monitorMain(ThreadContext &TC, SharedState &S) {
+  uint32_t Poll = 0;
+  uint64_t Sink = 0;
+  bool ReadError = false;
+  bool ReadGeneration = false;
+  for (;;) {
+    bool Stop = false;
+    TC.run(FnMonitor, [&](auto &T) {
+      Stop = T.load(&S.MonStop, SiteMonStop) != 0;
+      for (unsigned Slot = 0; Slot != 8; ++Slot)
+        Sink ^= T.load(&S.ServedSlots[Slot], SiteMonServed);
+      for (unsigned Slot = 0; Slot != 8; ++Slot)
+        Sink ^= T.load(&S.BytesSlots[Slot], SiteMonBytes);
+      Sink ^= T.load(&S.LastUrlHash, SiteMonLastUrl);
+      if ((Poll == 211 || Stop) && !ReadError) {
+        // RACE (rare-in-hot, httpd-error-code): single diagnostic read.
+        Sink ^= T.load(&S.LastErrorCode, SiteMonErrorCode);
+        ReadError = true;
+      }
+      if ((Poll == 157 || Stop) && !ReadGeneration) {
+        // RACE (rare, httpd-cache-generation): single bare read of the
+        // one-shot eviction diagnostics; the monitor never synchronizes
+        // with the workers, so the pair is unordered on any schedule.
+        Sink ^= T.load(&S.CacheGeneration, SiteMonGeneration);
+        ReadGeneration = true;
+      }
+    });
+    ++Poll;
+    if (Stop || Poll > 200000)
+      break;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void HttpdWorkload::scrubberMain(ThreadContext &TC, SharedState &S) {
+  TC.run(FnScrub, [&](auto &T) {
+    // RACE (rare, httpd-cache-generation): the scrubber starts late and
+    // reads the eviction diagnostic bare.
+    (void)T.load(&S.CacheGeneration, SiteScrubGenerationRead);
+    // Proper scan of the cache under the stripe locks.
+    for (unsigned Entry = 0; Entry != SharedState::CacheEntries; ++Entry) {
+      Mutex &Stripe = S.CacheLocks[Entry % SharedState::CacheStripes];
+      Stripe.lock(TC);
+      (void)T.load(&S.CacheKey[Entry], SiteScrubCacheRead);
+      (void)T.load(&S.CacheDigest[Entry], SiteScrubCacheRead);
+      Stripe.unlock(TC);
+    }
+  });
+}
+
+void HttpdWorkload::run(Runtime &RT, const WorkloadParams &Params) {
+  assert(Bound && "bind() must run before run()");
+  SharedState S;
+  SplitMix64 Rng(Params.Seed);
+  for (unsigned K = 0; K != 512; ++K)
+    S.Page[K] = static_cast<uint8_t>(Rng.next());
+  for (unsigned K = 0; K != 64; ++K)
+    S.CgiEnv[K] = static_cast<uint8_t>(Rng.next());
+
+  ThreadContext Main(RT);
+
+  Thread Monitor(RT, Main,
+                 [this, &S](ThreadContext &TC) { monitorMain(TC, S); });
+  std::vector<std::unique_ptr<Thread>> Workers;
+  for (unsigned I = 0; I != SharedState::NumWorkers; ++I)
+    Workers.push_back(std::make_unique<Thread>(
+        RT, Main, [this, &S, I](ThreadContext &TC) {
+          // Staggered starts (see ChannelWorkload): later workers warm up
+          // their parsers when http.parse is already globally hot, which
+          // is what separates thread-local from global samplers.
+          std::this_thread::sleep_for(std::chrono::milliseconds(25 * I));
+          workerMain(TC, S);
+        }));
+
+  // Build the request schedule.
+  std::vector<Request> Schedule;
+  if (In == Input::Mixed1) {
+    uint32_t Small = Params.scaled(3000, 30);
+    uint32_t Large = Params.scaled(3000, 30);
+    uint32_t Cgi = Params.scaled(1000, 10);
+    for (uint32_t I = 0; I != Small; ++I)
+      Schedule.push_back({Request::SmallStatic, 128, 0});
+    for (uint32_t I = 0; I != Large; ++I)
+      Schedule.push_back({Request::LargeStatic, 384, 0});
+    for (uint32_t I = 0; I != Cgi; ++I)
+      Schedule.push_back({Request::Cgi, 0, 0});
+    // Deterministic shuffle for a mixed arrival order.
+    for (size_t I = Schedule.size(); I > 1; --I)
+      std::swap(Schedule[I - 1], Schedule[Rng.nextBelow(I)]);
+  } else {
+    uint32_t Small = Params.scaled(10000, 100);
+    for (uint32_t I = 0; I != Small; ++I)
+      Schedule.push_back({Request::SmallStatic, 128, 0});
+  }
+  for (size_t I = 0; I != Schedule.size(); ++I)
+    Schedule[I].UrlHash = mix64(Params.Seed ^ (I * 2654435761ULL)) | 1;
+  // Guarantee at least one malformed request (httpd-error-code trigger:
+  // UrlHash divisible by 901) at every scale: 2703 = 3 * 901, odd.
+  if (!Schedule.empty())
+    Schedule[Schedule.size() / 2].UrlHash = 2703;
+
+  // Serve the schedule, then one shutdown request per worker.
+  for (unsigned I = 0; I != SharedState::NumWorkers; ++I)
+    Schedule.push_back({Request::Shutdown, 0, 0});
+  for (const Request &Req : Schedule) {
+    S.Slots.acquire(Main);
+    Main.run(FnEnqueue, [&](auto &T) {
+      S.QueueLock.lock(Main);
+      uint32_t Tail = T.load(&S.Tail, SiteQueueStore);
+      Request &SlotRef = S.Ring[Tail % SharedState::QueueCapacity];
+      T.store(&SlotRef.Kind, Req.Kind, SiteQueueStore);
+      T.store(&SlotRef.Size, Req.Size, SiteQueueStore);
+      T.store(&SlotRef.UrlHash, Req.UrlHash, SiteQueueStore);
+      T.store(&S.Tail, Tail + 1, SiteQueueStore);
+      S.QueueLock.unlock(Main);
+    });
+    S.Items.release(Main);
+  }
+
+  // Fork the scrubber BEFORE joining the workers so its bare read stays
+  // unordered with their eviction diagnostics.
+  Thread Scrubber(RT, Main,
+                  [this, &S](ThreadContext &TC) { scrubberMain(TC, S); });
+  for (auto &W : Workers)
+    W->join(Main);
+  Scrubber.join(Main);
+
+  Main.run(FnStop, [&](auto &T) {
+    // RACE (frequent, httpd-stop-flag).
+    T.store(&S.MonStop, uint8_t{1}, SiteStopWrite);
+  });
+  Monitor.join(Main);
+}
+
+std::vector<SeededRaceSpec> HttpdWorkload::seededRaces() const {
+  assert(Bound && "manifest valid only after bind()");
+  auto P = [&](FunctionId F, uint32_t Site) { return makePc(F, Site); };
+  std::vector<SeededRaceSpec> Races;
+  auto Add = [&](const char *Label, std::vector<Pc> Sites, bool Frequent) {
+    Races.push_back(SeededRaceSpec{Label, std::move(Sites), Frequent});
+  };
+
+  Add("httpd-mime-flag",
+      {P(FnParse, SiteMimeReadyRead), P(FnParse, SiteMimeReadyWrite)},
+      false);
+  Add("httpd-mime-table",
+      {P(FnParse, SiteMimeTableWrite), P(FnParse, SiteMimeProbeRead)},
+      false);
+  Add("httpd-tz-flag",
+      {P(FnLogAccess, SiteTzReadyRead), P(FnLogAccess, SiteTzReadyWrite)},
+      false);
+  Add("httpd-tz-table",
+      {P(FnLogAccess, SiteTzTableWrite), P(FnLogAccess, SiteTzProbeRead)},
+      false);
+  Add("httpd-start-order", {P(FnWorkerStart, SiteStartOrderWrite)}, false);
+  Add("httpd-final-count", {P(FnWorkerFinish, SiteFinalCountWrite)}, false);
+  Add("httpd-cache-generation",
+      {P(FnServeStatic, SiteGenerationWrite),
+       P(FnScrub, SiteScrubGenerationRead),
+       P(FnMonitor, SiteMonGeneration)},
+      false);
+  Add("httpd-error-code",
+      {P(FnParse, SiteErrorCodeWrite), P(FnMonitor, SiteMonErrorCode)},
+      false);
+  Add("httpd-stop-flag",
+      {P(FnStop, SiteStopWrite), P(FnMonitor, SiteMonStop)}, false);
+  Add("httpd-served",
+      {P(FnServeStatic, SiteServedRead), P(FnServeStatic, SiteServedWrite),
+       P(FnMonitor, SiteMonServed)},
+      true);
+  Add("httpd-bytes",
+      {P(FnServeStatic, SiteBytesRead), P(FnServeStatic, SiteBytesWrite),
+       P(FnMonitor, SiteMonBytes)},
+      true);
+  Add("httpd-last-url",
+      {P(FnServeStatic, SiteLastUrlWrite), P(FnMonitor, SiteMonLastUrl)},
+      true);
+  return Races;
+}

@@ -1,0 +1,122 @@
+//===-- workloads/Httpd.h - Web-server workload ---------------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "Apache" benchmark equivalent (§5.1): a worker-pool web server
+/// processing synthetic requests. Two inputs match the paper's:
+///
+///   Apache-1  a mixed workload of small static pages, larger pages, and
+///             CGI requests (3000 / 3000 / 1000, scaled)
+///   Apache-2  10,000 requests for a small static page (scaled)
+///
+/// The listener (main thread) enqueues parsed requests to a bounded queue;
+/// four workers serve them: static requests checksum a shared read-only
+/// page buffer into a freshly allocated response (MonitoredAllocator →
+/// §4.3 page events), CGI requests run extra compute with scratch
+/// allocations. A striped-lock response cache provides properly
+/// synchronized shared-write traffic that the detector must stay silent
+/// about. A monitor thread polls statistics bare, and a late cache
+/// scrubber reads eviction diagnostics unordered with the workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_WORKLOADS_HTTPD_H
+#define LITERACE_WORKLOADS_HTTPD_H
+
+#include "sync/MonitoredAllocator.h"
+#include "workloads/Workload.h"
+
+namespace literace {
+
+/// "Apache-1" / "Apache-2" benchmark-input pair.
+class HttpdWorkload : public Workload {
+public:
+  enum class Input { Mixed1, SmallStatic2 };
+
+  explicit HttpdWorkload(Input In);
+
+  std::string name() const override;
+  void bind(Runtime &RT) override;
+  void run(Runtime &RT, const WorkloadParams &Params) override;
+  std::vector<SeededRaceSpec> seededRaces() const override;
+
+  /// Stable site labels.
+  enum Site : uint32_t {
+    // http.parse
+    SiteMimeReadyRead = 1,
+    SiteMimeReadyWrite = 2,
+    SiteMimeTableWrite = 3,
+    SiteMimeProbeRead = 4,
+    SiteErrorCodeWrite = 5,
+    SiteReqFieldRead = 6,
+    // http.serveStatic
+    SitePageLoad = 20,
+    SiteResponseStore = 21,
+    SiteServedRead = 22,
+    SiteServedWrite = 23,
+    SiteBytesRead = 24,
+    SiteBytesWrite = 25,
+    SiteLastUrlWrite = 26,
+    SiteCacheKeyRead = 27,
+    SiteCacheKeyWrite = 28,
+    SiteCacheDigestRead = 29,
+    SiteCacheDigestWrite = 30,
+    SiteGenerationWrite = 31,
+    // http.serveCgi
+    SiteCgiScratch = 50,
+    SiteCgiEnvLoad = 51,
+    // http.logAccess
+    SiteTzReadyRead = 70,
+    SiteTzReadyWrite = 71,
+    SiteTzTableWrite = 72,
+    SiteTzProbeRead = 73,
+    SiteLogBufWrite = 74,
+    // srv.enqueue / srv.dequeue
+    SiteQueueStore = 90,
+    SiteQueueLoad = 91,
+    // srv.workerStart / srv.workerFinish
+    SiteStartOrderWrite = 110,
+    SiteFinalCountWrite = 111,
+    // srv.monitor
+    SiteMonStop = 130,
+    SiteMonServed = 131,
+    SiteMonBytes = 132,
+    SiteMonLastUrl = 133,
+    SiteMonErrorCode = 134,
+    SiteMonGeneration = 135,
+    // srv.scrub
+    SiteScrubGenerationRead = 150,
+    SiteScrubCacheRead = 151,
+    // srv.stop
+    SiteStopWrite = 170,
+  };
+
+private:
+  struct SharedState;
+
+  void workerMain(ThreadContext &TC, SharedState &S);
+  void monitorMain(ThreadContext &TC, SharedState &S);
+  void scrubberMain(ThreadContext &TC, SharedState &S);
+
+  Input In;
+  bool Bound = false;
+
+  FunctionId FnParse = 0;
+  FunctionId FnServeStatic = 0;
+  FunctionId FnServeCgi = 0;
+  FunctionId FnLogAccess = 0;
+  FunctionId FnEnqueue = 0;
+  FunctionId FnDequeue = 0;
+  FunctionId FnWorkerStart = 0;
+  FunctionId FnWorkerFinish = 0;
+  FunctionId FnMonitor = 0;
+  FunctionId FnScrub = 0;
+  FunctionId FnStop = 0;
+};
+
+} // namespace literace
+
+#endif // LITERACE_WORKLOADS_HTTPD_H

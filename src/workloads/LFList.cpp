@@ -1,0 +1,207 @@
+//===-- workloads/LFList.cpp - Lock-free list micro-benchmark -------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/LFList.h"
+
+#include "support/SplitMix64.h"
+#include "sync/MonitoredAllocator.h"
+#include "sync/Primitives.h"
+
+#include <cassert>
+
+using namespace literace;
+
+/// A list node. Next holds a pointer with the low bit as the Harris
+/// "logically deleted" mark. The payload is written before the node is
+/// published by CAS, so readers that reach it through an atomic load are
+/// ordered after the writes.
+struct LFListWorkload::Node {
+  explicit Node(uint64_t Key, uint64_t Next) : Key(Key), Next(Next) {}
+
+  uint64_t Key;
+  uint8_t Payload[64] = {};
+  AtomicU64 Next;
+};
+
+namespace {
+
+constexpr uint64_t MarkBit = 1;
+
+uint64_t toBits(LFListWorkload::Node *N) {
+  return reinterpret_cast<uint64_t>(N);
+}
+
+bool isMarked(uint64_t Bits) { return (Bits & MarkBit) != 0; }
+
+uint64_t clearMark(uint64_t Bits) { return Bits & ~MarkBit; }
+
+} // namespace
+
+struct LFListWorkload::SharedState {
+  static constexpr unsigned NumThreads = 3;
+  static constexpr uint64_t KeySpace = 32;
+
+  SharedState() : Head(0, 0) {}
+
+  Node Head; ///< Sentinel; Head.Next is the list entry point.
+  MonitoredAllocator Allocator;
+};
+
+std::string LFListWorkload::name() const { return "LFList"; }
+
+void LFListWorkload::bind(Runtime &RT) {
+  assert(!Bound && "workload bound twice");
+  FnInsert = RT.registry().registerFunction("lfl.insert");
+  FnRemove = RT.registry().registerFunction("lfl.remove");
+  FnContains = RT.registry().registerFunction("lfl.contains");
+  Bound = true;
+}
+
+namespace {
+
+/// Finds the first unmarked node with Key >= Target, physically unlinking
+/// any marked nodes encountered (the unlinking CAS's winner retires the
+/// node). Returns (Pred, Curr); Curr may be null (end of list). All
+/// pointer loads and CASes are logged atomics; key reads are sampled
+/// memory operations.
+template <typename TracerT>
+void searchList(ThreadContext &TC, TracerT &T, LFListWorkload::Node &Head,
+                uint64_t Target, LFListWorkload::Node *&Pred,
+                LFListWorkload::Node *&Curr,
+                std::vector<LFListWorkload::Node *> &Retired,
+                uint32_t KeyReadSite) {
+  using Node = LFListWorkload::Node;
+retry:
+  Pred = &Head;
+  uint64_t CurrBits = clearMark(Pred->Next.load(TC));
+  while (CurrBits != 0) {
+    Curr = reinterpret_cast<Node *>(CurrBits);
+    uint64_t NextBits = Curr->Next.load(TC);
+    if (isMarked(NextBits)) {
+      // Unlink the logically deleted node; on contention, restart.
+      uint64_t Expected = CurrBits;
+      if (!Pred->Next.compareExchange(TC, Expected, clearMark(NextBits)))
+        goto retry;
+      Retired.push_back(Curr);
+      CurrBits = clearMark(NextBits);
+      continue;
+    }
+    if (T.load(&Curr->Key, KeyReadSite) >= Target)
+      return;
+    Pred = Curr;
+    CurrBits = clearMark(NextBits);
+  }
+  Curr = nullptr;
+}
+
+} // namespace
+
+void LFListWorkload::threadMain(ThreadContext &TC, SharedState &S,
+                                uint64_t Seed, uint32_t Ops,
+                                std::vector<Node *> &Retired) {
+  SplitMix64 Rng(Seed);
+  uint64_t Sink = 0;
+  for (uint32_t I = 0; I != Ops; ++I) {
+    uint64_t Key = Rng.nextBelow(SharedState::KeySpace) + 1;
+    uint64_t Dice = Rng.nextBelow(10);
+
+    if (Dice < 4) {
+      // Insert (40%).
+      TC.run(FnInsert, [&](auto &T) {
+        for (;;) {
+          Node *Pred = nullptr;
+          Node *Curr = nullptr;
+          searchList(TC, T, S.Head, Key, Pred, Curr, Retired, SiteKeyRead);
+          if (Curr && T.load(&Curr->Key, SiteKeyRead) == Key)
+            return; // Already present.
+          Node *Fresh = S.Allocator.create<Node>(TC, Key, toBits(Curr));
+          // Payload written before publication; readers are ordered by
+          // the acquire chain through Pred->Next.
+          for (unsigned K = 0; K != sizeof(Fresh->Payload); ++K)
+            T.store(&Fresh->Payload[K], static_cast<uint8_t>(Key + K),
+                    SitePayloadWrite);
+          T.store(&Fresh->Key, Key, SiteKeyWrite);
+          uint64_t Expected = toBits(Curr);
+          if (Pred->Next.compareExchange(TC, Expected, toBits(Fresh)))
+            return;
+          // Lost the race to another structural change: retire the
+          // unpublished node and retry.
+          Retired.push_back(Fresh);
+        }
+      });
+    } else if (Dice < 6) {
+      // Remove (20%).
+      TC.run(FnRemove, [&](auto &T) {
+        for (;;) {
+          Node *Pred = nullptr;
+          Node *Curr = nullptr;
+          searchList(TC, T, S.Head, Key, Pred, Curr, Retired, SiteKeyRead);
+          if (!Curr || T.load(&Curr->Key, SiteKeyRead) != Key)
+            return; // Absent.
+          uint64_t NextBits = Curr->Next.load(TC);
+          if (isMarked(NextBits))
+            continue; // Someone else is deleting it; re-search.
+          uint64_t Expected = NextBits;
+          if (!Curr->Next.compareExchange(TC, Expected,
+                                          NextBits | MarkBit))
+            continue; // Mark contention; re-search.
+          // Best-effort immediate unlink; a later search will otherwise
+          // do it.
+          uint64_t PredExpected = toBits(Curr);
+          if (Pred->Next.compareExchange(TC, PredExpected,
+                                         clearMark(NextBits)))
+            Retired.push_back(Curr);
+          return;
+        }
+      });
+    } else {
+      // Contains (40%), verifying the payload on a hit.
+      TC.run(FnContains, [&](auto &T) {
+        Node *Pred = nullptr;
+        Node *Curr = nullptr;
+        searchList(TC, T, S.Head, Key, Pred, Curr, Retired, SiteKeyRead);
+        if (Curr && T.load(&Curr->Key, SiteKeyRead) == Key)
+          for (unsigned K = 0; K != sizeof(Curr->Payload); ++K)
+            Sink ^= T.load(&Curr->Payload[K], SitePayloadRead);
+      });
+    }
+  }
+  (void)Sink;
+}
+
+void LFListWorkload::run(Runtime &RT, const WorkloadParams &Params) {
+  assert(Bound && "bind() must run before run()");
+  SharedState S;
+  ThreadContext Main(RT);
+  const uint32_t Ops = Params.scaled(60000, 300);
+
+  std::vector<std::vector<Node *>> Retired(SharedState::NumThreads);
+  std::vector<std::unique_ptr<Thread>> Threads;
+  for (unsigned I = 0; I != SharedState::NumThreads; ++I)
+    Threads.push_back(std::make_unique<Thread>(
+        RT, Main, [this, &S, I, Ops, &Params, &Retired](ThreadContext &TC) {
+          threadMain(TC, S, Params.Seed + I * 31, Ops, Retired[I]);
+        }));
+  for (auto &Th : Threads)
+    Th->join(Main);
+
+  // Deferred reclamation: all workers have joined, so freeing is ordered
+  // after every access.
+  for (auto &List : Retired)
+    for (Node *N : List)
+      S.Allocator.destroy(Main, N);
+  uint64_t HeadBits = clearMark(S.Head.Next.peek());
+  while (HeadBits != 0) {
+    Node *N = reinterpret_cast<Node *>(HeadBits);
+    HeadBits = clearMark(N->Next.peek());
+    S.Allocator.destroy(Main, N);
+  }
+}
+
+std::vector<SeededRaceSpec> LFListWorkload::seededRaces() const {
+  // Properly synchronized on purpose: the detector must stay silent.
+  return {};
+}

@@ -1,0 +1,62 @@
+//===-- workloads/LFList.h - Lock-free list micro-benchmark ---*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "LFList" micro-benchmark equivalent (§5.4): a sorted lock-free
+/// linked list (Harris-style) built on logged atomic compare-and-exchange.
+/// Every pointer traversal step is an atomic load and every structural
+/// update a CAS, so the run is dominated by exactly the user-level atomic
+/// operations that LiteRace must wrap in a timestamping critical section
+/// (§4.2). Node payloads provide the memory-op traffic that full logging
+/// pays for and LiteRace samples away.
+///
+/// Physical node reclamation is deferred until after all worker threads
+/// join (a simple epoch scheme), so the structure is properly synchronized
+/// end to end: the detector must stay silent, and the manifest is empty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_WORKLOADS_LFLIST_H
+#define LITERACE_WORKLOADS_LFLIST_H
+
+#include "workloads/Workload.h"
+
+namespace literace {
+
+/// "LFList" micro-benchmark.
+class LFListWorkload : public Workload {
+public:
+  LFListWorkload() = default;
+
+  std::string name() const override;
+  void bind(Runtime &RT) override;
+  void run(Runtime &RT, const WorkloadParams &Params) override;
+  std::vector<SeededRaceSpec> seededRaces() const override;
+
+  enum Site : uint32_t {
+    SiteKeyRead = 1,
+    SiteKeyWrite = 2,
+    SitePayloadWrite = 3,
+    SitePayloadRead = 4,
+  };
+
+  struct Node;
+
+private:
+  struct SharedState;
+
+  void threadMain(ThreadContext &TC, SharedState &S, uint64_t Seed,
+                  uint32_t Ops, std::vector<Node *> &Retired);
+
+  bool Bound = false;
+  FunctionId FnInsert = 0;
+  FunctionId FnRemove = 0;
+  FunctionId FnContains = 0;
+};
+
+} // namespace literace
+
+#endif // LITERACE_WORKLOADS_LFLIST_H

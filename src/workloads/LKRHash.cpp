@@ -1,0 +1,117 @@
+//===-- workloads/LKRHash.cpp - Hash-table micro-benchmark ----------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/LKRHash.h"
+
+#include "support/Hashing.h"
+#include "support/SplitMix64.h"
+#include "sync/Primitives.h"
+
+#include <cassert>
+
+using namespace literace;
+
+struct LKRHashWorkload::SharedState {
+  static constexpr unsigned NumSlots = 4096;
+  static constexpr unsigned NumStripes = 64;
+  static constexpr unsigned NumThreads = 3;
+
+  uint64_t Keys[NumSlots] = {};
+  uint64_t Vals[NumSlots] = {};
+  Mutex Stripes[NumStripes];
+  AtomicU64 Version{0};
+  AtomicU64 Collisions{0};
+};
+
+std::string LKRHashWorkload::name() const { return "LKRHash"; }
+
+void LKRHashWorkload::bind(Runtime &RT) {
+  assert(!Bound && "workload bound twice");
+  FnInsert = RT.registry().registerFunction("lkr.insert");
+  FnLookup = RT.registry().registerFunction("lkr.lookup");
+  Bound = true;
+}
+
+void LKRHashWorkload::threadMain(ThreadContext &TC, SharedState &S,
+                                 uint64_t Seed, uint32_t Ops) {
+  SplitMix64 Rng(Seed);
+  uint64_t Sink = 0;
+  for (uint32_t I = 0; I != Ops; ++I) {
+    uint64_t Key = (Rng.nextBelow(SharedState::NumSlots * 2)) | 1;
+    unsigned Home = static_cast<unsigned>(mix64(Key)) %
+                    SharedState::NumSlots;
+    Mutex &Stripe =
+        S.Stripes[Home % SharedState::NumStripes];
+
+    if (Rng.nextBelow(10) < 3) {
+      // Insert (30%): probe within the stripe-aligned window.
+      TC.run(FnInsert, [&](auto &T) {
+        uint64_t Payload = Key;
+        for (unsigned K = 0; K != 16; ++K)
+          Payload = Payload * 131 + (Payload >> 7);
+        Sink ^= Payload; // Keep the compute alive.
+
+        Stripe.lock(TC);
+        bool Placed = false;
+        for (unsigned Probe = 0; Probe != 8 && !Placed; ++Probe) {
+          unsigned Slot =
+              (Home + Probe * SharedState::NumStripes) %
+              SharedState::NumSlots;
+          uint64_t Existing = T.load(&S.Keys[Slot], SiteProbeKey);
+          if (Existing == 0 || Existing == Key) {
+            T.store(&S.Keys[Slot], Key, SiteSlotKeyWrite);
+            T.store(&S.Vals[Slot], Payload, SiteSlotValWrite);
+            Placed = true;
+          }
+        }
+        Stripe.unlock(TC);
+        // Lock-free global version bump (logged atomic, §4.2).
+        S.Version.fetchAdd(TC, 1);
+        if (!Placed)
+          S.Collisions.fetchAdd(TC, 1);
+      });
+    } else {
+      // Lookup (70%).
+      TC.run(FnLookup, [&](auto &T) {
+        Stripe.lock(TC);
+        for (unsigned Probe = 0; Probe != 8; ++Probe) {
+          unsigned Slot =
+              (Home + Probe * SharedState::NumStripes) %
+              SharedState::NumSlots;
+          if (T.load(&S.Keys[Slot], SiteProbeKey) == Key) {
+            Sink ^= T.load(&S.Vals[Slot], SiteSlotValRead);
+            break;
+          }
+        }
+        Stripe.unlock(TC);
+        // Lock-free read of the version counter.
+        Sink ^= S.Version.load(TC);
+      });
+    }
+  }
+  (void)Sink;
+}
+
+void LKRHashWorkload::run(Runtime &RT, const WorkloadParams &Params) {
+  assert(Bound && "bind() must run before run()");
+  SharedState S;
+  ThreadContext Main(RT);
+  const uint32_t Ops = Params.scaled(150000, 500);
+
+  std::vector<std::unique_ptr<Thread>> Threads;
+  for (unsigned I = 0; I != SharedState::NumThreads; ++I)
+    Threads.push_back(std::make_unique<Thread>(
+        RT, Main, [this, &S, I, Ops, &Params](ThreadContext &TC) {
+          threadMain(TC, S, Params.Seed + I * 17, Ops);
+        }));
+  for (auto &Th : Threads)
+    Th->join(Main);
+}
+
+std::vector<SeededRaceSpec> LKRHashWorkload::seededRaces() const {
+  // Properly synchronized on purpose: the detector must stay silent.
+  return {};
+}

@@ -1,0 +1,57 @@
+//===-- workloads/LKRHash.h - Hash-table micro-benchmark ------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "LKRHash" micro-benchmark equivalent (§5.4): a striped hash table
+/// combining lock-free techniques (atomic version/statistics counters)
+/// with high-level synchronization (per-stripe mutexes). Three threads
+/// hammer insert/lookup operations with tiny per-operation compute, so
+/// synchronization operations dominate — the adverse case for LiteRace,
+/// which must log every one of them (§3.2). Used only in the overhead
+/// study (Table 5 / Fig. 6); it contains no seeded races, and the
+/// detector must stay silent on its logs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_WORKLOADS_LKRHASH_H
+#define LITERACE_WORKLOADS_LKRHASH_H
+
+#include "workloads/Workload.h"
+
+namespace literace {
+
+/// "LKRHash" micro-benchmark.
+class LKRHashWorkload : public Workload {
+public:
+  LKRHashWorkload() = default;
+
+  std::string name() const override;
+  void bind(Runtime &RT) override;
+  void run(Runtime &RT, const WorkloadParams &Params) override;
+  std::vector<SeededRaceSpec> seededRaces() const override;
+
+  enum Site : uint32_t {
+    SiteProbeKey = 1,
+    SiteSlotKeyWrite = 2,
+    SiteSlotValWrite = 3,
+    SiteSlotValRead = 4,
+    SitePayloadMix = 5,
+  };
+
+private:
+  struct SharedState;
+
+  void threadMain(ThreadContext &TC, SharedState &S, uint64_t Seed,
+                  uint32_t Ops);
+
+  bool Bound = false;
+  FunctionId FnInsert = 0;
+  FunctionId FnLookup = 0;
+};
+
+} // namespace literace
+
+#endif // LITERACE_WORKLOADS_LKRHASH_H

@@ -1,0 +1,120 @@
+//===-- workloads/SciCompute.cpp - Loop-heavy scientific kernel -----------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SciCompute.h"
+
+#include "sync/Primitives.h"
+
+#include <cassert>
+
+using namespace literace;
+
+struct SciComputeWorkload::SharedState {
+  static constexpr unsigned NumWorkers = 3;
+  static constexpr uint32_t Rows = 48;
+  static constexpr uint32_t Cols = 1024;
+
+  /// The grid; each worker owns a contiguous band of rows. Band interiors
+  /// are private; the halo rows at band boundaries are deliberately
+  /// exchanged WITHOUT synchronization (sci-halo race).
+  uint64_t Grid[Rows][Cols] = {};
+
+  Barrier IterationBarrier{NumWorkers};
+
+  // RACE (sci-converged): bare convergence flag, read/written outside
+  // the sweep loops once per iteration per worker.
+  uint8_t Converged = 0;
+};
+
+SciComputeWorkload::SciComputeWorkload(bool UseLoopHints)
+    : UseLoopHints(UseLoopHints) {}
+
+std::string SciComputeWorkload::name() const {
+  return UseLoopHints ? "SciCompute (loop hints)"
+                      : "SciCompute (function granularity)";
+}
+
+void SciComputeWorkload::bind(Runtime &RT) {
+  assert(!Bound && "workload bound twice");
+  FnSweep = RT.registry().registerFunction("sci.sweep");
+  FnCheck = RT.registry().registerFunction("sci.checkConverged");
+  Bound = true;
+}
+
+void SciComputeWorkload::workerMain(ThreadContext &TC, SharedState &S,
+                                    unsigned Index, uint32_t Iterations) {
+  const uint32_t BandRows = SharedState::Rows / SharedState::NumWorkers;
+  const uint32_t First = Index * BandRows;
+  const uint32_t Last = First + BandRows - 1; // Inclusive.
+
+  for (uint32_t Iter = 0; Iter != Iterations; ++Iter) {
+    // One sweep over the band: a single function activation containing a
+    // high-trip-count loop — the §7 scenario.
+    TC.run(FnSweep, [&](auto &T) {
+      for (uint32_t Row = First; Row <= Last; ++Row) {
+        for (uint32_t Col = 1; Col + 1 < SharedState::Cols; ++Col) {
+          if (UseLoopHints)
+            T.loopIteration();
+          uint64_t Left = T.load(&S.Grid[Row][Col - 1], SiteGridLoad);
+          uint64_t Right = T.load(&S.Grid[Row][Col + 1], SiteGridLoad);
+          T.store(&S.Grid[Row][Col], (Left + Right) / 2 + Iter,
+                  SiteGridStore);
+        }
+        // RACE (sci-halo): the band's edge rows are read by the
+        // neighbouring worker's sweep without synchronization (hot,
+        // inside the loop).
+        if (Row == Last && Index + 1 != SharedState::NumWorkers) {
+          uint64_t Spill = T.load(&S.Grid[Row + 1][5], SiteHaloRead);
+          T.store(&S.Grid[Row][5], Spill, SiteHaloWrite);
+        }
+      }
+    });
+
+    // Convergence check: cold code outside the loops, with a bare
+    // shared flag (sci-converged race).
+    TC.run(FnCheck, [&](auto &T) {
+      if (T.load(&S.Converged, SiteConvergedRead) == 0 &&
+          Iter + 1 == Iterations)
+        T.store(&S.Converged, uint8_t{1}, SiteConvergedWrite);
+    });
+
+    // The barrier makes iterations well-ordered EXCEPT for the seeded
+    // races above (halo accesses within one iteration are concurrent).
+    S.IterationBarrier.arriveAndWait(TC);
+  }
+}
+
+void SciComputeWorkload::run(Runtime &RT, const WorkloadParams &Params) {
+  assert(Bound && "bind() must run before run()");
+  SharedState S;
+  ThreadContext Main(RT);
+  const uint32_t Iterations = Params.scaled(20, 3);
+
+  std::vector<std::unique_ptr<Thread>> Workers;
+  for (unsigned I = 0; I != SharedState::NumWorkers; ++I)
+    Workers.push_back(std::make_unique<Thread>(
+        RT, Main, [this, &S, I, Iterations](ThreadContext &TC) {
+          workerMain(TC, S, I, Iterations);
+        }));
+  for (auto &W : Workers)
+    W->join(Main);
+}
+
+std::vector<SeededRaceSpec> SciComputeWorkload::seededRaces() const {
+  assert(Bound && "manifest valid only after bind()");
+  auto P = [&](FunctionId F, uint32_t Site) { return makePc(F, Site); };
+  std::vector<SeededRaceSpec> Races;
+  Races.push_back(SeededRaceSpec{
+      "sci-halo",
+      {P(FnSweep, SiteHaloRead), P(FnSweep, SiteHaloWrite),
+       P(FnSweep, SiteGridLoad), P(FnSweep, SiteGridStore)},
+      true});
+  Races.push_back(SeededRaceSpec{
+      "sci-converged",
+      {P(FnCheck, SiteConvergedRead), P(FnCheck, SiteConvergedWrite)},
+      false});
+  return Races;
+}

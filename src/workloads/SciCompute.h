@@ -1,0 +1,73 @@
+//===-- workloads/SciCompute.h - Loop-heavy scientific kernel -*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §7 future-work scenario, built out: a PARSEC-style
+/// compute-bound kernel whose threads call ONE function a handful of
+/// times, each call sweeping a large array. Function-granularity sampling
+/// degenerates here — the thread-local adaptive sampler logs the first
+/// ten calls at 100%, and ten calls IS most of the program — so the
+/// effective sampling rate stays enormous. The §7 fix is loop-granularity
+/// decay (LoggingTracer::loopIteration): within one sampled activation,
+/// logging backs off after the first iterations of a high-trip-count
+/// loop.
+///
+/// The workload can be built with or without the loop hints
+/// (UseLoopHints), so the ablation bench can quantify exactly what the
+/// extension buys (log volume, runtime) and what it costs (which of the
+/// seeded races survive).
+///
+/// Seeded races: an unsynchronized convergence flag (cold, outside the
+/// loops) and a halo-row exchange between adjacent threads (hot, inside
+/// the sweep — the worst case for loop decay).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_WORKLOADS_SCICOMPUTE_H
+#define LITERACE_WORKLOADS_SCICOMPUTE_H
+
+#include "workloads/Workload.h"
+
+namespace literace {
+
+/// Loop-heavy scientific kernel (extension workload; not part of the
+/// paper's benchmark suite).
+class SciComputeWorkload : public Workload {
+public:
+  /// \p UseLoopHints enables the §7 loop-granularity sampling hints.
+  explicit SciComputeWorkload(bool UseLoopHints);
+
+  std::string name() const override;
+  void bind(Runtime &RT) override;
+  void run(Runtime &RT, const WorkloadParams &Params) override;
+  std::vector<SeededRaceSpec> seededRaces() const override;
+
+  enum Site : uint32_t {
+    // sci.sweep
+    SiteGridLoad = 1,
+    SiteGridStore = 2,
+    SiteHaloRead = 3,
+    SiteHaloWrite = 4,
+    // sci.checkConverged
+    SiteConvergedRead = 20,
+    SiteConvergedWrite = 21,
+  };
+
+private:
+  struct SharedState;
+
+  void workerMain(ThreadContext &TC, SharedState &S, unsigned Index,
+                  uint32_t Iterations);
+
+  bool UseLoopHints;
+  bool Bound = false;
+  FunctionId FnSweep = 0;
+  FunctionId FnCheck = 0;
+};
+
+} // namespace literace
+
+#endif // LITERACE_WORKLOADS_SCICOMPUTE_H

@@ -1,0 +1,225 @@
+//===-- workloads/StdLib.cpp - Instrumented utility library --------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/StdLib.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace literace;
+
+template <typename BodyT>
+void InstrumentedStdLib::dispatch(ThreadContext &TC, FunctionId F,
+                                  BodyT &&Body) {
+  if (Bound) {
+    TC.run(F, Body);
+  } else {
+    // Library not instrumented (plain "Dryad Channel" configuration): the
+    // same code runs, but its memory accesses never reach the log.
+    NullTracer T;
+    Body(T);
+  }
+}
+
+void InstrumentedStdLib::bind(Runtime &RT) {
+  assert(!Bound && "stdlib bound twice");
+  FnChecksum = RT.registry().registerFunction("stdlib.checksum");
+  FnFormatUint = RT.registry().registerFunction("stdlib.formatUint");
+  FnFill = RT.registry().registerFunction("stdlib.fill");
+  FnPollStats = RT.registry().registerFunction("stdlib.pollStats");
+  FnFlushSession = RT.registry().registerFunction("stdlib.flushSession");
+  Bound = true;
+}
+
+uint64_t InstrumentedStdLib::checksum(ThreadContext &TC,
+                                      StdLibSession &Session,
+                                      const uint8_t *Data, size_t Size) {
+  uint64_t Result = 0;
+  dispatch(TC, FnChecksum, [&](auto &T) {
+    // RACE (rare, stdlib-api-version): the first caller "negotiates" the
+    // API version without synchronization; other threads read it on their
+    // first call.
+    if (!Session.CheckedApiVersion) {
+      if (T.load(&ApiVersion, SiteApiVersionRead) == 0)
+        T.store(&ApiVersion, 7u, SiteApiVersionWrite);
+      Session.CheckedApiVersion = true;
+    }
+    // RACE (rare, stdlib-seed-flag / stdlib-seed-table): unsynchronized
+    // lazy initialization of the seed table. The per-session cache bounds
+    // each thread to one probe, keeping manifestation counts tiny.
+    if (!Session.SeenChecksumSeed) {
+      if (!T.load(&SeedReady, SiteSeedReadyRead)) {
+        for (unsigned I = 0; I != 4; ++I)
+          T.store(&SeedTable[I], mix64(0x5eed + I), SiteSeedTableWrite);
+        T.store(&SeedReady, true, SiteSeedReadyWrite);
+      }
+      Session.SeedProbe = T.load(&SeedTable[0], SiteSeedProbeRead);
+      Session.SeenChecksumSeed = true;
+    }
+
+    uint64_t Hash = 1469598103934665603ULL ^ Session.SeedProbe;
+    for (size_t I = 0; I != Size; ++I)
+      Hash = (Hash ^ T.load(&Data[I], SiteDataLoad)) * 1099511628211ULL;
+
+    // RACE (frequent, stdlib-last-checksum): last-value diagnostic,
+    // written by every worker and read by the unsynchronized poller.
+    T.store(&LastChecksum, Hash, SiteLastChecksumWrite);
+    // RACE (frequent, stdlib-checksum-calls): per-thread-slot call
+    // counters; single writer per slot, but the poller reads them bare.
+    unsigned Slot = TC.tid() & 7u;
+    uint64_t Count = T.load(&ChecksumCalls[Slot], SiteSeedLocalUse);
+    T.store(&ChecksumCalls[Slot], Count + 1, SiteChecksumCallsWrite);
+    Result = Hash;
+  });
+  return Result;
+}
+
+size_t InstrumentedStdLib::formatUint(ThreadContext &TC,
+                                      StdLibSession &Session, uint64_t Value,
+                                      char *Out, size_t Cap) {
+  size_t Length = 0;
+  dispatch(TC, FnFormatUint, [&](auto &T) {
+    // RACE (rare, stdlib-digit-flag / stdlib-digit-table): same lazy-init
+    // pattern as the checksum seed.
+    if (!Session.SeenDigitTable) {
+      if (!T.load(&DigitReady, SiteDigitReadyRead)) {
+        for (unsigned I = 0; I != 4; ++I)
+          T.store(&DigitTable[I], 1000ULL * (I + 1), SiteDigitTableWrite);
+        T.store(&DigitReady, true, SiteDigitReadyWrite);
+      }
+      Session.DigitProbe = T.load(&DigitTable[0], SiteDigitProbeRead);
+      Session.SeenDigitTable = true;
+    }
+
+    char Tmp[24];
+    size_t N = 0;
+    uint64_t V = Value;
+    do {
+      Tmp[N++] = static_cast<char>('0' + V % 10);
+      V /= 10;
+    } while (V != 0 && N < sizeof(Tmp));
+    Length = N < Cap ? N : (Cap ? Cap - 1 : 0);
+    for (size_t I = 0; I != Length; ++I)
+      T.store(&Out[I], Tmp[Length - 1 - I], SiteFormatBufWrite);
+    if (Cap)
+      Out[Length] = '\0';
+
+    // RACE (frequent, stdlib-max-formatted): unsynchronized
+    // high-watermark. Writes are rare (new maxima only) but the poller's
+    // bare reads keep the family manifesting.
+    if (Length > T.load(&MaxFormatted, SiteMaxFormattedRead))
+      T.store(&MaxFormatted, static_cast<uint64_t>(Length),
+              SiteMaxFormattedWrite);
+  });
+  return Length;
+}
+
+void InstrumentedStdLib::fill(ThreadContext &TC, StdLibSession &Session,
+                              uint8_t *Dst, size_t Size, uint8_t Key) {
+  dispatch(TC, FnFill, [&](auto &T) {
+    // RACE (rare, stdlib-pattern-flag / stdlib-pattern-table).
+    if (!Session.SeenFillPattern) {
+      if (!T.load(&PatternReady, SitePatternReadyRead)) {
+        for (unsigned I = 0; I != 8; ++I)
+          T.store(&PatternTable[I], static_cast<uint8_t>(0x9e + 31 * I),
+                  SitePatternTableWrite);
+        T.store(&PatternReady, true, SitePatternReadyWrite);
+      }
+      Session.PatternProbe = T.load(&PatternTable[0], SitePatternProbeRead);
+      Session.SeenFillPattern = true;
+    }
+
+    uint8_t Last = 0;
+    for (size_t I = 0; I != Size; ++I) {
+      Last = static_cast<uint8_t>(Key + I * Session.PatternProbe);
+      T.store(&Dst[I], Last, SiteFillStore);
+    }
+    // RACE (frequent, stdlib-last-fill-byte): diagnostic read bare by the
+    // poller.
+    T.store(&LastFillByte, static_cast<uint64_t>(Last),
+            SiteLastFillByteWrite);
+  });
+}
+
+uint64_t InstrumentedStdLib::pollStats(ThreadContext &TC) {
+  uint64_t Digest = 0;
+  dispatch(TC, FnPollStats, [&](auto &T) {
+    // The poller deliberately shares no synchronization with the workers:
+    // every read below is the "second half" of a frequent race family.
+    Digest ^= T.load(&LastChecksum, SitePollLastChecksum);
+    for (unsigned Slot = 0; Slot != 4; ++Slot)
+      Digest ^= T.load(&ChecksumCalls[Slot], SitePollChecksumCalls);
+    Digest ^= T.load(&LastFillByte, SitePollLastFillByte);
+    Digest ^= T.load(&MaxFormatted, SitePollMaxFormatted);
+  });
+  return Digest;
+}
+
+void InstrumentedStdLib::flushSession(ThreadContext &TC,
+                                      StdLibSession &Session) {
+  (void)Session;
+  dispatch(TC, FnFlushSession, [&](auto &T) {
+    // RACE (rare, stdlib-flush-mark): teardown diagnostic; each worker
+    // writes once, and workers never synchronize with each other directly
+    // (only with the queue and the joining parent).
+    T.store(&FlushMark, TC.tid(), SiteFlushMarkWrite);
+  });
+}
+
+std::vector<SeededRaceSpec> InstrumentedStdLib::seededRaces() const {
+  if (!Bound)
+    return {}; // Invisible without instrumentation, as in the paper.
+
+  auto P = [&](FunctionId F, uint32_t Site) { return makePc(F, Site); };
+  std::vector<SeededRaceSpec> Races;
+  auto Add = [&](const char *Label, std::vector<Pc> Sites, bool Frequent) {
+    Races.push_back(SeededRaceSpec{Label, std::move(Sites), Frequent});
+  };
+
+  Add("stdlib-api-version",
+      {P(FnChecksum, SiteApiVersionRead), P(FnChecksum, SiteApiVersionWrite)},
+      false);
+  Add("stdlib-seed-flag",
+      {P(FnChecksum, SiteSeedReadyRead), P(FnChecksum, SiteSeedReadyWrite)},
+      false);
+  Add("stdlib-seed-table",
+      {P(FnChecksum, SiteSeedTableWrite), P(FnChecksum, SiteSeedProbeRead)},
+      false);
+  Add("stdlib-digit-flag",
+      {P(FnFormatUint, SiteDigitReadyRead),
+       P(FnFormatUint, SiteDigitReadyWrite)},
+      false);
+  Add("stdlib-digit-table",
+      {P(FnFormatUint, SiteDigitTableWrite),
+       P(FnFormatUint, SiteDigitProbeRead)},
+      false);
+  Add("stdlib-pattern-flag",
+      {P(FnFill, SitePatternReadyRead), P(FnFill, SitePatternReadyWrite)},
+      false);
+  Add("stdlib-pattern-table",
+      {P(FnFill, SitePatternTableWrite), P(FnFill, SitePatternProbeRead)},
+      false);
+  Add("stdlib-flush-mark", {P(FnFlushSession, SiteFlushMarkWrite)}, false);
+  Add("stdlib-last-checksum",
+      {P(FnChecksum, SiteLastChecksumWrite),
+       P(FnPollStats, SitePollLastChecksum)},
+      true);
+  Add("stdlib-checksum-calls",
+      {P(FnChecksum, SiteChecksumCallsWrite),
+       P(FnChecksum, SiteSeedLocalUse),
+       P(FnPollStats, SitePollChecksumCalls)},
+      true);
+  Add("stdlib-last-fill-byte",
+      {P(FnFill, SiteLastFillByteWrite), P(FnPollStats, SitePollLastFillByte)},
+      true);
+  Add("stdlib-max-formatted",
+      {P(FnFormatUint, SiteMaxFormattedRead),
+       P(FnFormatUint, SiteMaxFormattedWrite),
+       P(FnPollStats, SitePollMaxFormatted)},
+      true);
+  return Races;
+}

@@ -1,0 +1,156 @@
+//===-- workloads/StdLib.h - Instrumented utility library -----*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small utility library (checksums, formatting, buffer fills) standing
+/// in for the statically linked C library of the paper's "Dryad + stdlib"
+/// configuration. The paper found 19 races in Dryad with the stdlib
+/// instrumented versus 8 without: the extra races live in library code and
+/// are invisible unless the library's memory accesses are logged.
+///
+/// This class reproduces that mechanism: when bind() has been called, the
+/// library's functions dispatch through the instrumentation runtime like
+/// any application code; when not bound, the same bodies run with the
+/// NullTracer, so their accesses (and the races among them) never reach
+/// the log — just as uninstrumented libc was invisible to the paper's
+/// tool.
+///
+/// The library carries its own seeded races: several lazy-initialization
+/// races (flag + table-contents pairs, bounded to a handful of
+/// manifestations by per-thread session caching — i.e. rare), a
+/// last-writer statistics race against an unsynchronized poller
+/// (frequent), and a session-teardown write/write race (rare).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_WORKLOADS_STDLIB_H
+#define LITERACE_WORKLOADS_STDLIB_H
+
+#include "workloads/Workload.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace literace {
+
+/// Per-thread session state. Caches the library's lazily initialized
+/// shared tables so each thread touches the shared (racy) copies only on
+/// first use — which is what bounds the init races to a few
+/// manifestations.
+struct StdLibSession {
+  bool CheckedApiVersion = false;
+  bool SeenDigitTable = false;
+  bool SeenChecksumSeed = false;
+  bool SeenFillPattern = false;
+  uint64_t DigitProbe = 0;
+  uint64_t SeedProbe = 0;
+  uint8_t PatternProbe = 0;
+};
+
+/// The utility library. One instance is shared by all threads of a
+/// workload run.
+class InstrumentedStdLib {
+public:
+  /// Stable per-function site labels (used in Pc values and manifests).
+  enum Site : uint32_t {
+    // checksum()
+    SiteSeedReadyRead = 1,
+    SiteSeedReadyWrite = 2,
+    SiteSeedTableWrite = 3,
+    SiteSeedProbeRead = 4,
+    SiteSeedLocalUse = 5,
+    SiteDataLoad = 6,
+    SiteLastChecksumWrite = 7,
+    SiteChecksumCallsWrite = 8,
+    // formatUint()
+    SiteDigitReadyRead = 20,
+    SiteDigitReadyWrite = 21,
+    SiteDigitTableWrite = 22,
+    SiteDigitProbeRead = 23,
+    SiteMaxFormattedRead = 24,
+    SiteMaxFormattedWrite = 25,
+    SiteFormatBufWrite = 26,
+    // fill()
+    SitePatternReadyRead = 40,
+    SitePatternReadyWrite = 41,
+    SitePatternTableWrite = 42,
+    SitePatternProbeRead = 43,
+    SiteFillStore = 44,
+    SiteLastFillByteWrite = 45,
+    // pollStats()
+    SitePollLastChecksum = 60,
+    SitePollChecksumCalls = 61,
+    SitePollLastFillByte = 62,
+    SitePollMaxFormatted = 63,
+    // flushSession()
+    SiteFlushMarkWrite = 80,
+    // shared by all entry points
+    SiteApiVersionRead = 90,
+    SiteApiVersionWrite = 91,
+  };
+
+  /// Registers the library's functions with \p RT. Without this call the
+  /// library runs uninstrumented (the plain "Dryad Channel" variant).
+  void bind(Runtime &RT);
+
+  bool isBound() const { return Bound; }
+
+  /// FNV-style checksum of \p Data. The dominant memory-op generator of
+  /// the channel workload.
+  uint64_t checksum(ThreadContext &TC, StdLibSession &Session,
+                    const uint8_t *Data, size_t Size);
+
+  /// Formats \p Value in decimal into \p Out (capacity \p Cap); returns
+  /// the length.
+  size_t formatUint(ThreadContext &TC, StdLibSession &Session,
+                    uint64_t Value, char *Out, size_t Cap);
+
+  /// Fills \p Dst with a keyed pattern derived from \p Key.
+  void fill(ThreadContext &TC, StdLibSession &Session, uint8_t *Dst,
+            size_t Size, uint8_t Key);
+
+  /// Reads the library's statistics WITHOUT synchronization; meant to be
+  /// called from a monitoring thread. Returns a digest of what it saw.
+  uint64_t pollStats(ThreadContext &TC);
+
+  /// Tears down a session, marking the shared flush record (racy on
+  /// purpose: last-writer-wins diagnostics, a classic shutdown race).
+  void flushSession(ThreadContext &TC, StdLibSession &Session);
+
+  /// Ground-truth manifest of the races seeded in this library. Valid
+  /// after bind(); empty when unbound (unlogged races are invisible).
+  std::vector<SeededRaceSpec> seededRaces() const;
+
+private:
+  template <typename BodyT> void dispatch(ThreadContext &TC, FunctionId F,
+                                          BodyT &&Body);
+
+  bool Bound = false;
+  FunctionId FnChecksum = 0;
+  FunctionId FnFormatUint = 0;
+  FunctionId FnFill = 0;
+  FunctionId FnPollStats = 0;
+  FunctionId FnFlushSession = 0;
+
+  // ---- Shared library state. Fields below are intentionally accessed
+  // without synchronization where the manifest says so. ----
+  uint32_t ApiVersion = 0;     // Lazily "negotiated"; racy init.
+  bool SeedReady = false;      // Racy lazy-init flag (checksum).
+  uint64_t SeedTable[4] = {};  // Racy lazy-init contents.
+  bool DigitReady = false;     // Racy lazy-init flag (formatUint).
+  uint64_t DigitTable[4] = {}; // Racy lazy-init contents.
+  bool PatternReady = false;   // Racy lazy-init flag (fill).
+  uint8_t PatternTable[8] = {};// Racy lazy-init contents.
+  uint64_t MaxFormatted = 0;   // Racy high-watermark.
+  uint64_t LastChecksum = 0;   // Racy last-value diagnostic (frequent).
+  uint64_t ChecksumCalls[8] = {}; // Racy per-thread-slot counters.
+  uint64_t LastFillByte = 0;   // Racy last-value diagnostic (frequent).
+  uint32_t FlushMark = 0;      // Racy teardown diagnostic.
+};
+
+} // namespace literace
+
+#endif // LITERACE_WORKLOADS_STDLIB_H

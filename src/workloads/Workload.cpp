@@ -1,0 +1,94 @@
+//===-- workloads/Workload.cpp - Benchmark workload framework -------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/Compiler.h"
+#include "workloads/Browser.h"
+#include "workloads/Channel.h"
+#include "workloads/ConcRT.h"
+#include "workloads/Httpd.h"
+#include "workloads/LFList.h"
+#include "workloads/LKRHash.h"
+#include "workloads/SciCompute.h"
+
+using namespace literace;
+
+Workload::~Workload() = default;
+
+std::unique_ptr<Workload> literace::makeWorkload(WorkloadKind Kind) {
+  switch (Kind) {
+  case WorkloadKind::ChannelWithStdLib:
+    return std::make_unique<ChannelWorkload>(/*WithStdLib=*/true);
+  case WorkloadKind::Channel:
+    return std::make_unique<ChannelWorkload>(/*WithStdLib=*/false);
+  case WorkloadKind::ConcRTMessaging:
+    return std::make_unique<ConcRTWorkload>(ConcRTWorkload::Input::Messaging);
+  case WorkloadKind::ConcRTScheduling:
+    return std::make_unique<ConcRTWorkload>(
+        ConcRTWorkload::Input::ExplicitScheduling);
+  case WorkloadKind::Httpd1:
+    return std::make_unique<HttpdWorkload>(HttpdWorkload::Input::Mixed1);
+  case WorkloadKind::Httpd2:
+    return std::make_unique<HttpdWorkload>(
+        HttpdWorkload::Input::SmallStatic2);
+  case WorkloadKind::BrowserStart:
+    return std::make_unique<BrowserWorkload>(BrowserWorkload::Input::Start);
+  case WorkloadKind::BrowserRender:
+    return std::make_unique<BrowserWorkload>(BrowserWorkload::Input::Render);
+  case WorkloadKind::LKRHash:
+    return std::make_unique<LKRHashWorkload>();
+  case WorkloadKind::LFList:
+    return std::make_unique<LFListWorkload>();
+  case WorkloadKind::SciComputeFn:
+    return std::make_unique<SciComputeWorkload>(/*UseLoopHints=*/false);
+  case WorkloadKind::SciComputeLoop:
+    return std::make_unique<SciComputeWorkload>(/*UseLoopHints=*/true);
+  }
+  literaceUnreachable("invalid workload kind");
+}
+
+std::vector<std::unique_ptr<Workload>> literace::makeDetectionSuite() {
+  std::vector<std::unique_ptr<Workload>> Suite;
+  Suite.push_back(makeWorkload(WorkloadKind::ChannelWithStdLib));
+  Suite.push_back(makeWorkload(WorkloadKind::Channel));
+  Suite.push_back(makeWorkload(WorkloadKind::ConcRTMessaging));
+  Suite.push_back(makeWorkload(WorkloadKind::ConcRTScheduling));
+  Suite.push_back(makeWorkload(WorkloadKind::Httpd1));
+  Suite.push_back(makeWorkload(WorkloadKind::Httpd2));
+  Suite.push_back(makeWorkload(WorkloadKind::BrowserStart));
+  Suite.push_back(makeWorkload(WorkloadKind::BrowserRender));
+  return Suite;
+}
+
+std::vector<std::unique_ptr<Workload>> literace::makeRareFrequentSuite() {
+  // The paper's Table 4 / Fig. 5 exclude ConcRT: its runs execute too few
+  // memory operations for the per-million rare threshold to separate
+  // anything.
+  std::vector<std::unique_ptr<Workload>> Suite;
+  Suite.push_back(makeWorkload(WorkloadKind::ChannelWithStdLib));
+  Suite.push_back(makeWorkload(WorkloadKind::Channel));
+  Suite.push_back(makeWorkload(WorkloadKind::Httpd1));
+  Suite.push_back(makeWorkload(WorkloadKind::Httpd2));
+  Suite.push_back(makeWorkload(WorkloadKind::BrowserStart));
+  Suite.push_back(makeWorkload(WorkloadKind::BrowserRender));
+  return Suite;
+}
+
+std::vector<std::unique_ptr<Workload>> literace::makeOverheadSuite() {
+  std::vector<std::unique_ptr<Workload>> Suite;
+  Suite.push_back(makeWorkload(WorkloadKind::LKRHash));
+  Suite.push_back(makeWorkload(WorkloadKind::LFList));
+  Suite.push_back(makeWorkload(WorkloadKind::ChannelWithStdLib));
+  Suite.push_back(makeWorkload(WorkloadKind::Channel));
+  Suite.push_back(makeWorkload(WorkloadKind::ConcRTMessaging));
+  Suite.push_back(makeWorkload(WorkloadKind::ConcRTScheduling));
+  Suite.push_back(makeWorkload(WorkloadKind::Httpd1));
+  Suite.push_back(makeWorkload(WorkloadKind::Httpd2));
+  Suite.push_back(makeWorkload(WorkloadKind::BrowserStart));
+  Suite.push_back(makeWorkload(WorkloadKind::BrowserRender));
+  return Suite;
+}

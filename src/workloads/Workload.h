@@ -1,0 +1,125 @@
+//===-- workloads/Workload.h - Benchmark workload framework ---*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark workloads of §5.1, rebuilt as synthetic equivalents (see
+/// DESIGN.md §1 for the substitution rationale). Every workload:
+///
+///  - registers its instrumented functions against a Runtime (bind()),
+///  - runs a multi-threaded scenario through the instrumentation API
+///    (run()), and
+///  - publishes a manifest of the data races intentionally seeded into it
+///    (seededRaces()), so detection results can be validated against
+///    ground truth — something the paper could not do with Dryad/Firefox,
+///    but which a reproduction should.
+///
+/// Races are seeded in three populations, chosen to express the paper's
+/// cold-region hypothesis:
+///  - thread-cold races: both sides execute in some thread's first few
+///    entries of a function (init, late-entrant threads, teardown);
+///  - hot frequent races: unsynchronized hot-path accesses where the two
+///    threads share no synchronization at all, manifesting constantly;
+///  - rare-in-hot races: rarely taken branches of hot functions — the
+///    population every sampler (including LiteRace) mostly misses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_WORKLOADS_WORKLOAD_H
+#define LITERACE_WORKLOADS_WORKLOAD_H
+
+#include "runtime/Runtime.h"
+#include "runtime/ThreadContext.h"
+#include "sync/Primitives.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace literace {
+
+/// Size/seed knobs for a workload execution.
+struct WorkloadParams {
+  /// Multiplies item counts; 1 is the paper-shaped default (~1-2M memory
+  /// operations per run).
+  double Scale = 1.0;
+  /// Seed for workload-internal randomness (request mixes, key choices).
+  uint64_t Seed = 0x5eedf00dULL;
+
+  /// Scales an item count, keeping at least \p Min.
+  uint32_t scaled(uint32_t N, uint32_t Min = 1) const {
+    double V = static_cast<double>(N) * Scale;
+    return V < Min ? Min : static_cast<uint32_t>(V);
+  }
+};
+
+/// Ground-truth record of one intentionally seeded race family: all
+/// access sites touching one racy variable (or set of variables that share
+/// sites). A family is "detected" when some reported static race has both
+/// of its sites inside the family, and every reported race must fall
+/// inside some family (no false positives beyond the seeded ones).
+struct SeededRaceSpec {
+  /// Human-readable label ("channel-tuning-hint").
+  std::string Label;
+  /// All access sites of the racy variable(s). Valid after bind().
+  std::vector<Pc> Sites;
+  /// True if the family manifests often enough that at least one of its
+  /// races classifies frequent under the §5.3.1 rule at default scale.
+  bool ExpectFrequent = false;
+};
+
+/// A benchmark-input pair (one row of the paper's tables).
+class Workload {
+public:
+  virtual ~Workload();
+
+  /// Row name, e.g. "Dryad Channel + stdlib".
+  virtual std::string name() const = 0;
+
+  /// Registers this workload's functions with \p RT. Must be called
+  /// exactly once per Runtime, before run().
+  virtual void bind(Runtime &RT) = 0;
+
+  /// Executes the scenario. Spawns its own threads and joins them; all
+  /// thread contexts are destroyed (and their logs flushed) on return.
+  virtual void run(Runtime &RT, const WorkloadParams &Params) = 0;
+
+  /// Manifest of seeded races. Valid after bind().
+  virtual std::vector<SeededRaceSpec> seededRaces() const = 0;
+};
+
+/// Factory selector for the individual workloads.
+enum class WorkloadKind {
+  ChannelWithStdLib, ///< "Dryad Channel + stdlib"
+  Channel,           ///< "Dryad Channel"
+  ConcRTMessaging,   ///< "ConcRT Messaging"
+  ConcRTScheduling,  ///< "ConcRT Explicit Scheduling"
+  Httpd1,            ///< "Apache-1" (mixed request sizes + CGI)
+  Httpd2,            ///< "Apache-2" (uniform small static)
+  BrowserStart,      ///< "Firefox Start"
+  BrowserRender,     ///< "Firefox Render"
+  LKRHash,           ///< micro-benchmark: striped hash table
+  LFList,            ///< micro-benchmark: lock-free list
+  SciComputeFn,      ///< §7 extension: loop-heavy kernel, function-level
+  SciComputeLoop,    ///< §7 extension: same kernel with loop hints
+};
+
+/// Creates one workload instance.
+std::unique_ptr<Workload> makeWorkload(WorkloadKind Kind);
+
+/// The eight benchmark-input pairs of the §5.3 detection study (Fig. 4).
+std::vector<std::unique_ptr<Workload>> makeDetectionSuite();
+
+/// The six non-ConcRT pairs used for Table 4 / Fig. 5 (the paper reports
+/// rare/frequent splits for these only).
+std::vector<std::unique_ptr<Workload>> makeRareFrequentSuite();
+
+/// The ten rows of the §5.4 overhead study (Table 5): the detection suite
+/// plus the two synchronization-heavy micro-benchmarks.
+std::vector<std::unique_ptr<Workload>> makeOverheadSuite();
+
+} // namespace literace
+
+#endif // LITERACE_WORKLOADS_WORKLOAD_H

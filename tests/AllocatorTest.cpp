@@ -1,0 +1,167 @@
+//===-- tests/AllocatorTest.cpp - §4.3 allocation monitoring ---------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/MonitoredAllocator.h"
+
+#include "detector/HBDetector.h"
+#include "sync/Primitives.h"
+
+#include <gtest/gtest.h>
+
+using namespace literace;
+
+namespace {
+
+class AllocatorTest : public ::testing::Test {
+protected:
+  AllocatorTest() : Sink(64) {
+    RuntimeConfig Config;
+    Config.Mode = RunMode::FullLogging;
+    Config.TimestampCounters = 64;
+    RT = std::make_unique<Runtime>(Config, &Sink);
+    F = RT->registry().registerFunction("body");
+  }
+
+  RaceReport detect() {
+    RaceReport Report;
+    EXPECT_TRUE(detectRaces(Sink.takeTrace(), Report));
+    return Report;
+  }
+
+  MemorySink Sink;
+  std::unique_ptr<Runtime> RT;
+  FunctionId F = 0;
+};
+
+TEST_F(AllocatorTest, PageSyncVarGranularity) {
+  EXPECT_EQ(pageSyncVar(0x1000), pageSyncVar(0x1fff));
+  EXPECT_NE(pageSyncVar(0x1000), pageSyncVar(0x2000));
+  EXPECT_EQ(syncVarKind(pageSyncVar(0x1000)), SyncObjectKind::Page);
+}
+
+TEST_F(AllocatorTest, AllocateLogsAllocEventPerPage) {
+  MonitoredAllocator Alloc;
+  ThreadContext TC(*RT);
+  // 3 pages' worth, likely spanning a page boundary either way.
+  void *P = Alloc.allocate(TC, 3 * 4096);
+  ASSERT_NE(P, nullptr);
+  Alloc.deallocate(TC, P, 3 * 4096);
+  TC.flush();
+  Trace T = Sink.takeTrace();
+  size_t Allocs = 0, Frees = 0;
+  for (const EventRecord &R : T.PerThread[0]) {
+    Allocs += R.Kind == EventKind::Alloc ? 1 : 0;
+    Frees += R.Kind == EventKind::Free ? 1 : 0;
+  }
+  EXPECT_GE(Allocs, 3u);
+  EXPECT_EQ(Allocs, Frees);
+}
+
+TEST_F(AllocatorTest, NullFreeIsIgnored) {
+  MonitoredAllocator Alloc;
+  ThreadContext TC(*RT);
+  Alloc.deallocate(TC, nullptr, 64);
+  TC.flush();
+  EXPECT_EQ(Sink.takeTrace().totalEvents(), 1u); // ThreadStart only.
+}
+
+// --- The §4.3 scenario: memory recycled between threads must not be
+// reported as racing across lifetimes. The "allocator" hands the same
+// block to thread B after thread A frees it (real-time order enforced by
+// an UNLOGGED std::atomic, standing in for the allocator's internal
+// locking, which LiteRace likewise does not see). Only the page events
+// keep the log ordered. ---
+TEST_F(AllocatorTest, RecycledMemoryAcrossThreadsIsSilent) {
+  alignas(64) static uint8_t Block[64]; // The recycled allocation.
+  std::atomic<bool> Freed{false};
+  SyncVar Page = pageSyncVar(reinterpret_cast<uint64_t>(Block));
+  {
+    ThreadContext Main(*RT);
+    Thread A(*RT, Main, [&](ThreadContext &TC) {
+      TC.logAllocation(Page, /*IsAlloc=*/true);
+      TC.run(F, [&](auto &T) { T.store(&Block[0], uint8_t{1}, 1); });
+      TC.logAllocation(Page, /*IsAlloc=*/false);
+      Freed.store(true, std::memory_order_release);
+    });
+    Thread B(*RT, Main, [&](ThreadContext &TC) {
+      while (!Freed.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      TC.logAllocation(Page, /*IsAlloc=*/true);
+      TC.run(F, [&](auto &T) { T.store(&Block[0], uint8_t{2}, 2); });
+      TC.logAllocation(Page, /*IsAlloc=*/false);
+    });
+    A.join(Main);
+    B.join(Main);
+  }
+  EXPECT_EQ(detect().numStaticRaces(), 0u);
+}
+
+// Same scenario but WITHOUT allocation monitoring: if the block is
+// recycled, a naive detector fabricates a race between the lifetimes.
+// This is the false positive §4.3 eliminates. We emulate "no monitoring"
+// by allocating through plain malloc and writing through the tracer with
+// no page events; the semaphore is removed so there is no accidental
+// ordering either.
+TEST_F(AllocatorTest, WithoutMonitoringRecyclingLooksLikeARace) {
+  uint8_t Block[64]; // Stands in for the recycled heap block.
+  {
+    ThreadContext Main(*RT);
+    Thread A(*RT, Main, [&](ThreadContext &TC) {
+      TC.run(F, [&](auto &T) { T.store(&Block[0], uint8_t{1}, 1); });
+    });
+    Thread B(*RT, Main, [&](ThreadContext &TC) {
+      TC.run(F, [&](auto &T) { T.store(&Block[0], uint8_t{2}, 2); });
+    });
+    A.join(Main);
+    B.join(Main);
+  }
+  EXPECT_EQ(detect().numStaticRaces(), 1u);
+}
+
+TEST_F(AllocatorTest, CreateDestroyRoundTrip) {
+  struct Widget {
+    uint64_t A = 7;
+    uint64_t B = 9;
+  };
+  MonitoredAllocator Alloc;
+  ThreadContext TC(*RT);
+  Widget *W = Alloc.create<Widget>(TC);
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->A, 7u);
+  EXPECT_EQ(W->B, 9u);
+  Alloc.destroy(TC, W);
+}
+
+TEST_F(AllocatorTest, HeavyCrossThreadChurnStaysSilent) {
+  // Allocation churn across threads with disjoint access patterns: the
+  // page events must keep every cross-lifetime pair ordered.
+  MonitoredAllocator Alloc;
+  {
+    ThreadContext Main(*RT);
+    std::vector<std::unique_ptr<Thread>> Threads;
+    for (unsigned I = 0; I != 3; ++I)
+      Threads.push_back(std::make_unique<Thread>(
+          *RT, Main, [&](ThreadContext &TC) {
+            for (unsigned K = 0; K != 500; ++K) {
+              auto *P = static_cast<uint64_t *>(Alloc.allocate(TC, 64));
+              TC.run(F, [&](auto &T) {
+                for (unsigned J = 0; J != 8; ++J)
+                  T.store(&P[J], uint64_t{K + J}, 1);
+                uint64_t Sum = 0;
+                for (unsigned J = 0; J != 8; ++J)
+                  Sum += T.load(&P[J], 2);
+                EXPECT_EQ(Sum, 8u * K + 28u);
+              });
+              Alloc.deallocate(TC, P, 64);
+            }
+          }));
+    for (auto &Th : Threads)
+      Th->join(Main);
+  }
+  EXPECT_EQ(detect().numStaticRaces(), 0u);
+}
+
+} // namespace

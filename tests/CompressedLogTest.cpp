@@ -1,0 +1,206 @@
+//===-- tests/CompressedLogTest.cpp - Compressed log format ----------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CompressedLog.h"
+
+#include "detector/HBDetector.h"
+#include "detector/LogBuilder.h"
+#include "harness/DetectionExperiment.h"
+#include "support/SplitMix64.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+using namespace literace;
+
+namespace {
+
+bool recordsEqual(const EventRecord &A, const EventRecord &B) {
+  return A.Addr == B.Addr && A.Pc == B.Pc && A.Ts == B.Ts &&
+         A.Tid == B.Tid && A.Kind == B.Kind && A.Mask == B.Mask;
+}
+
+bool tracesEqual(const Trace &A, const Trace &B) {
+  if (A.NumTimestampCounters != B.NumTimestampCounters ||
+      A.PerThread.size() != B.PerThread.size())
+    return false;
+  for (size_t T = 0; T != A.PerThread.size(); ++T) {
+    if (A.PerThread[T].size() != B.PerThread[T].size())
+      return false;
+    for (size_t I = 0; I != A.PerThread[T].size(); ++I)
+      if (!recordsEqual(A.PerThread[T][I], B.PerThread[T][I]))
+        return false;
+  }
+  return true;
+}
+
+std::string tempPath(const char *Name) {
+  return std::string(::testing::TempDir()) + Name;
+}
+
+TEST(CompressedStreamTest, EmptyStream) {
+  std::vector<uint8_t> Out;
+  EXPECT_EQ(compressEventStream({}, Out), 0u);
+  auto Back = decompressEventStream(Out.data(), Out.size(), 0);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_TRUE(Back->empty());
+}
+
+TEST(CompressedStreamTest, RoundTripsAllKinds) {
+  LogBuilder B(16);
+  SyncVar M = makeSyncVar(SyncObjectKind::Mutex, 0x8000);
+  B.onThread(3)
+      .threadStart()
+      .write(0xdeadbeef, makePc(4, 7), 0x8003)
+      .read(0xdeadbef7, makePc(4, 8), 0x8003)
+      .acquire(M)
+      .release(M)
+      .acqRel(makeSyncVar(SyncObjectKind::Atomic, 0x9000))
+      .alloc(makeSyncVar(SyncObjectKind::Page, 12))
+      .free(makeSyncVar(SyncObjectKind::Page, 12))
+      .threadEnd();
+  Trace T = B.build();
+
+  std::vector<uint8_t> Out;
+  compressEventStream(T.PerThread[3], Out);
+  auto Back = decompressEventStream(Out.data(), Out.size(), 3);
+  ASSERT_TRUE(Back.has_value());
+  ASSERT_EQ(Back->size(), T.PerThread[3].size());
+  for (size_t I = 0; I != Back->size(); ++I)
+    EXPECT_TRUE(recordsEqual((*Back)[I], T.PerThread[3][I])) << "record "
+                                                             << I;
+}
+
+TEST(CompressedStreamTest, RandomStreamsRoundTripExactly) {
+  SplitMix64 Rng(0xc0ffee);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    std::vector<EventRecord> Stream;
+    uint64_t Ts = 1;
+    for (int I = 0; I != 500; ++I) {
+      EventRecord R;
+      R.Tid = 5;
+      switch (Rng.nextBelow(4)) {
+      case 0:
+        R.Kind = EventKind::Read;
+        break;
+      case 1:
+        R.Kind = EventKind::Write;
+        break;
+      case 2:
+        R.Kind = EventKind::Acquire;
+        R.Ts = Ts++;
+        break;
+      default:
+        R.Kind = EventKind::Release;
+        R.Ts = Ts++;
+        break;
+      }
+      R.Addr = Rng.next() >> Rng.nextBelow(40); // Mixed magnitudes.
+      R.Pc = makePc(static_cast<FunctionId>(Rng.nextBelow(100)),
+                    static_cast<uint32_t>(Rng.nextBelow(300)));
+      R.Mask = static_cast<uint16_t>(Rng.nextBelow(0x10000));
+      Stream.push_back(R);
+    }
+    std::vector<uint8_t> Out;
+    compressEventStream(Stream, Out);
+    auto Back = decompressEventStream(Out.data(), Out.size(), 5);
+    ASSERT_TRUE(Back.has_value());
+    ASSERT_EQ(Back->size(), Stream.size());
+    for (size_t I = 0; I != Stream.size(); ++I)
+      ASSERT_TRUE(recordsEqual((*Back)[I], Stream[I]));
+  }
+}
+
+TEST(CompressedStreamTest, TruncatedInputIsRejected) {
+  LogBuilder B(16);
+  B.onThread(0).write(0x1000, makePc(1, 1)).write(0x2000, makePc(1, 2));
+  std::vector<uint8_t> Out;
+  compressEventStream(B.build().PerThread[0], Out);
+  for (size_t Cut = 1; Cut < Out.size(); ++Cut) {
+    auto Back = decompressEventStream(Out.data(), Cut, 0);
+    // Either cleanly rejected or a strict prefix; never garbage kinds.
+    if (Back) {
+      for (const EventRecord &R : *Back)
+        EXPECT_LE(static_cast<uint8_t>(R.Kind),
+                  static_cast<uint8_t>(EventKind::Free));
+    }
+  }
+}
+
+TEST(CompressedStreamTest, GarbageKindIsRejected) {
+  uint8_t Garbage[] = {0x0f, 0x00, 0x00, 0x00}; // Kind 15 is invalid.
+  EXPECT_FALSE(decompressEventStream(Garbage, sizeof(Garbage), 0));
+}
+
+TEST(CompressedFileSinkTest, FullFileRoundTrip) {
+  std::string Path = tempPath("compressed_roundtrip.bin");
+  LogBuilder B(32);
+  SyncVar M = makeSyncVar(SyncObjectKind::Mutex, 0x100);
+  B.onThread(0).lock(M).write(0x10, makePc(1, 1), 0x8001).unlock(M);
+  B.onThread(1).lock(M).read(0x10, makePc(2, 2), 0x8000).unlock(M);
+  Trace T = B.build();
+  {
+    CompressedFileSink Sink(Path, 32);
+    for (ThreadId Tid = 0; Tid != T.PerThread.size(); ++Tid)
+      Sink.writeChunk(Tid, T.PerThread[Tid].data(),
+                      T.PerThread[Tid].size());
+    EXPECT_TRUE(Sink.close());
+    EXPECT_GT(Sink.compressedBytes(), 0u);
+    EXPECT_LT(Sink.compressedBytes(), T.totalEvents() * sizeof(EventRecord));
+  }
+  auto Back = readCompressedTraceFile(Path);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_TRUE(tracesEqual(T, *Back));
+  std::remove(Path.c_str());
+}
+
+TEST(CompressedFileSinkTest, MissingAndGarbageFiles) {
+  EXPECT_FALSE(readCompressedTraceFile("/nonexistent/x.bin"));
+  std::string Path = tempPath("compressed_garbage.bin");
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::fputs("not a compressed literace log", F);
+  std::fclose(F);
+  EXPECT_FALSE(readCompressedTraceFile(Path));
+  std::remove(Path.c_str());
+}
+
+TEST(CompressedFileSinkTest, WorkloadTraceShrinksAndDetectsIdentically) {
+  // End to end: run a real workload into the compressed sink, read it
+  // back, and verify (a) compression actually saves space and (b) the
+  // detector sees exactly the same races as on the in-memory trace.
+  std::string Path = tempPath("compressed_workload.bin");
+  auto W = makeWorkload(WorkloadKind::Channel);
+  WorkloadParams Params;
+  Params.Scale = 0.05;
+
+  ExperimentRun Reference = executeExperiment(*W, Params);
+  RaceReport RefReport;
+  ASSERT_TRUE(detectRaces(Reference.TraceData, RefReport));
+
+  // Re-encode the reference trace through the compressed file format.
+  {
+    CompressedFileSink Sink(Path, 128);
+    for (ThreadId Tid = 0; Tid != Reference.TraceData.PerThread.size();
+         ++Tid)
+      Sink.writeChunk(Tid, Reference.TraceData.PerThread[Tid].data(),
+                      Reference.TraceData.PerThread[Tid].size());
+    ASSERT_TRUE(Sink.close());
+    uint64_t Raw = Reference.TraceData.totalEvents() * sizeof(EventRecord);
+    EXPECT_LT(Sink.compressedBytes() * 2, Raw)
+        << "expected at least 2x compression on a real trace";
+  }
+  auto Back = readCompressedTraceFile(Path);
+  ASSERT_TRUE(Back.has_value());
+  ASSERT_TRUE(tracesEqual(Reference.TraceData, *Back));
+  RaceReport BackReport;
+  ASSERT_TRUE(detectRaces(*Back, BackReport));
+  EXPECT_EQ(BackReport.keys(), RefReport.keys());
+  std::remove(Path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+//===-- tests/EventLogTest.cpp - Log sinks and file format -----------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/EventLog.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <string>
+#include <unistd.h>
+
+using namespace literace;
+
+namespace {
+
+EventRecord makeRead(ThreadId Tid, uint64_t Addr, uint16_t Mask = 0x8000) {
+  EventRecord R;
+  R.Kind = EventKind::Read;
+  R.Tid = Tid;
+  R.Addr = Addr;
+  R.Mask = Mask;
+  return R;
+}
+
+EventRecord makeAcquire(ThreadId Tid, SyncVar S, uint64_t Ts) {
+  EventRecord R;
+  R.Kind = EventKind::Acquire;
+  R.Tid = Tid;
+  R.Addr = S;
+  R.Ts = Ts;
+  return R;
+}
+
+std::string tempPath(const char *Name) {
+  return std::string(::testing::TempDir()) + Name;
+}
+
+TEST(MemorySinkTest, ReassemblesPerThreadStreams) {
+  MemorySink Sink(64);
+  EventRecord A = makeRead(0, 0x10);
+  EventRecord B = makeRead(1, 0x20);
+  EventRecord C = makeRead(0, 0x30);
+  Sink.writeChunk(0, &A, 1);
+  Sink.writeChunk(1, &B, 1);
+  Sink.writeChunk(0, &C, 1);
+
+  Trace T = Sink.takeTrace();
+  EXPECT_EQ(T.NumTimestampCounters, 64u);
+  ASSERT_EQ(T.PerThread.size(), 2u);
+  ASSERT_EQ(T.PerThread[0].size(), 2u);
+  EXPECT_EQ(T.PerThread[0][0].Addr, 0x10u);
+  EXPECT_EQ(T.PerThread[0][1].Addr, 0x30u);
+  ASSERT_EQ(T.PerThread[1].size(), 1u);
+  EXPECT_EQ(T.PerThread[1][0].Addr, 0x20u);
+}
+
+TEST(MemorySinkTest, TakeTraceDrainsTheSink) {
+  MemorySink Sink;
+  EventRecord A = makeRead(0, 0x10);
+  Sink.writeChunk(0, &A, 1);
+  Trace First = Sink.takeTrace();
+  EXPECT_EQ(First.totalEvents(), 1u);
+  Trace Second = Sink.takeTrace();
+  EXPECT_EQ(Second.totalEvents(), 0u);
+}
+
+TEST(MemorySinkTest, CountsBytes) {
+  MemorySink Sink;
+  EventRecord Records[3] = {makeRead(0, 1), makeRead(0, 2), makeRead(0, 3)};
+  Sink.writeChunk(0, Records, 3);
+  EXPECT_EQ(Sink.bytesWritten(), 3 * sizeof(EventRecord));
+}
+
+TEST(TraceTest, CountsByKind) {
+  Trace T;
+  T.PerThread.resize(2);
+  T.PerThread[0].push_back(makeRead(0, 0x10, 0x8001));
+  T.PerThread[0].push_back(
+      makeAcquire(0, makeSyncVar(SyncObjectKind::Mutex, 1), 1));
+  T.PerThread[1].push_back(makeRead(1, 0x20, 0x8002));
+  EXPECT_EQ(T.totalEvents(), 3u);
+  EXPECT_EQ(T.memoryOps(), 2u);
+  EXPECT_EQ(T.syncOps(), 1u);
+  EXPECT_EQ(T.memoryOpsForSlot(0), 1u);
+  EXPECT_EQ(T.memoryOpsForSlot(1), 1u);
+  EXPECT_EQ(T.memoryOpsForSlot(2), 0u);
+}
+
+TEST(FileSinkTest, RoundTripsThroughDisk) {
+  std::string Path = tempPath("roundtrip.bin");
+  {
+    FileSink Sink(Path, 32);
+    ASSERT_TRUE(Sink.ok());
+    EventRecord A[2] = {makeRead(0, 0x10), makeRead(0, 0x20)};
+    EventRecord B = makeAcquire(1, makeSyncVar(SyncObjectKind::Event, 7), 5);
+    Sink.writeChunk(0, A, 2);
+    Sink.writeChunk(1, &B, 1);
+    Sink.close();
+  }
+  auto T = readTraceFile(Path);
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(T->NumTimestampCounters, 32u);
+  ASSERT_EQ(T->PerThread.size(), 2u);
+  EXPECT_EQ(T->PerThread[0].size(), 2u);
+  EXPECT_EQ(T->PerThread[0][1].Addr, 0x20u);
+  EXPECT_EQ(T->PerThread[1][0].Ts, 5u);
+  EXPECT_EQ(T->PerThread[1][0].Kind, EventKind::Acquire);
+  std::remove(Path.c_str());
+}
+
+TEST(FileSinkTest, ChunksFromSameThreadStayOrdered) {
+  std::string Path = tempPath("ordered.bin");
+  {
+    FileSink Sink(Path);
+    for (uint64_t I = 0; I != 100; ++I) {
+      EventRecord R = makeRead(0, I);
+      Sink.writeChunk(0, &R, 1);
+    }
+  }
+  auto T = readTraceFile(Path);
+  ASSERT_TRUE(T.has_value());
+  ASSERT_EQ(T->PerThread[0].size(), 100u);
+  for (uint64_t I = 0; I != 100; ++I)
+    EXPECT_EQ(T->PerThread[0][I].Addr, I);
+  std::remove(Path.c_str());
+}
+
+TEST(FileSinkTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(readTraceFile("/nonexistent/literace.bin").has_value());
+}
+
+TEST(FileSinkTest, RejectsBadMagic) {
+  std::string Path = tempPath("badmagic.bin");
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  const char Garbage[64] = "this is not a literace log";
+  std::fwrite(Garbage, 1, sizeof(Garbage), F);
+  std::fclose(F);
+  EXPECT_FALSE(readTraceFile(Path).has_value());
+  std::remove(Path.c_str());
+}
+
+TEST(FileSinkTest, RejectsTruncatedChunk) {
+  std::string Path = tempPath("truncated.bin");
+  {
+    FileSink Sink(Path);
+    EventRecord A[4] = {makeRead(0, 1), makeRead(0, 2), makeRead(0, 3),
+                        makeRead(0, 4)};
+    Sink.writeChunk(0, A, 4);
+  }
+  // Chop the last record off.
+  std::FILE *F = std::fopen(Path.c_str(), "rb+");
+  ASSERT_NE(F, nullptr);
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  ASSERT_EQ(0, std::fclose(F));
+  ASSERT_EQ(0, truncate(Path.c_str(), Size - 8));
+  EXPECT_FALSE(readTraceFile(Path).has_value());
+  std::remove(Path.c_str());
+}
+
+TEST(NullSinkTest, CountsButDiscards) {
+  NullSink Sink;
+  EventRecord A[5] = {};
+  Sink.writeChunk(3, A, 5);
+  EXPECT_EQ(Sink.bytesWritten(), 5 * sizeof(EventRecord));
+}
+
+TEST(EventRecordTest, LayoutIsStable) {
+  // The on-disk format depends on this layout.
+  EXPECT_EQ(sizeof(EventRecord), 32u);
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+//===-- tests/FastTrackTest.cpp - Epoch-optimized detector -----------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/FastTrackDetector.h"
+
+#include "detector/HBDetector.h"
+#include "detector/LogBuilder.h"
+#include "harness/DetectionExperiment.h"
+#include "support/SplitMix64.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace literace;
+
+namespace {
+
+constexpr SyncVar L = makeSyncVar(SyncObjectKind::Mutex, 0x1000);
+constexpr uint64_t X = 0xF00d0;
+constexpr Pc PcA = makePc(1, 1);
+constexpr Pc PcB = makePc(2, 2);
+constexpr Pc PcC = makePc(3, 3);
+
+RaceReport fasttrack(const LogBuilder &B) {
+  RaceReport Report;
+  EXPECT_TRUE(detectRacesFastTrack(B.build(), Report));
+  return Report;
+}
+
+TEST(FastTrackTest, OrderedWritesAreSilent) {
+  LogBuilder B(16);
+  B.onThread(0).lock(L).write(X, PcA).unlock(L);
+  B.onThread(1).lock(L).write(X, PcB).unlock(L);
+  EXPECT_EQ(fasttrack(B).numStaticRaces(), 0u);
+}
+
+TEST(FastTrackTest, UnorderedWritesRace) {
+  LogBuilder B(16);
+  B.onThread(0).write(X, PcA);
+  B.onThread(1).write(X, PcB);
+  RaceReport R = fasttrack(B);
+  EXPECT_EQ(R.numStaticRaces(), 1u);
+  EXPECT_TRUE(R.contains(PcA, PcB));
+}
+
+TEST(FastTrackTest, WriteReadRace) {
+  LogBuilder B(16);
+  B.onThread(0).write(X, PcA);
+  B.onThread(1).read(X, PcB);
+  EXPECT_TRUE(fasttrack(B).contains(PcA, PcB));
+}
+
+TEST(FastTrackTest, ReadWriteRaceFromExclusiveEpoch) {
+  LogBuilder B(16);
+  B.onThread(0).read(X, PcA);
+  B.onThread(1).write(X, PcB);
+  EXPECT_TRUE(fasttrack(B).contains(PcA, PcB));
+}
+
+TEST(FastTrackTest, ConcurrentReadsPromoteWithoutRacing) {
+  LogBuilder B(16);
+  B.onThread(0).read(X, PcA);
+  B.onThread(1).read(X, PcB);
+  B.onThread(2).read(X, PcC);
+  RaceReport Report;
+  FastTrackDetector D(Report);
+  EXPECT_TRUE(replayTrace(B.build(), D));
+  EXPECT_EQ(Report.numStaticRaces(), 0u);
+  EXPECT_EQ(D.readSharePromotions(), 1u);
+}
+
+TEST(FastTrackTest, SharedReadsAllRaceWithLaterWrite) {
+  LogBuilder B(16);
+  B.onThread(0).read(X, PcA);
+  B.onThread(1).read(X, PcB);
+  B.onThread(2).write(X, PcC);
+  RaceReport R = fasttrack(B);
+  EXPECT_TRUE(R.contains(PcA, PcC));
+  EXPECT_TRUE(R.contains(PcB, PcC));
+}
+
+TEST(FastTrackTest, OrderedReadKeepsExclusiveEpoch) {
+  LogBuilder B(16);
+  // T0 reads, publishes via L; T1's read is ordered after — the epoch
+  // just moves, no promotion.
+  B.onThread(0).read(X, PcA).release(L);
+  B.onThread(1).acquire(L).read(X, PcB);
+  RaceReport Report;
+  FastTrackDetector D(Report);
+  EXPECT_TRUE(replayTrace(B.build(), D));
+  EXPECT_EQ(Report.numStaticRaces(), 0u);
+  EXPECT_EQ(D.readSharePromotions(), 0u);
+}
+
+TEST(FastTrackTest, WriteDemotesReadSharedState) {
+  LogBuilder B(16);
+  // Shared reads, then an ordered write, then an ordered read: silent.
+  B.onThread(0).read(X, PcA).release(L);
+  B.onThread(1).read(X, PcB).release(L);
+  B.onThread(2).acquire(L).write(X, PcC).release(L);
+  B.onThread(0).acquire(L).read(X, PcA);
+  EXPECT_EQ(fasttrack(B).numStaticRaces(), 0u);
+}
+
+/// The headline property: FastTrack and the vector-clock detector agree
+/// on WHICH ADDRESSES race, for randomized traces. (Witness pc pairs may
+/// differ; both report at least one per racy address.)
+class FastTrackEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+/// Generates a random but well-formed trace: each thread performs random
+/// reads/writes over a small address pool, interleaved with balanced
+/// lock/unlock of a small mutex pool and occasional event releases.
+Trace randomTrace(uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  LogBuilder B(8);
+  const unsigned Threads = 3 + Rng.nextBelow(3);
+  const unsigned OpsPerThread = 40 + Rng.nextBelow(40);
+  for (unsigned T = 0; T != Threads; ++T) {
+    B.onThread(T);
+    int HeldLock = -1;
+    for (unsigned I = 0; I != OpsPerThread; ++I) {
+      uint64_t Addr = 0x100 + 8 * Rng.nextBelow(6);
+      switch (Rng.nextBelow(6)) {
+      case 0:
+      case 1:
+        B.read(Addr, makePc(T, I));
+        break;
+      case 2:
+      case 3:
+        B.write(Addr, makePc(T, I));
+        break;
+      case 4:
+        if (HeldLock < 0) {
+          HeldLock = static_cast<int>(Rng.nextBelow(3));
+          B.lock(makeSyncVar(SyncObjectKind::Mutex, 0x5000 + HeldLock));
+        }
+        break;
+      case 5:
+        if (HeldLock >= 0) {
+          B.unlock(makeSyncVar(SyncObjectKind::Mutex, 0x5000 + HeldLock));
+          HeldLock = -1;
+        }
+        break;
+      }
+    }
+    if (HeldLock >= 0)
+      B.unlock(makeSyncVar(SyncObjectKind::Mutex, 0x5000 + HeldLock));
+  }
+  return B.build();
+}
+
+TEST_P(FastTrackEquivalenceTest, SameRacyAddressesAsVectorClocks) {
+  Trace T = randomTrace(GetParam());
+  RaceReport HB, FT;
+  ASSERT_TRUE(detectRaces(T, HB));
+  ASSERT_TRUE(detectRacesFastTrack(T, FT));
+  EXPECT_EQ(HB.racyAddresses(), FT.racyAddresses())
+      << "seed " << GetParam();
+  // Neither fabricates: a trace silent under one must be silent under
+  // the other.
+  EXPECT_EQ(HB.numStaticRaces() == 0, FT.numStaticRaces() == 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastTrackEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+TEST(FastTrackTest, AgreesWithHBOnWorkloadTrace) {
+  auto W = makeWorkload(WorkloadKind::Channel);
+  WorkloadParams Params;
+  Params.Scale = 0.05;
+  ExperimentRun Run = executeExperiment(*W, Params);
+  RaceReport HB, FT;
+  ASSERT_TRUE(detectRaces(Run.TraceData, HB));
+  ASSERT_TRUE(detectRacesFastTrack(Run.TraceData, FT));
+  EXPECT_EQ(HB.racyAddresses(), FT.racyAddresses());
+  // Ground truth holds for FastTrack too.
+  auto [Detected, AllWithin] =
+      validateAgainstManifest(FT, W->seededRaces());
+  EXPECT_EQ(Detected, W->seededRaces().size());
+  EXPECT_TRUE(AllWithin);
+}
+
+TEST(FastTrackTest, MicroBenchmarkTraceStaysSilent) {
+  auto W = makeWorkload(WorkloadKind::LFList);
+  WorkloadParams Params;
+  Params.Scale = 0.1;
+  ExperimentRun Run = executeExperiment(*W, Params);
+  RaceReport FT;
+  ASSERT_TRUE(detectRacesFastTrack(Run.TraceData, FT));
+  EXPECT_EQ(FT.numStaticRaces(), 0u) << FT.describe();
+}
+
+} // namespace

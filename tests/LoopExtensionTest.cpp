@@ -1,0 +1,98 @@
+//===-- tests/LoopExtensionTest.cpp - §7 loop-granularity sampling ---------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ThreadContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace literace;
+
+namespace {
+
+class LoopExtensionTest : public ::testing::Test {
+protected:
+  LoopExtensionTest() : Sink(16) {
+    RuntimeConfig Config;
+    Config.Mode = RunMode::FullLogging;
+    Config.TimestampCounters = 16;
+    RT = std::make_unique<Runtime>(Config, &Sink);
+    F = RT->registry().registerFunction("loopy");
+  }
+
+  size_t loggedOpsForIterations(unsigned Iterations,
+                                unsigned OpsPerIteration = 1) {
+    {
+      ThreadContext TC(*RT);
+      uint64_t Cell = 0;
+      TC.run(F, [&](auto &T) {
+        for (unsigned I = 0; I != Iterations; ++I) {
+          T.loopIteration();
+          for (unsigned K = 0; K != OpsPerIteration; ++K)
+            T.store(&Cell, uint64_t{I}, 1);
+        }
+      });
+    }
+    return Sink.takeTrace().memoryOps();
+  }
+
+  MemorySink Sink;
+  std::unique_ptr<Runtime> RT;
+  FunctionId F = 0;
+};
+
+TEST_F(LoopExtensionTest, ShortLoopsAreFullyLogged) {
+  EXPECT_EQ(loggedOpsForIterations(64), 64u);
+}
+
+TEST_F(LoopExtensionTest, LongLoopsDecayToStride) {
+  // 64 full iterations, then every 16th: 6400 iterations log
+  // 64 + 6336/16 = 460.
+  EXPECT_EQ(loggedOpsForIterations(6400), 64u + 6336u / 16u);
+}
+
+TEST_F(LoopExtensionTest, DecayAppliesToAllOpsOfSquelchedIteration) {
+  size_t Logged = loggedOpsForIterations(6400, /*OpsPerIteration=*/3);
+  EXPECT_EQ(Logged, 3 * (64u + 6336u / 16u));
+}
+
+TEST_F(LoopExtensionTest, FreshActivationResetsTheDecay) {
+  // Two activations of 64 iterations each log everything: the decay is
+  // per activation, not per function.
+  size_t First = loggedOpsForIterations(64);
+  size_t Second = loggedOpsForIterations(64);
+  EXPECT_EQ(First, 64u);
+  EXPECT_EQ(Second, 64u);
+}
+
+TEST_F(LoopExtensionTest, NullTracerAcceptsTheHint) {
+  RuntimeConfig Config;
+  Config.Mode = RunMode::Baseline;
+  Runtime Bare(Config, nullptr);
+  FunctionId G = Bare.registry().registerFunction("g");
+  ThreadContext TC(Bare);
+  uint64_t Cell = 0;
+  TC.run(G, [&](auto &T) {
+    for (unsigned I = 0; I != 100; ++I) {
+      T.loopIteration();
+      T.store(&Cell, uint64_t{I}, 1);
+    }
+  });
+  EXPECT_EQ(Cell, 99u);
+}
+
+TEST_F(LoopExtensionTest, AccessesOutsideLoopsAreUnaffected) {
+  {
+    ThreadContext TC(*RT);
+    uint64_t Cell = 0;
+    TC.run(F, [&](auto &T) {
+      for (unsigned I = 0; I != 200; ++I)
+        T.store(&Cell, uint64_t{I}, 1); // No loopIteration() hints.
+    });
+  }
+  EXPECT_EQ(Sink.takeTrace().memoryOps(), 200u);
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+//===-- tests/ReplayTest.cpp - Replay scheduling ---------------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/Replay.h"
+
+#include "detector/LogBuilder.h"
+#include "runtime/TimestampManager.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+using namespace literace;
+
+namespace {
+
+/// Records the order in which events are delivered.
+struct Recorder : TraceConsumer {
+  std::vector<EventRecord> Events;
+  void onEvent(const EventRecord &R) override { Events.push_back(R); }
+};
+
+constexpr SyncVar MutexA = makeSyncVar(SyncObjectKind::Mutex, 0xA00);
+constexpr SyncVar MutexB = makeSyncVar(SyncObjectKind::Mutex, 0xB00);
+
+TEST(ReplayTest, SingleThreadDeliversProgramOrder) {
+  LogBuilder B(16);
+  B.onThread(0).threadStart().write(0x10, 1).acquire(MutexA).read(0x20, 2)
+      .release(MutexA).threadEnd();
+  Recorder R;
+  EXPECT_TRUE(replayTrace(B.build(), R));
+  ASSERT_EQ(R.Events.size(), 6u);
+  EXPECT_EQ(R.Events[0].Kind, EventKind::ThreadStart);
+  EXPECT_EQ(R.Events[1].Kind, EventKind::Write);
+  EXPECT_EQ(R.Events[2].Kind, EventKind::Acquire);
+  EXPECT_EQ(R.Events[3].Kind, EventKind::Read);
+  EXPECT_EQ(R.Events[4].Kind, EventKind::Release);
+  EXPECT_EQ(R.Events[5].Kind, EventKind::ThreadEnd);
+}
+
+TEST(ReplayTest, SyncEventsDeliveredInTimestampOrder) {
+  // Thread 1's acquire has the earlier timestamp even though thread 1 is
+  // visited second by the scheduler: the replay must deliver it first.
+  LogBuilder B(16);
+  B.onThread(1).acquire(MutexA); // ts 1
+  B.onThread(0).acquire(MutexA); // ts 2
+  Recorder R;
+  EXPECT_TRUE(replayTrace(B.build(), R));
+  ASSERT_EQ(R.Events.size(), 2u);
+  EXPECT_EQ(R.Events[0].Tid, 1u);
+  EXPECT_EQ(R.Events[1].Tid, 0u);
+}
+
+TEST(ReplayTest, CrossThreadInterleavingRespectsPerVarOrder) {
+  // T0: lock(A) unlock(A); T1: lock(A) unlock(A) — T1's lock drawn after
+  // T0's unlock, so T0's critical section must be fully delivered first.
+  LogBuilder B(16);
+  B.onThread(0).lock(MutexA).write(0x10, 1).unlock(MutexA);
+  B.onThread(1).lock(MutexA).write(0x10, 2).unlock(MutexA);
+  Recorder R;
+  EXPECT_TRUE(replayTrace(B.build(), R));
+  ASSERT_EQ(R.Events.size(), 6u);
+  // All of T0's events precede all of T1's.
+  for (unsigned I = 0; I != 3; ++I)
+    EXPECT_EQ(R.Events[I].Tid, 0u);
+  for (unsigned I = 3; I != 6; ++I)
+    EXPECT_EQ(R.Events[I].Tid, 1u);
+}
+
+TEST(ReplayTest, IndependentSyncVarsInterleaveFreely) {
+  LogBuilder B(1024); // Many counters: A and B land on different ones.
+  B.onThread(0).lock(MutexA).unlock(MutexA);
+  B.onThread(1).lock(MutexB).unlock(MutexB);
+  Recorder R;
+  EXPECT_TRUE(replayTrace(B.build(), R));
+  EXPECT_EQ(R.Events.size(), 4u);
+}
+
+TEST(ReplayTest, FilterDropsUnsampledMemoryEventsOnly) {
+  LogBuilder B(16);
+  B.onThread(0)
+      .write(0x10, 1, /*Mask=*/FullLogMaskBit | 0x1) // sampled by slot 0
+      .write(0x20, 2, /*Mask=*/FullLogMaskBit)       // full log only
+      .acquire(MutexA);
+  ReplayOptions Options;
+  Options.SamplerSlot = 0;
+  Recorder R;
+  EXPECT_TRUE(replayTrace(B.build(), R, Options));
+  ASSERT_EQ(R.Events.size(), 2u);
+  EXPECT_EQ(R.Events[0].Addr, 0x10u);
+  EXPECT_EQ(R.Events[1].Kind, EventKind::Acquire); // Sync never filtered.
+}
+
+TEST(ReplayTest, NegativeSlotDeliversEverything) {
+  LogBuilder B(16);
+  B.onThread(0).write(0x10, 1, 0).write(0x20, 2, FullLogMaskBit);
+  Recorder R;
+  EXPECT_TRUE(replayTrace(B.build(), R));
+  EXPECT_EQ(R.Events.size(), 2u);
+}
+
+TEST(ReplayTest, MissingTimestampMakesLogInconsistent) {
+  // Draw a timestamp that is never logged: the next sync event on that
+  // counter can never be enabled.
+  LogBuilder B(1);
+  B.onThread(0).acquire(MutexA); // ts 1
+  B.onThread(0).acquire(MutexA); // ts 2
+  Trace T = B.build();
+  // Drop the ts=1 event.
+  T.PerThread[0].erase(T.PerThread[0].begin());
+  Recorder R;
+  EXPECT_FALSE(replayTrace(T, R));
+}
+
+TEST(ReplayTest, DuplicateTimestampMakesLogInconsistent) {
+  LogBuilder B(1);
+  B.onThread(0).acquire(MutexA); // ts 1
+  Trace T = B.build();
+  EventRecord Dup = T.PerThread[0][0];
+  T.PerThread.resize(2);
+  T.PerThread[1].push_back(Dup); // Same ts on the same counter.
+  Recorder R;
+  EXPECT_FALSE(replayTrace(T, R));
+}
+
+TEST(ReplayTest, SyncEventWithZeroTimestampIsMalformed) {
+  Trace T;
+  T.NumTimestampCounters = 16;
+  T.PerThread.resize(1);
+  EventRecord R;
+  R.Kind = EventKind::Acquire;
+  R.Addr = MutexA;
+  R.Ts = 0;
+  T.PerThread[0].push_back(R);
+  Recorder Rec;
+  EXPECT_FALSE(replayTrace(T, Rec));
+}
+
+TEST(ReplayTest, EmptyTraceIsConsistent) {
+  Trace T;
+  T.NumTimestampCounters = 16;
+  Recorder R;
+  EXPECT_TRUE(replayTrace(T, R));
+  EXPECT_TRUE(R.Events.empty());
+}
+
+TEST(ReplaySchedulerTest, DrainsIncrementally) {
+  LogBuilder B(16);
+  B.onThread(0).lock(MutexA).write(0x10, 1).unlock(MutexA);
+  B.onThread(1).lock(MutexA).write(0x10, 2).unlock(MutexA);
+  Trace T = B.build();
+
+  ReplayScheduler Sched(16);
+  Recorder R;
+  // Feed thread 1 first: nothing can be delivered except... thread 1's
+  // lock waits for thread 0's unlock.
+  Sched.addEvents(1, T.PerThread[1].data(), T.PerThread[1].size());
+  EXPECT_EQ(Sched.drain(R), 0u);
+  EXPECT_FALSE(Sched.fullyDrained());
+  EXPECT_EQ(Sched.pendingEvents(), 3u);
+
+  Sched.addEvents(0, T.PerThread[0].data(), T.PerThread[0].size());
+  EXPECT_EQ(Sched.drain(R), 6u);
+  EXPECT_TRUE(Sched.fullyDrained());
+  // Thread 0's critical section delivered before thread 1's.
+  EXPECT_EQ(R.Events[0].Tid, 0u);
+  EXPECT_EQ(R.Events[5].Tid, 1u);
+}
+
+TEST(ReplaySchedulerTest, PartialChunksDrainAsTheyArrive) {
+  LogBuilder B(16);
+  B.onThread(0).write(0x1, 1).write(0x2, 2).write(0x3, 3);
+  Trace T = B.build();
+  ReplayScheduler Sched(16);
+  Recorder R;
+  Sched.addEvents(0, T.PerThread[0].data(), 1);
+  EXPECT_EQ(Sched.drain(R), 1u);
+  Sched.addEvents(0, T.PerThread[0].data() + 1, 2);
+  EXPECT_EQ(Sched.drain(R), 2u);
+  EXPECT_TRUE(Sched.fullyDrained());
+  EXPECT_EQ(R.Events.size(), 3u);
+}
+
+} // namespace

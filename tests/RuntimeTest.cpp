@@ -1,0 +1,230 @@
+//===-- tests/RuntimeTest.cpp - Runtime modes and dispatch -----------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include "runtime/ThreadContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace literace;
+
+namespace {
+
+constexpr SyncVar L = makeSyncVar(SyncObjectKind::Mutex, 0x900);
+
+/// Builds a runtime in \p Mode over \p Sink and runs \p Calls activations
+/// of one function, each performing one write and one sync acquire.
+Trace runScenario(RunMode Mode, unsigned Calls,
+                  unsigned *NumFunctionsOut = nullptr) {
+  MemorySink Sink(16);
+  RuntimeConfig Config;
+  Config.Mode = Mode;
+  Config.TimestampCounters = 16;
+  Runtime RT(Config, &Sink);
+  if (Mode == RunMode::Experiment)
+    RT.addStandardSamplers();
+  FunctionId F = RT.registry().registerFunction("f");
+  {
+    ThreadContext TC(RT);
+    uint64_t Cell = 0;
+    for (unsigned I = 0; I != Calls; ++I) {
+      TC.run(F, [&](auto &T) {
+        T.store(&Cell, uint64_t{I}, 1);
+        TC.logAcquire(L);
+      });
+    }
+  }
+  if (NumFunctionsOut)
+    *NumFunctionsOut = static_cast<unsigned>(RT.registry().size());
+  return Sink.takeTrace();
+}
+
+TEST(RunModeTest, Names) {
+  EXPECT_STREQ(runModeName(RunMode::Baseline), "Baseline");
+  EXPECT_STREQ(runModeName(RunMode::DispatchOnly), "DispatchOnly");
+  EXPECT_STREQ(runModeName(RunMode::SyncLogging), "SyncLogging");
+  EXPECT_STREQ(runModeName(RunMode::LiteRace), "LiteRace");
+  EXPECT_STREQ(runModeName(RunMode::FullLogging), "FullLogging");
+  EXPECT_STREQ(runModeName(RunMode::Experiment), "Experiment");
+}
+
+TEST(RuntimeModeTest, BaselineLogsNothing) {
+  Trace T = runScenario(RunMode::Baseline, 100);
+  EXPECT_EQ(T.totalEvents(), 0u);
+}
+
+TEST(RuntimeModeTest, DispatchOnlyLogsNothing) {
+  Trace T = runScenario(RunMode::DispatchOnly, 100);
+  EXPECT_EQ(T.totalEvents(), 0u);
+}
+
+TEST(RuntimeModeTest, SyncLoggingLogsSyncOnly) {
+  Trace T = runScenario(RunMode::SyncLogging, 100);
+  EXPECT_EQ(T.memoryOps(), 0u);
+  EXPECT_EQ(T.syncOps(), 100u);
+}
+
+TEST(RuntimeModeTest, FullLoggingLogsEverything) {
+  Trace T = runScenario(RunMode::FullLogging, 100);
+  EXPECT_EQ(T.memoryOps(), 100u);
+  EXPECT_EQ(T.syncOps(), 100u);
+}
+
+TEST(RuntimeModeTest, LiteRaceSamplesMemoryNeverSync) {
+  // 100k calls of one hot function: TL-Ad converges to ~0.1%, but every
+  // sync op is logged (§3.2).
+  Trace T = runScenario(RunMode::LiteRace, 100000);
+  EXPECT_EQ(T.syncOps(), 100000u);
+  EXPECT_GT(T.memoryOps(), 30u);     // Initial bursts at least.
+  EXPECT_LT(T.memoryOps(), 2000u);   // ~0.1-1%, not everything.
+}
+
+TEST(RuntimeModeTest, ExperimentLogsAllMemoryWithMasks) {
+  Trace T = runScenario(RunMode::Experiment, 5000);
+  EXPECT_EQ(T.memoryOps(), 5000u);
+  // Every record carries the full-log bit.
+  for (const auto &Stream : T.PerThread)
+    for (const EventRecord &R : Stream)
+      if (isMemoryKind(R.Kind)) {
+        ASSERT_TRUE(R.Mask & FullLogMaskBit);
+      }
+  // TL-Ad (slot 0) sampled the first burst but far from everything.
+  size_t Slot0 = T.memoryOpsForSlot(0);
+  EXPECT_GE(Slot0, 10u);
+  EXPECT_LT(Slot0, 2500u);
+  // UCP (slot 6) sampled everything except the first 10 calls.
+  EXPECT_EQ(T.memoryOpsForSlot(6), 4990u);
+}
+
+TEST(RuntimeStatsTest, CountsMatchTrace) {
+  MemorySink Sink(16);
+  RuntimeConfig Config;
+  Config.Mode = RunMode::Experiment;
+  Config.TimestampCounters = 16;
+  Runtime RT(Config, &Sink);
+  RT.addStandardSamplers();
+  FunctionId F = RT.registry().registerFunction("f");
+  {
+    ThreadContext TC(RT);
+    uint64_t Cell = 0;
+    for (unsigned I = 0; I != 500; ++I)
+      TC.run(F, [&](auto &T) { T.store(&Cell, uint64_t{I}, 1); });
+  }
+  RuntimeStats Stats = RT.stats();
+  Trace T = Sink.takeTrace();
+  EXPECT_EQ(Stats.MemOpsLogged, T.memoryOps());
+  for (unsigned Slot = 0; Slot != RT.numSamplers(); ++Slot)
+    EXPECT_EQ(Stats.MemOpsPerSlot[Slot], T.memoryOpsForSlot(Slot))
+        << "slot " << Slot;
+}
+
+TEST(RuntimeStatsTest, EffectiveSamplingRate) {
+  RuntimeStats Stats;
+  Stats.MemOpsLogged = 1000;
+  Stats.MemOpsPerSlot[2] = 18;
+  EXPECT_DOUBLE_EQ(Stats.effectiveSamplingRate(2), 0.018);
+  RuntimeStats Zero;
+  EXPECT_DOUBLE_EQ(Zero.effectiveSamplingRate(0), 0.0);
+}
+
+TEST(RuntimeStatsTest, MergeAccumulates) {
+  RuntimeStats A, B;
+  A.MemOpsLogged = 10;
+  A.SyncOps = 1;
+  A.MemOpsPerSlot[0] = 5;
+  B.MemOpsLogged = 20;
+  B.SyncOps = 2;
+  B.MemOpsPerSlot[0] = 7;
+  A.mergeFrom(B);
+  EXPECT_EQ(A.MemOpsLogged, 30u);
+  EXPECT_EQ(A.SyncOps, 3u);
+  EXPECT_EQ(A.MemOpsPerSlot[0], 12u);
+}
+
+TEST(ThreadContextTest, AllocatesDenseThreadIds) {
+  RuntimeConfig Config;
+  Config.Mode = RunMode::Baseline;
+  Runtime RT(Config, nullptr);
+  ThreadContext A(RT), B(RT), C(RT);
+  EXPECT_EQ(A.tid(), 0u);
+  EXPECT_EQ(B.tid(), 1u);
+  EXPECT_EQ(C.tid(), 2u);
+  EXPECT_EQ(RT.numThreads(), 3u);
+}
+
+TEST(ThreadContextTest, LogsThreadLifecycleMarkers) {
+  MemorySink Sink(16);
+  RuntimeConfig Config;
+  Config.Mode = RunMode::SyncLogging;
+  Config.TimestampCounters = 16;
+  Runtime RT(Config, &Sink);
+  { ThreadContext TC(RT); }
+  Trace T = Sink.takeTrace();
+  ASSERT_EQ(T.PerThread.size(), 1u);
+  ASSERT_EQ(T.PerThread[0].size(), 2u);
+  EXPECT_EQ(T.PerThread[0][0].Kind, EventKind::ThreadStart);
+  EXPECT_EQ(T.PerThread[0][1].Kind, EventKind::ThreadEnd);
+}
+
+TEST(ThreadContextTest, BufferFlushesAtThreshold) {
+  MemorySink Sink(16);
+  RuntimeConfig Config;
+  Config.Mode = RunMode::FullLogging;
+  Config.TimestampCounters = 16;
+  Config.ThreadBufferRecords = 8;
+  Runtime RT(Config, &Sink);
+  FunctionId F = RT.registry().registerFunction("f");
+  ThreadContext TC(RT);
+  uint64_t Cell = 0;
+  for (unsigned I = 0; I != 20; ++I)
+    TC.run(F, [&](auto &T) { T.store(&Cell, uint64_t{I}, 1); });
+  // Without destroying the context, full chunks must already have been
+  // flushed to the sink.
+  EXPECT_GE(Sink.bytesWritten(), 16 * sizeof(EventRecord));
+  TC.flush();
+}
+
+TEST(ThreadContextTest, NestedActivationsBothLog) {
+  MemorySink Sink(16);
+  RuntimeConfig Config;
+  Config.Mode = RunMode::FullLogging;
+  Config.TimestampCounters = 16;
+  Runtime RT(Config, &Sink);
+  FunctionId Outer = RT.registry().registerFunction("outer");
+  FunctionId Inner = RT.registry().registerFunction("inner");
+  {
+    ThreadContext TC(RT);
+    uint64_t Cell = 0;
+    TC.run(Outer, [&](auto &T) {
+      T.store(&Cell, uint64_t{1}, 1);
+      TC.run(Inner, [&](auto &T2) { T2.store(&Cell, uint64_t{2}, 2); });
+      T.store(&Cell, uint64_t{3}, 3);
+    });
+  }
+  Trace T = Sink.takeTrace();
+  ASSERT_EQ(T.memoryOps(), 3u);
+  // Pc function ids reflect the activation that performed each access.
+  std::vector<FunctionId> Fns;
+  for (const EventRecord &R : T.PerThread[0])
+    if (isMemoryKind(R.Kind))
+      Fns.push_back(pcFunction(R.Pc));
+  EXPECT_EQ(Fns, (std::vector<FunctionId>{Outer, Inner, Outer}));
+}
+
+TEST(RuntimeTest, SamplerSuiteSlotsAreStable) {
+  MemorySink Sink(16);
+  RuntimeConfig Config;
+  Config.Mode = RunMode::Experiment;
+  Config.TimestampCounters = 16;
+  Runtime RT(Config, &Sink);
+  RT.addStandardSamplers();
+  ASSERT_EQ(RT.numSamplers(), 7u);
+  for (unsigned Slot = 0; Slot != 7; ++Slot)
+    EXPECT_EQ(RT.sampler(Slot).slot(), Slot);
+}
+
+} // namespace

@@ -1,0 +1,255 @@
+//===-- tests/SamplerTest.cpp - Sampling strategies ------------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Samplers.h"
+
+#include "runtime/EventLog.h"
+#include "runtime/Runtime.h"
+#include "runtime/ThreadContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace literace;
+
+namespace {
+
+TEST(AdaptiveScheduleTest, ThreadLocalDefaultMatchesPaper) {
+  AdaptiveSchedule Sched = AdaptiveSchedule::threadLocalDefault();
+  ASSERT_EQ(Sched.Rates.size(), 4u);
+  EXPECT_DOUBLE_EQ(Sched.Rates[0], 1.0);
+  EXPECT_DOUBLE_EQ(Sched.Rates[1], 0.1);
+  EXPECT_DOUBLE_EQ(Sched.Rates[2], 0.01);
+  EXPECT_DOUBLE_EQ(Sched.Rates[3], 0.001);
+  EXPECT_EQ(Sched.BurstLength, 10u);
+}
+
+TEST(AdaptiveScheduleTest, GlobalDefaultHalvesToFloor) {
+  AdaptiveSchedule Sched = AdaptiveSchedule::globalDefault();
+  ASSERT_GE(Sched.Rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(Sched.Rates.front(), 1.0);
+  EXPECT_DOUBLE_EQ(Sched.Rates.back(), 0.001);
+  for (size_t I = 0; I + 2 < Sched.Rates.size(); ++I)
+    EXPECT_DOUBLE_EQ(Sched.Rates[I + 1], Sched.Rates[I] / 2.0);
+}
+
+TEST(AdaptiveScheduleTest, GapSolvesForLongRunRate) {
+  AdaptiveSchedule Sched = AdaptiveSchedule::fixedRate(0.1);
+  // rate = L / (L + gap): 10 / (10 + 90) = 10%.
+  EXPECT_EQ(Sched.gapAfterBurst(0), 90u);
+  Sched = AdaptiveSchedule::fixedRate(1.0);
+  EXPECT_EQ(Sched.gapAfterBurst(0), 0u);
+  Sched = AdaptiveSchedule::fixedRate(0.5);
+  EXPECT_EQ(Sched.gapAfterBurst(0), 10u);
+}
+
+TEST(AdaptiveScheduleTest, GapClampsRateIndex) {
+  AdaptiveSchedule Sched = AdaptiveSchedule::threadLocalDefault();
+  EXPECT_EQ(Sched.gapAfterBurst(200), Sched.gapAfterBurst(3));
+}
+
+TEST(BurstySamplerTest, FirstBurstSamplesFirstTenCalls) {
+  AdaptiveSchedule Sched = AdaptiveSchedule::threadLocalDefault();
+  SamplerFnState State;
+  for (unsigned I = 0; I != 10; ++I)
+    EXPECT_TRUE(stepBurstySampler(State, Sched)) << "call " << I;
+  // Next call starts the 10% gap.
+  EXPECT_FALSE(stepBurstySampler(State, Sched));
+}
+
+TEST(BurstySamplerTest, AdaptiveBackoffProgression) {
+  AdaptiveSchedule Sched = AdaptiveSchedule::threadLocalDefault();
+  SamplerFnState State;
+  // Burst 1: calls 1-10 sampled, rate drops to 10% -> gap 90.
+  for (unsigned I = 0; I != 10; ++I)
+    EXPECT_TRUE(stepBurstySampler(State, Sched));
+  for (unsigned I = 0; I != 90; ++I)
+    EXPECT_FALSE(stepBurstySampler(State, Sched)) << "gap call " << I;
+  // Burst 2: 10 sampled, rate drops to 1% -> gap 990.
+  for (unsigned I = 0; I != 10; ++I)
+    EXPECT_TRUE(stepBurstySampler(State, Sched));
+  for (unsigned I = 0; I != 990; ++I)
+    EXPECT_FALSE(stepBurstySampler(State, Sched));
+  // Burst 3: 10 sampled, rate drops to the 0.1% floor -> gap 9990.
+  for (unsigned I = 0; I != 10; ++I)
+    EXPECT_TRUE(stepBurstySampler(State, Sched));
+  for (unsigned I = 0; I != 9990; ++I)
+    EXPECT_FALSE(stepBurstySampler(State, Sched));
+  // Floor: every subsequent cycle keeps the 0.1% rate.
+  for (unsigned I = 0; I != 10; ++I)
+    EXPECT_TRUE(stepBurstySampler(State, Sched));
+  EXPECT_FALSE(stepBurstySampler(State, Sched));
+}
+
+TEST(BurstySamplerTest, CallsCounterTracksEveryEntry) {
+  AdaptiveSchedule Sched = AdaptiveSchedule::fixedRate(0.5);
+  SamplerFnState State;
+  for (unsigned I = 0; I != 57; ++I)
+    stepBurstySampler(State, Sched);
+  EXPECT_EQ(State.Calls, 57u);
+}
+
+TEST(BurstySamplerTest, BurstLengthOneDegenerate) {
+  AdaptiveSchedule Sched = AdaptiveSchedule::fixedRate(0.5, 1);
+  SamplerFnState State;
+  unsigned Sampled = 0;
+  for (unsigned I = 0; I != 1000; ++I)
+    Sampled += stepBurstySampler(State, Sched) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(Sampled) / 1000.0, 0.5, 0.05);
+}
+
+/// Long-run effective rate of a fixed-rate bursty sampler converges to
+/// the configured rate, for a sweep of rates.
+class FixedRateConvergenceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FixedRateConvergenceTest, LongRunRateConverges) {
+  const double Rate = GetParam();
+  AdaptiveSchedule Sched = AdaptiveSchedule::fixedRate(Rate);
+  SamplerFnState State;
+  const unsigned Calls = 200000;
+  unsigned Sampled = 0;
+  for (unsigned I = 0; I != Calls; ++I)
+    Sampled += stepBurstySampler(State, Sched) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(Sampled) / Calls, Rate, Rate * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, FixedRateConvergenceTest,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.1, 0.25,
+                                           0.5, 1.0));
+
+TEST(BurstySamplerTest, AdaptiveLongRunRateApproachesFloor) {
+  AdaptiveSchedule Sched = AdaptiveSchedule::threadLocalDefault();
+  SamplerFnState State;
+  const unsigned Calls = 2000000;
+  unsigned Sampled = 0;
+  for (unsigned I = 0; I != Calls; ++I)
+    Sampled += stepBurstySampler(State, Sched) ? 1 : 0;
+  double Esr = static_cast<double>(Sampled) / Calls;
+  // Early bursts push it slightly above the 0.1% floor.
+  EXPECT_GT(Esr, 0.001);
+  EXPECT_LT(Esr, 0.002);
+}
+
+/// Fixture driving samplers through real ThreadContexts.
+class SamplerRuntimeTest : public ::testing::Test {
+protected:
+  SamplerRuntimeTest() : Sink(16) {
+    RuntimeConfig Config;
+    Config.Mode = RunMode::Experiment;
+    Config.TimestampCounters = 16;
+    RT = std::make_unique<Runtime>(Config, &Sink);
+  }
+
+  MemorySink Sink;
+  std::unique_ptr<Runtime> RT;
+};
+
+TEST_F(SamplerRuntimeTest, ThreadLocalSamplerIsIndependentPerThread) {
+  unsigned Slot = RT->addSampler(std::make_unique<ThreadLocalBurstySampler>(
+      "TL", "test", AdaptiveSchedule::threadLocalDefault()));
+  Sampler &S = RT->sampler(Slot);
+  FunctionId F = RT->registry().registerFunction("f");
+
+  ThreadContext TC0(*RT);
+  // Make the function hot for thread 0: way past the first burst.
+  unsigned SampledT0 = 0;
+  for (unsigned I = 0; I != 200; ++I)
+    SampledT0 += S.shouldSample(TC0, F) ? 1 : 0;
+  EXPECT_LT(SampledT0, 30u);
+
+  // A fresh thread still samples its own first executions at 100%.
+  ThreadContext TC1(*RT);
+  for (unsigned I = 0; I != 10; ++I)
+    EXPECT_TRUE(S.shouldSample(TC1, F)) << "thread-local first burst";
+}
+
+TEST_F(SamplerRuntimeTest, GlobalSamplerSharesHeatAcrossThreads) {
+  unsigned Slot = RT->addSampler(std::make_unique<GlobalBurstySampler>(
+      "G", "test", AdaptiveSchedule::globalDefault()));
+  Sampler &S = RT->sampler(Slot);
+  FunctionId F = RT->registry().registerFunction("f");
+
+  ThreadContext TC0(*RT);
+  for (unsigned I = 0; I != 100000; ++I)
+    (void)S.shouldSample(TC0, F);
+
+  // A new thread's first executions are mostly NOT sampled: the region is
+  // globally hot (this is exactly the failure mode §3.4 fixes).
+  ThreadContext TC1(*RT);
+  unsigned SampledT1 = 0;
+  for (unsigned I = 0; I != 10; ++I)
+    SampledT1 += S.shouldSample(TC1, F) ? 1 : 0;
+  EXPECT_LT(SampledT1, 10u);
+}
+
+TEST_F(SamplerRuntimeTest, GlobalSamplerResetClearsState) {
+  auto Owned = std::make_unique<GlobalBurstySampler>(
+      "G", "test", AdaptiveSchedule::globalDefault());
+  GlobalBurstySampler *G = Owned.get();
+  RT->addSampler(std::move(Owned));
+  FunctionId F = RT->registry().registerFunction("f");
+  ThreadContext TC(*RT);
+  for (unsigned I = 0; I != 5000; ++I)
+    (void)G->shouldSample(TC, F);
+  G->reset();
+  for (unsigned I = 0; I != 10; ++I)
+    EXPECT_TRUE(G->shouldSample(TC, F)) << "fresh burst after reset";
+}
+
+TEST_F(SamplerRuntimeTest, RandomSamplerHitsConfiguredRate) {
+  unsigned Slot = RT->addSampler(
+      std::make_unique<RandomSampler>("Rnd", "test", 0.25));
+  Sampler &S = RT->sampler(Slot);
+  FunctionId F = RT->registry().registerFunction("f");
+  ThreadContext TC(*RT);
+  unsigned Sampled = 0;
+  const unsigned Calls = 100000;
+  for (unsigned I = 0; I != Calls; ++I)
+    Sampled += S.shouldSample(TC, F) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(Sampled) / Calls, 0.25, 0.01);
+}
+
+TEST_F(SamplerRuntimeTest, UnColdSamplerSkipsFirstTenPerThread) {
+  unsigned Slot =
+      RT->addSampler(std::make_unique<UnColdRegionSampler>(10));
+  Sampler &S = RT->sampler(Slot);
+  FunctionId F = RT->registry().registerFunction("f");
+
+  ThreadContext TC0(*RT);
+  for (unsigned I = 0; I != 10; ++I)
+    EXPECT_FALSE(S.shouldSample(TC0, F)) << "cold call " << I;
+  for (unsigned I = 0; I != 100; ++I)
+    EXPECT_TRUE(S.shouldSample(TC0, F));
+
+  // Per thread: a new thread's first calls are skipped again even though
+  // the function is globally warm.
+  ThreadContext TC1(*RT);
+  EXPECT_FALSE(S.shouldSample(TC1, F));
+}
+
+TEST_F(SamplerRuntimeTest, AlwaysAndNeverSamplers) {
+  unsigned A = RT->addSampler(std::make_unique<AlwaysSampler>());
+  unsigned N = RT->addSampler(std::make_unique<NeverSampler>());
+  FunctionId F = RT->registry().registerFunction("f");
+  ThreadContext TC(*RT);
+  for (unsigned I = 0; I != 20; ++I) {
+    EXPECT_TRUE(RT->sampler(A).shouldSample(TC, F));
+    EXPECT_FALSE(RT->sampler(N).shouldSample(TC, F));
+  }
+}
+
+TEST(StandardSamplersTest, PaperOrderAndNames) {
+  auto Samplers = makeStandardSamplers();
+  ASSERT_EQ(Samplers.size(), 7u);
+  EXPECT_EQ(Samplers[0]->shortName(), "TL-Ad");
+  EXPECT_EQ(Samplers[1]->shortName(), "TL-Fx");
+  EXPECT_EQ(Samplers[2]->shortName(), "G-Ad");
+  EXPECT_EQ(Samplers[3]->shortName(), "G-Fx");
+  EXPECT_EQ(Samplers[4]->shortName(), "Rnd10");
+  EXPECT_EQ(Samplers[5]->shortName(), "Rnd25");
+  EXPECT_EQ(Samplers[6]->shortName(), "UCP");
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+//===-- tests/StdLibTest.cpp - Instrumented utility library ----------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/StdLib.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace literace;
+
+namespace {
+
+class StdLibTest : public ::testing::Test {
+protected:
+  StdLibTest() : Sink(16) {
+    RuntimeConfig Config;
+    Config.Mode = RunMode::FullLogging;
+    Config.TimestampCounters = 16;
+    RT = std::make_unique<Runtime>(Config, &Sink);
+  }
+
+  MemorySink Sink;
+  std::unique_ptr<Runtime> RT;
+};
+
+TEST_F(StdLibTest, FormatUintProducesDecimal) {
+  InstrumentedStdLib Lib;
+  Lib.bind(*RT);
+  ThreadContext TC(*RT);
+  StdLibSession Session;
+  char Buf[24];
+  EXPECT_EQ(Lib.formatUint(TC, Session, 0, Buf, sizeof(Buf)), 1u);
+  EXPECT_STREQ(Buf, "0");
+  EXPECT_EQ(Lib.formatUint(TC, Session, 12345, Buf, sizeof(Buf)), 5u);
+  EXPECT_STREQ(Buf, "12345");
+  EXPECT_EQ(Lib.formatUint(TC, Session, 18446744073709551615ULL, Buf,
+                           sizeof(Buf)),
+            20u);
+  EXPECT_STREQ(Buf, "18446744073709551615");
+}
+
+TEST_F(StdLibTest, FormatUintRespectsCapacity) {
+  InstrumentedStdLib Lib;
+  Lib.bind(*RT);
+  ThreadContext TC(*RT);
+  StdLibSession Session;
+  char Buf[4];
+  size_t Len = Lib.formatUint(TC, Session, 123456, Buf, sizeof(Buf));
+  EXPECT_EQ(Len, 3u);
+  EXPECT_EQ(Buf[3], '\0');
+}
+
+TEST_F(StdLibTest, ChecksumIsDeterministicPerContent) {
+  InstrumentedStdLib Lib;
+  Lib.bind(*RT);
+  ThreadContext TC(*RT);
+  StdLibSession Session;
+  uint8_t A[16], B[16];
+  std::memset(A, 0x5a, sizeof(A));
+  std::memset(B, 0x5a, sizeof(B));
+  uint64_t HA = Lib.checksum(TC, Session, A, sizeof(A));
+  uint64_t HB = Lib.checksum(TC, Session, B, sizeof(B));
+  EXPECT_EQ(HA, HB);
+  B[7] ^= 1;
+  EXPECT_NE(Lib.checksum(TC, Session, B, sizeof(B)), HA);
+}
+
+TEST_F(StdLibTest, FillIsDeterministicPerKey) {
+  InstrumentedStdLib Lib;
+  Lib.bind(*RT);
+  ThreadContext TC(*RT);
+  StdLibSession Session;
+  uint8_t A[32], B[32];
+  Lib.fill(TC, Session, A, sizeof(A), 9);
+  Lib.fill(TC, Session, B, sizeof(B), 9);
+  EXPECT_EQ(0, std::memcmp(A, B, sizeof(A)));
+  Lib.fill(TC, Session, B, sizeof(B), 10);
+  EXPECT_NE(0, std::memcmp(A, B, sizeof(A)));
+}
+
+TEST_F(StdLibTest, UnboundLibraryLogsNothing) {
+  InstrumentedStdLib Lib; // NOT bound: the plain-Dryad configuration.
+  EXPECT_FALSE(Lib.isBound());
+  {
+    ThreadContext TC(*RT);
+    StdLibSession Session;
+    uint8_t Buf[32];
+    Lib.fill(TC, Session, Buf, sizeof(Buf), 3);
+    (void)Lib.checksum(TC, Session, Buf, sizeof(Buf));
+    char Out[16];
+    Lib.formatUint(TC, Session, 42, Out, sizeof(Out));
+    (void)Lib.pollStats(TC);
+    Lib.flushSession(TC, Session);
+  }
+  Trace T = Sink.takeTrace();
+  EXPECT_EQ(T.memoryOps(), 0u)
+      << "uninstrumented library accesses must be invisible";
+  EXPECT_TRUE(Lib.seededRaces().empty())
+      << "invisible races cannot be in the manifest";
+}
+
+TEST_F(StdLibTest, BoundLibraryLogsItsAccesses) {
+  InstrumentedStdLib Lib;
+  Lib.bind(*RT);
+  EXPECT_TRUE(Lib.isBound());
+  {
+    ThreadContext TC(*RT);
+    StdLibSession Session;
+    uint8_t Buf[32];
+    Lib.fill(TC, Session, Buf, sizeof(Buf), 3);
+  }
+  EXPECT_GT(Sink.takeTrace().memoryOps(), 30u);
+  EXPECT_GE(Lib.seededRaces().size(), 11u);
+}
+
+TEST_F(StdLibTest, SessionCachingBoundsSharedProbes) {
+  InstrumentedStdLib Lib;
+  Lib.bind(*RT);
+  size_t FirstCallOps, SecondCallOps;
+  {
+    ThreadContext TC(*RT);
+    StdLibSession Session;
+    uint8_t Buf[8];
+    (void)Lib.checksum(TC, Session, Buf, sizeof(Buf));
+    TC.flush();
+    FirstCallOps = Sink.takeTrace().memoryOps();
+    (void)Lib.checksum(TC, Session, Buf, sizeof(Buf));
+    TC.flush();
+    SecondCallOps = Sink.takeTrace().memoryOps();
+  }
+  // The first call pays for the lazy-init probes; later calls touch only
+  // the data and the per-call diagnostics.
+  EXPECT_GT(FirstCallOps, SecondCallOps);
+}
+
+TEST_F(StdLibTest, ManifestSitesBelongToRegisteredFunctions) {
+  InstrumentedStdLib Lib;
+  Lib.bind(*RT);
+  size_t NumFunctions = RT->registry().size();
+  for (const SeededRaceSpec &Spec : Lib.seededRaces()) {
+    EXPECT_FALSE(Spec.Sites.empty()) << Spec.Label;
+    for (Pc Site : Spec.Sites)
+      EXPECT_LT(pcFunction(Site), NumFunctions) << Spec.Label;
+  }
+}
+
+TEST_F(StdLibTest, BindingTwiceIsAProgrammingError) {
+  InstrumentedStdLib Lib;
+  Lib.bind(*RT);
+  EXPECT_DEATH(Lib.bind(*RT), "bound twice");
+}
+
+} // namespace

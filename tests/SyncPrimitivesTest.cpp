@@ -1,0 +1,353 @@
+//===-- tests/SyncPrimitivesTest.cpp - Logged synchronization --------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Each primitive is checked twice: (1) it really synchronizes (functional
+// behavior under std::thread), and (2) the happens-before edges it logs
+// make properly synchronized programs detection-silent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/Primitives.h"
+
+#include "detector/HBDetector.h"
+
+#include <gtest/gtest.h>
+
+using namespace literace;
+
+namespace {
+
+/// Test fixture giving each test a FullLogging runtime and helpers to run
+/// instrumented threads and detect races over the produced trace.
+class SyncPrimitivesTest : public ::testing::Test {
+protected:
+  SyncPrimitivesTest() : Sink(64) {
+    RuntimeConfig Config;
+    Config.Mode = RunMode::FullLogging;
+    Config.TimestampCounters = 64;
+    RT = std::make_unique<Runtime>(Config, &Sink);
+    F = RT->registry().registerFunction("body");
+  }
+
+  RaceReport detect() {
+    RaceReport Report;
+    EXPECT_TRUE(detectRaces(Sink.takeTrace(), Report));
+    return Report;
+  }
+
+  MemorySink Sink;
+  std::unique_ptr<Runtime> RT;
+  FunctionId F = 0;
+};
+
+TEST_F(SyncPrimitivesTest, MutexProtectsCounter) {
+  Mutex M;
+  uint64_t Counter = 0;
+  {
+    ThreadContext Main(*RT);
+    std::vector<std::unique_ptr<Thread>> Threads;
+    for (unsigned I = 0; I != 4; ++I)
+      Threads.push_back(std::make_unique<Thread>(
+          *RT, Main, [&](ThreadContext &TC) {
+            for (unsigned K = 0; K != 1000; ++K) {
+              TC.run(F, [&](auto &T) {
+                M.lock(TC);
+                T.store(&Counter, T.load(&Counter, 1) + 1, 2);
+                M.unlock(TC);
+              });
+            }
+          }));
+    for (auto &Th : Threads)
+      Th->join(Main);
+  }
+  EXPECT_EQ(Counter, 4000u);
+  EXPECT_EQ(detect().numStaticRaces(), 0u);
+}
+
+TEST_F(SyncPrimitivesTest, MutexGuardReleasesOnScopeExit) {
+  Mutex M;
+  uint64_t Value = 0;
+  {
+    ThreadContext Main(*RT);
+    Thread Worker(*RT, Main, [&](ThreadContext &TC) {
+      TC.run(F, [&](auto &T) {
+        MutexGuard Guard(M, TC);
+        T.store(&Value, uint64_t{42}, 1);
+      });
+    });
+    Worker.join(Main);
+    Main.run(F, [&](auto &T) {
+      MutexGuard Guard(M, Main);
+      EXPECT_EQ(T.load(&Value, 2), 42u);
+    });
+  }
+  EXPECT_EQ(detect().numStaticRaces(), 0u);
+}
+
+TEST_F(SyncPrimitivesTest, EventHandoffPublishesData) {
+  ManualResetEvent Ready;
+  uint64_t Payload = 0;
+  {
+    ThreadContext Main(*RT);
+    Thread Producer(*RT, Main, [&](ThreadContext &TC) {
+      TC.run(F, [&](auto &T) { T.store(&Payload, uint64_t{7}, 1); });
+      Ready.set(TC);
+    });
+    Thread Consumer(*RT, Main, [&](ThreadContext &TC) {
+      Ready.wait(TC);
+      TC.run(F, [&](auto &T) { EXPECT_EQ(T.load(&Payload, 2), 7u); });
+    });
+    Producer.join(Main);
+    Consumer.join(Main);
+  }
+  EXPECT_EQ(detect().numStaticRaces(), 0u);
+}
+
+TEST_F(SyncPrimitivesTest, EventResetAndIsSet) {
+  RuntimeConfig Config;
+  Config.Mode = RunMode::Baseline;
+  Runtime Bare(Config, nullptr);
+  ThreadContext TC(Bare);
+  ManualResetEvent E;
+  EXPECT_FALSE(E.isSet());
+  E.set(TC);
+  EXPECT_TRUE(E.isSet());
+  E.wait(TC); // Must not block once set.
+  E.reset();
+  EXPECT_FALSE(E.isSet());
+}
+
+TEST_F(SyncPrimitivesTest, SemaphoreOrdersProducerConsumer) {
+  Semaphore Items(0);
+  uint64_t Slot = 0;
+  {
+    ThreadContext Main(*RT);
+    Thread Producer(*RT, Main, [&](ThreadContext &TC) {
+      TC.run(F, [&](auto &T) { T.store(&Slot, uint64_t{99}, 1); });
+      Items.release(TC);
+    });
+    Thread Consumer(*RT, Main, [&](ThreadContext &TC) {
+      Items.acquire(TC);
+      TC.run(F, [&](auto &T) { EXPECT_EQ(T.load(&Slot, 2), 99u); });
+    });
+    Producer.join(Main);
+    Consumer.join(Main);
+  }
+  EXPECT_EQ(detect().numStaticRaces(), 0u);
+}
+
+TEST_F(SyncPrimitivesTest, SemaphoreCountsPermits) {
+  RuntimeConfig Config;
+  Config.Mode = RunMode::Baseline;
+  Runtime Bare(Config, nullptr);
+  ThreadContext TC(Bare);
+  Semaphore Sem(2);
+  Sem.acquire(TC);
+  Sem.acquire(TC); // Two initial permits.
+  Sem.release(TC, 3);
+  Sem.acquire(TC);
+  Sem.acquire(TC);
+  Sem.acquire(TC); // Exactly three more.
+  SUCCEED();
+}
+
+TEST_F(SyncPrimitivesTest, BarrierOrdersPhases) {
+  constexpr unsigned Workers = 3;
+  Barrier Phase(Workers);
+  uint64_t Cells[Workers] = {};
+  {
+    ThreadContext Main(*RT);
+    std::vector<std::unique_ptr<Thread>> Threads;
+    for (unsigned I = 0; I != Workers; ++I)
+      Threads.push_back(std::make_unique<Thread>(
+          *RT, Main, [&, I](ThreadContext &TC) {
+            // Phase 1: write own cell. Phase 2: read everyone's.
+            TC.run(F, [&](auto &T) {
+              T.store(&Cells[I], uint64_t{I + 1}, 1);
+            });
+            Phase.arriveAndWait(TC);
+            TC.run(F, [&](auto &T) {
+              uint64_t Sum = 0;
+              for (unsigned K = 0; K != Workers; ++K)
+                Sum += T.load(&Cells[K], 2);
+              EXPECT_EQ(Sum, 1u + 2u + 3u);
+            });
+          }));
+    for (auto &Th : Threads)
+      Th->join(Main);
+  }
+  EXPECT_EQ(detect().numStaticRaces(), 0u);
+}
+
+TEST_F(SyncPrimitivesTest, BarrierIsReusableAcrossGenerations) {
+  constexpr unsigned Workers = 2;
+  constexpr unsigned Rounds = 50;
+  Barrier Phase(Workers);
+  uint64_t Token = 0;
+  {
+    ThreadContext Main(*RT);
+    std::vector<std::unique_ptr<Thread>> Threads;
+    for (unsigned I = 0; I != Workers; ++I)
+      Threads.push_back(std::make_unique<Thread>(
+          *RT, Main, [&, I](ThreadContext &TC) {
+            for (unsigned Round = 0; Round != Rounds; ++Round) {
+              // Alternate the writer each round; everyone reads after.
+              if (Round % Workers == I)
+                TC.run(F, [&](auto &T) {
+                  T.store(&Token, uint64_t{Round}, 1);
+                });
+              Phase.arriveAndWait(TC);
+              TC.run(F, [&](auto &T) {
+                EXPECT_EQ(T.load(&Token, 2), Round);
+              });
+              Phase.arriveAndWait(TC);
+            }
+          }));
+    for (auto &Th : Threads)
+      Th->join(Main);
+  }
+  EXPECT_EQ(detect().numStaticRaces(), 0u);
+}
+
+TEST_F(SyncPrimitivesTest, ThreadForkJoinOrdersParentAndChild) {
+  uint64_t Before = 0, After = 0;
+  {
+    ThreadContext Main(*RT);
+    Main.run(F, [&](auto &T) { T.store(&Before, uint64_t{1}, 1); });
+    Thread Child(*RT, Main, [&](ThreadContext &TC) {
+      TC.run(F, [&](auto &T) {
+        EXPECT_EQ(T.load(&Before, 2), 1u); // Sees pre-fork write.
+        T.store(&After, uint64_t{2}, 3);
+      });
+    });
+    Child.join(Main);
+    Main.run(F, [&](auto &T) {
+      EXPECT_EQ(T.load(&After, 4), 2u); // Sees child's write after join.
+    });
+  }
+  EXPECT_EQ(detect().numStaticRaces(), 0u);
+}
+
+TEST_F(SyncPrimitivesTest, UnjoinedSiblingWritesAreRaces) {
+  uint64_t Cell = 0;
+  {
+    ThreadContext Main(*RT);
+    Thread A(*RT, Main, [&](ThreadContext &TC) {
+      TC.run(F, [&](auto &T) { T.store(&Cell, uint64_t{1}, 10); });
+    });
+    Thread B(*RT, Main, [&](ThreadContext &TC) {
+      TC.run(F, [&](auto &T) { T.store(&Cell, uint64_t{2}, 20); });
+    });
+    A.join(Main);
+    B.join(Main);
+  }
+  RaceReport R = detect();
+  EXPECT_EQ(R.numStaticRaces(), 1u);
+  EXPECT_TRUE(R.contains(makePc(F, 10), makePc(F, 20)));
+}
+
+TEST_F(SyncPrimitivesTest, AtomicCounterIsExactAndSilent) {
+  AtomicU64 Counter(0);
+  {
+    ThreadContext Main(*RT);
+    std::vector<std::unique_ptr<Thread>> Threads;
+    for (unsigned I = 0; I != 4; ++I)
+      Threads.push_back(std::make_unique<Thread>(
+          *RT, Main, [&](ThreadContext &TC) {
+            for (unsigned K = 0; K != 2000; ++K)
+              Counter.fetchAdd(TC, 1);
+          }));
+    for (auto &Th : Threads)
+      Th->join(Main);
+  }
+  EXPECT_EQ(Counter.peek(), 8000u);
+  EXPECT_EQ(detect().numStaticRaces(), 0u);
+}
+
+TEST_F(SyncPrimitivesTest, CasPublishesLikeALock) {
+  // A hand-rolled spinlock over compareExchange (§4.2's motivating case).
+  AtomicU64 SpinFlag(0);
+  uint64_t Guarded = 0;
+  {
+    ThreadContext Main(*RT);
+    std::vector<std::unique_ptr<Thread>> Threads;
+    for (unsigned I = 0; I != 3; ++I)
+      Threads.push_back(std::make_unique<Thread>(
+          *RT, Main, [&](ThreadContext &TC) {
+            for (unsigned K = 0; K != 100; ++K) {
+              uint64_t Expected = 0;
+              while (!SpinFlag.compareExchange(TC, Expected, 1)) {
+                Expected = 0;
+                std::this_thread::yield();
+              }
+              TC.run(F, [&](auto &T) {
+                T.store(&Guarded, T.load(&Guarded, 1) + 1, 2);
+              });
+              SpinFlag.store(TC, 0);
+            }
+          }));
+    for (auto &Th : Threads)
+      Th->join(Main);
+  }
+  EXPECT_EQ(Guarded, 300u);
+  EXPECT_EQ(detect().numStaticRaces(), 0u)
+      << "without the §4.2 timestamping critical section this would "
+         "report hundreds of false races";
+}
+
+TEST_F(SyncPrimitivesTest, AtomicExchangeAndLoad) {
+  RuntimeConfig Config;
+  Config.Mode = RunMode::Baseline;
+  Runtime Bare(Config, nullptr);
+  ThreadContext TC(Bare);
+  AtomicU64 Cell(5);
+  EXPECT_EQ(Cell.load(TC), 5u);
+  EXPECT_EQ(Cell.exchange(TC, 9), 5u);
+  EXPECT_EQ(Cell.peek(), 9u);
+  uint64_t Expected = 3;
+  EXPECT_FALSE(Cell.compareExchange(TC, Expected, 11));
+  EXPECT_EQ(Expected, 9u); // Updated with the observed value.
+  EXPECT_TRUE(Cell.compareExchange(TC, Expected, 11));
+  EXPECT_EQ(Cell.peek(), 11u);
+}
+
+TEST_F(SyncPrimitivesTest, MutexTimestampPlacementOrdersCriticalSections) {
+  // Direct check of §4.2: the unlock timestamp is smaller than the next
+  // lock's timestamp on the same mutex, in the log.
+  Mutex M;
+  {
+    ThreadContext Main(*RT);
+    Thread A(*RT, Main, [&](ThreadContext &TC) {
+      for (int I = 0; I != 200; ++I) {
+        M.lock(TC);
+        M.unlock(TC);
+      }
+    });
+    Thread B(*RT, Main, [&](ThreadContext &TC) {
+      for (int I = 0; I != 200; ++I) {
+        M.lock(TC);
+        M.unlock(TC);
+      }
+    });
+    A.join(Main);
+    B.join(Main);
+  }
+  Trace T = Sink.takeTrace();
+  // Collect this mutex's events; timestamps must alternate ACQ/REL in
+  // strictly increasing order.
+  std::vector<std::pair<uint64_t, EventKind>> Ops;
+  for (const auto &Stream : T.PerThread)
+    for (const EventRecord &R : Stream)
+      if (R.Addr == M.syncVar() && isSyncKind(R.Kind))
+        Ops.emplace_back(R.Ts, R.Kind);
+  std::sort(Ops.begin(), Ops.end());
+  ASSERT_EQ(Ops.size(), 800u);
+  for (size_t I = 0; I != Ops.size(); ++I) {
+    EXPECT_EQ(Ops[I].second,
+              I % 2 ? EventKind::Release : EventKind::Acquire)
+        << "critical sections must serialize as ACQ,REL,ACQ,REL,...";
+  }
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+//===-- tests/TimestampTest.cpp - Logical timestamp counters --------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TimestampManager.h"
+
+#include <gtest/gtest.h>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace literace;
+
+namespace {
+
+TEST(TimestampTest, DrawsStartAtOneAndIncrease) {
+  TimestampManager TM(16);
+  SyncVar S = makeSyncVar(SyncObjectKind::Mutex, 0x1000);
+  EXPECT_EQ(TM.draw(S), 1u);
+  EXPECT_EQ(TM.draw(S), 2u);
+  EXPECT_EQ(TM.draw(S), 3u);
+}
+
+TEST(TimestampTest, SameSyncVarSameCounter) {
+  TimestampManager TM(128);
+  SyncVar S = makeSyncVar(SyncObjectKind::Event, 0xabcd);
+  unsigned C = TM.counterFor(S);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(TM.counterFor(S), C);
+}
+
+TEST(TimestampTest, CounterMatchesFreeFunction) {
+  TimestampManager TM(64);
+  for (uint64_t V = 0; V != 200; ++V) {
+    SyncVar S = makeSyncVar(SyncObjectKind::Atomic, V * 8);
+    EXPECT_EQ(TM.counterFor(S), counterForSyncVar(S, 64));
+  }
+}
+
+TEST(TimestampTest, CountersCoverTheRange) {
+  // The hash should spread SyncVars across all counters.
+  const unsigned N = 16;
+  std::set<unsigned> Seen;
+  for (uint64_t V = 0; V != 1000; ++V)
+    Seen.insert(counterForSyncVar(
+        makeSyncVar(SyncObjectKind::Mutex, 0x7f0000 + V * 64), N));
+  EXPECT_EQ(Seen.size(), N);
+}
+
+TEST(TimestampTest, DifferentKindsDifferentSyncVars) {
+  SyncVar A = makeSyncVar(SyncObjectKind::Mutex, 0x1234);
+  SyncVar B = makeSyncVar(SyncObjectKind::Event, 0x1234);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(syncVarKind(A), SyncObjectKind::Mutex);
+  EXPECT_EQ(syncVarKind(B), SyncObjectKind::Event);
+}
+
+TEST(TimestampTest, ConcurrentDrawsAreUniqueAndDense) {
+  TimestampManager TM(1); // Force all draws onto one counter.
+  SyncVar S = makeSyncVar(SyncObjectKind::Mutex, 0x42);
+  const unsigned PerThread = 20000;
+  const unsigned NumThreads = 4;
+  std::vector<std::vector<uint64_t>> Draws(NumThreads);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Draws[T].reserve(PerThread);
+      for (unsigned I = 0; I != PerThread; ++I)
+        Draws[T].push_back(TM.draw(S));
+    });
+  for (auto &Th : Threads)
+    Th.join();
+
+  std::set<uint64_t> All;
+  for (const auto &V : Draws) {
+    // Program order within a thread must be increasing.
+    for (size_t I = 1; I < V.size(); ++I)
+      ASSERT_LT(V[I - 1], V[I]);
+    All.insert(V.begin(), V.end());
+  }
+  // Globally unique and dense 1..N.
+  ASSERT_EQ(All.size(), PerThread * NumThreads);
+  EXPECT_EQ(*All.begin(), 1u);
+  EXPECT_EQ(*All.rbegin(), static_cast<uint64_t>(PerThread * NumThreads));
+}
+
+TEST(PcTest, PackAndUnpack) {
+  Pc P = makePc(0x1234, 0x567);
+  EXPECT_EQ(pcFunction(P), 0x1234u);
+  EXPECT_EQ(pcSite(P), 0x567u);
+}
+
+} // namespace

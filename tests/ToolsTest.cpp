@@ -1,0 +1,158 @@
+//===-- tests/ToolsTest.cpp - CLI tool end-to-end ---------------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Drives the literace-run / literace-report binaries as a user would:
+// record a workload to disk, analyze the log with each detector backend,
+// and check exit codes and output. Tool paths are injected by CMake.
+//
+//===----------------------------------------------------------------------===//
+
+#include <array>
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <string>
+
+#ifndef LITERACE_TOOL_DIR
+#error "CMake must define LITERACE_TOOL_DIR"
+#endif
+
+namespace {
+
+/// Runs a command, capturing stdout+stderr; returns {exit code, output}.
+std::pair<int, std::string> runCommand(const std::string &Command) {
+  std::string Full = Command + " 2>&1";
+  std::FILE *Pipe = popen(Full.c_str(), "r");
+  if (!Pipe)
+    return {-1, ""};
+  std::string Output;
+  std::array<char, 512> Buffer;
+  while (std::fgets(Buffer.data(), Buffer.size(), Pipe))
+    Output += Buffer.data();
+  int Status = pclose(Pipe);
+  return {WEXITSTATUS(Status), Output};
+}
+
+std::string toolPath(const char *Name) {
+  return std::string(LITERACE_TOOL_DIR) + "/" + Name;
+}
+
+std::string tempLog() {
+  return std::string(::testing::TempDir()) + "toolstest.bin";
+}
+
+TEST(ToolsTest, RunThenReportFindsRaces) {
+  std::string Log = tempLog();
+  auto [RunCode, RunOut] = runCommand(toolPath("literace-run") +
+                                      " channel " + Log +
+                                      " --mode full --scale 0.05");
+  ASSERT_EQ(RunCode, 0) << RunOut;
+  EXPECT_NE(RunOut.find("Dryad Channel"), std::string::npos);
+  EXPECT_NE(RunOut.find("wrote"), std::string::npos);
+
+  auto [RepCode, RepOut] =
+      runCommand(toolPath("literace-report") + " " + Log);
+  EXPECT_EQ(RepCode, 3) << RepOut; // 3 = races found.
+  EXPECT_NE(RepOut.find("static race"), std::string::npos);
+  EXPECT_NE(RepOut.find("rare"), std::string::npos);
+  std::remove(Log.c_str());
+}
+
+TEST(ToolsTest, ReportBackendsAgreeOnRaceCount) {
+  std::string Log = tempLog();
+  auto [RunCode, RunOut] = runCommand(toolPath("literace-run") +
+                                      " concrt-messaging " + Log +
+                                      " --mode full --scale 0.05");
+  ASSERT_EQ(RunCode, 0) << RunOut;
+  auto [HbCode, HbOut] = runCommand(toolPath("literace-report") + " " +
+                                    Log + " --quiet");
+  auto [FtCode, FtOut] = runCommand(toolPath("literace-report") + " " +
+                                    Log + " --quiet --detector fasttrack");
+  EXPECT_EQ(HbCode, FtCode);
+  // First line of each: "<N> static race(s): ..." — compare the counts.
+  EXPECT_EQ(HbOut.substr(0, HbOut.find(' ')),
+            FtOut.substr(0, FtOut.find(' ')));
+  std::remove(Log.c_str());
+}
+
+TEST(ToolsTest, StatsFlagPrintsHottestFunctions) {
+  std::string Log = tempLog();
+  ASSERT_EQ(runCommand(toolPath("literace-run") + " lkrhash " + Log +
+                       " --mode literace --scale 0.02")
+                .first,
+            0);
+  auto [Code, Out] = runCommand(toolPath("literace-report") + " " + Log +
+                                " --stats --quiet");
+  EXPECT_EQ(Code, 0) << Out; // Micro-benchmark: no races.
+  EXPECT_NE(Out.find("hottest functions"), std::string::npos);
+  EXPECT_NE(Out.find("events:"), std::string::npos);
+  std::remove(Log.c_str());
+}
+
+TEST(ToolsTest, BadArgumentsGiveUsage) {
+  auto [Code1, Out1] = runCommand(toolPath("literace-run"));
+  EXPECT_EQ(Code1, 2);
+  EXPECT_NE(Out1.find("usage:"), std::string::npos);
+
+  auto [Code2, Out2] =
+      runCommand(toolPath("literace-run") + " not-a-workload /tmp/x.bin");
+  EXPECT_EQ(Code2, 2);
+  EXPECT_NE(Out2.find("unknown workload"), std::string::npos);
+
+  auto [Code3, Out3] = runCommand(toolPath("literace-report"));
+  EXPECT_EQ(Code3, 2);
+  EXPECT_NE(Out3.find("usage:"), std::string::npos);
+
+  auto [Code4, Out4] =
+      runCommand(toolPath("literace-report") + " /nonexistent/log.bin");
+  EXPECT_EQ(Code4, 1);
+  EXPECT_NE(Out4.find("not a readable"), std::string::npos);
+}
+
+TEST(ToolsTest, SuppressionsChangeTheExitCode) {
+  std::string Log = tempLog();
+  ASSERT_EQ(runCommand(toolPath("literace-run") + " channel " + Log +
+                       " --mode full --scale 0.05")
+                .first,
+            0);
+  // Find all reported sites, write them into a suppression file, and
+  // verify the tool then reports a clean exit.
+  auto [Code, Out] = runCommand(toolPath("literace-report") + " " + Log);
+  ASSERT_EQ(Code, 3) << Out;
+  std::string SuppPath = std::string(::testing::TempDir()) + "supp.txt";
+  std::FILE *Supp = std::fopen(SuppPath.c_str(), "w");
+  ASSERT_NE(Supp, nullptr);
+  std::fputs("# triaged as benign diagnostics\n", Supp);
+  // Lines look like "  fn4:5 <-> fn8:121  x93"; recover pcs by brute
+  // force: suppress every fnN:site token via its numeric pc.
+  size_t Position = 0;
+  while ((Position = Out.find("fn", Position)) != std::string::npos) {
+    unsigned Fn = 0, Site = 0;
+    if (std::sscanf(Out.c_str() + Position, "fn%u:%u", &Fn, &Site) == 2)
+      std::fprintf(Supp, "0x%llx\n",
+                   (static_cast<unsigned long long>(Fn) << 32) | Site);
+    ++Position;
+  }
+  std::fclose(Supp);
+  auto [Code2, Out2] = runCommand(toolPath("literace-report") + " " + Log +
+                                  " --suppress " + SuppPath + " --quiet");
+  EXPECT_EQ(Code2, 0) << Out2;
+  EXPECT_NE(Out2.find("after suppressions"), std::string::npos);
+  std::remove(Log.c_str());
+  std::remove(SuppPath.c_str());
+}
+
+TEST(ToolsTest, LocksetBackendWarnsAboutImprecision) {
+  std::string Log = tempLog();
+  ASSERT_EQ(runCommand(toolPath("literace-run") + " httpd-2 " + Log +
+                       " --mode full --scale 0.02")
+                .first,
+            0);
+  auto [Code, Out] = runCommand(toolPath("literace-report") + " " + Log +
+                                " --quiet --detector lockset");
+  (void)Code; // Lockset may or may not flag something; both fine.
+  EXPECT_NE(Out.find("FALSE"), std::string::npos);
+  std::remove(Log.c_str());
+}
+
+} // namespace

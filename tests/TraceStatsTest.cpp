@@ -1,0 +1,115 @@
+//===-- tests/TraceStatsTest.cpp - Trace statistics -------------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TraceStats.h"
+
+#include "detector/LogBuilder.h"
+#include "harness/DetectionExperiment.h"
+#include "runtime/FunctionRegistry.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace literace;
+
+namespace {
+
+TEST(TraceStatsTest, CountsByKind) {
+  LogBuilder B(16);
+  SyncVar M = makeSyncVar(SyncObjectKind::Mutex, 0x100);
+  SyncVar Page = makeSyncVar(SyncObjectKind::Page, 7);
+  B.onThread(0)
+      .threadStart()
+      .write(0x10, makePc(1, 1))
+      .read(0x10, makePc(1, 2))
+      .read(0x18, makePc(2, 3))
+      .acquire(M)
+      .release(M)
+      .alloc(Page)
+      .free(Page)
+      .threadEnd();
+  B.onThread(1).write(0x20, makePc(1, 4));
+
+  TraceStats Stats = TraceStats::compute(B.build());
+  EXPECT_EQ(Stats.TotalEvents, 10u);
+  EXPECT_EQ(Stats.Reads, 2u);
+  EXPECT_EQ(Stats.Writes, 2u);
+  EXPECT_EQ(Stats.SyncOps, 4u); // acquire, release, alloc, free
+  EXPECT_EQ(Stats.Allocations, 1u);
+  EXPECT_EQ(Stats.Frees, 1u);
+  EXPECT_EQ(Stats.NumThreads, 2u);
+  EXPECT_EQ(Stats.DistinctAddresses, 3u);
+  EXPECT_EQ(Stats.DistinctSyncVars, 2u);
+  ASSERT_EQ(Stats.EventsPerThread.size(), 2u);
+  EXPECT_EQ(Stats.EventsPerThread[0], 9u);
+  EXPECT_EQ(Stats.EventsPerThread[1], 1u);
+}
+
+TEST(TraceStatsTest, PerFunctionCountsAndHotness) {
+  LogBuilder B(16);
+  B.onThread(0);
+  for (int I = 0; I != 10; ++I)
+    B.write(0x100 + I, makePc(7, 1));
+  for (int I = 0; I != 3; ++I)
+    B.read(0x200 + I, makePc(3, 2));
+  TraceStats Stats = TraceStats::compute(B.build());
+  EXPECT_EQ(Stats.MemOpsPerFunction.at(7), 10u);
+  EXPECT_EQ(Stats.MemOpsPerFunction.at(3), 3u);
+  auto Hot = Stats.hottestFunctions();
+  ASSERT_EQ(Hot.size(), 2u);
+  EXPECT_EQ(Hot[0].first, 7u);
+  EXPECT_EQ(Hot[1].first, 3u);
+}
+
+TEST(TraceStatsTest, SlotCoverageFromMasks) {
+  LogBuilder B(16);
+  B.onThread(0)
+      .write(0x10, 1, FullLogMaskBit | 0x1)
+      .write(0x18, 2, FullLogMaskBit | 0x3)
+      .write(0x20, 3, FullLogMaskBit);
+  TraceStats Stats = TraceStats::compute(B.build());
+  EXPECT_EQ(Stats.MemOpsPerSlot[0], 2u);
+  EXPECT_EQ(Stats.MemOpsPerSlot[1], 1u);
+  EXPECT_EQ(Stats.MemOpsPerSlot[2], 0u);
+}
+
+TEST(TraceStatsTest, DescribeRendersNames) {
+  FunctionRegistry Registry;
+  FunctionId F = Registry.registerFunction("hot.path");
+  LogBuilder B(16);
+  B.onThread(0).write(0x10, makePc(F, 1));
+  TraceStats Stats = TraceStats::compute(B.build());
+  std::string Text = Stats.describe(&Registry);
+  EXPECT_NE(Text.find("hot.path"), std::string::npos);
+  EXPECT_NE(Text.find("1 writes"), std::string::npos);
+}
+
+TEST(TraceStatsTest, MatchesRuntimeStatsOnAWorkload) {
+  auto W = makeWorkload(WorkloadKind::ConcRTMessaging);
+  WorkloadParams Params;
+  Params.Scale = 0.05;
+  ExperimentRun Run = executeExperiment(*W, Params);
+  TraceStats Stats = TraceStats::compute(Run.TraceData);
+  EXPECT_EQ(Stats.Reads + Stats.Writes, Run.Stats.MemOpsLogged);
+  EXPECT_EQ(Stats.SyncOps, Run.Stats.SyncOps);
+  for (unsigned Slot = 0; Slot != 7; ++Slot)
+    EXPECT_EQ(Stats.MemOpsPerSlot[Slot], Run.Stats.MemOpsPerSlot[Slot]);
+  // The hottest function should account for a meaningful share.
+  auto Hot = Stats.hottestFunctions();
+  ASSERT_FALSE(Hot.empty());
+  EXPECT_GT(Hot[0].second, 0u);
+}
+
+TEST(TraceStatsTest, EmptyTrace) {
+  Trace T;
+  TraceStats Stats = TraceStats::compute(T);
+  EXPECT_EQ(Stats.TotalEvents, 0u);
+  EXPECT_EQ(Stats.NumThreads, 0u);
+  EXPECT_TRUE(Stats.hottestFunctions().empty());
+  EXPECT_FALSE(Stats.describe().empty());
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+//===-- tests/VectorClockTest.cpp - Vector clock algebra -------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/VectorClock.h"
+
+#include "support/SplitMix64.h"
+
+#include <gtest/gtest.h>
+
+using namespace literace;
+
+namespace {
+
+TEST(VectorClockTest, DefaultIsAllZero) {
+  VectorClock Clock;
+  EXPECT_EQ(Clock.get(0), 0u);
+  EXPECT_EQ(Clock.get(100), 0u);
+  EXPECT_EQ(Clock.size(), 0u);
+}
+
+TEST(VectorClockTest, SetAndGet) {
+  VectorClock Clock;
+  Clock.set(3, 7);
+  EXPECT_EQ(Clock.get(3), 7u);
+  EXPECT_EQ(Clock.get(2), 0u);
+  EXPECT_EQ(Clock.get(4), 0u);
+  EXPECT_GE(Clock.size(), 4u);
+}
+
+TEST(VectorClockTest, TickIncrements) {
+  VectorClock Clock;
+  Clock.tick(5);
+  EXPECT_EQ(Clock.get(5), 1u);
+  Clock.tick(5);
+  EXPECT_EQ(Clock.get(5), 2u);
+}
+
+TEST(VectorClockTest, JoinTakesPointwiseMax) {
+  VectorClock A, B;
+  A.set(0, 5);
+  A.set(1, 2);
+  B.set(1, 9);
+  B.set(2, 4);
+  A.joinWith(B);
+  EXPECT_EQ(A.get(0), 5u);
+  EXPECT_EQ(A.get(1), 9u);
+  EXPECT_EQ(A.get(2), 4u);
+}
+
+TEST(VectorClockTest, JoinWithShorterClockKeepsComponents) {
+  VectorClock A, B;
+  A.set(5, 10);
+  B.set(0, 1);
+  A.joinWith(B);
+  EXPECT_EQ(A.get(0), 1u);
+  EXPECT_EQ(A.get(5), 10u);
+}
+
+TEST(VectorClockTest, DominatesReflexive) {
+  VectorClock A;
+  A.set(0, 3);
+  A.set(2, 1);
+  EXPECT_TRUE(A.dominates(A));
+}
+
+TEST(VectorClockTest, DominatesChecksEveryComponent) {
+  VectorClock A, B;
+  A.set(0, 3);
+  A.set(1, 3);
+  B.set(0, 3);
+  B.set(1, 4);
+  EXPECT_FALSE(A.dominates(B));
+  EXPECT_TRUE(B.dominates(A));
+}
+
+TEST(VectorClockTest, DominatesWithTrailingZeros) {
+  VectorClock A, B;
+  A.set(0, 1);
+  B.set(0, 1);
+  B.set(7, 0); // Larger allocation, same logical value.
+  EXPECT_TRUE(A.dominates(B));
+  EXPECT_TRUE(B.dominates(A));
+  EXPECT_TRUE(A == B);
+}
+
+TEST(VectorClockTest, EqualityIgnoresAllocation) {
+  VectorClock A, B;
+  A.set(1, 2);
+  B.set(1, 2);
+  B.set(9, 0);
+  EXPECT_TRUE(A == B);
+  B.set(9, 1);
+  EXPECT_FALSE(A == B);
+}
+
+TEST(VectorClockTest, StrFormatsComponents) {
+  VectorClock Clock;
+  Clock.set(0, 3);
+  Clock.set(2, 7);
+  EXPECT_EQ(Clock.str(), "[3, 0, 7]");
+}
+
+/// Property sweep: join is commutative, associative, idempotent, and
+/// monotone, over randomized clocks.
+class VectorClockPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+VectorClock randomClock(SplitMix64 &Rng) {
+  VectorClock Clock;
+  unsigned N = static_cast<unsigned>(Rng.nextBelow(8));
+  for (unsigned I = 0; I != N; ++I)
+    Clock.set(static_cast<ThreadId>(Rng.nextBelow(8)), Rng.nextBelow(100));
+  return Clock;
+}
+
+TEST_P(VectorClockPropertyTest, JoinCommutative) {
+  SplitMix64 Rng(GetParam());
+  VectorClock A = randomClock(Rng), B = randomClock(Rng);
+  VectorClock AB = A, BA = B;
+  AB.joinWith(B);
+  BA.joinWith(A);
+  EXPECT_TRUE(AB == BA);
+}
+
+TEST_P(VectorClockPropertyTest, JoinAssociative) {
+  SplitMix64 Rng(GetParam() ^ 0x1234);
+  VectorClock A = randomClock(Rng), B = randomClock(Rng),
+              C = randomClock(Rng);
+  VectorClock Left = A;
+  Left.joinWith(B);
+  Left.joinWith(C);
+  VectorClock BC = B;
+  BC.joinWith(C);
+  VectorClock Right = A;
+  Right.joinWith(BC);
+  EXPECT_TRUE(Left == Right);
+}
+
+TEST_P(VectorClockPropertyTest, JoinIdempotent) {
+  SplitMix64 Rng(GetParam() ^ 0x9999);
+  VectorClock A = randomClock(Rng);
+  VectorClock AA = A;
+  AA.joinWith(A);
+  EXPECT_TRUE(AA == A);
+}
+
+TEST_P(VectorClockPropertyTest, JoinDominatesBothInputs) {
+  SplitMix64 Rng(GetParam() ^ 0xabcd);
+  VectorClock A = randomClock(Rng), B = randomClock(Rng);
+  VectorClock J = A;
+  J.joinWith(B);
+  EXPECT_TRUE(J.dominates(A));
+  EXPECT_TRUE(J.dominates(B));
+}
+
+TEST_P(VectorClockPropertyTest, DominanceIsPartialOrder) {
+  SplitMix64 Rng(GetParam() ^ 0x7777);
+  VectorClock A = randomClock(Rng), B = randomClock(Rng);
+  if (A.dominates(B) && B.dominates(A)) {
+    EXPECT_TRUE(A == B);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorClockPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+} // namespace

@@ -1,0 +1,214 @@
+//===-- tests/WorkloadTest.cpp - Benchmark workload ground truth -----------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Every workload carries a manifest of intentionally seeded races. These
+// tests assert, per workload:
+//   1. the produced log replays consistently,
+//   2. every seeded race family is detected on the full log (no false
+//      negatives at full logging),
+//   3. every detected race lies inside some seeded family (no false
+//      positives — the properly synchronized machinery stays silent),
+//   4. the micro-benchmarks, which seed nothing, are completely silent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "detector/HBDetector.h"
+#include "harness/DetectionExperiment.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace literace;
+
+namespace {
+
+struct WorkloadCase {
+  WorkloadKind Kind;
+  const char *Name;
+  size_t MinSeededFamilies;
+};
+
+class WorkloadGroundTruthTest
+    : public ::testing::TestWithParam<WorkloadCase> {};
+
+TEST_P(WorkloadGroundTruthTest, SeededRacesExactlyDetected) {
+  const WorkloadCase &Case = GetParam();
+  auto W = makeWorkload(Case.Kind);
+  EXPECT_EQ(W->name(), Case.Name);
+
+  WorkloadParams Params;
+  Params.Scale = 0.1;
+  ExperimentRun Run = executeExperiment(*W, Params);
+
+  RaceReport Full;
+  ASSERT_TRUE(detectRaces(Run.TraceData, Full)) << "inconsistent log";
+
+  auto Manifest = W->seededRaces();
+  EXPECT_GE(Manifest.size(), Case.MinSeededFamilies);
+  auto [Detected, AllWithin] = validateAgainstManifest(Full, Manifest);
+  EXPECT_EQ(Detected, Manifest.size())
+      << "some seeded race was not found on the FULL log:\n"
+      << Full.describe();
+  EXPECT_TRUE(AllWithin)
+      << "the detector reported a race outside every seeded family — a "
+         "false positive in the properly synchronized machinery:\n"
+      << Full.describe();
+}
+
+TEST_P(WorkloadGroundTruthTest, SampledViewsAreSubsetsOfFull) {
+  const WorkloadCase &Case = GetParam();
+  auto W = makeWorkload(Case.Kind);
+  WorkloadParams Params;
+  Params.Scale = 0.05;
+  ExperimentRun Run = executeExperiment(*W, Params);
+
+  RaceReport Full;
+  ASSERT_TRUE(detectRaces(Run.TraceData, Full));
+  for (int Slot = 0; Slot != 7; ++Slot) {
+    RaceReport Sampled;
+    ReplayOptions Options;
+    Options.SamplerSlot = Slot;
+    ASSERT_TRUE(detectRaces(Run.TraceData, Sampled, Options));
+    // Witness pairs may differ between views (unsampled events cannot
+    // evict shadow entries), but racy addresses never appear out of
+    // thin air.
+    for (uint64_t Addr : Sampled.racyAddresses())
+      EXPECT_TRUE(Full.racyAddresses().count(Addr))
+          << "sampler slot " << Slot << " fabricated a racy address";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadGroundTruthTest,
+    ::testing::Values(
+        WorkloadCase{WorkloadKind::ChannelWithStdLib,
+                     "Dryad Channel + stdlib", 19},
+        WorkloadCase{WorkloadKind::Channel, "Dryad Channel", 8},
+        WorkloadCase{WorkloadKind::ConcRTMessaging, "ConcRT Messaging", 6},
+        WorkloadCase{WorkloadKind::ConcRTScheduling,
+                     "ConcRT Explicit Scheduling", 10},
+        WorkloadCase{WorkloadKind::Httpd1, "Apache-1", 12},
+        WorkloadCase{WorkloadKind::Httpd2, "Apache-2", 12},
+        WorkloadCase{WorkloadKind::BrowserStart, "Firefox Start", 11},
+        WorkloadCase{WorkloadKind::BrowserRender, "Firefox Render", 7},
+        WorkloadCase{WorkloadKind::SciComputeFn,
+                     "SciCompute (function granularity)", 2},
+        WorkloadCase{WorkloadKind::SciComputeLoop,
+                     "SciCompute (loop hints)", 2}),
+    [](const ::testing::TestParamInfo<WorkloadCase> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+/// Micro-benchmarks are properly synchronized end to end: the detector
+/// must be completely silent on them (our hardest no-false-positive test,
+/// covering lock-free CAS protocols and deferred reclamation).
+class MicroBenchmarkSilenceTest
+    : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(MicroBenchmarkSilenceTest, NoRacesReported) {
+  auto W = makeWorkload(GetParam());
+  WorkloadParams Params;
+  Params.Scale = 0.2;
+  ExperimentRun Run = executeExperiment(*W, Params);
+  RaceReport Full;
+  ASSERT_TRUE(detectRaces(Run.TraceData, Full));
+  EXPECT_EQ(Full.numStaticRaces(), 0u) << Full.describe();
+  EXPECT_TRUE(W->seededRaces().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Micro, MicroBenchmarkSilenceTest,
+                         ::testing::Values(WorkloadKind::LKRHash,
+                                           WorkloadKind::LFList),
+                         [](const ::testing::TestParamInfo<WorkloadKind> &I) {
+                           return I.param == WorkloadKind::LKRHash
+                                      ? "LKRHash"
+                                      : "LFList";
+                         });
+
+TEST(WorkloadSuiteTest, DetectionSuiteHasTheEightPaperPairs) {
+  auto Suite = makeDetectionSuite();
+  ASSERT_EQ(Suite.size(), 8u);
+  EXPECT_EQ(Suite[0]->name(), "Dryad Channel + stdlib");
+  EXPECT_EQ(Suite[7]->name(), "Firefox Render");
+}
+
+TEST(WorkloadSuiteTest, RareFrequentSuiteExcludesConcRT) {
+  auto Suite = makeRareFrequentSuite();
+  ASSERT_EQ(Suite.size(), 6u);
+  for (const auto &W : Suite)
+    EXPECT_EQ(W->name().find("ConcRT"), std::string::npos);
+}
+
+TEST(WorkloadSuiteTest, OverheadSuiteHasTenRows) {
+  auto Suite = makeOverheadSuite();
+  ASSERT_EQ(Suite.size(), 10u);
+  EXPECT_EQ(Suite[0]->name(), "LKRHash");
+  EXPECT_EQ(Suite[1]->name(), "LFList");
+}
+
+TEST(WorkloadSuiteTest, StdLibVariantAddsRaceFamilies) {
+  // The paper's Dryad vs Dryad+stdlib effect: instrumenting the library
+  // makes its races visible (19 vs 8 in the paper).
+  auto Plain = makeWorkload(WorkloadKind::Channel);
+  auto WithLib = makeWorkload(WorkloadKind::ChannelWithStdLib);
+  MemorySink SinkA(128), SinkB(128);
+  RuntimeConfig Config;
+  Config.Mode = RunMode::Experiment;
+  Runtime RTA(Config, &SinkA), RTB(Config, &SinkB);
+  Plain->bind(RTA);
+  WithLib->bind(RTB);
+  EXPECT_GT(WithLib->seededRaces().size(), Plain->seededRaces().size());
+  // The library variant also registers more functions.
+  EXPECT_GT(RTB.registry().size(), RTA.registry().size());
+}
+
+TEST(WorkloadSuiteTest, ScaledParamsRespectMinimum) {
+  WorkloadParams P;
+  P.Scale = 0.0001;
+  EXPECT_EQ(P.scaled(3000, 30), 30u);
+  P.Scale = 2.0;
+  EXPECT_EQ(P.scaled(3000, 30), 6000u);
+}
+
+/// Rare/frequent classification at (near-)default scale, for families
+/// designed with robust margins.
+TEST(WorkloadClassificationTest, ChannelFamiliesClassifyAsDesigned) {
+  auto W = makeWorkload(WorkloadKind::ChannelWithStdLib);
+  WorkloadParams Params; // Default scale: ~2M memory ops.
+  ExperimentRun Run = executeExperiment(*W, Params);
+  RaceReport Full;
+  ASSERT_TRUE(detectRaces(Run.TraceData, Full));
+  auto [Rare, Frequent] = Full.splitRareFrequent(Run.Stats.MemOpsLogged);
+
+  auto FamilyIn = [&](const char *Label,
+                      const std::set<StaticRaceKey> &Keys) {
+    for (const SeededRaceSpec &Spec : W->seededRaces()) {
+      if (Spec.Label != Label)
+        continue;
+      std::set<Pc> Sites(Spec.Sites.begin(), Spec.Sites.end());
+      for (const StaticRaceKey &Key : Keys)
+        if (Sites.count(Key.first) && Sites.count(Key.second))
+          return true;
+    }
+    return false;
+  };
+
+  // One-shot teardown/late-entrant races: rare by construction.
+  EXPECT_TRUE(FamilyIn("channel-drain-heartbeat", Rare));
+  EXPECT_FALSE(FamilyIn("channel-drain-heartbeat", Frequent));
+  EXPECT_TRUE(FamilyIn("channel-tuning-hint", Rare));
+  // The stop flag is one write observed within a poll or two: rare.
+  EXPECT_TRUE(FamilyIn("channel-stop-flag", Rare));
+  // Monitor-polled hot statistics: frequent by construction.
+  EXPECT_TRUE(FamilyIn("channel-push-count", Frequent));
+  EXPECT_TRUE(FamilyIn("stdlib-last-checksum", Frequent));
+}
+
+} // namespace
