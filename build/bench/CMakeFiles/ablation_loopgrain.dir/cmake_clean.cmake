@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loopgrain.dir/ablation_loopgrain.cpp.o"
+  "CMakeFiles/ablation_loopgrain.dir/ablation_loopgrain.cpp.o.d"
+  "ablation_loopgrain"
+  "ablation_loopgrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loopgrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accumulation.dir/accumulation.cpp.o"
+  "CMakeFiles/accumulation.dir/accumulation.cpp.o.d"
+  "accumulation"
+  "accumulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accumulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_throughput.dir/detector_throughput.cpp.o"
+  "CMakeFiles/detector_throughput.dir/detector_throughput.cpp.o.d"
+  "detector_throughput"
+  "detector_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_detection.dir/fig4_detection.cpp.o"
+  "CMakeFiles/fig4_detection.dir/fig4_detection.cpp.o.d"
+  "fig4_detection"
+  "fig4_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_rare_frequent.dir/fig5_rare_frequent.cpp.o"
+  "CMakeFiles/fig5_rare_frequent.dir/fig5_rare_frequent.cpp.o.d"
+  "fig5_rare_frequent"
+  "fig5_rare_frequent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_rare_frequent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

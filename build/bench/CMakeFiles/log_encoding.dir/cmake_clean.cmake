@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_encoding.dir/log_encoding.cpp.o"
+  "CMakeFiles/log_encoding.dir/log_encoding.cpp.o.d"
+  "log_encoding"
+  "log_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_samplers.dir/table3_samplers.cpp.o"
+  "CMakeFiles/table3_samplers.dir/table3_samplers.cpp.o.d"
+  "table3_samplers"
+  "table3_samplers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_samplers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_races.dir/table4_races.cpp.o"
+  "CMakeFiles/table4_races.dir/table4_races.cpp.o.d"
+  "table4_races"
+  "table4_races.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

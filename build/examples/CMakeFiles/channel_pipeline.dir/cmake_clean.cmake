@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_pipeline.dir/channel_pipeline.cpp.o"
+  "CMakeFiles/channel_pipeline.dir/channel_pipeline.cpp.o.d"
+  "channel_pipeline"
+  "channel_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

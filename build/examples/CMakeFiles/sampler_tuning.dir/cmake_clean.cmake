@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampler_tuning.dir/sampler_tuning.cpp.o"
+  "CMakeFiles/sampler_tuning.dir/sampler_tuning.cpp.o.d"
+  "sampler_tuning"
+  "sampler_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampler_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_audit.dir/webserver_audit.cpp.o"
+  "CMakeFiles/webserver_audit.dir/webserver_audit.cpp.o.d"
+  "webserver_audit"
+  "webserver_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detector/FastTrackDetector.cpp" "src/CMakeFiles/literace.dir/detector/FastTrackDetector.cpp.o" "gcc" "src/CMakeFiles/literace.dir/detector/FastTrackDetector.cpp.o.d"
+  "/root/repo/src/detector/HBDetector.cpp" "src/CMakeFiles/literace.dir/detector/HBDetector.cpp.o" "gcc" "src/CMakeFiles/literace.dir/detector/HBDetector.cpp.o.d"
+  "/root/repo/src/detector/LocksetDetector.cpp" "src/CMakeFiles/literace.dir/detector/LocksetDetector.cpp.o" "gcc" "src/CMakeFiles/literace.dir/detector/LocksetDetector.cpp.o.d"
+  "/root/repo/src/detector/LogBuilder.cpp" "src/CMakeFiles/literace.dir/detector/LogBuilder.cpp.o" "gcc" "src/CMakeFiles/literace.dir/detector/LogBuilder.cpp.o.d"
+  "/root/repo/src/detector/OnlineDetector.cpp" "src/CMakeFiles/literace.dir/detector/OnlineDetector.cpp.o" "gcc" "src/CMakeFiles/literace.dir/detector/OnlineDetector.cpp.o.d"
+  "/root/repo/src/detector/RaceReport.cpp" "src/CMakeFiles/literace.dir/detector/RaceReport.cpp.o" "gcc" "src/CMakeFiles/literace.dir/detector/RaceReport.cpp.o.d"
+  "/root/repo/src/detector/ReferenceDetector.cpp" "src/CMakeFiles/literace.dir/detector/ReferenceDetector.cpp.o" "gcc" "src/CMakeFiles/literace.dir/detector/ReferenceDetector.cpp.o.d"
+  "/root/repo/src/detector/Replay.cpp" "src/CMakeFiles/literace.dir/detector/Replay.cpp.o" "gcc" "src/CMakeFiles/literace.dir/detector/Replay.cpp.o.d"
+  "/root/repo/src/detector/VectorClock.cpp" "src/CMakeFiles/literace.dir/detector/VectorClock.cpp.o" "gcc" "src/CMakeFiles/literace.dir/detector/VectorClock.cpp.o.d"
+  "/root/repo/src/runtime/CompressedLog.cpp" "src/CMakeFiles/literace.dir/runtime/CompressedLog.cpp.o" "gcc" "src/CMakeFiles/literace.dir/runtime/CompressedLog.cpp.o.d"
+  "/root/repo/src/runtime/EventLog.cpp" "src/CMakeFiles/literace.dir/runtime/EventLog.cpp.o" "gcc" "src/CMakeFiles/literace.dir/runtime/EventLog.cpp.o.d"
+  "/root/repo/src/runtime/FunctionRegistry.cpp" "src/CMakeFiles/literace.dir/runtime/FunctionRegistry.cpp.o" "gcc" "src/CMakeFiles/literace.dir/runtime/FunctionRegistry.cpp.o.d"
+  "/root/repo/src/runtime/Runtime.cpp" "src/CMakeFiles/literace.dir/runtime/Runtime.cpp.o" "gcc" "src/CMakeFiles/literace.dir/runtime/Runtime.cpp.o.d"
+  "/root/repo/src/runtime/Samplers.cpp" "src/CMakeFiles/literace.dir/runtime/Samplers.cpp.o" "gcc" "src/CMakeFiles/literace.dir/runtime/Samplers.cpp.o.d"
+  "/root/repo/src/runtime/ThreadContext.cpp" "src/CMakeFiles/literace.dir/runtime/ThreadContext.cpp.o" "gcc" "src/CMakeFiles/literace.dir/runtime/ThreadContext.cpp.o.d"
+  "/root/repo/src/runtime/TraceStats.cpp" "src/CMakeFiles/literace.dir/runtime/TraceStats.cpp.o" "gcc" "src/CMakeFiles/literace.dir/runtime/TraceStats.cpp.o.d"
+  "/root/repo/src/support/TableFormatter.cpp" "src/CMakeFiles/literace.dir/support/TableFormatter.cpp.o" "gcc" "src/CMakeFiles/literace.dir/support/TableFormatter.cpp.o.d"
+  "/root/repo/src/sync/MonitoredAllocator.cpp" "src/CMakeFiles/literace.dir/sync/MonitoredAllocator.cpp.o" "gcc" "src/CMakeFiles/literace.dir/sync/MonitoredAllocator.cpp.o.d"
+  "/root/repo/src/sync/Primitives.cpp" "src/CMakeFiles/literace.dir/sync/Primitives.cpp.o" "gcc" "src/CMakeFiles/literace.dir/sync/Primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/DetectionExperiment.cpp" "src/CMakeFiles/literace_harness.dir/harness/DetectionExperiment.cpp.o" "gcc" "src/CMakeFiles/literace_harness.dir/harness/DetectionExperiment.cpp.o.d"
+  "/root/repo/src/harness/OverheadExperiment.cpp" "src/CMakeFiles/literace_harness.dir/harness/OverheadExperiment.cpp.o" "gcc" "src/CMakeFiles/literace_harness.dir/harness/OverheadExperiment.cpp.o.d"
+  "/root/repo/src/harness/Tables.cpp" "src/CMakeFiles/literace_harness.dir/harness/Tables.cpp.o" "gcc" "src/CMakeFiles/literace_harness.dir/harness/Tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/literace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/literace_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/literace_harness.dir/harness/DetectionExperiment.cpp.o"
+  "CMakeFiles/literace_harness.dir/harness/DetectionExperiment.cpp.o.d"
+  "CMakeFiles/literace_harness.dir/harness/OverheadExperiment.cpp.o"
+  "CMakeFiles/literace_harness.dir/harness/OverheadExperiment.cpp.o.d"
+  "CMakeFiles/literace_harness.dir/harness/Tables.cpp.o"
+  "CMakeFiles/literace_harness.dir/harness/Tables.cpp.o.d"
+  "libliterace_harness.a"
+  "libliterace_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/literace_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Browser.cpp" "src/CMakeFiles/literace_workloads.dir/workloads/Browser.cpp.o" "gcc" "src/CMakeFiles/literace_workloads.dir/workloads/Browser.cpp.o.d"
+  "/root/repo/src/workloads/Channel.cpp" "src/CMakeFiles/literace_workloads.dir/workloads/Channel.cpp.o" "gcc" "src/CMakeFiles/literace_workloads.dir/workloads/Channel.cpp.o.d"
+  "/root/repo/src/workloads/ConcRT.cpp" "src/CMakeFiles/literace_workloads.dir/workloads/ConcRT.cpp.o" "gcc" "src/CMakeFiles/literace_workloads.dir/workloads/ConcRT.cpp.o.d"
+  "/root/repo/src/workloads/Httpd.cpp" "src/CMakeFiles/literace_workloads.dir/workloads/Httpd.cpp.o" "gcc" "src/CMakeFiles/literace_workloads.dir/workloads/Httpd.cpp.o.d"
+  "/root/repo/src/workloads/LFList.cpp" "src/CMakeFiles/literace_workloads.dir/workloads/LFList.cpp.o" "gcc" "src/CMakeFiles/literace_workloads.dir/workloads/LFList.cpp.o.d"
+  "/root/repo/src/workloads/LKRHash.cpp" "src/CMakeFiles/literace_workloads.dir/workloads/LKRHash.cpp.o" "gcc" "src/CMakeFiles/literace_workloads.dir/workloads/LKRHash.cpp.o.d"
+  "/root/repo/src/workloads/SciCompute.cpp" "src/CMakeFiles/literace_workloads.dir/workloads/SciCompute.cpp.o" "gcc" "src/CMakeFiles/literace_workloads.dir/workloads/SciCompute.cpp.o.d"
+  "/root/repo/src/workloads/StdLib.cpp" "src/CMakeFiles/literace_workloads.dir/workloads/StdLib.cpp.o" "gcc" "src/CMakeFiles/literace_workloads.dir/workloads/StdLib.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/CMakeFiles/literace_workloads.dir/workloads/Workload.cpp.o" "gcc" "src/CMakeFiles/literace_workloads.dir/workloads/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/literace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/literace_workloads.dir/workloads/Browser.cpp.o"
+  "CMakeFiles/literace_workloads.dir/workloads/Browser.cpp.o.d"
+  "CMakeFiles/literace_workloads.dir/workloads/Channel.cpp.o"
+  "CMakeFiles/literace_workloads.dir/workloads/Channel.cpp.o.d"
+  "CMakeFiles/literace_workloads.dir/workloads/ConcRT.cpp.o"
+  "CMakeFiles/literace_workloads.dir/workloads/ConcRT.cpp.o.d"
+  "CMakeFiles/literace_workloads.dir/workloads/Httpd.cpp.o"
+  "CMakeFiles/literace_workloads.dir/workloads/Httpd.cpp.o.d"
+  "CMakeFiles/literace_workloads.dir/workloads/LFList.cpp.o"
+  "CMakeFiles/literace_workloads.dir/workloads/LFList.cpp.o.d"
+  "CMakeFiles/literace_workloads.dir/workloads/LKRHash.cpp.o"
+  "CMakeFiles/literace_workloads.dir/workloads/LKRHash.cpp.o.d"
+  "CMakeFiles/literace_workloads.dir/workloads/SciCompute.cpp.o"
+  "CMakeFiles/literace_workloads.dir/workloads/SciCompute.cpp.o.d"
+  "CMakeFiles/literace_workloads.dir/workloads/StdLib.cpp.o"
+  "CMakeFiles/literace_workloads.dir/workloads/StdLib.cpp.o.d"
+  "CMakeFiles/literace_workloads.dir/workloads/Workload.cpp.o"
+  "CMakeFiles/literace_workloads.dir/workloads/Workload.cpp.o.d"
+  "libliterace_workloads.a"
+  "libliterace_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/literace_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libliterace_workloads.a"
+)

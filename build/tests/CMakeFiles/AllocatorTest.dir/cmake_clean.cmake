@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "AllocatorTest"
+  "AllocatorTest.pdb"
+  "CMakeFiles/AllocatorTest.dir/AllocatorTest.cpp.o"
+  "CMakeFiles/AllocatorTest.dir/AllocatorTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AllocatorTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CompressedLogTest.dir/CompressedLogTest.cpp.o"
+  "CMakeFiles/CompressedLogTest.dir/CompressedLogTest.cpp.o.d"
+  "CompressedLogTest"
+  "CompressedLogTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CompressedLogTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

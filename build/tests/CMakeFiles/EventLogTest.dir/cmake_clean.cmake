@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EventLogTest.dir/EventLogTest.cpp.o"
+  "CMakeFiles/EventLogTest.dir/EventLogTest.cpp.o.d"
+  "EventLogTest"
+  "EventLogTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EventLogTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FastTrackTest.dir/FastTrackTest.cpp.o"
+  "CMakeFiles/FastTrackTest.dir/FastTrackTest.cpp.o.d"
+  "FastTrackTest"
+  "FastTrackTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FastTrackTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/HBDetectorTest.dir/HBDetectorTest.cpp.o"
+  "CMakeFiles/HBDetectorTest.dir/HBDetectorTest.cpp.o.d"
+  "HBDetectorTest"
+  "HBDetectorTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/HBDetectorTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/HarnessTest.dir/HarnessTest.cpp.o"
+  "CMakeFiles/HarnessTest.dir/HarnessTest.cpp.o.d"
+  "HarnessTest"
+  "HarnessTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/HarnessTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LocksetTest.dir/LocksetTest.cpp.o"
+  "CMakeFiles/LocksetTest.dir/LocksetTest.cpp.o.d"
+  "LocksetTest"
+  "LocksetTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LocksetTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LogBuilderTest.dir/LogBuilderTest.cpp.o"
+  "CMakeFiles/LogBuilderTest.dir/LogBuilderTest.cpp.o.d"
+  "LogBuilderTest"
+  "LogBuilderTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LogBuilderTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

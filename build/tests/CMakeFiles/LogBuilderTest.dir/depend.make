@@ -1,0 +1,2 @@
+# Empty dependencies file for LogBuilderTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LoopExtensionTest.dir/LoopExtensionTest.cpp.o"
+  "CMakeFiles/LoopExtensionTest.dir/LoopExtensionTest.cpp.o.d"
+  "LoopExtensionTest"
+  "LoopExtensionTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LoopExtensionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

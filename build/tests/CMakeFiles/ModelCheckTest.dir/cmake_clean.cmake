@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ModelCheckTest.dir/ModelCheckTest.cpp.o"
+  "CMakeFiles/ModelCheckTest.dir/ModelCheckTest.cpp.o.d"
+  "ModelCheckTest"
+  "ModelCheckTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ModelCheckTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/OnlineDetectorTest.dir/OnlineDetectorTest.cpp.o"
+  "CMakeFiles/OnlineDetectorTest.dir/OnlineDetectorTest.cpp.o.d"
+  "OnlineDetectorTest"
+  "OnlineDetectorTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/OnlineDetectorTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

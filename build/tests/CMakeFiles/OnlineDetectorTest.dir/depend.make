@@ -1,0 +1,2 @@
+# Empty dependencies file for OnlineDetectorTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RaceReportTest.dir/RaceReportTest.cpp.o"
+  "CMakeFiles/RaceReportTest.dir/RaceReportTest.cpp.o.d"
+  "RaceReportTest"
+  "RaceReportTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RaceReportTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

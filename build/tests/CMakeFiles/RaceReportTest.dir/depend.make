@@ -1,0 +1,2 @@
+# Empty dependencies file for RaceReportTest.
+# This may be replaced when dependencies are built.

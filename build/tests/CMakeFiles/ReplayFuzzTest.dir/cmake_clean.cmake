@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ReplayFuzzTest.dir/ReplayFuzzTest.cpp.o"
+  "CMakeFiles/ReplayFuzzTest.dir/ReplayFuzzTest.cpp.o.d"
+  "ReplayFuzzTest"
+  "ReplayFuzzTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ReplayFuzzTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

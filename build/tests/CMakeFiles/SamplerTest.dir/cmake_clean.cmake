@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SamplerTest.dir/SamplerTest.cpp.o"
+  "CMakeFiles/SamplerTest.dir/SamplerTest.cpp.o.d"
+  "SamplerTest"
+  "SamplerTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SamplerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StdLibTest.dir/StdLibTest.cpp.o"
+  "CMakeFiles/StdLibTest.dir/StdLibTest.cpp.o.d"
+  "StdLibTest"
+  "StdLibTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StdLibTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SyncPrimitivesTest.dir/SyncPrimitivesTest.cpp.o"
+  "CMakeFiles/SyncPrimitivesTest.dir/SyncPrimitivesTest.cpp.o.d"
+  "SyncPrimitivesTest"
+  "SyncPrimitivesTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SyncPrimitivesTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

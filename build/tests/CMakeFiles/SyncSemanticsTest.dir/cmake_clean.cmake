@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SyncSemanticsTest.dir/SyncSemanticsTest.cpp.o"
+  "CMakeFiles/SyncSemanticsTest.dir/SyncSemanticsTest.cpp.o.d"
+  "SyncSemanticsTest"
+  "SyncSemanticsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SyncSemanticsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

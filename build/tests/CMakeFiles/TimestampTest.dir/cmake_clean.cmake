@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TimestampTest.dir/TimestampTest.cpp.o"
+  "CMakeFiles/TimestampTest.dir/TimestampTest.cpp.o.d"
+  "TimestampTest"
+  "TimestampTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TimestampTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

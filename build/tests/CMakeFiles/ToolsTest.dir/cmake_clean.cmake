@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ToolsTest.dir/ToolsTest.cpp.o"
+  "CMakeFiles/ToolsTest.dir/ToolsTest.cpp.o.d"
+  "ToolsTest"
+  "ToolsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ToolsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

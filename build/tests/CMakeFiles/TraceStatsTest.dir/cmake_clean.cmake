@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TraceStatsTest.dir/TraceStatsTest.cpp.o"
+  "CMakeFiles/TraceStatsTest.dir/TraceStatsTest.cpp.o.d"
+  "TraceStatsTest"
+  "TraceStatsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TraceStatsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

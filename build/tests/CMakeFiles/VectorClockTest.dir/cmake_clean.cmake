@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/VectorClockTest.dir/VectorClockTest.cpp.o"
+  "CMakeFiles/VectorClockTest.dir/VectorClockTest.cpp.o.d"
+  "VectorClockTest"
+  "VectorClockTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/VectorClockTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

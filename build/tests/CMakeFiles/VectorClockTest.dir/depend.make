@@ -1,0 +1,2 @@
+# Empty dependencies file for VectorClockTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/literace-report.dir/literace-report.cpp.o"
+  "CMakeFiles/literace-report.dir/literace-report.cpp.o.d"
+  "literace-report"
+  "literace-report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/literace-report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

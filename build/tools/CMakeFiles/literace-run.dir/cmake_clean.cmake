@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/literace-run.dir/literace-run.cpp.o"
+  "CMakeFiles/literace-run.dir/literace-run.cpp.o.d"
+  "literace-run"
+  "literace-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/literace-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for literace-run.
+# This may be replaced when dependencies are built.
