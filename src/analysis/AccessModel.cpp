@@ -1,0 +1,58 @@
+//===-- analysis/AccessModel.cpp - Instrumentation-site metadata ----------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AccessModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace literace;
+
+VarId AccessModel::declareVar(std::string Name, VarScope Scope) {
+  Vars.push_back(VarInfo{std::move(Name), Scope});
+  return static_cast<VarId>(Vars.size() - 1);
+}
+
+LockId AccessModel::declareLock(std::string Name) {
+  Locks.push_back(std::move(Name));
+  return static_cast<LockId>(Locks.size() - 1);
+}
+
+RoleId AccessModel::declareRole(std::string Name, uint32_t Instances) {
+  assert(Instances > 0 && "a role needs at least one instance");
+  Roles.push_back(RoleInfo{std::move(Name), Instances});
+  return static_cast<RoleId>(Roles.size() - 1);
+}
+
+void AccessModel::declareSite(Pc Site, SiteAccess Access, VarId Var,
+                              std::initializer_list<RoleId> SiteRoles,
+                              std::initializer_list<LockId> Held) {
+  assert(Var < Vars.size() && "undeclared variable");
+  assert(SiteRoles.size() > 0 && "a site needs at least one executing role");
+  SiteDecl D;
+  D.Site = Site;
+  D.Access = Access;
+  D.Var = Var;
+  D.Roles.assign(SiteRoles.begin(), SiteRoles.end());
+  D.Held.assign(Held.begin(), Held.end());
+#ifndef NDEBUG
+  for (RoleId R : D.Roles)
+    assert(R < Roles.size() && "undeclared role");
+  for (LockId L : D.Held)
+    assert(L < Locks.size() && "undeclared lock");
+#endif
+  Decls.push_back(std::move(D));
+}
+
+std::vector<Pc> AccessModel::declaredSites() const {
+  std::vector<Pc> Sites;
+  Sites.reserve(Decls.size());
+  for (const SiteDecl &D : Decls)
+    Sites.push_back(D.Site);
+  std::sort(Sites.begin(), Sites.end());
+  Sites.erase(std::unique(Sites.begin(), Sites.end()), Sites.end());
+  return Sites;
+}

@@ -1,0 +1,123 @@
+//===-- analysis/AccessModel.h - Instrumentation-site metadata -*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static metadata about a workload's instrumentation sites, declared in
+/// Workload::bind() before any thread runs. The model names the abstract
+/// variables a workload touches, the locks it takes, and the thread roles
+/// that execute each site, then records one declaration per (site,
+/// variable) access. The pre-execution analysis pass (StaticAnalysis.h)
+/// consumes this model to prove sites race-free and elide their logging.
+///
+/// The model is a stand-in for what a compiler pass would recover from IR:
+/// the paper's Phoenix instrumentation sees every access site and its
+/// enclosing synchronization statically; our source-level workloads declare
+/// the same facts explicitly. Declarations must be conservative — a site
+/// that is not declared is never elided, and a site declared against
+/// several variables is elidable only if every one of them is proven
+/// race-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_ANALYSIS_ACCESSMODEL_H
+#define LITERACE_ANALYSIS_ACCESSMODEL_H
+
+#include "runtime/Ids.h"
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace literace {
+
+/// Dense identifier of an abstract variable in an AccessModel.
+using VarId = uint32_t;
+/// Dense identifier of a declared lock.
+using LockId = uint32_t;
+/// Dense identifier of a thread role (producer, consumer, ...).
+using RoleId = uint32_t;
+
+/// Sharing scope of an abstract variable.
+enum class VarScope : uint8_t {
+  /// One instance visible to every thread that reaches a site naming it.
+  Shared = 0,
+  /// A fresh instance per executing thread (stack buffer, thread-private
+  /// scratch): instances can never be shared, so the variable is
+  /// trivially race-free.
+  PerThread = 1,
+};
+
+/// Direction of one declared access.
+enum class SiteAccess : uint8_t { Read = 0, Write = 1 };
+
+/// One (site, variable) access declaration.
+struct SiteDecl {
+  /// The instrumentation site, as logged by the tracer.
+  Pc Site = 0;
+  SiteAccess Access = SiteAccess::Read;
+  VarId Var = 0;
+  /// Thread roles that execute this site.
+  std::vector<RoleId> Roles;
+  /// Locks provably held across the access (declared lock scopes).
+  std::vector<LockId> Held;
+};
+
+/// The full static model of one workload's instrumentation sites.
+/// Populated single-threaded in bind(); read-only afterwards.
+class AccessModel {
+public:
+  /// Declares an abstract variable. Names are for reports only.
+  VarId declareVar(std::string Name, VarScope Scope = VarScope::Shared);
+
+  /// Declares a lock that sites may hold.
+  LockId declareLock(std::string Name);
+
+  /// Declares a thread role with \p Instances concurrent executors.
+  RoleId declareRole(std::string Name, uint32_t Instances = 1);
+
+  /// Declares that \p Site accesses \p Var with direction \p Access, run
+  /// by \p Roles, holding \p Held. A site touching several variables gets
+  /// one declaration per variable.
+  void declareSite(Pc Site, SiteAccess Access, VarId Var,
+                   std::initializer_list<RoleId> Roles,
+                   std::initializer_list<LockId> Held = {});
+
+  bool empty() const { return Decls.empty(); }
+  size_t numVars() const { return Vars.size(); }
+  size_t numLocks() const { return Locks.size(); }
+  size_t numRoles() const { return Roles.size(); }
+
+  const std::vector<SiteDecl> &declarations() const { return Decls; }
+
+  const std::string &varName(VarId V) const { return Vars[V].Name; }
+  VarScope varScope(VarId V) const { return Vars[V].Scope; }
+  const std::string &lockName(LockId L) const { return Locks[L]; }
+  const std::string &roleName(RoleId R) const { return Roles[R].Name; }
+  uint32_t roleInstances(RoleId R) const { return Roles[R].Instances; }
+
+  /// Distinct declared site Pcs, sorted.
+  std::vector<Pc> declaredSites() const;
+
+private:
+  struct VarInfo {
+    std::string Name;
+    VarScope Scope;
+  };
+  struct RoleInfo {
+    std::string Name;
+    uint32_t Instances;
+  };
+
+  std::vector<VarInfo> Vars;
+  std::vector<std::string> Locks;
+  std::vector<RoleInfo> Roles;
+  std::vector<SiteDecl> Decls;
+};
+
+} // namespace literace
+
+#endif // LITERACE_ANALYSIS_ACCESSMODEL_H

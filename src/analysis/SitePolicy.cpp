@@ -1,0 +1,57 @@
+//===-- analysis/SitePolicy.cpp - Per-site elision policy -----------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SitePolicy.h"
+
+using namespace literace;
+
+void SitePolicy::markElidable(Pc Site) {
+  FunctionId F = pcFunction(Site);
+  uint32_t Label = pcSite(Site);
+  if (F >= PerFunction.size())
+    PerFunction.resize(F + 1);
+  std::vector<uint64_t> &Words = PerFunction[F];
+  uint32_t Word = Label >> 6;
+  if (Word >= Words.size())
+    Words.resize(Word + 1, 0);
+  uint64_t Bit = uint64_t{1} << (Label & 63u);
+  if (!(Words[Word] & Bit)) {
+    Words[Word] |= Bit;
+    ++Count;
+  }
+}
+
+bool SitePolicy::elidable(Pc Site) const {
+  return view(pcFunction(Site)).test(pcSite(Site));
+}
+
+std::vector<Pc> SitePolicy::elidableSites() const {
+  std::vector<Pc> Sites;
+  Sites.reserve(Count);
+  for (FunctionId F = 0; F != PerFunction.size(); ++F) {
+    const std::vector<uint64_t> &Words = PerFunction[F];
+    for (uint32_t Word = 0; Word != Words.size(); ++Word) {
+      uint64_t Bits = Words[Word];
+      while (Bits) {
+        uint32_t Offset = static_cast<uint32_t>(__builtin_ctzll(Bits));
+        Sites.push_back(makePc(F, (Word << 6) | Offset));
+        Bits &= Bits - 1;
+      }
+    }
+  }
+  return Sites; // Already sorted: function-major, site-minor.
+}
+
+uint64_t SitePolicy::fingerprint() const {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (Pc Site : elidableSites()) {
+    for (unsigned Byte = 0; Byte != 8; ++Byte) {
+      Hash ^= (Site >> (8 * Byte)) & 0xff;
+      Hash *= 0x100000001b3ULL;
+    }
+  }
+  return Hash;
+}

@@ -1,0 +1,74 @@
+//===-- analysis/SitePolicy.h - Per-site elision policy --------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The output of the static analysis pass: the set of instrumentation
+/// sites whose logging is proven unnecessary. Stored as one bitset of site
+/// labels per function so the tracer's hot path can test a site with two
+/// loads and a shift (ElideView), no hashing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_ANALYSIS_SITEPOLICY_H
+#define LITERACE_ANALYSIS_SITEPOLICY_H
+
+#include "runtime/Ids.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace literace {
+
+/// Zero-cost view of one function's elidable-site bitset, captured by
+/// LoggingTracer once per activation. An empty view (no policy installed,
+/// or nothing proven for this function) elides nothing.
+struct ElideView {
+  const uint64_t *Words = nullptr;
+  uint32_t NumWords = 0;
+
+  bool test(uint32_t Site) const {
+    uint32_t Word = Site >> 6;
+    return Word < NumWords && ((Words[Word] >> (Site & 63u)) & 1u) != 0;
+  }
+};
+
+/// The set of sites proven race-free by the pre-execution analysis.
+class SitePolicy {
+public:
+  /// Marks \p Site as elidable. Idempotent.
+  void markElidable(Pc Site);
+
+  /// True if \p Site was marked elidable.
+  bool elidable(Pc Site) const;
+
+  /// View of function \p F's bitset; valid while the policy is alive.
+  ElideView view(FunctionId F) const {
+    if (F >= PerFunction.size())
+      return ElideView{};
+    const std::vector<uint64_t> &Words = PerFunction[F];
+    return ElideView{Words.data(), static_cast<uint32_t>(Words.size())};
+  }
+
+  bool empty() const { return Count == 0; }
+  size_t numElidableSites() const { return Count; }
+
+  /// All elidable site Pcs, sorted.
+  std::vector<Pc> elidableSites() const;
+
+  /// Stable FNV-1a hash of the sorted elidable-site set; recorded in the
+  /// log's policy-metadata record so a trace names the policy it was
+  /// produced under.
+  uint64_t fingerprint() const;
+
+private:
+  /// PerFunction[F] is a bitset over site labels of function F.
+  std::vector<std::vector<uint64_t>> PerFunction;
+  size_t Count = 0;
+};
+
+} // namespace literace
+
+#endif // LITERACE_ANALYSIS_SITEPOLICY_H

@@ -1,0 +1,163 @@
+//===-- analysis/StaticAnalysis.cpp - Pre-execution site analysis ---------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticAnalysis.h"
+
+#include "runtime/Runtime.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace literace;
+
+const char *literace::verdictName(VarVerdictKind Kind) {
+  switch (Kind) {
+  case VarVerdictKind::Racy:
+    return "racy";
+  case VarVerdictKind::ThreadLocal:
+    return "thread-local";
+  case VarVerdictKind::ReadOnly:
+    return "read-only";
+  case VarVerdictKind::LockConsistent:
+    return "lock-consistent";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Classifies one variable given all of its declarations.
+VarVerdict classifyVar(const AccessModel &M, VarId Var,
+                       const std::vector<const SiteDecl *> &Decls) {
+  VarVerdict Verdict;
+  Verdict.Var = Var;
+
+  // Thread-escape, trivial form: each thread owns a fresh instance.
+  if (M.varScope(Var) == VarScope::PerThread) {
+    Verdict.Kind = VarVerdictKind::ThreadLocal;
+    Verdict.Why = "per-thread scope: each instance belongs to one thread";
+    return Verdict;
+  }
+
+  // Thread-escape, role form: every site runs under one single-instance
+  // role, so exactly one thread ever touches the variable.
+  std::set<RoleId> TouchingRoles;
+  for (const SiteDecl *D : Decls)
+    TouchingRoles.insert(D->Roles.begin(), D->Roles.end());
+  if (TouchingRoles.size() == 1 &&
+      M.roleInstances(*TouchingRoles.begin()) == 1) {
+    Verdict.Kind = VarVerdictKind::ThreadLocal;
+    Verdict.Why = "only touched by role '" +
+                  M.roleName(*TouchingRoles.begin()) + "' (1 instance)";
+    return Verdict;
+  }
+
+  // Read-only: no write site anywhere.
+  bool AnyWrite = false;
+  for (const SiteDecl *D : Decls)
+    AnyWrite |= D->Access == SiteAccess::Write;
+  if (!AnyWrite) {
+    Verdict.Kind = VarVerdictKind::ReadOnly;
+    Verdict.Why = "no write site declared across " +
+                  std::to_string(Decls.size()) + " declaration(s)";
+    return Verdict;
+  }
+
+  // Lockset consistency: a common lock across every site.
+  std::set<LockId> Common(Decls.front()->Held.begin(),
+                          Decls.front()->Held.end());
+  for (const SiteDecl *D : Decls) {
+    std::set<LockId> Held(D->Held.begin(), D->Held.end());
+    std::set<LockId> Next;
+    std::set_intersection(Common.begin(), Common.end(), Held.begin(),
+                          Held.end(), std::inserter(Next, Next.begin()));
+    Common.swap(Next);
+    if (Common.empty())
+      break;
+  }
+  if (!Common.empty()) {
+    Verdict.Kind = VarVerdictKind::LockConsistent;
+    Verdict.CommonLock = *Common.begin();
+    Verdict.Why =
+        "every site holds lock '" + M.lockName(*Common.begin()) + "'";
+    return Verdict;
+  }
+
+  Verdict.Kind = VarVerdictKind::Racy;
+  Verdict.Why = "escapes its thread, is written, and shares no common lock";
+  return Verdict;
+}
+
+} // namespace
+
+AnalysisResult literace::analyzeAccessModel(const AccessModel &M) {
+  AnalysisResult Result;
+
+  // Group declarations by variable.
+  std::vector<std::vector<const SiteDecl *>> ByVar(M.numVars());
+  for (const SiteDecl &D : M.declarations())
+    ByVar[D.Var].push_back(&D);
+
+  Result.Vars.resize(M.numVars());
+  for (VarId Var = 0; Var != M.numVars(); ++Var) {
+    if (ByVar[Var].empty()) {
+      // Declared but never accessed: nothing to elide, nothing to prove.
+      Result.Vars[Var].Var = Var;
+      Result.Vars[Var].Kind = VarVerdictKind::ReadOnly;
+      Result.Vars[Var].Why = "no access site declared";
+      continue;
+    }
+    Result.Vars[Var] = classifyVar(M, Var, ByVar[Var]);
+  }
+
+  // A site is elidable only if every variable it touches is race-free.
+  std::map<Pc, bool> SiteSafe;
+  for (const SiteDecl &D : M.declarations()) {
+    bool VarSafe = Result.Vars[D.Var].Kind != VarVerdictKind::Racy;
+    auto [It, Inserted] = SiteSafe.emplace(D.Site, VarSafe);
+    if (!Inserted)
+      It->second &= VarSafe;
+  }
+  for (const auto &[Site, Safe] : SiteSafe)
+    if (Safe)
+      Result.Policy.markElidable(Site);
+
+  // Per-variable elided-site counts (a site shared with a racy variable
+  // counts for neither).
+  for (VarId Var = 0; Var != M.numVars(); ++Var) {
+    std::set<Pc> Elided;
+    for (const SiteDecl *D : ByVar[Var])
+      if (Result.Policy.elidable(D->Site))
+        Elided.insert(D->Site);
+    Result.Vars[Var].SitesElided = Elided.size();
+  }
+
+  Result.DeclaredSites = SiteSafe.size();
+  Result.ElidableSites = Result.Policy.numElidableSites();
+  return Result;
+}
+
+AnalysisResult literace::analyzeAndInstall(Runtime &RT) {
+  AnalysisResult Result = analyzeAccessModel(RT.accessModel());
+  RT.installSitePolicy(Result.Policy);
+  return Result;
+}
+
+Trace literace::filterTrace(const Trace &T, const SitePolicy &Policy) {
+  Trace Out;
+  Out.NumTimestampCounters = T.NumTimestampCounters;
+  Out.PerThread.resize(T.PerThread.size());
+  for (size_t Tid = 0; Tid != T.PerThread.size(); ++Tid) {
+    Out.PerThread[Tid].reserve(T.PerThread[Tid].size());
+    for (const EventRecord &R : T.PerThread[Tid]) {
+      if (isMemoryKind(R.Kind) && Policy.elidable(R.Pc))
+        continue;
+      Out.PerThread[Tid].push_back(R);
+    }
+  }
+  return Out;
+}

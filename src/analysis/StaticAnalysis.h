@@ -1,0 +1,96 @@
+//===-- analysis/StaticAnalysis.h - Pre-execution site analysis -*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pre-execution static-analysis pass. Before any workload thread
+/// runs, it classifies every declared variable with three analyses, in
+/// priority order:
+///
+///   thread-escape     the variable never escapes one thread: either its
+///                     scope is PerThread (a fresh instance per thread),
+///                     or all its sites are executed by a single role with
+///                     one instance;
+///   read-only         no site anywhere writes the variable;
+///   lockset           every site of the variable holds a common lock
+///                     (non-empty intersection of declared held-lock
+///                     sets).
+///
+/// A variable passing any analysis cannot participate in a race, so its
+/// sites need no logging: the detector only misses races on pairs that
+/// cannot exist. A site is elided only if EVERY variable it is declared
+/// against is proven race-free, and undeclared sites are never elided —
+/// both directions keep the pass conservative, which the soundness audit
+/// (harness/ElisionExperiment.h) verifies against the seeded-race ground
+/// truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_ANALYSIS_STATICANALYSIS_H
+#define LITERACE_ANALYSIS_STATICANALYSIS_H
+
+#include "analysis/AccessModel.h"
+#include "analysis/SitePolicy.h"
+#include "runtime/EventLog.h"
+
+#include <string>
+#include <vector>
+
+namespace literace {
+
+class Runtime;
+
+/// Outcome of the per-variable classification, in verdict priority order.
+enum class VarVerdictKind : uint8_t {
+  Racy = 0,       ///< No analysis applies; all sites keep logging.
+  ThreadLocal,    ///< Proven by the thread-escape analysis.
+  ReadOnly,       ///< Proven by the read-only analysis.
+  LockConsistent, ///< Proven by the lockset-consistency analysis.
+};
+
+/// Human-readable verdict name for reports.
+const char *verdictName(VarVerdictKind Kind);
+
+/// One variable's verdict with its justification.
+struct VarVerdict {
+  VarId Var = 0;
+  VarVerdictKind Kind = VarVerdictKind::Racy;
+  /// The common lock, when Kind == LockConsistent.
+  LockId CommonLock = 0;
+  /// One-line justification ("no write site declared", ...).
+  std::string Why;
+  /// Distinct sites of this variable that ended up elidable.
+  size_t SitesElided = 0;
+};
+
+/// Full result of one analysis run.
+struct AnalysisResult {
+  SitePolicy Policy;
+  /// Per-variable verdicts, indexed by VarId.
+  std::vector<VarVerdict> Vars;
+  /// Distinct declared site Pcs.
+  size_t DeclaredSites = 0;
+  /// Distinct sites proven elidable (== Policy.numElidableSites()).
+  size_t ElidableSites = 0;
+};
+
+/// Runs the three analyses over \p M and computes the elision policy.
+AnalysisResult analyzeAccessModel(const AccessModel &M);
+
+/// Convenience: analyzes \p RT's access model (populated by bind()) and
+/// installs the resulting policy into the runtime. Honors
+/// RuntimeConfig::DisableElision. Returns the analysis result either way.
+AnalysisResult analyzeAndInstall(Runtime &RT);
+
+/// Returns a copy of \p T with every memory record whose Pc is elidable
+/// under \p Policy removed — the trace the runtime WOULD have produced
+/// with the policy active, on the same interleaving. Sync records and
+/// thread markers are preserved, so happens-before edges are intact. Used
+/// by the soundness audit to compare detection results deterministically.
+Trace filterTrace(const Trace &T, const SitePolicy &Policy);
+
+} // namespace literace
+
+#endif // LITERACE_ANALYSIS_STATICANALYSIS_H

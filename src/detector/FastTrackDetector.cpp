@@ -41,6 +41,9 @@ void FastTrackDetector::onEvent(const EventRecord &R) {
   case EventKind::ThreadEnd:
     (void)clockOf(R.Tid);
     return;
+  case EventKind::PolicyMeta:
+    // Elision-policy stamp; carries no access and no HB edge.
+    return;
   case EventKind::Read:
     ++MemoryEvents;
     onRead(R);

@@ -49,6 +49,9 @@ void HBDetector::onEvent(const EventRecord &R) {
     // Lifetime markers; fork/join edges arrive as sync events.
     (void)clockOf(R.Tid);
     return;
+  case EventKind::PolicyMeta:
+    // Elision-policy stamp; carries no access and no HB edge.
+    return;
   case EventKind::Read:
   case EventKind::Write:
     onMemory(R);

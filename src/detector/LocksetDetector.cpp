@@ -40,6 +40,7 @@ void LocksetDetector::onEvent(const EventRecord &R) {
     return;
   case EventKind::ThreadStart:
   case EventKind::ThreadEnd:
+  case EventKind::PolicyMeta:
   case EventKind::AcqRel:
   case EventKind::Alloc:
   case EventKind::Free:

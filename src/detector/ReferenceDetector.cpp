@@ -25,6 +25,9 @@ void ReferenceDetector::onEvent(const EventRecord &R) {
   case EventKind::ThreadEnd:
     (void)clockOf(R.Tid);
     return;
+  case EventKind::PolicyMeta:
+    // Elision-policy stamp; carries no access and no HB edge.
+    return;
   case EventKind::Read:
   case EventKind::Write: {
     const VectorClock &Clock = clockOf(R.Tid);

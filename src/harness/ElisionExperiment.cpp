@@ -1,0 +1,156 @@
+//===-- harness/ElisionExperiment.cpp - Static-elision study ---------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ElisionExperiment.h"
+
+#include "analysis/StaticAnalysis.h"
+#include "detector/HBDetector.h"
+#include "harness/DetectionExperiment.h"
+#include "support/TableFormatter.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace literace;
+
+namespace {
+
+/// Per-family detection flags for \p Report against \p Manifest.
+std::vector<char>
+familiesDetected(const RaceReport &Report,
+                 const std::vector<SeededRaceSpec> &Manifest) {
+  std::vector<StaticRace> Races = Report.staticRaces();
+  std::vector<char> Found(Manifest.size(), 0);
+  for (size_t I = 0; I != Manifest.size(); ++I) {
+    std::set<Pc> Sites(Manifest[I].Sites.begin(), Manifest[I].Sites.end());
+    for (const StaticRace &Race : Races)
+      if (Sites.count(Race.Key.first) && Sites.count(Race.Key.second)) {
+        Found[I] = 1;
+        break;
+      }
+  }
+  return Found;
+}
+
+/// One timed full-logging run. With \p DisableElision the policy install
+/// becomes a no-op (the --no-elide path); otherwise every provably
+/// race-free site is skipped. Returns {seconds, memory ops elided}.
+std::pair<double, uint64_t> timedRun(WorkloadKind Kind,
+                                     const WorkloadParams &Params,
+                                     bool DisableElision) {
+  std::unique_ptr<Workload> W = makeWorkload(Kind);
+  RuntimeConfig Config;
+  Config.Mode = RunMode::FullLogging;
+  Config.Seed = Params.Seed;
+  Config.DisableElision = DisableElision;
+  NullSink Sink;
+  Runtime RT(Config, &Sink);
+  W->bind(RT);
+  analyzeAndInstall(RT);
+
+  WallTimer Timer;
+  W->run(RT, Params);
+  double Seconds = Timer.seconds();
+  return {Seconds, RT.stats().MemOpsElided};
+}
+
+} // namespace
+
+ElisionRow literace::runElisionExperiment(WorkloadKind Kind,
+                                          const WorkloadParams &Params,
+                                          unsigned Repeats) {
+  assert(Repeats >= 1 && "need at least one run");
+  ElisionRow Row;
+
+  // ---- Volume counts + soundness audit on ONE fully logged execution.
+  // The policy is computed but NOT installed, so the trace is complete;
+  // elision is then applied offline, which keeps the audit deterministic.
+  std::unique_ptr<Workload> W = makeWorkload(Kind);
+  MemorySink Sink(/*NumTimestampCounters=*/128);
+  RuntimeConfig Config;
+  Config.Mode = RunMode::FullLogging;
+  Config.Seed = Params.Seed;
+  Runtime RT(Config, &Sink);
+  W->bind(RT);
+  AnalysisResult Analysis = analyzeAccessModel(RT.accessModel());
+  W->run(RT, Params);
+
+  Row.Benchmark = W->name();
+  Row.DeclaredSites = Analysis.DeclaredSites;
+  Row.ElidableSites = Analysis.ElidableSites;
+
+  Trace Full = Sink.takeTrace();
+  for (const std::vector<EventRecord> &Stream : Full.PerThread)
+    for (const EventRecord &R : Stream) {
+      if (!isMemoryKind(R.Kind))
+        continue;
+      ++Row.FullMemRecords;
+      if (Analysis.Policy.elidable(R.Pc))
+        ++Row.ElidedMemRecords;
+    }
+
+  RaceReport FullReport;
+  Row.LogConsistent &= detectRaces(Full, FullReport);
+  Trace Filtered = filterTrace(Full, Analysis.Policy);
+  RaceReport FilteredReport;
+  Row.LogConsistent &= detectRaces(Filtered, FilteredReport);
+
+  const std::vector<SeededRaceSpec> Manifest = W->seededRaces();
+  std::vector<char> InFull = familiesDetected(FullReport, Manifest);
+  std::vector<char> InFiltered = familiesDetected(FilteredReport, Manifest);
+  Row.SeededFamilies = Manifest.size();
+  for (size_t I = 0; I != Manifest.size(); ++I) {
+    Row.FamiliesFull += InFull[I] ? 1 : 0;
+    Row.FamiliesFiltered += InFiltered[I] ? 1 : 0;
+    if (InFull[I] && !InFiltered[I])
+      Row.Sound = false; // Elision hid a seeded race: soundness bug.
+  }
+  Row.Sound &= Row.LogConsistent;
+
+  // ---- Timed full-logging runs, with and without the policy.
+  for (unsigned Rep = 0; Rep != Repeats; ++Rep) {
+    auto [PlainSec, PlainElided] =
+        timedRun(Kind, Params, /*DisableElision=*/true);
+    assert(PlainElided == 0 && "--no-elide must disable the policy");
+    (void)PlainElided;
+    auto [PolicySec, PolicyElided] =
+        timedRun(Kind, Params, /*DisableElision=*/false);
+    Row.FullLoggingSec =
+        Rep == 0 ? PlainSec : std::min(Row.FullLoggingSec, PlainSec);
+    Row.ElidedSec =
+        Rep == 0 ? PolicySec : std::min(Row.ElidedSec, PolicySec);
+    Row.MemOpsElided = PolicyElided;
+  }
+  return Row;
+}
+
+void literace::printElisionTable(const std::vector<ElisionRow> &Rows) {
+  TableFormatter Table("Static elision effectiveness: log volume and "
+                       "full-logging time saved per benchmark");
+  Table.addRow({"Benchmark", "Sites (elidable/declared)", "Mem Records",
+                "Log Reduction", "Full Logging", "w/ Elision", "Time Saved",
+                "Audit"});
+  for (const ElisionRow &Row : Rows) {
+    std::string Audit = !Row.LogConsistent ? "LOG INCONSISTENT"
+                        : !Row.Sound       ? "RACE LOST"
+                                           : "sound (" +
+                                            std::to_string(Row.FamiliesFiltered) +
+                                            "/" +
+                                            std::to_string(Row.FamiliesFull) +
+                                            " kept)";
+    Table.addRow({Row.Benchmark,
+                  std::to_string(Row.ElidableSites) + "/" +
+                      std::to_string(Row.DeclaredSites),
+                  std::to_string(Row.FullMemRecords),
+                  TableFormatter::percent(Row.logReduction()),
+                  TableFormatter::num(Row.FullLoggingSec, 3) + "s",
+                  TableFormatter::num(Row.ElidedSec, 3) + "s",
+                  TableFormatter::percent(Row.overheadReduction()), Audit});
+  }
+  Table.print();
+}

@@ -1,0 +1,87 @@
+//===-- harness/ElisionExperiment.h - Static-elision study -----*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the pre-execution static analysis (src/analysis) buys on
+/// each benchmark: how many instrumentation sites it proves race-free, the
+/// share of memory records those sites would have produced, and the
+/// full-logging wall-time saved by skipping them — plus a soundness audit
+/// proving that eliding them hides none of the workload's seeded races.
+///
+/// The audit is deterministic by construction: one execution is logged in
+/// full, then the elision policy is applied OFFLINE to that trace
+/// (filterTrace) and detection runs on both views. Since both views come
+/// from the same interleaving, any seeded-race family detected on the full
+/// trace but missing from the filtered one is a genuine soundness bug in
+/// the analysis, not scheduling noise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_HARNESS_ELISIONEXPERIMENT_H
+#define LITERACE_HARNESS_ELISIONEXPERIMENT_H
+
+#include "workloads/Workload.h"
+
+#include <string>
+#include <vector>
+
+namespace literace {
+
+/// One benchmark row of the elision-effectiveness study.
+struct ElisionRow {
+  std::string Benchmark;
+  /// Analysis summary: sites declared in the access model, and how many
+  /// of them the three analyses proved race-free.
+  size_t DeclaredSites = 0;
+  size_t ElidableSites = 0;
+  /// Memory records in one full (unsampled, unelided) log of the run, and
+  /// how many of them the policy removes.
+  uint64_t FullMemRecords = 0;
+  uint64_t ElidedMemRecords = 0;
+  /// Full-logging wall time with elision disabled (--no-elide) and with
+  /// the policy installed; minimum over the repeat runs, NullSink.
+  double FullLoggingSec = 0.0;
+  double ElidedSec = 0.0;
+  /// Runtime counter from the elided run: memory operations whose logging
+  /// the tracer skipped.
+  uint64_t MemOpsElided = 0;
+  /// Soundness audit: seeded families detected on the full trace vs after
+  /// offline elision. Sound iff no family detected on the full trace is
+  /// lost, and no replay found the log inconsistent.
+  size_t SeededFamilies = 0;
+  size_t FamiliesFull = 0;
+  size_t FamiliesFiltered = 0;
+  bool Sound = true;
+  bool LogConsistent = true;
+
+  /// Fraction of full-log memory records the policy elides.
+  double logReduction() const {
+    return FullMemRecords == 0
+               ? 0.0
+               : static_cast<double>(ElidedMemRecords) /
+                     static_cast<double>(FullMemRecords);
+  }
+  /// Fraction of full-logging wall time the policy saves.
+  double overheadReduction() const {
+    return FullLoggingSec <= 0.0
+               ? 0.0
+               : 1.0 - ElidedSec / FullLoggingSec;
+  }
+};
+
+/// Runs the study for one benchmark: one logged execution for the volume
+/// counts and the audit, then \p Repeats timed full-logging runs per
+/// configuration (minimum kept).
+ElisionRow runElisionExperiment(WorkloadKind Kind,
+                                const WorkloadParams &Params,
+                                unsigned Repeats = 1);
+
+/// Renders the study as a console table.
+void printElisionTable(const std::vector<ElisionRow> &Rows);
+
+} // namespace literace
+
+#endif // LITERACE_HARNESS_ELISIONEXPERIMENT_H

@@ -95,7 +95,7 @@ literace::decompressEventStream(const uint8_t *Data, size_t Size,
   while (P != End) {
     uint8_t Header = *P++;
     uint8_t KindBits = Header & 0x0f;
-    if (KindBits > static_cast<uint8_t>(EventKind::Free))
+    if (KindBits > static_cast<uint8_t>(EventKind::PolicyMeta))
       return std::nullopt;
     EventRecord R;
     R.Kind = static_cast<EventKind>(KindBits);

@@ -88,6 +88,11 @@ enum class EventKind : uint8_t {
   AcqRel = 6,
   Alloc = 7,
   Free = 8,
+  /// Policy-metadata marker written once at the head of a log produced
+  /// under an elision policy: Addr is the policy fingerprint, Pc the
+  /// number of elided sites (see docs/LOG_FORMAT.md). Carries no
+  /// timestamp and creates no happens-before edge; detectors ignore it.
+  PolicyMeta = 9,
 };
 
 /// Returns true for kinds that carry a logical timestamp and participate in

@@ -40,6 +40,7 @@ double RuntimeStats::effectiveSamplingRate(unsigned Slot) const {
 
 void RuntimeStats::mergeFrom(const RuntimeStats &Other) {
   MemOpsLogged += Other.MemOpsLogged;
+  MemOpsElided += Other.MemOpsElided;
   SyncOps += Other.SyncOps;
   for (unsigned I = 0; I != MaxSamplerSlots; ++I)
     MemOpsPerSlot[I] += Other.MemOpsPerSlot[I];
@@ -53,6 +54,22 @@ Runtime::Runtime(const RuntimeConfig &Config, LogSink *Sink)
 }
 
 Runtime::~Runtime() = default;
+
+void Runtime::installSitePolicy(SitePolicy NewPolicy) {
+  assert(NextTid.load() == 0 &&
+         "install the site policy before any thread attaches");
+  if (Config.DisableElision || NewPolicy.empty())
+    return;
+  Policy = std::move(NewPolicy);
+  // Stamp the log so the trace names the policy it was produced under.
+  if (Sink && Config.Mode >= RunMode::SyncLogging) {
+    EventRecord R;
+    R.Kind = EventKind::PolicyMeta;
+    R.Addr = Policy.fingerprint();
+    R.Pc = Policy.numElidableSites();
+    Sink->writeChunk(0, &R, 1);
+  }
+}
 
 unsigned Runtime::addSampler(std::unique_ptr<Sampler> S) {
   assert(S && "null sampler");

@@ -27,6 +27,8 @@
 #ifndef LITERACE_RUNTIME_RUNTIME_H
 #define LITERACE_RUNTIME_RUNTIME_H
 
+#include "analysis/AccessModel.h"
+#include "analysis/SitePolicy.h"
 #include "runtime/EventLog.h"
 #include "runtime/FunctionRegistry.h"
 #include "runtime/Ids.h"
@@ -64,6 +66,10 @@ struct RuntimeConfig {
   uint64_t Seed = 0x11feaceULL;
   /// Records buffered per thread before flushing a chunk to the sink.
   size_t ThreadBufferRecords = 1 << 14;
+  /// Escape hatch (--no-elide): when true, installSitePolicy() discards
+  /// the policy, so every registered site logs as if the static analysis
+  /// never ran.
+  bool DisableElision = false;
 };
 
 /// Aggregate execution statistics, accumulated from thread-local counters
@@ -73,6 +79,10 @@ struct RuntimeStats {
   /// modes this equals the number of memory operations executed inside
   /// instrumented regions, because every one is logged).
   uint64_t MemOpsLogged = 0;
+  /// Memory operations skipped because the static analysis proved their
+  /// site race-free (counted only inside sampled activations, where the
+  /// operation would otherwise have been logged).
+  uint64_t MemOpsElided = 0;
   /// Synchronization operations logged.
   uint64_t SyncOps = 0;
   /// Memory operations each sampler slot chose to sample.
@@ -112,6 +122,24 @@ public:
     return Config.Mode >= RunMode::SyncLogging && Sink != nullptr;
   }
 
+  /// The instrumentation-site access model, populated by Workload::bind()
+  /// and consumed by the pre-execution analysis (analysis/StaticAnalysis.h).
+  AccessModel &accessModel() { return Model; }
+  const AccessModel &accessModel() const { return Model; }
+
+  /// Installs the analysis pass's elision policy. Must run before any
+  /// thread attaches. No-op when Config.DisableElision is set. Writes a
+  /// PolicyMeta record to the sink (if logging) so the trace names the
+  /// policy it was produced under.
+  void installSitePolicy(SitePolicy Policy);
+
+  /// The installed policy (empty if none was installed).
+  const SitePolicy &sitePolicy() const { return Policy; }
+
+  /// Elidable-site view for one function; captured by each sampled
+  /// activation. Empty (elides nothing) when no policy is installed.
+  ElideView elideView(FunctionId F) const { return Policy.view(F); }
+
   /// Attaches a sampler to the Experiment-mode suite; returns its slot.
   unsigned addSampler(std::unique_ptr<Sampler> S);
 
@@ -145,6 +173,8 @@ private:
   RuntimeConfig Config;
   LogSink *Sink;
   FunctionRegistry Registry;
+  AccessModel Model;
+  SitePolicy Policy;
   TimestampManager Timestamps;
   std::vector<std::unique_ptr<Sampler>> Samplers;
   std::atomic<uint32_t> NextTid{0};

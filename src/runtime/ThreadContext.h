@@ -70,6 +70,10 @@ public:
   /// Appends a memory-access record (called by LoggingTracer).
   void logMemory(EventKind K, const void *Addr, Pc P, uint16_t Mask);
 
+  /// Counts one memory operation elided by the static site policy
+  /// (called by LoggingTracer instead of logMemory).
+  void countElided() { ++Stats.MemOpsElided; }
+
   /// Flushes buffered records to the sink.
   void flush();
 
@@ -128,15 +132,26 @@ class LoggingTracer {
 public:
   static constexpr bool IsLogging = true;
 
-  LoggingTracer(ThreadContext &TC, FunctionId F, uint16_t Mask)
-      : TC(TC), PcFunction(F), Mask(Mask) {}
+  /// \p Elide is the static analysis's elidable-site view for \p F
+  /// (Runtime::elideView); the default view elides nothing.
+  LoggingTracer(ThreadContext &TC, FunctionId F, uint16_t Mask,
+                ElideView Elide = ElideView{})
+      : TC(TC), PcFunction(F), Mask(Mask), Elide(Elide) {}
 
   void read(const void *Addr, uint32_t Site) {
+    if (LR_UNLIKELY(Elide.test(Site))) {
+      TC.countElided();
+      return;
+    }
     if (LR_LIKELY(Active))
       TC.logMemory(EventKind::Read, Addr, makePc(PcFunction, Site), Mask);
   }
 
   void write(const void *Addr, uint32_t Site) {
+    if (LR_UNLIKELY(Elide.test(Site))) {
+      TC.countElided();
+      return;
+    }
     if (LR_LIKELY(Active))
       TC.logMemory(EventKind::Write, Addr, makePc(PcFunction, Site), Mask);
   }
@@ -174,6 +189,7 @@ private:
   ThreadContext &TC;
   FunctionId PcFunction;
   uint16_t Mask;
+  ElideView Elide;
   bool Active = true;
   uint32_t LoopCount = 0;
 };
@@ -182,7 +198,7 @@ template <typename BodyT>
 void ThreadContext::run(FunctionId F, BodyT &&Body) {
   uint16_t Mask = computeSampleMask(F);
   if (Mask) {
-    LoggingTracer T(*this, F, Mask);
+    LoggingTracer T(*this, F, Mask, RT.elideView(F));
     Body(T);
   } else {
     NullTracer T;

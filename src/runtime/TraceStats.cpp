@@ -47,6 +47,7 @@ TraceStats TraceStats::compute(const Trace &T) {
         break;
       case EventKind::ThreadStart:
       case EventKind::ThreadEnd:
+      case EventKind::PolicyMeta:
         break;
       }
       if (isMemoryKind(R.Kind)) {

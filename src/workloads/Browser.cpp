@@ -96,7 +96,154 @@ void BrowserWorkload::bind(Runtime &RT) {
   FnStyleResolve = Reg.registerFunction("style.resolve");
   FnPaint = Reg.registerFunction("render.paint");
   FnWorkerFinish = Reg.registerFunction("layout.workerFinish");
+  declareModel(RT.accessModel());
   Bound = true;
+}
+
+void BrowserWorkload::declareModel(AccessModel &M) {
+  // One model covers both inputs (Start and Render share bind()); sites
+  // belonging to the input that does not run simply never fire.
+  auto P = [&](FunctionId F, uint32_t Site) { return makePc(F, Site); };
+  const RoleId Main = M.declareRole("main", 1);
+  const RoleId Service = M.declareRole("service", 3);
+  const RoleId Layout = M.declareRole("layout-worker", 2);
+  const RoleId Ui = M.declareRole("ui", 1);
+  const LockId RegistryLock = M.declareLock("browser.registry-lock");
+  // A style entry's stripe is a pure function of the entry index, so one
+  // abstract lock soundly models the StyleLocks array.
+  const LockId StyleLock = M.declareLock("browser.style-stripe-lock");
+
+  // Input blobs: filled by main before any fork (untraced), loaded only
+  // afterwards. These are the hottest sites of both inputs.
+  const VarId Blob = M.declareVar("browser.blob");
+  M.declareSite(P(FnLoadItem, SiteBlobLoad), SiteAccess::Read, Blob,
+                {Service});
+  const VarId Glyphs = M.declareVar("browser.glyphs");
+  M.declareSite(P(FnMeasureText, SiteGlyphLoad), SiteAccess::Read, Glyphs,
+                {Layout});
+  M.declareSite(P(FnPaint, SitePaintSrc), SiteAccess::Read, Glyphs,
+                {Layout});
+
+  // Stack-local scratch and paint tiles: never escape their frame.
+  const VarId Scratch = M.declareVar("browser.scratch", VarScope::PerThread);
+  M.declareSite(P(FnLoadItem, SiteScratchStore), SiteAccess::Write, Scratch,
+                {Service});
+  const VarId Tile = M.declareVar("browser.paint-tile", VarScope::PerThread);
+  M.declareSite(P(FnPaint, SitePaintTile), SiteAccess::Write, Tile,
+                {Layout});
+
+  // Component registry: every access holds RegistryLock.
+  const VarId Registry = M.declareVar("browser.registry");
+  M.declareSite(P(FnRegister, SiteRegistryKeyWrite), SiteAccess::Write,
+                Registry, {Service}, {RegistryLock});
+  M.declareSite(P(FnRegister, SiteRegistryValWrite), SiteAccess::Write,
+                Registry, {Service}, {RegistryLock});
+  M.declareSite(P(FnLookup, SiteRegistryKeyRead), SiteAccess::Read, Registry,
+                {Service}, {RegistryLock});
+
+  // Style cache: probe and fill hold the entry's stripe.
+  const VarId StyleCache = M.declareVar("browser.style-cache");
+  M.declareSite(P(FnStyleResolve, SiteStyleKeyRead), SiteAccess::Read,
+                StyleCache, {Layout}, {StyleLock});
+  M.declareSite(P(FnStyleResolve, SiteStyleKeyWrite), SiteAccess::Write,
+                StyleCache, {Layout}, {StyleLock});
+  M.declareSite(P(FnStyleResolve, SiteStyleValWrite), SiteAccess::Write,
+                StyleCache, {Layout}, {StyleLock});
+
+  // Box tree: race-free in the program (main builds it before the fork,
+  // the workers reflow disjoint halves, fork/join orders everything), but
+  // that is a partitioning fact none of the three analyses can express —
+  // shared, written, no common lock. Declared honestly; logging is kept.
+  const VarId Boxes = M.declareVar("browser.boxes");
+  M.declareSite(P(FnBuildNode, SiteNodeInit), SiteAccess::Write, Boxes,
+                {Main});
+  M.declareSite(P(FnMeasureText, SiteMeasureWrite), SiteAccess::Write, Boxes,
+                {Layout});
+  M.declareSite(P(FnReflowBox, SiteBoxRead), SiteAccess::Read, Boxes,
+                {Layout});
+  M.declareSite(P(FnReflowBox, SiteBoxWrite), SiteAccess::Write, Boxes,
+                {Layout});
+
+  // ---- Seeded racy diagnostics: declared honestly so logging is kept.
+  const VarId StartStamp = M.declareVar("browser.start-stamp");
+  M.declareSite(P(FnServiceStart, SiteStartStampWrite), SiteAccess::Write,
+                StartStamp, {Service});
+  const VarId PrefsVersion = M.declareVar("browser.prefs-version");
+  M.declareSite(P(FnServiceStart, SitePrefsVersionWrite), SiteAccess::Write,
+                PrefsVersion, {Service});
+  M.declareSite(P(FnServiceStart, SitePrefsVersionRead), SiteAccess::Read,
+                PrefsVersion, {Service});
+  const VarId ThemeFlag = M.declareVar("browser.theme-flag");
+  M.declareSite(P(FnLookup, SiteThemeReadyRead), SiteAccess::Read, ThemeFlag,
+                {Service});
+  M.declareSite(P(FnLookup, SiteThemeReadyWrite), SiteAccess::Write,
+                ThemeFlag, {Service});
+  const VarId ThemeTable = M.declareVar("browser.theme-table");
+  M.declareSite(P(FnLookup, SiteThemeTableWrite), SiteAccess::Write,
+                ThemeTable, {Service});
+  M.declareSite(P(FnLookup, SiteThemeProbeRead), SiteAccess::Read,
+                ThemeTable, {Service});
+  const VarId FallbackFont = M.declareVar("browser.fallback-font");
+  M.declareSite(P(FnServiceFinish, SiteFallbackFontWrite), SiteAccess::Write,
+                FallbackFont, {Service});
+  M.declareSite(P(FnServiceFinish, SiteFallbackFontRead), SiteAccess::Read,
+                FallbackFont, {Service});
+  const VarId DoneMark = M.declareVar("browser.done-mark");
+  M.declareSite(P(FnServiceFinish, SiteDoneMarkWrite), SiteAccess::Write,
+                DoneMark, {Service});
+  const VarId SplashHint = M.declareVar("browser.splash-hint");
+  M.declareSite(P(FnRegister, SiteSplashHintWrite), SiteAccess::Write,
+                SplashHint, {Service});
+  M.declareSite(P(FnUiProgress, SiteUiSplashHint), SiteAccess::Read,
+                SplashHint, {Ui});
+  const VarId Progress = M.declareVar("browser.progress");
+  M.declareSite(P(FnLoadItem, SiteProgressRead), SiteAccess::Read, Progress,
+                {Service});
+  M.declareSite(P(FnLoadItem, SiteProgressWrite), SiteAccess::Write,
+                Progress, {Service});
+  M.declareSite(P(FnUiProgress, SiteUiProgress), SiteAccess::Read, Progress,
+                {Ui});
+  const VarId LastComponent = M.declareVar("browser.last-component");
+  M.declareSite(P(FnRegister, SiteLastComponentWrite), SiteAccess::Write,
+                LastComponent, {Service});
+  M.declareSite(P(FnUiProgress, SiteUiLastComponent), SiteAccess::Read,
+                LastComponent, {Ui});
+  const VarId Depth = M.declareVar("browser.registry-depth");
+  M.declareSite(P(FnRegister, SiteDepthWrite), SiteAccess::Write, Depth,
+                {Service});
+  M.declareSite(P(FnUiProgress, SiteUiDepth), SiteAccess::Read, Depth, {Ui});
+  const VarId StopFlag = M.declareVar("browser.stop-flag");
+  M.declareSite(P(FnShutdown, SiteStopWrite), SiteAccess::Write, StopFlag,
+                {Main});
+  M.declareSite(P(FnUiProgress, SiteUiStopRead), SiteAccess::Read, StopFlag,
+                {Ui});
+  const VarId Dirty = M.declareVar("render.dirty-region");
+  M.declareSite(P(FnReflowBox, SiteDirtyWrite), SiteAccess::Write, Dirty,
+                {Layout});
+  M.declareSite(P(FnUiProgress, SiteUiDirty), SiteAccess::Read, Dirty, {Ui});
+  const VarId BoxesDone = M.declareVar("render.boxes-done");
+  M.declareSite(P(FnReflowBox, SiteBoxesDoneRead), SiteAccess::Read,
+                BoxesDone, {Layout});
+  M.declareSite(P(FnReflowBox, SiteBoxesDoneWrite), SiteAccess::Write,
+                BoxesDone, {Layout});
+  M.declareSite(P(FnUiProgress, SiteUiBoxesDone), SiteAccess::Read,
+                BoxesDone, {Ui});
+  const VarId LastStyle = M.declareVar("render.last-style");
+  M.declareSite(P(FnStyleResolve, SiteLastStyleWrite), SiteAccess::Write,
+                LastStyle, {Layout});
+  M.declareSite(P(FnUiProgress, SiteUiLastStyle), SiteAccess::Read,
+                LastStyle, {Ui});
+  const VarId Overflow = M.declareVar("render.overflow-mark");
+  M.declareSite(P(FnReflowBox, SiteOverflowWrite), SiteAccess::Write,
+                Overflow, {Layout});
+  M.declareSite(P(FnUiProgress, SiteUiOverflow), SiteAccess::Read, Overflow,
+                {Ui});
+  const VarId FirstPaint = M.declareVar("render.first-paint");
+  M.declareSite(P(FnReflowBox, SiteFirstPaintWrite), SiteAccess::Write,
+                FirstPaint, {Layout});
+  const VarId FinishStamp = M.declareVar("render.finish-stamp");
+  M.declareSite(P(FnWorkerFinish, SiteFinishStampWrite), SiteAccess::Write,
+                FinishStamp, {Layout});
 }
 
 void BrowserWorkload::uiMain(ThreadContext &TC, SharedState &S) {

@@ -115,6 +115,7 @@ private:
                   uint32_t Begin, uint32_t End);
   void runStart(Runtime &RT, SharedState &S, const WorkloadParams &P);
   void runRender(Runtime &RT, SharedState &S, const WorkloadParams &P);
+  void declareModel(AccessModel &M);
 
   Input In;
   bool Bound = false;

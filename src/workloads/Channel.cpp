@@ -76,7 +76,128 @@ void ChannelWorkload::bind(Runtime &RT) {
   FnDrain = Reg.registerFunction("pipeline.drain");
   if (WithStdLib)
     StdLib.bind(RT);
+  declareModel(RT.accessModel());
   Bound = true;
+}
+
+void ChannelWorkload::declareModel(AccessModel &M) {
+  auto P = [](FunctionId F, uint32_t Site) { return makePc(F, Site); };
+  const RoleId Main = M.declareRole("main", 1);
+  const RoleId Producer = M.declareRole("producer", 3);
+  const RoleId Consumer = M.declareRole("consumer", 2);
+  const RoleId Reporter = M.declareRole("reporter", 1);
+  const RoleId Drainer = M.declareRole("drainer", 1);
+  const LockId QueueLock = M.declareLock("chan.queue-lock");
+  const LockId StatsLock = M.declareLock("chan.stats-lock");
+  constexpr auto Rd = SiteAccess::Read;
+  constexpr auto Wr = SiteAccess::Write;
+
+  // Queue cursors: every site runs inside the queue lock, so the lockset
+  // analysis elides them. Push runs on producers plus the main thread
+  // (sentinels); pop on consumers plus the drainer.
+  const VarId Tail = M.declareVar("chan.tail");
+  M.declareSite(P(FnPush, SiteTailRead), Rd, Tail, {Producer, Main},
+                {QueueLock});
+  M.declareSite(P(FnPush, SiteTailWrite), Wr, Tail, {Producer, Main},
+                {QueueLock});
+  const VarId Head = M.declareVar("chan.head");
+  M.declareSite(P(FnPop, SiteHeadRead), Rd, Head, {Consumer, Drainer},
+                {QueueLock});
+  M.declareSite(P(FnPop, SiteHeadWrite), Wr, Head, {Consumer, Drainer},
+                {QueueLock});
+
+  // The ring itself would be lock-consistent too, but the setup loop
+  // clears the slots before the lock discipline starts, so the analysis
+  // must keep all three sites.
+  const VarId Ring = M.declareVar("chan.ring");
+  M.declareSite(P(FnPush, SiteRingWrite), Wr, Ring, {Producer, Main},
+                {QueueLock});
+  M.declareSite(P(FnPop, SiteRingRead), Rd, Ring, {Consumer, Drainer},
+                {QueueLock});
+  M.declareSite(P(FnSetup, SiteSetupInit), Wr, Ring, {Main});
+
+  // Validated-item aggregate: consistently guarded inside consume, but the
+  // teardown check reads it bare (ordered by the joins — a fork/join fact
+  // none of the three analyses can express), so it stays logged.
+  const VarId Validated = M.declareVar("chan.validated-items");
+  M.declareSite(P(FnConsume, SiteValidRead), Rd, Validated, {Consumer},
+                {StatsLock});
+  M.declareSite(P(FnConsume, SiteValidWrite), Wr, Validated, {Consumer},
+                {StatsLock});
+  M.declareSite(P(FnTeardown, SiteFinalTotalCheck), Rd, Validated, {Main});
+
+  // Record fields cross the producer/consumer boundary through the
+  // channel; the handoff ordering is real but not lock-shaped, so they
+  // stay logged (conservative).
+  const VarId RecFields = M.declareVar("chan.record-fields");
+  M.declareSite(P(FnProduce, SiteRecSeqWrite), Wr, RecFields, {Producer});
+  M.declareSite(P(FnProduce, SiteRecChecksumWrite), Wr, RecFields,
+                {Producer});
+  M.declareSite(P(FnProduce, SiteRecOversizeWrite), Wr, RecFields,
+                {Producer});
+  M.declareSite(P(FnConsume, SiteRecSeqRead), Rd, RecFields, {Consumer});
+  M.declareSite(P(FnConsume, SiteRecChecksumRead), Rd, RecFields,
+                {Consumer});
+  M.declareSite(P(FnConsume, SiteRecOversizeRead), Rd, RecFields,
+                {Consumer});
+
+  // Payload folds: in the plain configuration no instrumented site ever
+  // writes the payload bytes (the stdlib's fill runs uninstrumented), so
+  // the read-only analysis elides the hot fold loops. With the stdlib
+  // instrumented its fill sites DO write these addresses under the
+  // stdlib's own caller-buffer variable, and declaring the folds
+  // read-only here would alias that variable unsoundly — so they stay
+  // undeclared (and logged) in that configuration.
+  if (!WithStdLib) {
+    const VarId Payload = M.declareVar("chan.record-payload");
+    M.declareSite(P(FnProduce, SitePayloadFold), Rd, Payload, {Producer});
+    M.declareSite(P(FnConsume, SiteConsumeFold), Rd, Payload, {Consumer});
+  }
+
+  // Seeded racy diagnostics: declared honestly so the analysis proves
+  // nothing about them and every site keeps logging.
+  const VarId Tuning = M.declareVar("chan.tuning-hint");
+  M.declareSite(P(FnTune, SiteTuneWrite), Wr, Tuning, {Main});
+  M.declareSite(P(FnProduce, SiteTuningRead), Rd, Tuning, {Producer});
+
+  const VarId FinalTotal = M.declareVar("chan.final-total");
+  M.declareSite(P(FnFinishProducer, SiteFinalTotalWrite), Wr, FinalTotal,
+                {Producer});
+  M.declareSite(P(FnTeardown, SiteFinalTotalCheck), Rd, FinalTotal, {Main});
+
+  const VarId Heartbeat = M.declareVar("chan.reporter-heartbeat");
+  M.declareSite(P(FnPoll, SiteHeartbeatWrite), Wr, Heartbeat, {Reporter});
+  M.declareSite(P(FnDrain, SiteHeartbeatRead), Rd, Heartbeat, {Drainer});
+
+  const VarId Oversize = M.declareVar("chan.oversize-seq");
+  M.declareSite(P(FnPush, SiteOversizeWrite), Wr, Oversize,
+                {Producer, Main});
+  M.declareSite(P(FnPoll, SiteOversizeRead), Rd, Oversize, {Reporter});
+
+  const VarId Stop = M.declareVar("chan.stop-flag");
+  M.declareSite(P(FnTeardown, SiteStopWrite), Wr, Stop, {Main});
+  M.declareSite(P(FnPoll, SiteStopRead), Rd, Stop, {Reporter});
+  M.declareSite(P(FnSetup, SiteSetupInit), Wr, Stop, {Main});
+
+  const VarId PushCounts = M.declareVar("chan.push-counts");
+  M.declareSite(P(FnPush, SitePushCountRead), Rd, PushCounts,
+                {Producer, Main});
+  M.declareSite(P(FnPush, SitePushCountWrite), Wr, PushCounts,
+                {Producer, Main});
+  M.declareSite(P(FnPoll, SitePollPushCount), Rd, PushCounts, {Reporter});
+
+  const VarId PopCounts = M.declareVar("chan.pop-counts");
+  M.declareSite(P(FnPop, SitePopCountRead), Rd, PopCounts,
+                {Consumer, Drainer});
+  M.declareSite(P(FnPop, SitePopCountWrite), Wr, PopCounts,
+                {Consumer, Drainer});
+  M.declareSite(P(FnPoll, SitePollPopCount), Rd, PopCounts, {Reporter});
+
+  const VarId LastSize = M.declareVar("chan.last-push-size");
+  M.declareSite(P(FnPush, SiteLastSizeWrite), Wr, LastSize,
+                {Producer, Main});
+  M.declareSite(P(FnPoll, SitePollLastSize), Rd, LastSize, {Reporter});
+  M.declareSite(P(FnSetup, SiteSetupInit), Wr, LastSize, {Main});
 }
 
 void ChannelWorkload::chanPush(ThreadContext &TC, SharedState &S,

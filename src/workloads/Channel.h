@@ -112,6 +112,10 @@ private:
   void reporterMain(ThreadContext &TC, SharedState &S);
   void drainerMain(ThreadContext &TC, SharedState &S);
 
+  /// Declares the access model of the channel's sites (variables, roles,
+  /// lock scopes) for the pre-execution analysis.
+  void declareModel(AccessModel &M);
+
   bool WithStdLib;
   InstrumentedStdLib StdLib;
   bool Bound = false;

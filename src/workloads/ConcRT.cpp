@@ -88,7 +88,103 @@ void ConcRTWorkload::bind(Runtime &RT) {
   FnBeginPhase = Reg.registerFunction("worker.beginPhase");
   FnSpotCheck = Reg.registerFunction("sched.spotCheck");
   FnStop = Reg.registerFunction("sched.stop");
+  declareModel(RT.accessModel());
   Bound = true;
+}
+
+void ConcRTWorkload::declareModel(AccessModel &M) {
+  auto P = [](FunctionId F, uint32_t Site) { return makePc(F, Site); };
+  const RoleId Main = M.declareRole("main", 1);
+  const RoleId Agent = M.declareRole("agent", 4);
+  const RoleId Worker = M.declareRole("worker", 3);
+  const RoleId Monitor = M.declareRole("monitor", 1);
+  const LockId BoxLock = M.declareLock("rt.mailbox-lock");
+  const LockId QueueLock = M.declareLock("rt.taskqueue-lock");
+  constexpr auto Rd = SiteAccess::Read;
+  constexpr auto Wr = SiteAccess::Write;
+
+  // Mailbox and task-queue rings/cursors: a mailbox's cells are only ever
+  // touched under that mailbox's lock (same for the per-worker queues), so
+  // the lockset analysis elides the agent messaging and scheduling hot
+  // paths. The mixed load/store sites are declared as writes (the stronger
+  // direction).
+  const VarId Mailboxes = M.declareVar("rt.mailboxes");
+  M.declareSite(P(FnSend, SiteMailboxStore), Wr, Mailboxes, {Agent},
+                {BoxLock});
+  M.declareSite(P(FnReceive, SiteMailboxLoad), Wr, Mailboxes, {Agent},
+                {BoxLock});
+  const VarId Queues = M.declareVar("rt.taskqueues");
+  M.declareSite(P(FnEnqueue, SiteSlotStore), Wr, Queues, {Main},
+                {QueueLock});
+  M.declareSite(P(FnDequeue, SiteSlotLoad), Wr, Queues, {Worker},
+                {QueueLock});
+
+  // Task input: written raw before any worker forks, never by an
+  // instrumented site — the read-only analysis elides the execute loop's
+  // 32 loads per task.
+  const VarId Input = M.declareVar("rt.readonly-input");
+  M.declareSite(P(FnExecute, SiteTaskPayload), Rd, Input, {Worker});
+
+  // Result cells are phase-ordered in reality, but the mid-run spot check
+  // races with the owning worker's write (seeded concrt-spot-check), so
+  // both sites stay logged.
+  const VarId Results = M.declareVar("rt.results");
+  M.declareSite(P(FnExecute, SiteResultWrite), Wr, Results, {Worker});
+  M.declareSite(P(FnSpotCheck, SiteSpotCheckRead), Rd, Results, {Main});
+
+  // Seeded racy diagnostics: declared honestly, all stay logged.
+  const VarId Stop = M.declareVar("concrt.stop-flag");
+  M.declareSite(P(FnStop, SiteMonStopWrite), Wr, Stop, {Main});
+  M.declareSite(P(FnMonitor, SiteMonStopRead), Rd, Stop, {Monitor});
+
+  const VarId StartStamp = M.declareVar("concrt.start-stamp");
+  M.declareSite(P(FnAgentStart, SiteStartStampWrite), Wr, StartStamp,
+                {Agent, Worker});
+  const VarId FinalSeq = M.declareVar("concrt.final-seq");
+  M.declareSite(P(FnAgentFinish, SiteFinalSeqWrite), Wr, FinalSeq,
+                {Agent, Worker});
+
+  const VarId InFlight = M.declareVar("concrt.in-flight");
+  M.declareSite(P(FnSend, SiteInFlightRead), Rd, InFlight, {Agent});
+  M.declareSite(P(FnSend, SiteInFlightWrite), Wr, InFlight, {Agent});
+  M.declareSite(P(FnMonitor, SiteMonInFlight), Rd, InFlight, {Monitor});
+
+  const VarId LastAgent = M.declareVar("concrt.last-agent");
+  M.declareSite(P(FnReceive, SiteLastAgentWrite), Wr, LastAgent, {Agent});
+  M.declareSite(P(FnMonitor, SiteMonLastAgent), Rd, LastAgent, {Monitor});
+
+  const VarId Congestion = M.declareVar("concrt.congestion");
+  M.declareSite(P(FnSend, SiteCongestionWrite), Wr, Congestion, {Agent});
+  M.declareSite(P(FnMonitor, SiteMonCongestion), Rd, Congestion,
+                {Monitor});
+
+  const VarId Depth = M.declareVar("concrt.depth-estimate");
+  M.declareSite(P(FnEnqueue, SiteDepthWrite), Wr, Depth, {Main});
+  M.declareSite(P(FnMonitor, SiteMonDepth), Rd, Depth, {Monitor});
+
+  const VarId Retired = M.declareVar("concrt.tasks-retired");
+  M.declareSite(P(FnExecute, SiteRetiredRead), Rd, Retired, {Worker});
+  M.declareSite(P(FnExecute, SiteRetiredWrite), Wr, Retired, {Worker});
+  M.declareSite(P(FnMonitor, SiteMonRetired), Rd, Retired, {Monitor});
+
+  const VarId Phase = M.declareVar("concrt.phase-label");
+  M.declareSite(P(FnOpenPhase, SitePhaseLabelWrite), Wr, Phase, {Main});
+  M.declareSite(P(FnBeginPhase, SitePhaseLabelRead), Rd, Phase, {Worker});
+
+  const VarId TunFlag = M.declareVar("concrt.tunables-flag");
+  M.declareSite(P(FnBeginPhase, SiteTunablesReadyRead), Rd, TunFlag,
+                {Worker});
+  M.declareSite(P(FnBeginPhase, SiteTunablesReadyWrite), Wr, TunFlag,
+                {Worker});
+  const VarId TunTable = M.declareVar("concrt.tunables-table");
+  M.declareSite(P(FnBeginPhase, SiteTunablesTableWrite), Wr, TunTable,
+                {Worker});
+  M.declareSite(P(FnBeginPhase, SiteTunablesProbeRead), Rd, TunTable,
+                {Worker});
+
+  const VarId Steal = M.declareVar("concrt.steal-hint");
+  M.declareSite(P(FnDequeue, SiteStealHintWrite), Wr, Steal, {Worker});
+  M.declareSite(P(FnMonitor, SiteStealHintRead), Rd, Steal, {Monitor});
 }
 
 void ConcRTWorkload::monitorMain(ThreadContext &TC, SharedState &S) {

@@ -102,6 +102,7 @@ private:
   void monitorMain(ThreadContext &TC, SharedState &S);
   void runMessaging(Runtime &RT, SharedState &S, const WorkloadParams &P);
   void runExplicit(Runtime &RT, SharedState &S, const WorkloadParams &P);
+  void declareModel(AccessModel &M);
 
   Input In;
   bool Bound = false;

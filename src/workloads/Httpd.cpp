@@ -88,7 +88,129 @@ void HttpdWorkload::bind(Runtime &RT) {
   FnMonitor = Reg.registerFunction("srv.monitor");
   FnScrub = Reg.registerFunction("srv.scrub");
   FnStop = Reg.registerFunction("srv.stop");
+  declareModel(RT.accessModel());
   Bound = true;
+}
+
+void HttpdWorkload::declareModel(AccessModel &M) {
+  auto P = [&](FunctionId F, uint32_t Site) { return makePc(F, Site); };
+  const RoleId Main = M.declareRole("main", 1);
+  const RoleId Worker = M.declareRole("worker", SharedState::NumWorkers);
+  const RoleId Monitor = M.declareRole("monitor", 1);
+  const RoleId Scrubber = M.declareRole("scrubber", 1);
+  const LockId QueueLock = M.declareLock("httpd.queue-lock");
+  // The cache entry's stripe is a pure function of the entry index, so one
+  // abstract lock soundly models the whole CacheLocks array.
+  const LockId CacheLock = M.declareLock("httpd.cache-stripe-lock");
+
+  // Document store: filled by main before any fork (untraced), only ever
+  // loaded afterwards. Read-only elision covers the hottest sites in the
+  // server (a page load per response byte, an env load per CGI byte).
+  const VarId Page = M.declareVar("httpd.page");
+  M.declareSite(P(FnParse, SiteReqFieldRead), SiteAccess::Read, Page,
+                {Worker});
+  M.declareSite(P(FnServeStatic, SitePageLoad), SiteAccess::Read, Page,
+                {Worker});
+  const VarId CgiEnv = M.declareVar("httpd.cgi-env");
+  M.declareSite(P(FnServeCgi, SiteCgiEnvLoad), SiteAccess::Read, CgiEnv,
+                {Worker});
+
+  // Per-request heap/stack buffers: each lives and dies inside one
+  // worker's serve call, so the addresses never escape their thread.
+  const VarId Response = M.declareVar("httpd.response", VarScope::PerThread);
+  M.declareSite(P(FnServeStatic, SiteResponseStore), SiteAccess::Write,
+                Response, {Worker});
+  const VarId CgiScratch =
+      M.declareVar("httpd.cgi-scratch", VarScope::PerThread);
+  M.declareSite(P(FnServeCgi, SiteCgiScratch), SiteAccess::Write, CgiScratch,
+                {Worker});
+  const VarId LogLine = M.declareVar("httpd.log-line", VarScope::PerThread);
+  M.declareSite(P(FnLogAccess, SiteLogBufWrite), SiteAccess::Write, LogLine,
+                {Worker});
+
+  // Request queue: every access holds QueueLock. Both sites mix loads and
+  // stores, so both are declared as writes (the stronger access).
+  const VarId Queue = M.declareVar("httpd.queue");
+  M.declareSite(P(FnEnqueue, SiteQueueStore), SiteAccess::Write, Queue,
+                {Main}, {QueueLock});
+  M.declareSite(P(FnDequeue, SiteQueueLoad), SiteAccess::Write, Queue,
+                {Worker}, {QueueLock});
+
+  // Response cache: probe/update and scrub all hold the entry's stripe.
+  const VarId Cache = M.declareVar("httpd.cache");
+  M.declareSite(P(FnServeStatic, SiteCacheKeyRead), SiteAccess::Read, Cache,
+                {Worker}, {CacheLock});
+  M.declareSite(P(FnServeStatic, SiteCacheKeyWrite), SiteAccess::Write,
+                Cache, {Worker}, {CacheLock});
+  M.declareSite(P(FnServeStatic, SiteCacheDigestWrite), SiteAccess::Write,
+                Cache, {Worker}, {CacheLock});
+  M.declareSite(P(FnScrub, SiteScrubCacheRead), SiteAccess::Read, Cache,
+                {Scrubber}, {CacheLock});
+
+  // ---- Seeded racy diagnostics: declared honestly (shared, written, no
+  // common lock) so every analysis rejects them and logging is kept. ----
+  const VarId MimeFlag = M.declareVar("httpd.mime-flag");
+  M.declareSite(P(FnParse, SiteMimeReadyRead), SiteAccess::Read, MimeFlag,
+                {Worker});
+  M.declareSite(P(FnParse, SiteMimeReadyWrite), SiteAccess::Write, MimeFlag,
+                {Worker});
+  const VarId MimeTable = M.declareVar("httpd.mime-table");
+  M.declareSite(P(FnParse, SiteMimeTableWrite), SiteAccess::Write, MimeTable,
+                {Worker});
+  M.declareSite(P(FnParse, SiteMimeProbeRead), SiteAccess::Read, MimeTable,
+                {Worker});
+  const VarId TzFlag = M.declareVar("httpd.tz-flag");
+  M.declareSite(P(FnLogAccess, SiteTzReadyRead), SiteAccess::Read, TzFlag,
+                {Worker});
+  M.declareSite(P(FnLogAccess, SiteTzReadyWrite), SiteAccess::Write, TzFlag,
+                {Worker});
+  const VarId TzTable = M.declareVar("httpd.tz-table");
+  M.declareSite(P(FnLogAccess, SiteTzTableWrite), SiteAccess::Write, TzTable,
+                {Worker});
+  M.declareSite(P(FnLogAccess, SiteTzProbeRead), SiteAccess::Read, TzTable,
+                {Worker});
+  const VarId StartOrder = M.declareVar("httpd.start-order");
+  M.declareSite(P(FnWorkerStart, SiteStartOrderWrite), SiteAccess::Write,
+                StartOrder, {Worker});
+  const VarId FinalCount = M.declareVar("httpd.final-count");
+  M.declareSite(P(FnWorkerFinish, SiteFinalCountWrite), SiteAccess::Write,
+                FinalCount, {Worker});
+  const VarId Generation = M.declareVar("httpd.cache-generation");
+  M.declareSite(P(FnServeStatic, SiteGenerationWrite), SiteAccess::Write,
+                Generation, {Worker});
+  M.declareSite(P(FnScrub, SiteScrubGenerationRead), SiteAccess::Read,
+                Generation, {Scrubber});
+  M.declareSite(P(FnMonitor, SiteMonGeneration), SiteAccess::Read,
+                Generation, {Monitor});
+  const VarId ErrorCode = M.declareVar("httpd.error-code");
+  M.declareSite(P(FnParse, SiteErrorCodeWrite), SiteAccess::Write, ErrorCode,
+                {Worker});
+  M.declareSite(P(FnMonitor, SiteMonErrorCode), SiteAccess::Read, ErrorCode,
+                {Monitor});
+  const VarId StopFlag = M.declareVar("httpd.stop-flag");
+  M.declareSite(P(FnStop, SiteStopWrite), SiteAccess::Write, StopFlag,
+                {Main});
+  M.declareSite(P(FnMonitor, SiteMonStop), SiteAccess::Read, StopFlag,
+                {Monitor});
+  const VarId Served = M.declareVar("httpd.served");
+  M.declareSite(P(FnServeStatic, SiteServedRead), SiteAccess::Read, Served,
+                {Worker});
+  M.declareSite(P(FnServeStatic, SiteServedWrite), SiteAccess::Write, Served,
+                {Worker});
+  M.declareSite(P(FnMonitor, SiteMonServed), SiteAccess::Read, Served,
+                {Monitor});
+  const VarId Bytes = M.declareVar("httpd.bytes");
+  M.declareSite(P(FnServeStatic, SiteBytesRead), SiteAccess::Read, Bytes,
+                {Worker});
+  M.declareSite(P(FnServeStatic, SiteBytesWrite), SiteAccess::Write, Bytes,
+                {Worker});
+  M.declareSite(P(FnMonitor, SiteMonBytes), SiteAccess::Read, Bytes,
+                {Monitor});
+  const VarId LastUrl = M.declareVar("httpd.last-url");
+  M.declareSite(P(FnServeStatic, SiteLastUrlWrite), SiteAccess::Write,
+                LastUrl, {Worker});
+  M.declareSite(P(FnMonitor, SiteMonLastUrl), SiteAccess::Read, LastUrl,
+                {Monitor});
 }
 
 void HttpdWorkload::workerMain(ThreadContext &TC, SharedState &S) {

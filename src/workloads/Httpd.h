@@ -100,6 +100,7 @@ private:
   void workerMain(ThreadContext &TC, SharedState &S);
   void monitorMain(ThreadContext &TC, SharedState &S);
   void scrubberMain(ThreadContext &TC, SharedState &S);
+  void declareModel(AccessModel &M);
 
   Input In;
   bool Bound = false;

@@ -57,6 +57,29 @@ void LFListWorkload::bind(Runtime &RT) {
   FnInsert = RT.registry().registerFunction("lfl.insert");
   FnRemove = RT.registry().registerFunction("lfl.remove");
   FnContains = RT.registry().registerFunction("lfl.contains");
+
+  // Access model: node keys and payloads ARE race-free in the program,
+  // but only via publication ordering through the CAS chains — a fact
+  // none of the three static analyses (escape, read-only, lockset) can
+  // express. Declared honestly (shared, written, lock-free), so the
+  // analysis keeps every site logged: zero elision, conservatively
+  // correct.
+  AccessModel &M = RT.accessModel();
+  const RoleId Worker = M.declareRole("lfl-worker", 3);
+  const VarId Keys = M.declareVar("lfl.node-keys");
+  M.declareSite(makePc(FnInsert, SiteKeyRead), SiteAccess::Read, Keys,
+                {Worker});
+  M.declareSite(makePc(FnRemove, SiteKeyRead), SiteAccess::Read, Keys,
+                {Worker});
+  M.declareSite(makePc(FnContains, SiteKeyRead), SiteAccess::Read, Keys,
+                {Worker});
+  M.declareSite(makePc(FnInsert, SiteKeyWrite), SiteAccess::Write, Keys,
+                {Worker});
+  const VarId Payloads = M.declareVar("lfl.node-payloads");
+  M.declareSite(makePc(FnInsert, SitePayloadWrite), SiteAccess::Write,
+                Payloads, {Worker});
+  M.declareSite(makePc(FnContains, SitePayloadRead), SiteAccess::Read,
+                Payloads, {Worker});
   Bound = true;
 }
 

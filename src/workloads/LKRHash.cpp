@@ -32,6 +32,27 @@ void LKRHashWorkload::bind(Runtime &RT) {
   assert(!Bound && "workload bound twice");
   FnInsert = RT.registry().registerFunction("lkr.insert");
   FnLookup = RT.registry().registerFunction("lkr.lookup");
+
+  // Access model: a slot's stripe is a pure function of its index (probes
+  // step by NumStripes), so every access to Keys/Vals holds that slot's
+  // stripe mutex — the lockset analysis elides the whole table. The
+  // atomic counters go through src/sync and are never tracer-logged, so
+  // nothing else needs declaring.
+  AccessModel &M = RT.accessModel();
+  const RoleId Worker = M.declareRole("lkr-worker", 3);
+  const LockId Stripe = M.declareLock("lkr.stripe-lock");
+  const VarId Keys = M.declareVar("lkr.keys");
+  M.declareSite(makePc(FnInsert, SiteProbeKey), SiteAccess::Read, Keys,
+                {Worker}, {Stripe});
+  M.declareSite(makePc(FnInsert, SiteSlotKeyWrite), SiteAccess::Write, Keys,
+                {Worker}, {Stripe});
+  M.declareSite(makePc(FnLookup, SiteProbeKey), SiteAccess::Read, Keys,
+                {Worker}, {Stripe});
+  const VarId Vals = M.declareVar("lkr.vals");
+  M.declareSite(makePc(FnInsert, SiteSlotValWrite), SiteAccess::Write, Vals,
+                {Worker}, {Stripe});
+  M.declareSite(makePc(FnLookup, SiteSlotValRead), SiteAccess::Read, Vals,
+                {Worker}, {Stripe});
   Bound = true;
 }
 

@@ -41,6 +41,28 @@ void SciComputeWorkload::bind(Runtime &RT) {
   assert(!Bound && "workload bound twice");
   FnSweep = RT.registry().registerFunction("sci.sweep");
   FnCheck = RT.registry().registerFunction("sci.checkConverged");
+
+  // Access model: the grid is MOSTLY band-private, but the halo exchange
+  // deliberately races through the same sites (sci-halo lists
+  // SiteGridLoad/SiteGridStore in its manifest), so the whole grid must
+  // stay logged — shared, written, lock-free. Zero elision by design;
+  // this workload is the audit's canary for over-eager models.
+  AccessModel &M = RT.accessModel();
+  const RoleId Worker = M.declareRole("sci-worker", 3);
+  const VarId Grid = M.declareVar("sci.grid");
+  M.declareSite(makePc(FnSweep, SiteGridLoad), SiteAccess::Read, Grid,
+                {Worker});
+  M.declareSite(makePc(FnSweep, SiteGridStore), SiteAccess::Write, Grid,
+                {Worker});
+  M.declareSite(makePc(FnSweep, SiteHaloRead), SiteAccess::Read, Grid,
+                {Worker});
+  M.declareSite(makePc(FnSweep, SiteHaloWrite), SiteAccess::Write, Grid,
+                {Worker});
+  const VarId Converged = M.declareVar("sci.converged");
+  M.declareSite(makePc(FnCheck, SiteConvergedRead), SiteAccess::Read,
+                Converged, {Worker});
+  M.declareSite(makePc(FnCheck, SiteConvergedWrite), SiteAccess::Write,
+                Converged, {Worker});
   Bound = true;
 }
 

@@ -32,6 +32,85 @@ void InstrumentedStdLib::bind(Runtime &RT) {
   FnFill = RT.registry().registerFunction("stdlib.fill");
   FnPollStats = RT.registry().registerFunction("stdlib.pollStats");
   FnFlushSession = RT.registry().registerFunction("stdlib.flushSession");
+
+  // Access model for the pre-execution analysis. Everything here is
+  // intentionally racy except the caller-provided format buffer (always a
+  // stack buffer in our workloads, hence per-thread) — fill/checksum
+  // caller buffers DO cross threads (channel records), so they stay
+  // logged.
+  AccessModel &M = RT.accessModel();
+  auto P = [&](FunctionId F, uint32_t Site) { return makePc(F, Site); };
+  const RoleId Worker = M.declareRole("stdlib-worker", 6);
+  const RoleId Poller = M.declareRole("stdlib-poller", 1);
+  constexpr auto Rd = SiteAccess::Read;
+  constexpr auto Wr = SiteAccess::Write;
+
+  const VarId FormatBuf =
+      M.declareVar("stdlib.format-buffer", VarScope::PerThread);
+  M.declareSite(P(FnFormatUint, SiteFormatBufWrite), Wr, FormatBuf,
+                {Worker});
+
+  const VarId CallerBuf = M.declareVar("stdlib.caller-buffer");
+  M.declareSite(P(FnFill, SiteFillStore), Wr, CallerBuf, {Worker});
+  M.declareSite(P(FnChecksum, SiteDataLoad), Rd, CallerBuf, {Worker});
+
+  const VarId ApiVer = M.declareVar("stdlib.api-version");
+  M.declareSite(P(FnChecksum, SiteApiVersionRead), Rd, ApiVer, {Worker});
+  M.declareSite(P(FnChecksum, SiteApiVersionWrite), Wr, ApiVer, {Worker});
+
+  const VarId SeedFlag = M.declareVar("stdlib.seed-flag");
+  M.declareSite(P(FnChecksum, SiteSeedReadyRead), Rd, SeedFlag, {Worker});
+  M.declareSite(P(FnChecksum, SiteSeedReadyWrite), Wr, SeedFlag, {Worker});
+  const VarId SeedTab = M.declareVar("stdlib.seed-table");
+  M.declareSite(P(FnChecksum, SiteSeedTableWrite), Wr, SeedTab, {Worker});
+  M.declareSite(P(FnChecksum, SiteSeedProbeRead), Rd, SeedTab, {Worker});
+
+  const VarId DigitFlag = M.declareVar("stdlib.digit-flag");
+  M.declareSite(P(FnFormatUint, SiteDigitReadyRead), Rd, DigitFlag,
+                {Worker});
+  M.declareSite(P(FnFormatUint, SiteDigitReadyWrite), Wr, DigitFlag,
+                {Worker});
+  const VarId DigitTab = M.declareVar("stdlib.digit-table");
+  M.declareSite(P(FnFormatUint, SiteDigitTableWrite), Wr, DigitTab,
+                {Worker});
+  M.declareSite(P(FnFormatUint, SiteDigitProbeRead), Rd, DigitTab,
+                {Worker});
+
+  const VarId PatternFlag = M.declareVar("stdlib.pattern-flag");
+  M.declareSite(P(FnFill, SitePatternReadyRead), Rd, PatternFlag, {Worker});
+  M.declareSite(P(FnFill, SitePatternReadyWrite), Wr, PatternFlag,
+                {Worker});
+  const VarId PatternTab = M.declareVar("stdlib.pattern-table");
+  M.declareSite(P(FnFill, SitePatternTableWrite), Wr, PatternTab, {Worker});
+  M.declareSite(P(FnFill, SitePatternProbeRead), Rd, PatternTab, {Worker});
+
+  const VarId MaxFmt = M.declareVar("stdlib.max-formatted");
+  M.declareSite(P(FnFormatUint, SiteMaxFormattedRead), Rd, MaxFmt,
+                {Worker});
+  M.declareSite(P(FnFormatUint, SiteMaxFormattedWrite), Wr, MaxFmt,
+                {Worker});
+  M.declareSite(P(FnPollStats, SitePollMaxFormatted), Rd, MaxFmt, {Poller});
+
+  const VarId LastSum = M.declareVar("stdlib.last-checksum");
+  M.declareSite(P(FnChecksum, SiteLastChecksumWrite), Wr, LastSum,
+                {Worker});
+  M.declareSite(P(FnPollStats, SitePollLastChecksum), Rd, LastSum,
+                {Poller});
+
+  const VarId Calls = M.declareVar("stdlib.checksum-calls");
+  M.declareSite(P(FnChecksum, SiteSeedLocalUse), Rd, Calls, {Worker});
+  M.declareSite(P(FnChecksum, SiteChecksumCallsWrite), Wr, Calls, {Worker});
+  M.declareSite(P(FnPollStats, SitePollChecksumCalls), Rd, Calls, {Poller});
+
+  const VarId LastFill = M.declareVar("stdlib.last-fill-byte");
+  M.declareSite(P(FnFill, SiteLastFillByteWrite), Wr, LastFill, {Worker});
+  M.declareSite(P(FnPollStats, SitePollLastFillByte), Rd, LastFill,
+                {Poller});
+
+  const VarId FlushMarkVar = M.declareVar("stdlib.flush-mark");
+  M.declareSite(P(FnFlushSession, SiteFlushMarkWrite), Wr, FlushMarkVar,
+                {Worker});
+
   Bound = true;
 }
 

@@ -92,8 +92,9 @@ public:
     SiteApiVersionWrite = 91,
   };
 
-  /// Registers the library's functions with \p RT. Without this call the
-  /// library runs uninstrumented (the plain "Dryad Channel" variant).
+  /// Registers the library's functions with \p RT and declares their
+  /// access model. Without this call the library runs uninstrumented (the
+  /// plain "Dryad Channel" variant).
   void bind(Runtime &RT);
 
   bool isBound() const { return Bound; }

@@ -1,0 +1,338 @@
+//===-- tests/AnalysisTest.cpp - Static-analysis pass ------------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Covers the pre-execution static analysis (src/analysis): each of the
+// three analyses on synthetic access models, the conservative elision
+// rules, golden SitePolicy snapshots for every bundled workload, the
+// runtime integration (tracer skips elided sites, --no-elide escape
+// hatch, PolicyMeta log stamp), and the soundness audit — detection
+// recall on seeded races is identical with and without elision at 100%
+// sampling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticAnalysis.h"
+#include "detector/HBDetector.h"
+#include "harness/ElisionExperiment.h"
+#include "runtime/Runtime.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace literace;
+
+namespace {
+
+constexpr Pc P(uint32_t Fn, uint32_t Site) { return makePc(Fn, Site); }
+
+TEST(StaticAnalysisTest, PerThreadScopeIsThreadLocal) {
+  AccessModel M;
+  const RoleId Worker = M.declareRole("worker", 4);
+  const VarId Scratch = M.declareVar("scratch", VarScope::PerThread);
+  M.declareSite(P(1, 1), SiteAccess::Write, Scratch, {Worker});
+  M.declareSite(P(1, 2), SiteAccess::Read, Scratch, {Worker});
+
+  AnalysisResult R = analyzeAccessModel(M);
+  EXPECT_EQ(R.Vars[Scratch].Kind, VarVerdictKind::ThreadLocal);
+  EXPECT_EQ(R.ElidableSites, 2u);
+  EXPECT_TRUE(R.Policy.elidable(P(1, 1)));
+  EXPECT_TRUE(R.Policy.elidable(P(1, 2)));
+}
+
+TEST(StaticAnalysisTest, SingleInstanceRoleIsThreadLocal) {
+  AccessModel M;
+  const RoleId Main = M.declareRole("main", 1);
+  const RoleId Workers = M.declareRole("workers", 3);
+  const VarId Private = M.declareVar("main-only");
+  M.declareSite(P(1, 1), SiteAccess::Write, Private, {Main});
+  const VarId Shared = M.declareVar("worker-shared");
+  M.declareSite(P(1, 2), SiteAccess::Write, Shared, {Workers});
+
+  AnalysisResult R = analyzeAccessModel(M);
+  // One thread can never race with itself...
+  EXPECT_EQ(R.Vars[Private].Kind, VarVerdictKind::ThreadLocal);
+  EXPECT_TRUE(R.Policy.elidable(P(1, 1)));
+  // ...but a role with three instances escapes.
+  EXPECT_EQ(R.Vars[Shared].Kind, VarVerdictKind::Racy);
+  EXPECT_FALSE(R.Policy.elidable(P(1, 2)));
+}
+
+TEST(StaticAnalysisTest, ReadOnlyNeedsNoWriteSiteAnywhere) {
+  AccessModel M;
+  const RoleId Workers = M.declareRole("workers", 3);
+  const VarId Table = M.declareVar("table");
+  M.declareSite(P(1, 1), SiteAccess::Read, Table, {Workers});
+  M.declareSite(P(2, 1), SiteAccess::Read, Table, {Workers});
+
+  AnalysisResult R = analyzeAccessModel(M);
+  EXPECT_EQ(R.Vars[Table].Kind, VarVerdictKind::ReadOnly);
+  EXPECT_EQ(R.ElidableSites, 2u);
+
+  // One write declaration anywhere forfeits the proof.
+  AccessModel M2;
+  const RoleId W2 = M2.declareRole("workers", 3);
+  const VarId T2 = M2.declareVar("table");
+  M2.declareSite(P(1, 1), SiteAccess::Read, T2, {W2});
+  M2.declareSite(P(2, 1), SiteAccess::Write, T2, {W2});
+  AnalysisResult R2 = analyzeAccessModel(M2);
+  EXPECT_EQ(R2.Vars[T2].Kind, VarVerdictKind::Racy);
+  EXPECT_EQ(R2.ElidableSites, 0u);
+}
+
+TEST(StaticAnalysisTest, LocksetIntersectsHeldSetsAcrossSites) {
+  AccessModel M;
+  const RoleId Workers = M.declareRole("workers", 4);
+  const LockId A = M.declareLock("a");
+  const LockId B = M.declareLock("b");
+  const VarId Counter = M.declareVar("counter");
+  // Sites hold {A,B} and {B}: intersection {B} is non-empty → consistent.
+  M.declareSite(P(1, 1), SiteAccess::Write, Counter, {Workers}, {A, B});
+  M.declareSite(P(1, 2), SiteAccess::Read, Counter, {Workers}, {B});
+
+  AnalysisResult R = analyzeAccessModel(M);
+  EXPECT_EQ(R.Vars[Counter].Kind, VarVerdictKind::LockConsistent);
+  EXPECT_EQ(R.Vars[Counter].CommonLock, B);
+  EXPECT_EQ(R.ElidableSites, 2u);
+
+  // Disjoint locksets: no common lock, no proof.
+  AccessModel M2;
+  const RoleId W2 = M2.declareRole("workers", 4);
+  const LockId A2 = M2.declareLock("a");
+  const LockId B2 = M2.declareLock("b");
+  const VarId C2 = M2.declareVar("counter");
+  M2.declareSite(P(1, 1), SiteAccess::Write, C2, {W2}, {A2});
+  M2.declareSite(P(1, 2), SiteAccess::Read, C2, {W2}, {B2});
+  AnalysisResult R2 = analyzeAccessModel(M2);
+  EXPECT_EQ(R2.Vars[C2].Kind, VarVerdictKind::Racy);
+  EXPECT_EQ(R2.ElidableSites, 0u);
+}
+
+TEST(StaticAnalysisTest, MultiVariableSiteElidedOnlyIfAllVarsSafe) {
+  AccessModel M;
+  const RoleId Workers = M.declareRole("workers", 2);
+  const LockId L = M.declareLock("l");
+  const VarId Safe = M.declareVar("safe");
+  const VarId Racy = M.declareVar("racy");
+  // One site touches both a lock-consistent and a racy variable.
+  M.declareSite(P(1, 1), SiteAccess::Write, Safe, {Workers}, {L});
+  M.declareSite(P(1, 1), SiteAccess::Write, Racy, {Workers});
+  // A second site touches only the safe variable.
+  M.declareSite(P(1, 2), SiteAccess::Read, Safe, {Workers}, {L});
+
+  AnalysisResult R = analyzeAccessModel(M);
+  EXPECT_EQ(R.Vars[Safe].Kind, VarVerdictKind::LockConsistent);
+  EXPECT_EQ(R.Vars[Racy].Kind, VarVerdictKind::Racy);
+  EXPECT_FALSE(R.Policy.elidable(P(1, 1)));
+  EXPECT_TRUE(R.Policy.elidable(P(1, 2)));
+  EXPECT_EQ(R.DeclaredSites, 2u);
+  EXPECT_EQ(R.ElidableSites, 1u);
+}
+
+TEST(StaticAnalysisTest, UndeclaredSitesAreNeverElided) {
+  AccessModel M;
+  const RoleId Main = M.declareRole("main", 1);
+  const VarId V = M.declareVar("v");
+  M.declareSite(P(1, 1), SiteAccess::Write, V, {Main});
+
+  AnalysisResult R = analyzeAccessModel(M);
+  EXPECT_TRUE(R.Policy.elidable(P(1, 1)));
+  EXPECT_FALSE(R.Policy.elidable(P(1, 2)));
+  EXPECT_FALSE(R.Policy.elidable(P(2, 1)));
+  EXPECT_FALSE(R.Policy.elidable(P(999, 7)));
+}
+
+TEST(SitePolicyTest, ViewExposesPerFunctionBits) {
+  SitePolicy Policy;
+  Policy.markElidable(P(3, 5));
+  Policy.markElidable(P(3, 200));
+
+  ElideView View = Policy.view(3);
+  EXPECT_TRUE(View.test(5));
+  EXPECT_TRUE(View.test(200));
+  EXPECT_FALSE(View.test(6));
+  EXPECT_FALSE(View.test(100000)); // Beyond the bitmap: safely false.
+  ElideView Other = Policy.view(4);
+  EXPECT_FALSE(Other.test(5));
+  ElideView Empty; // Default view (no policy): everything logs.
+  EXPECT_FALSE(Empty.test(0));
+}
+
+TEST(SitePolicyTest, FingerprintTracksContent) {
+  SitePolicy Empty;
+  SitePolicy One;
+  One.markElidable(P(1, 1));
+  SitePolicy Two;
+  Two.markElidable(P(1, 1));
+  Two.markElidable(P(2, 9));
+  EXPECT_NE(Empty.fingerprint(), One.fingerprint());
+  EXPECT_NE(One.fingerprint(), Two.fingerprint());
+
+  SitePolicy OneAgain;
+  OneAgain.markElidable(P(1, 1));
+  EXPECT_EQ(One.fingerprint(), OneAgain.fingerprint());
+  EXPECT_EQ(One.elidableSites(), std::vector<Pc>{P(1, 1)});
+}
+
+/// Renders a policy against a registry as sorted "function:site" labels.
+std::vector<std::string> policyLabels(WorkloadKind Kind) {
+  std::unique_ptr<Workload> W = makeWorkload(Kind);
+  RuntimeConfig Config;
+  Config.Mode = RunMode::Baseline;
+  Runtime RT(Config, nullptr);
+  W->bind(RT);
+  AnalysisResult R = analyzeAccessModel(RT.accessModel());
+  std::vector<std::string> Labels;
+  for (Pc Site : R.Policy.elidableSites())
+    Labels.push_back(RT.registry().name(pcFunction(Site)) + ":" +
+                     std::to_string(pcSite(Site)));
+  return Labels;
+}
+
+TEST(GoldenPolicyTest, WorkloadPoliciesMatchSnapshots) {
+  using Labels = std::vector<std::string>;
+  EXPECT_EQ(policyLabels(WorkloadKind::Channel),
+            (Labels{"chan.push:1", "chan.push:3", "chan.pop:20",
+                    "chan.pop:22", "pipeline.produce:41",
+                    "pipeline.consume:63"}));
+  // With the instrumented stdlib bound, the payload folds alias the
+  // library's caller-buffer writes, so they are no longer declared
+  // read-only; the stdlib adds its per-thread format buffer instead.
+  EXPECT_EQ(policyLabels(WorkloadKind::ChannelWithStdLib),
+            (Labels{"chan.push:1", "chan.push:3", "chan.pop:20",
+                    "chan.pop:22", "stdlib.formatUint:26"}));
+  EXPECT_EQ(policyLabels(WorkloadKind::ConcRTMessaging),
+            (Labels{"rt.enqueue:2", "rt.dequeue:20", "rt.execute:40",
+                    "agent.send:80", "agent.receive:100"}));
+  EXPECT_EQ(policyLabels(WorkloadKind::ConcRTScheduling),
+            policyLabels(WorkloadKind::ConcRTMessaging));
+  EXPECT_EQ(policyLabels(WorkloadKind::Httpd1),
+            (Labels{"http.parse:6", "http.serveStatic:20",
+                    "http.serveStatic:21", "http.serveStatic:27",
+                    "http.serveStatic:28", "http.serveStatic:30",
+                    "http.serveCgi:50", "http.serveCgi:51",
+                    "http.logAccess:74", "srv.enqueue:90", "srv.dequeue:91",
+                    "srv.scrub:151"}));
+  EXPECT_EQ(policyLabels(WorkloadKind::Httpd2),
+            policyLabels(WorkloadKind::Httpd1));
+  EXPECT_EQ(policyLabels(WorkloadKind::BrowserStart),
+            (Labels{"svc.loadItem:20", "svc.loadItem:21",
+                    "reg.registerComponent:40", "reg.registerComponent:41",
+                    "reg.lookup:60", "layout.measureText:180",
+                    "style.resolve:200", "style.resolve:201",
+                    "style.resolve:202", "render.paint:190",
+                    "render.paint:191"}));
+  EXPECT_EQ(policyLabels(WorkloadKind::BrowserRender),
+            policyLabels(WorkloadKind::BrowserStart));
+  EXPECT_EQ(policyLabels(WorkloadKind::LKRHash),
+            (Labels{"lkr.insert:1", "lkr.insert:2", "lkr.insert:3",
+                    "lkr.lookup:1", "lkr.lookup:4"}));
+  // The lock-free list and the stencil kernel are correct via publication
+  // ordering and band partitioning — facts beyond the three analyses, so
+  // nothing may be elided.
+  EXPECT_EQ(policyLabels(WorkloadKind::LFList), Labels{});
+  EXPECT_EQ(policyLabels(WorkloadKind::SciComputeFn), Labels{});
+  EXPECT_EQ(policyLabels(WorkloadKind::SciComputeLoop), Labels{});
+}
+
+TEST(RuntimeElisionTest, TracerSkipsElidedSitesAndCountsThem) {
+  // LKRHash's policy covers every declared site, and all its memory
+  // operations come from declared sites: with the policy installed,
+  // nothing is logged at all.
+  WorkloadParams Params;
+  Params.Scale = 0.02;
+  RuntimeConfig Config;
+  Config.Mode = RunMode::FullLogging;
+  NullSink Sink;
+  Runtime RT(Config, &Sink);
+  std::unique_ptr<Workload> W = makeWorkload(WorkloadKind::LKRHash);
+  W->bind(RT);
+  AnalysisResult R = analyzeAndInstall(RT);
+  ASSERT_EQ(R.ElidableSites, R.DeclaredSites);
+  W->run(RT, Params);
+  EXPECT_EQ(RT.stats().MemOpsLogged, 0u);
+  EXPECT_GT(RT.stats().MemOpsElided, 0u);
+}
+
+TEST(RuntimeElisionTest, NoElideEscapeHatchDisablesThePolicy) {
+  WorkloadParams Params;
+  Params.Scale = 0.02;
+  RuntimeConfig Config;
+  Config.Mode = RunMode::FullLogging;
+  Config.DisableElision = true;
+  NullSink Sink;
+  Runtime RT(Config, &Sink);
+  std::unique_ptr<Workload> W = makeWorkload(WorkloadKind::LKRHash);
+  W->bind(RT);
+  analyzeAndInstall(RT);
+  W->run(RT, Params);
+  EXPECT_EQ(RT.stats().MemOpsElided, 0u);
+  EXPECT_GT(RT.stats().MemOpsLogged, 0u);
+}
+
+TEST(RuntimeElisionTest, PolicyMetaStampIsLoggedAndReplayable) {
+  WorkloadParams Params;
+  Params.Scale = 0.02;
+  RuntimeConfig Config;
+  Config.Mode = RunMode::FullLogging;
+  MemorySink Sink(/*NumTimestampCounters=*/128);
+  Runtime RT(Config, &Sink);
+  std::unique_ptr<Workload> W = makeWorkload(WorkloadKind::LKRHash);
+  W->bind(RT);
+  AnalysisResult R = analyzeAndInstall(RT);
+  W->run(RT, Params);
+
+  Trace T = Sink.takeTrace();
+  ASSERT_FALSE(T.PerThread.empty());
+  ASSERT_FALSE(T.PerThread[0].empty());
+  const EventRecord &Stamp = T.PerThread[0].front();
+  EXPECT_EQ(Stamp.Kind, EventKind::PolicyMeta);
+  EXPECT_EQ(Stamp.Addr, R.Policy.fingerprint());
+  EXPECT_EQ(Stamp.Pc, R.Policy.numElidableSites());
+
+  // The stamped log must replay cleanly through the detector.
+  RaceReport Report;
+  EXPECT_TRUE(detectRaces(T, Report));
+  EXPECT_EQ(Report.numStaticRaces(), 0u); // LKRHash is race-free.
+}
+
+TEST(SoundnessTest, ElisionHidesNoSeededRaceAtFullSampling) {
+  // The satellite requirement: detection recall on seededRaces() must be
+  // identical with and without elision at 100% sampling. The audit runs
+  // one fully logged execution and applies the policy offline, so both
+  // detector passes see the same interleaving.
+  WorkloadParams Params;
+  Params.Scale = 0.04;
+  const WorkloadKind Kinds[] = {
+      WorkloadKind::Channel,       WorkloadKind::ChannelWithStdLib,
+      WorkloadKind::ConcRTScheduling, WorkloadKind::Httpd1,
+      WorkloadKind::BrowserRender, WorkloadKind::LKRHash,
+      WorkloadKind::SciComputeFn};
+  for (WorkloadKind Kind : Kinds) {
+    ElisionRow Row = runElisionExperiment(Kind, Params, /*Repeats=*/1);
+    EXPECT_TRUE(Row.LogConsistent) << Row.Benchmark;
+    EXPECT_TRUE(Row.Sound) << Row.Benchmark;
+    EXPECT_EQ(Row.FamiliesFull, Row.FamiliesFiltered) << Row.Benchmark;
+  }
+}
+
+TEST(SoundnessTest, ElisionMeasurablyReducesLogVolume) {
+  // Acceptance criterion: measurable log-volume reduction on at least
+  // three workloads.
+  WorkloadParams Params;
+  Params.Scale = 0.04;
+  size_t Reduced = 0;
+  const WorkloadKind Kinds[] = {WorkloadKind::Channel,
+                                WorkloadKind::ConcRTScheduling,
+                                WorkloadKind::Httpd1,
+                                WorkloadKind::LKRHash};
+  for (WorkloadKind Kind : Kinds) {
+    ElisionRow Row = runElisionExperiment(Kind, Params, /*Repeats=*/1);
+    EXPECT_GT(Row.logReduction(), 0.25) << Row.Benchmark;
+    EXPECT_GT(Row.MemOpsElided, 0u) << Row.Benchmark;
+    Reduced += Row.logReduction() > 0.25 ? 1 : 0;
+  }
+  EXPECT_GE(Reduced, 3u);
+}
+
+} // namespace

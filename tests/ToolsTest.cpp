@@ -142,6 +142,56 @@ TEST(ToolsTest, SuppressionsChangeTheExitCode) {
   std::remove(SuppPath.c_str());
 }
 
+TEST(ToolsTest, AnalyzePrintsPolicyAndJustifications) {
+  auto [Code, Out] = runCommand(toolPath("literace-analyze") + " lkrhash");
+  EXPECT_EQ(Code, 0) << Out;
+  // All five declared sites of the stripe-locked table are elidable.
+  EXPECT_NE(Out.find("policy: 5/5 sites elidable"), std::string::npos);
+  EXPECT_NE(Out.find("lock-consistent"), std::string::npos);
+  EXPECT_NE(Out.find("lkr.insert:1"), std::string::npos);
+}
+
+TEST(ToolsTest, AnalyzeAuditPassesOnChannel) {
+  auto [Code, Out] = runCommand(toolPath("literace-analyze") +
+                                " channel --audit --scale 0.04");
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("audit passed"), std::string::npos);
+  EXPECT_EQ(Out.find("LOST:"), std::string::npos) << Out;
+}
+
+TEST(ToolsTest, AnalyzeRejectsUnknownWorkload) {
+  auto [Code, Out] = runCommand(toolPath("literace-analyze") + " nope");
+  EXPECT_EQ(Code, 2);
+  EXPECT_NE(Out.find("usage:"), std::string::npos);
+}
+
+TEST(ToolsTest, RunElideFlagShrinksTheLog) {
+  std::string Log = tempLog();
+  std::string Elided = std::string(::testing::TempDir()) + "elided.bin";
+  ASSERT_EQ(runCommand(toolPath("literace-run") + " lkrhash " + Log +
+                       " --mode full --scale 0.02 --seed 7")
+                .first,
+            0);
+  auto [Code, Out] = runCommand(toolPath("literace-run") + " lkrhash " +
+                                Elided +
+                                " --mode full --scale 0.02 --seed 7 --elide");
+  ASSERT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("static analysis: 5/5 declared sites elided"),
+            std::string::npos);
+  // Every LKRHash memory op comes from an elided site.
+  EXPECT_NE(Out.find(", 0 memory ops"), std::string::npos);
+
+  auto [NoElideCode, NoElideOut] =
+      runCommand(toolPath("literace-run") + " lkrhash " + Elided +
+                 " --mode full --scale 0.02 --seed 7 --elide --no-elide");
+  ASSERT_EQ(NoElideCode, 0) << NoElideOut;
+  EXPECT_NE(NoElideOut.find("elision disabled by --no-elide"),
+            std::string::npos);
+  EXPECT_EQ(NoElideOut.find(", 0 memory ops"), std::string::npos);
+  std::remove(Log.c_str());
+  std::remove(Elided.c_str());
+}
+
 TEST(ToolsTest, LocksetBackendWarnsAboutImprecision) {
   std::string Log = tempLog();
   ASSERT_EQ(runCommand(toolPath("literace-run") + " httpd-2 " + Log +

@@ -9,15 +9,19 @@
 //
 // Usage:
 //   literace-run <workload> <out.bin> [--mode <mode>] [--scale <x>]
-//                [--seed <n>]
+//                [--seed <n>] [--elide] [--no-elide]
 //
 //   <workload>  channel-stdlib | channel | concrt-messaging |
 //               concrt-scheduling | httpd-1 | httpd-2 | browser-start |
 //               browser-render | lkrhash | lflist
 //   <mode>      sync | literace (default) | full
+//   --elide     run the pre-execution static analysis and skip logging
+//               for sites it proves race-free (see literace-analyze)
+//   --no-elide  escape hatch: force elision off even with --elide
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/StaticAnalysis.h"
 #include "workloads/Workload.h"
 
 #include <cstdio>
@@ -68,7 +72,7 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s <workload> <out.bin> [--mode sync|literace|full]\n"
-      "          [--scale <x>] [--seed <n>]\n"
+      "          [--scale <x>] [--seed <n>] [--elide] [--no-elide]\n"
       "workloads: channel-stdlib channel concrt-messaging\n"
       "           concrt-scheduling httpd-1 httpd-2 browser-start\n"
       "           browser-render lkrhash lflist\n",
@@ -89,10 +93,16 @@ int main(int Argc, char **Argv) {
   }
   std::string OutPath = Argv[2];
   RunMode Mode = RunMode::LiteRace;
+  bool Elide = false;
+  bool NoElide = false;
   WorkloadParams Params;
   for (int I = 3; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg == "--mode" && I + 1 < Argc) {
+    if (Arg == "--elide") {
+      Elide = true;
+    } else if (Arg == "--no-elide") {
+      NoElide = true;
+    } else if (Arg == "--mode" && I + 1 < Argc) {
       auto Parsed = parseMode(Argv[++I]);
       if (!Parsed) {
         std::fprintf(stderr, "error: unknown mode '%s'\n", Argv[I]);
@@ -118,9 +128,17 @@ int main(int Argc, char **Argv) {
   RuntimeConfig Config;
   Config.Mode = Mode;
   Config.Seed = Params.Seed;
+  Config.DisableElision = NoElide;
   Runtime RT(Config, &Sink);
   std::unique_ptr<Workload> W = makeWorkload(*Kind);
   W->bind(RT);
+  if (Elide) {
+    AnalysisResult Analysis = analyzeAndInstall(RT);
+    std::fprintf(stderr, "static analysis: %zu/%zu declared sites %s\n",
+                 Analysis.ElidableSites, Analysis.DeclaredSites,
+                 NoElide ? "elidable (elision disabled by --no-elide)"
+                         : "elided");
+  }
   std::fprintf(stderr, "running %s in %s mode (scale %.2f)...\n",
                W->name().c_str(), runModeName(Mode), Params.Scale);
   W->run(RT, Params);
