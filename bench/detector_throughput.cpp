@@ -9,22 +9,55 @@
 // cost, §6.1's [8]-adjacent line of work), and the Eraser-style lockset
 // baseline. Reported as events/second over the identical replay.
 //
+// Then sweeps the sharded happens-before pipeline (docs/DETECTOR.md) over
+// shards ∈ {1, 2, 4, 8} on the same trace, verifying the merged report is
+// byte-identical to the serial one at every width and reporting the
+// speedup trajectory. With --json[=PATH] the sweep is also written as
+// JSON (default BENCH_detector_shards.json) so successive PRs can track
+// the speedup. LITERACE_REPEATS>1 takes the best of N timings per width.
+//
 //===----------------------------------------------------------------------===//
 
 #include "detector/FastTrackDetector.h"
 #include "detector/HBDetector.h"
 #include "detector/LocksetDetector.h"
+#include "detector/ShardedDetector.h"
 #include "harness/DetectionExperiment.h"
 #include "harness/Tables.h"
 #include "support/TableFormatter.h"
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 using namespace literace;
 
-int main() {
+namespace {
+
+struct SweepPoint {
+  unsigned Shards = 1;
+  double Seconds = 0.0;
+  double EventsPerSec = 0.0;
+  double Speedup = 1.0;
+  size_t StaticRaces = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0)
+      JsonPath = "BENCH_detector_shards.json";
+    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+  }
+
   WorkloadParams Params = paramsFromEnv();
+  const unsigned Repeats = repeatsFromEnv(1);
   auto W = makeWorkload(WorkloadKind::ChannelWithStdLib);
   std::fprintf(stderr, "producing the trace...\n");
   ExperimentRun Run = executeExperiment(*W, Params);
@@ -59,5 +92,88 @@ int main() {
             return detectLocksetViolations(Tr, R);
           });
   Table.print();
-  return 0;
+
+  // --- Sharded HB sweep -------------------------------------------------
+  RaceReport SerialReport;
+  if (!detectRaces(T, SerialReport))
+    std::fprintf(stderr, "warning: serial replay saw an inconsistent log\n");
+  const std::string SerialText = SerialReport.describe();
+
+  std::vector<SweepPoint> Sweep;
+  double SerialSeconds = 0.0;
+  bool Identical = true;
+  for (unsigned Shards : {1u, 2u, 4u, 8u}) {
+    DetectorOptions Options;
+    Options.Shards = Shards;
+    double Best = 0.0;
+    size_t Races = 0;
+    for (unsigned Rep = 0; Rep != (Repeats == 0 ? 1 : Repeats); ++Rep) {
+      RaceReport Report;
+      WallTimer Timer;
+      bool Ok = detectRaces(T, Report, ReplayOptions(), Options);
+      double Seconds = Timer.seconds();
+      if (!Ok)
+        std::fprintf(stderr, "warning: %u-shard replay inconsistent\n",
+                     Shards);
+      if (Report.describe() != SerialText) {
+        std::fprintf(stderr,
+                     "ERROR: %u-shard report differs from serial output\n",
+                     Shards);
+        Identical = false;
+      }
+      Races = Report.numStaticRaces();
+      if (Rep == 0 || Seconds < Best)
+        Best = Seconds;
+    }
+    if (Shards == 1)
+      SerialSeconds = Best;
+    SweepPoint P;
+    P.Shards = Shards;
+    P.Seconds = Best;
+    P.EventsPerSec = static_cast<double>(T.totalEvents()) / Best;
+    P.Speedup = SerialSeconds / Best;
+    P.StaticRaces = Races;
+    Sweep.push_back(P);
+  }
+
+  TableFormatter Shards("Sharded happens-before sweep (byte-identical "
+                        "reports at every width)");
+  Shards.addRow({"Shards", "Races", "Time", "M events/s", "Speedup"});
+  for (const SweepPoint &P : Sweep)
+    Shards.addRow({std::to_string(P.Shards), std::to_string(P.StaticRaces),
+                   TableFormatter::num(P.Seconds, 3) + "s",
+                   TableFormatter::num(P.EventsPerSec / 1e6, 1),
+                   TableFormatter::num(P.Speedup, 2) + "x"});
+  Shards.print();
+  std::fprintf(stderr, "host cores: %u\n",
+               std::thread::hardware_concurrency());
+
+  if (!JsonPath.empty()) {
+    std::FILE *File = std::fopen(JsonPath.c_str(), "w");
+    if (!File) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(File,
+                 "{\n  \"benchmark\": \"%s\",\n  \"events\": %zu,\n"
+                 "  \"mem_ops\": %zu,\n  \"sync_ops\": %zu,\n"
+                 "  \"host_cores\": %u,\n  \"identical_reports\": %s,\n"
+                 "  \"sweep\": [\n",
+                 W->name().c_str(), T.totalEvents(), T.memoryOps(),
+                 T.syncOps(), std::thread::hardware_concurrency(),
+                 Identical ? "true" : "false");
+    for (size_t I = 0; I != Sweep.size(); ++I) {
+      const SweepPoint &P = Sweep[I];
+      std::fprintf(File,
+                   "    {\"shards\": %u, \"seconds\": %.6f, "
+                   "\"events_per_sec\": %.1f, \"speedup\": %.3f, "
+                   "\"static_races\": %zu}%s\n",
+                   P.Shards, P.Seconds, P.EventsPerSec, P.Speedup,
+                   P.StaticRaces, I + 1 == Sweep.size() ? "" : ",");
+    }
+    std::fprintf(File, "  ]\n}\n");
+    std::fclose(File);
+    std::fprintf(stderr, "wrote %s\n", JsonPath.c_str());
+  }
+  return Identical ? 0 : 1;
 }

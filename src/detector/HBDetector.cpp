@@ -6,6 +6,7 @@
 
 #include "detector/HBDetector.h"
 
+#include "detector/ShardedDetector.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
@@ -43,6 +44,11 @@ void HBDetector::release(ThreadId T, SyncVar S) {
 }
 
 void HBDetector::onEvent(const EventRecord &R) {
+  onEventAt(R, NextEventIndex++);
+}
+
+void HBDetector::onEventAt(const EventRecord &R, uint64_t EventIndex) {
+  CurrentEventIndex = EventIndex;
   switch (R.Kind) {
   case EventKind::ThreadStart:
   case EventKind::ThreadEnd:
@@ -96,6 +102,7 @@ void HBDetector::checkAgainst(const std::vector<AccessRecord> &Prior,
     Sighting.SecondTid = New.Tid;
     Sighting.FirstIsWrite = PriorAreWrites;
     Sighting.SecondIsWrite = NewIsWrite;
+    Sighting.EventIndex = CurrentEventIndex;
     Report.record(Sighting);
   }
 }
@@ -143,7 +150,14 @@ void HBDetector::onMemory(const EventRecord &R) {
 }
 
 bool literace::detectRaces(const Trace &T, RaceReport &Report,
-                           const ReplayOptions &Options) {
-  HBDetector Detector(Report);
-  return replayTrace(T, Detector, Options);
+                           const ReplayOptions &Options,
+                           const DetectorOptions &DetOpts) {
+  if (DetOpts.Shards <= 1) {
+    HBDetector Detector(Report);
+    return replayTrace(T, Detector, Options);
+  }
+  ShardedHBDetector Sharded(DetOpts);
+  bool Ok = replayTrace(T, Sharded, Options);
+  Sharded.finish(Report);
+  return Ok;
 }

@@ -43,6 +43,13 @@ public:
 
   void onEvent(const EventRecord &R) override;
 
+  /// Delivers \p R as the event with global replay sequence number
+  /// \p EventIndex. onEvent() numbers events itself (0, 1, 2, ... in
+  /// delivery order); the sharded pipeline numbers events at fan-out time
+  /// and calls this from per-shard workers, so sightings carry the same
+  /// indices a serial replay would assign.
+  void onEventAt(const EventRecord &R, uint64_t EventIndex);
+
   /// Number of memory events processed (the detection workload).
   uint64_t memoryEventsProcessed() const { return MemoryEvents; }
 
@@ -93,13 +100,20 @@ private:
   std::unordered_map<uint64_t, AddressState> Shadow;
   uint64_t MemoryEvents = 0;
   uint64_t SyncEvents = 0;
+  /// Sequence number assigned to the next self-numbered event, and the
+  /// index of the event currently being processed (stamped on sightings).
+  uint64_t NextEventIndex = 0;
+  uint64_t CurrentEventIndex = 0;
 };
 
 /// Convenience wrapper: replays \p T (optionally filtered to one sampler's
-/// view) through a fresh HBDetector into \p Report. Returns false if the
-/// log was inconsistent.
+/// view) through a fresh HBDetector into \p Report. With
+/// DetectorOptions::Shards > 1 the replay is fanned out to parallel
+/// per-shard workers (see ShardedDetector.h); the report is byte-identical
+/// either way. Returns false if the log was inconsistent.
 bool detectRaces(const Trace &T, RaceReport &Report,
-                 const ReplayOptions &Options = ReplayOptions());
+                 const ReplayOptions &Options = ReplayOptions(),
+                 const DetectorOptions &Detector = DetectorOptions());
 
 } // namespace literace
 

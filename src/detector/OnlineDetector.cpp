@@ -9,9 +9,15 @@
 using namespace literace;
 
 OnlineDetector::OnlineDetector(unsigned NumTimestampCounters,
-                               RaceReport &Report, ReplayOptions Options)
-    : Scheduler(NumTimestampCounters, Options), Detector(Report),
-      Worker([this] { workerLoop(); }) {}
+                               RaceReport &Report, ReplayOptions Options,
+                               DetectorOptions Detector)
+    : Scheduler(NumTimestampCounters, Options), Report(Report) {
+  if (Detector.Shards > 1)
+    Sharded = std::make_unique<ShardedHBDetector>(Detector);
+  else
+    Serial = std::make_unique<HBDetector>(Report);
+  Worker = std::thread([this] { workerLoop(); });
+}
 
 OnlineDetector::~OnlineDetector() { finish(); }
 
@@ -36,6 +42,9 @@ bool OnlineDetector::finish() {
   Ready.notify_one();
   if (Worker.joinable())
     Worker.join();
+  // The sharded fan-out has its own workers to stop and a merge to run.
+  if (Sharded)
+    Sharded->finish(Report);
   // Anything still pending means some timestamp never arrived: the stream
   // was inconsistent (or truncated).
   std::lock_guard<std::mutex> Guard(Lock);
@@ -57,7 +66,7 @@ void OnlineDetector::workerLoop() {
       Scheduler.addEvents(Chunk.first, Chunk.second.data(),
                           Chunk.second.size());
     Batch.clear();
-    Processed.fetch_add(Scheduler.drain(Detector),
+    Processed.fetch_add(Scheduler.drain(consumer()),
                         std::memory_order_relaxed);
   }
 }

@@ -19,10 +19,12 @@
 
 #include "detector/HBDetector.h"
 #include "detector/Replay.h"
+#include "detector/ShardedDetector.h"
 #include "runtime/EventLog.h"
 
 #include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -35,9 +37,11 @@ class OnlineDetector : public LogSink {
 public:
   /// \p NumTimestampCounters must match the producing Runtime's
   /// configuration. Races accumulate into \p Report; do not read it until
-  /// finish() has returned.
+  /// finish() has returned. With Detector.Shards > 1 the drain fans out
+  /// to parallel per-shard analysis workers (see ShardedDetector.h).
   OnlineDetector(unsigned NumTimestampCounters, RaceReport &Report,
-                 ReplayOptions Options = ReplayOptions());
+                 ReplayOptions Options = ReplayOptions(),
+                 DetectorOptions Detector = DetectorOptions());
   ~OnlineDetector() override;
 
   void writeChunk(ThreadId Tid, const EventRecord *Records,
@@ -56,8 +60,17 @@ public:
 private:
   void workerLoop();
 
+  /// The consumer the drain worker feeds: the serial detector or the
+  /// sharded fan-out (exactly one is non-null).
+  TraceConsumer &consumer() {
+    return Sharded ? static_cast<TraceConsumer &>(*Sharded)
+                   : static_cast<TraceConsumer &>(*Serial);
+  }
+
   ReplayScheduler Scheduler;
-  HBDetector Detector;
+  RaceReport &Report;
+  std::unique_ptr<HBDetector> Serial;
+  std::unique_ptr<ShardedHBDetector> Sharded;
 
   std::mutex Lock;
   std::condition_variable Ready;

@@ -8,16 +8,30 @@
 
 #include "runtime/FunctionRegistry.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace literace;
 
+namespace {
+
+/// The canonical report order: site pair first, then first occurrence.
+bool reportOrder(const StaticRace &A, const StaticRace &B) {
+  if (A.Key != B.Key)
+    return A.Key < B.Key;
+  return A.FirstEventIndex < B.FirstEventIndex;
+}
+
+} // namespace
+
 void RaceReport::record(const RaceSighting &Sighting) {
   StaticRaceKey Key = makeStaticRaceKey(Sighting.FirstPc, Sighting.SecondPc);
   StaticRace &Race = Races[Key];
-  if (Race.DynamicCount == 0) {
+  if (Race.DynamicCount == 0 ||
+      Sighting.EventIndex < Race.FirstEventIndex) {
     Race.Key = Key;
     Race.ExampleAddr = Sighting.Addr;
+    Race.FirstEventIndex = Sighting.EventIndex;
   }
   ++Race.DynamicCount;
   Race.SawWriteWrite |= Sighting.FirstIsWrite && Sighting.SecondIsWrite;
@@ -25,19 +39,36 @@ void RaceReport::record(const RaceSighting &Sighting) {
   ++TotalSightings;
 }
 
+void RaceReport::merge(const RaceReport &Other) {
+  for (const auto &Entry : Other.Races) {
+    const StaticRace &In = Entry.second;
+    StaticRace &Race = Races[Entry.first];
+    if (Race.DynamicCount == 0 || In.FirstEventIndex < Race.FirstEventIndex) {
+      Race.Key = In.Key;
+      Race.ExampleAddr = In.ExampleAddr;
+      Race.FirstEventIndex = In.FirstEventIndex;
+    }
+    Race.DynamicCount += In.DynamicCount;
+    Race.SawWriteWrite |= In.SawWriteWrite;
+  }
+  SightingAddresses.insert(Other.SightingAddresses.begin(),
+                           Other.SightingAddresses.end());
+  TotalSightings += Other.TotalSightings;
+}
+
 std::vector<StaticRace> RaceReport::staticRaces() const {
   std::vector<StaticRace> Out;
   Out.reserve(Races.size());
   for (const auto &Entry : Races)
     Out.push_back(Entry.second);
+  std::stable_sort(Out.begin(), Out.end(), reportOrder);
   return Out;
 }
 
 std::vector<StaticRace> RaceReport::staticRacesExcluding(
     const std::set<Pc> &SuppressedSites) const {
   std::vector<StaticRace> Out;
-  for (const auto &Entry : Races) {
-    const StaticRace &Race = Entry.second;
+  for (const StaticRace &Race : staticRaces()) {
     if (SuppressedSites.count(Race.Key.first) ||
         SuppressedSites.count(Race.Key.second))
       continue;
@@ -90,8 +121,7 @@ std::string RaceReport::describe(const FunctionRegistry *Registry) const {
                 Races.size(),
                 static_cast<unsigned long long>(TotalSightings));
   Out += Line;
-  for (const auto &Entry : Races) {
-    const StaticRace &Race = Entry.second;
+  for (const StaticRace &Race : staticRaces()) {
     std::snprintf(Line, sizeof(Line), "  %s <-> %s  x%llu%s\n",
                   SiteName(Race.Key.first).c_str(),
                   SiteName(Race.Key.second).c_str(),

@@ -39,6 +39,12 @@ struct RaceSighting {
   ThreadId SecondTid = 0;
   bool FirstIsWrite = false;
   bool SecondIsWrite = false;
+  /// Global replay sequence number of the access that completed the pair
+  /// (the later of the two). Sightings recorded by one serial replay carry
+  /// nondecreasing indices; the sharded pipeline stamps each event with its
+  /// serial-replay number before fan-out, so first-occurrence bookkeeping
+  /// is identical no matter how the work was partitioned.
+  uint64_t EventIndex = 0;
 };
 
 /// Unordered pair of access sites identifying a static race.
@@ -56,6 +62,9 @@ struct StaticRace {
   uint64_t DynamicCount = 0;
   /// Address of the first sighting (for triage).
   uint64_t ExampleAddr = 0;
+  /// Replay sequence number of the first sighting; with ExampleAddr it
+  /// makes aggregation independent of recording/merge order.
+  uint64_t FirstEventIndex = 0;
   /// True if any sighting was write/write.
   bool SawWriteWrite = false;
 };
@@ -70,6 +79,14 @@ public:
   /// Records one dynamic sighting.
   void record(const RaceSighting &Sighting);
 
+  /// Folds \p Other into this report. Per-key counts add, write/write
+  /// flags OR, and the first-occurrence fields (ExampleAddr,
+  /// FirstEventIndex) are taken from whichever sighting has the smaller
+  /// EventIndex — so merging the per-shard reports of a sharded detection
+  /// run yields the same aggregate in any merge order, byte-identical to
+  /// a serial run over the same replay.
+  void merge(const RaceReport &Other);
+
   /// Number of distinct static races.
   size_t numStaticRaces() const { return Races.size(); }
 
@@ -81,7 +98,10 @@ public:
     return Races.count(makeStaticRaceKey(A, B)) != 0;
   }
 
-  /// All static races, ordered by key.
+  /// All static races in the canonical report order: an explicit stable
+  /// sort by (site pair, first event index). Every consumer that renders
+  /// or compares reports goes through this, so output never depends on
+  /// container iteration order.
   std::vector<StaticRace> staticRaces() const;
 
   /// Static races with neither site in \p SuppressedSites. The paper

@@ -49,6 +49,17 @@ struct ReplayOptions {
   int SamplerSlot = -1;
 };
 
+/// Detection-pipeline configuration, shared by detectRaces(), the online
+/// detector, the tools, and the harness (see docs/DETECTOR.md).
+struct DetectorOptions {
+  /// Number of address-space shards analyzed by parallel worker threads.
+  /// 1 (the default) runs the classic single-threaded detector; the
+  /// merged report is byte-identical at every shard count.
+  unsigned Shards = 1;
+  /// Capacity, in event records, of each shard's bounded SPSC queue.
+  size_t ShardQueueCapacity = 4096;
+};
+
 /// Replays \p T into \p Consumer. Returns false if the log is inconsistent
 /// (a timestamp is missing or duplicated, so no valid order exists); in
 /// that case a prefix may already have been delivered.

@@ -1,0 +1,94 @@
+//===-- detector/ShardedDetector.cpp - Parallel sharded detection --------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/ShardedDetector.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace literace;
+
+unsigned literace::shardOfAddress(uint64_t Addr, unsigned Shards) {
+  assert(Shards != 0 && "need at least one shard");
+  return static_cast<unsigned>(mix64(Addr) % Shards);
+}
+
+ShardedHBDetector::ShardedHBDetector(const DetectorOptions &Options) {
+  const unsigned N = Options.Shards == 0 ? 1 : Options.Shards;
+  Shards.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Shards.push_back(std::make_unique<Shard>(Options.ShardQueueCapacity));
+  // Spawn after the vector is fully built: workers only touch their own
+  // shard, but keeping construction complete first is cheap insurance.
+  for (auto &S : Shards) {
+    Shard *Mine = S.get();
+    S->Worker = std::thread([this, Mine] { workerLoop(*Mine); });
+  }
+}
+
+ShardedHBDetector::~ShardedHBDetector() {
+  // finish() may not have been called (e.g. replay failed and the caller
+  // bailed); make sure the workers terminate either way.
+  for (auto &S : Shards)
+    S->Queue.close();
+  for (auto &S : Shards)
+    if (S->Worker.joinable())
+      S->Worker.join();
+}
+
+void ShardedHBDetector::onEvent(const EventRecord &R) {
+  const uint64_t Seq = NextSeq++;
+  if (isMemoryKind(R.Kind)) {
+    Shards[shardOfAddress(R.Addr, numShards())]->Queue.push({R, Seq});
+    return;
+  }
+  // Sync and lifetime events carry the happens-before structure every
+  // shard needs; broadcast them so each worker's clocks stay exact.
+  for (auto &S : Shards)
+    S->Queue.push({R, Seq});
+}
+
+void ShardedHBDetector::workerLoop(Shard &S) {
+  Item I;
+  while (S.Queue.pop(I))
+    S.Detector.onEventAt(I.Record, I.Seq);
+}
+
+void ShardedHBDetector::finish(RaceReport &Report) {
+  for (auto &S : Shards)
+    S->Queue.close();
+  for (auto &S : Shards)
+    if (S->Worker.joinable())
+      S->Worker.join();
+  if (Finished)
+    return;
+  Finished = true;
+  // The per-key first-occurrence bookkeeping makes this independent of
+  // merge order; iterating in shard order keeps it obviously so.
+  for (auto &S : Shards)
+    Report.merge(S->Local);
+}
+
+uint64_t ShardedHBDetector::memoryEventsProcessed() const {
+  uint64_t Total = 0;
+  for (const auto &S : Shards)
+    Total += S->Detector.memoryEventsProcessed();
+  return Total;
+}
+
+uint64_t ShardedHBDetector::syncEventsProcessed() const {
+  return Shards.empty() ? 0 : Shards.front()->Detector.syncEventsProcessed();
+}
+
+bool literace::detectRacesSharded(const Trace &T, RaceReport &Report,
+                                  const DetectorOptions &Options,
+                                  const ReplayOptions &Replay) {
+  ShardedHBDetector Detector(Options);
+  bool Ok = replayTrace(T, Detector, Replay);
+  Detector.finish(Report);
+  return Ok;
+}

@@ -1,0 +1,115 @@
+//===-- detector/ShardedDetector.h - Parallel sharded detection -*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel offline detection: the paper pushes all detection cost off the
+/// instrumented run (§2.1, §4.4) precisely so it can be scaled
+/// independently; this is that scaling step. The address space is
+/// partitioned into N shards by a hash of the accessed address. One
+/// fan-out thread (the replay scheduler, which is inherently sequential —
+/// it reconstructs the logged serialization) assigns every delivered event
+/// a global sequence number and routes it over bounded SPSC queues:
+/// memory events go to the one shard owning their address, while
+/// synchronization (and thread-lifetime) events are broadcast to every
+/// shard. Each shard worker runs a private, unmodified HBDetector.
+///
+/// Why this is exact: a memory access's vector-clock view depends only on
+/// the synchronization events delivered before it, and every shard
+/// receives ALL synchronization events in exactly the serial replay order
+/// relative to its own memory events (FIFO queues, one consumer). So each
+/// shard's thread/SyncVar clocks evolve identically to the serial
+/// detector's, and the per-address shadow state — which only ever meets
+/// accesses to the same address, all of which hash to the same shard — is
+/// byte-for-byte the serial one. Each shard therefore reports exactly the
+/// sightings the serial detector would report for its addresses, stamped
+/// with the same global sequence numbers; RaceReport::merge folds the
+/// per-shard reports into an aggregate that is bit-identical to the
+/// serial report at any shard count. See docs/DETECTOR.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_DETECTOR_SHARDEDDETECTOR_H
+#define LITERACE_DETECTOR_SHARDEDDETECTOR_H
+
+#include "detector/HBDetector.h"
+#include "detector/RaceReport.h"
+#include "detector/Replay.h"
+#include "support/SpscRing.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace literace {
+
+/// Shard owning memory address \p Addr when the space is split \p Shards
+/// ways. Stable across runs and machines (pure arithmetic hash).
+unsigned shardOfAddress(uint64_t Addr, unsigned Shards);
+
+/// TraceConsumer that fans a replayed stream out to per-shard HBDetector
+/// workers. Feed it events (from replayTrace or a ReplayScheduler), then
+/// call finish() to stop the workers and collect the merged report.
+class ShardedHBDetector : public TraceConsumer {
+public:
+  explicit ShardedHBDetector(const DetectorOptions &Options);
+  ~ShardedHBDetector() override;
+
+  /// Producer side: numbers \p R and routes it to its shard (memory
+  /// events) or to every shard (all other kinds). Blocks briefly when a
+  /// shard queue is full (bounded-queue backpressure).
+  void onEvent(const EventRecord &R) override;
+
+  /// Closes the queues, joins the workers, and folds the per-shard
+  /// reports into \p Report in deterministic first-occurrence order.
+  /// Idempotent; the merge happens only on the first call.
+  void finish(RaceReport &Report);
+
+  unsigned numShards() const {
+    return static_cast<unsigned>(Shards.size());
+  }
+
+  /// Memory events analyzed, summed over shards (valid after finish();
+  /// equals the serial detector's count on the same replay).
+  uint64_t memoryEventsProcessed() const;
+
+  /// Sync events analyzed per shard (every shard sees all of them).
+  uint64_t syncEventsProcessed() const;
+
+private:
+  /// One queued event with its global replay sequence number.
+  struct Item {
+    EventRecord Record;
+    uint64_t Seq = 0;
+  };
+
+  /// One shard: queue, private detector state, and its worker thread.
+  struct Shard {
+    explicit Shard(size_t QueueCapacity)
+        : Queue(QueueCapacity), Detector(Local) {}
+
+    SpscRing<Item> Queue;
+    RaceReport Local;
+    HBDetector Detector;
+    std::thread Worker;
+  };
+
+  void workerLoop(Shard &S);
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  uint64_t NextSeq = 0;
+  bool Finished = false;
+};
+
+/// Replays \p T through a sharded detector and merges into \p Report.
+/// Equivalent to detectRaces() with the same options; exposed for tests
+/// and benches that want the explicit form.
+bool detectRacesSharded(const Trace &T, RaceReport &Report,
+                        const DetectorOptions &Options,
+                        const ReplayOptions &Replay = ReplayOptions());
+
+} // namespace literace
+
+#endif // LITERACE_DETECTOR_SHARDEDDETECTOR_H

@@ -91,9 +91,9 @@ size_t medianOf(std::vector<size_t> Values) {
 
 } // namespace
 
-DetectionResult literace::runDetectionExperiment(WorkloadKind Kind,
-                                                 const WorkloadParams &Params,
-                                                 unsigned Repeats) {
+DetectionResult literace::runDetectionExperiment(
+    WorkloadKind Kind, const WorkloadParams &Params, unsigned Repeats,
+    const DetectorOptions &Detector) {
   assert(Repeats >= 1 && "need at least one run");
   DetectionResult Result;
 
@@ -126,7 +126,8 @@ DetectionResult literace::runDetectionExperiment(WorkloadKind Kind,
 
     // Full-log detection: the ground truth of this execution.
     RaceReport Full;
-    Result.LogConsistent &= detectRaces(Run.TraceData, Full);
+    Result.LogConsistent &=
+        detectRaces(Run.TraceData, Full, ReplayOptions(), Detector);
     const uint64_t MemOps = Run.Stats.MemOpsLogged;
     auto [RareKeys, FreqKeys] = Full.splitRareFrequent(MemOps);
     StaticPerRun.push_back(Full.numStaticRaces());
@@ -150,7 +151,7 @@ DetectionResult literace::runDetectionExperiment(WorkloadKind Kind,
       ReplayOptions Options;
       Options.SamplerSlot = static_cast<int>(Slot);
       Result.LogConsistent &=
-          detectRaces(Run.TraceData, Sampled, Options);
+          detectRaces(Run.TraceData, Sampled, Options, Detector);
       std::set<StaticRaceKey> Keys = Sampled.keys();
 
       double Rate = FullKeys.empty()

@@ -20,6 +20,7 @@
 #define LITERACE_HARNESS_DETECTIONEXPERIMENT_H
 
 #include "detector/RaceReport.h"
+#include "detector/Replay.h"
 #include "runtime/EventLog.h"
 #include "runtime/Runtime.h"
 #include "workloads/Workload.h"
@@ -82,10 +83,13 @@ struct DetectionResult {
 
 /// Runs the full §5.3 experiment for one benchmark. \p Repeats fresh
 /// executions are performed (the paper uses 3); detection rates are
-/// averaged and race counts are medians across runs.
-DetectionResult runDetectionExperiment(WorkloadKind Kind,
-                                       const WorkloadParams &Params,
-                                       unsigned Repeats = 1);
+/// averaged and race counts are medians across runs. Every replay uses
+/// \p Detector (so LITERACE_SHARDS parallelizes the analysis side of the
+/// experiments without changing any result).
+DetectionResult
+runDetectionExperiment(WorkloadKind Kind, const WorkloadParams &Params,
+                       unsigned Repeats = 1,
+                       const DetectorOptions &Detector = DetectorOptions());
 
 /// Checks a detection report against a seeded-race manifest.
 /// \returns {number of manifest families with at least one detected pair

@@ -1,0 +1,174 @@
+//===-- support/SpscRing.h - Bounded SPSC ring buffer -----------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded single-producer/single-consumer queue used by the sharded
+/// offline detector (docs/DETECTOR.md) to stream events from the replay
+/// fan-out thread to per-shard analysis workers.
+///
+/// The fast path is the classic lock-free ring: head and tail are
+/// published with release stores and each side caches the other side's
+/// last observed position, so an uncontended push or pop costs one relaxed
+/// load, one slot copy, and one release store. When a side cannot make
+/// progress (queue full for the producer — that is the backpressure bound
+/// — or empty for the consumer) it spins briefly, then parks on a
+/// condition variable with a short timeout. The peer nudges parked waiters
+/// after completing an operation; the timeout makes a missed nudge cost
+/// bounded latency rather than liveness, which keeps the wakeup protocol
+/// simple and obviously correct. On a single-core host the queue therefore
+/// degrades to alternating timeslices instead of burning the whole core in
+/// a spin loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_SUPPORT_SPSCRING_H
+#define LITERACE_SUPPORT_SPSCRING_H
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace literace {
+
+/// Bounded SPSC FIFO. Exactly one thread may push and exactly one thread
+/// may pop; close() is called by the producer to signal end-of-stream.
+template <typename T> class SpscRing {
+public:
+  /// Capacity is rounded up to a power of two, minimum 16.
+  explicit SpscRing(size_t CapacityHint) {
+    size_t Capacity = 16;
+    while (Capacity < CapacityHint)
+      Capacity <<= 1;
+    Buffer.resize(Capacity);
+    Mask = Capacity - 1;
+  }
+
+  SpscRing(const SpscRing &) = delete;
+  SpscRing &operator=(const SpscRing &) = delete;
+
+  /// Non-blocking push; false if the ring is full.
+  bool tryPush(const T &Value) {
+    const size_t H = Head.load(std::memory_order_relaxed);
+    if (H - CachedTail > Mask) {
+      CachedTail = Tail.load(std::memory_order_acquire);
+      if (H - CachedTail > Mask)
+        return false;
+    }
+    Buffer[H & Mask] = Value;
+    Head.store(H + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking push (producer only). Applies backpressure: waits until the
+  /// consumer has freed a slot.
+  void push(const T &Value) {
+    for (unsigned Attempt = 0; !tryPush(Value); ++Attempt) {
+      if (Attempt < SpinLimit) {
+        std::this_thread::yield();
+        continue;
+      }
+      parkUntil([&] {
+        const size_t H = Head.load(std::memory_order_relaxed);
+        return H - Tail.load(std::memory_order_acquire) <= Mask;
+      });
+    }
+    nudge();
+  }
+
+  /// Non-blocking pop; false if the ring is empty.
+  bool tryPop(T &Out) {
+    const size_t Tl = Tail.load(std::memory_order_relaxed);
+    if (Tl == CachedHead) {
+      CachedHead = Head.load(std::memory_order_acquire);
+      if (Tl == CachedHead)
+        return false;
+    }
+    Out = Buffer[Tl & Mask];
+    Tail.store(Tl + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking pop (consumer only). Returns false only at end-of-stream:
+  /// the producer closed the ring and everything pushed was consumed.
+  bool pop(T &Out) {
+    for (unsigned Attempt = 0; !tryPop(Out); ++Attempt) {
+      if (Closed.load(std::memory_order_acquire)) {
+        // Re-check after observing the close so no trailing push is lost.
+        if (tryPop(Out))
+          break;
+        return false;
+      }
+      if (Attempt < SpinLimit) {
+        std::this_thread::yield();
+        continue;
+      }
+      parkUntil([&] {
+        return Tail.load(std::memory_order_relaxed) !=
+                   Head.load(std::memory_order_acquire) ||
+               Closed.load(std::memory_order_acquire);
+      });
+    }
+    nudge();
+    return true;
+  }
+
+  /// Signals end-of-stream (producer only). Idempotent.
+  void close() {
+    Closed.store(true, std::memory_order_release);
+    nudge();
+  }
+
+  /// Number of slots, after power-of-two rounding.
+  size_t capacity() const { return Mask + 1; }
+
+private:
+  static constexpr unsigned SpinLimit = 64;
+
+  /// Parks on the shared condition variable until \p ReadyFn holds or a
+  /// short timeout elapses (whichever first); the caller re-polls either
+  /// way, so a lost nudge is only latency.
+  template <typename Fn> void parkUntil(Fn ReadyFn) {
+    std::unique_lock<std::mutex> Guard(ParkLock);
+    if (ReadyFn())
+      return;
+    Parked.store(true, std::memory_order_seq_cst);
+    ParkCv.wait_for(Guard, std::chrono::milliseconds(1));
+    Parked.store(false, std::memory_order_seq_cst);
+  }
+
+  /// Wakes a parked peer, if any.
+  void nudge() {
+    if (!Parked.load(std::memory_order_seq_cst))
+      return;
+    std::lock_guard<std::mutex> Guard(ParkLock);
+    ParkCv.notify_all();
+  }
+
+  std::vector<T> Buffer;
+  size_t Mask = 0;
+
+  // Producer side (Head is written by push, read by pop).
+  alignas(64) std::atomic<size_t> Head{0};
+  size_t CachedTail = 0; // producer-private cache of Tail
+
+  // Consumer side.
+  alignas(64) std::atomic<size_t> Tail{0};
+  size_t CachedHead = 0; // consumer-private cache of Head
+
+  alignas(64) std::atomic<bool> Closed{false};
+  std::atomic<bool> Parked{false};
+  std::mutex ParkLock;
+  std::condition_variable ParkCv;
+};
+
+} // namespace literace
+
+#endif // LITERACE_SUPPORT_SPSCRING_H

@@ -1,0 +1,314 @@
+//===-- tests/ShardedDetectorTest.cpp - Differential equivalence -----------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// The sharded parallel pipeline must be indistinguishable from the serial
+// detector: for any trace and any shard count, the merged report is
+// byte-identical — same static races, same dynamic counts, same
+// first-occurrence epochs (event indices), same example addresses, same
+// describe() text. Two layers of evidence:
+//
+//   * ShardedDetectorTest.*: deterministic LogBuilder traces targeting
+//     each mechanism (address partitioning, sync broadcast, first-
+//     occurrence merge, queue backpressure). These spawn worker threads
+//     but contain no real data races, so they also run under TSan (the
+//     "detector" ctest label), race-checking the queue/worker code
+//     itself.
+//
+//   * ShardedWorkloadEquivalence.*: every benchmark workload at small
+//     scale, sharded at N ∈ {1, 2, 4, 8} vs the serial detector and the
+//     brute-force ReferenceDetector oracle. Workloads seed REAL races by
+//     design, so this suite is filtered out of sanitizer builds (see
+//     tests/CMakeLists.txt).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/HBDetector.h"
+#include "detector/OnlineDetector.h"
+#include "detector/LogBuilder.h"
+#include "detector/ReferenceDetector.h"
+#include "detector/ShardedDetector.h"
+#include "harness/DetectionExperiment.h"
+#include "support/SpscRing.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace literace;
+
+namespace {
+
+/// Asserts that two reports are indistinguishable, field by field and as
+/// rendered text.
+void expectIdenticalReports(const RaceReport &Serial,
+                            const RaceReport &Candidate,
+                            const std::string &Label) {
+  EXPECT_EQ(Serial.numDynamicSightings(), Candidate.numDynamicSightings())
+      << Label;
+  EXPECT_EQ(Serial.racyAddresses(), Candidate.racyAddresses()) << Label;
+  auto Want = Serial.staticRaces();
+  auto Got = Candidate.staticRaces();
+  ASSERT_EQ(Want.size(), Got.size()) << Label;
+  for (size_t I = 0; I != Want.size(); ++I) {
+    EXPECT_EQ(Want[I].Key, Got[I].Key) << Label << " race " << I;
+    EXPECT_EQ(Want[I].DynamicCount, Got[I].DynamicCount)
+        << Label << " race " << I;
+    EXPECT_EQ(Want[I].ExampleAddr, Got[I].ExampleAddr)
+        << Label << " race " << I;
+    EXPECT_EQ(Want[I].FirstEventIndex, Got[I].FirstEventIndex)
+        << Label << " race " << I;
+    EXPECT_EQ(Want[I].SawWriteWrite, Got[I].SawWriteWrite)
+        << Label << " race " << I;
+  }
+  EXPECT_EQ(Serial.describe(), Candidate.describe()) << Label;
+}
+
+/// Runs serial and sharded detection over \p T and asserts equivalence at
+/// every requested width.
+void expectShardInvariant(const Trace &T,
+                          std::initializer_list<unsigned> Widths = {1, 2, 4,
+                                                                    8}) {
+  RaceReport Serial;
+  ASSERT_TRUE(detectRaces(T, Serial));
+  for (unsigned N : Widths) {
+    DetectorOptions Options;
+    Options.Shards = N;
+    RaceReport Sharded;
+    ASSERT_TRUE(detectRaces(T, Sharded, ReplayOptions(), Options));
+    expectIdenticalReports(Serial, Sharded,
+                           "shards=" + std::to_string(N));
+  }
+}
+
+TEST(ShardedDetectorTest, ShardAssignmentIsStableAndInRange) {
+  for (unsigned Shards : {1u, 2u, 4u, 8u, 13u})
+    for (uint64_t Addr : {0ull, 1ull, 0x7fffc0ffee00ull, ~0ull}) {
+      unsigned S = shardOfAddress(Addr, Shards);
+      EXPECT_LT(S, Shards);
+      EXPECT_EQ(S, shardOfAddress(Addr, Shards)) << "unstable hash";
+    }
+}
+
+TEST(ShardedDetectorTest, RacesOnManyAddressesMatchSerialExactly) {
+  // 16 addresses; each raced by two threads, half also touched with
+  // ordered accesses so the shadow state does some pruning work.
+  LogBuilder B(16);
+  SyncVar M = makeSyncVar(SyncObjectKind::Mutex, 0x100);
+  for (uint64_t A = 0; A != 16; ++A) {
+    uint64_t Addr = 0x1000 + 0x40 * A;
+    B.onThread(0).write(Addr, makePc(1, static_cast<uint32_t>(A)));
+    B.onThread(1).write(Addr, makePc(2, static_cast<uint32_t>(A)));
+  }
+  // An ordered pair on a few addresses: lock-protected, so no race.
+  for (uint64_t A = 0; A != 4; ++A) {
+    uint64_t Addr = 0x9000 + 0x40 * A;
+    B.onThread(0).lock(M).write(Addr, makePc(3, static_cast<uint32_t>(A)))
+        .unlock(M);
+    B.onThread(1).lock(M).write(Addr, makePc(4, static_cast<uint32_t>(A)))
+        .unlock(M);
+  }
+  expectShardInvariant(B.build());
+}
+
+TEST(ShardedDetectorTest, SyncBroadcastPreservesHappensBefore) {
+  // Thread 0 publishes over a mutex; thread 1's locked read is ordered,
+  // its unlocked read of another address races. If a shard missed the
+  // sync events, the locked pair would be misreported as a race there.
+  LogBuilder B(16);
+  SyncVar M = makeSyncVar(SyncObjectKind::Mutex, 0x5);
+  B.onThread(0).lock(M).write(0x10, makePc(1, 1)).unlock(M);
+  B.onThread(0).write(0x20, makePc(1, 2));
+  B.onThread(1).lock(M).read(0x10, makePc(2, 1)).unlock(M);
+  B.onThread(1).read(0x20, makePc(2, 2));
+  Trace T = B.build();
+
+  RaceReport Serial;
+  ASSERT_TRUE(detectRaces(T, Serial));
+  ASSERT_EQ(Serial.numStaticRaces(), 1u);
+  EXPECT_TRUE(Serial.contains(makePc(1, 2), makePc(2, 2)));
+  expectShardInvariant(T);
+}
+
+TEST(ShardedDetectorTest, FirstOccurrenceMergePicksSerialOrder) {
+  // One static race key sighted on two different addresses, which land in
+  // different shards at most widths. The merged ExampleAddr and
+  // FirstEventIndex must come from the sighting the SERIAL replay sees
+  // first, regardless of which shard got it.
+  for (int FirstAddrIsLow = 0; FirstAddrIsLow != 2; ++FirstAddrIsLow) {
+    LogBuilder B(16);
+    uint64_t A1 = FirstAddrIsLow ? 0x1000u : 0x2000u;
+    uint64_t A2 = FirstAddrIsLow ? 0x2000u : 0x1000u;
+    B.onThread(0).write(A1, makePc(1, 7)).write(A2, makePc(1, 7));
+    B.onThread(1).write(A1, makePc(2, 9)).write(A2, makePc(2, 9));
+    Trace T = B.build();
+
+    RaceReport Serial;
+    ASSERT_TRUE(detectRaces(T, Serial));
+    ASSERT_EQ(Serial.numStaticRaces(), 1u);
+    EXPECT_EQ(Serial.staticRaces()[0].ExampleAddr, A1);
+    expectShardInvariant(T);
+  }
+}
+
+TEST(ShardedDetectorTest, MoreShardsThanAddressesIsHarmless) {
+  LogBuilder B(16);
+  B.onThread(0).write(0x10, makePc(1, 1));
+  B.onThread(1).write(0x10, makePc(2, 1));
+  expectShardInvariant(B.build(), {1, 2, 8, 16});
+}
+
+TEST(ShardedDetectorTest, TinyQueuesExerciseBackpressure) {
+  // Queue capacity below the event count forces the producer through the
+  // full/park path many times; the result must not change.
+  LogBuilder B(16);
+  SyncVar M = makeSyncVar(SyncObjectKind::Mutex, 0x9);
+  for (uint32_t I = 0; I != 2000; ++I) {
+    uint64_t Addr = 0x1000 + 0x8 * (I % 64);
+    B.onThread(I % 3).write(Addr, makePc(I % 3, I % 64));
+    if (I % 50 == 0)
+      B.onThread(I % 3).lock(M).unlock(M);
+  }
+  Trace T = B.build();
+
+  RaceReport Serial;
+  ASSERT_TRUE(detectRaces(T, Serial));
+  DetectorOptions Options;
+  Options.Shards = 4;
+  Options.ShardQueueCapacity = 1; // Rounded up to the 16-slot minimum.
+  RaceReport Sharded;
+  ASSERT_TRUE(detectRaces(T, Sharded, ReplayOptions(), Options));
+  expectIdenticalReports(Serial, Sharded, "tiny queues");
+}
+
+TEST(ShardedDetectorTest, SamplerFilteredViewsStayInvariant) {
+  // The sampler-slot filter runs before fan-out; sharding must commute
+  // with it.
+  LogBuilder B(16);
+  for (uint32_t I = 0; I != 32; ++I) {
+    uint16_t Mask = static_cast<uint16_t>(FullLogMaskBit | (I % 2 ? 1 : 2));
+    B.onThread(0).write(0x100 + 8 * I, makePc(1, I), Mask);
+    B.onThread(1).write(0x100 + 8 * I, makePc(2, I), Mask);
+  }
+  Trace T = B.build();
+  for (int Slot : {0, 1}) {
+    ReplayOptions Replay;
+    Replay.SamplerSlot = Slot;
+    RaceReport Serial;
+    ASSERT_TRUE(detectRaces(T, Serial, Replay));
+    for (unsigned N : {2u, 4u}) {
+      DetectorOptions Options;
+      Options.Shards = N;
+      RaceReport Sharded;
+      ASSERT_TRUE(detectRaces(T, Sharded, Replay, Options));
+      expectIdenticalReports(Serial, Sharded,
+                             "slot " + std::to_string(Slot) + " shards " +
+                                 std::to_string(N));
+    }
+  }
+}
+
+TEST(ShardedDetectorTest, OnlineShardedDrainMatchesOfflineKeys) {
+  LogBuilder B(32);
+  SyncVar M = makeSyncVar(SyncObjectKind::Mutex, 0x7);
+  for (uint32_t I = 0; I != 200; ++I) {
+    B.onThread(0).write(0x1000 + 8 * (I % 16), makePc(1, I % 16));
+    B.onThread(1).write(0x1000 + 8 * (I % 16), makePc(2, I % 16));
+    if (I % 10 == 0) {
+      B.onThread(0).lock(M).write(0x5000, makePc(1, 99)).unlock(M);
+      B.onThread(1).lock(M).write(0x5000, makePc(2, 99)).unlock(M);
+    }
+  }
+  Trace T = B.build();
+
+  RaceReport Offline;
+  ASSERT_TRUE(detectRaces(T, Offline));
+
+  RaceReport Online;
+  {
+    DetectorOptions Options;
+    Options.Shards = 4;
+    OnlineDetector D(32, Online, ReplayOptions(), Options);
+    // Chunked, per-thread, in reverse thread order for good measure.
+    for (ThreadId Tid = T.PerThread.size(); Tid-- > 0;) {
+      const auto &Stream = T.PerThread[Tid];
+      for (size_t At = 0; At < Stream.size(); At += 37)
+        D.writeChunk(Tid, Stream.data() + At,
+                     std::min<size_t>(37, Stream.size() - At));
+    }
+    ASSERT_TRUE(D.finish());
+  }
+  EXPECT_EQ(Offline.keys(), Online.keys());
+  EXPECT_EQ(Offline.racyAddresses(), Online.racyAddresses());
+}
+
+TEST(ShardedDetectorTest, SpscRingDeliversInOrderUnderBackpressure) {
+  // Direct exercise of the queue the pipeline rides on: a tiny ring, a
+  // slow-start consumer, 100k items, FIFO order verified end to end.
+  SpscRing<uint64_t> Ring(16);
+  EXPECT_EQ(Ring.capacity(), 16u);
+  constexpr uint64_t Count = 100000;
+  std::thread Consumer([&] {
+    uint64_t Expected = 0;
+    uint64_t Value = 0;
+    while (Ring.pop(Value)) {
+      ASSERT_EQ(Value, Expected);
+      ++Expected;
+    }
+    EXPECT_EQ(Expected, Count);
+  });
+  for (uint64_t I = 0; I != Count; ++I)
+    Ring.push(I);
+  Ring.close();
+  Consumer.join();
+}
+
+// --- Workload differential suite (real races; not sanitizer-safe) --------
+
+class ShardedWorkloadEquivalence
+    : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(ShardedWorkloadEquivalence, AllShardWidthsMatchSerialAndOracle) {
+  auto W = makeWorkload(GetParam());
+  WorkloadParams Params;
+  Params.Scale = 0.02;
+  ExperimentRun Run = executeExperiment(*W, Params);
+  const Trace &T = Run.TraceData;
+
+  RaceReport Serial;
+  ASSERT_TRUE(detectRaces(T, Serial)) << W->name();
+  for (unsigned N : {1u, 2u, 4u, 8u}) {
+    DetectorOptions Options;
+    Options.Shards = N;
+    RaceReport Sharded;
+    ASSERT_TRUE(detectRaces(T, Sharded, ReplayOptions(), Options))
+        << W->name();
+    expectIdenticalReports(Serial, Sharded,
+                           W->name() + " shards=" + std::to_string(N));
+  }
+
+  // Oracle cross-check (ModelCheckTest conventions): the sharded result —
+  // equal to serial by the assertions above — must report a race on
+  // exactly the addresses the brute-force oracle finds racy, and no pair
+  // the oracle rejects.
+  RaceReport Oracle;
+  ASSERT_TRUE(detectRacesReference(T, Oracle)) << W->name();
+  EXPECT_EQ(Serial.racyAddresses(), Oracle.racyAddresses()) << W->name();
+  auto OracleKeys = Oracle.keys();
+  for (const StaticRaceKey &Key : Serial.keys())
+    EXPECT_TRUE(OracleKeys.count(Key))
+        << W->name() << " reported a pair the oracle rejects: " << Key.first
+        << "," << Key.second;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ShardedWorkloadEquivalence,
+    ::testing::Values(WorkloadKind::ChannelWithStdLib, WorkloadKind::Channel,
+                      WorkloadKind::ConcRTMessaging,
+                      WorkloadKind::ConcRTScheduling, WorkloadKind::Httpd1,
+                      WorkloadKind::Httpd2, WorkloadKind::BrowserStart,
+                      WorkloadKind::BrowserRender, WorkloadKind::LKRHash,
+                      WorkloadKind::LFList, WorkloadKind::SciComputeFn,
+                      WorkloadKind::SciComputeLoop));
+
+} // namespace

@@ -11,7 +11,10 @@
 //
 // Usage:
 //   literace-report <log.bin> [--detector hb|fasttrack|lockset]
-//                   [--rare-threshold-memops <n>] [--quiet]
+//                   [--shards <n>] [--rare-threshold-memops <n>] [--quiet]
+//
+// --shards=N runs the happens-before analysis on N parallel address-space
+// shards (docs/DETECTOR.md); the report is byte-identical to --shards=1.
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,7 +37,7 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <log.bin> [--detector hb|fasttrack|lockset] "
-               "[--suppress <file>] [--stats] [--quiet]\n",
+               "[--shards <n>] [--suppress <file>] [--stats] [--quiet]\n",
                Argv0);
   return 2;
 }
@@ -67,11 +70,17 @@ int main(int Argc, char **Argv) {
   std::string Detector = "hb";
   bool Quiet = false;
   bool Stats = false;
+  DetectorOptions DetOpts;
   std::set<Pc> Suppressed;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--detector" && I + 1 < Argc)
       Detector = Argv[++I];
+    else if (Arg == "--shards" && I + 1 < Argc)
+      DetOpts.Shards = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (Arg.rfind("--shards=", 0) == 0)
+      DetOpts.Shards =
+          static_cast<unsigned>(std::atoi(Arg.c_str() + sizeof("--shards=") - 1));
     else if (Arg == "--quiet")
       Quiet = true;
     else if (Arg == "--stats")
@@ -105,11 +114,23 @@ int main(int Argc, char **Argv) {
                Path.c_str(), T->PerThread.size(), T->totalEvents(),
                T->memoryOps(), T->syncOps(), T->NumTimestampCounters);
 
+  if (DetOpts.Shards == 0)
+    DetOpts.Shards = 1;
+  if (DetOpts.Shards > 1 && Detector != "hb") {
+    std::fprintf(stderr, "note: --shards applies to the hb detector only; "
+                         "running %s serially\n",
+                 Detector.c_str());
+    DetOpts.Shards = 1;
+  }
+
   RaceReport Report;
   WallTimer Timer;
   bool Consistent;
   if (Detector == "hb") {
-    Consistent = detectRaces(*T, Report);
+    if (DetOpts.Shards > 1)
+      std::fprintf(stderr, "analyzing on %u address-space shards\n",
+                   DetOpts.Shards);
+    Consistent = detectRaces(*T, Report, ReplayOptions(), DetOpts);
   } else if (Detector == "fasttrack") {
     Consistent = detectRacesFastTrack(*T, Report);
   } else if (Detector == "lockset") {
