@@ -27,6 +27,7 @@
 #include "support/TableFormatter.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -43,6 +44,9 @@ struct SweepPoint {
   double EventsPerSec = 0.0;
   double Speedup = 1.0;
   size_t StaticRaces = 0;
+  /// Pipeline telemetry per shard, from the fastest repeat (empty for
+  /// the serial width, which has no queues).
+  std::vector<ShardedHBDetector::ShardTelemetry> ShardStats;
 };
 
 } // namespace
@@ -107,10 +111,23 @@ int main(int Argc, char **Argv) {
     Options.Shards = Shards;
     double Best = 0.0;
     size_t Races = 0;
+    std::vector<ShardedHBDetector::ShardTelemetry> BestStats;
     for (unsigned Rep = 0; Rep != (Repeats == 0 ? 1 : Repeats); ++Rep) {
       RaceReport Report;
+      std::vector<ShardedHBDetector::ShardTelemetry> Stats;
       WallTimer Timer;
-      bool Ok = detectRaces(T, Report, ReplayOptions(), Options);
+      bool Ok;
+      if (Shards <= 1) {
+        Ok = detectRaces(T, Report, ReplayOptions(), Options);
+      } else {
+        // Explicit form of the same pipeline detectRaces runs, so the
+        // per-shard queue telemetry can be read off afterwards.
+        ShardedHBDetector Detector(Options);
+        Ok = replayTrace(T, Detector);
+        Detector.finish(Report);
+        for (unsigned S = 0; S != Detector.numShards(); ++S)
+          Stats.push_back(Detector.shardTelemetry(S));
+      }
       double Seconds = Timer.seconds();
       if (!Ok)
         std::fprintf(stderr, "warning: %u-shard replay inconsistent\n",
@@ -122,8 +139,10 @@ int main(int Argc, char **Argv) {
         Identical = false;
       }
       Races = Report.numStaticRaces();
-      if (Rep == 0 || Seconds < Best)
+      if (Rep == 0 || Seconds < Best) {
         Best = Seconds;
+        BestStats = std::move(Stats);
+      }
     }
     if (Shards == 1)
       SerialSeconds = Best;
@@ -133,17 +152,33 @@ int main(int Argc, char **Argv) {
     P.EventsPerSec = static_cast<double>(T.totalEvents()) / Best;
     P.Speedup = SerialSeconds / Best;
     P.StaticRaces = Races;
+    P.ShardStats = std::move(BestStats);
     Sweep.push_back(P);
   }
 
   TableFormatter Shards("Sharded happens-before sweep (byte-identical "
                         "reports at every width)");
-  Shards.addRow({"Shards", "Races", "Time", "M events/s", "Speedup"});
-  for (const SweepPoint &P : Sweep)
+  Shards.addRow({"Shards", "Races", "Time", "M events/s", "Speedup",
+                 "Queue HW", "Parks p/c"});
+  for (const SweepPoint &P : Sweep) {
+    size_t QueueHw = 0;
+    uint64_t ProdParks = 0;
+    uint64_t ConsParks = 0;
+    for (const auto &S : P.ShardStats) {
+      QueueHw = std::max(QueueHw, S.QueueDepthHighWater);
+      ProdParks += S.ProducerParks;
+      ConsParks += S.ConsumerParks;
+    }
     Shards.addRow({std::to_string(P.Shards), std::to_string(P.StaticRaces),
                    TableFormatter::num(P.Seconds, 3) + "s",
                    TableFormatter::num(P.EventsPerSec / 1e6, 1),
-                   TableFormatter::num(P.Speedup, 2) + "x"});
+                   TableFormatter::num(P.Speedup, 2) + "x",
+                   P.ShardStats.empty() ? "-" : std::to_string(QueueHw),
+                   P.ShardStats.empty()
+                       ? "-"
+                       : std::to_string(ProdParks) + "/" +
+                             std::to_string(ConsParks)});
+  }
   Shards.print();
   std::fprintf(stderr, "host cores: %u\n",
                std::thread::hardware_concurrency());
@@ -167,9 +202,20 @@ int main(int Argc, char **Argv) {
       std::fprintf(File,
                    "    {\"shards\": %u, \"seconds\": %.6f, "
                    "\"events_per_sec\": %.1f, \"speedup\": %.3f, "
-                   "\"static_races\": %zu}%s\n",
+                   "\"static_races\": %zu,\n     \"shard_queues\": [",
                    P.Shards, P.Seconds, P.EventsPerSec, P.Speedup,
-                   P.StaticRaces, I + 1 == Sweep.size() ? "" : ",");
+                   P.StaticRaces);
+      for (size_t S = 0; S != P.ShardStats.size(); ++S) {
+        const auto &Q = P.ShardStats[S];
+        std::fprintf(File,
+                     "%s{\"depth_highwater\": %zu, "
+                     "\"producer_parks\": %llu, "
+                     "\"consumer_parks\": %llu}",
+                     S == 0 ? "" : ", ", Q.QueueDepthHighWater,
+                     static_cast<unsigned long long>(Q.ProducerParks),
+                     static_cast<unsigned long long>(Q.ConsumerParks));
+      }
+      std::fprintf(File, "]}%s\n", I + 1 == Sweep.size() ? "" : ",");
     }
     std::fprintf(File, "  ]\n}\n");
     std::fclose(File);

@@ -8,11 +8,24 @@
 // (counters updated, nothing logged), LiteRace (sampled logging), and
 // FullLogging (every access logged).
 //
+// The telemetry arms measure the same DispatchOnly check with the metrics
+// registry off vs. on. With --check-telemetry-overhead the bench takes
+// paired min-of-N measurements and FAILS (exit 1) if telemetry adds more
+// than LITERACE_TELEMETRY_BUDGET_PCT percent (default 5) to the dispatch
+// check — the guard for docs/TELEMETRY.md's cost contract.
+//
 //===----------------------------------------------------------------------===//
 
 #include "runtime/ThreadContext.h"
+#include "support/Timer.h"
+#include "telemetry/Metrics.h"
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace literace;
 
@@ -44,6 +57,79 @@ void dispatchMode(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations());
 }
 
+/// The DispatchOnly check with telemetry forced off (Arg 0) or routed to
+/// a private registry (Arg 1), independent of LITERACE_TELEMETRY.
+void dispatchTelemetry(benchmark::State &State) {
+  const bool TelemetryOn = State.range(0) != 0;
+  static telemetry::MetricsRegistry BenchRegistry;
+  RuntimeConfig Config;
+  Config.Mode = RunMode::DispatchOnly;
+  Config.DisableTelemetry = !TelemetryOn;
+  if (TelemetryOn)
+    Config.Metrics = &BenchRegistry;
+  Runtime RT(Config, nullptr);
+  FunctionId F = RT.registry().registerFunction("hot");
+  ThreadContext TC(RT);
+  uint64_t Cells[2] = {};
+  uint64_t I = 0;
+  for (auto _ : State) {
+    TC.run(F, [&](auto &T) { body(T, Cells, I); });
+    ++I;
+  }
+  State.SetLabel(TelemetryOn ? "telemetry-on" : "telemetry-off");
+  State.SetItemsProcessed(State.iterations());
+}
+
+/// One timing sample: ns/call of the DispatchOnly check.
+double measureDispatchNs(bool TelemetryOn,
+                         telemetry::MetricsRegistry &Registry) {
+  RuntimeConfig Config;
+  Config.Mode = RunMode::DispatchOnly;
+  Config.DisableTelemetry = !TelemetryOn;
+  if (TelemetryOn)
+    Config.Metrics = &Registry;
+  Runtime RT(Config, nullptr);
+  FunctionId F = RT.registry().registerFunction("hot");
+  ThreadContext TC(RT);
+  uint64_t Cells[2] = {};
+  uint64_t I = 0;
+  constexpr uint64_t Calls = 4000000;
+  WallTimer Timer;
+  for (uint64_t K = 0; K != Calls; ++K) {
+    TC.run(F, [&](auto &T) { body(T, Cells, I); });
+    ++I;
+  }
+  return static_cast<double>(Timer.nanoseconds()) /
+         static_cast<double>(Calls);
+}
+
+/// Paired min-of-N guard: telemetry-on must stay within the budget of
+/// telemetry-off. Interleaved trials so frequency drift hits both arms.
+int checkTelemetryOverhead() {
+  double BudgetPct = 5.0;
+  if (const char *Env = std::getenv("LITERACE_TELEMETRY_BUDGET_PCT"))
+    BudgetPct = std::atof(Env);
+  telemetry::MetricsRegistry Registry;
+  constexpr unsigned Trials = 15;
+  double MinOff = 0.0;
+  double MinOn = 0.0;
+  // Warm-up pass per arm, then interleaved timed trials.
+  (void)measureDispatchNs(false, Registry);
+  (void)measureDispatchNs(true, Registry);
+  for (unsigned T = 0; T != Trials; ++T) {
+    const double Off = measureDispatchNs(false, Registry);
+    const double On = measureDispatchNs(true, Registry);
+    MinOff = T == 0 ? Off : std::min(MinOff, Off);
+    MinOn = T == 0 ? On : std::min(MinOn, On);
+  }
+  const double AddedPct = (MinOn / MinOff - 1.0) * 100.0;
+  const bool Ok = AddedPct <= BudgetPct;
+  std::printf("dispatch check: telemetry-off %.3f ns/call, telemetry-on "
+              "%.3f ns/call, added %.2f%% (budget %.1f%%): %s\n",
+              MinOff, MinOn, AddedPct, BudgetPct, Ok ? "OK" : "FAIL");
+  return Ok ? 0 : 1;
+}
+
 } // namespace
 
 BENCHMARK(dispatchMode)
@@ -52,4 +138,16 @@ BENCHMARK(dispatchMode)
     ->Arg(static_cast<int>(RunMode::LiteRace))
     ->Arg(static_cast<int>(RunMode::FullLogging));
 
-BENCHMARK_MAIN();
+BENCHMARK(dispatchTelemetry)->Arg(0)->Arg(1);
+
+int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--check-telemetry-overhead") == 0)
+      return checkTelemetryOverhead();
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

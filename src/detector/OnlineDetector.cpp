@@ -6,6 +6,10 @@
 
 #include "detector/OnlineDetector.h"
 
+#include "telemetry/Metrics.h"
+
+#include <algorithm>
+
 using namespace literace;
 
 OnlineDetector::OnlineDetector(unsigned NumTimestampCounters,
@@ -28,8 +32,20 @@ void OnlineDetector::writeChunk(ThreadId Tid, const EventRecord *Records,
     std::lock_guard<std::mutex> Guard(Lock);
     Queue.emplace_back(Tid,
                        std::vector<EventRecord>(Records, Records + Count));
+    ChunkQueueHw = std::max(ChunkQueueHw, Queue.size());
+    ++Chunks;
   }
   Ready.notify_one();
+}
+
+size_t OnlineDetector::chunkQueueHighWater() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return ChunkQueueHw;
+}
+
+uint64_t OnlineDetector::chunksReceived() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Chunks;
 }
 
 bool OnlineDetector::finish() {
@@ -47,8 +63,19 @@ bool OnlineDetector::finish() {
     Sharded->finish(Report);
   // Anything still pending means some timestamp never arrived: the stream
   // was inconsistent (or truncated).
-  std::lock_guard<std::mutex> Guard(Lock);
-  Consistent = Scheduler.fullyDrained();
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Consistent = Scheduler.fullyDrained();
+  }
+  // Online-plane telemetry, folded once per detector (the first finish()
+  // to get here joined the worker, so the counts are final).
+  if (telemetry::MetricsRegistry *M = telemetry::resolveRegistry(nullptr)) {
+    telemetry::ThreadSlab &Slab = M->threadSlab();
+    Slab.add(M->counter("online.events"), eventsProcessed());
+    Slab.add(M->counter("online.chunks"), chunksReceived());
+    Slab.gaugeMax(M->gaugeMax("online.chunk_queue_highwater"),
+                  chunkQueueHighWater());
+  }
   return Consistent;
 }
 

@@ -57,6 +57,13 @@ public:
     return Processed.load(std::memory_order_relaxed);
   }
 
+  /// Peak number of chunks waiting in the hand-off queue — how far the
+  /// drain worker fell behind the instrumented producers.
+  size_t chunkQueueHighWater() const;
+
+  /// Chunks accepted from producers so far.
+  uint64_t chunksReceived() const;
+
 private:
   void workerLoop();
 
@@ -72,9 +79,11 @@ private:
   std::unique_ptr<HBDetector> Serial;
   std::unique_ptr<ShardedHBDetector> Sharded;
 
-  std::mutex Lock;
+  mutable std::mutex Lock;
   std::condition_variable Ready;
   std::vector<std::pair<ThreadId, std::vector<EventRecord>>> Queue;
+  size_t ChunkQueueHw = 0; // guarded by Lock
+  uint64_t Chunks = 0;     // guarded by Lock
   bool Done = false;
   bool Consistent = true;
   std::atomic<uint64_t> Processed{0};

@@ -7,7 +7,11 @@
 #include "detector/ShardedDetector.h"
 
 #include "support/Hashing.h"
+#include "support/Timer.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Timeline.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace literace;
@@ -21,7 +25,7 @@ ShardedHBDetector::ShardedHBDetector(const DetectorOptions &Options) {
   const unsigned N = Options.Shards == 0 ? 1 : Options.Shards;
   Shards.reserve(N);
   for (unsigned I = 0; I != N; ++I)
-    Shards.push_back(std::make_unique<Shard>(Options.ShardQueueCapacity));
+    Shards.push_back(std::make_unique<Shard>(I, Options.ShardQueueCapacity));
   // Spawn after the vector is fully built: workers only touch their own
   // shard, but keeping construction complete first is cheap insurance.
   for (auto &S : Shards) {
@@ -53,9 +57,19 @@ void ShardedHBDetector::onEvent(const EventRecord &R) {
 }
 
 void ShardedHBDetector::workerLoop(Shard &S) {
+  telemetry::TraceRecorder &Rec = telemetry::TraceRecorder::global();
+  const uint64_t StartUs = Rec.enabled() ? Rec.nowUs() : 0;
+  WallTimer Timer;
   Item I;
   while (S.Queue.pop(I))
     S.Detector.onEventAt(I.Record, I.Seq);
+  S.WorkerNs = Timer.nanoseconds();
+  if (Rec.enabled())
+    Rec.addSpan("shard worker", "detector.shard",
+                telemetry::TimelinePidDetector, S.Index, StartUs,
+                std::max<uint64_t>(S.WorkerNs / 1000, 1),
+                {{"memory_events", S.Detector.memoryEventsProcessed()},
+                 {"sync_events", S.Detector.syncEventsProcessed()}});
 }
 
 void ShardedHBDetector::finish(RaceReport &Report) {
@@ -67,10 +81,49 @@ void ShardedHBDetector::finish(RaceReport &Report) {
   if (Finished)
     return;
   Finished = true;
+  telemetry::TraceRecorder &Rec = telemetry::TraceRecorder::global();
+  const uint64_t MergeStartUs = Rec.enabled() ? Rec.nowUs() : 0;
+  WallTimer MergeTimer;
   // The per-key first-occurrence bookkeeping makes this independent of
   // merge order; iterating in shard order keeps it obviously so.
   for (auto &S : Shards)
     Report.merge(S->Local);
+  MergeNs = MergeTimer.nanoseconds();
+  if (Rec.enabled())
+    Rec.addSpan("merge shard reports", "detector.merge",
+                telemetry::TimelinePidDetector, numShards(), MergeStartUs,
+                std::max<uint64_t>(MergeNs / 1000, 1),
+                {{"shards", numShards()}});
+  publishTelemetry();
+}
+
+void ShardedHBDetector::publishTelemetry() {
+  telemetry::MetricsRegistry *M = telemetry::resolveRegistry(nullptr);
+  if (!M)
+    return;
+  telemetry::ThreadSlab &Slab = M->threadSlab();
+  const telemetry::CounterId MemEvents =
+      M->counter("detector.events.memory");
+  const telemetry::CounterId SyncEvents = M->counter("detector.events.sync");
+  const telemetry::CounterId ProdParks =
+      M->counter("detector.queue.producer_parks");
+  const telemetry::CounterId ConsParks =
+      M->counter("detector.queue.consumer_parks");
+  const telemetry::GaugeId QueueHw =
+      M->gaugeMax("detector.queue.depth_highwater");
+  const telemetry::HistogramId WorkerNs =
+      M->histogram("detector.worker_ns");
+  for (unsigned I = 0; I != numShards(); ++I) {
+    const ShardTelemetry T = shardTelemetry(I);
+    Slab.add(MemEvents, T.MemoryEvents);
+    Slab.add(SyncEvents, T.SyncEvents);
+    Slab.add(ProdParks, T.ProducerParks);
+    Slab.add(ConsParks, T.ConsumerParks);
+    Slab.gaugeMax(QueueHw, T.QueueDepthHighWater);
+    Slab.record(WorkerNs, T.WorkerNs);
+  }
+  Slab.gaugeMax(M->gaugeMax("detector.shards"), numShards());
+  Slab.record(M->histogram("detector.merge_ns"), MergeNs);
 }
 
 uint64_t ShardedHBDetector::memoryEventsProcessed() const {
@@ -82,6 +135,21 @@ uint64_t ShardedHBDetector::memoryEventsProcessed() const {
 
 uint64_t ShardedHBDetector::syncEventsProcessed() const {
   return Shards.empty() ? 0 : Shards.front()->Detector.syncEventsProcessed();
+}
+
+ShardedHBDetector::ShardTelemetry
+ShardedHBDetector::shardTelemetry(unsigned ShardIndex) const {
+  assert(ShardIndex < Shards.size() && "shard index out of range");
+  const Shard &S = *Shards[ShardIndex];
+  const SpscRingStats Q = S.Queue.stats();
+  ShardTelemetry T;
+  T.MemoryEvents = S.Detector.memoryEventsProcessed();
+  T.SyncEvents = S.Detector.syncEventsProcessed();
+  T.QueueDepthHighWater = Q.DepthHighWater;
+  T.ProducerParks = Q.ProducerParks;
+  T.ConsumerParks = Q.ConsumerParks;
+  T.WorkerNs = S.WorkerNs;
+  return T;
 }
 
 bool literace::detectRacesSharded(const Trace &T, RaceReport &Report,

@@ -78,6 +78,21 @@ public:
   /// Sync events analyzed per shard (every shard sees all of them).
   uint64_t syncEventsProcessed() const;
 
+  /// Pipeline telemetry of one shard. Queue stats are live; the event
+  /// counts and worker time are exact once finish() returned.
+  struct ShardTelemetry {
+    uint64_t MemoryEvents = 0;        ///< memory events this shard analyzed
+    uint64_t SyncEvents = 0;          ///< broadcast sync events it analyzed
+    size_t QueueDepthHighWater = 0;   ///< peak SPSC queue occupancy
+    uint64_t ProducerParks = 0;       ///< fan-out stalls on this queue
+    uint64_t ConsumerParks = 0;       ///< worker waits on an empty queue
+    uint64_t WorkerNs = 0;            ///< worker thread lifetime
+  };
+  ShardTelemetry shardTelemetry(unsigned ShardIndex) const;
+
+  /// Wall time finish() spent merging the per-shard reports.
+  uint64_t mergeNanos() const { return MergeNs; }
+
 private:
   /// One queued event with its global replay sequence number.
   struct Item {
@@ -87,19 +102,28 @@ private:
 
   /// One shard: queue, private detector state, and its worker thread.
   struct Shard {
-    explicit Shard(size_t QueueCapacity)
-        : Queue(QueueCapacity), Detector(Local) {}
+    Shard(unsigned Index, size_t QueueCapacity)
+        : Index(Index), Queue(QueueCapacity), Detector(Local) {}
 
+    unsigned Index;
     SpscRing<Item> Queue;
     RaceReport Local;
     HBDetector Detector;
     std::thread Worker;
+    /// Worker thread lifetime (written by the worker at exit, read after
+    /// the join in finish()).
+    uint64_t WorkerNs = 0;
   };
 
   void workerLoop(Shard &S);
 
+  /// Folds pipeline telemetry into the process metrics registry and
+  /// emits worker/merge spans; called once from finish().
+  void publishTelemetry();
+
   std::vector<std::unique_ptr<Shard>> Shards;
   uint64_t NextSeq = 0;
+  uint64_t MergeNs = 0;
   bool Finished = false;
 };
 

@@ -15,11 +15,13 @@
 using namespace literace;
 
 ExperimentRun literace::executeExperiment(Workload &W,
-                                          const WorkloadParams &Params) {
+                                          const WorkloadParams &Params,
+                                          telemetry::MetricsRegistry *Metrics) {
   MemorySink Sink(/*NumTimestampCounters=*/128);
   RuntimeConfig Config;
   Config.Mode = RunMode::Experiment;
   Config.Seed = Params.Seed;
+  Config.Metrics = Metrics;
   Runtime RT(Config, &Sink);
   RT.addStandardSamplers();
   W.bind(RT);
@@ -30,6 +32,7 @@ ExperimentRun literace::executeExperiment(Workload &W,
   Run.Stats = RT.stats();
   Run.NumFunctions = RT.registry().size();
   Run.NumThreads = RT.numThreads();
+  Run.Metrics = RT.metricsSnapshot();
   for (unsigned Slot = 0; Slot != RT.numSamplers(); ++Slot) {
     Run.SamplerNames.push_back(RT.sampler(Slot).shortName());
     Run.SamplerDescriptions.push_back(RT.sampler(Slot).description());

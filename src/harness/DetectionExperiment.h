@@ -38,11 +38,20 @@ struct ExperimentRun {
   uint32_t NumThreads = 0;
   std::vector<std::string> SamplerNames;
   std::vector<std::string> SamplerDescriptions;
+  /// Runtime-plane telemetry snapshot (docs/TELEMETRY.md), taken after
+  /// the workload's threads detached, so counters are exact. Cumulative
+  /// when successive runs share the process-global registry; pass a
+  /// private registry to executeExperiment for per-run isolation. Empty
+  /// when the kill switch disabled telemetry.
+  telemetry::MetricsSnapshot Metrics;
 };
 
 /// Executes \p W (fresh, unbound) once in Experiment mode with the seven
 /// standard samplers attached and returns the trace and statistics.
-ExperimentRun executeExperiment(Workload &W, const WorkloadParams &Params);
+/// \p Metrics overrides the telemetry registry (tests use a private one;
+/// null resolves to the process-global registry).
+ExperimentRun executeExperiment(Workload &W, const WorkloadParams &Params,
+                                telemetry::MetricsRegistry *Metrics = nullptr);
 
 /// Per-sampler outcome of a detection experiment.
 struct SamplerOutcome {

@@ -6,6 +6,9 @@
 
 #include "runtime/CompressedLog.h"
 
+#include "support/Timer.h"
+#include "telemetry/Metrics.h"
+
 #include <cassert>
 #include <cstdio>
 #include <cstring>
@@ -161,6 +164,7 @@ bool CompressedFileSink::close() {
   Ok &= std::fwrite(&NumThreads, sizeof(NumThreads), 1, File) == 1;
   CompressedSize = sizeof(Magic) + sizeof(Counters) + sizeof(NumThreads);
 
+  WallTimer EncodeTimer;
   std::vector<uint8_t> Buffer;
   for (const auto &Stream : PerThread) {
     Buffer.clear();
@@ -173,6 +177,21 @@ bool CompressedFileSink::close() {
     CompressedSize += sizeof(Size) + Buffer.size();
   }
   Ok &= std::fclose(File) == 0;
+
+  // Logger-plane telemetry: raw vs. encoded volume and the ratio, folded
+  // into the process registry once per file.
+  if (telemetry::MetricsRegistry *M = telemetry::resolveRegistry(nullptr)) {
+    telemetry::ThreadSlab &Slab = M->threadSlab();
+    const uint64_t Raw = bytesWritten();
+    Slab.add(M->counter("logger.raw_bytes"), Raw);
+    Slab.add(M->counter("logger.compressed_bytes"), CompressedSize);
+    Slab.add(M->counter("logger.files_closed"));
+    Slab.record(M->histogram("logger.encode_ns"),
+                EncodeTimer.nanoseconds());
+    if (Raw)
+      Slab.gaugeMax(M->gaugeMax("logger.compression_ratio_pct"),
+                    CompressedSize * 100 / Raw);
+  }
   return Ok;
 }
 

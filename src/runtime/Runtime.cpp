@@ -48,9 +48,30 @@ void RuntimeStats::mergeFrom(const RuntimeStats &Other) {
 
 Runtime::Runtime(const RuntimeConfig &Config, LogSink *Sink)
     : Config(Config), Sink(Sink),
-      Timestamps(Config.TimestampCounters) {
+      Timestamps(Config.TimestampCounters),
+      Metrics(telemetry::resolveRegistry(Config.Metrics,
+                                         Config.DisableTelemetry)) {
   assert((Sink != nullptr || Config.Mode <= RunMode::DispatchOnly) &&
          "logging modes require a sink");
+  if (Metrics) {
+    MetricIds.DispatchChecks = Metrics->counter("runtime.dispatch_checks");
+    MetricIds.SampledActivations =
+        Metrics->counter("runtime.sampled_activations");
+    MetricIds.UnsampledActivations =
+        Metrics->counter("runtime.unsampled_activations");
+    MetricIds.MemOpsLogged = Metrics->counter("runtime.memops_logged");
+    MetricIds.MemOpsElided = Metrics->counter("runtime.memops_elided");
+    MetricIds.SyncOpsLogged = Metrics->counter("runtime.syncops_logged");
+    MetricIds.LogFlushes = Metrics->counter("runtime.log.flushes");
+    MetricIds.LogBytesWritten =
+        Metrics->counter("runtime.log.bytes_written");
+    MetricIds.LogFlushNs = Metrics->histogram("runtime.log.flush_ns");
+    MetricIds.SamplerBackoffs =
+        Metrics->counter("runtime.sampler.backoffs");
+    MetricIds.SamplerRateIndex =
+        Metrics->histogram("runtime.sampler.rate_index");
+    MetricIds.Threads = Metrics->gaugeMax("runtime.threads");
+  }
 }
 
 Runtime::~Runtime() = default;
@@ -109,4 +130,17 @@ void Runtime::accumulateStats(const RuntimeStats &Local) {
 RuntimeStats Runtime::stats() const {
   std::lock_guard<std::mutex> Guard(StatsLock);
   return GlobalStats;
+}
+
+telemetry::MetricsSnapshot Runtime::metricsSnapshot() const {
+  if (!Metrics)
+    return {};
+  telemetry::MetricsSnapshot Snap = Metrics->snapshot();
+  // Every dispatch check resolves to exactly one sampled or unsampled
+  // activation, so the total is derived here instead of paying a second
+  // relaxed increment on the hot path (docs/TELEMETRY.md cost contract).
+  Snap.setCounter("runtime.dispatch_checks",
+                  Snap.counter("runtime.sampled_activations") +
+                      Snap.counter("runtime.unsampled_activations"));
+  return Snap;
 }

@@ -34,6 +34,7 @@
 #include "runtime/Ids.h"
 #include "runtime/Samplers.h"
 #include "runtime/TimestampManager.h"
+#include "telemetry/Metrics.h"
 
 #include <atomic>
 #include <memory>
@@ -70,6 +71,31 @@ struct RuntimeConfig {
   /// the policy, so every registered site logs as if the static analysis
   /// never ran.
   bool DisableElision = false;
+  /// Telemetry registry override, mainly for tests and benches that want
+  /// isolated counters. Null resolves to the process-global registry
+  /// unless DisableTelemetry or the LITERACE_TELEMETRY kill switch is on.
+  telemetry::MetricsRegistry *Metrics = nullptr;
+  /// Forces telemetry off for this runtime regardless of the environment
+  /// (the baseline arm of the telemetry-overhead microbench).
+  bool DisableTelemetry = false;
+};
+
+/// Pre-registered telemetry handles of the runtime plane. Hot paths reach
+/// them through the thread's cached slab; when telemetry is off the slab
+/// pointer is null and nothing here is consulted.
+struct RuntimeMetricIds {
+  telemetry::CounterId DispatchChecks;       ///< runtime.dispatch_checks
+  telemetry::CounterId SampledActivations;   ///< runtime.sampled_activations
+  telemetry::CounterId UnsampledActivations; ///< runtime.unsampled_activations
+  telemetry::CounterId MemOpsLogged;         ///< runtime.memops_logged
+  telemetry::CounterId MemOpsElided;         ///< runtime.memops_elided
+  telemetry::CounterId SyncOpsLogged;        ///< runtime.syncops_logged
+  telemetry::CounterId LogFlushes;           ///< runtime.log.flushes
+  telemetry::CounterId LogBytesWritten;      ///< runtime.log.bytes_written
+  telemetry::HistogramId LogFlushNs;         ///< runtime.log.flush_ns
+  telemetry::CounterId SamplerBackoffs;      ///< runtime.sampler.backoffs
+  telemetry::HistogramId SamplerRateIndex;   ///< runtime.sampler.rate_index
+  telemetry::GaugeId Threads;                ///< runtime.threads
 };
 
 /// Aggregate execution statistics, accumulated from thread-local counters
@@ -169,6 +195,17 @@ public:
   /// Snapshot of the global aggregate statistics.
   RuntimeStats stats() const;
 
+  /// Resolved telemetry registry; null when telemetry is off for this
+  /// runtime (kill switch or Config.DisableTelemetry).
+  telemetry::MetricsRegistry *metrics() const { return Metrics; }
+
+  /// Handles of the runtime-plane metrics (valid only when metrics() is
+  /// non-null).
+  const RuntimeMetricIds &metricIds() const { return MetricIds; }
+
+  /// Snapshot of the resolved registry; empty when telemetry is off.
+  telemetry::MetricsSnapshot metricsSnapshot() const;
+
 private:
   RuntimeConfig Config;
   LogSink *Sink;
@@ -180,6 +217,8 @@ private:
   std::atomic<uint32_t> NextTid{0};
   mutable std::mutex StatsLock;
   RuntimeStats GlobalStats;
+  telemetry::MetricsRegistry *Metrics = nullptr;
+  RuntimeMetricIds MetricIds;
 };
 
 } // namespace literace

@@ -52,39 +52,6 @@ uint32_t AdaptiveSchedule::gapAfterBurst(uint8_t RateIndex) const {
   return static_cast<uint32_t>(std::llround(Gap));
 }
 
-bool literace::stepBurstySampler(SamplerFnState &State,
-                                 const AdaptiveSchedule &Sched) {
-  ++State.Calls;
-
-  // Continue an in-progress burst.
-  if (State.BurstRemaining > 0) {
-    if (--State.BurstRemaining == 0) {
-      // Burst complete: back off the rate and schedule the next gap.
-      if (State.RateIndex + 1u < Sched.Rates.size())
-        ++State.RateIndex;
-      State.SkipRemaining = Sched.gapAfterBurst(State.RateIndex);
-    }
-    return true;
-  }
-
-  // Inside the gap between bursts.
-  if (State.SkipRemaining > 0) {
-    --State.SkipRemaining;
-    return false;
-  }
-
-  // Begin a new burst. This call is its first sampled execution, so a burst
-  // of length L leaves L-1 further sampled calls.
-  if (Sched.BurstLength <= 1) {
-    if (State.RateIndex + 1u < Sched.Rates.size())
-      ++State.RateIndex;
-    State.SkipRemaining = Sched.gapAfterBurst(State.RateIndex);
-    return true;
-  }
-  State.BurstRemaining = Sched.BurstLength - 1;
-  return true;
-}
-
 Sampler::Sampler(std::string ShortName, std::string Description)
     : ShortName(std::move(ShortName)), Description(std::move(Description)) {}
 

@@ -28,6 +28,7 @@
 #define LITERACE_RUNTIME_SAMPLERS_H
 
 #include "runtime/Ids.h"
+#include "support/Compiler.h"
 #include "support/SplitMix64.h"
 
 #include <memory>
@@ -73,10 +74,81 @@ struct AdaptiveSchedule {
   uint32_t gapAfterBurst(uint8_t RateIndex) const;
 };
 
+/// No-op observer for stepBurstySamplerHooked: compiles away entirely,
+/// leaving the plain state machine.
+struct NoSamplerHooks {
+  void sampled() {}
+  void gapScheduled(uint32_t) {}
+  void backedOff(uint8_t) {}
+};
+
 /// Advances one bursty-sampler state machine step for a function entry and
 /// returns whether this call is sampled. Shared by the thread-local and
-/// global bursty samplers and by the LiteRace fast path.
-bool stepBurstySampler(SamplerFnState &State, const AdaptiveSchedule &Sched);
+/// global bursty samplers and by the LiteRace fast path. Inline because it
+/// IS the dispatch check's cost (§4.1: 8 instructions, 3 memory
+/// references); the steady-state gap countdown compiles to a handful of
+/// instructions while the back-off arithmetic stays out of line in
+/// AdaptiveSchedule::gapAfterBurst.
+///
+/// \p Hooks observes the state machine's transitions without touching its
+/// hot path: sampled() fires on every sampled call (rare by construction
+/// once the schedule backs off), gapScheduled(Gap) fires when a gap of
+/// \p Gap unsampled calls is scheduled (the cold burst-boundary moment),
+/// and backedOff(NewRateIndex) fires when the adaptive rate steps down.
+/// The gap countdown itself — the 99.9%+ steady-state path — runs no hook
+/// at all, which is what lets the telemetry build keep the dispatch check
+/// at its uninstrumented cost (docs/TELEMETRY.md).
+template <typename HooksT>
+LR_ALWAYS_INLINE bool stepBurstySamplerHooked(SamplerFnState &State,
+                                              const AdaptiveSchedule &Sched,
+                                              HooksT &&Hooks) {
+  ++State.Calls;
+
+  // Continue an in-progress burst. Unlikely in steady state: once the
+  // schedule backs off, gaps outnumber burst calls by orders of magnitude,
+  // so the gap countdown below must be the straight-line path.
+  if (LR_UNLIKELY(State.BurstRemaining > 0)) {
+    if (--State.BurstRemaining == 0) {
+      // Burst complete: back off the rate and schedule the next gap.
+      if (State.RateIndex + 1u < Sched.Rates.size()) {
+        ++State.RateIndex;
+        Hooks.backedOff(State.RateIndex);
+      }
+      State.SkipRemaining = Sched.gapAfterBurst(State.RateIndex);
+      Hooks.gapScheduled(State.SkipRemaining);
+    }
+    Hooks.sampled();
+    return true;
+  }
+
+  // Inside the gap between bursts.
+  if (LR_LIKELY(State.SkipRemaining > 0)) {
+    --State.SkipRemaining;
+    return false;
+  }
+
+  // Begin a new burst. This call is its first sampled execution, so a burst
+  // of length L leaves L-1 further sampled calls.
+  if (Sched.BurstLength <= 1) {
+    if (State.RateIndex + 1u < Sched.Rates.size()) {
+      ++State.RateIndex;
+      Hooks.backedOff(State.RateIndex);
+    }
+    State.SkipRemaining = Sched.gapAfterBurst(State.RateIndex);
+    Hooks.gapScheduled(State.SkipRemaining);
+    Hooks.sampled();
+    return true;
+  }
+  State.BurstRemaining = Sched.BurstLength - 1;
+  Hooks.sampled();
+  return true;
+}
+
+/// The plain (unobserved) bursty sampler step.
+inline bool stepBurstySampler(SamplerFnState &State,
+                              const AdaptiveSchedule &Sched) {
+  return stepBurstySamplerHooked(State, Sched, NoSamplerHooks{});
+}
 
 /// Abstract sampling strategy, evaluated once per function entry.
 class Sampler {

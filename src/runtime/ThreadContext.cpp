@@ -7,6 +7,10 @@
 #include "runtime/ThreadContext.h"
 
 #include "support/Hashing.h"
+#include "support/Timer.h"
+#include "telemetry/Timeline.h"
+
+#include <algorithm>
 
 using namespace literace;
 
@@ -14,6 +18,13 @@ ThreadContext::ThreadContext(Runtime &RT)
     : RT(RT), Tid(RT.allocateThreadId()),
       Rng(mix64(RT.config().Seed ^ (static_cast<uint64_t>(Tid) << 32))) {
   Buffer.reserve(RT.config().ThreadBufferRecords);
+  if (telemetry::MetricsRegistry *M = RT.metrics()) {
+    TelSlab = &M->threadSlab();
+    const RuntimeMetricIds &Ids = RT.metricIds();
+    SampledCell = TelSlab->cell(Ids.SampledActivations.Cell);
+    UnsampledCell = TelSlab->cell(Ids.UnsampledActivations.Cell);
+    TelSlab->gaugeMax(Ids.Threads, static_cast<uint64_t>(Tid) + 1);
+  }
   if (RT.syncLoggingEnabled()) {
     EventRecord R;
     R.Kind = EventKind::ThreadStart;
@@ -30,14 +41,46 @@ ThreadContext::~ThreadContext() {
     append(R);
   }
   flush();
+  if (TelSlab) {
+    // Unsampled activations were credited a whole gap at a time when the
+    // gap was scheduled (stepPrimary's hooks); give back the portions
+    // of gaps this thread never consumed so the final counter is exact.
+    uint64_t Unconsumed = 0;
+    for (const SamplerFnState &S : PrimaryStates)
+      Unconsumed += S.SkipRemaining;
+    if (Unconsumed)
+      UnsampledCell->store(
+          UnsampledCell->load(std::memory_order_relaxed) - Unconsumed,
+          std::memory_order_relaxed);
+  }
   RT.accumulateStats(Stats);
 }
 
 void ThreadContext::flush() {
   if (Buffer.empty())
     return;
+  const size_t Records = Buffer.size();
+  if (!TelSlab) {
+    if (LogSink *Sink = RT.sink())
+      Sink->writeChunk(Tid, Buffer.data(), Records);
+    Buffer.clear();
+    return;
+  }
+  telemetry::TraceRecorder &Rec = telemetry::TraceRecorder::global();
+  const bool Record = Rec.enabled();
+  const uint64_t StartUs = Record ? Rec.nowUs() : 0;
+  WallTimer Timer;
   if (LogSink *Sink = RT.sink())
-    Sink->writeChunk(Tid, Buffer.data(), Buffer.size());
+    Sink->writeChunk(Tid, Buffer.data(), Records);
+  const uint64_t Ns = Timer.nanoseconds();
+  const RuntimeMetricIds &Ids = RT.metricIds();
+  TelSlab->record(Ids.LogFlushNs, Ns);
+  TelSlab->add(Ids.LogFlushes);
+  TelSlab->add(Ids.LogBytesWritten, Records * sizeof(EventRecord));
+  if (Record)
+    Rec.addSpan("log flush", "runtime.log", telemetry::TimelinePidRuntime,
+                Tid, StartUs, std::max<uint64_t>(Ns / 1000, 1),
+                {{"records", Records}});
   Buffer.clear();
 }
 
@@ -52,13 +95,59 @@ SamplerFnState &ThreadContext::localSamplerState(unsigned Slot,
   return Table[F];
 }
 
-bool ThreadContext::stepPrimary(FunctionId F) {
-  if (F >= PrimaryStates.size())
-    PrimaryStates.resize(F + 1);
-  return stepBurstySampler(PrimaryStates[F], RT.config().PrimarySchedule);
+// Kept out of line so the vector-growth machinery does not get inlined
+// into stepPrimary's hot path (which would force it to spill callee-saved
+// registers on every call and lose the tail call into stepBurstySampler).
+LR_NOINLINE SamplerFnState &ThreadContext::growPrimaryStates(FunctionId F) {
+  PrimaryStates.resize(F + 1);
+  return PrimaryStates[F];
 }
 
-uint16_t ThreadContext::computeSampleMask(FunctionId F) {
+// Force-inlined so the dispatch check is one call frame deep: entry,
+// bounds check, inlined sampler step, return.
+LR_ALWAYS_INLINE bool ThreadContext::stepPrimary(FunctionId F) {
+  // Telemetry observer for the dispatch check. Every hook fires on a cold
+  // sampler transition, never on the steady-state gap countdown: sampled
+  // calls bump their counter directly (rare by construction — that is the
+  // point of sampling), while unsampled calls are credited in bulk the
+  // moment their gap is scheduled. The unsampled counter therefore leads
+  // by up to one in-progress gap per (thread, function) state and is
+  // exact at every burst boundary; ~ThreadContext subtracts the
+  // unconsumed gap remainders so final totals are exact
+  // (docs/TELEMETRY.md). Holding only `this` and testing TelSlab inside
+  // each hook keeps the hot gap path free of telemetry instructions
+  // entirely — telemetry on and off run the same code there, which is
+  // what lets the microbench overhead guard hold a <5% budget.
+  struct Hooks {
+    ThreadContext &TC;
+
+    void sampled() {
+      if (TC.TelSlab)
+        telemetry::bumpCell(*TC.SampledCell);
+    }
+    void gapScheduled(uint32_t Gap) {
+      if (TC.TelSlab)
+        telemetry::bumpCell(*TC.UnsampledCell, Gap);
+    }
+    void backedOff(uint8_t NewRateIndex) {
+      // Rate-trajectory telemetry: each back-off records the new index so
+      // the histogram captures the trajectory across all
+      // (thread, function) state machines.
+      if (!TC.TelSlab)
+        return;
+      const RuntimeMetricIds &Ids = TC.RT.metricIds();
+      TC.TelSlab->add(Ids.SamplerBackoffs);
+      TC.TelSlab->record(Ids.SamplerRateIndex, NewRateIndex);
+    }
+  };
+  SamplerFnState &State = LR_UNLIKELY(F >= PrimaryStates.size())
+                              ? growPrimaryStates(F)
+                              : PrimaryStates[F];
+  return stepBurstySamplerHooked(State, RT.config().PrimarySchedule,
+                                 Hooks{*this});
+}
+
+LR_CACHE_ALIGNED_FN uint16_t ThreadContext::computeSampleMask(FunctionId F) {
   switch (RT.mode()) {
   case RunMode::Baseline:
     return 0;
@@ -71,6 +160,10 @@ uint16_t ThreadContext::computeSampleMask(FunctionId F) {
   case RunMode::LiteRace:
     return stepPrimary(F) ? uint16_t{1} : uint16_t{0};
   case RunMode::FullLogging:
+    // No dispatch check exists in this mode; every activation runs the
+    // instrumented copy — sampled by definition.
+    if (TelSlab)
+      telemetry::bumpCell(*SampledCell);
     return FullLogMaskBit;
   case RunMode::Experiment: {
     // §5.3 methodology: log everything, and additionally record each
@@ -80,6 +173,8 @@ uint16_t ThreadContext::computeSampleMask(FunctionId F) {
     for (unsigned Slot = 0; Slot != N; ++Slot)
       if (RT.sampler(Slot).shouldSample(*this, F))
         Mask |= static_cast<uint16_t>(1u << Slot);
+    if (TelSlab)
+      telemetry::bumpCell(*SampledCell);
     return Mask;
   }
   }
@@ -98,6 +193,8 @@ void ThreadContext::logMemory(EventKind K, const void *Addr, Pc P,
   append(R);
 
   ++Stats.MemOpsLogged;
+  if (TelSlab)
+    TelSlab->add(RT.metricIds().MemOpsLogged);
   uint16_t SlotBits = static_cast<uint16_t>(Mask & ~FullLogMaskBit);
   while (SlotBits) {
     unsigned Slot = static_cast<unsigned>(__builtin_ctz(SlotBits));
@@ -117,6 +214,8 @@ void ThreadContext::logSync(EventKind K, SyncVar S, Pc P) {
   R.Kind = K;
   append(R);
   ++Stats.SyncOps;
+  if (TelSlab)
+    TelSlab->add(RT.metricIds().SyncOpsLogged);
 }
 
 void ThreadContext::append(const EventRecord &R) {

@@ -72,7 +72,11 @@ public:
 
   /// Counts one memory operation elided by the static site policy
   /// (called by LoggingTracer instead of logMemory).
-  void countElided() { ++Stats.MemOpsElided; }
+  void countElided() {
+    ++Stats.MemOpsElided;
+    if (TelSlab)
+      TelSlab->add(RT.metricIds().MemOpsElided);
+  }
 
   /// Flushes buffered records to the sink.
   void flush();
@@ -86,11 +90,19 @@ public:
 
 private:
   /// Evaluates the dispatch check for one entry of \p F and returns the
-  /// sampler mask. Zero means: run the uninstrumented copy.
+  /// sampler mask. Zero means: run the uninstrumented copy. Telemetry is
+  /// observed only on cold sampler transitions (burst boundaries), so the
+  /// steady-state gap countdown executes identical code whether telemetry
+  /// is on or off (docs/TELEMETRY.md cost contract).
   uint16_t computeSampleMask(FunctionId F);
 
-  /// Steps the primary (LiteRace TL-Ad) sampler's thread-local state.
+  /// Steps the primary (LiteRace TL-Ad) sampler's thread-local state,
+  /// firing telemetry hooks on its cold transitions.
   bool stepPrimary(FunctionId F);
+
+  /// Cold path of the primary-sampler table lookup; out of line so the
+  /// vector-growth code does not bloat the dispatch check.
+  SamplerFnState &growPrimaryStates(FunctionId F);
 
   void logSync(EventKind K, SyncVar S, Pc P);
   void append(const EventRecord &R);
@@ -104,6 +116,11 @@ private:
   /// States of the primary sampler used by non-Experiment modes.
   std::vector<SamplerFnState> PrimaryStates;
   RuntimeStats Stats;
+  /// This thread's telemetry slab (null when telemetry is off) and the
+  /// direct dispatch-plane cell pointers hot paths bump through.
+  telemetry::ThreadSlab *TelSlab = nullptr;
+  std::atomic<uint64_t> *SampledCell = nullptr;
+  std::atomic<uint64_t> *UnsampledCell = nullptr;
 };
 
 /// Tracer for the uninstrumented function copy: performs the accesses,

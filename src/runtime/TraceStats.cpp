@@ -54,6 +54,8 @@ TraceStats TraceStats::compute(const Trace &T) {
         Addresses.insert(R.Addr);
         ++Stats.MemOpsPerFunction[pcFunction(R.Pc)];
         uint16_t Bits = static_cast<uint16_t>(R.Mask & ~FullLogMaskBit);
+        if (Bits)
+          ++Stats.MemOpsAnySlot;
         while (Bits) {
           unsigned Slot = static_cast<unsigned>(__builtin_ctz(Bits));
           ++Stats.MemOpsPerSlot[Slot];
@@ -127,6 +129,12 @@ std::string TraceStats::describe(const FunctionRegistry *Registry) const {
     AnySlot |= MemOpsPerSlot[Slot] != 0;
   if (AnySlot) {
     Out += "sampler mask coverage:\n";
+    std::snprintf(Line, sizeof(Line), "  any slot %11llu  (%.2f%%)\n",
+                  static_cast<unsigned long long>(MemOpsAnySlot),
+                  MemOps ? 100.0 * static_cast<double>(MemOpsAnySlot) /
+                               static_cast<double>(MemOps)
+                         : 0.0);
+    Out += Line;
     for (unsigned Slot = 0; Slot != MaxSamplerSlots; ++Slot) {
       if (!MemOpsPerSlot[Slot])
         continue;

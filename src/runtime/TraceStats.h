@@ -47,6 +47,11 @@ struct TraceStats {
   /// Memory operations carrying each sampler slot's bit.
   uint64_t MemOpsPerSlot[MaxSamplerSlots] = {};
 
+  /// Memory operations sampled by at least one sampler slot (the union
+  /// of the per-slot sets, which overlap; summing MemOpsPerSlot would
+  /// double-count).
+  uint64_t MemOpsAnySlot = 0;
+
   /// Computes the statistics for \p T.
   static TraceStats compute(const Trace &T);
 

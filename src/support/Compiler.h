@@ -22,11 +22,15 @@
 #define LR_UNLIKELY(x) (__builtin_expect(!!(x), 0))
 #define LR_ALWAYS_INLINE inline __attribute__((always_inline))
 #define LR_NOINLINE __attribute__((noinline))
+/// Pins a hot function to a cache-line boundary so its cost does not
+/// swing with incidental code-layout changes elsewhere in the TU.
+#define LR_CACHE_ALIGNED_FN __attribute__((aligned(64)))
 #else
 #define LR_LIKELY(x) (x)
 #define LR_UNLIKELY(x) (x)
 #define LR_ALWAYS_INLINE inline
 #define LR_NOINLINE
+#define LR_CACHE_ALIGNED_FN
 #endif
 
 namespace literace {

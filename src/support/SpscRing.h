@@ -27,16 +27,31 @@
 #ifndef LITERACE_SUPPORT_SPSCRING_H
 #define LITERACE_SUPPORT_SPSCRING_H
 
+#include "support/Compiler.h"
+
 #include <atomic>
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace literace {
+
+/// Occupancy/stall telemetry of one SpscRing (see SpscRing::stats()).
+struct SpscRingStats {
+  /// Highest occupancy ever observed by the producer. A mark near
+  /// capacity means the consumer is the bottleneck (backpressure).
+  size_t DepthHighWater = 0;
+  /// Times the producer exhausted its spin budget and parked (ring full).
+  uint64_t ProducerParks = 0;
+  /// Times the consumer exhausted its spin budget and parked (ring
+  /// empty — it outpaces the producer).
+  uint64_t ConsumerParks = 0;
+};
 
 /// Bounded SPSC FIFO. Exactly one thread may push and exactly one thread
 /// may pop; close() is called by the producer to signal end-of-stream.
@@ -64,6 +79,18 @@ public:
     }
     Buffer[H & Mask] = Value;
     Head.store(H + 1, std::memory_order_release);
+    // High-water telemetry. Occupancy against the producer's stale view
+    // of Tail overestimates the true depth, so refresh the real Tail
+    // before raising the mark; once the mark plateaus (steady state)
+    // this branch stops being taken and the push fast path is unchanged.
+    if (LR_UNLIKELY(H + 1 - CachedTail > HighWaterLocal)) {
+      CachedTail = Tail.load(std::memory_order_acquire);
+      const size_t Depth = H + 1 - CachedTail;
+      if (Depth > HighWaterLocal) {
+        HighWaterLocal = Depth;
+        HighWater.store(Depth, std::memory_order_relaxed);
+      }
+    }
     return true;
   }
 
@@ -75,6 +102,9 @@ public:
         std::this_thread::yield();
         continue;
       }
+      ProducerParks.store(
+          ProducerParks.load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
       parkUntil([&] {
         const size_t H = Head.load(std::memory_order_relaxed);
         return H - Tail.load(std::memory_order_acquire) <= Mask;
@@ -110,6 +140,9 @@ public:
         std::this_thread::yield();
         continue;
       }
+      ConsumerParks.store(
+          ConsumerParks.load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
       parkUntil([&] {
         return Tail.load(std::memory_order_relaxed) !=
                    Head.load(std::memory_order_acquire) ||
@@ -128,6 +161,16 @@ public:
 
   /// Number of slots, after power-of-two rounding.
   size_t capacity() const { return Mask + 1; }
+
+  /// Occupancy/stall telemetry. Safe to read from any thread at any time
+  /// (values are published relaxed; each is written by one side only).
+  SpscRingStats stats() const {
+    SpscRingStats S;
+    S.DepthHighWater = HighWater.load(std::memory_order_relaxed);
+    S.ProducerParks = ProducerParks.load(std::memory_order_relaxed);
+    S.ConsumerParks = ConsumerParks.load(std::memory_order_relaxed);
+    return S;
+  }
 
 private:
   static constexpr unsigned SpinLimit = 64;
@@ -157,11 +200,15 @@ private:
 
   // Producer side (Head is written by push, read by pop).
   alignas(64) std::atomic<size_t> Head{0};
-  size_t CachedTail = 0; // producer-private cache of Tail
+  size_t CachedTail = 0;     // producer-private cache of Tail
+  size_t HighWaterLocal = 0; // producer-private copy of HighWater
+  std::atomic<size_t> HighWater{0};
+  std::atomic<uint64_t> ProducerParks{0};
 
   // Consumer side.
   alignas(64) std::atomic<size_t> Tail{0};
   size_t CachedHead = 0; // consumer-private cache of Head
+  std::atomic<uint64_t> ConsumerParks{0};
 
   alignas(64) std::atomic<bool> Closed{false};
   std::atomic<bool> Parked{false};

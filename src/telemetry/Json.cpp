@@ -1,0 +1,264 @@
+//===-- telemetry/Json.cpp - Minimal JSON reader --------------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace literace;
+using namespace literace::telemetry;
+
+namespace {
+
+constexpr unsigned MaxDepth = 64;
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  std::optional<JsonValue> run() {
+    skipSpace();
+    JsonValue V;
+    if (!parseValue(V, 0))
+      return std::nullopt;
+    skipSpace();
+    if (Pos != Text.size())
+      return std::nullopt; // trailing garbage
+    return V;
+  }
+
+private:
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C == '\\') {
+        if (Pos >= Text.size())
+          return false;
+        char E = Text[Pos++];
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'u': {
+          // Pass \uXXXX through unmodified (telemetry docs are ASCII).
+          if (Pos + 4 > Text.size())
+            return false;
+          Out += "\\u";
+          Out += Text.substr(Pos, 4);
+          Pos += 4;
+          break;
+        }
+        default:
+          return false;
+        }
+        continue;
+      }
+      Out += C;
+    }
+    return false; // unterminated
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    bool Negative = consume('-');
+    bool Integral = true;
+    if (Pos >= Text.size() || !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      return false;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      Integral = false;
+      ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    std::string Token(Text.substr(Start, Pos - Start));
+    Out.Kind = JsonValue::Type::Number;
+    Out.Number = std::strtod(Token.c_str(), nullptr);
+    if (Integral && !Negative) {
+      errno = 0;
+      char *End = nullptr;
+      uint64_t U = std::strtoull(Token.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0') {
+        Out.UInt = U;
+        Out.IsUInt = true;
+      }
+    }
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return false;
+    skipSpace();
+    if (Pos >= Text.size())
+      return false;
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out.Kind = JsonValue::Type::Object;
+      skipSpace();
+      if (consume('}'))
+        return true;
+      for (;;) {
+        skipSpace();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipSpace();
+        if (!consume(':'))
+          return false;
+        JsonValue V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.Object.emplace_back(std::move(Key), std::move(V));
+        skipSpace();
+        if (consume(','))
+          continue;
+        return consume('}');
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out.Kind = JsonValue::Type::Array;
+      skipSpace();
+      if (consume(']'))
+        return true;
+      for (;;) {
+        JsonValue V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.Array.push_back(std::move(V));
+        skipSpace();
+        if (consume(','))
+          continue;
+        return consume(']');
+      }
+    }
+    if (C == '"') {
+      Out.Kind = JsonValue::Type::String;
+      return parseString(Out.Str);
+    }
+    if (C == 't') {
+      Out.Kind = JsonValue::Type::Bool;
+      Out.BoolValue = true;
+      return literal("true");
+    }
+    if (C == 'f') {
+      Out.Kind = JsonValue::Type::Bool;
+      Out.BoolValue = false;
+      return literal("false");
+    }
+    if (C == 'n') {
+      Out.Kind = JsonValue::Type::Null;
+      return literal("null");
+    }
+    return parseNumber(Out);
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> literace::telemetry::parseJson(std::string_view Text) {
+  return Parser(Text).run();
+}
+
+std::string literace::telemetry::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,70 @@
+//===-- telemetry/Json.h - Minimal JSON reader ------------------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON reader, just enough for the telemetry
+/// subsystem's own documents: metrics.json round-trips and structural
+/// validation of Chrome trace-event files. Integers that fit uint64 are
+/// preserved exactly (doubles would lose counter precision past 2^53).
+/// Not a general-purpose parser: no \uXXXX decoding beyond pass-through,
+/// recursion depth is bounded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_TELEMETRY_JSON_H
+#define LITERACE_TELEMETRY_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace literace {
+namespace telemetry {
+
+/// One parsed JSON value.
+struct JsonValue {
+  enum class Type : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Type Kind = Type::Null;
+  bool BoolValue = false;
+  double Number = 0.0;
+  /// Exact value when the token was a non-negative integer <= UINT64_MAX.
+  uint64_t UInt = 0;
+  bool IsUInt = false;
+  std::string Str;
+  std::vector<JsonValue> Array;
+  std::vector<std::pair<std::string, JsonValue>> Object;
+
+  bool isObject() const { return Kind == Type::Object; }
+  bool isArray() const { return Kind == Type::Array; }
+  bool isString() const { return Kind == Type::String; }
+  bool isNumber() const { return Kind == Type::Number; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue *find(std::string_view Key) const {
+    if (Kind != Type::Object)
+      return nullptr;
+    for (const auto &[K, V] : Object)
+      if (K == Key)
+        return &V;
+    return nullptr;
+  }
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Returns std::nullopt on malformed input.
+std::optional<JsonValue> parseJson(std::string_view Text);
+
+/// Escapes \p S for embedding inside a JSON string literal.
+std::string jsonEscape(std::string_view S);
+
+} // namespace telemetry
+} // namespace literace
+
+#endif // LITERACE_TELEMETRY_JSON_H

@@ -1,0 +1,420 @@
+//===-- telemetry/Metrics.cpp - Lock-free metrics registry ----------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Metrics.h"
+
+#include "telemetry/Json.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace literace;
+using namespace literace::telemetry;
+
+bool literace::telemetry::parseTelemetryEnabled(const char *Value) {
+  if (!Value)
+    return true;
+  std::string Lower;
+  for (const char *P = Value; *P; ++P)
+    Lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*P)));
+  return Lower != "off" && Lower != "0" && Lower != "false";
+}
+
+bool literace::telemetry::telemetryEnabled() {
+  static const bool Enabled =
+      parseTelemetryEnabled(std::getenv("LITERACE_TELEMETRY"));
+  return Enabled;
+}
+
+uint64_t literace::telemetry::histogramBucketUpperBound(unsigned B) {
+  if (B == 0)
+    return 0;
+  if (B >= HistogramBuckets - 1)
+    return UINT64_MAX;
+  return (uint64_t{1} << B) - 1;
+}
+
+MetricsRegistry *literace::telemetry::resolveRegistry(MetricsRegistry *Override,
+                                                      bool ForceOff) {
+  if (ForceOff)
+    return nullptr;
+  if (Override)
+    return Override;
+  return telemetryEnabled() ? &MetricsRegistry::global() : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint64_t nextRegistryUid() {
+  static std::atomic<uint64_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Thread-local cache of (registry uid -> slab) so threadSlab() is one
+/// vector scan (typically one entry) after the first call. Entries for
+/// destroyed registries never match again: uids are process-unique.
+struct SlabCacheEntry {
+  uint64_t Uid;
+  ThreadSlab *Slab;
+};
+
+thread_local std::vector<SlabCacheEntry> TlsSlabCache;
+
+} // namespace
+
+MetricsRegistry::MetricsRegistry() : Uid(nextRegistryUid()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry &MetricsRegistry::global() {
+  // Leaked intentionally: worker threads may bump cells during process
+  // teardown, after static destructors would have run.
+  static MetricsRegistry *G = new MetricsRegistry();
+  return *G;
+}
+
+uint32_t MetricsRegistry::registerMetric(std::string_view Name, Kind K,
+                                         uint32_t Cells) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  for (const Metric &M : Metrics)
+    if (M.Name == Name) {
+      assert(M.MetricKind == K && "metric re-registered with another kind");
+      return M.Cell;
+    }
+  assert(NextCell + Cells <= SlabCells &&
+         "metric catalogue outgrew SlabCells; raise it");
+  uint32_t Cell = NextCell;
+  NextCell += Cells;
+  Metrics.push_back({std::string(Name), K, Cell});
+  return Cell;
+}
+
+CounterId MetricsRegistry::counter(std::string_view Name) {
+  return CounterId{registerMetric(Name, Kind::Counter, 1)};
+}
+
+GaugeId MetricsRegistry::gaugeMax(std::string_view Name) {
+  return GaugeId{registerMetric(Name, Kind::GaugeMax, 1)};
+}
+
+HistogramId MetricsRegistry::histogram(std::string_view Name) {
+  return HistogramId{registerMetric(Name, Kind::Histogram, HistogramCells)};
+}
+
+ThreadSlab &MetricsRegistry::threadSlab() {
+  for (const SlabCacheEntry &E : TlsSlabCache)
+    if (E.Uid == Uid)
+      return *E.Slab;
+  ThreadSlab *Slab;
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Slabs.push_back(std::make_unique<ThreadSlab>());
+    Slab = Slabs.back().get();
+  }
+  TlsSlabCache.push_back({Uid, Slab});
+  return *Slab;
+}
+
+size_t MetricsRegistry::numSlabs() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Slabs.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  MetricsSnapshot Snap;
+  for (const Metric &M : Metrics) {
+    switch (M.MetricKind) {
+    case Kind::Counter: {
+      uint64_t Sum = 0;
+      for (const auto &S : Slabs)
+        Sum += S->read(M.Cell);
+      Snap.Counters.emplace_back(M.Name, Sum);
+      break;
+    }
+    case Kind::GaugeMax: {
+      uint64_t Max = 0;
+      for (const auto &S : Slabs)
+        Max = std::max(Max, S->read(M.Cell));
+      Snap.Gauges.emplace_back(M.Name, Max);
+      break;
+    }
+    case Kind::Histogram: {
+      HistogramValue H;
+      H.Name = M.Name;
+      for (const auto &S : Slabs) {
+        for (unsigned B = 0; B != HistogramBuckets; ++B)
+          H.Buckets[B] += S->read(M.Cell + B);
+        H.Count += S->read(M.Cell + HistogramBuckets);
+        H.Sum += S->read(M.Cell + HistogramBuckets + 1);
+      }
+      Snap.Histograms.push_back(std::move(H));
+      break;
+    }
+    }
+  }
+  auto ByName = [](const auto &A, const auto &B) { return A.first < B.first; };
+  std::sort(Snap.Counters.begin(), Snap.Counters.end(), ByName);
+  std::sort(Snap.Gauges.begin(), Snap.Gauges.end(), ByName);
+  std::sort(Snap.Histograms.begin(), Snap.Histograms.end(),
+            [](const HistogramValue &A, const HistogramValue &B) {
+              return A.Name < B.Name;
+            });
+  return Snap;
+}
+
+//===----------------------------------------------------------------------===//
+// HistogramValue / MetricsSnapshot
+//===----------------------------------------------------------------------===//
+
+uint64_t HistogramValue::quantileUpperBound(double Q) const {
+  if (Count == 0)
+    return 0;
+  uint64_t Target = static_cast<uint64_t>(
+      Q * static_cast<double>(Count) + 0.5);
+  if (Target == 0)
+    Target = 1;
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B != HistogramBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen >= Target)
+      return histogramBucketUpperBound(B);
+  }
+  return histogramBucketUpperBound(HistogramBuckets - 1);
+}
+
+namespace {
+
+template <typename VecT>
+const typename VecT::value_type *findByName(const VecT &V,
+                                            std::string_view Name) {
+  for (const auto &E : V)
+    if (E.first == Name)
+      return &E;
+  return nullptr;
+}
+
+template <typename VecT>
+void setSorted(VecT &V, std::string_view Name, uint64_t Value) {
+  for (auto &E : V)
+    if (E.first == Name) {
+      E.second = Value;
+      return;
+    }
+  V.emplace_back(std::string(Name), Value);
+  std::sort(V.begin(), V.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+}
+
+} // namespace
+
+uint64_t MetricsSnapshot::counter(std::string_view Name,
+                                  uint64_t Default) const {
+  const auto *E = findByName(Counters, Name);
+  return E ? E->second : Default;
+}
+
+uint64_t MetricsSnapshot::gauge(std::string_view Name,
+                                uint64_t Default) const {
+  const auto *E = findByName(Gauges, Name);
+  return E ? E->second : Default;
+}
+
+const HistogramValue *
+MetricsSnapshot::histogram(std::string_view Name) const {
+  for (const HistogramValue &H : Histograms)
+    if (H.Name == Name)
+      return &H;
+  return nullptr;
+}
+
+void MetricsSnapshot::setCounter(std::string_view Name, uint64_t Value) {
+  setSorted(Counters, Name, Value);
+}
+
+void MetricsSnapshot::setGauge(std::string_view Name, uint64_t Value) {
+  setSorted(Gauges, Name, Value);
+}
+
+void MetricsSnapshot::setHistogram(HistogramValue Value) {
+  for (HistogramValue &H : Histograms)
+    if (H.Name == Value.Name) {
+      H = std::move(Value);
+      return;
+    }
+  Histograms.push_back(std::move(Value));
+  std::sort(Histograms.begin(), Histograms.end(),
+            [](const HistogramValue &A, const HistogramValue &B) {
+              return A.Name < B.Name;
+            });
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot &Other) {
+  for (const auto &[Name, Value] : Other.Counters)
+    setCounter(Name, counter(Name) + Value);
+  for (const auto &[Name, Value] : Other.Gauges)
+    setGauge(Name, std::max(gauge(Name), Value));
+  for (const HistogramValue &H : Other.Histograms) {
+    if (const HistogramValue *Mine = histogram(H.Name)) {
+      HistogramValue Merged = *Mine;
+      Merged.Count += H.Count;
+      Merged.Sum += H.Sum;
+      for (unsigned B = 0; B != HistogramBuckets; ++B)
+        Merged.Buckets[B] += H.Buckets[B];
+      setHistogram(std::move(Merged));
+    } else {
+      setHistogram(H);
+    }
+  }
+}
+
+std::string MetricsSnapshot::toJson() const {
+  std::string Out = "{\n  \"schema\": \"literace.metrics.v1\",\n";
+  char Buf[64];
+
+  auto EmitMap = [&](const char *Key, const auto &Entries) {
+    Out += "  \"";
+    Out += Key;
+    Out += "\": {";
+    bool First = true;
+    for (const auto &[Name, Value] : Entries) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += "\n    \"" + jsonEscape(Name) + "\": ";
+      std::snprintf(Buf, sizeof(Buf), "%llu",
+                    static_cast<unsigned long long>(Value));
+      Out += Buf;
+    }
+    Out += Entries.empty() ? "}" : "\n  }";
+  };
+
+  EmitMap("counters", Counters);
+  Out += ",\n";
+  EmitMap("gauges", Gauges);
+  Out += ",\n  \"histograms\": {";
+  bool First = true;
+  for (const HistogramValue &H : Histograms) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n    \"" + jsonEscape(H.Name) + "\": {\"count\": ";
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(H.Count));
+    Out += Buf;
+    Out += ", \"sum\": ";
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(H.Sum));
+    Out += Buf;
+    Out += ", \"buckets\": [";
+    for (unsigned B = 0; B != HistogramBuckets; ++B) {
+      if (B)
+        Out += ",";
+      std::snprintf(Buf, sizeof(Buf), "%llu",
+                    static_cast<unsigned long long>(H.Buckets[B]));
+      Out += Buf;
+    }
+    Out += "]}";
+  }
+  Out += Histograms.empty() ? "}" : "\n  }";
+  Out += "\n}\n";
+  return Out;
+}
+
+std::optional<MetricsSnapshot>
+MetricsSnapshot::fromJson(std::string_view Json) {
+  std::optional<JsonValue> Doc = parseJson(Json);
+  if (!Doc || !Doc->isObject())
+    return std::nullopt;
+  const JsonValue *Schema = Doc->find("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->Str != "literace.metrics.v1")
+    return std::nullopt;
+
+  MetricsSnapshot Snap;
+  auto ReadMap = [](const JsonValue *Map,
+                    std::vector<std::pair<std::string, uint64_t>> &Out) {
+    if (!Map)
+      return true; // absent section = empty
+    if (!Map->isObject())
+      return false;
+    for (const auto &[Name, V] : Map->Object) {
+      if (!V.isNumber() || !V.IsUInt)
+        return false;
+      Out.emplace_back(Name, V.UInt);
+    }
+    return true;
+  };
+  if (!ReadMap(Doc->find("counters"), Snap.Counters) ||
+      !ReadMap(Doc->find("gauges"), Snap.Gauges))
+    return std::nullopt;
+
+  if (const JsonValue *Hists = Doc->find("histograms")) {
+    if (!Hists->isObject())
+      return std::nullopt;
+    for (const auto &[Name, V] : Hists->Object) {
+      const JsonValue *Count = V.find("count");
+      const JsonValue *Sum = V.find("sum");
+      const JsonValue *Buckets = V.find("buckets");
+      if (!Count || !Count->IsUInt || !Sum || !Sum->IsUInt || !Buckets ||
+          !Buckets->isArray() ||
+          Buckets->Array.size() != HistogramBuckets)
+        return std::nullopt;
+      HistogramValue H;
+      H.Name = Name;
+      H.Count = Count->UInt;
+      H.Sum = Sum->UInt;
+      for (unsigned B = 0; B != HistogramBuckets; ++B) {
+        if (!Buckets->Array[B].IsUInt)
+          return std::nullopt;
+        H.Buckets[B] = Buckets->Array[B].UInt;
+      }
+      Snap.Histograms.push_back(std::move(H));
+    }
+  }
+  auto ByName = [](const auto &A, const auto &B) { return A.first < B.first; };
+  std::sort(Snap.Counters.begin(), Snap.Counters.end(), ByName);
+  std::sort(Snap.Gauges.begin(), Snap.Gauges.end(), ByName);
+  std::sort(Snap.Histograms.begin(), Snap.Histograms.end(),
+            [](const HistogramValue &A, const HistogramValue &B) {
+              return A.Name < B.Name;
+            });
+  return Snap;
+}
+
+std::string MetricsSnapshot::describe() const {
+  std::string Out;
+  char Line[192];
+  for (const auto &[Name, Value] : Counters) {
+    std::snprintf(Line, sizeof(Line), "  %-36s %14llu\n", Name.c_str(),
+                  static_cast<unsigned long long>(Value));
+    Out += Line;
+  }
+  for (const auto &[Name, Value] : Gauges) {
+    std::snprintf(Line, sizeof(Line), "  %-36s %14llu (max)\n",
+                  Name.c_str(), static_cast<unsigned long long>(Value));
+    Out += Line;
+  }
+  for (const HistogramValue &H : Histograms) {
+    std::snprintf(Line, sizeof(Line),
+                  "  %-36s n=%llu mean=%.1f p50<=%llu p99<=%llu\n",
+                  H.Name.c_str(),
+                  static_cast<unsigned long long>(H.Count), H.mean(),
+                  static_cast<unsigned long long>(H.quantileUpperBound(0.5)),
+                  static_cast<unsigned long long>(
+                      H.quantileUpperBound(0.99)));
+    Out += Line;
+  }
+  return Out;
+}

@@ -1,0 +1,270 @@
+//===-- telemetry/Metrics.h - Lock-free metrics registry -------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Always-on, lock-free runtime telemetry (docs/TELEMETRY.md). A
+/// MetricsRegistry names counters, max-gauges, and power-of-two-bucketed
+/// histograms; every metric maps to a fixed cell range inside a per-thread
+/// ThreadSlab of relaxed atomics. Each slab is written by exactly one
+/// thread, so updates compile to plain memory increments (no lock prefix,
+/// no contention, no false sharing: slabs are cache-line aligned and owned
+/// whole). Snapshots sum the slabs; because every cell is a 64-bit atomic,
+/// a snapshot taken mid-update is torn-free per cell, and once the writing
+/// threads are quiescent the totals are exact.
+///
+/// The registry is process-global by default (MetricsRegistry::global());
+/// tests and benches construct private instances. The LITERACE_TELEMETRY
+/// environment variable ("off" / "0" / "false") is the process kill
+/// switch: components resolve their registry through
+/// resolveRegistry(Override) which returns null when telemetry is off, and
+/// every instrumented hot path guards on that null — the disabled path is
+/// one well-predicted branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_TELEMETRY_METRICS_H
+#define LITERACE_TELEMETRY_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace literace {
+namespace telemetry {
+
+/// Parses a LITERACE_TELEMETRY-style value: "off", "0", and "false"
+/// (case-insensitive) disable telemetry; everything else (including null,
+/// i.e. the variable being unset) leaves it enabled.
+bool parseTelemetryEnabled(const char *Value);
+
+/// Process kill switch: reads LITERACE_TELEMETRY once and caches it.
+bool telemetryEnabled();
+
+/// Number of buckets in every histogram. Bucket 0 counts the value 0;
+/// bucket b (1 <= b < 31) counts values v with 2^(b-1) <= v < 2^b; the
+/// last bucket absorbs everything larger.
+constexpr unsigned HistogramBuckets = 32;
+
+/// Bucket index for a recorded value (see HistogramBuckets).
+constexpr unsigned histogramBucket(uint64_t Value) {
+  unsigned Width = 0;
+  while (Value != 0) {
+    ++Width;
+    Value >>= 1;
+  }
+  return Width < HistogramBuckets ? Width : HistogramBuckets - 1;
+}
+
+/// Inclusive upper bound of bucket \p B (UINT64_MAX for the overflow
+/// bucket); used when rendering histograms.
+uint64_t histogramBucketUpperBound(unsigned B);
+
+/// Cells a histogram occupies in a slab: buckets plus count plus sum.
+constexpr uint32_t HistogramCells = HistogramBuckets + 2;
+
+/// Total cells per thread slab. Registration asserts against overflow;
+/// raise if the metric catalogue outgrows it.
+constexpr uint32_t SlabCells = 512;
+
+constexpr uint32_t InvalidCell = ~0u;
+
+/// Handle to a registered counter (monotonic sum across threads).
+struct CounterId {
+  uint32_t Cell = InvalidCell;
+  bool valid() const { return Cell != InvalidCell; }
+};
+
+/// Handle to a registered max-gauge (snapshot takes the max over threads;
+/// used for high-water marks).
+struct GaugeId {
+  uint32_t Cell = InvalidCell;
+  bool valid() const { return Cell != InvalidCell; }
+};
+
+/// Handle to a registered histogram (first cell of its block).
+struct HistogramId {
+  uint32_t Cell = InvalidCell;
+  bool valid() const { return Cell != InvalidCell; }
+};
+
+/// Single-writer increment of a relaxed atomic cell. Exactly one thread
+/// writes any given cell, so load-add-store is exact and compiles to a
+/// plain memory add — this is the "~1 relaxed increment" hot-path cost.
+inline void bumpCell(std::atomic<uint64_t> &Cell, uint64_t N = 1) {
+  Cell.store(Cell.load(std::memory_order_relaxed) + N,
+             std::memory_order_relaxed);
+}
+
+/// Single-writer max update of a relaxed atomic cell.
+inline void maxCell(std::atomic<uint64_t> &Cell, uint64_t V) {
+  if (V > Cell.load(std::memory_order_relaxed))
+    Cell.store(V, std::memory_order_relaxed);
+}
+
+/// One thread's private block of metric cells. Allocated and owned by the
+/// registry; written only by the owning thread; read (relaxed) by
+/// snapshots at any time.
+class alignas(64) ThreadSlab {
+public:
+  void add(CounterId Id, uint64_t N = 1) {
+    if (Id.valid())
+      bumpCell(Cells[Id.Cell], N);
+  }
+
+  void gaugeMax(GaugeId Id, uint64_t V) {
+    if (Id.valid())
+      maxCell(Cells[Id.Cell], V);
+  }
+
+  void record(HistogramId Id, uint64_t Value) {
+    if (!Id.valid())
+      return;
+    bumpCell(Cells[Id.Cell + histogramBucket(Value)]);
+    bumpCell(Cells[Id.Cell + HistogramBuckets]);        // count
+    bumpCell(Cells[Id.Cell + HistogramBuckets + 1], Value); // sum
+  }
+
+  /// Direct cell pointer for hot paths that cache it (ThreadContext).
+  std::atomic<uint64_t> *cell(uint32_t Index) {
+    return Index < SlabCells ? &Cells[Index] : nullptr;
+  }
+
+  /// Snapshot-side read of one cell.
+  uint64_t read(uint32_t Index) const {
+    return Cells[Index].load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Cells[SlabCells] = {};
+};
+
+/// One histogram's aggregated state in a snapshot.
+struct HistogramValue {
+  std::string Name;
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  std::array<uint64_t, HistogramBuckets> Buckets = {};
+
+  double mean() const {
+    return Count ? static_cast<double>(Sum) / static_cast<double>(Count)
+                 : 0.0;
+  }
+
+  /// Inclusive upper bound of the bucket containing the \p Q quantile
+  /// (0 < Q <= 1) — a cheap p50/p99 for triage output.
+  uint64_t quantileUpperBound(double Q) const;
+};
+
+/// Point-in-time aggregation of a registry (or a hand-built collection —
+/// literace-stat merges trace-derived and runtime-reported metrics into
+/// one snapshot before serializing). Entries are sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, uint64_t>> Gauges;
+  std::vector<HistogramValue> Histograms;
+
+  /// Looks up a counter / gauge value by name (Default when absent).
+  uint64_t counter(std::string_view Name, uint64_t Default = 0) const;
+  uint64_t gauge(std::string_view Name, uint64_t Default = 0) const;
+  /// Looks up a histogram by name (null when absent).
+  const HistogramValue *histogram(std::string_view Name) const;
+
+  /// Inserts or replaces an entry, keeping name order.
+  void setCounter(std::string_view Name, uint64_t Value);
+  void setGauge(std::string_view Name, uint64_t Value);
+  void setHistogram(HistogramValue Value);
+
+  /// Folds \p Other into this snapshot: counters add, gauges max,
+  /// histograms merge bucket-wise.
+  void merge(const MetricsSnapshot &Other);
+
+  bool empty() const {
+    return Counters.empty() && Gauges.empty() && Histograms.empty();
+  }
+
+  /// Serializes to the literace.metrics.v1 JSON schema
+  /// (docs/TELEMETRY.md). Deterministic: entries are name-sorted.
+  std::string toJson() const;
+
+  /// Parses a document produced by toJson(). Returns std::nullopt on
+  /// malformed input or a wrong schema marker.
+  static std::optional<MetricsSnapshot> fromJson(std::string_view Json);
+
+  /// Compact human-readable triage rendering (counters and gauges one per
+  /// line, histograms as count/mean/p50/p99).
+  std::string describe() const;
+};
+
+/// Process-wide registry of named metrics. Registration is idempotent by
+/// name (same name + kind returns the same handle) and cheap but locked;
+/// do it at component construction, not on hot paths.
+class MetricsRegistry {
+public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  /// The default process-global registry.
+  static MetricsRegistry &global();
+
+  CounterId counter(std::string_view Name);
+  GaugeId gaugeMax(std::string_view Name);
+  HistogramId histogram(std::string_view Name);
+
+  /// The calling thread's slab for this registry, created on first use
+  /// and cached thread-locally. The slab outlives the thread (the
+  /// registry owns it), so totals from exited threads stay in snapshots.
+  ThreadSlab &threadSlab();
+
+  /// Sums every slab into a snapshot. Safe to call while writers run;
+  /// per-cell values are torn-free, and after writers quiesce the totals
+  /// are exact.
+  MetricsSnapshot snapshot() const;
+
+  /// Unique id of this registry instance (never reused within a
+  /// process); used to validate thread-local slab caches.
+  uint64_t id() const { return Uid; }
+
+  /// Number of slabs handed out so far (one per participating thread).
+  size_t numSlabs() const;
+
+private:
+  enum class Kind : uint8_t { Counter, GaugeMax, Histogram };
+
+  struct Metric {
+    std::string Name;
+    Kind MetricKind;
+    uint32_t Cell;
+  };
+
+  uint32_t registerMetric(std::string_view Name, Kind K, uint32_t Cells);
+
+  mutable std::mutex Lock;
+  std::vector<Metric> Metrics;
+  std::vector<std::unique_ptr<ThreadSlab>> Slabs;
+  uint32_t NextCell = 0;
+  uint64_t Uid;
+};
+
+/// Registry resolution used by every instrumented component: an explicit
+/// override wins; otherwise the global registry unless the kill switch
+/// (or \p ForceOff) disables telemetry, in which case null — callers
+/// treat null as "telemetry off".
+MetricsRegistry *resolveRegistry(MetricsRegistry *Override,
+                                 bool ForceOff = false);
+
+} // namespace telemetry
+} // namespace literace
+
+#endif // LITERACE_TELEMETRY_METRICS_H

@@ -192,6 +192,112 @@ TEST(ToolsTest, RunElideFlagShrinksTheLog) {
   std::remove(Elided.c_str());
 }
 
+/// Extracts the integer rendered after \p Name in literace-stat's
+/// "  name   value" triage lines; -1 when the line is absent.
+long long statValue(const std::string &Out, const std::string &Name) {
+  size_t At = Out.find(Name);
+  if (At == std::string::npos)
+    return -1;
+  long long Value = -1;
+  std::sscanf(Out.c_str() + At + Name.size(), " %lld", &Value);
+  return Value;
+}
+
+TEST(ToolsTest, StatEndToEndOnBrowserWorkload) {
+  std::string Log = tempLog();
+  std::string MetricsOut = std::string(::testing::TempDir()) + "metrics.json";
+  std::string TraceOut = std::string(::testing::TempDir()) + "trace.json";
+  auto [RunCode, RunOut] =
+      runCommand(toolPath("literace-run") + " browser-start " + Log +
+                 " --mode literace --scale 0.5 --elide");
+  ASSERT_EQ(RunCode, 0) << RunOut;
+  // literace-run leaves a metrics sidecar next to the log.
+  EXPECT_NE(RunOut.find(".metrics.json"), std::string::npos);
+
+  auto [Code, Out] = runCommand(toolPath("literace-stat") + " " + Log +
+                                " --shards 2 --json " + MetricsOut +
+                                " --perfetto " + TraceOut);
+  ASSERT_EQ(Code, 0) << Out;
+  // The acceptance triple: nonzero sampled, unsampled, and elided
+  // counters from the recording runtime's sidecar.
+  EXPECT_GT(statValue(Out, "runtime.sampled_activations"), 0) << Out;
+  EXPECT_GT(statValue(Out, "runtime.unsampled_activations"), 0) << Out;
+  EXPECT_GT(statValue(Out, "runtime.memops_elided"), 0) << Out;
+  // Trace-derived and detector-plane metrics join the same snapshot.
+  EXPECT_GT(statValue(Out, "trace.events"), 0) << Out;
+  EXPECT_GT(statValue(Out, "detector.shard0.memory_events"), 0) << Out;
+  EXPECT_NE(Out.find("hottest functions"), std::string::npos);
+
+  // Both artifacts exist; the Perfetto file was validated structurally by
+  // the tool itself before writing (it refuses to emit invalid JSON).
+  std::FILE *Metrics = std::fopen(MetricsOut.c_str(), "r");
+  ASSERT_NE(Metrics, nullptr);
+  std::fclose(Metrics);
+  std::FILE *Trace = std::fopen(TraceOut.c_str(), "r");
+  ASSERT_NE(Trace, nullptr);
+  std::fclose(Trace);
+  EXPECT_NE(Out.find("ui.perfetto.dev"), std::string::npos);
+
+  std::remove(Log.c_str());
+  std::remove((Log + ".metrics.json").c_str());
+  std::remove(MetricsOut.c_str());
+  std::remove(TraceOut.c_str());
+}
+
+TEST(ToolsTest, StatWithoutSidecarStillProfilesTheTrace) {
+  std::string Log = tempLog();
+  // Kill switch: no telemetry, hence no sidecar written.
+  ASSERT_EQ(runCommand("LITERACE_TELEMETRY=off " + toolPath("literace-run") +
+                       " channel " + Log + " --mode literace --scale 0.05")
+                .first,
+            0);
+  std::FILE *Sidecar = std::fopen((Log + ".metrics.json").c_str(), "r");
+  EXPECT_EQ(Sidecar, nullptr) << "kill switch must suppress the sidecar";
+  if (Sidecar)
+    std::fclose(Sidecar);
+
+  auto [Code, Out] = runCommand(toolPath("literace-stat") + " " + Log);
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_GT(statValue(Out, "trace.events"), 0) << Out;
+  EXPECT_NE(Out.find("no runtime sidecar"), std::string::npos);
+  std::remove(Log.c_str());
+}
+
+TEST(ToolsTest, ReportMetricsFlagWritesSnapshot) {
+  std::string Log = tempLog();
+  // --metrics takes a directory; both artifacts land inside it.
+  std::string MetricsDir = ::testing::TempDir();
+  std::string MetricsOut = MetricsDir + "/metrics.json";
+  std::string TraceOut = MetricsDir + "/trace.perfetto.json";
+  ASSERT_EQ(runCommand(toolPath("literace-run") + " concrt-scheduling " +
+                       Log + " --mode literace --scale 0.05")
+                .first,
+            0);
+  // --shards engages the sharded pipeline, whose detector-plane counters
+  // fold into the process registry and hence into metrics.json.
+  auto [Code, Out] = runCommand(toolPath("literace-report") + " " + Log +
+                                " --quiet --shards 2 --metrics " +
+                                MetricsDir);
+  EXPECT_LE(Code, 3) << Out; // Races may or may not be found.
+  std::FILE *Metrics = std::fopen(MetricsOut.c_str(), "r");
+  ASSERT_NE(Metrics, nullptr);
+  std::string Data;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), Metrics)) != 0)
+    Data.append(Buf, N);
+  std::fclose(Metrics);
+  EXPECT_NE(Data.find("literace.metrics.v1"), std::string::npos);
+  EXPECT_NE(Data.find("detector."), std::string::npos);
+  std::FILE *Trace = std::fopen(TraceOut.c_str(), "r");
+  ASSERT_NE(Trace, nullptr);
+  std::fclose(Trace);
+  std::remove(Log.c_str());
+  std::remove((Log + ".metrics.json").c_str());
+  std::remove(MetricsOut.c_str());
+  std::remove(TraceOut.c_str());
+}
+
 TEST(ToolsTest, LocksetBackendWarnsAboutImprecision) {
   std::string Log = tempLog();
   ASSERT_EQ(runCommand(toolPath("literace-run") + " httpd-2 " + Log +

@@ -87,6 +87,31 @@ TEST(TraceStatsTest, DescribeRendersNames) {
   EXPECT_NE(Text.find("1 writes"), std::string::npos);
 }
 
+// Golden output (mirrors the RaceReport golden test from PR 2): the full
+// describe() rendering of a small fixed trace, including the slot-coverage
+// percentages. Deliberately brittle — update it when the format changes on
+// purpose, and let it catch accidental drift otherwise.
+TEST(TraceStatsTest, DescribeGoldenOutput) {
+  LogBuilder B(16);
+  B.onThread(0)
+      .write(0x10, makePc(1, 1), FullLogMaskBit | 0x1)
+      .write(0x18, makePc(1, 2), FullLogMaskBit | 0x1)
+      .read(0x10, makePc(2, 3), FullLogMaskBit | 0x3)
+      .write(0x20, makePc(2, 4), FullLogMaskBit);
+  TraceStats Stats = TraceStats::compute(B.build());
+  const char *Golden =
+      "events: 4 (1 reads, 3 writes, 0 sync, 0 alloc, 0 free)\n"
+      "threads: 1; distinct addresses: 3; distinct sync vars: 0\n"
+      "hottest functions by memory ops:\n"
+      "  fn1                                     2  (50.0%)\n"
+      "  fn2                                     2  (50.0%)\n"
+      "sampler mask coverage:\n"
+      "  any slot           3  (75.00%)\n"
+      "  slot 0             3  (75.00%)\n"
+      "  slot 1             1  (25.00%)\n";
+  EXPECT_EQ(Stats.describe(), Golden);
+}
+
 TEST(TraceStatsTest, MatchesRuntimeStatsOnAWorkload) {
   auto W = makeWorkload(WorkloadKind::ConcRTMessaging);
   WorkloadParams Params;

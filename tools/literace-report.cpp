@@ -24,6 +24,8 @@
 #include "runtime/CompressedLog.h"
 #include "runtime/TraceStats.h"
 #include "support/Timer.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Timeline.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,9 +39,38 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <log.bin> [--detector hb|fasttrack|lockset] "
-               "[--shards <n>] [--suppress <file>] [--stats] [--quiet]\n",
+               "[--shards <n>] [--suppress <file>] [--stats] [--quiet] "
+               "[--metrics <dir>]\n"
+               "--metrics writes <dir>/metrics.json and "
+               "<dir>/trace.perfetto.json\n",
                Argv0);
   return 2;
+}
+
+/// Writes \p Data to \p Path; reports on stderr.
+bool writeTextFile(const std::string &Path, const std::string &Data) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  bool Ok = std::fwrite(Data.data(), 1, Data.size(), File) == Data.size();
+  Ok &= std::fclose(File) == 0;
+  return Ok;
+}
+
+/// Reads \p Path whole; empty optional if unreadable.
+std::optional<std::string> readTextFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return std::nullopt;
+  std::string Data;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) != 0)
+    Data.append(Buf, N);
+  std::fclose(File);
+  return Data;
 }
 
 /// Reads a suppression file: one pc per line (hex with 0x or decimal),
@@ -68,14 +99,20 @@ int main(int Argc, char **Argv) {
     return usage(Argv[0]);
   std::string Path = Argv[1];
   std::string Detector = "hb";
+  std::string MetricsDir;
   bool Quiet = false;
   bool Stats = false;
+  bool Metrics = false;
   DetectorOptions DetOpts;
   std::set<Pc> Suppressed;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--detector" && I + 1 < Argc)
       Detector = Argv[++I];
+    else if (Arg == "--metrics" && I + 1 < Argc) {
+      Metrics = true;
+      MetricsDir = Argv[++I];
+    }
     else if (Arg == "--shards" && I + 1 < Argc)
       DetOpts.Shards = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (Arg.rfind("--shards=", 0) == 0)
@@ -163,5 +200,39 @@ int main(int Argc, char **Argv) {
     std::printf("%s", Report.describe().c_str());
   std::fprintf(stderr, "analyzed in %.3fs (%.1f M events/s)\n", Seconds,
                static_cast<double>(T->totalEvents()) / 1e6 / Seconds);
+
+  if (Metrics) {
+    // Merge every plane we have: detector counters folded into the
+    // process registry during the analysis above, the recording run's
+    // sidecar (if literace-run left one next to the log), and
+    // trace/report-derived figures.
+    telemetry::MetricsSnapshot Snap;
+    if (telemetry::MetricsRegistry *M = telemetry::resolveRegistry(nullptr))
+      Snap = M->snapshot();
+    if (auto Sidecar = readTextFile(Path + ".metrics.json")) {
+      if (auto Recorded = telemetry::MetricsSnapshot::fromJson(*Sidecar))
+        Snap.merge(*Recorded);
+      else
+        std::fprintf(stderr, "warning: ignoring malformed sidecar "
+                             "'%s.metrics.json'\n",
+                     Path.c_str());
+    }
+    Snap.setCounter("trace.events", T->totalEvents());
+    Snap.setCounter("trace.memory_ops", T->memoryOps());
+    Snap.setCounter("trace.sync_ops", T->syncOps());
+    Snap.setGauge("trace.threads", T->PerThread.size());
+    Snap.setCounter("report.static_races", Report.numStaticRaces());
+    Snap.setCounter("report.analysis_us",
+                    static_cast<uint64_t>(Seconds * 1e6));
+    const std::string MetricsPath = MetricsDir + "/metrics.json";
+    const std::string TracePath = MetricsDir + "/trace.perfetto.json";
+    telemetry::TraceWriter Timeline = telemetry::buildTraceTimeline(*T);
+    Timeline.append(telemetry::TraceRecorder::global().drainWriter());
+    if (writeTextFile(MetricsPath, Snap.toJson()) &&
+        writeTextFile(TracePath, Timeline.toJson()))
+      std::fprintf(stderr, "wrote %s and %s (%zu timeline events)\n",
+                   MetricsPath.c_str(), TracePath.c_str(),
+                   Timeline.size());
+  }
   return Remaining == 0 ? 0 : 3;
 }

@@ -22,6 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/StaticAnalysis.h"
+#include "telemetry/Metrics.h"
 #include "workloads/Workload.h"
 
 #include <cstdio>
@@ -153,5 +154,27 @@ int main(int Argc, char **Argv) {
                static_cast<unsigned long long>(Stats.MemOpsLogged),
                static_cast<unsigned long long>(Stats.SyncOps),
                RT.numThreads(), RT.registry().size());
+
+  // Sidecar telemetry: the log format carries no runtime counters, so
+  // literace-stat reads them from <out>.metrics.json. Suppressed by the
+  // LITERACE_TELEMETRY kill switch along with all other telemetry.
+  if (RT.metrics()) {
+    telemetry::MetricsSnapshot Snap = RT.metricsSnapshot();
+    const std::string MetricsPath = OutPath + ".metrics.json";
+    if (std::FILE *File = std::fopen(MetricsPath.c_str(), "wb")) {
+      const std::string Json = Snap.toJson();
+      const bool Ok =
+          std::fwrite(Json.data(), 1, Json.size(), File) == Json.size();
+      std::fclose(File);
+      if (Ok)
+        std::fprintf(stderr, "wrote %s (%zu metrics)\n",
+                     MetricsPath.c_str(),
+                     Snap.Counters.size() + Snap.Gauges.size() +
+                         Snap.Histograms.size());
+    } else {
+      std::fprintf(stderr, "warning: cannot write '%s'\n",
+                   MetricsPath.c_str());
+    }
+  }
   return 0;
 }

@@ -1,0 +1,204 @@
+//===-- tools/literace-stat.cpp - Telemetry triage CLI ----------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Triage tool for recorded logs (docs/TELEMETRY.md): merges everything we
+// know about a run into one metrics snapshot and prints it — trace-derived
+// profile (TraceStats), the recording runtime's counters from the
+// <log>.metrics.json sidecar written by literace-run (sampled/unsampled
+// activations, elided ops, flush latencies, sampler back-offs), and
+// optionally a fresh sharded-detection pass whose pipeline counters
+// (per-shard queue high-water marks, park counts, merge time) join the
+// snapshot. Can export the merged snapshot as metrics.json and the trace
+// as a Chrome trace-event / Perfetto timeline.
+//
+// Usage:
+//   literace-stat <log.bin> [--metrics <sidecar.json>] [--shards <n>]
+//                 [--json <out.json>] [--perfetto <out.json>] [--quiet]
+//
+//   --metrics   explicit sidecar path (default: <log.bin>.metrics.json
+//               when it exists)
+//   --shards    run sharded happens-before detection with <n> shards and
+//               include detector-plane telemetry
+//   --json      write the merged snapshot (literace.metrics.v1 schema)
+//   --perfetto  write the timeline (load at ui.perfetto.dev)
+//   --quiet     suppress the human-readable triage rendering
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/ShardedDetector.h"
+#include "runtime/CompressedLog.h"
+#include "runtime/TraceStats.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Timeline.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+using namespace literace;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <log.bin> [--metrics <sidecar.json>] "
+               "[--shards <n>] [--json <out.json>] "
+               "[--perfetto <out.json>] [--quiet]\n",
+               Argv0);
+  return 2;
+}
+
+std::optional<std::string> readTextFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return std::nullopt;
+  std::string Data;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) != 0)
+    Data.append(Buf, N);
+  std::fclose(File);
+  return Data;
+}
+
+bool writeTextFile(const std::string &Path, const std::string &Data) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  bool Ok = std::fwrite(Data.data(), 1, Data.size(), File) == Data.size();
+  Ok &= std::fclose(File) == 0;
+  return Ok;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  std::string Path = Argv[1];
+  std::string SidecarPath = Path + ".metrics.json";
+  std::string JsonOut;
+  std::string PerfettoOut;
+  unsigned Shards = 0;
+  bool Quiet = false;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--metrics" && I + 1 < Argc)
+      SidecarPath = Argv[++I];
+    else if (Arg == "--shards" && I + 1 < Argc)
+      Shards = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (Arg == "--json" && I + 1 < Argc)
+      JsonOut = Argv[++I];
+    else if (Arg == "--perfetto" && I + 1 < Argc)
+      PerfettoOut = Argv[++I];
+    else if (Arg == "--quiet")
+      Quiet = true;
+    else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
+      return usage(Argv[0]);
+    }
+  }
+
+  // Accept both on-disk formats transparently.
+  auto T = readTraceFile(Path);
+  if (!T)
+    T = readCompressedTraceFile(Path);
+  if (!T) {
+    std::fprintf(stderr, "error: '%s' is not a readable literace log\n",
+                 Path.c_str());
+    return 1;
+  }
+
+  TraceStats Stats = TraceStats::compute(*T);
+  telemetry::MetricsSnapshot Snap;
+
+  // Plane 1: the recording runtime's own counters, via the sidecar.
+  bool HaveSidecar = false;
+  if (auto Sidecar = readTextFile(SidecarPath)) {
+    if (auto Recorded = telemetry::MetricsSnapshot::fromJson(*Sidecar)) {
+      Snap.merge(*Recorded);
+      HaveSidecar = true;
+    } else {
+      std::fprintf(stderr, "warning: '%s' is not a literace metrics "
+                           "document; ignoring it\n",
+                   SidecarPath.c_str());
+    }
+  }
+
+  // Plane 2: the trace itself.
+  Snap.setCounter("trace.events", Stats.TotalEvents);
+  Snap.setCounter("trace.reads", Stats.Reads);
+  Snap.setCounter("trace.writes", Stats.Writes);
+  Snap.setCounter("trace.sync_ops", Stats.SyncOps);
+  Snap.setCounter("trace.distinct_addresses", Stats.DistinctAddresses);
+  Snap.setCounter("trace.distinct_syncvars", Stats.DistinctSyncVars);
+  Snap.setGauge("trace.threads", Stats.NumThreads);
+
+  // Plane 3 (optional): a sharded detection pass over the log, so the
+  // pipeline's queue/stall behavior is measured on this machine.
+  if (Shards > 0) {
+    DetectorOptions DetOpts;
+    DetOpts.Shards = Shards;
+    ShardedHBDetector Detector(DetOpts);
+    const bool Ok = replayTrace(*T, Detector);
+    RaceReport Report;
+    Detector.finish(Report);
+    if (!Ok)
+      std::fprintf(stderr, "warning: log replay was inconsistent; "
+                           "detector telemetry covers the replayed "
+                           "prefix\n");
+    Snap.setCounter("report.static_races", Report.numStaticRaces());
+    for (unsigned I = 0; I != Detector.numShards(); ++I) {
+      const auto S = Detector.shardTelemetry(I);
+      const std::string Prefix =
+          "detector.shard" + std::to_string(I) + ".";
+      Snap.setCounter(Prefix + "memory_events", S.MemoryEvents);
+      Snap.setGauge(Prefix + "queue_highwater", S.QueueDepthHighWater);
+      Snap.setCounter(Prefix + "producer_parks", S.ProducerParks);
+      Snap.setCounter(Prefix + "consumer_parks", S.ConsumerParks);
+    }
+    // The registry-level fold (detector.* totals) happened in finish().
+    if (telemetry::MetricsRegistry *M = telemetry::resolveRegistry(nullptr))
+      Snap.merge(M->snapshot());
+  }
+
+  if (!Quiet) {
+    std::printf("== trace profile ==\n%s", Stats.describe().c_str());
+    std::printf("== metrics ==\n%s", Snap.describe().c_str());
+    if (!HaveSidecar)
+      std::printf("(no runtime sidecar at %s — record with literace-run "
+                  "to capture runtime counters)\n",
+                  SidecarPath.c_str());
+  }
+
+  if (!JsonOut.empty()) {
+    if (!writeTextFile(JsonOut, Snap.toJson())) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", JsonOut.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", JsonOut.c_str());
+  }
+
+  if (!PerfettoOut.empty()) {
+    telemetry::TraceWriter Timeline = telemetry::buildTraceTimeline(*T);
+    Timeline.append(telemetry::TraceRecorder::global().drainWriter());
+    std::string Json = Timeline.toJson();
+    std::string Error;
+    if (!telemetry::validateChromeTraceJson(Json, &Error)) {
+      std::fprintf(stderr, "internal error: invalid trace JSON: %s\n",
+                   Error.c_str());
+      return 1;
+    }
+    if (!writeTextFile(PerfettoOut, Json)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   PerfettoOut.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%zu events; open in ui.perfetto.dev)\n",
+                 PerfettoOut.c_str(), Timeline.size());
+  }
+  return 0;
+}
