@@ -18,9 +18,28 @@ VectorClock &FastTrackDetector::clockOf(ThreadId T) {
   if (T >= ThreadClocks.size())
     ThreadClocks.resize(T + 1);
   VectorClock &Clock = ThreadClocks[T];
-  if (Clock.get(T) == 0)
-    Clock.set(T, 1);
+  if (Clock.get(T) == 0) {
+    // Threads first seen after a coverage gap start behind the barrier.
+    Clock.joinWith(GapBarrier);
+    Clock.set(T, Clock.get(T) + 1);
+  }
   return Clock;
+}
+
+void FastTrackDetector::onCoverageGap() {
+  ++CoverageGaps;
+  // Same conservative barrier as HBDetector::onCoverageGap(): cross-gap
+  // access pairs become ordered, so missing sync edges can only hide
+  // races, never fabricate them.
+  for (const VectorClock &Clock : ThreadClocks)
+    GapBarrier.joinWith(Clock);
+  for (size_t T = 0; T != ThreadClocks.size(); ++T) {
+    VectorClock &Clock = ThreadClocks[T];
+    if (Clock.get(static_cast<ThreadId>(T)) == 0)
+      continue;
+    Clock.joinWith(GapBarrier);
+    Clock.tick(static_cast<ThreadId>(T));
+  }
 }
 
 void FastTrackDetector::acquire(ThreadId T, SyncVar S) {

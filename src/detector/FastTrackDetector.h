@@ -43,6 +43,14 @@ public:
 
   void onEvent(const EventRecord &R) override;
 
+  /// Coverage gap: installs the same conservative ordering barrier as
+  /// HBDetector::onCoverageGap(), so both detectors stay equivalent on
+  /// salvaged traces.
+  void onCoverageGap() override;
+
+  /// Number of coverage gaps barriered so far.
+  uint64_t coverageGaps() const { return CoverageGaps; }
+
   /// Number of addresses whose read state was ever promoted to a full
   /// per-thread view (the slow path; exposed for tests and benches).
   uint64_t readSharePromotions() const { return Promotions; }
@@ -78,6 +86,9 @@ private:
   std::vector<VectorClock> ThreadClocks;
   std::unordered_map<SyncVar, VectorClock> SyncClocks;
   std::unordered_map<uint64_t, AddressState> Shadow;
+  /// See HBDetector::GapBarrier.
+  VectorClock GapBarrier;
+  uint64_t CoverageGaps = 0;
   uint64_t Promotions = 0;
   uint64_t MemoryEvents = 0;
 };

@@ -21,10 +21,33 @@ VectorClock &HBDetector::clockOf(ThreadId T) {
     ThreadClocks.resize(T + 1);
   VectorClock &Clock = ThreadClocks[T];
   // A thread's own component starts at 1 so that its accesses have a
-  // nonzero epoch distinguishable from "never accessed".
-  if (Clock.get(T) == 0)
-    Clock.set(T, 1);
+  // nonzero epoch distinguishable from "never accessed". A thread first
+  // seen after a coverage gap starts behind the barrier: its fork edge
+  // may have been in a dropped segment.
+  if (Clock.get(T) == 0) {
+    Clock.joinWith(GapBarrier);
+    Clock.set(T, Clock.get(T) + 1);
+  }
   return Clock;
+}
+
+void HBDetector::onCoverageGap() {
+  ++CoverageGaps;
+  // Conservative barrier: order everything before the gap before
+  // everything after it. Missing HB edges then make the detector report
+  // fewer races, never more — preserving "no false positives" on
+  // salvaged traces.
+  for (const VectorClock &Clock : ThreadClocks)
+    GapBarrier.joinWith(Clock);
+  for (size_t T = 0; T != ThreadClocks.size(); ++T) {
+    VectorClock &Clock = ThreadClocks[T];
+    if (Clock.get(static_cast<ThreadId>(T)) == 0)
+      continue; // Not materialized; clockOf() applies the barrier later.
+    Clock.joinWith(GapBarrier);
+    // Tick so post-gap accesses are distinguishable from the pre-gap
+    // knowledge just folded in.
+    Clock.tick(static_cast<ThreadId>(T));
+  }
 }
 
 const VectorClock &HBDetector::threadClock(ThreadId T) { return clockOf(T); }

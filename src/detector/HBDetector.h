@@ -43,6 +43,17 @@ public:
 
   void onEvent(const EventRecord &R) override;
 
+  /// Coverage gap (dropped log segments): synchronization edges may be
+  /// missing from here on, so install a conservative ordering barrier —
+  /// every access after the gap is treated as happening-after everything
+  /// before it. That can only suppress reports, never invent them, so
+  /// races reported on a salvaged trace are a subset of the full-trace
+  /// report (docs/ROBUSTNESS.md).
+  void onCoverageGap() override;
+
+  /// Number of coverage gaps barriered so far.
+  uint64_t coverageGaps() const { return CoverageGaps; }
+
   /// Delivers \p R as the event with global replay sequence number
   /// \p EventIndex. onEvent() numbers events itself (0, 1, 2, ... in
   /// delivery order); the sharded pipeline numbers events at fan-out time
@@ -98,6 +109,10 @@ private:
   std::vector<VectorClock> ThreadClocks;
   std::unordered_map<SyncVar, VectorClock> SyncClocks;
   std::unordered_map<uint64_t, AddressState> Shadow;
+  /// Join of every thread clock at the last coverage gap; threads first
+  /// seen later start behind it so cross-gap pairs stay ordered.
+  VectorClock GapBarrier;
+  uint64_t CoverageGaps = 0;
   uint64_t MemoryEvents = 0;
   uint64_t SyncEvents = 0;
   /// Sequence number assigned to the next self-numbered event, and the

@@ -12,6 +12,17 @@ using namespace literace;
 
 LocksetDetector::LocksetDetector(RaceReport &Report) : Report(Report) {}
 
+void LocksetDetector::onCoverageGap() {
+  ++CoverageGaps;
+  // Dropped segments may contain acquires/releases; both the held-lock
+  // sets and the per-address candidate sets are stale. Restart the state
+  // machines rather than emit warnings based on phantom-empty locksets.
+  for (auto &Held : LocksHeldByThread)
+    Held.clear();
+  States.clear();
+  Flagged.clear();
+}
+
 const std::set<SyncVar> &LocksetDetector::locksHeld(ThreadId T) {
   if (T >= LocksHeldByThread.size())
     LocksHeldByThread.resize(T + 1);

@@ -42,6 +42,15 @@ public:
 
   void onEvent(const EventRecord &R) override;
 
+  /// Coverage gap: acquire/release events may be missing from here on, so
+  /// candidate locksets computed across the gap would be meaningless (a
+  /// dropped acquire would spuriously empty C(v)). The detector restarts
+  /// its per-address state machines; already-issued warnings stand.
+  void onCoverageGap() override;
+
+  /// Number of coverage gaps observed.
+  uint64_t coverageGaps() const { return CoverageGaps; }
+
   /// Addresses currently flagged (lockset empty in Shared-Modified).
   size_t numFlaggedAddresses() const { return Flagged.size(); }
 
@@ -69,6 +78,7 @@ private:
   std::vector<std::set<SyncVar>> LocksHeldByThread;
   std::unordered_map<uint64_t, AddressState> States;
   std::set<uint64_t> Flagged;
+  uint64_t CoverageGaps = 0;
 };
 
 /// Convenience wrapper mirroring detectRaces() for the lockset baseline.

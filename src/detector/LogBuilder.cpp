@@ -75,6 +75,12 @@ LogBuilder &LogBuilder::raw(EventRecord R) {
   return *this;
 }
 
+LogBuilder &LogBuilder::skipTimestamps(SyncVar S, unsigned N) {
+  for (unsigned I = 0; I != N; ++I)
+    Timestamps.draw(S);
+  return *this;
+}
+
 Trace LogBuilder::build() const {
   Trace T;
   T.NumTimestampCounters = NumCounters;

@@ -59,6 +59,11 @@ public:
   /// it). For malformed-log tests.
   LogBuilder &raw(EventRecord R);
 
+  /// Draws and discards \p N timestamps on \p S's counter without logging
+  /// anything — exactly what a dropped log segment containing N sync
+  /// operations on \p S looks like to the replay. For coverage-gap tests.
+  LogBuilder &skipTimestamps(SyncVar S, unsigned N = 1);
+
   /// Finalizes and returns the trace. The builder may keep being used; the
   /// returned trace is a snapshot.
   Trace build() const;

@@ -15,7 +15,8 @@ using namespace literace;
 OnlineDetector::OnlineDetector(unsigned NumTimestampCounters,
                                RaceReport &Report, ReplayOptions Options,
                                DetectorOptions Detector)
-    : Scheduler(NumTimestampCounters, Options), Report(Report) {
+    : Scheduler(NumTimestampCounters, Options), Options(Options),
+      Report(Report) {
   if (Detector.Shards > 1)
     Sharded = std::make_unique<ShardedHBDetector>(Detector);
   else
@@ -48,6 +49,10 @@ uint64_t OnlineDetector::chunksReceived() const {
   return Chunks;
 }
 
+uint64_t OnlineDetector::timestampGaps() const {
+  return Scheduler.timestampGaps();
+}
+
 bool OnlineDetector::finish() {
   {
     std::lock_guard<std::mutex> Guard(Lock);
@@ -58,6 +63,13 @@ bool OnlineDetector::finish() {
   Ready.notify_one();
   if (Worker.joinable())
     Worker.join();
+  // With gap tolerance, events blocked on timestamps that never arrived
+  // (the producer crashed, or segments were lost) are drained past
+  // coverage gaps now that end-of-stream is certain. The worker is
+  // joined, so the scheduler and detectors are safe to touch here.
+  if (Options.AllowTimestampGaps && !Scheduler.fullyDrained())
+    Processed.fetch_add(Scheduler.drainAllowingGaps(consumer()),
+                        std::memory_order_relaxed);
   // The sharded fan-out has its own workers to stop and a merge to run.
   if (Sharded)
     Sharded->finish(Report);

@@ -49,8 +49,15 @@ public:
 
   /// Signals end-of-stream, waits for the worker to process everything,
   /// and returns true if the whole stream was consistent and fully
-  /// processed. Idempotent.
+  /// processed. With ReplayOptions::AllowTimestampGaps, events blocked on
+  /// timestamps that never arrived (a crashed producer) are drained past
+  /// coverage gaps instead of failing, and finish() returns true as long
+  /// as everything was delivered. Idempotent.
   bool finish();
+
+  /// Timestamp gaps skipped during the final drain (0 unless
+  /// AllowTimestampGaps was set and the stream had holes).
+  uint64_t timestampGaps() const;
 
   /// Events processed so far (approximate while running).
   uint64_t eventsProcessed() const {
@@ -75,6 +82,7 @@ private:
   }
 
   ReplayScheduler Scheduler;
+  ReplayOptions Options;
   RaceReport &Report;
   std::unique_ptr<HBDetector> Serial;
   std::unique_ptr<ShardedHBDetector> Sharded;

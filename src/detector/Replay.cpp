@@ -9,10 +9,13 @@
 #include "runtime/TimestampManager.h"
 
 #include <cassert>
+#include <limits>
 
 using namespace literace;
 
 TraceConsumer::~TraceConsumer() = default;
+
+void TraceConsumer::onCoverageGap() {}
 
 namespace {
 
@@ -33,25 +36,39 @@ bool literace::replayTrace(const Trace &T, TraceConsumer &Consumer,
   std::vector<uint64_t> NextTs(NumCounters, 1);
 
   size_t Remaining = T.totalEvents();
-  bool Progress = true;
-  while (Remaining > 0 && Progress) {
-    Progress = false;
+  while (Remaining > 0) {
+    bool Progress = false;
     for (size_t Tid = 0; Tid != NumThreads; ++Tid) {
       const auto &Stream = T.PerThread[Tid];
       size_t &C = Cursor[Tid];
       while (C < Stream.size()) {
         const EventRecord &R = Stream[C];
         if (isSyncKind(R.Kind)) {
-          if (R.Ts == 0)
-            return false; // Malformed: sync event without a timestamp.
-          unsigned Counter = counterForSyncVar(R.Addr, NumCounters);
-          if (R.Ts != NextTs[Counter]) {
-            if (R.Ts < NextTs[Counter])
-              return false; // Duplicate timestamp: inconsistent log.
-            break;          // Not yet enabled; try another thread.
+          if (R.Ts == 0) {
+            // Malformed: sync event without a timestamp. A salvaged trace
+            // is delivered without an ordering constraint (the gap
+            // machinery keeps detectors conservative); a trusted one is
+            // rejected.
+            if (!Options.AllowTimestampGaps)
+              return false;
+            Consumer.onEvent(R);
+          } else {
+            unsigned Counter = counterForSyncVar(R.Addr, NumCounters);
+            if (R.Ts < NextTs[Counter]) {
+              // Duplicate (strict: inconsistent log) or an event whose
+              // counter was gap-advanced past it; cross-gap order for
+              // this counter is already conservatively barriered, so
+              // deliver without touching the counter.
+              if (!Options.AllowTimestampGaps)
+                return false;
+              Consumer.onEvent(R);
+            } else if (R.Ts == NextTs[Counter]) {
+              ++NextTs[Counter];
+              Consumer.onEvent(R);
+            } else {
+              break; // Not yet enabled; try another thread.
+            }
           }
-          ++NextTs[Counter];
-          Consumer.onEvent(R);
         } else if (passesFilter(R, Options)) {
           Consumer.onEvent(R);
         }
@@ -60,10 +77,39 @@ bool literace::replayTrace(const Trace &T, TraceConsumer &Consumer,
         Progress = true;
       }
     }
+    if (Progress || Remaining == 0)
+      continue;
+    // Every unfinished thread is blocked on a timestamp that never
+    // arrives: with a trusted log that means it is inconsistent; with a
+    // salvaged one, the timestamps died with a dropped segment.
+    if (!Options.AllowTimestampGaps)
+      return false;
+    // Skip the smallest missing range: advance the counter of the
+    // earliest blocked event straight to that event's timestamp. The
+    // (Ts, Tid) order makes the choice deterministic.
+    uint64_t BestTs = std::numeric_limits<uint64_t>::max();
+    unsigned BestCounter = 0;
+    bool Found = false;
+    for (size_t Tid = 0; Tid != NumThreads; ++Tid) {
+      const auto &Stream = T.PerThread[Tid];
+      if (Cursor[Tid] >= Stream.size())
+        continue;
+      const EventRecord &R = Stream[Cursor[Tid]];
+      assert(isSyncKind(R.Kind) && "stalled on a non-sync event");
+      if (R.Ts < BestTs) {
+        BestTs = R.Ts;
+        BestCounter = counterForSyncVar(R.Addr, NumCounters);
+        Found = true;
+      }
+    }
+    if (!Found)
+      return false; // Defensive; cannot happen while Remaining > 0.
+    NextTs[BestCounter] = BestTs;
+    if (Options.OutTimestampGaps)
+      ++*Options.OutTimestampGaps;
+    Consumer.onCoverageGap();
   }
-  // If no thread could make progress, a timestamp is missing from the log
-  // (e.g. a sync operation whose record was lost).
-  return Remaining == 0;
+  return true;
 }
 
 ReplayScheduler::ReplayScheduler(unsigned NumTimestampCounters,
@@ -79,7 +125,7 @@ void ReplayScheduler::addEvents(ThreadId Tid, const EventRecord *Records,
   Pending += Count;
 }
 
-size_t ReplayScheduler::drain(TraceConsumer &Consumer) {
+size_t ReplayScheduler::drainImpl(TraceConsumer &Consumer, bool AllowStale) {
   size_t Delivered = 0;
   bool Progress = true;
   while (Progress) {
@@ -88,12 +134,26 @@ size_t ReplayScheduler::drain(TraceConsumer &Consumer) {
       while (!Stream.empty()) {
         const EventRecord &R = Stream.front();
         if (isSyncKind(R.Kind)) {
-          assert(R.Ts != 0 && "sync event without timestamp");
-          unsigned Counter = counterForSyncVar(R.Addr, NumCounters);
-          if (R.Ts != NextTs[Counter])
-            break; // Waits for earlier timestamps, possibly not yet added.
-          ++NextTs[Counter];
-          Consumer.onEvent(R);
+          if (R.Ts == 0) {
+            // Salvage mode delivers timestamp-less sync events without a
+            // constraint; incremental strict mode leaves them queued (the
+            // stream is inconsistent and finish() will say so).
+            if (!AllowStale)
+              break;
+            Consumer.onEvent(R);
+          } else {
+            unsigned Counter = counterForSyncVar(R.Addr, NumCounters);
+            if (R.Ts == NextTs[Counter]) {
+              ++NextTs[Counter];
+              Consumer.onEvent(R);
+            } else if (AllowStale && R.Ts < NextTs[Counter]) {
+              // Counter was gap-advanced past this event; the gap
+              // barrier already covers its ordering.
+              Consumer.onEvent(R);
+            } else {
+              break; // Waits for timestamps possibly not yet added.
+            }
+          }
         } else if (passesFilter(R, Options)) {
           Consumer.onEvent(R);
         }
@@ -103,6 +163,43 @@ size_t ReplayScheduler::drain(TraceConsumer &Consumer) {
         Progress = true;
       }
     }
+  }
+  return Delivered;
+}
+
+size_t ReplayScheduler::drain(TraceConsumer &Consumer) {
+  return drainImpl(Consumer, /*AllowStale=*/false);
+}
+
+size_t ReplayScheduler::drainAllowingGaps(TraceConsumer &Consumer) {
+  size_t Delivered = drainImpl(Consumer, /*AllowStale=*/true);
+  while (Pending > 0) {
+    // No more input is coming: whatever each stream is blocked on was
+    // lost with a dropped segment. Skip the earliest gap and keep going.
+    uint64_t BestTs = std::numeric_limits<uint64_t>::max();
+    unsigned BestCounter = 0;
+    bool Found = false;
+    for (const auto &Stream : Streams) {
+      if (Stream.empty())
+        continue;
+      const EventRecord &R = Stream.front();
+      if (!isSyncKind(R.Kind) || R.Ts == 0)
+        continue;
+      unsigned Counter = counterForSyncVar(R.Addr, NumCounters);
+      if (R.Ts > NextTs[Counter] && R.Ts < BestTs) {
+        BestTs = R.Ts;
+        BestCounter = Counter;
+        Found = true;
+      }
+    }
+    if (!Found)
+      break; // Defensive; drainImpl(AllowStale) consumes everything else.
+    NextTs[BestCounter] = BestTs;
+    ++Gaps;
+    if (Options.OutTimestampGaps)
+      ++*Options.OutTimestampGaps;
+    Consumer.onCoverageGap();
+    Delivered += drainImpl(Consumer, /*AllowStale=*/true);
   }
   return Delivered;
 }

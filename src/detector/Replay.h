@@ -40,6 +40,13 @@ public:
 
   /// Called once per delivered event.
   virtual void onEvent(const EventRecord &R) = 0;
+
+  /// Called when the replay skips over a timestamp gap left by dropped
+  /// log segments (salvaged traces, ReplayOptions::AllowTimestampGaps).
+  /// Synchronization edges may be missing from that point on; detectors
+  /// should degrade conservatively (e.g. install an ordering barrier so
+  /// cross-gap pairs are never reported as races). Default: no-op.
+  virtual void onCoverageGap();
 };
 
 /// Replay configuration.
@@ -47,6 +54,14 @@ struct ReplayOptions {
   /// If in [0, MaxSamplerSlots), deliver only memory events whose mask has
   /// that sampler's bit. Negative: deliver all memory events.
   int SamplerSlot = -1;
+  /// Tolerate missing timestamps (dropped segments of a salvaged trace):
+  /// instead of declaring the log inconsistent, the replay advances the
+  /// stalled counter to the next surviving timestamp and notifies the
+  /// consumer via onCoverageGap(). Replay then never deadlocks on a
+  /// salvaged trace.
+  bool AllowTimestampGaps = false;
+  /// When non-null, incremented once per skipped timestamp gap.
+  uint64_t *OutTimestampGaps = nullptr;
 };
 
 /// Detection-pipeline configuration, shared by detectRaces(), the online
@@ -81,18 +96,31 @@ public:
   /// number delivered.
   size_t drain(TraceConsumer &Consumer);
 
+  /// End-of-stream drain for salvaged traces: like drain(), but when no
+  /// more input is coming, pending events blocked on timestamps that were
+  /// lost with dropped segments are unblocked by skipping each gap
+  /// (notifying \p Consumer via onCoverageGap()). Call only after the
+  /// last addEvents(); afterwards fullyDrained() is true.
+  size_t drainAllowingGaps(TraceConsumer &Consumer);
+
   /// True if every added event has been delivered.
   bool fullyDrained() const { return Pending == 0; }
 
   /// Number of added-but-undelivered events.
   size_t pendingEvents() const { return Pending; }
 
+  /// Timestamp gaps skipped by drainAllowingGaps().
+  uint64_t timestampGaps() const { return Gaps; }
+
 private:
+  size_t drainImpl(TraceConsumer &Consumer, bool AllowStale);
+
   unsigned NumCounters;
   ReplayOptions Options;
   std::vector<std::deque<EventRecord>> Streams;
   std::vector<uint64_t> NextTs;
   size_t Pending = 0;
+  uint64_t Gaps = 0;
 };
 
 } // namespace literace

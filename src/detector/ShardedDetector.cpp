@@ -53,7 +53,14 @@ void ShardedHBDetector::onEvent(const EventRecord &R) {
   // Sync and lifetime events carry the happens-before structure every
   // shard needs; broadcast them so each worker's clocks stay exact.
   for (auto &S : Shards)
-    S->Queue.push({R, Seq});
+    S->Queue.push({R, Seq, false});
+}
+
+void ShardedHBDetector::onCoverageGap() {
+  // Gap markers consume no sequence number: the serial detector does not
+  // number gaps either, so per-shard sighting indices stay identical.
+  for (auto &S : Shards)
+    S->Queue.push({EventRecord{}, NextSeq, true});
 }
 
 void ShardedHBDetector::workerLoop(Shard &S) {
@@ -61,8 +68,12 @@ void ShardedHBDetector::workerLoop(Shard &S) {
   const uint64_t StartUs = Rec.enabled() ? Rec.nowUs() : 0;
   WallTimer Timer;
   Item I;
-  while (S.Queue.pop(I))
-    S.Detector.onEventAt(I.Record, I.Seq);
+  while (S.Queue.pop(I)) {
+    if (I.IsGap)
+      S.Detector.onCoverageGap();
+    else
+      S.Detector.onEventAt(I.Record, I.Seq);
+  }
   S.WorkerNs = Timer.nanoseconds();
   if (Rec.enabled())
     Rec.addSpan("shard worker", "detector.shard",

@@ -62,6 +62,11 @@ public:
   /// shard queue is full (bounded-queue backpressure).
   void onEvent(const EventRecord &R) override;
 
+  /// Coverage gap: broadcast to every shard (like sync events, and in
+  /// the same queue order), so each worker barriers its private detector
+  /// at the same point in its stream as the serial detector would.
+  void onCoverageGap() override;
+
   /// Closes the queues, joins the workers, and folds the per-shard
   /// reports into \p Report in deterministic first-occurrence order.
   /// Idempotent; the merge happens only on the first call.
@@ -94,10 +99,12 @@ public:
   uint64_t mergeNanos() const { return MergeNs; }
 
 private:
-  /// One queued event with its global replay sequence number.
+  /// One queued event with its global replay sequence number, or a
+  /// coverage-gap marker (no sequence number of its own).
   struct Item {
     EventRecord Record;
     uint64_t Seq = 0;
+    bool IsGap = false;
   };
 
   /// One shard: queue, private detector state, and its worker thread.

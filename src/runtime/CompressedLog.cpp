@@ -85,10 +85,10 @@ size_t literace::compressEventStream(const std::vector<EventRecord> &Stream,
   return Out.size() - Before;
 }
 
-std::optional<std::vector<EventRecord>>
-literace::decompressEventStream(const uint8_t *Data, size_t Size,
-                                ThreadId Tid) {
-  std::vector<EventRecord> Stream;
+PartialDecode literace::decompressEventStreamPartial(const uint8_t *Data,
+                                                     size_t Size,
+                                                     ThreadId Tid) {
+  PartialDecode Result;
   const uint8_t *P = Data;
   const uint8_t *End = Data + Size;
   uint64_t PrevAddr = 0;
@@ -96,37 +96,56 @@ literace::decompressEventStream(const uint8_t *Data, size_t Size,
   uint64_t PrevTs = 0;
   uint16_t PrevMask = 0;
   while (P != End) {
+    const uint8_t *RecordStart = P;
     uint8_t Header = *P++;
     uint8_t KindBits = Header & 0x0f;
-    if (KindBits > static_cast<uint8_t>(EventKind::PolicyMeta))
-      return std::nullopt;
+    if (KindBits > static_cast<uint8_t>(EventKind::PolicyMeta) ||
+        (Header & ~uint8_t(0x0f | FlagHasMask))) {
+      Result.BytesConsumed = static_cast<size_t>(RecordStart - Data);
+      return Result;
+    }
     EventRecord R;
     R.Kind = static_cast<EventKind>(KindBits);
     R.Tid = Tid;
     uint64_t V;
-    if (!getVarint(P, End, V))
-      return std::nullopt;
-    R.Addr = PrevAddr + static_cast<uint64_t>(unzigzag(V));
-    if (!getVarint(P, End, V))
-      return std::nullopt;
-    R.Pc = PrevPc + static_cast<uint64_t>(unzigzag(V));
-    if (isSyncKind(R.Kind)) {
-      if (!getVarint(P, End, V))
-        return std::nullopt;
-      R.Ts = PrevTs + static_cast<uint64_t>(unzigzag(V));
-      PrevTs = R.Ts;
+    bool Ok = getVarint(P, End, V);
+    if (Ok)
+      R.Addr = PrevAddr + static_cast<uint64_t>(unzigzag(V));
+    if (Ok && (Ok = getVarint(P, End, V)))
+      R.Pc = PrevPc + static_cast<uint64_t>(unzigzag(V));
+    if (Ok && isSyncKind(R.Kind)) {
+      if ((Ok = getVarint(P, End, V))) {
+        R.Ts = PrevTs + static_cast<uint64_t>(unzigzag(V));
+        PrevTs = R.Ts;
+      }
     }
-    if (Header & FlagHasMask) {
-      if (!getVarint(P, End, V) || V > 0xffff)
-        return std::nullopt;
-      PrevMask = static_cast<uint16_t>(V);
+    if (Ok && (Header & FlagHasMask)) {
+      Ok = getVarint(P, End, V) && V <= 0xffff;
+      if (Ok)
+        PrevMask = static_cast<uint16_t>(V);
+    }
+    if (!Ok) {
+      // Truncated or malformed record: keep the prefix decoded so far.
+      Result.BytesConsumed = static_cast<size_t>(RecordStart - Data);
+      return Result;
     }
     R.Mask = PrevMask;
     PrevAddr = R.Addr;
     PrevPc = R.Pc;
-    Stream.push_back(R);
+    Result.Events.push_back(R);
   }
-  return Stream;
+  Result.Complete = true;
+  Result.BytesConsumed = Size;
+  return Result;
+}
+
+std::optional<std::vector<EventRecord>>
+literace::decompressEventStream(const uint8_t *Data, size_t Size,
+                                ThreadId Tid) {
+  PartialDecode Partial = decompressEventStreamPartial(Data, Size, Tid);
+  if (!Partial.Complete)
+    return std::nullopt;
+  return std::move(Partial.Events);
 }
 
 CompressedFileSink::CompressedFileSink(const std::string &Path,
@@ -200,13 +219,28 @@ literace::readCompressedTraceFile(const std::string &Path) {
   std::FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File)
     return std::nullopt;
+
+  // Bound every on-disk length against the actual file size before
+  // allocating: a corrupt 64-bit stream size must produce a clean reject,
+  // not a multi-gigabyte resize.
+  uint64_t FileSize = 0;
+  if (std::fseek(File, 0, SEEK_END) == 0) {
+    long Pos = std::ftell(File);
+    if (Pos > 0)
+      FileSize = static_cast<uint64_t>(Pos);
+  }
+  std::rewind(File);
+
   uint64_t Magic = 0;
   uint32_t Counters = 0;
   uint32_t NumThreads = 0;
   if (std::fread(&Magic, sizeof(Magic), 1, File) != 1 ||
       Magic != CompressedMagic ||
       std::fread(&Counters, sizeof(Counters), 1, File) != 1 ||
-      std::fread(&NumThreads, sizeof(NumThreads), 1, File) != 1) {
+      std::fread(&NumThreads, sizeof(NumThreads), 1, File) != 1 ||
+      Counters == 0 ||
+      // Each thread needs at least its 8-byte size word in the file.
+      static_cast<uint64_t>(NumThreads) * sizeof(uint64_t) > FileSize) {
     std::fclose(File);
     return std::nullopt;
   }
@@ -216,7 +250,7 @@ literace::readCompressedTraceFile(const std::string &Path) {
   std::vector<uint8_t> Buffer;
   for (uint32_t Tid = 0; Tid != NumThreads; ++Tid) {
     uint64_t Size = 0;
-    if (std::fread(&Size, sizeof(Size), 1, File) != 1) {
+    if (std::fread(&Size, sizeof(Size), 1, File) != 1 || Size > FileSize) {
       std::fclose(File);
       return std::nullopt;
     }

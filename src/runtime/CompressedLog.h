@@ -44,6 +44,22 @@ size_t compressEventStream(const std::vector<EventRecord> &Stream,
 std::optional<std::vector<EventRecord>>
 decompressEventStream(const uint8_t *Data, size_t Size, ThreadId Tid);
 
+/// Result of a salvaging decode: the records decoded before the first
+/// malformed byte (all of them when Complete).
+struct PartialDecode {
+  std::vector<EventRecord> Events;
+  /// True when the whole input decoded cleanly.
+  bool Complete = false;
+  /// Bytes consumed by the decoded prefix.
+  size_t BytesConsumed = 0;
+};
+
+/// Like decompressEventStream but keeps the longest cleanly decoded
+/// prefix instead of rejecting the whole stream. Never fails: a garbage
+/// input just yields an empty, incomplete decode.
+PartialDecode decompressEventStreamPartial(const uint8_t *Data, size_t Size,
+                                           ThreadId Tid);
+
 /// A LogSink that buffers each thread's stream and writes one compressed
 /// file on close(). Unlike FileSink this is not incremental — it is meant
 /// for bounded captures where log size matters most.

@@ -8,9 +8,16 @@
 /// Log storage for the LiteRace profiler (paper §4.4). Each thread buffers
 /// its events locally and flushes fixed-size chunks to a LogSink. Chunks
 /// from one thread arrive in program order, so a sink can reassemble exact
-/// per-thread event streams. Three sinks are provided: in-memory (for the
-/// detection experiments), file-backed (for the §5.4 log-size measurements),
-/// and a counting null sink.
+/// per-thread event streams. Sinks: in-memory (for the detection
+/// experiments), the legacy v1 file sink, the crash-consistent v2
+/// segmented file sink, and a counting null sink.
+///
+/// Reading back goes through readTrace(), which accepts every on-disk
+/// format and — unlike the strict legacy readers — salvages damaged
+/// files: it recovers every intact checksummed segment, drops corrupt or
+/// truncated ones, and reports exact per-thread coverage accounting in a
+/// TraceReadResult instead of failing the whole file
+/// (docs/ROBUSTNESS.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,12 +28,18 @@
 
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace literace {
+
+class ByteOutput;
+namespace telemetry {
+class MetricsRegistry;
+}
 
 /// A complete logged execution: one event stream per thread, in program
 /// order, plus the runtime configuration the detector must agree on.
@@ -122,8 +135,170 @@ public:
                   size_t Count) override;
 };
 
+/// Streams chunks to a v2 *segmented* log file (docs/LOG_FORMAT.md): each
+/// chunk becomes one or more self-describing frames carrying a magic,
+/// thread id, event count, payload length, and CRC32C checksums over both
+/// header and payload. Frames are written unbuffered, so every segment
+/// that writeChunk() completed is durable even if the process is later
+/// SIGKILLed; a footer frame is sealed only by a clean close(). Transient
+/// write failures (EINTR, short writes) are retried with bounded
+/// exponential backoff; a hard failure parks the sink (ok() turns false)
+/// and subsequent chunks are counted as dropped rather than corrupting
+/// the stream.
+class SegmentedFileSink : public LogSink {
+public:
+  struct Options {
+    /// Encode segment payloads with the per-segment delta/varint codec
+    /// (each segment is self-contained; see CompressedLog.h).
+    bool Compress = false;
+    /// Retry budget for transient failures and short writes per frame.
+    unsigned MaxRetries = 8;
+    /// Byte-layer override for fault injection; null opens
+    /// FileByteOutput(Path). Must outlive the sink.
+    ByteOutput *Output = nullptr;
+    /// Telemetry registry override (tests); null resolves the process
+    /// registry unless the kill switch disables telemetry.
+    telemetry::MetricsRegistry *Metrics = nullptr;
+  };
+
+  SegmentedFileSink(const std::string &Path, unsigned NumTimestampCounters,
+                    const Options &Opts);
+  explicit SegmentedFileSink(const std::string &Path,
+                             unsigned NumTimestampCounters = 128);
+  ~SegmentedFileSink() override;
+
+  /// True if the output opened, the file header was written, and no hard
+  /// write failure has occurred.
+  bool ok() const;
+
+  void writeChunk(ThreadId Tid, const EventRecord *Records,
+                  size_t Count) override;
+  void flush() override;
+
+  /// Seals the footer frame and closes the output. Returns false if any
+  /// data was lost to write failures. Idempotent.
+  bool close();
+
+  /// Test hook simulating a crash: drops the output without sealing the
+  /// footer. Everything already written stays on disk.
+  void abandon();
+
+  uint64_t segmentsWritten() const { return Segments; }
+  uint64_t eventsWritten() const { return Events; }
+  /// Transient-failure / short-write retries performed.
+  uint64_t retries() const { return Retries; }
+  /// Events dropped because the output hard-failed.
+  uint64_t eventsDropped() const { return Dropped; }
+
+private:
+  bool writeFrame(ThreadId Tid, const EventRecord *Records, size_t Count);
+  bool writeAll(const void *Data, size_t Size);
+
+  std::mutex Lock;
+  std::unique_ptr<ByteOutput> Owned;
+  ByteOutput *Out = nullptr;
+  bool Compress;
+  unsigned MaxRetries;
+  bool HeaderOk = false;
+  bool Failed = false;
+  bool Closed = false;
+  uint64_t Segments = 0;
+  uint64_t Events = 0;
+  uint64_t Retries = 0;
+  uint64_t Dropped = 0;
+  std::vector<uint8_t> Frame;
+  std::vector<EventRecord> Slice;
+  telemetry::MetricsRegistry *Metrics = nullptr;
+};
+
+/// On-disk format of a trace file, as sniffed by readTrace().
+enum class TraceFormat : uint8_t {
+  Unknown = 0,
+  V1Raw,        ///< FileSink: unframed header + chunk stream
+  V1Compressed, ///< CompressedFileSink: whole-file per-thread streams
+  V2Segmented,  ///< SegmentedFileSink: checksummed frames + footer
+};
+
+const char *traceFormatName(TraceFormat F);
+
+/// Coverage accounting of one read: what was recovered, what was
+/// provably lost, and whether the producer shut down cleanly.
+struct TraceReadStats {
+  TraceFormat Format = TraceFormat::Unknown;
+  /// Intact frames decoded (v2) or chunks/streams decoded (v1).
+  uint64_t SegmentsRecovered = 0;
+  /// Frames dropped for bad CRC, malformed records, or truncation; for
+  /// v1, damaged-tail regions.
+  uint64_t SegmentsDropped = 0;
+  uint64_t EventsRecovered = 0;
+  uint64_t BytesDropped = 0;
+  /// v2: the footer frame was present and valid at end-of-file. v1 has
+  /// no footer; set when the file parsed completely.
+  bool CleanShutdown = false;
+  /// The file ended inside a frame (producer died mid-write).
+  bool TruncatedTail = false;
+  /// The file header itself was damaged and segments were recovered by
+  /// scanning (v2 only).
+  bool SalvagedHeader = false;
+  /// Events recovered / frames dropped, indexed by thread id.
+  std::vector<uint64_t> PerThreadRecovered;
+  std::vector<uint64_t> PerThreadDropped;
+};
+
+enum class TraceReadStatus : uint8_t {
+  Ok,        ///< every byte accounted for, clean shutdown
+  Salvaged,  ///< a coherent partial trace was recovered
+  Unreadable ///< not a literace log, or salvage found nothing
+};
+
+/// Result of readTrace(): the recovered trace plus coverage accounting.
+/// Never reports success with silently missing data — any loss shows up
+/// in Stats and flips Status to Salvaged.
+struct TraceReadResult {
+  TraceReadStatus Status = TraceReadStatus::Unreadable;
+  Trace T;
+  TraceReadStats Stats;
+  /// Human-readable reason when Unreadable (or the salvage note).
+  std::string Error;
+
+  bool readable() const { return Status != TraceReadStatus::Unreadable; }
+};
+
+struct TraceReadOptions {
+  /// When false, any imperfection (bad CRC, truncation, missing footer)
+  /// makes the read Unreadable instead of Salvaged.
+  bool Salvage = true;
+  /// Telemetry override; the reader folds trace.segments.recovered /
+  /// trace.segments.dropped counters into the resolved registry.
+  telemetry::MetricsRegistry *Metrics = nullptr;
+};
+
+/// Reads any literace log format back into a Trace, salvaging damaged v2
+/// files frame by frame (and v1 files by longest valid prefix). Never
+/// throws and never aborts on malformed bytes.
+TraceReadResult readTrace(const std::string &Path,
+                          const TraceReadOptions &Options = TraceReadOptions());
+
+/// One frame of a v2 segmented file, as seen by the scanner
+/// (literace-fsck's inventory).
+struct SegmentInfo {
+  uint64_t Offset = 0;
+  uint32_t Tid = 0;
+  uint32_t EventCount = 0;
+  uint32_t PayloadBytes = 0;
+  uint8_t Encoding = 0;
+  bool IsFooter = false;
+  bool HeaderOk = false;
+  bool PayloadOk = false;
+};
+
+/// Scans a v2 segmented file and returns its frame inventory (empty for
+/// other formats or unreadable files). Tolerates arbitrary damage.
+std::vector<SegmentInfo> scanSegments(const std::string &Path);
+
 /// Reads a log file written by FileSink back into a Trace. Returns
-/// std::nullopt if the file is missing or malformed.
+/// std::nullopt if the file is missing or malformed. Strict v1 reader;
+/// prefer readTrace() for anything user-supplied.
 std::optional<Trace> readTraceFile(const std::string &Path);
 
 } // namespace literace

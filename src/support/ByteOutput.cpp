@@ -1,0 +1,99 @@
+//===-- support/ByteOutput.cpp - Byte-level output with fault surface -----===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ByteOutput.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace literace;
+
+ByteOutput::~ByteOutput() = default;
+
+bool ByteOutput::flush() { return true; }
+
+FileByteOutput::FileByteOutput(const std::string &Path) {
+  Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+}
+
+FileByteOutput::~FileByteOutput() { close(); }
+
+WriteResult FileByteOutput::write(const void *Data, size_t Size) {
+  WriteResult Result;
+  if (Fd < 0)
+    return Result;
+  while (Result.Written < Size) {
+    ssize_t N = ::write(Fd, static_cast<const uint8_t *>(Data) + Result.Written,
+                        Size - Result.Written);
+    if (N > 0) {
+      Result.Written += static_cast<size_t>(N);
+      continue;
+    }
+    // A signal or a momentarily full pipe/disk queue: report the rest as
+    // retryable and let the caller decide on backoff.
+    Result.Transient = (N < 0 && (errno == EINTR || errno == EAGAIN));
+    break;
+  }
+  return Result;
+}
+
+void FileByteOutput::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+FaultySink::FaultySink(ByteOutput &Under, const FaultPlan &Plan)
+    : Under(Under), Plan(Plan), Rng(Plan.BitFlipSeed) {
+  if (Plan.BitFlipEveryBytes)
+    NextFlipAt = Rng.nextBelow(Plan.BitFlipEveryBytes) + 1;
+}
+
+bool FaultySink::ok() const {
+  return Under.ok() &&
+         (Plan.FailAtWrite == 0 || Attempts + 1 < Plan.FailAtWrite);
+}
+
+WriteResult FaultySink::write(const void *Data, size_t Size) {
+  ++Attempts;
+  if (Plan.FailAtWrite && Attempts >= Plan.FailAtWrite)
+    return WriteResult{}; // Hard failure, nothing accepted, not retryable.
+  if (Plan.TransientAtWrite && Attempts >= Plan.TransientAtWrite &&
+      Attempts < Plan.TransientAtWrite + Plan.TransientCount)
+    return WriteResult{0, /*Transient=*/true};
+
+  size_t Accept = Size;
+  if (Plan.MaxWriteBytes && Accept > Plan.MaxWriteBytes)
+    Accept = Plan.MaxWriteBytes;
+
+  const uint8_t *Bytes = static_cast<const uint8_t *>(Data);
+  if (Plan.BitFlipEveryBytes) {
+    // Flip bits at absolute stream offsets, independent of how the
+    // writes are segmented, so a fault plan corrupts the same on-disk
+    // bytes no matter how the writer batches.
+    Scratch.assign(Bytes, Bytes + Accept);
+    while (NextFlipAt < StreamOffset + Accept) {
+      if (NextFlipAt >= StreamOffset) {
+        Scratch[NextFlipAt - StreamOffset] ^=
+            static_cast<uint8_t>(1u << Rng.nextBelow(8));
+        ++BitsFlipped;
+      }
+      NextFlipAt += Rng.nextBelow(Plan.BitFlipEveryBytes) + 1;
+    }
+    Bytes = Scratch.data();
+  }
+
+  WriteResult Result = Under.write(Bytes, Accept);
+  StreamOffset += Result.Written;
+  // A plan-induced short write leaves a retryable remainder, like a
+  // partially accepted write(2).
+  if (Result.Written == Accept && Accept < Size)
+    Result.Transient = true;
+  return Result;
+}

@@ -1,0 +1,133 @@
+//===-- support/ByteOutput.h - Byte-level output with fault surface -*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte layer under the v2 segmented log writer (docs/ROBUSTNESS.md).
+/// A ByteOutput accepts writes that may legitimately be partial or fail
+/// transiently — exactly what POSIX write(2) does under signals, disk
+/// pressure, or quota — and reports which, so the segment writer above it
+/// can retry with backoff instead of silently losing trace data.
+///
+/// FaultySink is the fault-injection decorator used by the robustness
+/// tests and bench/fault_recovery: it makes the Nth write fail (hard or
+/// transiently), caps write sizes to force short-write handling, and
+/// flips bits in the byte stream — all seeded and deterministic, so every
+/// failure a test observes is replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_SUPPORT_BYTEOUTPUT_H
+#define LITERACE_SUPPORT_BYTEOUTPUT_H
+
+#include "support/SplitMix64.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace literace {
+
+/// Outcome of one ByteOutput::write() attempt. The caller must inspect
+/// Written: a short count with Transient set means "retry the rest", a
+/// short count without it means the device is gone.
+struct WriteResult {
+  /// Bytes accepted by this call (may be less than requested).
+  size_t Written = 0;
+  /// True if the unwritten remainder failed for a retryable reason
+  /// (EINTR, EAGAIN, or an injected transient fault).
+  bool Transient = false;
+
+  bool complete(size_t Requested) const { return Written == Requested; }
+};
+
+/// Destination of raw log bytes. Implementations surface partial writes
+/// and transient failures instead of hiding them behind buffering.
+class ByteOutput {
+public:
+  virtual ~ByteOutput();
+
+  /// Attempts to append \p Size bytes. See WriteResult for the contract.
+  virtual WriteResult write(const void *Data, size_t Size) = 0;
+
+  /// Pushes any buffered state toward the OS. Default no-op (true).
+  virtual bool flush();
+
+  /// Releases the underlying resource; further writes fail. Idempotent.
+  virtual void close() = 0;
+
+  /// True while the output can accept writes.
+  virtual bool ok() const = 0;
+};
+
+/// Unbuffered file-descriptor output. Every completed write() is in the
+/// kernel when the call returns, so bytes written before a process is
+/// killed — even with SIGKILL — survive to the on-disk file.
+class FileByteOutput : public ByteOutput {
+public:
+  /// Opens \p Path for writing (created/truncated). Check ok().
+  explicit FileByteOutput(const std::string &Path);
+  ~FileByteOutput() override;
+
+  WriteResult write(const void *Data, size_t Size) override;
+  void close() override;
+  bool ok() const override { return Fd >= 0; }
+
+private:
+  int Fd = -1;
+};
+
+/// Deterministic fault schedule of a FaultySink. Write indices are
+/// 1-based counts of write() calls on the decorator.
+struct FaultPlan {
+  /// Hard failure: this call and every later one accept nothing and are
+  /// not retryable. 0 disables.
+  uint64_t FailAtWrite = 0;
+  /// Transient failure: calls [TransientAtWrite, TransientAtWrite +
+  /// TransientCount) accept nothing but report Transient, then writes
+  /// succeed again. 0 disables.
+  uint64_t TransientAtWrite = 0;
+  unsigned TransientCount = 1;
+  /// Nonzero: each call accepts at most this many bytes (a permanent
+  /// short-write regime; the remainder is retryable).
+  size_t MaxWriteBytes = 0;
+  /// Nonzero: corrupt the stream by flipping roughly one bit per
+  /// BitFlipEveryBytes bytes, at positions drawn from BitFlipSeed.
+  uint64_t BitFlipEveryBytes = 0;
+  uint64_t BitFlipSeed = 1;
+};
+
+/// ByteOutput decorator injecting the faults described by a FaultPlan
+/// into an underlying output. Used by tests and bench/fault_recovery.
+class FaultySink : public ByteOutput {
+public:
+  /// \p Under must outlive this decorator.
+  FaultySink(ByteOutput &Under, const FaultPlan &Plan);
+
+  WriteResult write(const void *Data, size_t Size) override;
+  bool flush() override { return Under.flush(); }
+  void close() override { Under.close(); }
+  bool ok() const override;
+
+  /// Number of write() calls observed (including failed ones).
+  uint64_t writesAttempted() const { return Attempts; }
+  /// Number of bits flipped so far.
+  uint64_t bitsFlipped() const { return BitsFlipped; }
+
+private:
+  ByteOutput &Under;
+  FaultPlan Plan;
+  SplitMix64 Rng;
+  uint64_t Attempts = 0;
+  uint64_t StreamOffset = 0;
+  uint64_t NextFlipAt = 0;
+  uint64_t BitsFlipped = 0;
+  std::vector<uint8_t> Scratch;
+};
+
+} // namespace literace
+
+#endif // LITERACE_SUPPORT_BYTEOUTPUT_H

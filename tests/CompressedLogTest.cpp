@@ -136,6 +136,97 @@ TEST(CompressedStreamTest, GarbageKindIsRejected) {
   EXPECT_FALSE(decompressEventStream(Garbage, sizeof(Garbage), 0));
 }
 
+TEST(CompressedStreamTest, PartialDecodeKeepsTheCleanPrefix) {
+  LogBuilder B(16);
+  SyncVar M = makeSyncVar(SyncObjectKind::Mutex, 0x8000);
+  B.onThread(0)
+      .threadStart()
+      .write(0x1000, makePc(1, 1))
+      .acquire(M)
+      .read(0x2000, makePc(1, 2))
+      .release(M)
+      .threadEnd();
+  std::vector<EventRecord> Stream = B.build().PerThread[0];
+  std::vector<uint8_t> Out;
+  compressEventStream(Stream, Out);
+
+  PartialDecode Whole =
+      decompressEventStreamPartial(Out.data(), Out.size(), 0);
+  EXPECT_TRUE(Whole.Complete);
+  EXPECT_EQ(Whole.BytesConsumed, Out.size());
+  ASSERT_EQ(Whole.Events.size(), Stream.size());
+
+  // Every truncation yields a prefix of the true stream, never garbage,
+  // and the decoded length is monotone in the cut position.
+  size_t Prev = 0;
+  for (size_t Cut = 0; Cut <= Out.size(); ++Cut) {
+    PartialDecode P = decompressEventStreamPartial(Out.data(), Cut, 0);
+    // Complete means every supplied byte decoded cleanly — true exactly
+    // when the cut lands on a record boundary (incl. the full stream).
+    EXPECT_EQ(P.Complete, P.BytesConsumed == Cut);
+    EXPECT_LE(P.BytesConsumed, Cut);
+    ASSERT_LE(P.Events.size(), Stream.size());
+    EXPECT_GE(P.Events.size(), Prev) << "cut=" << Cut;
+    Prev = P.Events.size();
+    for (size_t I = 0; I != P.Events.size(); ++I)
+      EXPECT_TRUE(recordsEqual(P.Events[I], Stream[I])) << "cut=" << Cut;
+  }
+}
+
+TEST(CompressedStreamTest, PartialDecodeOfGarbageIsEmptyNotFatal) {
+  uint8_t Garbage[64];
+  for (size_t I = 0; I != sizeof(Garbage); ++I)
+    Garbage[I] = static_cast<uint8_t>(0xf0 | I); // Invalid kinds/flags.
+  PartialDecode P =
+      decompressEventStreamPartial(Garbage, sizeof(Garbage), 0);
+  EXPECT_FALSE(P.Complete);
+  EXPECT_TRUE(P.Events.empty());
+  EXPECT_EQ(P.BytesConsumed, 0u);
+}
+
+TEST(CompressedStreamTest, VarintOverrunIsRejectedNotOverread) {
+  // A header byte promising a delta, followed by continuation bits right
+  // to the end of the buffer: the decoder must stop at the boundary.
+  std::vector<uint8_t> Evil;
+  Evil.push_back(0x01); // Kind = Read.
+  for (int I = 0; I != 32; ++I)
+    Evil.push_back(0xff); // Endless varint continuation.
+  EXPECT_FALSE(decompressEventStream(Evil.data(), Evil.size(), 0));
+  PartialDecode P = decompressEventStreamPartial(Evil.data(), Evil.size(), 0);
+  EXPECT_FALSE(P.Complete);
+  EXPECT_TRUE(P.Events.empty());
+}
+
+TEST(CompressedStreamTest, UnknownHeaderFlagBitsAreRejected) {
+  // Only the low kind nibble and the has-mask flag are defined; anything
+  // else is a future extension the current decoder must not guess at.
+  uint8_t Evil[] = {0x41, 0x00, 0x00, 0x00}; // Kind 1 + undefined bit 6.
+  EXPECT_FALSE(decompressEventStream(Evil, sizeof(Evil), 0));
+}
+
+TEST(CompressedFileSinkTest, ReaderRejectsOversizedStreamHeaders) {
+  // Craft a file whose per-thread size field claims more bytes than the
+  // file holds; the reader must bound allocations by the actual size.
+  std::string Path = tempPath("compressed_oversize.bin");
+  {
+    LogBuilder B(16);
+    B.onThread(0).write(0x10, makePc(1, 1));
+    CompressedFileSink Sink(Path, 16);
+    Trace T = B.build();
+    Sink.writeChunk(0, T.PerThread[0].data(), T.PerThread[0].size());
+    ASSERT_TRUE(Sink.close());
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "rb+");
+  ASSERT_NE(F, nullptr);
+  // Layout: u64 magic, u32 counters, u32 numThreads, then u64 stream size.
+  std::fseek(F, 16, SEEK_SET);
+  const uint64_t Huge = ~0ull >> 8;
+  std::fwrite(&Huge, sizeof(Huge), 1, F);
+  std::fclose(F);
+  EXPECT_FALSE(readCompressedTraceFile(Path).has_value());
+  std::remove(Path.c_str());
+}
+
 TEST(CompressedFileSinkTest, FullFileRoundTrip) {
   std::string Path = tempPath("compressed_roundtrip.bin");
   LogBuilder B(32);

@@ -161,6 +161,93 @@ TEST(FileSinkTest, RejectsTruncatedChunk) {
   std::remove(Path.c_str());
 }
 
+TEST(FileSinkTest, RejectsZeroTimestampCounters) {
+  // NumTimestampCounters == 0 would divide-by-zero downstream in replay;
+  // the reader must refuse it outright.
+  std::string Path = tempPath("zerocounters.bin");
+  {
+    FileSink Sink(Path, 32);
+    EventRecord A = makeRead(0, 1);
+    Sink.writeChunk(0, &A, 1);
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "rb+");
+  ASSERT_NE(F, nullptr);
+  const uint32_t Zero = 0;
+  std::fseek(F, 12, SEEK_SET); // FileHeader::NumTimestampCounters.
+  std::fwrite(&Zero, sizeof(Zero), 1, F);
+  std::fclose(F);
+  EXPECT_FALSE(readTraceFile(Path).has_value());
+  std::remove(Path.c_str());
+}
+
+TEST(FileSinkTest, RejectsChunkCountLargerThanTheFile) {
+  // A corrupt chunk count must not drive a multi-gigabyte allocation; the
+  // reader bounds every count by the bytes actually present.
+  std::string Path = tempPath("hugecount.bin");
+  {
+    FileSink Sink(Path, 32);
+    EventRecord A = makeRead(0, 1);
+    Sink.writeChunk(0, &A, 1);
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "rb+");
+  ASSERT_NE(F, nullptr);
+  const uint32_t Huge = 0x40000000u;
+  std::fseek(F, 20, SEEK_SET); // ChunkHeader::Count of the first chunk.
+  std::fwrite(&Huge, sizeof(Huge), 1, F);
+  std::fclose(F);
+  EXPECT_FALSE(readTraceFile(Path).has_value());
+  std::remove(Path.c_str());
+}
+
+TEST(FileSinkTest, SalvageSkipsChunksWithInvalidKinds) {
+  std::string Path = tempPath("badkind.bin");
+  {
+    FileSink Sink(Path, 32);
+    EventRecord A = makeRead(0, 0x10);
+    EventRecord B = makeRead(0, 0x20);
+    EventRecord C = makeRead(0, 0x30);
+    Sink.writeChunk(0, &A, 1);
+    Sink.writeChunk(0, &B, 1);
+    Sink.writeChunk(0, &C, 1);
+  }
+  // Corrupt the middle chunk's record kind. The strict reader refuses the
+  // file; salvage drops just that chunk (framing is still trustworthy).
+  std::FILE *F = std::fopen(Path.c_str(), "rb+");
+  ASSERT_NE(F, nullptr);
+  // Layout: 16 header + per chunk (8 chunk header + 32 record). Kind is
+  // at offset 28 within the record.
+  std::fseek(F, 16 + 40 + 8 + 28, SEEK_SET);
+  const uint8_t BadKind = 0xee;
+  std::fwrite(&BadKind, 1, 1, F);
+  std::fclose(F);
+  EXPECT_FALSE(readTraceFile(Path).has_value());
+  TraceReadResult R = readTrace(Path);
+  ASSERT_EQ(R.Status, TraceReadStatus::Salvaged);
+  EXPECT_EQ(R.Stats.EventsRecovered, 2u);
+  EXPECT_EQ(R.Stats.SegmentsDropped, 1u);
+  ASSERT_EQ(R.T.PerThread.size(), 1u);
+  ASSERT_EQ(R.T.PerThread[0].size(), 2u);
+  EXPECT_EQ(R.T.PerThread[0][0].Addr, 0x10u);
+  EXPECT_EQ(R.T.PerThread[0][1].Addr, 0x30u);
+  std::remove(Path.c_str());
+}
+
+TEST(ReadTraceTest, MissingAndGarbageFilesAreUnreadable) {
+  TraceReadResult Missing = readTrace("/nonexistent/literace.bin");
+  EXPECT_EQ(Missing.Status, TraceReadStatus::Unreadable);
+  EXPECT_FALSE(Missing.Error.empty());
+
+  std::string Path = tempPath("readtrace_garbage.bin");
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  for (int I = 0; I != 1024; ++I)
+    std::fputc(I & 0xff, F);
+  std::fclose(F);
+  TraceReadResult Garbage = readTrace(Path);
+  EXPECT_EQ(Garbage.Status, TraceReadStatus::Unreadable);
+  std::remove(Path.c_str());
+}
+
 TEST(NullSinkTest, CountsButDiscards) {
   NullSink Sink;
   EventRecord A[5] = {};

@@ -1,0 +1,189 @@
+//===-- tests/FaultInjectionTest.cpp - Writer fault injection ---------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Drives the v2 segment writer through the FaultySink byte-layer
+// decorator (docs/ROBUSTNESS.md): transient failures and short writes
+// must be retried to completion, hard failures must park the sink with
+// exact drop accounting instead of corrupting the stream, and injected
+// bit flips must be caught by the reader's checksums — all seeded and
+// deterministic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/EventLog.h"
+#include "support/ByteOutput.h"
+#include "telemetry/Metrics.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+using namespace literace;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return std::string(::testing::TempDir()) + Name;
+}
+
+std::vector<EventRecord> makeStream(ThreadId Tid, size_t Count) {
+  std::vector<EventRecord> Records(Count);
+  for (size_t I = 0; I != Count; ++I) {
+    EventRecord &R = Records[I];
+    R.Kind = EventKind::Write;
+    R.Tid = Tid;
+    R.Addr = 0x1000 + I;
+    R.Pc = 7;
+    R.Mask = FullLogMaskBit;
+  }
+  return Records;
+}
+
+/// Writes \p Chunks chunks of \p PerChunk events through a faulty byte
+/// layer; returns (close-was-clean, events the sink claims it dropped).
+struct FaultRun {
+  bool CloseClean = false;
+  uint64_t Dropped = 0;
+  uint64_t Retries = 0;
+  uint64_t Segments = 0;
+};
+
+FaultRun runThroughFaults(const std::string &Path, const FaultPlan &Plan,
+                          size_t Chunks, size_t PerChunk) {
+  FileByteOutput File(Path);
+  EXPECT_TRUE(File.ok());
+  FaultySink Faulty(File, Plan);
+  SegmentedFileSink::Options Opts;
+  Opts.Output = &Faulty;
+  SegmentedFileSink Sink(Path, 16, Opts);
+  std::vector<EventRecord> Stream = makeStream(0, PerChunk);
+  for (size_t I = 0; I != Chunks; ++I)
+    Sink.writeChunk(0, Stream.data(), Stream.size());
+  FaultRun Result;
+  Result.CloseClean = Sink.close();
+  Result.Dropped = Sink.eventsDropped();
+  Result.Retries = Sink.retries();
+  Result.Segments = Sink.segmentsWritten();
+  return Result;
+}
+
+TEST(FaultInjectionTest, TransientFailuresAreRetriedWithoutLoss) {
+  std::string Path = tempPath("fault_transient.bin");
+  FaultPlan Plan;
+  Plan.TransientAtWrite = 3; // Writes 3 and 4 fail transiently.
+  Plan.TransientCount = 2;
+  FaultRun Run = runThroughFaults(Path, Plan, 6, 16);
+  EXPECT_TRUE(Run.CloseClean);
+  EXPECT_EQ(Run.Dropped, 0u);
+  EXPECT_GE(Run.Retries, 2u);
+  TraceReadResult R = readTrace(Path);
+  ASSERT_EQ(R.Status, TraceReadStatus::Ok) << R.Error;
+  EXPECT_EQ(R.Stats.EventsRecovered, 6u * 16u);
+  std::remove(Path.c_str());
+}
+
+TEST(FaultInjectionTest, ShortWriteRegimeCompletesEveryFrame) {
+  std::string Path = tempPath("fault_short.bin");
+  FaultPlan Plan;
+  Plan.MaxWriteBytes = 7; // Every write is short; progress never stops.
+  FaultRun Run = runThroughFaults(Path, Plan, 4, 32);
+  EXPECT_TRUE(Run.CloseClean);
+  EXPECT_EQ(Run.Dropped, 0u);
+  TraceReadResult R = readTrace(Path);
+  ASSERT_EQ(R.Status, TraceReadStatus::Ok) << R.Error;
+  EXPECT_EQ(R.Stats.EventsRecovered, 4u * 32u);
+  std::remove(Path.c_str());
+}
+
+TEST(FaultInjectionTest, HardFailureParksTheSinkWithExactAccounting) {
+  std::string Path = tempPath("fault_hard.bin");
+  FaultPlan Plan;
+  Plan.FailAtWrite = 3; // Header + 1 frame land; the device then dies.
+  FaultRun Run = runThroughFaults(Path, Plan, 5, 16);
+  EXPECT_FALSE(Run.CloseClean);
+  EXPECT_EQ(Run.Segments, 1u);
+  EXPECT_EQ(Run.Dropped, 4u * 16u);
+  // What made it to disk is a coherent salvageable prefix.
+  TraceReadResult R = readTrace(Path);
+  ASSERT_EQ(R.Status, TraceReadStatus::Salvaged);
+  EXPECT_EQ(R.Stats.EventsRecovered, 16u);
+  EXPECT_FALSE(R.Stats.CleanShutdown);
+  std::remove(Path.c_str());
+}
+
+TEST(FaultInjectionTest, RetryBudgetExhaustionDropsOnlyTheStuckFrame) {
+  std::string Path = tempPath("fault_budget.bin");
+  FaultPlan Plan;
+  Plan.TransientAtWrite = 2; // Frame 1 stays stuck past any backoff.
+  Plan.TransientCount = 1000;
+  FaultRun Run = runThroughFaults(Path, Plan, 3, 16);
+  EXPECT_FALSE(Run.CloseClean);
+  EXPECT_GT(Run.Retries, 0u);
+  EXPECT_GT(Run.Dropped, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(FaultInjectionTest, BitFlipsAreCaughtByTheReadersChecksums) {
+  std::string Path = tempPath("fault_flip.bin");
+  FaultPlan Plan;
+  // Gaps are drawn uniformly from [1, BitFlipEveryBytes], so the mean
+  // spacing (~3 KB) comfortably exceeds a 540-byte frame: a handful of
+  // the 40 frames take a flip, the rest must survive intact.
+  Plan.BitFlipEveryBytes = 6000;
+  Plan.BitFlipSeed = 42;
+  FaultRun Run = runThroughFaults(Path, Plan, 40, 16);
+  EXPECT_TRUE(Run.CloseClean); // The writer cannot see silent corruption…
+  TraceReadResult R = readTrace(Path);
+  ASSERT_TRUE(R.readable());
+  // …but the reader pins every flip to a frame and drops just those.
+  EXPECT_EQ(R.Status, TraceReadStatus::Salvaged);
+  EXPECT_GE(R.Stats.SegmentsDropped, 1u);
+  EXPECT_GT(R.Stats.EventsRecovered, 0u);
+  EXPECT_LT(R.Stats.EventsRecovered, 40u * 16u);
+  std::remove(Path.c_str());
+}
+
+TEST(FaultInjectionTest, BitFlipScheduleIsDeterministic) {
+  std::string PathA = tempPath("fault_det_a.bin");
+  std::string PathB = tempPath("fault_det_b.bin");
+  FaultPlan Plan;
+  Plan.BitFlipEveryBytes = 400;
+  Plan.BitFlipSeed = 7;
+  runThroughFaults(PathA, Plan, 5, 16);
+  runThroughFaults(PathB, Plan, 5, 16);
+  TraceReadResult A = readTrace(PathA);
+  TraceReadResult B = readTrace(PathB);
+  EXPECT_EQ(A.Status, B.Status);
+  EXPECT_EQ(A.Stats.SegmentsDropped, B.Stats.SegmentsDropped);
+  EXPECT_EQ(A.Stats.EventsRecovered, B.Stats.EventsRecovered);
+  std::remove(PathA.c_str());
+  std::remove(PathB.c_str());
+}
+
+TEST(FaultInjectionTest, SinkTelemetryCountsRetriesAndSegments) {
+  std::string Path = tempPath("fault_telemetry.bin");
+  telemetry::MetricsRegistry Registry;
+  {
+    FileByteOutput File(Path);
+    FaultPlan Plan;
+    Plan.TransientAtWrite = 2;
+    Plan.TransientCount = 1;
+    FaultySink Faulty(File, Plan);
+    SegmentedFileSink::Options Opts;
+    Opts.Output = &Faulty;
+    Opts.Metrics = &Registry;
+    SegmentedFileSink Sink(Path, 16, Opts);
+    std::vector<EventRecord> Stream = makeStream(0, 16);
+    Sink.writeChunk(0, Stream.data(), Stream.size());
+    Sink.writeChunk(0, Stream.data(), Stream.size());
+    EXPECT_TRUE(Sink.close());
+  }
+  telemetry::MetricsSnapshot Snap = Registry.snapshot();
+  EXPECT_GE(Snap.counter("sink.retries"), 1u);
+  EXPECT_EQ(Snap.counter("sink.segments_written"), 2u);
+  std::remove(Path.c_str());
+}
+
+} // namespace

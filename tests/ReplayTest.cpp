@@ -183,4 +183,93 @@ TEST(ReplaySchedulerTest, PartialChunksDrainAsTheyArrive) {
   EXPECT_EQ(R.Events.size(), 3u);
 }
 
+/// Also counts coverage-gap notifications.
+struct GapRecorder : Recorder {
+  uint64_t Gaps = 0;
+  void onCoverageGap() override { ++Gaps; }
+};
+
+// skipTimestamps() is exactly what a dropped log segment looks like: the
+// counter advanced in the original execution but the events carrying
+// those timestamps are gone.
+
+TEST(ReplayGapTest, StrictReplayFailsOnSkippedTimestamp) {
+  LogBuilder B(16);
+  B.onThread(0).acquire(MutexA); // ts 1
+  B.skipTimestamps(MutexA);      // ts 2 lost with a dropped segment
+  B.onThread(1).acquire(MutexA); // ts 3
+  Recorder R;
+  EXPECT_FALSE(replayTrace(B.build(), R));
+}
+
+TEST(ReplayGapTest, GapTolerantReplayDeliversEverything) {
+  LogBuilder B(16);
+  B.onThread(0).acquire(MutexA).write(0x10, 1);
+  B.skipTimestamps(MutexA, 3);
+  B.onThread(1).acquire(MutexA).write(0x20, 2);
+  ReplayOptions Opts;
+  Opts.AllowTimestampGaps = true;
+  uint64_t Gaps = 0;
+  Opts.OutTimestampGaps = &Gaps;
+  GapRecorder R;
+  EXPECT_TRUE(replayTrace(B.build(), R, Opts));
+  EXPECT_EQ(R.Events.size(), 4u);
+  // One stall: the counter jumps from 1 past the three lost draws.
+  EXPECT_EQ(Gaps, 1u);
+  EXPECT_EQ(R.Gaps, 1u);
+}
+
+TEST(ReplayGapTest, GapsOnSeveralCountersAllResolve) {
+  LogBuilder B(16);
+  B.onThread(0).acquire(MutexA).acquire(MutexB);
+  B.skipTimestamps(MutexA);
+  B.skipTimestamps(MutexB);
+  B.onThread(1).acquire(MutexA).acquire(MutexB);
+  ReplayOptions Opts;
+  Opts.AllowTimestampGaps = true;
+  GapRecorder R;
+  EXPECT_TRUE(replayTrace(B.build(), R, Opts));
+  EXPECT_EQ(R.Events.size(), 4u);
+  EXPECT_EQ(R.Gaps, 2u);
+}
+
+TEST(ReplayGapTest, GapModeLeavesConsistentTracesUntouched) {
+  // No gaps: the tolerant replay must deliver the identical order.
+  LogBuilder B(16);
+  B.onThread(0).lock(MutexA).write(0x10, 1).unlock(MutexA);
+  B.onThread(1).lock(MutexA).write(0x10, 2).unlock(MutexA);
+  Trace T = B.build();
+  Recorder Strict;
+  ASSERT_TRUE(replayTrace(T, Strict));
+  ReplayOptions Opts;
+  Opts.AllowTimestampGaps = true;
+  GapRecorder Tolerant;
+  ASSERT_TRUE(replayTrace(T, Tolerant, Opts));
+  EXPECT_EQ(Tolerant.Gaps, 0u);
+  ASSERT_EQ(Tolerant.Events.size(), Strict.Events.size());
+  for (size_t I = 0; I != Strict.Events.size(); ++I) {
+    EXPECT_EQ(Tolerant.Events[I].Tid, Strict.Events[I].Tid) << I;
+    EXPECT_EQ(Tolerant.Events[I].Addr, Strict.Events[I].Addr) << I;
+  }
+}
+
+TEST(ReplaySchedulerTest, DrainAllowingGapsUnblocksStalledStreams) {
+  LogBuilder B(16);
+  B.onThread(0).acquire(MutexA); // ts 1
+  B.skipTimestamps(MutexA);      // ts 2 lost
+  B.onThread(1).acquire(MutexA); // ts 3
+  Trace T = B.build();
+  ReplayScheduler Sched(16);
+  GapRecorder R;
+  for (size_t Tid = 0; Tid != T.PerThread.size(); ++Tid)
+    Sched.addEvents(static_cast<ThreadId>(Tid), T.PerThread[Tid].data(),
+                    T.PerThread[Tid].size());
+  Sched.drain(R); // Thread 1's acquire stalls on the lost ts 2.
+  EXPECT_FALSE(Sched.fullyDrained());
+  EXPECT_GT(Sched.drainAllowingGaps(R), 0u);
+  EXPECT_TRUE(Sched.fullyDrained());
+  EXPECT_EQ(Sched.timestampGaps(), 1u);
+  EXPECT_EQ(R.Events.size(), 2u);
+}
+
 } // namespace

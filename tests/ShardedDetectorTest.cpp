@@ -130,6 +130,41 @@ TEST(ShardedDetectorTest, SyncBroadcastPreservesHappensBefore) {
   expectShardInvariant(T);
 }
 
+TEST(ShardedDetectorTest, CoverageGapsMatchSerialExactly) {
+  // A salvaged trace with a timestamp gap: the gap barrier must be
+  // broadcast to every shard exactly like sync events, or per-shard
+  // clocks would diverge from the serial detector's.
+  LogBuilder B(16);
+  SyncVar M = makeSyncVar(SyncObjectKind::Mutex, 0x100);
+  for (uint64_t A = 0; A != 8; ++A) {
+    uint64_t Addr = 0x1000 + 0x40 * A;
+    B.onThread(0).write(Addr, makePc(1, static_cast<uint32_t>(A)));
+    B.onThread(1).write(Addr, makePc(2, static_cast<uint32_t>(A)));
+  }
+  B.onThread(0).lock(M);
+  B.skipTimestamps(M, 2); // A dropped segment's unlock/lock pair.
+  B.onThread(1).lock(M);
+  for (uint64_t A = 0; A != 8; ++A) {
+    uint64_t Addr = 0x5000 + 0x40 * A;
+    B.onThread(0).write(Addr, makePc(3, static_cast<uint32_t>(A)));
+    B.onThread(1).write(Addr, makePc(4, static_cast<uint32_t>(A)));
+  }
+  Trace T = B.build();
+
+  ReplayOptions Replay;
+  Replay.AllowTimestampGaps = true;
+  RaceReport Serial;
+  ASSERT_TRUE(detectRaces(T, Serial, Replay));
+  for (unsigned Shards : {2u, 4u, 7u}) {
+    DetectorOptions Options;
+    Options.Shards = Shards;
+    RaceReport Sharded;
+    ASSERT_TRUE(detectRacesSharded(T, Sharded, Options, Replay));
+    EXPECT_EQ(Sharded.keys(), Serial.keys()) << Shards << " shards";
+    EXPECT_EQ(Sharded.describe(), Serial.describe()) << Shards << " shards";
+  }
+}
+
 TEST(ShardedDetectorTest, FirstOccurrenceMergePicksSerialOrder) {
   // One static race key sighted on two different addresses, which land in
   // different shards at most widths. The merged ExampleAddr and

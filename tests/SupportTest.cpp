@@ -5,10 +5,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/FunctionRegistry.h"
+#include "support/Crc32.h"
 #include "support/Hashing.h"
 #include "support/SplitMix64.h"
 #include "support/Timer.h"
 
+#include <cstring>
 #include <gtest/gtest.h>
 #include <set>
 #include <thread>
@@ -99,6 +101,42 @@ TEST(WallTimerTest, MeasuresElapsedTime) {
   EXPECT_GE(Timer.nanoseconds(), 15u * 1000 * 1000);
   Timer.restart();
   EXPECT_LT(Timer.seconds(), 0.015);
+}
+
+TEST(Crc32Test, MatchesTheCastagnoliCheckValue) {
+  // The canonical CRC32C check value (RFC 3720 / Intel SSE4.2 crc32c):
+  // crc of the nine ASCII digits "123456789".
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32Test, KnownVectors) {
+  EXPECT_EQ(crc32c("", 0), 0x00000000u);
+  EXPECT_EQ(crc32c("a", 1), 0xC1D04330u);
+  const char ThirtyTwoZeros[32] = {};
+  EXPECT_EQ(crc32c(ThirtyTwoZeros, 32), 0x8A9136AAu);
+}
+
+TEST(Crc32Test, IncrementalUpdatesMatchOneShot) {
+  const char Data[] = "segmented checksummed frames";
+  const size_t Size = sizeof(Data) - 1;
+  uint32_t State = crc32cInit();
+  for (size_t I = 0; I != Size; ++I)
+    State = crc32cUpdate(State, Data + I, 1);
+  EXPECT_EQ(crc32cFinal(State), crc32c(Data, Size));
+}
+
+TEST(Crc32Test, SingleBitFlipsChangeTheChecksum) {
+  const char Data[] = "literace segment payload bytes!!";
+  const size_t Size = sizeof(Data) - 1;
+  const uint32_t Clean = crc32c(Data, Size);
+  for (size_t Byte = 0; Byte != Size; ++Byte)
+    for (unsigned Bit = 0; Bit != 8; ++Bit) {
+      char Flipped[sizeof(Data)];
+      std::memcpy(Flipped, Data, sizeof(Data));
+      Flipped[Byte] ^= static_cast<char>(1u << Bit);
+      EXPECT_NE(crc32c(Flipped, Size), Clean)
+          << "byte " << Byte << " bit " << Bit;
+    }
 }
 
 TEST(FunctionRegistryTest, DenseIdsAndNames) {

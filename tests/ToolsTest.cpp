@@ -30,6 +30,10 @@ std::pair<int, std::string> runCommand(const std::string &Command) {
   while (std::fgets(Buffer.data(), Buffer.size(), Pipe))
     Output += Buffer.data();
   int Status = pclose(Pipe);
+  // A tool dying on a signal (the crash-injection tests) surfaces as
+  // 128+sig, matching what a shell reports.
+  if (WIFSIGNALED(Status))
+    return {128 + WTERMSIG(Status), Output};
   return {WEXITSTATUS(Status), Output};
 }
 
@@ -296,6 +300,105 @@ TEST(ToolsTest, ReportMetricsFlagWritesSnapshot) {
   std::remove((Log + ".metrics.json").c_str());
   std::remove(MetricsOut.c_str());
   std::remove(TraceOut.c_str());
+}
+
+TEST(ToolsTest, V1FormatFlagKeepsTheLegacyPipelineWorking) {
+  std::string Log = tempLog();
+  auto [RunCode, RunOut] = runCommand(toolPath("literace-run") +
+                                      " channel " + Log +
+                                      " --mode full --scale 0.05 --format v1");
+  ASSERT_EQ(RunCode, 0) << RunOut;
+  EXPECT_NE(RunOut.find("(v1)"), std::string::npos);
+  auto [RepCode, RepOut] =
+      runCommand(toolPath("literace-report") + " " + Log + " --quiet");
+  EXPECT_EQ(RepCode, 3) << RepOut;
+  // A clean v1 log needs no salvaging.
+  EXPECT_EQ(RepOut.find("salvaged"), std::string::npos) << RepOut;
+  std::remove(Log.c_str());
+}
+
+TEST(ToolsTest, FsckPassesCleanLogsOfEveryFormat) {
+  for (const char *Format : {"v1", "v2", "v2z"}) {
+    std::string Log = tempLog();
+    ASSERT_EQ(runCommand(toolPath("literace-run") + " channel " + Log +
+                         " --scale 0.05 --format " + Format)
+                  .first,
+              0)
+        << Format;
+    auto [Code, Out] = runCommand(toolPath("literace-fsck") + " " + Log);
+    EXPECT_EQ(Code, 0) << Format << ": " << Out;
+    EXPECT_NE(Out.find("clean"), std::string::npos) << Format;
+    std::remove(Log.c_str());
+    std::remove((Log + ".metrics.json").c_str());
+  }
+}
+
+TEST(ToolsTest, FsckRejectsGarbageAndMissingFiles) {
+  auto [MissingCode, MissingOut] =
+      runCommand(toolPath("literace-fsck") + " /nonexistent/log.bin");
+  EXPECT_EQ(MissingCode, 1);
+  EXPECT_NE(MissingOut.find("unreadable"), std::string::npos);
+  auto [UsageCode, UsageOut] = runCommand(toolPath("literace-fsck"));
+  EXPECT_EQ(UsageCode, 2);
+  EXPECT_NE(UsageOut.find("usage:"), std::string::npos);
+}
+
+TEST(ToolsTest, KilledRunPropagatesTheSignalAndLeavesASalvageableLog) {
+  std::string Log = tempLog();
+  auto [RunCode, RunOut] =
+      runCommand(toolPath("literace-run") + " channel " + Log +
+                 " --mode full --scale 1.0 --kill-after-bytes 120000");
+  EXPECT_EQ(RunCode, 137) << RunOut; // 128 + SIGKILL.
+
+  // The frames written before the kill are durable and salvageable.
+  auto [FsckCode, FsckOut] =
+      runCommand(toolPath("literace-fsck") + " " + Log);
+  EXPECT_EQ(FsckCode, 4) << FsckOut;
+  EXPECT_NE(FsckOut.find("recoverable"), std::string::npos);
+  EXPECT_EQ(FsckOut.find("clean shutdown: yes"), std::string::npos);
+
+  // Detection runs on the salvaged subset (default --salvage)…
+  auto [RepCode, RepOut] =
+      runCommand(toolPath("literace-report") + " " + Log + " --quiet");
+  EXPECT_TRUE(RepCode == 0 || RepCode == 3) << RepCode << "\n" << RepOut;
+  EXPECT_NE(RepOut.find("salvaged"), std::string::npos) << RepOut;
+  // …and --strict refuses the damaged log outright.
+  auto [StrictCode, StrictOut] = runCommand(
+      toolPath("literace-report") + " " + Log + " --quiet --strict");
+  EXPECT_EQ(StrictCode, 1) << StrictOut;
+
+  // CI sets LITERACE_FAULT_ARTIFACT_DIR and uploads it when fault tests
+  // fail, so the exact salvaged log and its inventory are attached to
+  // the run for post-mortem.
+  if (const char *Dir = std::getenv("LITERACE_FAULT_ARTIFACT_DIR")) {
+    std::string D(Dir);
+    runCommand("mkdir -p " + D + " && cp " + Log + " " + D +
+               "/killed.bin");
+    runCommand(toolPath("literace-fsck") + " " + Log + " --segments > " +
+               D + "/killed.fsck.txt");
+  }
+  std::remove(Log.c_str());
+}
+
+TEST(ToolsTest, AbortedRunStillWritesTheMetricsSidecar) {
+  std::string Log = tempLog();
+  std::string Sidecar = Log + ".metrics.json";
+  std::remove(Sidecar.c_str());
+  auto [RunCode, RunOut] =
+      runCommand(toolPath("literace-run") + " channel " + Log +
+                 " --mode full --scale 1.0 --abort-after-bytes 120000");
+  EXPECT_EQ(RunCode, 134) << RunOut; // 128 + SIGABRT.
+  // SIGABRT is catchable: the crash path flushed the sink and left the
+  // sidecar before re-raising.
+  std::FILE *F = std::fopen(Sidecar.c_str(), "r");
+  EXPECT_NE(F, nullptr) << "crash path must write the sidecar";
+  if (F)
+    std::fclose(F);
+  auto [FsckCode, FsckOut] =
+      runCommand(toolPath("literace-fsck") + " " + Log + " --segments");
+  EXPECT_EQ(FsckCode, 4) << FsckOut;
+  std::remove(Log.c_str());
+  std::remove(Sidecar.c_str());
 }
 
 TEST(ToolsTest, LocksetBackendWarnsAboutImprecision) {

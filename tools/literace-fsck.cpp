@@ -1,0 +1,134 @@
+//===-- tools/literace-fsck.cpp - Trace integrity checker -------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Integrity checker for recorded logs (docs/ROBUSTNESS.md): walks the
+// file the same way the salvage reader does and reports what a detection
+// run would actually see — per-segment CRC status, the footer, per-thread
+// coverage, and the recovery percentage. Use it to answer "how much of
+// the crashed run survived?" before spending detector time on it.
+//
+// Usage:
+//   literace-fsck <log.bin> [--segments] [--quiet]
+//
+//   --segments  also print the per-frame inventory (v2 logs)
+//   --quiet     suppress everything except errors; rely on the exit code
+//
+// Exit codes:
+//   0  clean: every byte accounted for, clean shutdown
+//   4  recoverable: a coherent partial trace was salvaged (some loss)
+//   1  unreadable: not a literace log, or nothing could be recovered
+//   2  usage error
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/EventLog.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace literace;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr, "usage: %s <log.bin> [--segments] [--quiet]\n",
+               Argv0);
+  return 2;
+}
+
+const char *yesNo(bool B) { return B ? "yes" : "no"; }
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  std::string Path = Argv[1];
+  bool Segments = false;
+  bool Quiet = false;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--segments")
+      Segments = true;
+    else if (Arg == "--quiet")
+      Quiet = true;
+    else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
+      return usage(Argv[0]);
+    }
+  }
+
+  TraceReadResult Read = readTrace(Path);
+  if (!Read.readable()) {
+    std::fprintf(stderr, "%s: unreadable%s%s\n", Path.c_str(),
+                 Read.Error.empty() ? "" : ": ", Read.Error.c_str());
+    return 1;
+  }
+  const TraceReadStats &S = Read.Stats;
+
+  if (Segments && S.Format == TraceFormat::V2Segmented) {
+    std::printf("    offset        tid     events    payload  crc\n");
+    for (const SegmentInfo &Seg : scanSegments(Path)) {
+      if (Seg.IsFooter) {
+        std::printf("%10llu     footer                        %s\n",
+                    static_cast<unsigned long long>(Seg.Offset),
+                    Seg.HeaderOk && Seg.PayloadOk ? "ok" : "BAD");
+        continue;
+      }
+      std::printf("%10llu %10u %10u %10u  %s\n",
+                  static_cast<unsigned long long>(Seg.Offset), Seg.Tid,
+                  Seg.EventCount, Seg.PayloadBytes,
+                  !Seg.HeaderOk   ? "BAD header"
+                  : !Seg.PayloadOk ? "BAD payload"
+                                   : "ok");
+    }
+  }
+
+  const uint64_t TotalSegments = S.SegmentsRecovered + S.SegmentsDropped;
+  const double RecoveredPct =
+      TotalSegments == 0
+          ? 100.0
+          : 100.0 * static_cast<double>(S.SegmentsRecovered) /
+                static_cast<double>(TotalSegments);
+  if (!Quiet) {
+    std::printf("%s: %s\n", Path.c_str(), traceFormatName(S.Format));
+    std::printf("  segments:       %llu recovered, %llu dropped (%.1f%% "
+                "recovered)\n",
+                static_cast<unsigned long long>(S.SegmentsRecovered),
+                static_cast<unsigned long long>(S.SegmentsDropped),
+                RecoveredPct);
+    std::printf("  events:         %llu recovered\n",
+                static_cast<unsigned long long>(S.EventsRecovered));
+    if (S.BytesDropped != 0)
+      std::printf("  bytes dropped:  %llu\n",
+                  static_cast<unsigned long long>(S.BytesDropped));
+    std::printf("  clean shutdown: %s\n", yesNo(S.CleanShutdown));
+    std::printf("  truncated tail: %s\n", yesNo(S.TruncatedTail));
+    if (S.SalvagedHeader)
+      std::printf("  file header:    damaged (segments found by scan)\n");
+    for (size_t T = 0; T != S.PerThreadRecovered.size(); ++T) {
+      const uint64_t Rec = S.PerThreadRecovered[T];
+      const uint64_t Drop =
+          T < S.PerThreadDropped.size() ? S.PerThreadDropped[T] : 0;
+      if (Rec == 0 && Drop == 0)
+        continue;
+      std::printf("  thread %-3zu      %llu event(s)%s", T,
+                  static_cast<unsigned long long>(Rec),
+                  Drop != 0 ? ", " : "\n");
+      if (Drop != 0)
+        std::printf("%llu dropped segment(s)\n",
+                    static_cast<unsigned long long>(Drop));
+    }
+  }
+
+  if (Read.Status == TraceReadStatus::Ok) {
+    if (!Quiet)
+      std::printf("clean\n");
+    return 0;
+  }
+  if (!Quiet)
+    std::printf("recoverable: %s\n", Read.Error.c_str());
+  return 4;
+}

@@ -12,16 +12,23 @@
 // Usage:
 //   literace-report <log.bin> [--detector hb|fasttrack|lockset]
 //                   [--shards <n>] [--rare-threshold-memops <n>] [--quiet]
+//                   [--salvage] [--strict]
 //
 // --shards=N runs the happens-before analysis on N parallel address-space
 // shards (docs/DETECTOR.md); the report is byte-identical to --shards=1.
+//
+// Damaged logs: by default (--salvage) the reader recovers every intact
+// checksummed segment and the replay tolerates the resulting timestamp
+// gaps, so a crashed or corrupted recording still yields a report — over
+// the recovered subset of the execution, with the coverage loss printed.
+// --strict restores fail-stop behavior: any imperfection is exit 1.
 //
 //===----------------------------------------------------------------------===//
 
 #include "detector/FastTrackDetector.h"
 #include "detector/HBDetector.h"
 #include "detector/LocksetDetector.h"
-#include "runtime/CompressedLog.h"
+#include "runtime/EventLog.h"
 #include "runtime/TraceStats.h"
 #include "support/Timer.h"
 #include "telemetry/Metrics.h"
@@ -40,9 +47,11 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <log.bin> [--detector hb|fasttrack|lockset] "
                "[--shards <n>] [--suppress <file>] [--stats] [--quiet] "
-               "[--metrics <dir>]\n"
+               "[--metrics <dir>] [--salvage] [--strict]\n"
                "--metrics writes <dir>/metrics.json and "
-               "<dir>/trace.perfetto.json\n",
+               "<dir>/trace.perfetto.json\n"
+               "--salvage (default) recovers what it can from damaged "
+               "logs; --strict fails instead\n",
                Argv0);
   return 2;
 }
@@ -103,6 +112,7 @@ int main(int Argc, char **Argv) {
   bool Quiet = false;
   bool Stats = false;
   bool Metrics = false;
+  bool Salvage = true;
   DetectorOptions DetOpts;
   std::set<Pc> Suppressed;
   for (int I = 2; I < Argc; ++I) {
@@ -122,6 +132,10 @@ int main(int Argc, char **Argv) {
       Quiet = true;
     else if (Arg == "--stats")
       Stats = true;
+    else if (Arg == "--salvage")
+      Salvage = true;
+    else if (Arg == "--strict")
+      Salvage = false;
     else if (Arg == "--suppress" && I + 1 < Argc) {
       if (!readSuppressions(Argv[++I], Suppressed)) {
         std::fprintf(stderr, "error: cannot read suppressions '%s'\n",
@@ -134,14 +148,32 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  // Accept both on-disk formats transparently.
-  auto T = readTraceFile(Path);
-  if (!T)
-    T = readCompressedTraceFile(Path);
-  if (!T) {
-    std::fprintf(stderr, "error: '%s' is not a readable literace log\n",
-                 Path.c_str());
+  // Accept every on-disk format transparently; salvage damaged files
+  // unless --strict.
+  TraceReadOptions ReadOpts;
+  ReadOpts.Salvage = Salvage;
+  TraceReadResult Read = readTrace(Path, ReadOpts);
+  if (!Read.readable()) {
+    std::fprintf(stderr, "error: '%s' is not a readable literace log%s%s\n",
+                 Path.c_str(), Read.Error.empty() ? "" : ": ",
+                 Read.Error.c_str());
     return 1;
+  }
+  const Trace *T = &Read.T;
+  const bool Salvaged = Read.Status == TraceReadStatus::Salvaged;
+  if (Salvaged) {
+    const TraceReadStats &RS = Read.Stats;
+    std::fprintf(stderr,
+                 "salvaged %s log: %llu segment(s) recovered, %llu "
+                 "dropped, %llu event(s)%s%s%s — the report covers the "
+                 "recovered subset of the execution\n",
+                 traceFormatName(RS.Format),
+                 static_cast<unsigned long long>(RS.SegmentsRecovered),
+                 static_cast<unsigned long long>(RS.SegmentsDropped),
+                 static_cast<unsigned long long>(RS.EventsRecovered),
+                 RS.TruncatedTail ? ", truncated tail" : "",
+                 RS.SalvagedHeader ? ", damaged file header" : "",
+                 RS.CleanShutdown ? "" : ", no clean shutdown");
   }
   if (Stats)
     std::printf("%s", TraceStats::compute(*T).describe().c_str());
@@ -160,6 +192,17 @@ int main(int Argc, char **Argv) {
     DetOpts.Shards = 1;
   }
 
+  // A salvaged trace is missing sync events whose timestamps the replay
+  // would otherwise wait on forever; let the scheduler skip those gaps
+  // (the detectors conservatively over-order across each gap, so reported
+  // races are a subset of the full-trace report — docs/ROBUSTNESS.md).
+  ReplayOptions Replay;
+  uint64_t TimestampGaps = 0;
+  if (Salvaged) {
+    Replay.AllowTimestampGaps = true;
+    Replay.OutTimestampGaps = &TimestampGaps;
+  }
+
   RaceReport Report;
   WallTimer Timer;
   bool Consistent;
@@ -167,13 +210,13 @@ int main(int Argc, char **Argv) {
     if (DetOpts.Shards > 1)
       std::fprintf(stderr, "analyzing on %u address-space shards\n",
                    DetOpts.Shards);
-    Consistent = detectRaces(*T, Report, ReplayOptions(), DetOpts);
+    Consistent = detectRaces(*T, Report, Replay, DetOpts);
   } else if (Detector == "fasttrack") {
-    Consistent = detectRacesFastTrack(*T, Report);
+    Consistent = detectRacesFastTrack(*T, Report, Replay);
   } else if (Detector == "lockset") {
     std::fprintf(stderr, "note: the lockset detector may report FALSE "
                          "positives (see paper §2)\n");
-    Consistent = detectLocksetViolations(*T, Report);
+    Consistent = detectLocksetViolations(*T, Report, Replay);
   } else {
     std::fprintf(stderr, "error: unknown detector '%s'\n",
                  Detector.c_str());
@@ -185,6 +228,11 @@ int main(int Argc, char **Argv) {
                          "duplicated sync events)\n");
     return 1;
   }
+  if (TimestampGaps != 0)
+    std::fprintf(stderr,
+                 "replay skipped %llu timestamp gap(s) left by dropped "
+                 "segments\n",
+                 static_cast<unsigned long long>(TimestampGaps));
 
   auto [Rare, Frequent] = Report.splitRareFrequent(T->memoryOps());
   std::printf("%zu static race(s): %zu rare, %zu frequent "
@@ -224,6 +272,12 @@ int main(int Argc, char **Argv) {
     Snap.setCounter("report.static_races", Report.numStaticRaces());
     Snap.setCounter("report.analysis_us",
                     static_cast<uint64_t>(Seconds * 1e6));
+    if (Salvaged) {
+      Snap.setCounter("trace.segments.recovered",
+                      Read.Stats.SegmentsRecovered);
+      Snap.setCounter("trace.segments.dropped", Read.Stats.SegmentsDropped);
+      Snap.setCounter("report.timestamp_gaps", TimestampGaps);
+    }
     const std::string MetricsPath = MetricsDir + "/metrics.json";
     const std::string TracePath = MetricsDir + "/trace.perfetto.json";
     telemetry::TraceWriter Timeline = telemetry::buildTraceTimeline(*T);

@@ -3,13 +3,20 @@
 // Part of the LiteRace reproduction project. MIT license.
 //
 // Runs one of the bundled benchmark workloads under a chosen
-// instrumentation mode and writes the event log to disk in the FileSink
-// format, ready for literace-report. This is the "profiler side" of the
-// paper's offline workflow (§4.4), packaged as a command-line tool.
+// instrumentation mode and writes the event log to disk, ready for
+// literace-report. This is the "profiler side" of the paper's offline
+// workflow (§4.4), packaged as a command-line tool.
+//
+// Crash consistency: the default output is the v2 segmented format, whose
+// frames are durable the moment they are written. A signal/atexit path
+// additionally flushes whatever the sink still buffers and writes the
+// metrics sidecar best-effort, then re-raises so the caller sees the
+// workload's abnormal exit (128+signal) rather than a silent 0.
 //
 // Usage:
 //   literace-run <workload> <out.bin> [--mode <mode>] [--scale <x>]
-//                [--seed <n>] [--elide] [--no-elide]
+//                [--seed <n>] [--elide] [--no-elide] [--format v1|v2|v2z]
+//                [--kill-after-bytes <n>] [--abort-after-bytes <n>]
 //
 //   <workload>  channel-stdlib | channel | concrt-messaging |
 //               concrt-scheduling | httpd-1 | httpd-2 | browser-start |
@@ -18,6 +25,12 @@
 //   --elide     run the pre-execution static analysis and skip logging
 //               for sites it proves race-free (see literace-analyze)
 //   --no-elide  escape hatch: force elision off even with --elide
+//   --format    v2 (default, segmented+checksummed), v2z (segmented with
+//               compressed payloads), v1 (legacy unframed FileSink)
+//   --kill-after-bytes / --abort-after-bytes
+//               fault injection for the recovery tests: SIGKILL (no
+//               handler can run) or abort() the process once the sink has
+//               accepted that many payload bytes
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,11 +38,17 @@
 #include "telemetry/Metrics.h"
 #include "workloads/Workload.h"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
+
+#include <unistd.h>
 
 using namespace literace;
 
@@ -74,11 +93,67 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s <workload> <out.bin> [--mode sync|literace|full]\n"
       "          [--scale <x>] [--seed <n>] [--elide] [--no-elide]\n"
+      "          [--format v1|v2|v2z] [--kill-after-bytes <n>]\n"
+      "          [--abort-after-bytes <n>]\n"
       "workloads: channel-stdlib channel concrt-messaging\n"
       "           concrt-scheduling httpd-1 httpd-2 browser-start\n"
       "           browser-render lkrhash lflist\n",
       Argv0);
   return 2;
+}
+
+/// Crash-path state shared with the signal handlers. Writes are ordered
+/// before handler installation, so plain pointers are fine; Entered
+/// serializes the (unlikely) case of a second fatal signal arriving while
+/// the first is being handled.
+LogSink *ActiveSink = nullptr;
+Runtime *ActiveRuntime = nullptr;
+const char *ActiveSidecarPath = nullptr;
+std::atomic<bool> Entered{false};
+
+void writeSidecarBestEffort() {
+  if (!ActiveRuntime || !ActiveSidecarPath || !ActiveRuntime->metrics())
+    return;
+  telemetry::MetricsSnapshot Snap = ActiveRuntime->metricsSnapshot();
+  if (std::FILE *File = std::fopen(ActiveSidecarPath, "wb")) {
+    const std::string Json = Snap.toJson();
+    std::fwrite(Json.data(), 1, Json.size(), File);
+    std::fclose(File);
+  }
+}
+
+/// Fatal-signal path: flush open segments so everything the workload
+/// produced so far is recoverable, leave the sidecar if possible, then die
+/// with the default disposition so the parent sees 128+sig. Not strictly
+/// async-signal-safe (it allocates), but this runs only when the process
+/// is about to die anyway — a secondary crash here loses nothing that was
+/// not already lost.
+void onFatalSignal(int Sig) {
+  if (Entered.exchange(true)) {
+    std::signal(Sig, SIG_DFL);
+    std::raise(Sig);
+    return;
+  }
+  if (ActiveSink)
+    ActiveSink->flush();
+  writeSidecarBestEffort();
+  std::signal(Sig, SIG_DFL);
+  std::raise(Sig);
+}
+
+void onExitFlush() {
+  // Covers std::exit() from workload code: the sink's destructor would run
+  // only for static-storage sinks, so flush explicitly.
+  if (ActiveSink)
+    ActiveSink->flush();
+}
+
+void installCrashPath() {
+  static const int Fatal[] = {SIGINT,  SIGTERM, SIGHUP, SIGSEGV,
+                              SIGBUS,  SIGILL,  SIGFPE, SIGABRT};
+  for (int Sig : Fatal)
+    std::signal(Sig, onFatalSignal);
+  std::atexit(onExitFlush);
 }
 
 } // namespace
@@ -94,8 +169,11 @@ int main(int Argc, char **Argv) {
   }
   std::string OutPath = Argv[2];
   RunMode Mode = RunMode::LiteRace;
+  std::string Format = "v2";
   bool Elide = false;
   bool NoElide = false;
+  uint64_t KillAfterBytes = 0;
+  uint64_t AbortAfterBytes = 0;
   WorkloadParams Params;
   for (int I = 3; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -110,27 +188,58 @@ int main(int Argc, char **Argv) {
         return usage(Argv[0]);
       }
       Mode = *Parsed;
+    } else if (Arg == "--format" && I + 1 < Argc) {
+      Format = Argv[++I];
+      if (Format != "v1" && Format != "v2" && Format != "v2z") {
+        std::fprintf(stderr, "error: unknown format '%s'\n", Format.c_str());
+        return usage(Argv[0]);
+      }
     } else if (Arg == "--scale" && I + 1 < Argc) {
       Params.Scale = std::atof(Argv[++I]);
     } else if (Arg == "--seed" && I + 1 < Argc) {
       Params.Seed = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--kill-after-bytes" && I + 1 < Argc) {
+      KillAfterBytes = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--abort-after-bytes" && I + 1 < Argc) {
+      AbortAfterBytes = std::strtoull(Argv[++I], nullptr, 10);
     } else {
       std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
       return usage(Argv[0]);
     }
   }
 
-  FileSink Sink(OutPath, /*NumTimestampCounters=*/128);
-  if (!Sink.ok()) {
-    std::fprintf(stderr, "error: cannot open '%s' for writing\n",
-                 OutPath.c_str());
-    return 1;
+  // Pick the sink. v2 is the default: its frames are checksummed and
+  // durable as written, so a crash costs at most the events still in
+  // per-thread buffers (docs/ROBUSTNESS.md).
+  std::unique_ptr<FileSink> V1;
+  std::unique_ptr<SegmentedFileSink> V2;
+  LogSink *Sink = nullptr;
+  if (Format == "v1") {
+    V1 = std::make_unique<FileSink>(OutPath, /*NumTimestampCounters=*/128);
+    if (!V1->ok()) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   OutPath.c_str());
+      return 1;
+    }
+    Sink = V1.get();
+  } else {
+    SegmentedFileSink::Options SinkOpts;
+    SinkOpts.Compress = (Format == "v2z");
+    V2 = std::make_unique<SegmentedFileSink>(
+        OutPath, /*NumTimestampCounters=*/128, SinkOpts);
+    if (!V2->ok()) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   OutPath.c_str());
+      return 1;
+    }
+    Sink = V2.get();
   }
+
   RuntimeConfig Config;
   Config.Mode = Mode;
   Config.Seed = Params.Seed;
   Config.DisableElision = NoElide;
-  Runtime RT(Config, &Sink);
+  Runtime RT(Config, Sink);
   std::unique_ptr<Workload> W = makeWorkload(*Kind);
   W->bind(RT);
   if (Elide) {
@@ -140,17 +249,54 @@ int main(int Argc, char **Argv) {
                  NoElide ? "elidable (elision disabled by --no-elide)"
                          : "elided");
   }
+
+  const std::string SidecarPath = OutPath + ".metrics.json";
+  ActiveSink = Sink;
+  ActiveRuntime = &RT;
+  ActiveSidecarPath = SidecarPath.c_str();
+  installCrashPath();
+
+  // Deterministic fault injection for the recovery tests: a watcher kills
+  // or aborts the process once the sink has accepted N payload bytes,
+  // mid-run, exactly like a crashing production workload would.
+  if (KillAfterBytes != 0 || AbortAfterBytes != 0) {
+    std::thread([Sink, KillAfterBytes, AbortAfterBytes] {
+      for (;;) {
+        const uint64_t B = Sink->bytesWritten();
+        if (KillAfterBytes != 0 && B >= KillAfterBytes)
+          ::kill(::getpid(), SIGKILL);
+        if (AbortAfterBytes != 0 && B >= AbortAfterBytes)
+          std::abort();
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }).detach();
+  }
+
   std::fprintf(stderr, "running %s in %s mode (scale %.2f)...\n",
                W->name().c_str(), runModeName(Mode), Params.Scale);
   W->run(RT, Params);
-  Sink.close();
+
+  bool SinkClean = true;
+  if (V2) {
+    SinkClean = V2->close();
+    if (!SinkClean)
+      std::fprintf(stderr,
+                   "warning: %llu event(s) lost to write failures "
+                   "(%llu retries)\n",
+                   static_cast<unsigned long long>(V2->eventsDropped()),
+                   static_cast<unsigned long long>(V2->retries()));
+  } else {
+    V1->close();
+  }
+  // The run is over; keep the handlers but detach the sink (it is closed).
+  ActiveSink = nullptr;
 
   RuntimeStats Stats = RT.stats();
   std::fprintf(stderr,
-               "wrote %s: %.1f MB, %llu memory ops, %llu sync ops, "
+               "wrote %s (%s): %.1f MB, %llu memory ops, %llu sync ops, "
                "%u threads, %zu functions\n",
-               OutPath.c_str(),
-               static_cast<double>(Sink.bytesWritten()) / 1e6,
+               OutPath.c_str(), Format.c_str(),
+               static_cast<double>(Sink->bytesWritten()) / 1e6,
                static_cast<unsigned long long>(Stats.MemOpsLogged),
                static_cast<unsigned long long>(Stats.SyncOps),
                RT.numThreads(), RT.registry().size());
@@ -160,21 +306,23 @@ int main(int Argc, char **Argv) {
   // LITERACE_TELEMETRY kill switch along with all other telemetry.
   if (RT.metrics()) {
     telemetry::MetricsSnapshot Snap = RT.metricsSnapshot();
-    const std::string MetricsPath = OutPath + ".metrics.json";
-    if (std::FILE *File = std::fopen(MetricsPath.c_str(), "wb")) {
+    if (std::FILE *File = std::fopen(SidecarPath.c_str(), "wb")) {
       const std::string Json = Snap.toJson();
       const bool Ok =
           std::fwrite(Json.data(), 1, Json.size(), File) == Json.size();
       std::fclose(File);
       if (Ok)
-        std::fprintf(stderr, "wrote %s (%zu metrics)\n",
-                     MetricsPath.c_str(),
+        std::fprintf(stderr, "wrote %s (%zu metrics)\n", SidecarPath.c_str(),
                      Snap.Counters.size() + Snap.Gauges.size() +
                          Snap.Histograms.size());
     } else {
       std::fprintf(stderr, "warning: cannot write '%s'\n",
-                   MetricsPath.c_str());
+                   SidecarPath.c_str());
     }
   }
-  return 0;
+  ActiveRuntime = nullptr;
+  ActiveSidecarPath = nullptr;
+  // Data lost at the sink means the log on disk under-represents the run;
+  // report it in the exit code so scripted pipelines notice.
+  return SinkClean ? 0 : 1;
 }

@@ -27,7 +27,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "detector/ShardedDetector.h"
-#include "runtime/CompressedLog.h"
+#include "runtime/EventLog.h"
 #include "runtime/TraceStats.h"
 #include "telemetry/Metrics.h"
 #include "telemetry/Timeline.h"
@@ -102,15 +102,23 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  // Accept both on-disk formats transparently.
-  auto T = readTraceFile(Path);
-  if (!T)
-    T = readCompressedTraceFile(Path);
-  if (!T) {
-    std::fprintf(stderr, "error: '%s' is not a readable literace log\n",
-                 Path.c_str());
+  // Accept every on-disk format transparently; a damaged log is triaged
+  // from its salvaged subset (with the loss folded into the snapshot).
+  TraceReadResult Read = readTrace(Path);
+  if (!Read.readable()) {
+    std::fprintf(stderr, "error: '%s' is not a readable literace log%s%s\n",
+                 Path.c_str(), Read.Error.empty() ? "" : ": ",
+                 Read.Error.c_str());
     return 1;
   }
+  const Trace *T = &Read.T;
+  if (Read.Status == TraceReadStatus::Salvaged)
+    std::fprintf(stderr,
+                 "note: '%s' was salvaged (%llu segment(s) dropped); "
+                 "figures cover the recovered subset\n",
+                 Path.c_str(),
+                 static_cast<unsigned long long>(
+                     Read.Stats.SegmentsDropped));
 
   TraceStats Stats = TraceStats::compute(*T);
   telemetry::MetricsSnapshot Snap;
@@ -136,6 +144,11 @@ int main(int Argc, char **Argv) {
   Snap.setCounter("trace.distinct_addresses", Stats.DistinctAddresses);
   Snap.setCounter("trace.distinct_syncvars", Stats.DistinctSyncVars);
   Snap.setGauge("trace.threads", Stats.NumThreads);
+  if (Read.Status == TraceReadStatus::Salvaged) {
+    Snap.setCounter("trace.segments.recovered",
+                    Read.Stats.SegmentsRecovered);
+    Snap.setCounter("trace.segments.dropped", Read.Stats.SegmentsDropped);
+  }
 
   // Plane 3 (optional): a sharded detection pass over the log, so the
   // pipeline's queue/stall behavior is measured on this machine.
