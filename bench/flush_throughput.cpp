@@ -1,0 +1,215 @@
+//===-- bench/flush_throughput.cpp - Trace-flush pipeline throughput --------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// The headline for the async flush pipeline (runtime/AsyncSink.h): N
+// producer threads stream event chunks into a v2 segmented log through
+// three configurations — sync (every producer pays framing + write(2)
+// behind the sink mutex), async-block (lossless hand-off to the flusher
+// thread), async-drop (bounded hand-off, loss accounted). Reports wall
+// time, events/second, and the producer-side stall profile: the MAX time
+// a single writeChunk() call took on any application thread, which is
+// exactly the hot-path stall the pipeline exists to remove.
+//
+// With --json[=PATH] the results are also written as JSON (default
+// BENCH_flush_throughput.json) so successive PRs can track the numbers.
+// LITERACE_SCALE scales the chunk count per thread.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/AsyncSink.h"
+#include "support/TableFormatter.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace literace;
+
+namespace {
+
+enum class Mode { Sync, AsyncBlock, AsyncDrop };
+
+const char *modeName(Mode M) {
+  switch (M) {
+  case Mode::Sync:
+    return "sync";
+  case Mode::AsyncBlock:
+    return "async-block";
+  case Mode::AsyncDrop:
+    return "async-drop";
+  }
+  return "?";
+}
+
+struct Result {
+  Mode M = Mode::Sync;
+  double Seconds = 0.0;
+  double EventsPerSec = 0.0;
+  /// Worst single writeChunk() call observed on any producer thread.
+  uint64_t MaxProducerStallNs = 0;
+  uint64_t EventsDropped = 0;
+  uint64_t ChunksEnqueued = 0;
+  size_t QueueDepthHighWater = 0;
+  uint64_t ProducerParks = 0;
+};
+
+std::string tempPath(const char *Name) {
+  const char *Dir = std::getenv("TMPDIR");
+  return std::string(Dir && *Dir ? Dir : "/tmp") + "/" + Name;
+}
+
+Result runMode(Mode M, unsigned NumThreads, size_t ChunksPerThread,
+               size_t EventsPerChunk) {
+  const std::string Path = tempPath("literace_flush_bench.bin");
+  Result R;
+  R.M = M;
+  {
+    SegmentedFileSink Seg(Path, 128);
+    if (!Seg.ok()) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      std::exit(1);
+    }
+    std::unique_ptr<AsyncLogSink> Async;
+    LogSink *Sink = &Seg;
+    if (M != Mode::Sync) {
+      AsyncLogSink::Options Opts;
+      Opts.Policy =
+          M == Mode::AsyncDrop ? FlushPolicy::Drop : FlushPolicy::Block;
+      Async = std::make_unique<AsyncLogSink>(Seg, Opts);
+      Sink = Async.get();
+    }
+
+    std::vector<uint64_t> MaxStallNs(NumThreads, 0);
+    WallTimer Timer;
+    std::vector<std::thread> Producers;
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Producers.emplace_back([&, T] {
+        std::vector<EventRecord> Chunk(EventsPerChunk);
+        uint64_t Worst = 0;
+        for (size_t C = 0; C != ChunksPerThread; ++C) {
+          for (size_t I = 0; I != EventsPerChunk; ++I) {
+            Chunk[I].Kind = EventKind::Write;
+            Chunk[I].Tid = T;
+            Chunk[I].Addr = C * EventsPerChunk + I;
+            Chunk[I].Pc = 1;
+          }
+          WallTimer Call;
+          Sink->writeChunk(T, Chunk.data(), Chunk.size());
+          Worst = std::max(Worst, Call.nanoseconds());
+        }
+        MaxStallNs[T] = Worst;
+      });
+    for (std::thread &T : Producers)
+      T.join();
+    // Producer-side work is done; the drain is the flusher's problem, but
+    // the wall clock charges it too (it gates when the file is usable).
+    if (Async) {
+      Async->close();
+      R.EventsDropped = Async->eventsDropped();
+      R.ChunksEnqueued = Async->chunksEnqueued();
+      R.QueueDepthHighWater = Async->queueStats().DepthHighWater;
+      R.ProducerParks = Async->queueStats().ProducerParks;
+    }
+    Seg.close();
+    R.Seconds = Timer.seconds();
+    for (uint64_t S : MaxStallNs)
+      R.MaxProducerStallNs = std::max(R.MaxProducerStallNs, S);
+  }
+  const double TotalEvents = static_cast<double>(NumThreads) *
+                             static_cast<double>(ChunksPerThread) *
+                             static_cast<double>(EventsPerChunk);
+  R.EventsPerSec = TotalEvents / R.Seconds;
+  std::remove(Path.c_str());
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0)
+      JsonPath = "BENCH_flush_throughput.json";
+    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+    else {
+      std::fprintf(stderr, "usage: %s [--json[=PATH]]\n", Argv[0]);
+      return 2;
+    }
+  }
+
+  double Scale = 1.0;
+  if (const char *Env = std::getenv("LITERACE_SCALE"))
+    Scale = std::atof(Env);
+  if (Scale <= 0.0)
+    Scale = 1.0;
+  const unsigned NumThreads =
+      std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
+  const size_t ChunksPerThread =
+      static_cast<size_t>(200 * Scale) + 1;
+  const size_t EventsPerChunk = 4096;
+
+  std::fprintf(stderr,
+               "%u producers x %zu chunks x %zu events, segmented v2 log\n",
+               NumThreads, ChunksPerThread, EventsPerChunk);
+
+  std::vector<Result> Results;
+  for (Mode M : {Mode::Sync, Mode::AsyncBlock, Mode::AsyncDrop})
+    Results.push_back(runMode(M, NumThreads, ChunksPerThread,
+                              EventsPerChunk));
+
+  TableFormatter Table("Trace-flush pipeline throughput (producer stall = "
+                       "max single writeChunk on an app thread)");
+  Table.addRow({"Mode", "Time", "M events/s", "Max stall", "Dropped",
+                "Queue HW", "Parks"});
+  for (const Result &R : Results)
+    Table.addRow(
+        {modeName(R.M), TableFormatter::num(R.Seconds, 3) + "s",
+         TableFormatter::num(R.EventsPerSec / 1e6, 1),
+         TableFormatter::num(
+             static_cast<double>(R.MaxProducerStallNs) / 1e6, 3) +
+             "ms",
+         std::to_string(R.EventsDropped),
+         R.M == Mode::Sync ? "-" : std::to_string(R.QueueDepthHighWater),
+         R.M == Mode::Sync ? "-" : std::to_string(R.ProducerParks)});
+  Table.print();
+
+  if (!JsonPath.empty()) {
+    std::FILE *File = std::fopen(JsonPath.c_str(), "w");
+    if (!File) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(File,
+                 "{\n  \"benchmark\": \"flush_throughput\",\n"
+                 "  \"threads\": %u,\n  \"chunks_per_thread\": %zu,\n"
+                 "  \"events_per_chunk\": %zu,\n  \"modes\": [\n",
+                 NumThreads, ChunksPerThread, EventsPerChunk);
+    for (size_t I = 0; I != Results.size(); ++I) {
+      const Result &R = Results[I];
+      std::fprintf(
+          File,
+          "    {\"mode\": \"%s\", \"seconds\": %.6f, "
+          "\"events_per_sec\": %.1f, \"max_producer_stall_ns\": %llu, "
+          "\"events_dropped\": %llu, \"chunks_enqueued\": %llu, "
+          "\"queue_depth_highwater\": %zu, \"producer_parks\": %llu}%s\n",
+          modeName(R.M), R.Seconds, R.EventsPerSec,
+          static_cast<unsigned long long>(R.MaxProducerStallNs),
+          static_cast<unsigned long long>(R.EventsDropped),
+          static_cast<unsigned long long>(R.ChunksEnqueued),
+          R.QueueDepthHighWater,
+          static_cast<unsigned long long>(R.ProducerParks),
+          I + 1 == Results.size() ? "" : ",");
+    }
+    std::fprintf(File, "  ]\n}\n");
+    std::fclose(File);
+    std::fprintf(stderr, "wrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

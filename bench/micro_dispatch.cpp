@@ -14,8 +14,15 @@
 // than LITERACE_TELEMETRY_BUDGET_PCT percent (default 5) to the dispatch
 // check — the guard for docs/TELEMETRY.md's cost contract.
 //
+// With --check-async-flush the bench verifies the async flush pipeline's
+// acceptance criterion instead: application threads logging through an
+// AsyncLogSink must make ZERO writeChunk() calls into the durable sink
+// (all durable writes happen on the flusher thread), checked via the
+// sink.writes.* telemetry rather than assumed. Exit 1 on violation.
+//
 //===----------------------------------------------------------------------===//
 
+#include "runtime/AsyncSink.h"
 #include "runtime/ThreadContext.h"
 #include "support/Timer.h"
 #include "telemetry/Metrics.h"
@@ -26,6 +33,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 using namespace literace;
 
@@ -130,6 +140,86 @@ int checkTelemetryOverhead() {
   return Ok ? 0 : 1;
 }
 
+/// Drives \p NumThreads producers through a SegmentedFileSink (optionally
+/// behind an AsyncLogSink) and returns how many durable writeChunk calls
+/// landed on application threads vs the flusher thread.
+void classifyWrites(bool UseAsync, telemetry::MetricsRegistry &Registry,
+                    uint64_t &AppWrites, uint64_t &FlusherWrites) {
+  const char *Dir = std::getenv("TMPDIR");
+  const std::string Path = std::string(Dir && *Dir ? Dir : "/tmp") +
+                           "/literace_micro_async.bin";
+  constexpr unsigned NumThreads = 4;
+  constexpr size_t ChunksPerThread = 64;
+  constexpr size_t EventsPerChunk = 1024;
+  {
+    SegmentedFileSink::Options SOpts;
+    SOpts.Metrics = &Registry;
+    SegmentedFileSink Seg(Path, 128, SOpts);
+    std::unique_ptr<AsyncLogSink> Async;
+    LogSink *Sink = &Seg;
+    if (UseAsync) {
+      AsyncLogSink::Options AOpts;
+      AOpts.Metrics = &Registry;
+      Async = std::make_unique<AsyncLogSink>(Seg, AOpts);
+      Sink = Async.get();
+    }
+    std::vector<std::thread> Producers;
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Producers.emplace_back([&, T] {
+        std::vector<EventRecord> Chunk(EventsPerChunk);
+        for (size_t C = 0; C != ChunksPerThread; ++C) {
+          for (size_t I = 0; I != EventsPerChunk; ++I) {
+            Chunk[I].Kind = EventKind::Write;
+            Chunk[I].Tid = T;
+            Chunk[I].Addr = C * EventsPerChunk + I;
+          }
+          Sink->writeChunk(T, Chunk.data(), Chunk.size());
+        }
+      });
+    for (std::thread &T : Producers)
+      T.join();
+    if (Async)
+      Async->close();
+    AppWrites = Seg.appThreadWrites();
+    FlusherWrites = Seg.flusherThreadWrites();
+    Seg.close();
+  }
+  std::remove(Path.c_str());
+}
+
+/// The async acceptance criterion: in async mode every durable write
+/// happens on the flusher thread; in sync mode they all happen on app
+/// threads. Read back through sink.writes.* telemetry.
+int checkAsyncFlush() {
+  uint64_t SyncApp = 0, SyncFlusher = 0;
+  uint64_t AsyncApp = 0, AsyncFlusher = 0;
+  telemetry::MetricsRegistry SyncRegistry;
+  classifyWrites(/*UseAsync=*/false, SyncRegistry, SyncApp, SyncFlusher);
+  telemetry::MetricsRegistry AsyncRegistry;
+  classifyWrites(/*UseAsync=*/true, AsyncRegistry, AsyncApp, AsyncFlusher);
+
+  // The registry must agree with the sink's own counters — this is the
+  // path CI reads, so it is the path the check trusts.
+  const telemetry::MetricsSnapshot Snap = AsyncRegistry.snapshot();
+  const uint64_t SnapApp = Snap.counter("sink.writes.app_thread", 0);
+  const uint64_t SnapFlusher = Snap.counter("sink.writes.flusher_thread", 0);
+
+  const bool Ok = SyncApp > 0 && SyncFlusher == 0 && AsyncApp == 0 &&
+                  AsyncFlusher > 0 && SnapApp == AsyncApp &&
+                  SnapFlusher == AsyncFlusher;
+  std::printf("durable writeChunk calls: sync app=%llu flusher=%llu | "
+              "async app=%llu flusher=%llu (telemetry app=%llu "
+              "flusher=%llu): %s\n",
+              static_cast<unsigned long long>(SyncApp),
+              static_cast<unsigned long long>(SyncFlusher),
+              static_cast<unsigned long long>(AsyncApp),
+              static_cast<unsigned long long>(AsyncFlusher),
+              static_cast<unsigned long long>(SnapApp),
+              static_cast<unsigned long long>(SnapFlusher),
+              Ok ? "OK" : "FAIL");
+  return Ok ? 0 : 1;
+}
+
 } // namespace
 
 BENCHMARK(dispatchMode)
@@ -141,9 +231,12 @@ BENCHMARK(dispatchMode)
 BENCHMARK(dispatchTelemetry)->Arg(0)->Arg(1);
 
 int main(int Argc, char **Argv) {
-  for (int I = 1; I < Argc; ++I)
+  for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--check-telemetry-overhead") == 0)
       return checkTelemetryOverhead();
+    if (std::strcmp(Argv[I], "--check-async-flush") == 0)
+      return checkAsyncFlush();
+  }
   benchmark::Initialize(&Argc, Argv);
   if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
     return 1;

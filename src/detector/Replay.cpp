@@ -10,6 +10,7 @@
 
 #include <cassert>
 #include <limits>
+#include <optional>
 
 using namespace literace;
 
@@ -24,6 +25,50 @@ bool passesFilter(const EventRecord &R, const ReplayOptions &Options) {
   if (!isMemoryKind(R.Kind) || Options.SamplerSlot < 0)
     return true;
   return (R.Mask & (1u << Options.SamplerSlot)) != 0;
+}
+
+/// The gap to skip when every stream is stalled: which counter to
+/// advance, and to what timestamp.
+struct GapSkip {
+  unsigned Counter = 0;
+  uint64_t Ts = 0;
+};
+
+/// Shared earliest-blocked-event scan used by both gap-tolerant replay
+/// paths (batch replayTrace and incremental drainAllowingGaps), so their
+/// skip decisions — and therefore the delivered event sequences — cannot
+/// diverge. \p ForEachFront invokes its callback once per non-empty
+/// stream with that stream's front record. A front only blocks replay if
+/// it is a sync event with a real timestamp strictly ahead of its
+/// counter; among those the smallest timestamp wins, which makes the
+/// choice deterministic regardless of stream enumeration order (two
+/// fronts with equal Ts on the same counter pick the same skip; equal Ts
+/// on different counters cannot both be minimal more than once per
+/// round, and the next round handles the other).
+template <typename ForEachFrontFn>
+std::optional<GapSkip>
+findEarliestBlockedEvent(ForEachFrontFn &&ForEachFront,
+                         const std::vector<uint64_t> &NextTs,
+                         unsigned NumCounters) {
+  GapSkip Best;
+  Best.Ts = std::numeric_limits<uint64_t>::max();
+  bool Found = false;
+  ForEachFront([&](const EventRecord &R) {
+    // Non-sync and timestamp-less fronts never block (gap-tolerant
+    // drains deliver them unconditionally); a sync front at or behind
+    // its counter is deliverable, not blocked.
+    if (!isSyncKind(R.Kind) || R.Ts == 0)
+      return;
+    const unsigned Counter = counterForSyncVar(R.Addr, NumCounters);
+    if (R.Ts > NextTs[Counter] && R.Ts < Best.Ts) {
+      Best.Ts = R.Ts;
+      Best.Counter = Counter;
+      Found = true;
+    }
+  });
+  if (!Found)
+    return std::nullopt;
+  return Best;
 }
 
 } // namespace
@@ -85,26 +130,21 @@ bool literace::replayTrace(const Trace &T, TraceConsumer &Consumer,
     if (!Options.AllowTimestampGaps)
       return false;
     // Skip the smallest missing range: advance the counter of the
-    // earliest blocked event straight to that event's timestamp. The
-    // (Ts, Tid) order makes the choice deterministic.
-    uint64_t BestTs = std::numeric_limits<uint64_t>::max();
-    unsigned BestCounter = 0;
-    bool Found = false;
-    for (size_t Tid = 0; Tid != NumThreads; ++Tid) {
-      const auto &Stream = T.PerThread[Tid];
-      if (Cursor[Tid] >= Stream.size())
-        continue;
-      const EventRecord &R = Stream[Cursor[Tid]];
-      assert(isSyncKind(R.Kind) && "stalled on a non-sync event");
-      if (R.Ts < BestTs) {
-        BestTs = R.Ts;
-        BestCounter = counterForSyncVar(R.Addr, NumCounters);
-        Found = true;
-      }
-    }
-    if (!Found)
+    // earliest blocked event straight to that event's timestamp, using
+    // the same helper as the incremental path so both deliver identical
+    // sequences on the same gapped trace.
+    auto Skip = findEarliestBlockedEvent(
+        [&](auto &&Visit) {
+          for (size_t Tid = 0; Tid != NumThreads; ++Tid) {
+            const auto &Stream = T.PerThread[Tid];
+            if (Cursor[Tid] < Stream.size())
+              Visit(Stream[Cursor[Tid]]);
+          }
+        },
+        NextTs, NumCounters);
+    if (!Skip)
       return false; // Defensive; cannot happen while Remaining > 0.
-    NextTs[BestCounter] = BestTs;
+    NextTs[Skip->Counter] = Skip->Ts;
     if (Options.OutTimestampGaps)
       ++*Options.OutTimestampGaps;
     Consumer.onCoverageGap();
@@ -175,26 +215,18 @@ size_t ReplayScheduler::drainAllowingGaps(TraceConsumer &Consumer) {
   size_t Delivered = drainImpl(Consumer, /*AllowStale=*/true);
   while (Pending > 0) {
     // No more input is coming: whatever each stream is blocked on was
-    // lost with a dropped segment. Skip the earliest gap and keep going.
-    uint64_t BestTs = std::numeric_limits<uint64_t>::max();
-    unsigned BestCounter = 0;
-    bool Found = false;
-    for (const auto &Stream : Streams) {
-      if (Stream.empty())
-        continue;
-      const EventRecord &R = Stream.front();
-      if (!isSyncKind(R.Kind) || R.Ts == 0)
-        continue;
-      unsigned Counter = counterForSyncVar(R.Addr, NumCounters);
-      if (R.Ts > NextTs[Counter] && R.Ts < BestTs) {
-        BestTs = R.Ts;
-        BestCounter = Counter;
-        Found = true;
-      }
-    }
-    if (!Found)
+    // lost with a dropped segment. Skip the earliest gap and keep going,
+    // through the helper shared with the batch replayTrace path.
+    auto Skip = findEarliestBlockedEvent(
+        [&](auto &&Visit) {
+          for (const auto &Stream : Streams)
+            if (!Stream.empty())
+              Visit(Stream.front());
+        },
+        NextTs, NumCounters);
+    if (!Skip)
       break; // Defensive; drainImpl(AllowStale) consumes everything else.
-    NextTs[BestCounter] = BestTs;
+    NextTs[Skip->Counter] = Skip->Ts;
     ++Gaps;
     if (Options.OutTimestampGaps)
       ++*Options.OutTimestampGaps;

@@ -1,0 +1,171 @@
+//===-- runtime/AsyncSink.cpp - Asynchronous trace-flush pipeline --------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/AsyncSink.h"
+
+#include "telemetry/Metrics.h"
+
+#include <cassert>
+
+using namespace literace;
+
+const char *literace::flushPolicyName(FlushPolicy P) {
+  switch (P) {
+  case FlushPolicy::Block:
+    return "block";
+  case FlushPolicy::Drop:
+    return "drop";
+  }
+  return "unknown";
+}
+
+AsyncLogSink::AsyncLogSink(LogSink &Under, const Options &Opts)
+    : Under(Under), Policy(Opts.Policy), FenceTimeout(Opts.FenceTimeout),
+      Metrics(Opts.Metrics), Queue(Opts.QueueCapacityChunks) {
+  Flusher = std::thread([this] { flusherLoop(); });
+}
+
+AsyncLogSink::AsyncLogSink(LogSink &Under)
+    : AsyncLogSink(Under, Options()) {}
+
+AsyncLogSink::~AsyncLogSink() { close(); }
+
+void AsyncLogSink::flusherLoop() {
+  // Mark this thread so the underlying sink's write-classification
+  // telemetry (sink.writes.flusher_thread vs sink.writes.app_thread) can
+  // prove application threads never touch the durable sink in async mode.
+  setTraceFlusherThread(true);
+  Chunk C;
+  while (Queue.pop(C)) {
+    Under.writeChunk(C.Tid, C.Records.data(), C.Records.size());
+    // Publish completion after the underlying write returns: a fence
+    // observing Completed >= its target knows those chunks are durable
+    // as far as the underlying sink's own guarantees go.
+    Completed.fetch_add(1, std::memory_order_release);
+    recycle(std::move(C.Records));
+  }
+  setTraceFlusherThread(false);
+}
+
+std::vector<EventRecord> AsyncLogSink::grabBuffer() {
+  std::unique_lock<std::mutex> Guard(FreeLock, std::try_to_lock);
+  if (Guard.owns_lock() && !FreeList.empty()) {
+    std::vector<EventRecord> Buf = std::move(FreeList.back());
+    FreeList.pop_back();
+    return Buf;
+  }
+  return {};
+}
+
+void AsyncLogSink::recycle(std::vector<EventRecord> Buf) {
+  Buf.clear();
+  std::unique_lock<std::mutex> Guard(FreeLock, std::try_to_lock);
+  // Bound the pool at twice the queue: enough for every queued chunk plus
+  // producers mid-copy; beyond that the memory would just sit idle.
+  if (Guard.owns_lock() && FreeList.size() < 2 * Queue.capacity())
+    FreeList.push_back(std::move(Buf));
+}
+
+void AsyncLogSink::noteLost(ThreadId Tid, size_t Count) {
+  DroppedChunks.fetch_add(1, std::memory_order_relaxed);
+  DroppedEvents.fetch_add(Count, std::memory_order_relaxed);
+  // Tell the durable sink, so the loss lands in the v2 footer and the
+  // reader classifies the trace as Salvaged (coverage-gap accounting).
+  Under.noteLostChunk(Tid, Count);
+}
+
+void AsyncLogSink::writeChunk(ThreadId Tid, const EventRecord *Records,
+                              size_t Count) {
+  if (Count == 0)
+    return;
+  Chunk C;
+  C.Tid = Tid;
+  C.Records = grabBuffer();
+  C.Records.assign(Records, Records + Count);
+  const bool Accepted =
+      Policy == FlushPolicy::Block ? Queue.push(C) : Queue.tryPush(C);
+  if (!Accepted) {
+    // Queue full under Drop policy, or closed under either policy.
+    recycle(std::move(C.Records));
+    noteLost(Tid, Count);
+    return;
+  }
+  Enqueued.fetch_add(1, std::memory_order_release);
+  addBytes(Count * sizeof(EventRecord));
+}
+
+bool AsyncLogSink::fence() {
+  Fences.fetch_add(1, std::memory_order_relaxed);
+  // Everything enqueued before this call is covered: writeChunk bumps
+  // Enqueued before returning, so its chunk is below Target.
+  const uint64_t Target = Enqueued.load(std::memory_order_acquire);
+  const auto Deadline = std::chrono::steady_clock::now() + FenceTimeout;
+  unsigned Attempt = 0;
+  while (Completed.load(std::memory_order_acquire) < Target) {
+    if (std::chrono::steady_clock::now() > Deadline) {
+      FenceTimeouts.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // Poll rather than park: this runs on the crash path (fatal-signal
+    // handler), where taking the queue's condvar lock could deadlock
+    // against the interrupted thread.
+    if (Attempt++ < 64)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return true;
+}
+
+void AsyncLogSink::flush() {
+  if (isTraceFlusherThread()) {
+    // Called from inside the flusher (or from the underlying sink's own
+    // machinery): fencing would wait on ourselves.
+    Under.flush();
+    return;
+  }
+  fence();
+  Under.flush();
+}
+
+bool AsyncLogSink::close() {
+  if (!ClosedFlag.exchange(true)) {
+    // Reject new chunks; the flusher drains what was already accepted,
+    // then pop() returns false and it exits.
+    Queue.close();
+    if (Flusher.joinable())
+      Flusher.join();
+    // After the join every accepted chunk has been written through. (>=
+    // not ==: a producer racing close() may publish its Enqueued bump
+    // late; the chunk itself was still drained.)
+    assert(Completed.load(std::memory_order_relaxed) >=
+               Enqueued.load(std::memory_order_relaxed) &&
+           "flusher exited with accepted chunks unwritten");
+    foldTelemetry();
+  }
+  return DroppedChunks.load(std::memory_order_relaxed) == 0;
+}
+
+void AsyncLogSink::foldTelemetry() {
+  telemetry::MetricsRegistry *M = telemetry::resolveRegistry(Metrics);
+  if (!M)
+    return;
+  const MpscQueueStats QS = Queue.stats();
+  telemetry::ThreadSlab &Slab = M->threadSlab();
+  Slab.add(M->counter("sink.async.chunks_enqueued"),
+           Enqueued.load(std::memory_order_relaxed));
+  Slab.gaugeMax(M->gaugeMax("sink.async.queue_depth_hw"), QS.DepthHighWater);
+  Slab.add(M->counter("sink.async.producer_parks"), QS.ProducerParks);
+  Slab.add(M->counter("sink.async.consumer_parks"), QS.ConsumerParks);
+  Slab.add(M->counter("sink.async.flush_fences"),
+           Fences.load(std::memory_order_relaxed));
+  if (const uint64_t N = FenceTimeouts.load(std::memory_order_relaxed))
+    Slab.add(M->counter("sink.async.fence_timeouts"), N);
+  if (const uint64_t N = DroppedChunks.load(std::memory_order_relaxed))
+    Slab.add(M->counter("sink.async.chunks_dropped"), N);
+  if (const uint64_t N = DroppedEvents.load(std::memory_order_relaxed))
+    Slab.add(M->counter("sink.async.events_dropped"), N);
+}

@@ -1,0 +1,165 @@
+//===-- runtime/AsyncSink.h - Asynchronous trace-flush pipeline -*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The asynchronous trace-flush pipeline. LiteRace's case for production
+/// deployment (§4, Table 5) rests on application threads paying almost
+/// nothing for instrumentation — yet a synchronous sink makes every
+/// ThreadContext flush pay for CRC framing, optional compression, and an
+/// unbuffered write(2) behind a mutex. AsyncLogSink moves all of that to
+/// a dedicated flusher thread: writeChunk() copies the chunk into a
+/// pooled buffer and hands it to a bounded MPSC queue
+/// (support/MpscChunkQueue.h); the flusher is the only caller of the
+/// underlying sink, so the durable format and its crash guarantees are
+/// unchanged (docs/ROBUSTNESS.md).
+///
+/// Backpressure when the queue fills is a policy:
+///
+///  - FlushPolicy::Block — the producer waits for a slot. Lossless: the
+///    trace is bit-identical to a synchronous run's.
+///  - FlushPolicy::Drop — the chunk is discarded *whole* and accounted:
+///    the underlying sink is told via LogSink::noteLostChunk(), so the
+///    v2 footer records the loss, close() reports it, and readTrace()
+///    classifies the file as Salvaged — dropped chunks ride the same
+///    coverage-gap machinery as crash damage, preserving the
+///    subset-of-full-report guarantee on detection results.
+///
+/// flush() is a *fence*: it waits (bounded) until everything enqueued
+/// before the call has reached the underlying sink, then flushes it.
+/// The literace-run fatal-signal path calls exactly this, so a crash
+/// loses at most the chunk in flight at the flusher.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_RUNTIME_ASYNCSINK_H
+#define LITERACE_RUNTIME_ASYNCSINK_H
+
+#include "runtime/EventLog.h"
+#include "support/MpscChunkQueue.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace literace {
+
+namespace telemetry {
+class MetricsRegistry;
+}
+
+/// What a producer does when the hand-off queue is full.
+enum class FlushPolicy : uint8_t {
+  Block, ///< wait for the flusher; lossless
+  Drop,  ///< discard the whole chunk, accounted as writer-side loss
+};
+
+const char *flushPolicyName(FlushPolicy P);
+
+/// Decorates any LogSink with an asynchronous hand-off stage. Producers
+/// (application threads) only copy and enqueue; one flusher thread owns
+/// every call into the underlying sink.
+class AsyncLogSink : public LogSink {
+public:
+  struct Options {
+    FlushPolicy Policy = FlushPolicy::Block;
+    /// Hand-off queue capacity in chunks (rounded up to a power of two).
+    /// With the runtime's default chunk of 1<<14 records this bounds the
+    /// in-flight buffer memory at roughly Capacity * 512 KiB.
+    size_t QueueCapacityChunks = 64;
+    /// Upper bound a flush() fence will wait for the flusher to catch up
+    /// before giving up (the crash path must not hang a dying process).
+    std::chrono::milliseconds FenceTimeout{2000};
+    /// Telemetry registry override (tests); null resolves the process
+    /// registry unless the kill switch disables telemetry.
+    telemetry::MetricsRegistry *Metrics = nullptr;
+  };
+
+  /// \p Under must outlive this sink (or at least outlive close()).
+  AsyncLogSink(LogSink &Under, const Options &Opts);
+  explicit AsyncLogSink(LogSink &Under);
+  ~AsyncLogSink() override;
+
+  /// Copies the chunk and enqueues it; never calls into the underlying
+  /// sink. Under FlushPolicy::Block this waits when the queue is full;
+  /// under FlushPolicy::Drop it discards the chunk and accounts the loss.
+  void writeChunk(ThreadId Tid, const EventRecord *Records,
+                  size_t Count) override;
+
+  /// Fences (waits until everything enqueued before the call is written
+  /// through, bounded by Options::FenceTimeout), then flushes the
+  /// underlying sink. Safe to call from the flusher thread itself — it
+  /// degrades to a plain underlying flush instead of self-deadlocking.
+  void flush() override;
+
+  /// Blocks until every chunk enqueued before the call has been written
+  /// to the underlying sink, or the fence times out. Returns true if the
+  /// pipeline fully drained.
+  bool fence();
+
+  /// Closes the queue, drains it, joins the flusher, and folds telemetry.
+  /// Returns true iff no chunk was dropped. Idempotent; writeChunk calls
+  /// racing with close() are counted as dropped, never lost silently.
+  bool close();
+
+  uint64_t chunksEnqueued() const {
+    return Enqueued.load(std::memory_order_relaxed);
+  }
+  uint64_t chunksDropped() const {
+    return DroppedChunks.load(std::memory_order_relaxed);
+  }
+  uint64_t eventsDropped() const {
+    return DroppedEvents.load(std::memory_order_relaxed);
+  }
+  /// Fences that gave up at Options::FenceTimeout.
+  uint64_t fenceTimeouts() const {
+    return FenceTimeouts.load(std::memory_order_relaxed);
+  }
+  MpscQueueStats queueStats() const { return Queue.stats(); }
+
+private:
+  struct Chunk {
+    ThreadId Tid = 0;
+    std::vector<EventRecord> Records;
+  };
+
+  void flusherLoop();
+  std::vector<EventRecord> grabBuffer();
+  void recycle(std::vector<EventRecord> Buf);
+  void noteLost(ThreadId Tid, size_t Count);
+  void foldTelemetry();
+
+  LogSink &Under;
+  FlushPolicy Policy;
+  std::chrono::milliseconds FenceTimeout;
+  telemetry::MetricsRegistry *Metrics = nullptr;
+
+  MpscChunkQueue<Chunk> Queue;
+
+  /// Chunks accepted into the queue / chunks the flusher has fully
+  /// written through. fence() waits for Completed to catch Enqueued.
+  std::atomic<uint64_t> Enqueued{0};
+  std::atomic<uint64_t> Completed{0};
+  std::atomic<uint64_t> DroppedChunks{0};
+  std::atomic<uint64_t> DroppedEvents{0};
+  std::atomic<uint64_t> Fences{0};
+  std::atomic<uint64_t> FenceTimeouts{0};
+  std::atomic<bool> ClosedFlag{false};
+
+  /// Buffer pool so steady-state writeChunk allocates nothing. try_lock
+  /// only: contention falls back to a fresh allocation rather than making
+  /// producers wait on each other.
+  std::mutex FreeLock;
+  std::vector<std::vector<EventRecord>> FreeList;
+
+  std::thread Flusher;
+};
+
+} // namespace literace
+
+#endif // LITERACE_RUNTIME_ASYNCSINK_H

@@ -71,13 +71,20 @@ static_assert(sizeof(SegmentHeader) == 28,
 constexpr size_t SegmentHeaderCrcBytes =
     sizeof(SegmentHeader) - sizeof(uint32_t);
 
-/// Payload of the footer frame sealed by a clean close().
+/// Payload of the footer frame sealed by a clean close(). DroppedEvents
+/// records writer-side loss (hard write failures, async Drop-policy
+/// backpressure); a reader that sees it nonzero knows the file is an
+/// accounted subset of the execution even though every byte present is
+/// intact. Legacy footers are 16 bytes (no DroppedEvents field) and are
+/// still accepted.
 struct SegmentFooterPayload {
   uint64_t TotalEvents;
   uint64_t TotalSegments;
+  uint64_t DroppedEvents;
 };
-static_assert(sizeof(SegmentFooterPayload) == 16,
+static_assert(sizeof(SegmentFooterPayload) == 24,
               "footer payload layout is part of the log file format");
+constexpr size_t LegacyFooterPayloadBytes = 16;
 
 bool validKind(uint8_t K) {
   return K <= static_cast<uint8_t>(EventKind::PolicyMeta);
@@ -162,6 +169,7 @@ void parseV2Segments(const uint8_t *Data, size_t Size, size_t O,
                      TraceReadResult &Res) {
   TraceReadStats &S = Res.Stats;
   bool FooterAtEnd = false;
+  SegmentFooterPayload Footer{};
   std::vector<EventRecord> Records;
   while (O < Size) {
     SegmentHeader H;
@@ -197,8 +205,12 @@ void parseV2Segments(const uint8_t *Data, size_t Size, size_t O,
     bool Decoded = false;
     if (crc32c(Payload, H.PayloadBytes) == H.PayloadCrc) {
       if (H.Flags & SegFlagFooter) {
-        if (H.PayloadBytes == sizeof(SegmentFooterPayload)) {
+        if (H.PayloadBytes == sizeof(SegmentFooterPayload) ||
+            H.PayloadBytes == LegacyFooterPayloadBytes) {
           FooterAtEnd = End == Size;
+          Footer = SegmentFooterPayload{};
+          // memcpy field-wise: legacy footers stop after TotalSegments.
+          std::memcpy(&Footer, Payload, H.PayloadBytes);
           Decoded = true;
         }
       } else if (H.Encoding == SegEncodingRaw) {
@@ -232,6 +244,16 @@ void parseV2Segments(const uint8_t *Data, size_t Size, size_t O,
     O = End;
   }
   S.CleanShutdown = FooterAtEnd;
+  if (FooterAtEnd) {
+    S.EventsDroppedByWriter = Footer.DroppedEvents;
+    // Cross-check the footer's totals, but only when nothing else went
+    // wrong — with dropped or truncated segments a disagreement is
+    // already explained and accounted.
+    if (S.SegmentsDropped == 0 && !S.TruncatedTail &&
+        (Footer.TotalEvents != S.EventsRecovered ||
+         Footer.TotalSegments != S.SegmentsRecovered))
+      S.FooterTotalsMismatch = true;
+  }
 }
 
 /// Salvages a v1 raw (FileSink) stream: keeps the longest prefix of
@@ -381,9 +403,23 @@ size_t Trace::memoryOpsForSlot(unsigned Slot) const {
   return N;
 }
 
+namespace {
+/// Set by AsyncLogSink around its consumer loop; read by sinks to
+/// classify writes (see isTraceFlusherThread() in EventLog.h).
+thread_local bool TraceFlusherThread = false;
+} // namespace
+
+bool literace::isTraceFlusherThread() { return TraceFlusherThread; }
+
+void literace::setTraceFlusherThread(bool Value) {
+  TraceFlusherThread = Value;
+}
+
 LogSink::~LogSink() = default;
 
 void LogSink::flush() {}
+
+void LogSink::noteLostChunk(ThreadId, size_t) {}
 
 MemorySink::MemorySink(unsigned NumTimestampCounters)
     : NumTimestampCounters(NumTimestampCounters) {}
@@ -533,9 +569,18 @@ bool SegmentedFileSink::writeFrame(ThreadId Tid, const EventRecord *Records,
   return true;
 }
 
+void SegmentedFileSink::noteLostChunk(ThreadId, size_t Count) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Dropped += Count;
+}
+
 void SegmentedFileSink::writeChunk(ThreadId Tid, const EventRecord *Records,
                                    size_t Count) {
   std::lock_guard<std::mutex> Guard(Lock);
+  if (isTraceFlusherThread())
+    ++FlusherWrites;
+  else
+    ++AppWrites;
   if (Failed || Closed || !HeaderOk) {
     Dropped += Count;
     return;
@@ -565,7 +610,7 @@ bool SegmentedFileSink::close() {
   Closed = true;
   bool Sealed = false;
   if (HeaderOk && !Failed) {
-    SegmentFooterPayload Totals{Events, Segments};
+    SegmentFooterPayload Totals{Events, Segments, Dropped};
     Frame.clear();
     Frame.resize(sizeof(SegmentHeader) + sizeof(Totals));
     std::memcpy(Frame.data() + sizeof(SegmentHeader), &Totals,
@@ -590,6 +635,8 @@ bool SegmentedFileSink::close() {
     telemetry::ThreadSlab &Slab = M->threadSlab();
     Slab.add(M->counter("sink.retries"), Retries);
     Slab.add(M->counter("sink.segments_written"), Segments);
+    Slab.add(M->counter("sink.writes.app_thread"), AppWrites);
+    Slab.add(M->counter("sink.writes.flusher_thread"), FlusherWrites);
     if (Dropped)
       Slab.add(M->counter("sink.events_dropped"), Dropped);
   }
@@ -695,7 +742,8 @@ TraceReadResult literace::readTrace(const std::string &Path,
   }
 
   const bool Loss = S.SegmentsDropped != 0 || S.TruncatedTail ||
-                    S.SalvagedHeader || !S.CleanShutdown;
+                    S.SalvagedHeader || !S.CleanShutdown ||
+                    S.EventsDroppedByWriter != 0 || S.FooterTotalsMismatch;
   if (!Loss) {
     Res.Status = TraceReadStatus::Ok;
     return Res;
@@ -711,6 +759,11 @@ TraceReadResult literace::readTrace(const std::string &Path,
     Note += "; file header damaged";
   if (!S.CleanShutdown)
     Note += "; no clean shutdown marker";
+  if (S.EventsDroppedByWriter != 0)
+    Note += "; writer dropped " + std::to_string(S.EventsDroppedByWriter) +
+            " event(s) before they reached the file";
+  if (S.FooterTotalsMismatch)
+    Note += "; footer totals disagree with recovered contents";
   if (Options.Salvage) {
     Res.Status = TraceReadStatus::Salvaged;
     Res.Error = Note;

@@ -41,6 +41,14 @@ namespace telemetry {
 class MetricsRegistry;
 }
 
+/// True on a thread that serves as a dedicated trace flusher (set by
+/// AsyncLogSink around its consumer loop). Sinks use it to classify
+/// writes as application-thread vs flusher-thread in telemetry, which is
+/// how "async mode removes write() calls from application threads" is
+/// verified rather than assumed.
+bool isTraceFlusherThread();
+void setTraceFlusherThread(bool Value);
+
 /// A complete logged execution: one event stream per thread, in program
 /// order, plus the runtime configuration the detector must agree on.
 struct Trace {
@@ -72,6 +80,12 @@ public:
 
   /// Flushes any buffered state (no-op by default).
   virtual void flush();
+
+  /// Tells the sink that \p Count records from thread \p Tid were lost
+  /// upstream before reaching it (e.g. dropped by an AsyncLogSink under
+  /// FlushPolicy::Drop). Durable sinks fold the loss into their own
+  /// accounting so readers see the trace as incomplete; default no-op.
+  virtual void noteLostChunk(ThreadId Tid, size_t Count);
 
   /// Total payload bytes accepted so far.
   uint64_t bytesWritten() const {
@@ -174,6 +188,9 @@ public:
   void writeChunk(ThreadId Tid, const EventRecord *Records,
                   size_t Count) override;
   void flush() override;
+  /// Upstream loss (async Drop policy): folded into eventsDropped(), the
+  /// footer's dropped-event count, and close()'s verdict.
+  void noteLostChunk(ThreadId Tid, size_t Count) override;
 
   /// Seals the footer frame and closes the output. Returns false if any
   /// data was lost to write failures. Idempotent.
@@ -187,8 +204,14 @@ public:
   uint64_t eventsWritten() const { return Events; }
   /// Transient-failure / short-write retries performed.
   uint64_t retries() const { return Retries; }
-  /// Events dropped because the output hard-failed.
+  /// Events dropped because the output hard-failed, plus upstream losses
+  /// reported via noteLostChunk().
   uint64_t eventsDropped() const { return Dropped; }
+  /// writeChunk() calls made by application threads vs dedicated flusher
+  /// threads (isTraceFlusherThread()). In async mode the app count must
+  /// be zero — bench/micro_dispatch --check-async-flush enforces it.
+  uint64_t appThreadWrites() const { return AppWrites; }
+  uint64_t flusherThreadWrites() const { return FlusherWrites; }
 
 private:
   bool writeFrame(ThreadId Tid, const EventRecord *Records, size_t Count);
@@ -206,6 +229,8 @@ private:
   uint64_t Events = 0;
   uint64_t Retries = 0;
   uint64_t Dropped = 0;
+  uint64_t AppWrites = 0;
+  uint64_t FlusherWrites = 0;
   std::vector<uint8_t> Frame;
   std::vector<EventRecord> Slice;
   telemetry::MetricsRegistry *Metrics = nullptr;
@@ -237,6 +262,14 @@ struct TraceReadStats {
   bool CleanShutdown = false;
   /// The file ended inside a frame (producer died mid-write).
   bool TruncatedTail = false;
+  /// v2: events the *writer* itself discarded (write failures or async
+  /// Drop-policy backpressure), as recorded in the footer. These bytes
+  /// never reached the file, so they appear in no other counter; any
+  /// nonzero value makes the read Salvaged.
+  uint64_t EventsDroppedByWriter = 0;
+  /// v2: the footer's totals disagree with what an otherwise-clean read
+  /// recovered — the file was tampered with or mis-assembled.
+  bool FooterTotalsMismatch = false;
   /// The file header itself was damaged and segments were recovered by
   /// scanning (v2 only).
   bool SalvagedHeader = false;

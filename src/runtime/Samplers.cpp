@@ -8,6 +8,7 @@
 
 #include "runtime/ThreadContext.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -75,16 +76,55 @@ GlobalBurstySampler::GlobalBurstySampler(std::string ShortName,
     : Sampler(std::move(ShortName), std::move(Description)),
       Sched(std::move(Sched)) {}
 
+GlobalBurstySampler::~GlobalBurstySampler() {
+  for (std::atomic<SamplerFnState *> &B : Blocks)
+    delete[] B.load(std::memory_order_relaxed);
+}
+
+SamplerFnState &GlobalBurstySampler::stateFor(FunctionId F) {
+  size_t B = F / BlockSize;
+  if (LR_UNLIKELY(B >= MaxBlocks)) {
+    // Beyond the addressable range (4M functions) ids fold into the last
+    // block: the sampler degrades to shared state there instead of
+    // crashing. No real registry gets close.
+    assert(false && "function id beyond GlobalBurstySampler capacity");
+    B = MaxBlocks - 1;
+    F = B * BlockSize + F % BlockSize;
+  }
+  SamplerFnState *Block = Blocks[B].load(std::memory_order_acquire);
+  if (LR_UNLIKELY(!Block)) {
+    std::lock_guard<std::mutex> Guard(GrowthLock);
+    Block = Blocks[B].load(std::memory_order_relaxed);
+    if (!Block) {
+      Block = new SamplerFnState[BlockSize]();
+      // Publish after construction; readers that acquire-load the
+      // pointer see fully zeroed states. Blocks never move or shrink,
+      // so the reference below stays valid for the sampler's lifetime.
+      Blocks[B].store(Block, std::memory_order_release);
+    }
+  }
+  return Block[F % BlockSize];
+}
+
 bool GlobalBurstySampler::shouldSample(ThreadContext &, FunctionId F) {
-  std::lock_guard<std::mutex> Guard(Lock);
-  if (F >= States.size())
-    States.resize(F + 1);
-  return stepBurstySampler(States[F], Sched);
+  SamplerFnState &State = stateFor(F);
+  // Stripe by function id: same function => same mutex => the exact
+  // decision sequence of the single-lock version; different functions
+  // almost always take different stripes and run concurrently.
+  std::lock_guard<std::mutex> Guard(Stripes[F % NumStripes].Lock);
+  return stepBurstySampler(State, Sched);
 }
 
 void GlobalBurstySampler::reset() {
-  std::lock_guard<std::mutex> Guard(Lock);
-  States.clear();
+  // Exclude growth and every stripe so no concurrent shouldSample is
+  // mid-step while its state is zeroed.
+  std::lock_guard<std::mutex> Growth(GrowthLock);
+  std::unique_lock<std::mutex> StripeGuards[NumStripes];
+  for (size_t I = 0; I != NumStripes; ++I)
+    StripeGuards[I] = std::unique_lock<std::mutex>(Stripes[I].Lock);
+  for (std::atomic<SamplerFnState *> &B : Blocks)
+    if (SamplerFnState *Block = B.load(std::memory_order_relaxed))
+      std::fill(Block, Block + BlockSize, SamplerFnState{});
 }
 
 RandomSampler::RandomSampler(std::string ShortName, std::string Description,
@@ -105,7 +145,13 @@ UnColdRegionSampler::UnColdRegionSampler(uint32_t ColdCalls)
 
 bool UnColdRegionSampler::shouldSample(ThreadContext &TC, FunctionId F) {
   SamplerFnState &State = TC.localSamplerState(slot(), F);
-  return State.Calls++ >= ColdCalls;
+  // Decide on the pre-increment count (call #ColdCalls+1 is the first
+  // sampled one), then bump saturating: after 2^32 calls the counter
+  // parks at UINT32_MAX instead of wrapping to 0 and re-classifying a
+  // hot function as cold for another ColdCalls entries.
+  const bool Sampled = State.Calls >= ColdCalls;
+  bumpCallsSaturating(State);
+  return Sampled;
 }
 
 AlwaysSampler::AlwaysSampler() : Sampler("All", "samples every call") {}

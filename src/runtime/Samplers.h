@@ -31,6 +31,7 @@
 #include "support/Compiler.h"
 #include "support/SplitMix64.h"
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -74,6 +75,16 @@ struct AdaptiveSchedule {
   uint32_t gapAfterBurst(uint8_t RateIndex) const;
 };
 
+/// Saturating bump of the frequency counter: Calls parks at UINT32_MAX
+/// instead of wrapping to 0 after 2^32 entries. A wrap would make a
+/// 4-billion-call function look freshly cold again — UnColdRegionSampler
+/// would stop sampling it for ColdCalls entries, and any schedule keyed
+/// off Calls would restart its back-off. Branch-free: the comparison
+/// result (0 or 1) is the increment.
+LR_ALWAYS_INLINE void bumpCallsSaturating(SamplerFnState &State) {
+  State.Calls += (State.Calls != ~uint32_t{0});
+}
+
 /// No-op observer for stepBurstySamplerHooked: compiles away entirely,
 /// leaving the plain state machine.
 struct NoSamplerHooks {
@@ -102,7 +113,7 @@ template <typename HooksT>
 LR_ALWAYS_INLINE bool stepBurstySamplerHooked(SamplerFnState &State,
                                               const AdaptiveSchedule &Sched,
                                               HooksT &&Hooks) {
-  ++State.Calls;
+  bumpCallsSaturating(State);
 
   // Continue an in-progress burst. Unlikely in steady state: once the
   // schedule backs off, gaps outnumber burst calls by orders of magnitude,
@@ -193,18 +204,46 @@ private:
 /// Bursty sampler with per-function state shared across threads (G-Ad,
 /// G-Fx). This is the SWAT-style sampler the paper compares against: a
 /// region hot in any thread is considered hot for all threads.
+///
+/// Concurrency: a single global mutex here serializes *every* function
+/// entry of every thread — a lock convoy that distorts the Table 5
+/// overhead comparison for the G-* samplers. Instead, per-function state
+/// lives in lazily allocated fixed blocks (published once via an atomic
+/// pointer and never moved, so readers need no lock to find a state) and
+/// the state machine itself is guarded by one of NumStripes mutexes keyed
+/// by function id. Entries of the same function still serialize — the
+/// state machine demands it, and that preserves the exact per-function
+/// decision sequence of the single-lock version — but entries of
+/// different functions proceed in parallel with 1/NumStripes collision
+/// probability.
 class GlobalBurstySampler : public Sampler {
 public:
   GlobalBurstySampler(std::string ShortName, std::string Description,
                       AdaptiveSchedule Sched);
+  ~GlobalBurstySampler() override;
 
   bool shouldSample(ThreadContext &TC, FunctionId F) override;
   void reset() override;
 
 private:
+  /// Stripe count: power of two, enough that 8-16 threads rarely collide.
+  static constexpr size_t NumStripes = 64;
+  /// States per lazily-allocated block; blocks never move once published.
+  static constexpr size_t BlockSize = 1024;
+  /// Upper bound on function ids (BlockSize * MaxBlocks = 4M functions).
+  static constexpr size_t MaxBlocks = 4096;
+
+  struct alignas(64) Stripe {
+    std::mutex Lock;
+  };
+
+  /// Returns the state cell for \p F, allocating its block on first use.
+  SamplerFnState &stateFor(FunctionId F);
+
   AdaptiveSchedule Sched;
-  std::mutex Lock;
-  std::vector<SamplerFnState> States;
+  Stripe Stripes[NumStripes];
+  std::mutex GrowthLock;
+  std::atomic<SamplerFnState *> Blocks[MaxBlocks] = {};
 };
 
 /// Samples each dynamic call independently with fixed probability; not

@@ -272,4 +272,45 @@ TEST(ReplaySchedulerTest, DrainAllowingGapsUnblocksStalledStreams) {
   EXPECT_EQ(R.Events.size(), 2u);
 }
 
+TEST(ReplaySchedulerTest, BatchAndIncrementalGapReplayAgreeExactly) {
+  // Regression: the batch path (replayTrace) and the incremental path
+  // (drainAllowingGaps) used to implement gap-skip independently and
+  // could diverge on which counter to advance first. Both now share
+  // findEarliestBlockedEvent, so on the same gapped trace they must
+  // deliver the identical event sequence and count identical gaps.
+  LogBuilder B(16);
+  B.onThread(0).acquire(MutexA).write(0x10, 1);
+  B.skipTimestamps(MutexA, 2); // Gap on A's counter.
+  B.onThread(1).acquire(MutexA).write(0x20, 2).acquire(MutexB);
+  B.skipTimestamps(MutexB, 4); // Deeper gap on B's counter.
+  B.onThread(2).acquire(MutexB).write(0x30, 3);
+  B.skipTimestamps(MutexA); // Second gap on A.
+  B.onThread(0).acquire(MutexA).write(0x40, 4).release(MutexA);
+  Trace T = B.build();
+
+  ReplayOptions Opts;
+  Opts.AllowTimestampGaps = true;
+  GapRecorder Batch;
+  ASSERT_TRUE(replayTrace(T, Batch, Opts));
+
+  ReplayScheduler Sched(T.NumTimestampCounters, Opts);
+  GapRecorder Incremental;
+  for (size_t Tid = 0; Tid != T.PerThread.size(); ++Tid)
+    Sched.addEvents(static_cast<ThreadId>(Tid), T.PerThread[Tid].data(),
+                    T.PerThread[Tid].size());
+  Sched.drainAllowingGaps(Incremental);
+  ASSERT_TRUE(Sched.fullyDrained());
+
+  EXPECT_EQ(Incremental.Gaps, Batch.Gaps);
+  EXPECT_EQ(Sched.timestampGaps(), Batch.Gaps);
+  ASSERT_EQ(Incremental.Events.size(), Batch.Events.size());
+  ASSERT_EQ(Batch.Events.size(), T.totalEvents());
+  for (size_t I = 0; I != Batch.Events.size(); ++I) {
+    EXPECT_EQ(Incremental.Events[I].Tid, Batch.Events[I].Tid) << I;
+    EXPECT_EQ(Incremental.Events[I].Addr, Batch.Events[I].Addr) << I;
+    EXPECT_EQ(Incremental.Events[I].Ts, Batch.Events[I].Ts) << I;
+    EXPECT_EQ(Incremental.Events[I].Kind, Batch.Events[I].Kind) << I;
+  }
+}
+
 } // namespace

@@ -12,6 +12,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 using namespace literace;
 
 namespace {
@@ -89,6 +95,17 @@ TEST(BurstySamplerTest, CallsCounterTracksEveryEntry) {
   for (unsigned I = 0; I != 57; ++I)
     stepBurstySampler(State, Sched);
   EXPECT_EQ(State.Calls, 57u);
+}
+
+TEST(BurstySamplerTest, CallsCounterSaturatesInsteadOfWrapping) {
+  AdaptiveSchedule Sched = AdaptiveSchedule::fixedRate(0.5);
+  SamplerFnState State;
+  State.Calls = ~uint32_t{0} - 2;
+  for (unsigned I = 0; I != 10; ++I)
+    stepBurstySampler(State, Sched);
+  // The frequency counter parks at UINT32_MAX; a wrap to 0 would make a
+  // 4-billion-call function look freshly cold.
+  EXPECT_EQ(State.Calls, ~uint32_t{0});
 }
 
 TEST(BurstySamplerTest, BurstLengthOneDegenerate) {
@@ -227,6 +244,112 @@ TEST_F(SamplerRuntimeTest, UnColdSamplerSkipsFirstTenPerThread) {
   // the function is globally warm.
   ThreadContext TC1(*RT);
   EXPECT_FALSE(S.shouldSample(TC1, F));
+}
+
+TEST_F(SamplerRuntimeTest, UnColdSamplerStaysHotAtCounterWrapBoundary) {
+  unsigned Slot =
+      RT->addSampler(std::make_unique<UnColdRegionSampler>(10));
+  Sampler &S = RT->sampler(Slot);
+  FunctionId F = RT->registry().registerFunction("f");
+  ThreadContext TC(*RT);
+  // Simulate a function entered ~2^32 times: without the saturating
+  // increment the counter wraps to 0 and the next ColdCalls entries are
+  // silently re-classified as cold (unsampled).
+  TC.localSamplerState(Slot, F).Calls = ~uint32_t{0} - 2;
+  for (unsigned I = 0; I != 100; ++I)
+    EXPECT_TRUE(S.shouldSample(TC, F)) << "call " << I << " after 4B";
+  EXPECT_EQ(TC.localSamplerState(Slot, F).Calls, ~uint32_t{0});
+}
+
+TEST_F(SamplerRuntimeTest, GlobalSamplerMatchesReferenceSequence) {
+  // The striped-lock global sampler must make exactly the decisions of
+  // the plain shared state machine, function by function, in any
+  // single-threaded interleaving of functions.
+  AdaptiveSchedule Sched = AdaptiveSchedule::globalDefault();
+  unsigned Slot = RT->addSampler(
+      std::make_unique<GlobalBurstySampler>("G", "test", Sched));
+  Sampler &S = RT->sampler(Slot);
+  ThreadContext TC(*RT);
+  constexpr unsigned NumFns = 129; // Spans several lock stripes.
+  std::vector<FunctionId> Fns;
+  std::vector<SamplerFnState> Reference(NumFns);
+  for (unsigned I = 0; I != NumFns; ++I)
+    Fns.push_back(RT->registry().registerFunction("f" + std::to_string(I)));
+  for (unsigned Round = 0; Round != 2000; ++Round)
+    for (unsigned I = 0; I != NumFns; ++I)
+      EXPECT_EQ(S.shouldSample(TC, Fns[I]),
+                stepBurstySampler(Reference[I], Sched))
+          << "fn " << I << " round " << Round;
+}
+
+TEST_F(SamplerRuntimeTest, GlobalSamplerConcurrentCountIsExact) {
+  // Per-function decisions serialize on the function's stripe, so N total
+  // entries of one function must sample exactly as many calls as the
+  // reference state machine does in N steps — whatever the interleaving.
+  AdaptiveSchedule Sched = AdaptiveSchedule::globalDefault();
+  unsigned Slot = RT->addSampler(
+      std::make_unique<GlobalBurstySampler>("G", "test", Sched));
+  Sampler &S = RT->sampler(Slot);
+  FunctionId F = RT->registry().registerFunction("hot");
+  constexpr unsigned NumThreads = 4;
+  constexpr unsigned CallsPerThread = 25000;
+  std::atomic<unsigned> Sampled{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&] {
+      ThreadContext TC(*RT);
+      unsigned Local = 0;
+      for (unsigned I = 0; I != CallsPerThread; ++I)
+        Local += S.shouldSample(TC, F) ? 1 : 0;
+      Sampled.fetch_add(Local);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  SamplerFnState Reference;
+  unsigned Expected = 0;
+  for (unsigned I = 0; I != NumThreads * CallsPerThread; ++I)
+    Expected += stepBurstySampler(Reference, Sched) ? 1 : 0;
+  EXPECT_EQ(Sampled.load(), Expected);
+}
+
+TEST_F(SamplerRuntimeTest, StandardSamplersConvergeToNominalRates) {
+  // Long-run sampled fraction of each standard fixed-rate sampler lands
+  // on its nominal rate — the guard for gapAfterBurst arithmetic and for
+  // the striped global sampler's bookkeeping.
+  struct Case {
+    const char *Name;
+    double Rate;
+    double Tolerance;
+  };
+  const Case Cases[] = {
+      {"TL-Fx", 0.05, 0.05 * 0.05}, // deterministic: 5% relative
+      {"G-Fx", 0.10, 0.10 * 0.05},  // deterministic: 5% relative
+      {"Rnd10", 0.10, 0.01},        // stochastic: ~18 sd at 300k calls
+      {"Rnd25", 0.25, 0.01},
+  };
+  // All samplers must attach before any ThreadContext exists, so resolve
+  // every case's slot first, then drive them through one context.
+  auto Standard = makeStandardSamplers();
+  std::vector<unsigned> Slots;
+  for (const Case &C : Cases) {
+    auto It = std::find_if(Standard.begin(), Standard.end(), [&](auto &S) {
+      return S && S->shortName() == C.Name;
+    });
+    ASSERT_NE(It, Standard.end()) << C.Name;
+    Slots.push_back(RT->addSampler(std::move(*It)));
+  }
+  ThreadContext TC(*RT);
+  for (size_t I = 0; I != std::size(Cases); ++I) {
+    const Case &C = Cases[I];
+    Sampler &S = RT->sampler(Slots[I]);
+    FunctionId F = RT->registry().registerFunction(C.Name);
+    const unsigned Calls = 300000;
+    unsigned Sampled = 0;
+    for (unsigned K = 0; K != Calls; ++K)
+      Sampled += S.shouldSample(TC, F) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(Sampled) / Calls, C.Rate, C.Tolerance)
+        << C.Name;
+  }
 }
 
 TEST_F(SamplerRuntimeTest, AlwaysAndNeverSamplers) {

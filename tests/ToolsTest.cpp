@@ -380,6 +380,58 @@ TEST(ToolsTest, KilledRunPropagatesTheSignalAndLeavesASalvageableLog) {
   std::remove(Log.c_str());
 }
 
+TEST(ToolsTest, AsyncFlushRunIsCleanAndReportsPipelineStats) {
+  std::string Log = tempLog();
+  auto [RunCode, RunOut] =
+      runCommand(toolPath("literace-run") + " channel " + Log +
+                 " --mode full --scale 0.05 --flush async");
+  ASSERT_EQ(RunCode, 0) << RunOut;
+  EXPECT_NE(RunOut.find("async flush (block)"), std::string::npos)
+      << RunOut;
+  EXPECT_NE(RunOut.find(", 0 dropped,"), std::string::npos) << RunOut;
+
+  // A lossless async run produces a clean, fully-accounted v2 log.
+  auto [FsckCode, FsckOut] =
+      runCommand(toolPath("literace-fsck") + " " + Log);
+  EXPECT_EQ(FsckCode, 0) << FsckOut;
+  EXPECT_NE(FsckOut.find("clean"), std::string::npos);
+  std::remove(Log.c_str());
+  std::remove((Log + ".metrics.json").c_str());
+}
+
+TEST(ToolsTest, KilledAsyncRunStillLeavesASalvageableLog) {
+  // The async acceptance criterion from the crash side: with the flusher
+  // between the app and the file, a SIGKILLed run must still salvage —
+  // losing at most the chunks in flight at the queue, never corrupting
+  // what reached the durable sink.
+  std::string Log = tempLog();
+  auto [RunCode, RunOut] =
+      runCommand(toolPath("literace-run") + " channel " + Log +
+                 " --mode full --scale 1.0 --flush async"
+                 " --kill-after-bytes 120000");
+  EXPECT_EQ(RunCode, 137) << RunOut; // 128 + SIGKILL.
+
+  auto [FsckCode, FsckOut] =
+      runCommand(toolPath("literace-fsck") + " " + Log);
+  EXPECT_EQ(FsckCode, 4) << FsckOut;
+  EXPECT_NE(FsckOut.find("recoverable"), std::string::npos);
+
+  // Detection still works on the salvaged subset.
+  auto [RepCode, RepOut] =
+      runCommand(toolPath("literace-report") + " " + Log + " --quiet");
+  EXPECT_TRUE(RepCode == 0 || RepCode == 3) << RepCode << "\n" << RepOut;
+  EXPECT_NE(RepOut.find("salvaged"), std::string::npos) << RepOut;
+
+  if (const char *Dir = std::getenv("LITERACE_FAULT_ARTIFACT_DIR")) {
+    std::string D(Dir);
+    runCommand("mkdir -p " + D + " && cp " + Log + " " + D +
+               "/killed-async.bin");
+    runCommand(toolPath("literace-fsck") + " " + Log + " --segments > " +
+               D + "/killed-async.fsck.txt");
+  }
+  std::remove(Log.c_str());
+}
+
 TEST(ToolsTest, AbortedRunStillWritesTheMetricsSidecar) {
   std::string Log = tempLog();
   std::string Sidecar = Log + ".metrics.json";

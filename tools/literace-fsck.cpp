@@ -106,6 +106,12 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(S.BytesDropped));
     std::printf("  clean shutdown: %s\n", yesNo(S.CleanShutdown));
     std::printf("  truncated tail: %s\n", yesNo(S.TruncatedTail));
+    if (S.EventsDroppedByWriter != 0)
+      std::printf("  writer dropped: %llu event(s) (write failures or "
+                  "async drop-policy backpressure)\n",
+                  static_cast<unsigned long long>(S.EventsDroppedByWriter));
+    if (S.FooterTotalsMismatch)
+      std::printf("  footer totals:  disagree with recovered contents\n");
     if (S.SalvagedHeader)
       std::printf("  file header:    damaged (segments found by scan)\n");
     for (size_t T = 0; T != S.PerThreadRecovered.size(); ++T) {

@@ -16,6 +16,7 @@
 // Usage:
 //   literace-run <workload> <out.bin> [--mode <mode>] [--scale <x>]
 //                [--seed <n>] [--elide] [--no-elide] [--format v1|v2|v2z]
+//                [--flush sync|async] [--flush-policy block|drop]
 //                [--kill-after-bytes <n>] [--abort-after-bytes <n>]
 //
 //   <workload>  channel-stdlib | channel | concrt-messaging |
@@ -27,6 +28,16 @@
 //   --no-elide  escape hatch: force elision off even with --elide
 //   --format    v2 (default, segmented+checksummed), v2z (segmented with
 //               compressed payloads), v1 (legacy unframed FileSink)
+//   --flush     sync (default): application threads write to the file
+//               sink directly. async: chunks are handed to a bounded
+//               queue and a dedicated flusher thread pays for framing,
+//               compression, and write(2) — app threads never block on
+//               trace I/O (docs/ROBUSTNESS.md)
+//   --flush-policy
+//               with --flush async: block (default, lossless
+//               backpressure) or drop (discard whole chunks when the
+//               queue is full; the loss is accounted in the v2 footer
+//               and surfaces as a salvaged trace)
 //   --kill-after-bytes / --abort-after-bytes
 //               fault injection for the recovery tests: SIGKILL (no
 //               handler can run) or abort() the process once the sink has
@@ -35,6 +46,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/StaticAnalysis.h"
+#include "runtime/AsyncSink.h"
 #include "telemetry/Metrics.h"
 #include "workloads/Workload.h"
 
@@ -93,7 +105,8 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s <workload> <out.bin> [--mode sync|literace|full]\n"
       "          [--scale <x>] [--seed <n>] [--elide] [--no-elide]\n"
-      "          [--format v1|v2|v2z] [--kill-after-bytes <n>]\n"
+      "          [--format v1|v2|v2z] [--flush sync|async]\n"
+      "          [--flush-policy block|drop] [--kill-after-bytes <n>]\n"
       "          [--abort-after-bytes <n>]\n"
       "workloads: channel-stdlib channel concrt-messaging\n"
       "           concrt-scheduling httpd-1 httpd-2 browser-start\n"
@@ -170,6 +183,8 @@ int main(int Argc, char **Argv) {
   std::string OutPath = Argv[2];
   RunMode Mode = RunMode::LiteRace;
   std::string Format = "v2";
+  bool AsyncFlush = false;
+  FlushPolicy Policy = FlushPolicy::Block;
   bool Elide = false;
   bool NoElide = false;
   uint64_t KillAfterBytes = 0;
@@ -194,6 +209,30 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "error: unknown format '%s'\n", Format.c_str());
         return usage(Argv[0]);
       }
+    } else if ((Arg == "--flush" && I + 1 < Argc) ||
+               Arg.rfind("--flush=", 0) == 0) {
+      const std::string Val =
+          Arg[7] == '=' ? Arg.substr(8) : std::string(Argv[++I]);
+      if (Val == "sync") {
+        AsyncFlush = false;
+      } else if (Val == "async") {
+        AsyncFlush = true;
+      } else {
+        std::fprintf(stderr, "error: unknown flush mode '%s'\n",
+                     Val.c_str());
+        return usage(Argv[0]);
+      }
+    } else if (Arg == "--flush-policy" && I + 1 < Argc) {
+      const std::string Val = Argv[++I];
+      if (Val == "block") {
+        Policy = FlushPolicy::Block;
+      } else if (Val == "drop") {
+        Policy = FlushPolicy::Drop;
+      } else {
+        std::fprintf(stderr, "error: unknown flush policy '%s'\n",
+                     Val.c_str());
+        return usage(Argv[0]);
+      }
     } else if (Arg == "--scale" && I + 1 < Argc) {
       Params.Scale = std::atof(Argv[++I]);
     } else if (Arg == "--seed" && I + 1 < Argc) {
@@ -213,6 +252,7 @@ int main(int Argc, char **Argv) {
   // per-thread buffers (docs/ROBUSTNESS.md).
   std::unique_ptr<FileSink> V1;
   std::unique_ptr<SegmentedFileSink> V2;
+  std::unique_ptr<AsyncLogSink> Async;
   LogSink *Sink = nullptr;
   if (Format == "v1") {
     V1 = std::make_unique<FileSink>(OutPath, /*NumTimestampCounters=*/128);
@@ -233,6 +273,16 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     Sink = V2.get();
+  }
+  // The durable sink, as distinct from the front the runtime writes to.
+  // The fault-injection watcher below polls it so --kill-after-bytes
+  // triggers on bytes the file actually accepted, not bytes queued.
+  LogSink *Durable = Sink;
+  if (AsyncFlush) {
+    AsyncLogSink::Options AsyncOpts;
+    AsyncOpts.Policy = Policy;
+    Async = std::make_unique<AsyncLogSink>(*Sink, AsyncOpts);
+    Sink = Async.get();
   }
 
   RuntimeConfig Config;
@@ -260,9 +310,9 @@ int main(int Argc, char **Argv) {
   // or aborts the process once the sink has accepted N payload bytes,
   // mid-run, exactly like a crashing production workload would.
   if (KillAfterBytes != 0 || AbortAfterBytes != 0) {
-    std::thread([Sink, KillAfterBytes, AbortAfterBytes] {
+    std::thread([Durable, KillAfterBytes, AbortAfterBytes] {
       for (;;) {
-        const uint64_t B = Sink->bytesWritten();
+        const uint64_t B = Durable->bytesWritten();
         if (KillAfterBytes != 0 && B >= KillAfterBytes)
           ::kill(::getpid(), SIGKILL);
         if (AbortAfterBytes != 0 && B >= AbortAfterBytes)
@@ -277,11 +327,26 @@ int main(int Argc, char **Argv) {
   W->run(RT, Params);
 
   bool SinkClean = true;
+  if (Async) {
+    // Drain the hand-off queue and retire the flusher before sealing the
+    // durable sink, so the footer covers every accepted chunk.
+    const bool AsyncClean = Async->close();
+    const MpscQueueStats QS = Async->queueStats();
+    std::fprintf(stderr,
+                 "async flush (%s): %llu chunk(s) enqueued, %llu dropped, "
+                 "queue depth high-water %zu, %llu producer park(s)\n",
+                 flushPolicyName(Policy),
+                 static_cast<unsigned long long>(Async->chunksEnqueued()),
+                 static_cast<unsigned long long>(Async->chunksDropped()),
+                 QS.DepthHighWater,
+                 static_cast<unsigned long long>(QS.ProducerParks));
+    SinkClean = AsyncClean;
+  }
   if (V2) {
-    SinkClean = V2->close();
+    SinkClean = V2->close() && SinkClean;
     if (!SinkClean)
       std::fprintf(stderr,
-                   "warning: %llu event(s) lost to write failures "
+                   "warning: %llu event(s) lost before reaching the file "
                    "(%llu retries)\n",
                    static_cast<unsigned long long>(V2->eventsDropped()),
                    static_cast<unsigned long long>(V2->retries()));
