@@ -20,6 +20,10 @@
 // (all durable writes happen on the flusher thread), checked via the
 // sink.writes.* telemetry rather than assumed. Exit 1 on violation.
 //
+// With --json[=PATH] (default BENCH_micro_dispatch.json) a min-of-N
+// ns/call sweep over the four run modes is written as a snapshot JSON so
+// successive PRs can track the dispatch cost (tools/bench-compare).
+//
 //===----------------------------------------------------------------------===//
 
 #include "runtime/AsyncSink.h"
@@ -88,6 +92,57 @@ void dispatchTelemetry(benchmark::State &State) {
   }
   State.SetLabel(TelemetryOn ? "telemetry-on" : "telemetry-off");
   State.SetItemsProcessed(State.iterations());
+}
+
+/// One timing sample: ns/call of the instrumented body under \p Mode.
+double measureModeNs(RunMode Mode) {
+  NullSink Sink;
+  RuntimeConfig Config;
+  Config.Mode = Mode;
+  Runtime RT(Config, Mode >= RunMode::SyncLogging ? &Sink : nullptr);
+  FunctionId F = RT.registry().registerFunction("hot");
+  ThreadContext TC(RT);
+  uint64_t Cells[2] = {};
+  uint64_t I = 0;
+  constexpr uint64_t Calls = 2000000;
+  WallTimer Timer;
+  for (uint64_t K = 0; K != Calls; ++K) {
+    TC.run(F, [&](auto &T) { body(T, Cells, I); });
+    ++I;
+  }
+  return static_cast<double>(Timer.nanoseconds()) /
+         static_cast<double>(Calls);
+}
+
+/// --json[=PATH]: min-of-N ns/call per run mode, written as a snapshot
+/// JSON (same shape as the other bench tools) instead of the gbench run.
+int writeJsonSweep(const std::string &Path) {
+  const RunMode Modes[] = {RunMode::Baseline, RunMode::DispatchOnly,
+                           RunMode::LiteRace, RunMode::FullLogging};
+  constexpr unsigned Trials = 5;
+  double Min[4] = {};
+  for (unsigned M = 0; M != 4; ++M)
+    (void)measureModeNs(Modes[M]); // Warm-up.
+  // Interleaved trials so frequency drift hits every arm equally.
+  for (unsigned T = 0; T != Trials; ++T)
+    for (unsigned M = 0; M != 4; ++M) {
+      const double Ns = measureModeNs(Modes[M]);
+      Min[M] = T == 0 ? Ns : std::min(Min[M], Ns);
+    }
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return 1;
+  }
+  std::fprintf(File, "{\n  \"benchmark\": \"micro_dispatch\",\n"
+                     "  \"unit\": \"ns_per_call\",\n  \"modes\": [\n");
+  for (unsigned M = 0; M != 4; ++M)
+    std::fprintf(File, "    {\"mode\": \"%s\", \"ns_per_call\": %.3f}%s\n",
+                 runModeName(Modes[M]), Min[M], M == 3 ? "" : ",");
+  std::fprintf(File, "  ]\n}\n");
+  std::fclose(File);
+  std::printf("wrote %s\n", Path.c_str());
+  return 0;
 }
 
 /// One timing sample: ns/call of the DispatchOnly check.
@@ -236,6 +291,10 @@ int main(int Argc, char **Argv) {
       return checkTelemetryOverhead();
     if (std::strcmp(Argv[I], "--check-async-flush") == 0)
       return checkAsyncFlush();
+    if (std::strcmp(Argv[I], "--json") == 0)
+      return writeJsonSweep("BENCH_micro_dispatch.json");
+    if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      return writeJsonSweep(Argv[I] + 7);
   }
   benchmark::Initialize(&Argc, Argv);
   if (benchmark::ReportUnrecognizedArguments(Argc, Argv))

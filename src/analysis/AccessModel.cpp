@@ -27,17 +27,33 @@ RoleId AccessModel::declareRole(std::string Name, uint32_t Instances) {
   return static_cast<RoleId>(Roles.size() - 1);
 }
 
+PhaseId AccessModel::declarePhase(std::string Name) {
+  Phases.push_back(std::move(Name));
+  return static_cast<PhaseId>(Phases.size() - 1);
+}
+
+void AccessModel::orderPhases(PhaseId Before, PhaseId After,
+                              PhaseOrderKind Kind) {
+  assert(Before < Phases.size() && "undeclared phase");
+  assert(After < Phases.size() && "undeclared phase");
+  assert(Before != After && "a phase cannot be ordered before itself");
+  Orders.push_back(PhaseOrder{Before, After, Kind});
+}
+
 void AccessModel::declareSite(Pc Site, SiteAccess Access, VarId Var,
                               std::initializer_list<RoleId> SiteRoles,
-                              std::initializer_list<LockId> Held) {
+                              std::initializer_list<LockId> Held,
+                              PhaseId Phase) {
   assert(Var < Vars.size() && "undeclared variable");
   assert(SiteRoles.size() > 0 && "a site needs at least one executing role");
+  assert((Phase == kNoPhase || Phase < Phases.size()) && "undeclared phase");
   SiteDecl D;
   D.Site = Site;
   D.Access = Access;
   D.Var = Var;
   D.Roles.assign(SiteRoles.begin(), SiteRoles.end());
   D.Held.assign(Held.begin(), Held.end());
+  D.Phase = Phase;
 #ifndef NDEBUG
   for (RoleId R : D.Roles)
     assert(R < Roles.size() && "undeclared role");
@@ -45,6 +61,27 @@ void AccessModel::declareSite(Pc Site, SiteAccess Access, VarId Var,
     assert(L < Locks.size() && "undeclared lock");
 #endif
   Decls.push_back(std::move(D));
+}
+
+void AccessModel::declareRegion(std::string Name,
+                                std::initializer_list<Pc> Sites) {
+  assert(Sites.size() > 1 && "a region needs at least two sites");
+#ifndef NDEBUG
+  for (Pc Site : Sites) {
+    bool Declared = false;
+    for (const SiteDecl &D : Decls)
+      Declared |= D.Site == Site;
+    assert(Declared && "region site has no access declaration; declare "
+                       "sites before regions");
+    for (const RegionDecl &R : Regions)
+      for (Pc Existing : R.Sites)
+        assert(Existing != Site && "a site may belong to only one region");
+  }
+#endif
+  RegionDecl R;
+  R.Name = std::move(Name);
+  R.Sites.assign(Sites.begin(), Sites.end());
+  Regions.push_back(std::move(R));
 }
 
 std::vector<Pc> AccessModel::declaredSites() const {
@@ -55,4 +92,43 @@ std::vector<Pc> AccessModel::declaredSites() const {
   std::sort(Sites.begin(), Sites.end());
   Sites.erase(std::unique(Sites.begin(), Sites.end()), Sites.end());
   return Sites;
+}
+
+void AccessModel::weakenDropHeldLock(size_t DeclIdx, size_t HeldIdx) {
+  assert(DeclIdx < Decls.size());
+  std::vector<LockId> &Held = Decls[DeclIdx].Held;
+  assert(HeldIdx < Held.size());
+  Held.erase(Held.begin() + static_cast<ptrdiff_t>(HeldIdx));
+}
+
+void AccessModel::weakenClearPhase(size_t DeclIdx) {
+  assert(DeclIdx < Decls.size());
+  Decls[DeclIdx].Phase = kNoPhase;
+}
+
+void AccessModel::weakenDropPhaseOrder(size_t OrderIdx) {
+  assert(OrderIdx < Orders.size());
+  Orders.erase(Orders.begin() + static_cast<ptrdiff_t>(OrderIdx));
+}
+
+void AccessModel::weakenDropRegionSite(size_t RegionIdx, size_t SiteIdx) {
+  assert(RegionIdx < Regions.size());
+  std::vector<Pc> &Sites = Regions[RegionIdx].Sites;
+  assert(SiteIdx < Sites.size());
+  Sites.erase(Sites.begin() + static_cast<ptrdiff_t>(SiteIdx));
+}
+
+void AccessModel::weakenDropRegion(size_t RegionIdx) {
+  assert(RegionIdx < Regions.size());
+  Regions.erase(Regions.begin() + static_cast<ptrdiff_t>(RegionIdx));
+}
+
+void AccessModel::weakenWidenRole(RoleId R) {
+  assert(R < Roles.size());
+  Roles[R].Instances = std::max(Roles[R].Instances, 2u);
+}
+
+void AccessModel::weakenShareVar(VarId V) {
+  assert(V < Vars.size());
+  Vars[V].Scope = VarScope::Shared;
 }

@@ -9,8 +9,12 @@
 /// Workload::bind() before any thread runs. The model names the abstract
 /// variables a workload touches, the locks it takes, and the thread roles
 /// that execute each site, then records one declaration per (site,
-/// variable) access. The pre-execution analysis pass (StaticAnalysis.h)
-/// consumes this model to prove sites race-free and elide their logging.
+/// variable) access. On top of those per-site facts the model can carry a
+/// happens-before skeleton — named phases ordered by fork/join or barrier
+/// edges, with each declaration tagged by the phase it executes in — and
+/// synchronization-free regions whose dominated duplicate accesses the
+/// redundancy pass may elide. The pre-execution analysis passes
+/// (StaticAnalysis.h) consume this model to prove sites safe to skip.
 ///
 /// The model is a stand-in for what a compiler pass would recover from IR:
 /// the paper's Phoenix instrumentation sees every access site and its
@@ -40,6 +44,12 @@ using VarId = uint32_t;
 using LockId = uint32_t;
 /// Dense identifier of a thread role (producer, consumer, ...).
 using RoleId = uint32_t;
+/// Dense identifier of a declared execution phase.
+using PhaseId = uint32_t;
+
+/// Phase tag meaning "no phase fact is known for this declaration". A
+/// declaration without a phase may-happen-in-parallel with everything.
+constexpr PhaseId kNoPhase = 0xffffffffu;
 
 /// Sharing scope of an abstract variable.
 enum class VarScope : uint8_t {
@@ -54,6 +64,14 @@ enum class VarScope : uint8_t {
 /// Direction of one declared access.
 enum class SiteAccess : uint8_t { Read = 0, Write = 1 };
 
+/// The synchronization that orders one phase entirely before another.
+enum class PhaseOrderKind : uint8_t {
+  /// Thread fork or join: init before spawn, teardown after join.
+  ForkJoin = 0,
+  /// A barrier every participating thread passes between the phases.
+  Barrier = 1,
+};
+
 /// One (site, variable) access declaration.
 struct SiteDecl {
   /// The instrumentation site, as logged by the tracer.
@@ -64,6 +82,27 @@ struct SiteDecl {
   std::vector<RoleId> Roles;
   /// Locks provably held across the access (declared lock scopes).
   std::vector<LockId> Held;
+  /// Phase this access executes in, or kNoPhase when unknown.
+  PhaseId Phase = kNoPhase;
+};
+
+/// An edge of the declared phase order: every access in \p Before
+/// happens-before every access in \p After.
+struct PhaseOrder {
+  PhaseId Before = 0;
+  PhaseId After = 0;
+  PhaseOrderKind Kind = PhaseOrderKind::ForkJoin;
+};
+
+/// A synchronization-free region: a straight-line run of sites executed in
+/// the listed program order by one thread with no synchronization between
+/// them, where (per variable) every listed site touches the same address
+/// within one activation and an earlier site always executes when a later
+/// one does. Under that contract only the first read and first write of
+/// each variable matter for race detection; later ones are redundant.
+struct RegionDecl {
+  std::string Name;
+  std::vector<Pc> Sites;
 };
 
 /// The full static model of one workload's instrumentation sites.
@@ -79,28 +118,77 @@ public:
   /// Declares a thread role with \p Instances concurrent executors.
   RoleId declareRole(std::string Name, uint32_t Instances = 1);
 
+  /// Declares a named execution phase for the MHP pass.
+  PhaseId declarePhase(std::string Name);
+
+  /// Declares that every access tagged \p Before happens-before every
+  /// access tagged \p After, ordered by \p Kind synchronization. The
+  /// relation is transitive; the MHP pass computes the closure.
+  void orderPhases(PhaseId Before, PhaseId After,
+                   PhaseOrderKind Kind = PhaseOrderKind::ForkJoin);
+
   /// Declares that \p Site accesses \p Var with direction \p Access, run
-  /// by \p Roles, holding \p Held. A site touching several variables gets
-  /// one declaration per variable.
+  /// by \p Roles, holding \p Held, during \p Phase (kNoPhase when no
+  /// phase fact is claimed). A site touching several variables gets one
+  /// declaration per variable.
   void declareSite(Pc Site, SiteAccess Access, VarId Var,
                    std::initializer_list<RoleId> Roles,
-                   std::initializer_list<LockId> Held = {});
+                   std::initializer_list<LockId> Held = {},
+                   PhaseId Phase = kNoPhase);
+
+  /// Declares a synchronization-free region over \p Sites (in program
+  /// order). Every listed site must already have a declaration, and a
+  /// site may belong to at most one region.
+  void declareRegion(std::string Name, std::initializer_list<Pc> Sites);
 
   bool empty() const { return Decls.empty(); }
   size_t numVars() const { return Vars.size(); }
   size_t numLocks() const { return Locks.size(); }
   size_t numRoles() const { return Roles.size(); }
+  size_t numPhases() const { return Phases.size(); }
+  size_t numRegions() const { return Regions.size(); }
 
   const std::vector<SiteDecl> &declarations() const { return Decls; }
+  const std::vector<PhaseOrder> &phaseOrders() const { return Orders; }
+  const std::vector<RegionDecl> &regions() const { return Regions; }
 
   const std::string &varName(VarId V) const { return Vars[V].Name; }
   VarScope varScope(VarId V) const { return Vars[V].Scope; }
   const std::string &lockName(LockId L) const { return Locks[L]; }
   const std::string &roleName(RoleId R) const { return Roles[R].Name; }
   uint32_t roleInstances(RoleId R) const { return Roles[R].Instances; }
+  const std::string &phaseName(PhaseId P) const { return Phases[P]; }
 
   /// Distinct declared site Pcs, sorted.
   std::vector<Pc> declaredSites() const;
+
+  /// \name Monotone weakenings (conservatism fuzzer)
+  /// Each mutator removes or weakens ONE declared fact. Removing a fact
+  /// must never let the analysis elide more: these are exactly the
+  /// mutations ModelMutation.h applies to check that every pass uses
+  /// declarations conservatively. (Deleting a whole SiteDecl is NOT
+  /// monotone — dropping a variable's only write makes it read-only —
+  /// so there is deliberately no mutator for it.)
+  /// @{
+
+  /// Forgets that declaration \p DeclIdx holds its \p HeldIdx-th lock.
+  void weakenDropHeldLock(size_t DeclIdx, size_t HeldIdx);
+  /// Forgets declaration \p DeclIdx's phase tag (resets to kNoPhase).
+  void weakenClearPhase(size_t DeclIdx);
+  /// Forgets the \p OrderIdx-th phase-order edge.
+  void weakenDropPhaseOrder(size_t OrderIdx);
+  /// Forgets that the \p SiteIdx-th site of region \p RegionIdx belongs
+  /// to it (the remaining sites keep their relative program order).
+  void weakenDropRegionSite(size_t RegionIdx, size_t SiteIdx);
+  /// Forgets region \p RegionIdx entirely.
+  void weakenDropRegion(size_t RegionIdx);
+  /// Weakens role \p R from a single instance to two (its sites can no
+  /// longer be proven single-threaded).
+  void weakenWidenRole(RoleId R);
+  /// Weakens variable \p V from PerThread to Shared scope.
+  void weakenShareVar(VarId V);
+
+  /// @}
 
 private:
   struct VarInfo {
@@ -115,6 +203,9 @@ private:
   std::vector<VarInfo> Vars;
   std::vector<std::string> Locks;
   std::vector<RoleInfo> Roles;
+  std::vector<std::string> Phases;
+  std::vector<PhaseOrder> Orders;
+  std::vector<RegionDecl> Regions;
   std::vector<SiteDecl> Decls;
 };
 

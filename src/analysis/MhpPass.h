@@ -1,0 +1,62 @@
+//===-- analysis/MhpPass.h - Static may-happen-in-parallel pass -*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static MHP (may-happen-in-parallel) pass. It consumes the declared
+/// happens-before skeleton of an AccessModel — named phases connected by
+/// fork/join or barrier order edges, with each SiteDecl tagged by the
+/// phase it executes in — and proves a variable race-free when every
+/// conflicting pair of its declarations (at least one write) cannot run
+/// concurrently. A pair is discharged when
+///
+///   - the two declarations carry distinct phases that the transitive
+///     phase order relates (in either direction): every access of the
+///     earlier phase happens-before every access of the later one;
+///   - the union of the two declarations' roles is a single role with one
+///     instance: a lone thread executes both sites, so program order
+///     serializes them (this also discharges a write site against
+///     itself); or
+///   - the declarations share a held lock: the lock's release/acquire
+///     edges order the pair even when phases cannot (a pairwise check —
+///     strictly more precise than the lockset pass's global
+///     intersection, since different pairs may be ordered by different
+///     locks or mechanisms).
+///
+/// Accesses tagged kNoPhase may happen in parallel with everything, so a
+/// missing phase fact can only prevent the phase discharge, never enable
+/// it — deleting declarations keeps the pass conservative, which the
+/// model-mutation fuzzer (ModelMutation.h) checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_ANALYSIS_MHPPASS_H
+#define LITERACE_ANALYSIS_MHPPASS_H
+
+#include "analysis/AccessModel.h"
+
+#include <string>
+#include <vector>
+
+namespace literace {
+
+/// Outcome of trying to prove one variable race-free by MHP reasoning.
+struct MhpProof {
+  bool Proven = false;
+  /// Justification when proven ("4 conflicting pair(s): ...").
+  std::string Why;
+  /// The first undischarged conflicting pair when not proven, for
+  /// --explain reports.
+  std::string Obstacle;
+};
+
+/// Tries to prove the variable whose declarations are \p Decls race-free
+/// under \p M's phase skeleton. Never consults verdicts of other passes.
+MhpProof proveMhpFree(const AccessModel &M,
+                      const std::vector<const SiteDecl *> &Decls);
+
+} // namespace literace
+
+#endif // LITERACE_ANALYSIS_MHPPASS_H

@@ -1,0 +1,153 @@
+//===-- analysis/ModelMutation.cpp - Conservatism fuzzer ------------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ModelMutation.h"
+
+#include "analysis/StaticAnalysis.h"
+#include "support/SplitMix64.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+using namespace literace;
+
+namespace {
+
+/// One applicable weakening of the model's current state. Candidates are
+/// re-enumerated after every application because indices shift.
+struct Candidate {
+  enum Kind : uint8_t {
+    DropHeldLock,
+    ClearPhase,
+    DropPhaseOrder,
+    DropRegionSite,
+    DropRegion,
+    WidenRole,
+    ShareVar,
+  } Kind = DropHeldLock;
+  size_t A = 0;
+  size_t B = 0;
+};
+
+std::vector<Candidate> enumerateCandidates(const AccessModel &M) {
+  std::vector<Candidate> Out;
+  const std::vector<SiteDecl> &Decls = M.declarations();
+  for (size_t I = 0; I != Decls.size(); ++I) {
+    for (size_t H = 0; H != Decls[I].Held.size(); ++H)
+      Out.push_back({Candidate::DropHeldLock, I, H});
+    if (Decls[I].Phase != kNoPhase)
+      Out.push_back({Candidate::ClearPhase, I, 0});
+  }
+  for (size_t I = 0; I != M.phaseOrders().size(); ++I)
+    Out.push_back({Candidate::DropPhaseOrder, I, 0});
+  const std::vector<RegionDecl> &Regions = M.regions();
+  for (size_t R = 0; R != Regions.size(); ++R) {
+    Out.push_back({Candidate::DropRegion, R, 0});
+    for (size_t S = 0; S != Regions[R].Sites.size(); ++S)
+      Out.push_back({Candidate::DropRegionSite, R, S});
+  }
+  for (RoleId R = 0; R != M.numRoles(); ++R)
+    if (M.roleInstances(R) == 1)
+      Out.push_back({Candidate::WidenRole, R, 0});
+  for (VarId V = 0; V != M.numVars(); ++V)
+    if (M.varScope(V) == VarScope::PerThread)
+      Out.push_back({Candidate::ShareVar, V, 0});
+  return Out;
+}
+
+void apply(AccessModel &M, const Candidate &C) {
+  switch (C.Kind) {
+  case Candidate::DropHeldLock:
+    M.weakenDropHeldLock(C.A, C.B);
+    break;
+  case Candidate::ClearPhase:
+    M.weakenClearPhase(C.A);
+    break;
+  case Candidate::DropPhaseOrder:
+    M.weakenDropPhaseOrder(C.A);
+    break;
+  case Candidate::DropRegionSite:
+    M.weakenDropRegionSite(C.A, C.B);
+    break;
+  case Candidate::DropRegion:
+    M.weakenDropRegion(C.A);
+    break;
+  case Candidate::WidenRole:
+    M.weakenWidenRole(static_cast<RoleId>(C.A));
+    break;
+  case Candidate::ShareVar:
+    M.weakenShareVar(static_cast<VarId>(C.A));
+    break;
+  }
+}
+
+std::string describe(const AccessModel &M, const Candidate &C) {
+  switch (C.Kind) {
+  case Candidate::DropHeldLock:
+    return "drop held lock #" + std::to_string(C.B) + " of declaration #" +
+           std::to_string(C.A);
+  case Candidate::ClearPhase:
+    return "clear phase of declaration #" + std::to_string(C.A);
+  case Candidate::DropPhaseOrder:
+    return "drop phase-order edge #" + std::to_string(C.A);
+  case Candidate::DropRegionSite:
+    return "drop site #" + std::to_string(C.B) + " of region '" +
+           M.regions()[C.A].Name + "'";
+  case Candidate::DropRegion:
+    return "drop region '" + M.regions()[C.A].Name + "'";
+  case Candidate::WidenRole:
+    return "widen role '" + M.roleName(static_cast<RoleId>(C.A)) + "'";
+  case Candidate::ShareVar:
+    return "share variable '" + M.varName(static_cast<VarId>(C.A)) + "'";
+  }
+  return "?";
+}
+
+} // namespace
+
+MutationFuzzResult literace::fuzzModelConservatism(const AccessModel &M,
+                                                   size_t Trials,
+                                                   size_t MaxMutations,
+                                                   uint64_t Seed) {
+  MutationFuzzResult Result;
+  std::vector<Pc> BaseVec = analyzeAccessModel(M).Policy.elidableSites();
+  std::set<Pc> Baseline(BaseVec.begin(), BaseVec.end());
+
+  SplitMix64 Rng(Seed);
+  for (size_t Trial = 0; Trial != Trials; ++Trial) {
+    AccessModel Mutant = M;
+    std::vector<std::string> Applied;
+    size_t Wanted = 1 + Rng.nextBelow(MaxMutations);
+    for (size_t Step = 0; Step != Wanted; ++Step) {
+      std::vector<Candidate> Candidates = enumerateCandidates(Mutant);
+      if (Candidates.empty())
+        break;
+      const Candidate &C = Candidates[Rng.nextBelow(Candidates.size())];
+      Applied.push_back(describe(Mutant, C));
+      apply(Mutant, C);
+      ++Result.MutationsApplied;
+    }
+    ++Result.Trials;
+
+    for (Pc Site : analyzeAccessModel(Mutant).Policy.elidableSites()) {
+      if (Baseline.count(Site))
+        continue;
+      ++Result.Violations;
+      if (Result.FirstViolation.empty()) {
+        std::string Sequence;
+        for (const std::string &S : Applied)
+          Sequence += (Sequence.empty() ? "" : "; ") + S;
+        Result.FirstViolation =
+            "trial " + std::to_string(Trial) + ": weakening [" + Sequence +
+            "] made site " + std::to_string(pcFunction(Site)) + ":" +
+            std::to_string(pcSite(Site)) + " newly elidable";
+      }
+      break;
+    }
+  }
+  return Result;
+}

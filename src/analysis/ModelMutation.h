@@ -1,0 +1,63 @@
+//===-- analysis/ModelMutation.h - Conservatism fuzzer ---------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The model-mutation conservatism fuzzer. The analysis engine's safety
+/// story rests on one invariant: every pass treats a declaration as a FACT
+/// it may exploit, never as an obligation — so FORGETTING a fact can only
+/// shrink what the analysis proves. The fuzzer checks exactly that: it
+/// applies random sequences of monotone weakenings to a copy of an
+/// AccessModel (drop a held lock, clear a phase tag, drop a phase-order
+/// edge, shrink or drop a region, widen a single-instance role, share a
+/// per-thread variable) and asserts that the mutated model's elidable-site
+/// set is a SUBSET of the original's. Any new elidable site means a pass
+/// used the absence of a declaration as evidence — an unsoundness the
+/// seeded-race audit might only catch on a lucky interleaving, but the
+/// fuzzer catches structurally.
+///
+/// Deleting a whole SiteDecl is deliberately NOT a mutation: removing a
+/// variable's only write genuinely makes it read-only, so whole-site
+/// deletion is not monotone and says nothing about conservatism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_ANALYSIS_MODELMUTATION_H
+#define LITERACE_ANALYSIS_MODELMUTATION_H
+
+#include "analysis/AccessModel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace literace {
+
+/// Outcome of one fuzzing campaign over one model.
+struct MutationFuzzResult {
+  /// Mutated models checked.
+  size_t Trials = 0;
+  /// Individual weakenings applied across all trials.
+  size_t MutationsApplied = 0;
+  /// Trials where the mutated model elided a site the original did not —
+  /// must be zero for a conservative analysis.
+  size_t Violations = 0;
+  /// Human-readable description of the first violation, if any.
+  std::string FirstViolation;
+
+  bool passed() const { return Violations == 0; }
+};
+
+/// Runs \p Trials random weakening sequences (1..MaxMutations each) over
+/// copies of \p M, comparing each mutant's elidable-site set against the
+/// original's. Deterministic for a fixed \p Seed.
+MutationFuzzResult fuzzModelConservatism(const AccessModel &M,
+                                         size_t Trials = 64,
+                                         size_t MaxMutations = 4,
+                                         uint64_t Seed = 0x117e7ace5eedULL);
+
+} // namespace literace
+
+#endif // LITERACE_ANALYSIS_MODELMUTATION_H

@@ -1,0 +1,63 @@
+//===-- analysis/RedundancyPass.cpp - Redundant-check elimination ---------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RedundancyPass.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace literace;
+
+RedundancyResult literace::findRedundantSites(const AccessModel &M) {
+  RedundancyResult Result;
+
+  // Group declarations by site once; regions reference sites by Pc.
+  std::map<Pc, std::vector<const SiteDecl *>> BySite;
+  for (const SiteDecl &D : M.declarations())
+    BySite[D.Site].push_back(&D);
+
+  std::set<Pc> Marked;
+  for (const RegionDecl &Region : M.regions()) {
+    RegionRedundancy Detail;
+    Detail.Region = Region.Name;
+
+    // Walk the region in program order, tracking which variables it has
+    // already read or written.
+    std::set<VarId> SeenRead, SeenWrite;
+    for (Pc Site : Region.Sites) {
+      auto It = BySite.find(Site);
+      if (It == BySite.end())
+        continue; // No declarations (e.g. weakened by the fuzzer): skip.
+
+      // The site is dominated only if EVERY declaration at it is.
+      bool AllDominated = true;
+      for (const SiteDecl *D : It->second) {
+        bool Dominated =
+            D->Access == SiteAccess::Read
+                ? (SeenRead.count(D->Var) != 0 || SeenWrite.count(D->Var) != 0)
+                : SeenWrite.count(D->Var) != 0;
+        AllDominated &= Dominated;
+      }
+      if (AllDominated) {
+        Detail.Redundant.push_back(Site);
+        Marked.insert(Site);
+      }
+
+      // Only now does this site's own access count as "seen".
+      for (const SiteDecl *D : It->second) {
+        if (D->Access == SiteAccess::Read)
+          SeenRead.insert(D->Var);
+        else
+          SeenWrite.insert(D->Var);
+      }
+    }
+    Result.PerRegion.push_back(std::move(Detail));
+  }
+
+  Result.RedundantSites.assign(Marked.begin(), Marked.end());
+  return Result;
+}

@@ -1,0 +1,65 @@
+//===-- analysis/RedundancyPass.h - Redundant-check elimination -*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The redundancy-elimination pass. Within a declared synchronization-free
+/// region (AccessModel::declareRegion) the executing thread's vector clock
+/// cannot change, so for race detection only the FIRST read and the FIRST
+/// write of each variable matter: any concurrent access that races with a
+/// later duplicate also races with the first one, at the same reported
+/// site pair granularity once the duplicate's family membership is
+/// accounted for. The pass walks each region in program order and marks a
+/// site Redundant when every declaration at the site is dominated:
+///
+///   - a read is dominated once the region already read OR wrote the
+///     variable (a prior write subsumes a prior read for reads);
+///   - a write is dominated only once the region already WROTE the
+///     variable — a write after only reads is NOT redundant, because a
+///     write conflicts with concurrent reads that a read does not.
+///
+/// Unlike every other pass, redundancy elides sites of variables that are
+/// NOT race-free: the dominating earlier site still logs, so detection
+/// keeps one access per (variable, direction) per region activation. A
+/// racy variable's first site in a region can never itself be elided
+/// RaceFree (that would require the variable to be race-free) nor
+/// Redundant (nothing dominates it), so the chain always bottoms out at a
+/// logged access.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_ANALYSIS_REDUNDANCYPASS_H
+#define LITERACE_ANALYSIS_REDUNDANCYPASS_H
+
+#include "analysis/AccessModel.h"
+
+#include <string>
+#include <vector>
+
+namespace literace {
+
+/// One region's contribution, for reports.
+struct RegionRedundancy {
+  /// Region name as declared.
+  std::string Region;
+  /// Sites of this region proven dominated (in region program order).
+  std::vector<Pc> Redundant;
+};
+
+/// Result of the redundancy walk over every declared region.
+struct RedundancyResult {
+  /// Distinct dominated sites across all regions, sorted.
+  std::vector<Pc> RedundantSites;
+  /// Per-region detail, in declaration order.
+  std::vector<RegionRedundancy> PerRegion;
+};
+
+/// Walks \p M's declared regions and returns the dominated duplicate
+/// sites. Independent of variable verdicts by design.
+RedundancyResult findRedundantSites(const AccessModel &M);
+
+} // namespace literace
+
+#endif // LITERACE_ANALYSIS_REDUNDANCYPASS_H

@@ -8,7 +8,19 @@
 
 using namespace literace;
 
-void SitePolicy::markElidable(Pc Site) {
+const char *literace::elisionClassName(ElisionClass C) {
+  switch (C) {
+  case ElisionClass::None:
+    return "none";
+  case ElisionClass::RaceFree:
+    return "race-free";
+  case ElisionClass::Redundant:
+    return "redundant";
+  }
+  return "?";
+}
+
+void SitePolicy::markElidable(Pc Site, ElisionClass Class) {
   FunctionId F = pcFunction(Site);
   uint32_t Label = pcSite(Site);
   if (F >= PerFunction.size())
@@ -21,11 +33,27 @@ void SitePolicy::markElidable(Pc Site) {
   if (!(Words[Word] & Bit)) {
     Words[Word] |= Bit;
     ++Count;
+    Classes[Site] = Class;
+    if (Class == ElisionClass::Redundant)
+      ++RedundantCount;
+    return;
+  }
+  // Re-marking: RaceFree beats Redundant (the stronger, region-independent
+  // reason). A Redundant re-mark of a RaceFree site changes nothing.
+  ElisionClass &Existing = Classes[Site];
+  if (Existing == ElisionClass::Redundant && Class == ElisionClass::RaceFree) {
+    Existing = ElisionClass::RaceFree;
+    --RedundantCount;
   }
 }
 
 bool SitePolicy::elidable(Pc Site) const {
   return view(pcFunction(Site)).test(pcSite(Site));
+}
+
+ElisionClass SitePolicy::elisionClass(Pc Site) const {
+  auto It = Classes.find(Site);
+  return It == Classes.end() ? ElisionClass::None : It->second;
 }
 
 std::vector<Pc> SitePolicy::elidableSites() const {
@@ -52,6 +80,8 @@ uint64_t SitePolicy::fingerprint() const {
       Hash ^= (Site >> (8 * Byte)) & 0xff;
       Hash *= 0x100000001b3ULL;
     }
+    Hash ^= static_cast<uint8_t>(elisionClass(Site));
+    Hash *= 0x100000001b3ULL;
   }
   return Hash;
 }

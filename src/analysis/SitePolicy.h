@@ -5,10 +5,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The output of the static analysis pass: the set of instrumentation
+/// The output of the static analysis passes: the set of instrumentation
 /// sites whose logging is proven unnecessary. Stored as one bitset of site
 /// labels per function so the tracer's hot path can test a site with two
-/// loads and a shift (ElideView), no hashing.
+/// loads and a shift (ElideView), no hashing. Each elided site also
+/// carries an elision class on the cold path: RaceFree sites touch only
+/// variables proven race-free, Redundant sites are dominated duplicates
+/// inside a synchronization-free region (the variable itself may still be
+/// racy — an earlier site in the region already logs the access that
+/// matters). Both classes drop the record the same way at runtime; the
+/// class distinction feeds reports, the policy fingerprint, and the
+/// per-pass audit.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,9 +25,24 @@
 #include "runtime/Ids.h"
 
 #include <cstddef>
+#include <map>
 #include <vector>
 
 namespace literace {
+
+/// Why a site may skip logging.
+enum class ElisionClass : uint8_t {
+  /// Not elidable (the default for any unmarked site).
+  None = 0,
+  /// Every variable the site touches is proven race-free.
+  RaceFree = 1,
+  /// Dominated duplicate access in a synchronization-free region; an
+  /// earlier non-elided site already logs the first read/write.
+  Redundant = 2,
+};
+
+/// Report label for an elision class.
+const char *elisionClassName(ElisionClass C);
 
 /// Zero-cost view of one function's elidable-site bitset, captured by
 /// LoggingTracer once per activation. An empty view (no policy installed,
@@ -35,14 +57,19 @@ struct ElideView {
   }
 };
 
-/// The set of sites proven race-free by the pre-execution analysis.
+/// The set of sites the pre-execution analysis proved safe to skip.
 class SitePolicy {
 public:
-  /// Marks \p Site as elidable. Idempotent.
-  void markElidable(Pc Site);
+  /// Marks \p Site as elidable with reason \p Class. Idempotent; if a
+  /// site is marked under both classes the stronger RaceFree claim wins
+  /// (it elides for a reason independent of any region contract).
+  void markElidable(Pc Site, ElisionClass Class = ElisionClass::RaceFree);
 
-  /// True if \p Site was marked elidable.
+  /// True if \p Site was marked elidable (either class).
   bool elidable(Pc Site) const;
+
+  /// The class \p Site was marked under, or None.
+  ElisionClass elisionClass(Pc Site) const;
 
   /// View of function \p F's bitset; valid while the policy is alive.
   ElideView view(FunctionId F) const {
@@ -54,19 +81,24 @@ public:
 
   bool empty() const { return Count == 0; }
   size_t numElidableSites() const { return Count; }
+  /// Number of sites elided as Redundant (the rest are RaceFree).
+  size_t numRedundantSites() const { return RedundantCount; }
 
   /// All elidable site Pcs, sorted.
   std::vector<Pc> elidableSites() const;
 
-  /// Stable FNV-1a hash of the sorted elidable-site set; recorded in the
-  /// log's policy-metadata record so a trace names the policy it was
-  /// produced under.
+  /// Stable FNV-1a hash over the sorted (site, class) pairs; recorded in
+  /// the log's policy-metadata record so a trace names the policy it was
+  /// produced under. Changing a site's class changes the fingerprint.
   uint64_t fingerprint() const;
 
 private:
   /// PerFunction[F] is a bitset over site labels of function F.
   std::vector<std::vector<uint64_t>> PerFunction;
+  /// Cold-path class per elided site; hot-path tests never consult it.
+  std::map<Pc, ElisionClass> Classes;
   size_t Count = 0;
+  size_t RedundantCount = 0;
 };
 
 } // namespace literace

@@ -6,6 +6,8 @@
 
 #include "analysis/StaticAnalysis.h"
 
+#include "analysis/MhpPass.h"
+#include "analysis/RedundancyPass.h"
 #include "runtime/Runtime.h"
 
 #include <algorithm>
@@ -24,77 +26,193 @@ const char *literace::verdictName(VarVerdictKind Kind) {
     return "read-only";
   case VarVerdictKind::LockConsistent:
     return "lock-consistent";
+  case VarVerdictKind::PhaseOrdered:
+    return "phase-ordered";
   }
   return "?";
 }
 
+const char *literace::passName(AnalysisPass P) {
+  switch (P) {
+  case AnalysisPass::ThreadEscape:
+    return "thread-escape";
+  case AnalysisPass::ReadOnly:
+    return "read-only";
+  case AnalysisPass::Lockset:
+    return "lockset";
+  case AnalysisPass::Mhp:
+    return "mhp";
+  case AnalysisPass::Redundancy:
+    return "redundancy";
+  }
+  return "?";
+}
+
+bool AnalysisOptions::enabled(AnalysisPass P) const {
+  switch (P) {
+  case AnalysisPass::ThreadEscape:
+    return ThreadEscape;
+  case AnalysisPass::ReadOnly:
+    return ReadOnly;
+  case AnalysisPass::Lockset:
+    return Lockset;
+  case AnalysisPass::Mhp:
+    return Mhp;
+  case AnalysisPass::Redundancy:
+    return Redundancy;
+  }
+  return false;
+}
+
+void AnalysisOptions::set(AnalysisPass P, bool Value) {
+  switch (P) {
+  case AnalysisPass::ThreadEscape:
+    ThreadEscape = Value;
+    break;
+  case AnalysisPass::ReadOnly:
+    ReadOnly = Value;
+    break;
+  case AnalysisPass::Lockset:
+    Lockset = Value;
+    break;
+  case AnalysisPass::Mhp:
+    Mhp = Value;
+    break;
+  case AnalysisPass::Redundancy:
+    Redundancy = Value;
+    break;
+  }
+}
+
+AnalysisOptions AnalysisOptions::allExcept(AnalysisPass P) {
+  AnalysisOptions Opts;
+  Opts.set(P, false);
+  return Opts;
+}
+
+AnalysisOptions AnalysisOptions::none() {
+  AnalysisOptions Opts;
+  for (size_t I = 0; I != kNumAnalysisPasses; ++I)
+    Opts.set(static_cast<AnalysisPass>(I), false);
+  return Opts;
+}
+
 namespace {
 
-/// Classifies one variable given all of its declarations.
+/// Classifies one variable given all of its declarations, trying the
+/// enabled race-freedom passes in priority order. Every attempted pass
+/// leaves a note; the first proof wins.
 VarVerdict classifyVar(const AccessModel &M, VarId Var,
-                       const std::vector<const SiteDecl *> &Decls) {
+                       const std::vector<const SiteDecl *> &Decls,
+                       const AnalysisOptions &Opts) {
   VarVerdict Verdict;
   Verdict.Var = Var;
 
-  // Thread-escape, trivial form: each thread owns a fresh instance.
-  if (M.varScope(Var) == VarScope::PerThread) {
-    Verdict.Kind = VarVerdictKind::ThreadLocal;
-    Verdict.Why = "per-thread scope: each instance belongs to one thread";
-    return Verdict;
-  }
+  auto Note = [&](AnalysisPass P, const std::string &Text) {
+    Verdict.PassNotes.push_back(std::string(passName(P)) + ": " + Text);
+  };
+  auto Prove = [&](AnalysisPass P, VarVerdictKind Kind,
+                   const std::string &Why) {
+    Verdict.Kind = Kind;
+    Verdict.ProvedBy = P;
+    Verdict.Why = Why;
+    Note(P, "PROVED — " + Why);
+  };
 
-  // Thread-escape, role form: every site runs under one single-instance
-  // role, so exactly one thread ever touches the variable.
-  std::set<RoleId> TouchingRoles;
-  for (const SiteDecl *D : Decls)
-    TouchingRoles.insert(D->Roles.begin(), D->Roles.end());
-  if (TouchingRoles.size() == 1 &&
-      M.roleInstances(*TouchingRoles.begin()) == 1) {
-    Verdict.Kind = VarVerdictKind::ThreadLocal;
-    Verdict.Why = "only touched by role '" +
-                  M.roleName(*TouchingRoles.begin()) + "' (1 instance)";
+  // Thread-escape: trivial form (each thread owns a fresh instance) or
+  // role form (every site runs under one single-instance role).
+  if (!Opts.ThreadEscape) {
+    Note(AnalysisPass::ThreadEscape, "disabled");
+  } else if (M.varScope(Var) == VarScope::PerThread) {
+    Prove(AnalysisPass::ThreadEscape, VarVerdictKind::ThreadLocal,
+          "per-thread scope: each instance belongs to one thread");
     return Verdict;
+  } else {
+    std::set<RoleId> TouchingRoles;
+    for (const SiteDecl *D : Decls)
+      TouchingRoles.insert(D->Roles.begin(), D->Roles.end());
+    if (TouchingRoles.size() == 1 &&
+        M.roleInstances(*TouchingRoles.begin()) == 1) {
+      Prove(AnalysisPass::ThreadEscape, VarVerdictKind::ThreadLocal,
+            "only touched by role '" + M.roleName(*TouchingRoles.begin()) +
+                "' (1 instance)");
+      return Verdict;
+    }
+    if (TouchingRoles.size() == 1)
+      Note(AnalysisPass::ThreadEscape,
+           "role '" + M.roleName(*TouchingRoles.begin()) + "' has " +
+               std::to_string(M.roleInstances(*TouchingRoles.begin())) +
+               " instances");
+    else
+      Note(AnalysisPass::ThreadEscape,
+           "touched by " + std::to_string(TouchingRoles.size()) +
+               " roles; escapes its thread");
   }
 
   // Read-only: no write site anywhere.
-  bool AnyWrite = false;
+  size_t Writes = 0;
   for (const SiteDecl *D : Decls)
-    AnyWrite |= D->Access == SiteAccess::Write;
-  if (!AnyWrite) {
-    Verdict.Kind = VarVerdictKind::ReadOnly;
-    Verdict.Why = "no write site declared across " +
-                  std::to_string(Decls.size()) + " declaration(s)";
+    Writes += D->Access == SiteAccess::Write ? 1 : 0;
+  if (!Opts.ReadOnly) {
+    Note(AnalysisPass::ReadOnly, "disabled");
+  } else if (Writes == 0) {
+    Prove(AnalysisPass::ReadOnly, VarVerdictKind::ReadOnly,
+          "no write site declared across " + std::to_string(Decls.size()) +
+              " declaration(s)");
     return Verdict;
+  } else {
+    Note(AnalysisPass::ReadOnly,
+         std::to_string(Writes) + " write site(s) declared");
   }
 
   // Lockset consistency: a common lock across every site.
-  std::set<LockId> Common(Decls.front()->Held.begin(),
-                          Decls.front()->Held.end());
-  for (const SiteDecl *D : Decls) {
-    std::set<LockId> Held(D->Held.begin(), D->Held.end());
-    std::set<LockId> Next;
-    std::set_intersection(Common.begin(), Common.end(), Held.begin(),
-                          Held.end(), std::inserter(Next, Next.begin()));
-    Common.swap(Next);
-    if (Common.empty())
-      break;
+  if (!Opts.Lockset) {
+    Note(AnalysisPass::Lockset, "disabled");
+  } else {
+    std::set<LockId> Common(Decls.front()->Held.begin(),
+                            Decls.front()->Held.end());
+    for (const SiteDecl *D : Decls) {
+      std::set<LockId> Held(D->Held.begin(), D->Held.end());
+      std::set<LockId> Next;
+      std::set_intersection(Common.begin(), Common.end(), Held.begin(),
+                            Held.end(), std::inserter(Next, Next.begin()));
+      Common.swap(Next);
+      if (Common.empty())
+        break;
+    }
+    if (!Common.empty()) {
+      Prove(AnalysisPass::Lockset, VarVerdictKind::LockConsistent,
+            "every site holds lock '" + M.lockName(*Common.begin()) + "'");
+      Verdict.CommonLock = *Common.begin();
+      return Verdict;
+    }
+    Note(AnalysisPass::Lockset,
+         "no common lock across " + std::to_string(Decls.size()) +
+             " declaration(s)");
   }
-  if (!Common.empty()) {
-    Verdict.Kind = VarVerdictKind::LockConsistent;
-    Verdict.CommonLock = *Common.begin();
-    Verdict.Why =
-        "every site holds lock '" + M.lockName(*Common.begin()) + "'";
-    return Verdict;
+
+  // Static MHP: every conflicting pair ordered by the phase skeleton, a
+  // pairwise lock, or a single executing thread.
+  if (!Opts.Mhp) {
+    Note(AnalysisPass::Mhp, "disabled");
+  } else {
+    MhpProof Proof = proveMhpFree(M, Decls);
+    if (Proof.Proven) {
+      Prove(AnalysisPass::Mhp, VarVerdictKind::PhaseOrdered, Proof.Why);
+      return Verdict;
+    }
+    Note(AnalysisPass::Mhp, Proof.Obstacle);
   }
 
   Verdict.Kind = VarVerdictKind::Racy;
-  Verdict.Why = "escapes its thread, is written, and shares no common lock";
+  Verdict.Why = "no enabled pass proves the variable race-free";
   return Verdict;
 }
 
 } // namespace
 
-AnalysisResult literace::analyzeAccessModel(const AccessModel &M) {
+AnalysisResult literace::analyzeAccessModel(const AccessModel &M,
+                                            const AnalysisOptions &Opts) {
   AnalysisResult Result;
 
   // Group declarations by variable.
@@ -108,13 +226,15 @@ AnalysisResult literace::analyzeAccessModel(const AccessModel &M) {
       // Declared but never accessed: nothing to elide, nothing to prove.
       Result.Vars[Var].Var = Var;
       Result.Vars[Var].Kind = VarVerdictKind::ReadOnly;
+      Result.Vars[Var].ProvedBy = AnalysisPass::ReadOnly;
       Result.Vars[Var].Why = "no access site declared";
       continue;
     }
-    Result.Vars[Var] = classifyVar(M, Var, ByVar[Var]);
+    Result.Vars[Var] = classifyVar(M, Var, ByVar[Var], Opts);
   }
 
-  // A site is elidable only if every variable it touches is race-free.
+  // A site is elidable RaceFree only if every variable it touches is
+  // race-free.
   std::map<Pc, bool> SiteSafe;
   for (const SiteDecl &D : M.declarations()) {
     bool VarSafe = Result.Vars[D.Var].Kind != VarVerdictKind::Racy;
@@ -124,10 +244,19 @@ AnalysisResult literace::analyzeAccessModel(const AccessModel &M) {
   }
   for (const auto &[Site, Safe] : SiteSafe)
     if (Safe)
-      Result.Policy.markElidable(Site);
+      Result.Policy.markElidable(Site, ElisionClass::RaceFree);
+
+  // Redundancy: dominated duplicates inside sync-free regions join the
+  // policy under the weaker Redundant class (markElidable keeps RaceFree
+  // when a site qualifies for both).
+  if (Opts.Redundancy) {
+    RedundancyResult Redundant = findRedundantSites(M);
+    for (Pc Site : Redundant.RedundantSites)
+      Result.Policy.markElidable(Site, ElisionClass::Redundant);
+  }
 
   // Per-variable elided-site counts (a site shared with a racy variable
-  // counts for neither).
+  // counts for neither unless redundancy dropped it).
   for (VarId Var = 0; Var != M.numVars(); ++Var) {
     std::set<Pc> Elided;
     for (const SiteDecl *D : ByVar[Var])
@@ -138,7 +267,20 @@ AnalysisResult literace::analyzeAccessModel(const AccessModel &M) {
 
   Result.DeclaredSites = SiteSafe.size();
   Result.ElidableSites = Result.Policy.numElidableSites();
+  Result.RedundantSites = Result.Policy.numRedundantSites();
   return Result;
+}
+
+std::vector<Pc> literace::passAttribution(const AccessModel &M,
+                                          AnalysisPass P) {
+  std::vector<Pc> Full = analyzeAccessModel(M).Policy.elidableSites();
+  std::vector<Pc> Without =
+      analyzeAccessModel(M, AnalysisOptions::allExcept(P))
+          .Policy.elidableSites();
+  std::vector<Pc> Credit;
+  std::set_difference(Full.begin(), Full.end(), Without.begin(),
+                      Without.end(), std::back_inserter(Credit));
+  return Credit;
 }
 
 AnalysisResult literace::analyzeAndInstall(Runtime &RT) {

@@ -5,9 +5,9 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The pre-execution static-analysis pass. Before any workload thread
-/// runs, it classifies every declared variable with three analyses, in
-/// priority order:
+/// The pre-execution static-analysis engine. Before any workload thread
+/// runs, it classifies every declared variable with four race-freedom
+/// passes, in priority order:
 ///
 ///   thread-escape     the variable never escapes one thread: either its
 ///                     scope is PerThread (a fresh instance per thread),
@@ -16,14 +16,26 @@
 ///   read-only         no site anywhere writes the variable;
 ///   lockset           every site of the variable holds a common lock
 ///                     (non-empty intersection of declared held-lock
-///                     sets).
+///                     sets);
+///   mhp               every conflicting pair of the variable's accesses
+///                     is ordered by the declared phase skeleton, a
+///                     pairwise common lock, or a single executing thread
+///                     (MhpPass.h).
 ///
-/// A variable passing any analysis cannot participate in a race, so its
-/// sites need no logging: the detector only misses races on pairs that
-/// cannot exist. A site is elided only if EVERY variable it is declared
-/// against is proven race-free, and undeclared sites are never elided —
-/// both directions keep the pass conservative, which the soundness audit
-/// (harness/ElisionExperiment.h) verifies against the seeded-race ground
+/// A variable passing any pass cannot participate in a race, so its sites
+/// need no logging: the detector only misses races on pairs that cannot
+/// exist. A site is elided RaceFree only if EVERY variable it is declared
+/// against is proven race-free, and undeclared sites are never elided.
+///
+/// A fifth pass — redundancy elimination (RedundancyPass.h) — elides
+/// dominated duplicate sites inside declared synchronization-free regions
+/// under the Redundant class, without needing the variable race-free.
+///
+/// Each pass can be disabled independently (AnalysisOptions), which is how
+/// the differential audit attributes every elided site to the one pass
+/// that proved it, and how the conservatism fuzzer checks monotonicity.
+/// The soundness audit (harness/ElisionExperiment.h, literace-analyze
+/// --audit) verifies every configuration against the seeded-race ground
 /// truth.
 ///
 //===----------------------------------------------------------------------===//
@@ -42,12 +54,45 @@ namespace literace {
 
 class Runtime;
 
+/// The analysis passes, in verdict priority order (first proof wins for
+/// the race-freedom passes; Redundancy is site- not variable-directed).
+enum class AnalysisPass : uint8_t {
+  ThreadEscape = 0,
+  ReadOnly,
+  Lockset,
+  Mhp,
+  Redundancy,
+};
+
+constexpr size_t kNumAnalysisPasses = 5;
+
+/// Short pass name for flags and reports ("thread-escape", "mhp", ...).
+const char *passName(AnalysisPass P);
+
+/// Which passes an analysis run may use. Default: all of them.
+struct AnalysisOptions {
+  bool ThreadEscape = true;
+  bool ReadOnly = true;
+  bool Lockset = true;
+  bool Mhp = true;
+  bool Redundancy = true;
+
+  bool enabled(AnalysisPass P) const;
+  void set(AnalysisPass P, bool Value);
+
+  /// All passes on except \p P — one leg of the differential audit.
+  static AnalysisOptions allExcept(AnalysisPass P);
+  /// Every pass disabled (build up with set()).
+  static AnalysisOptions none();
+};
+
 /// Outcome of the per-variable classification, in verdict priority order.
 enum class VarVerdictKind : uint8_t {
   Racy = 0,       ///< No analysis applies; all sites keep logging.
-  ThreadLocal,    ///< Proven by the thread-escape analysis.
-  ReadOnly,       ///< Proven by the read-only analysis.
-  LockConsistent, ///< Proven by the lockset-consistency analysis.
+  ThreadLocal,    ///< Proven by the thread-escape pass.
+  ReadOnly,       ///< Proven by the read-only pass.
+  LockConsistent, ///< Proven by the lockset-consistency pass.
+  PhaseOrdered,   ///< Proven by the static MHP pass.
 };
 
 /// Human-readable verdict name for reports.
@@ -57,10 +102,17 @@ const char *verdictName(VarVerdictKind Kind);
 struct VarVerdict {
   VarId Var = 0;
   VarVerdictKind Kind = VarVerdictKind::Racy;
+  /// The pass that proved the verdict; meaningless while Kind == Racy.
+  AnalysisPass ProvedBy = AnalysisPass::ThreadEscape;
   /// The common lock, when Kind == LockConsistent.
   LockId CommonLock = 0;
   /// One-line justification ("no write site declared", ...).
   std::string Why;
+  /// One note per attempted pass, in pass order, recording what it
+  /// concluded ("lockset: no common lock across 3 sites") — the proof
+  /// chain literace-analyze --explain prints. Passes after the winning
+  /// one are not attempted.
+  std::vector<std::string> PassNotes;
   /// Distinct sites of this variable that ended up elidable.
   size_t SitesElided = 0;
 };
@@ -74,13 +126,22 @@ struct AnalysisResult {
   size_t DeclaredSites = 0;
   /// Distinct sites proven elidable (== Policy.numElidableSites()).
   size_t ElidableSites = 0;
+  /// Subset of ElidableSites elided as Redundant rather than RaceFree.
+  size_t RedundantSites = 0;
 };
 
-/// Runs the three analyses over \p M and computes the elision policy.
-AnalysisResult analyzeAccessModel(const AccessModel &M);
+/// Runs the enabled passes over \p M and computes the elision policy.
+AnalysisResult analyzeAccessModel(const AccessModel &M,
+                                  const AnalysisOptions &Opts = {});
 
-/// Convenience: analyzes \p RT's access model (populated by bind()) and
-/// installs the resulting policy into the runtime. Honors
+/// Differential attribution: the sites elidable under the full analysis
+/// that stop being elidable when \p P is disabled — the elision only \p P
+/// proves. Disabling a pass can never ADD elidable sites (each pass only
+/// contributes proofs), so this difference is the pass's exact credit.
+std::vector<Pc> passAttribution(const AccessModel &M, AnalysisPass P);
+
+/// Convenience: analyzes \p RT's access model (populated by bind()) with
+/// all passes and installs the resulting policy into the runtime. Honors
 /// RuntimeConfig::DisableElision. Returns the analysis result either way.
 AnalysisResult analyzeAndInstall(Runtime &RT);
 

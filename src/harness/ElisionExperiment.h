@@ -23,6 +23,7 @@
 #ifndef LITERACE_HARNESS_ELISIONEXPERIMENT_H
 #define LITERACE_HARNESS_ELISIONEXPERIMENT_H
 
+#include "analysis/StaticAnalysis.h"
 #include "workloads/Workload.h"
 
 #include <string>
@@ -30,13 +31,36 @@
 
 namespace literace {
 
+/// Differential credit for one analysis pass on one benchmark: what the
+/// full analysis elides that stops being elidable when this pass is
+/// disabled, plus an independent soundness audit of that ablated
+/// configuration against the same full trace.
+struct PassAblation {
+  AnalysisPass Pass = AnalysisPass::ThreadEscape;
+  /// Sites only this pass proves (passAttribution).
+  size_t SitesAttributed = 0;
+  /// Memory records of the full trace at those sites — the log volume
+  /// this pass alone removes.
+  uint64_t RecordsAttributed = 0;
+  /// The log-reduction percentage points credited to this pass
+  /// (RecordsAttributed / FullMemRecords).
+  double ReductionPoints = 0.0;
+  /// Audit of the all-except-this-pass configuration: true iff no seeded
+  /// family detected on the full trace is lost and replay stays
+  /// consistent. Must hold for EVERY ablation, not just the full policy.
+  bool Sound = true;
+};
+
 /// One benchmark row of the elision-effectiveness study.
 struct ElisionRow {
   std::string Benchmark;
   /// Analysis summary: sites declared in the access model, and how many
-  /// of them the three analyses proved race-free.
+  /// of them the analysis passes proved elidable.
   size_t DeclaredSites = 0;
   size_t ElidableSites = 0;
+  /// Subset of ElidableSites elided as Redundant (dominated duplicates in
+  /// sync-free regions) rather than RaceFree.
+  size_t RedundantSites = 0;
   /// Memory records in one full (unsampled, unelided) log of the run, and
   /// how many of them the policy removes.
   uint64_t FullMemRecords = 0;
@@ -56,6 +80,9 @@ struct ElisionRow {
   size_t FamiliesFiltered = 0;
   bool Sound = true;
   bool LogConsistent = true;
+  /// Per-pass differential attribution over the same full trace, one
+  /// entry per AnalysisPass in pass order.
+  std::vector<PassAblation> Ablations;
 
   /// Fraction of full-log memory records the policy elides.
   double logReduction() const {

@@ -90,8 +90,9 @@ enum class EventKind : uint8_t {
   Free = 8,
   /// Policy-metadata marker written once at the head of a log produced
   /// under an elision policy: Addr is the policy fingerprint, Pc the
-  /// number of elided sites (see docs/LOG_FORMAT.md). Carries no
-  /// timestamp and creates no happens-before edge; detectors ignore it.
+  /// number of elided sites, Ts the subset elided as Redundant rather
+  /// than RaceFree (see docs/LOG_FORMAT.md). Creates no happens-before
+  /// edge; detectors ignore it.
   PolicyMeta = 9,
 };
 

@@ -88,6 +88,7 @@ void Runtime::installSitePolicy(SitePolicy NewPolicy) {
     R.Kind = EventKind::PolicyMeta;
     R.Addr = Policy.fingerprint();
     R.Pc = Policy.numElidableSites();
+    R.Ts = Policy.numRedundantSites();
     Sink->writeChunk(0, &R, 1);
   }
 }

@@ -151,9 +151,11 @@ void BrowserWorkload::declareModel(AccessModel &M) {
                 StyleCache, {Layout}, {StyleLock});
 
   // Box tree: race-free in the program (main builds it before the fork,
-  // the workers reflow disjoint halves, fork/join orders everything), but
-  // that is a partitioning fact none of the three analyses can express —
-  // shared, written, no common lock. Declared honestly; logging is kept.
+  // the workers reflow disjoint halves, fork/join orders everything).
+  // Even the phase-aware MHP pass cannot express the disjoint-halves
+  // partitioning — the workers' steady-state writes share a phase, a
+  // role with two instances, and no lock — so it stays the honest canary:
+  // shared, written, unprovable; logging is kept.
   const VarId Boxes = M.declareVar("browser.boxes");
   M.declareSite(P(FnBuildNode, SiteNodeInit), SiteAccess::Write, Boxes,
                 {Main});
@@ -201,6 +203,8 @@ void BrowserWorkload::declareModel(AccessModel &M) {
                 {Service});
   M.declareSite(P(FnLoadItem, SiteProgressWrite), SiteAccess::Write,
                 Progress, {Service});
+  M.declareSite(P(FnLoadItem, SiteProgressRecheck), SiteAccess::Read,
+                Progress, {Service});
   M.declareSite(P(FnUiProgress, SiteUiProgress), SiteAccess::Read, Progress,
                 {Ui});
   const VarId LastComponent = M.declareVar("browser.last-component");
@@ -226,6 +230,8 @@ void BrowserWorkload::declareModel(AccessModel &M) {
                 BoxesDone, {Layout});
   M.declareSite(P(FnReflowBox, SiteBoxesDoneWrite), SiteAccess::Write,
                 BoxesDone, {Layout});
+  M.declareSite(P(FnReflowBox, SiteBoxesDoneRecheck), SiteAccess::Read,
+                BoxesDone, {Layout});
   M.declareSite(P(FnUiProgress, SiteUiBoxesDone), SiteAccess::Read,
                 BoxesDone, {Ui});
   const VarId LastStyle = M.declareVar("render.last-style");
@@ -244,6 +250,18 @@ void BrowserWorkload::declareModel(AccessModel &M) {
   const VarId FinishStamp = M.declareVar("render.finish-stamp");
   M.declareSite(P(FnWorkerFinish, SiteFinishStampWrite), SiteAccess::Write,
                 FinishStamp, {Layout});
+
+  // Sync-free regions over the slot-counter blocks: each recheck re-reads
+  // the address the block just read and wrote with no synchronization in
+  // between, so the redundancy pass elides it (the variables stay racy).
+  M.declareRegion("svc.progress-block",
+                  {P(FnLoadItem, SiteProgressRead),
+                   P(FnLoadItem, SiteProgressWrite),
+                   P(FnLoadItem, SiteProgressRecheck)});
+  M.declareRegion("layout.boxes-done-block",
+                  {P(FnReflowBox, SiteBoxesDoneRead),
+                   P(FnReflowBox, SiteBoxesDoneWrite),
+                   P(FnReflowBox, SiteBoxesDoneRecheck)});
 }
 
 void BrowserWorkload::uiMain(ThreadContext &TC, SharedState &S) {
@@ -333,6 +351,9 @@ void BrowserWorkload::serviceMain(ThreadContext &TC, SharedState &S,
       unsigned Slot = TC.tid() & 7u;
       uint64_t N = T.load(&S.ProgressSlots[Slot], SiteProgressRead);
       T.store(&S.ProgressSlots[Slot], N + 1, SiteProgressWrite);
+      // Redundant recheck in the same sync-free region: elided by the
+      // redundancy pass (the read above already logged this address).
+      (void)T.load(&S.ProgressSlots[Slot], SiteProgressRecheck);
     });
 
     // Register the component (properly locked) + racy diagnostics.
@@ -437,6 +458,9 @@ void BrowserWorkload::layoutMain(ThreadContext &TC, SharedState &S,
       unsigned Slot = TC.tid() & 7u;
       uint64_t N = T.load(&S.BoxesDoneSlots[Slot], SiteBoxesDoneRead);
       T.store(&S.BoxesDoneSlots[Slot], N + 1, SiteBoxesDoneWrite);
+      // Redundant recheck (see svc.loadItem): elided by the redundancy
+      // pass.
+      (void)T.load(&S.BoxesDoneSlots[Slot], SiteBoxesDoneRecheck);
       // RACE (rare-in-hot, render-overflow-mark): a single box in the
       // whole tree triggers the overflow diagnostic.
       if (B == 5)
@@ -582,7 +606,7 @@ std::vector<SeededRaceSpec> BrowserWorkload::seededRaces() const {
         false);
     Add("browser-progress",
         {P(FnLoadItem, SiteProgressRead), P(FnLoadItem, SiteProgressWrite),
-         P(FnUiProgress, SiteUiProgress)},
+         P(FnLoadItem, SiteProgressRecheck), P(FnUiProgress, SiteUiProgress)},
         true);
     Add("browser-last-component",
         {P(FnRegister, SiteLastComponentWrite),
@@ -603,6 +627,7 @@ std::vector<SeededRaceSpec> BrowserWorkload::seededRaces() const {
     Add("render-boxes-done",
         {P(FnReflowBox, SiteBoxesDoneRead),
          P(FnReflowBox, SiteBoxesDoneWrite),
+         P(FnReflowBox, SiteBoxesDoneRecheck),
          P(FnUiProgress, SiteUiBoxesDone)},
         true);
     Add("render-last-style",

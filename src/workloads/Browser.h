@@ -52,6 +52,7 @@ public:
     SiteScratchStore = 21,
     SiteProgressRead = 22,
     SiteProgressWrite = 23,
+    SiteProgressRecheck = 24,
     // reg.registerComponent
     SiteRegistryKeyWrite = 40,
     SiteRegistryValWrite = 41,
@@ -90,6 +91,7 @@ public:
     SiteBoxesDoneWrite = 164,
     SiteOverflowWrite = 165,
     SiteFirstPaintWrite = 166,
+    SiteBoxesDoneRecheck = 167,
     // layout.measureText
     SiteGlyphLoad = 180,
     SiteMeasureWrite = 181,

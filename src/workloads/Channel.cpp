@@ -92,54 +92,72 @@ void ChannelWorkload::declareModel(AccessModel &M) {
   constexpr auto Rd = SiteAccess::Read;
   constexpr auto Wr = SiteAccess::Write;
 
+  // Happens-before skeleton: the setup loop runs before any worker is
+  // forked, and the final teardown block runs after every join. The
+  // stop-flag store lives in FnTeardown but executes while the reporter
+  // is still running, so it is tagged steady, NOT teardown — phases
+  // describe the synchronization structure, not source layout.
+  const PhaseId Init = M.declarePhase("init");
+  const PhaseId Steady = M.declarePhase("steady");
+  const PhaseId Teardown = M.declarePhase("teardown");
+  M.orderPhases(Init, Steady, PhaseOrderKind::ForkJoin);
+  M.orderPhases(Steady, Teardown, PhaseOrderKind::ForkJoin);
+
   // Queue cursors: every site runs inside the queue lock, so the lockset
   // analysis elides them. Push runs on producers plus the main thread
   // (sentinels); pop on consumers plus the drainer.
   const VarId Tail = M.declareVar("chan.tail");
   M.declareSite(P(FnPush, SiteTailRead), Rd, Tail, {Producer, Main},
-                {QueueLock});
+                {QueueLock}, Steady);
   M.declareSite(P(FnPush, SiteTailWrite), Wr, Tail, {Producer, Main},
-                {QueueLock});
+                {QueueLock}, Steady);
   const VarId Head = M.declareVar("chan.head");
   M.declareSite(P(FnPop, SiteHeadRead), Rd, Head, {Consumer, Drainer},
-                {QueueLock});
+                {QueueLock}, Steady);
   M.declareSite(P(FnPop, SiteHeadWrite), Wr, Head, {Consumer, Drainer},
-                {QueueLock});
+                {QueueLock}, Steady);
 
-  // The ring itself would be lock-consistent too, but the setup loop
-  // clears the slots before the lock discipline starts, so the analysis
-  // must keep all three sites.
+  // The ring: the setup loop clears the slots before the lock discipline
+  // starts, so the lockset analysis alone cannot prove it. The MHP pass
+  // can: the init-phase stores are fork-ordered before every steady
+  // access, and the steady pairs share the queue lock.
   const VarId Ring = M.declareVar("chan.ring");
   M.declareSite(P(FnPush, SiteRingWrite), Wr, Ring, {Producer, Main},
-                {QueueLock});
+                {QueueLock}, Steady);
   M.declareSite(P(FnPop, SiteRingRead), Rd, Ring, {Consumer, Drainer},
-                {QueueLock});
-  M.declareSite(P(FnSetup, SiteSetupInit), Wr, Ring, {Main});
+                {QueueLock}, Steady);
+  M.declareSite(P(FnSetup, SiteSetupInit), Wr, Ring, {Main}, {}, Init);
 
-  // Validated-item aggregate: consistently guarded inside consume, but the
-  // teardown check reads it bare (ordered by the joins — a fork/join fact
-  // none of the three analyses can express), so it stays logged.
+  // Validated-item aggregate: consistently guarded inside consume, and
+  // the bare teardown check is join-ordered after every consumer — a
+  // fork/join fact the phase skeleton expresses, so the MHP pass elides
+  // the consume sites (the teardown site still logs: it shares a Pc with
+  // the racy final-total check).
   const VarId Validated = M.declareVar("chan.validated-items");
   M.declareSite(P(FnConsume, SiteValidRead), Rd, Validated, {Consumer},
-                {StatsLock});
+                {StatsLock}, Steady);
   M.declareSite(P(FnConsume, SiteValidWrite), Wr, Validated, {Consumer},
-                {StatsLock});
-  M.declareSite(P(FnTeardown, SiteFinalTotalCheck), Rd, Validated, {Main});
+                {StatsLock}, Steady);
+  M.declareSite(P(FnTeardown, SiteFinalTotalCheck), Rd, Validated, {Main},
+                {}, Teardown);
 
   // Record fields cross the producer/consumer boundary through the
-  // channel; the handoff ordering is real but not lock-shaped, so they
-  // stay logged (conservative).
+  // channel; the handoff ordering is real but neither lock-shaped nor
+  // phase-shaped (producers and consumers share the steady phase), so
+  // they stay logged (conservative).
   const VarId RecFields = M.declareVar("chan.record-fields");
-  M.declareSite(P(FnProduce, SiteRecSeqWrite), Wr, RecFields, {Producer});
+  M.declareSite(P(FnProduce, SiteRecSeqWrite), Wr, RecFields, {Producer},
+                {}, Steady);
   M.declareSite(P(FnProduce, SiteRecChecksumWrite), Wr, RecFields,
-                {Producer});
+                {Producer}, {}, Steady);
   M.declareSite(P(FnProduce, SiteRecOversizeWrite), Wr, RecFields,
-                {Producer});
-  M.declareSite(P(FnConsume, SiteRecSeqRead), Rd, RecFields, {Consumer});
+                {Producer}, {}, Steady);
+  M.declareSite(P(FnConsume, SiteRecSeqRead), Rd, RecFields, {Consumer}, {},
+                Steady);
   M.declareSite(P(FnConsume, SiteRecChecksumRead), Rd, RecFields,
-                {Consumer});
+                {Consumer}, {}, Steady);
   M.declareSite(P(FnConsume, SiteRecOversizeRead), Rd, RecFields,
-                {Consumer});
+                {Consumer}, {}, Steady);
 
   // Payload folds: in the plain configuration no instrumented site ever
   // writes the payload bytes (the stdlib's fill runs uninstrumented), so
@@ -155,49 +173,78 @@ void ChannelWorkload::declareModel(AccessModel &M) {
   }
 
   // Seeded racy diagnostics: declared honestly so the analysis proves
-  // nothing about them and every site keeps logging.
+  // nothing about them and every keeper site keeps logging. The steady
+  // phase tags are honest too — the conflicting pairs all share the
+  // steady phase, so the MHP pass cannot discharge them.
   const VarId Tuning = M.declareVar("chan.tuning-hint");
-  M.declareSite(P(FnTune, SiteTuneWrite), Wr, Tuning, {Main});
-  M.declareSite(P(FnProduce, SiteTuningRead), Rd, Tuning, {Producer});
+  M.declareSite(P(FnTune, SiteTuneWrite), Wr, Tuning, {Main}, {}, Steady);
+  M.declareSite(P(FnProduce, SiteTuningRead), Rd, Tuning, {Producer}, {},
+                Steady);
 
   const VarId FinalTotal = M.declareVar("chan.final-total");
   M.declareSite(P(FnFinishProducer, SiteFinalTotalWrite), Wr, FinalTotal,
-                {Producer});
-  M.declareSite(P(FnTeardown, SiteFinalTotalCheck), Rd, FinalTotal, {Main});
+                {Producer}, {}, Steady);
+  M.declareSite(P(FnTeardown, SiteFinalTotalCheck), Rd, FinalTotal, {Main},
+                {}, Teardown);
 
   const VarId Heartbeat = M.declareVar("chan.reporter-heartbeat");
-  M.declareSite(P(FnPoll, SiteHeartbeatWrite), Wr, Heartbeat, {Reporter});
-  M.declareSite(P(FnDrain, SiteHeartbeatRead), Rd, Heartbeat, {Drainer});
+  M.declareSite(P(FnPoll, SiteHeartbeatWrite), Wr, Heartbeat, {Reporter},
+                {}, Steady);
+  M.declareSite(P(FnDrain, SiteHeartbeatRead), Rd, Heartbeat, {Drainer}, {},
+                Steady);
 
   const VarId Oversize = M.declareVar("chan.oversize-seq");
   M.declareSite(P(FnPush, SiteOversizeWrite), Wr, Oversize,
-                {Producer, Main});
-  M.declareSite(P(FnPoll, SiteOversizeRead), Rd, Oversize, {Reporter});
+                {Producer, Main}, {}, Steady);
+  M.declareSite(P(FnPoll, SiteOversizeRead), Rd, Oversize, {Reporter}, {},
+                Steady);
 
+  // The stop store runs in FnTeardown while the reporter still polls:
+  // steady phase, hence the write/read pair stays undischarged (seeded
+  // channel-stop-flag).
   const VarId Stop = M.declareVar("chan.stop-flag");
-  M.declareSite(P(FnTeardown, SiteStopWrite), Wr, Stop, {Main});
-  M.declareSite(P(FnPoll, SiteStopRead), Rd, Stop, {Reporter});
-  M.declareSite(P(FnSetup, SiteSetupInit), Wr, Stop, {Main});
+  M.declareSite(P(FnTeardown, SiteStopWrite), Wr, Stop, {Main}, {}, Steady);
+  M.declareSite(P(FnPoll, SiteStopRead), Rd, Stop, {Reporter}, {}, Steady);
+  M.declareSite(P(FnSetup, SiteSetupInit), Wr, Stop, {Main}, {}, Init);
 
   const VarId PushCounts = M.declareVar("chan.push-counts");
   M.declareSite(P(FnPush, SitePushCountRead), Rd, PushCounts,
-                {Producer, Main});
+                {Producer, Main}, {}, Steady);
   M.declareSite(P(FnPush, SitePushCountWrite), Wr, PushCounts,
-                {Producer, Main});
-  M.declareSite(P(FnPoll, SitePollPushCount), Rd, PushCounts, {Reporter});
+                {Producer, Main}, {}, Steady);
+  M.declareSite(P(FnPush, SitePushCountRecheck), Rd, PushCounts,
+                {Producer, Main}, {}, Steady);
+  M.declareSite(P(FnPoll, SitePollPushCount), Rd, PushCounts, {Reporter},
+                {}, Steady);
 
   const VarId PopCounts = M.declareVar("chan.pop-counts");
   M.declareSite(P(FnPop, SitePopCountRead), Rd, PopCounts,
-                {Consumer, Drainer});
+                {Consumer, Drainer}, {}, Steady);
   M.declareSite(P(FnPop, SitePopCountWrite), Wr, PopCounts,
-                {Consumer, Drainer});
-  M.declareSite(P(FnPoll, SitePollPopCount), Rd, PopCounts, {Reporter});
+                {Consumer, Drainer}, {}, Steady);
+  M.declareSite(P(FnPop, SitePopCountRecheck), Rd, PopCounts,
+                {Consumer, Drainer}, {}, Steady);
+  M.declareSite(P(FnPoll, SitePollPopCount), Rd, PopCounts, {Reporter}, {},
+                Steady);
 
   const VarId LastSize = M.declareVar("chan.last-push-size");
   M.declareSite(P(FnPush, SiteLastSizeWrite), Wr, LastSize,
-                {Producer, Main});
-  M.declareSite(P(FnPoll, SitePollLastSize), Rd, LastSize, {Reporter});
-  M.declareSite(P(FnSetup, SiteSetupInit), Wr, LastSize, {Main});
+                {Producer, Main}, {}, Steady);
+  M.declareSite(P(FnPoll, SitePollLastSize), Rd, LastSize, {Reporter}, {},
+                Steady);
+  M.declareSite(P(FnSetup, SiteSetupInit), Wr, LastSize, {Main}, {}, Init);
+
+  // Sync-free regions: the slot-counter blocks re-read the counter they
+  // just wrote — same address, no synchronization in between — so the
+  // redundancy pass elides the recheck even though the variables stay
+  // racy (the first read and the write still log).
+  M.declareRegion("chan.push-count-block",
+                  {P(FnPush, SitePushCountRead),
+                   P(FnPush, SitePushCountWrite),
+                   P(FnPush, SitePushCountRecheck)});
+  M.declareRegion("chan.pop-count-block",
+                  {P(FnPop, SitePopCountRead), P(FnPop, SitePopCountWrite),
+                   P(FnPop, SitePopCountRecheck)});
 }
 
 void ChannelWorkload::chanPush(ThreadContext &TC, SharedState &S,
@@ -216,6 +263,9 @@ void ChannelWorkload::chanPush(ThreadContext &TC, SharedState &S,
     unsigned Slot = TC.tid() & 7u;
     uint64_t Count = T.load(&S.PushCountSlots[Slot], SitePushCountRead);
     T.store(&S.PushCountSlots[Slot], Count + 1, SitePushCountWrite);
+    // Redundant recheck in the same sync-free region: the read above
+    // already logged this address, so the redundancy pass elides it.
+    (void)T.load(&S.PushCountSlots[Slot], SitePushCountRecheck);
     // RACE (frequent, channel-last-size): last-writer diagnostic.
     T.store(&S.LastPushSize, static_cast<uint64_t>(Size), SiteLastSizeWrite);
     // RACE (rare, channel-oversize-once): one-shot diagnostic on a rarely
@@ -246,6 +296,8 @@ ChannelWorkload::Record *ChannelWorkload::chanPop(ThreadContext &TC,
     unsigned Slot = TC.tid() & 7u;
     uint64_t Count = T.load(&S.PopCountSlots[Slot], SitePopCountRead);
     T.store(&S.PopCountSlots[Slot], Count + 1, SitePopCountWrite);
+    // Redundant recheck (see chanPush): elided by the redundancy pass.
+    (void)T.load(&S.PopCountSlots[Slot], SitePopCountRecheck);
   });
   S.Queue.Slots.release(TC);
   return Rec;
@@ -489,11 +541,11 @@ std::vector<SeededRaceSpec> ChannelWorkload::seededRaces() const {
       {P(FnTeardown, SiteStopWrite), P(FnPoll, SiteStopRead)}, false);
   Add("channel-push-count",
       {P(FnPush, SitePushCountRead), P(FnPush, SitePushCountWrite),
-       P(FnPoll, SitePollPushCount)},
+       P(FnPush, SitePushCountRecheck), P(FnPoll, SitePollPushCount)},
       true);
   Add("channel-pop-count",
       {P(FnPop, SitePopCountRead), P(FnPop, SitePopCountWrite),
-       P(FnPoll, SitePollPopCount)},
+       P(FnPop, SitePopCountRecheck), P(FnPoll, SitePollPopCount)},
       true);
   Add("channel-last-size",
       {P(FnPush, SiteLastSizeWrite), P(FnPoll, SitePollLastSize)}, true);

@@ -59,12 +59,14 @@ public:
     SitePushCountWrite = 5,
     SiteLastSizeWrite = 6,
     SiteOversizeWrite = 7,
+    SitePushCountRecheck = 8,
     // chan.pop
     SiteHeadRead = 20,
     SiteRingRead = 21,
     SiteHeadWrite = 22,
     SitePopCountRead = 23,
     SitePopCountWrite = 24,
+    SitePopCountRecheck = 25,
     // pipeline.produce
     SiteTuningRead = 40,
     SitePayloadFold = 41,

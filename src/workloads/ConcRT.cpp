@@ -147,6 +147,7 @@ void ConcRTWorkload::declareModel(AccessModel &M) {
   const VarId InFlight = M.declareVar("concrt.in-flight");
   M.declareSite(P(FnSend, SiteInFlightRead), Rd, InFlight, {Agent});
   M.declareSite(P(FnSend, SiteInFlightWrite), Wr, InFlight, {Agent});
+  M.declareSite(P(FnSend, SiteInFlightRecheck), Rd, InFlight, {Agent});
   M.declareSite(P(FnMonitor, SiteMonInFlight), Rd, InFlight, {Monitor});
 
   const VarId LastAgent = M.declareVar("concrt.last-agent");
@@ -165,6 +166,7 @@ void ConcRTWorkload::declareModel(AccessModel &M) {
   const VarId Retired = M.declareVar("concrt.tasks-retired");
   M.declareSite(P(FnExecute, SiteRetiredRead), Rd, Retired, {Worker});
   M.declareSite(P(FnExecute, SiteRetiredWrite), Wr, Retired, {Worker});
+  M.declareSite(P(FnExecute, SiteRetiredRecheck), Rd, Retired, {Worker});
   M.declareSite(P(FnMonitor, SiteMonRetired), Rd, Retired, {Monitor});
 
   const VarId Phase = M.declareVar("concrt.phase-label");
@@ -185,6 +187,19 @@ void ConcRTWorkload::declareModel(AccessModel &M) {
   const VarId Steal = M.declareVar("concrt.steal-hint");
   M.declareSite(P(FnDequeue, SiteStealHintWrite), Wr, Steal, {Worker});
   M.declareSite(P(FnMonitor, SiteStealHintRead), Rd, Steal, {Monitor});
+
+  // No phase declarations here on purpose: the scheduling input's barrier
+  // epochs RECUR (open-phase / begin-phase cycles), so no static total
+  // order over them would be honest — a phase tag would claim ordering
+  // the program does not have. The sync-free slot-counter blocks are
+  // still fair game for the redundancy pass, though.
+  M.declareRegion("agent.in-flight-block",
+                  {P(FnSend, SiteInFlightRead), P(FnSend, SiteInFlightWrite),
+                   P(FnSend, SiteInFlightRecheck)});
+  M.declareRegion("rt.retired-block",
+                  {P(FnExecute, SiteRetiredRead),
+                   P(FnExecute, SiteRetiredWrite),
+                   P(FnExecute, SiteRetiredRecheck)});
 }
 
 void ConcRTWorkload::monitorMain(ThreadContext &TC, SharedState &S) {
@@ -260,6 +275,9 @@ void ConcRTWorkload::runMessaging(Runtime &RT, SharedState &S,
               unsigned Slot = TC.tid() & 7u;
               uint64_t N = T.load(&S.InFlightSlots[Slot], SiteInFlightRead);
               T.store(&S.InFlightSlots[Slot], N + 1, SiteInFlightWrite);
+              // Redundant recheck in the same sync-free region: elided
+              // by the redundancy pass (the read above already logged).
+              (void)T.load(&S.InFlightSlots[Slot], SiteInFlightRecheck);
               // RACE (concrt-congestion): one-shot diagnostic on a rare
               // iteration of a hot function (11 exists at any scale).
               if (I == 777 || I == 11)
@@ -382,6 +400,10 @@ void ConcRTWorkload::runExplicit(Runtime &RT, SharedState &S,
                 uint64_t N =
                     T.load(&S.TasksRetiredSlots[Slot], SiteRetiredRead);
                 T.store(&S.TasksRetiredSlots[Slot], N + 1, SiteRetiredWrite);
+                // Redundant recheck (see agent.send): elided by the
+                // redundancy pass.
+                (void)T.load(&S.TasksRetiredSlots[Slot],
+                             SiteRetiredRecheck);
               });
             }
           }
@@ -482,7 +504,7 @@ std::vector<SeededRaceSpec> ConcRTWorkload::seededRaces() const {
   if (In == Input::Messaging) {
     Add("concrt-in-flight",
         {P(FnSend, SiteInFlightRead), P(FnSend, SiteInFlightWrite),
-         P(FnMonitor, SiteMonInFlight)},
+         P(FnSend, SiteInFlightRecheck), P(FnMonitor, SiteMonInFlight)},
         true);
     Add("concrt-last-agent",
         {P(FnReceive, SiteLastAgentWrite), P(FnMonitor, SiteMonLastAgent)},
@@ -493,7 +515,7 @@ std::vector<SeededRaceSpec> ConcRTWorkload::seededRaces() const {
   } else {
     Add("concrt-tasks-retired",
         {P(FnExecute, SiteRetiredRead), P(FnExecute, SiteRetiredWrite),
-         P(FnMonitor, SiteMonRetired)},
+         P(FnExecute, SiteRetiredRecheck), P(FnMonitor, SiteMonRetired)},
         true);
     Add("concrt-depth-estimate",
         {P(FnEnqueue, SiteDepthWrite), P(FnMonitor, SiteMonDepth)}, true);

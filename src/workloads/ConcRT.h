@@ -65,6 +65,7 @@ public:
     SiteRetiredRead = 41,
     SiteRetiredWrite = 42,
     SiteResultWrite = 43,
+    SiteRetiredRecheck = 44,
     // rt.monitor
     SiteMonStopRead = 60,
     SiteMonRetired = 61,
@@ -77,6 +78,7 @@ public:
     SiteInFlightRead = 81,
     SiteInFlightWrite = 82,
     SiteCongestionWrite = 83,
+    SiteInFlightRecheck = 84,
     // agent.receive
     SiteMailboxLoad = 100,
     SiteLastAgentWrite = 101,

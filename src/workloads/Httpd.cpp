@@ -197,12 +197,16 @@ void HttpdWorkload::declareModel(AccessModel &M) {
                 {Worker});
   M.declareSite(P(FnServeStatic, SiteServedWrite), SiteAccess::Write, Served,
                 {Worker});
+  M.declareSite(P(FnServeStatic, SiteServedRecheck), SiteAccess::Read,
+                Served, {Worker});
   M.declareSite(P(FnMonitor, SiteMonServed), SiteAccess::Read, Served,
                 {Monitor});
   const VarId Bytes = M.declareVar("httpd.bytes");
   M.declareSite(P(FnServeStatic, SiteBytesRead), SiteAccess::Read, Bytes,
                 {Worker});
   M.declareSite(P(FnServeStatic, SiteBytesWrite), SiteAccess::Write, Bytes,
+                {Worker});
+  M.declareSite(P(FnServeStatic, SiteBytesRecheck), SiteAccess::Read, Bytes,
                 {Worker});
   M.declareSite(P(FnMonitor, SiteMonBytes), SiteAccess::Read, Bytes,
                 {Monitor});
@@ -211,6 +215,19 @@ void HttpdWorkload::declareModel(AccessModel &M) {
                 LastUrl, {Worker});
   M.declareSite(P(FnMonitor, SiteMonLastUrl), SiteAccess::Read, LastUrl,
                 {Monitor});
+
+  // Sync-free regions over the bare statistics block: the stripe lock is
+  // released before the first counter access, so the four counter sites
+  // plus the two rechecks run with no synchronization in between. The
+  // redundancy pass elides only the rechecks — the variables stay racy.
+  M.declareRegion("http.served-block",
+                  {P(FnServeStatic, SiteServedRead),
+                   P(FnServeStatic, SiteServedWrite),
+                   P(FnServeStatic, SiteServedRecheck)});
+  M.declareRegion("http.bytes-block",
+                  {P(FnServeStatic, SiteBytesRead),
+                   P(FnServeStatic, SiteBytesWrite),
+                   P(FnServeStatic, SiteBytesRecheck)});
 }
 
 void HttpdWorkload::workerMain(ThreadContext &TC, SharedState &S) {
@@ -329,8 +346,13 @@ void HttpdWorkload::workerMain(ThreadContext &TC, SharedState &S) {
         unsigned Slot = TC.tid() & 7u;
         uint64_t N = T.load(&S.ServedSlots[Slot], SiteServedRead);
         T.store(&S.ServedSlots[Slot], N + 1, SiteServedWrite);
+        // Redundant recheck in the same sync-free region: elided by the
+        // redundancy pass (the read above already logged this address).
+        (void)T.load(&S.ServedSlots[Slot], SiteServedRecheck);
         uint64_t B = T.load(&S.BytesSlots[Slot], SiteBytesRead);
         T.store(&S.BytesSlots[Slot], B + Bytes, SiteBytesWrite);
+        // Redundant recheck, same story as the served counter.
+        (void)T.load(&S.BytesSlots[Slot], SiteBytesRecheck);
         T.store(&S.LastUrlHash, Req.UrlHash, SiteLastUrlWrite);
       });
     }
@@ -521,11 +543,11 @@ std::vector<SeededRaceSpec> HttpdWorkload::seededRaces() const {
       {P(FnStop, SiteStopWrite), P(FnMonitor, SiteMonStop)}, false);
   Add("httpd-served",
       {P(FnServeStatic, SiteServedRead), P(FnServeStatic, SiteServedWrite),
-       P(FnMonitor, SiteMonServed)},
+       P(FnServeStatic, SiteServedRecheck), P(FnMonitor, SiteMonServed)},
       true);
   Add("httpd-bytes",
       {P(FnServeStatic, SiteBytesRead), P(FnServeStatic, SiteBytesWrite),
-       P(FnMonitor, SiteMonBytes)},
+       P(FnServeStatic, SiteBytesRecheck), P(FnMonitor, SiteMonBytes)},
       true);
   Add("httpd-last-url",
       {P(FnServeStatic, SiteLastUrlWrite), P(FnMonitor, SiteMonLastUrl)},

@@ -65,6 +65,8 @@ public:
     SiteCacheDigestRead = 29,
     SiteCacheDigestWrite = 30,
     SiteGenerationWrite = 31,
+    SiteServedRecheck = 32,
+    SiteBytesRecheck = 33,
     // http.serveCgi
     SiteCgiScratch = 50,
     SiteCgiEnvLoad = 51,

@@ -51,6 +51,52 @@ std::unique_ptr<Workload> literace::makeWorkload(WorkloadKind Kind) {
   literaceUnreachable("invalid workload kind");
 }
 
+const std::vector<WorkloadNameEntry> &literace::workloadNameTable() {
+  static const std::vector<WorkloadNameEntry> Table = {
+      {"channel-stdlib", WorkloadKind::ChannelWithStdLib},
+      {"channel", WorkloadKind::Channel},
+      {"concrt-messaging", WorkloadKind::ConcRTMessaging},
+      {"concrt-scheduling", WorkloadKind::ConcRTScheduling},
+      {"httpd-1", WorkloadKind::Httpd1},
+      {"httpd-2", WorkloadKind::Httpd2},
+      {"browser-start", WorkloadKind::BrowserStart},
+      {"browser-render", WorkloadKind::BrowserRender},
+      {"lkrhash", WorkloadKind::LKRHash},
+      {"lflist", WorkloadKind::LFList},
+      {"scicompute", WorkloadKind::SciComputeFn},
+      {"scicompute-loop", WorkloadKind::SciComputeLoop},
+  };
+  return Table;
+}
+
+std::optional<WorkloadKind>
+literace::workloadKindByName(const std::string &Name) {
+  for (const WorkloadNameEntry &Entry : workloadNameTable())
+    if (Name == Entry.Name)
+      return Entry.Kind;
+  return std::nullopt;
+}
+
+std::string literace::workloadNameList(const std::string &Indent) {
+  std::string Out = Indent;
+  size_t LineLen = Indent.size();
+  bool First = true;
+  for (const WorkloadNameEntry &Entry : workloadNameTable()) {
+    size_t Len = std::string(Entry.Name).size();
+    if (!First && LineLen + 1 + Len > 72) {
+      Out += "\n" + Indent;
+      LineLen = Indent.size();
+    } else if (!First) {
+      Out += " ";
+      ++LineLen;
+    }
+    Out += Entry.Name;
+    LineLen += Len;
+    First = false;
+  }
+  return Out;
+}
+
 std::vector<std::unique_ptr<Workload>> literace::makeDetectionSuite() {
   std::vector<std::unique_ptr<Workload>> Suite;
   Suite.push_back(makeWorkload(WorkloadKind::ChannelWithStdLib));

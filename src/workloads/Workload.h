@@ -35,6 +35,7 @@
 #include "sync/Primitives.h"
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,23 @@ enum class WorkloadKind {
 
 /// Creates one workload instance.
 std::unique_ptr<Workload> makeWorkload(WorkloadKind Kind);
+
+/// One row of the command-line workload registry shared by the tools
+/// (literace-run, literace-analyze): the stable CLI name for a kind.
+struct WorkloadNameEntry {
+  const char *Name;
+  WorkloadKind Kind;
+};
+
+/// All CLI workload names, in display order.
+const std::vector<WorkloadNameEntry> &workloadNameTable();
+
+/// Parses a CLI workload name ("httpd-1"); nullopt when unknown.
+std::optional<WorkloadKind> workloadKindByName(const std::string &Name);
+
+/// All CLI names joined with spaces and wrapped to usage-message width,
+/// each line prefixed with \p Indent.
+std::string workloadNameList(const std::string &Indent = "  ");
 
 /// The eight benchmark-input pairs of the §5.3 detection study (Fig. 4).
 std::vector<std::unique_ptr<Workload>> makeDetectionSuite();

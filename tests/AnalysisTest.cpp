@@ -12,11 +12,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/ModelMutation.h"
 #include "analysis/StaticAnalysis.h"
 #include "detector/HBDetector.h"
 #include "harness/ElisionExperiment.h"
 #include "runtime/Runtime.h"
 #include "workloads/Workload.h"
+
+#include <set>
 
 #include <gtest/gtest.h>
 
@@ -142,6 +145,361 @@ TEST(StaticAnalysisTest, UndeclaredSitesAreNeverElided) {
   EXPECT_FALSE(R.Policy.elidable(P(999, 7)));
 }
 
+TEST(MhpPassTest, OrderedPhasesProveRaceFreedom) {
+  AccessModel M;
+  const RoleId Main = M.declareRole("main", 1);
+  const RoleId Workers = M.declareRole("workers", 4);
+  const PhaseId Init = M.declarePhase("init");
+  const PhaseId Steady = M.declarePhase("steady");
+  M.orderPhases(Init, Steady);
+  const VarId Table = M.declareVar("table");
+  // One init-phase write by the main thread, steady-phase worker reads:
+  // the only conflicting pairs are (write, read) across ordered phases
+  // and the write's self-pair, discharged by the single main instance.
+  M.declareSite(P(1, 1), SiteAccess::Write, Table, {Main}, {}, Init);
+  M.declareSite(P(2, 1), SiteAccess::Read, Table, {Workers}, {}, Steady);
+
+  AnalysisResult R = analyzeAccessModel(M);
+  EXPECT_EQ(R.Vars[Table].Kind, VarVerdictKind::PhaseOrdered);
+  EXPECT_EQ(R.Vars[Table].ProvedBy, AnalysisPass::Mhp);
+  EXPECT_EQ(R.ElidableSites, 2u);
+
+  // The same declarations WITHOUT the phase order stay racy: unordered
+  // phases are MHP.
+  AccessModel M2;
+  const RoleId Main2 = M2.declareRole("main", 1);
+  const RoleId Workers2 = M2.declareRole("workers", 4);
+  const PhaseId Init2 = M2.declarePhase("init");
+  const PhaseId Steady2 = M2.declarePhase("steady");
+  const VarId T2 = M2.declareVar("table");
+  M2.declareSite(P(1, 1), SiteAccess::Write, T2, {Main2}, {}, Init2);
+  M2.declareSite(P(2, 1), SiteAccess::Read, T2, {Workers2}, {}, Steady2);
+  AnalysisResult R2 = analyzeAccessModel(M2);
+  EXPECT_EQ(R2.Vars[T2].Kind, VarVerdictKind::Racy);
+  EXPECT_EQ(R2.ElidableSites, 0u);
+}
+
+TEST(MhpPassTest, PhaseOrderIsTransitive) {
+  AccessModel M;
+  const RoleId Main = M.declareRole("main", 1);
+  const PhaseId Init = M.declarePhase("init");
+  const PhaseId Steady = M.declarePhase("steady");
+  const PhaseId Teardown = M.declarePhase("teardown");
+  M.orderPhases(Init, Steady);
+  M.orderPhases(Steady, Teardown, PhaseOrderKind::Barrier);
+  const RoleId Workers = M.declareRole("workers", 3);
+  const VarId V = M.declareVar("v");
+  // init < teardown only via the transitive closure through steady.
+  M.declareSite(P(1, 1), SiteAccess::Write, V, {Main}, {}, Init);
+  M.declareSite(P(3, 1), SiteAccess::Read, V, {Workers}, {}, Teardown);
+  AnalysisResult R = analyzeAccessModel(M);
+  EXPECT_EQ(R.Vars[V].Kind, VarVerdictKind::PhaseOrdered);
+}
+
+TEST(MhpPassTest, WriteSelfPairNeedsItsOwnDischarge) {
+  // A multi-instance role writing in one phase races with itself no
+  // matter how the phases are ordered; only a pairwise common lock or a
+  // single-instance role discharges the self-pair.
+  AccessModel M;
+  const RoleId Workers = M.declareRole("workers", 4);
+  const PhaseId Init = M.declarePhase("init");
+  const PhaseId Steady = M.declarePhase("steady");
+  M.orderPhases(Init, Steady);
+  const VarId V = M.declareVar("v");
+  M.declareSite(P(1, 1), SiteAccess::Write, V, {Workers}, {}, Init);
+  M.declareSite(P(2, 1), SiteAccess::Read, V, {Workers}, {}, Steady);
+  AnalysisResult R = analyzeAccessModel(M);
+  EXPECT_EQ(R.Vars[V].Kind, VarVerdictKind::Racy);
+
+  // With a lock held at the write site the self-pair is discharged and
+  // the cross-phase pair is ordered: proven.
+  AccessModel M2;
+  const RoleId W2 = M2.declareRole("workers", 4);
+  const LockId L2 = M2.declareLock("l");
+  const PhaseId Init2 = M2.declarePhase("init");
+  const PhaseId Steady2 = M2.declarePhase("steady");
+  M2.orderPhases(Init2, Steady2);
+  const VarId V2 = M2.declareVar("v");
+  M2.declareSite(P(1, 1), SiteAccess::Write, V2, {W2}, {L2}, Init2);
+  M2.declareSite(P(2, 1), SiteAccess::Read, V2, {W2}, {}, Steady2);
+  AnalysisResult R2 = analyzeAccessModel(M2);
+  EXPECT_EQ(R2.Vars[V2].Kind, VarVerdictKind::PhaseOrdered);
+}
+
+TEST(MhpPassTest, UntaggedDeclarationsAreMhpWithEverything) {
+  AccessModel M;
+  const RoleId Main = M.declareRole("main", 1);
+  const RoleId Workers = M.declareRole("workers", 4);
+  const PhaseId Init = M.declarePhase("init");
+  const PhaseId Steady = M.declarePhase("steady");
+  M.orderPhases(Init, Steady);
+  const VarId V = M.declareVar("v");
+  M.declareSite(P(1, 1), SiteAccess::Write, V, {Main}, {}, Init);
+  M.declareSite(P(2, 1), SiteAccess::Read, V, {Workers}); // No phase.
+  AnalysisResult R = analyzeAccessModel(M);
+  EXPECT_EQ(R.Vars[V].Kind, VarVerdictKind::Racy);
+}
+
+TEST(RedundancyPassTest, DominatedDuplicatesInARegionAreRedundant) {
+  AccessModel M;
+  const RoleId Workers = M.declareRole("workers", 4);
+  const VarId V = M.declareVar("v"); // Shared and written: racy.
+  M.declareSite(P(1, 1), SiteAccess::Read, V, {Workers});
+  M.declareSite(P(1, 2), SiteAccess::Write, V, {Workers});
+  M.declareSite(P(1, 3), SiteAccess::Read, V, {Workers});
+  M.declareRegion("block", {P(1, 1), P(1, 2), P(1, 3)});
+
+  AnalysisResult R = analyzeAccessModel(M);
+  EXPECT_EQ(R.Vars[V].Kind, VarVerdictKind::Racy);
+  // The first read and first write keep logging; the re-read after the
+  // write is dominated.
+  EXPECT_FALSE(R.Policy.elidable(P(1, 1)));
+  EXPECT_FALSE(R.Policy.elidable(P(1, 2)));
+  EXPECT_TRUE(R.Policy.elidable(P(1, 3)));
+  EXPECT_EQ(R.Policy.elisionClass(P(1, 3)), ElisionClass::Redundant);
+  EXPECT_EQ(R.RedundantSites, 1u);
+}
+
+TEST(RedundancyPassTest, WriteAfterReadIsNotRedundant) {
+  // A read logs a read-event; a later write is a DIFFERENT conflict shape
+  // (write/write races exist that read/read ones do not), so a write is
+  // only dominated by a previous write.
+  AccessModel M;
+  const RoleId Workers = M.declareRole("workers", 4);
+  const VarId V = M.declareVar("v");
+  M.declareSite(P(1, 1), SiteAccess::Read, V, {Workers});
+  M.declareSite(P(1, 2), SiteAccess::Write, V, {Workers});
+  M.declareRegion("block", {P(1, 1), P(1, 2)});
+  AnalysisResult R = analyzeAccessModel(M);
+  EXPECT_FALSE(R.Policy.elidable(P(1, 2)));
+
+  AccessModel M2;
+  const RoleId W2 = M2.declareRole("workers", 4);
+  const VarId V2 = M2.declareVar("v");
+  M2.declareSite(P(1, 1), SiteAccess::Write, V2, {W2});
+  M2.declareSite(P(1, 2), SiteAccess::Write, V2, {W2});
+  M2.declareRegion("block", {P(1, 1), P(1, 2)});
+  AnalysisResult R2 = analyzeAccessModel(M2);
+  EXPECT_FALSE(R2.Policy.elidable(P(1, 1)));
+  EXPECT_TRUE(R2.Policy.elidable(P(1, 2)));
+}
+
+TEST(RedundancyPassTest, SiteTouchingAFreshVarIsNotRedundant) {
+  // A site is Redundant only if EVERY declaration at it is dominated.
+  AccessModel M;
+  const RoleId Workers = M.declareRole("workers", 4);
+  const VarId A = M.declareVar("a");
+  const VarId B = M.declareVar("b");
+  // Both variables are racy (unlocked writes elsewhere keep the race-
+  // freedom passes honest), so only the redundancy pass is in play.
+  M.declareSite(P(2, 1), SiteAccess::Write, A, {Workers});
+  M.declareSite(P(2, 2), SiteAccess::Write, B, {Workers});
+  M.declareSite(P(1, 1), SiteAccess::Read, A, {Workers});
+  M.declareSite(P(1, 2), SiteAccess::Read, A, {Workers}); // A dominated...
+  M.declareSite(P(1, 2), SiteAccess::Read, B, {Workers}); // ...B fresh.
+  M.declareRegion("block", {P(1, 1), P(1, 2)});
+  AnalysisResult R = analyzeAccessModel(M);
+  ASSERT_EQ(R.Vars[A].Kind, VarVerdictKind::Racy);
+  ASSERT_EQ(R.Vars[B].Kind, VarVerdictKind::Racy);
+  EXPECT_FALSE(R.Policy.elidable(P(1, 2)));
+}
+
+TEST(SitePolicyTest, ElisionClassesTrackSitesAndFoldIntoFingerprint) {
+  SitePolicy RaceFree;
+  RaceFree.markElidable(P(1, 1));
+  SitePolicy Redundant;
+  Redundant.markElidable(P(1, 1), ElisionClass::Redundant);
+  // Same site set, different class: different policy identity, so a log
+  // stamped by one is distinguishable from a log stamped by the other.
+  EXPECT_NE(RaceFree.fingerprint(), Redundant.fingerprint());
+  EXPECT_EQ(RaceFree.numRedundantSites(), 0u);
+  EXPECT_EQ(Redundant.numRedundantSites(), 1u);
+  EXPECT_EQ(Redundant.elisionClass(P(1, 1)), ElisionClass::Redundant);
+  EXPECT_EQ(Redundant.elisionClass(P(9, 9)), ElisionClass::None);
+
+  // The stronger RaceFree claim wins when a site earns both.
+  SitePolicy Both;
+  Both.markElidable(P(1, 1), ElisionClass::Redundant);
+  Both.markElidable(P(1, 1), ElisionClass::RaceFree);
+  EXPECT_EQ(Both.elisionClass(P(1, 1)), ElisionClass::RaceFree);
+  EXPECT_EQ(Both.numRedundantSites(), 0u);
+  EXPECT_EQ(Both.fingerprint(), RaceFree.fingerprint());
+}
+
+TEST(AnalysisOptionsTest, DisabledPassesProveNothing) {
+  AccessModel M;
+  const RoleId Workers = M.declareRole("workers", 4);
+  const LockId L = M.declareLock("l");
+  const VarId V = M.declareVar("v");
+  M.declareSite(P(1, 1), SiteAccess::Write, V, {Workers}, {L});
+  M.declareSite(P(1, 2), SiteAccess::Read, V, {Workers}, {L});
+
+  EXPECT_EQ(analyzeAccessModel(M).ElidableSites, 2u);
+  AnalysisResult None = analyzeAccessModel(M, AnalysisOptions::none());
+  EXPECT_EQ(None.ElidableSites, 0u);
+  EXPECT_EQ(None.Vars[V].Kind, VarVerdictKind::Racy);
+
+  // Lockset alone proves it; with lockset off, the MHP pass still
+  // discharges every pair via the pairwise common lock — so only
+  // disabling BOTH loses the proof.
+  AnalysisOptions NoLockset = AnalysisOptions::allExcept(AnalysisPass::Lockset);
+  EXPECT_EQ(analyzeAccessModel(M, NoLockset).ElidableSites, 2u);
+  NoLockset.set(AnalysisPass::Mhp, false);
+  EXPECT_EQ(analyzeAccessModel(M, NoLockset).ElidableSites, 0u);
+
+  for (size_t I = 0; I != kNumAnalysisPasses; ++I) {
+    AnalysisOptions Opts = AnalysisOptions::allExcept(
+        static_cast<AnalysisPass>(I));
+    EXPECT_FALSE(Opts.enabled(static_cast<AnalysisPass>(I)));
+    for (size_t J = 0; J != kNumAnalysisPasses; ++J)
+      if (J != I)
+        EXPECT_TRUE(Opts.enabled(static_cast<AnalysisPass>(J)));
+  }
+}
+
+TEST(VerdictPriorityTest, HighestPriorityPassWinsAndAttributionIsExclusive) {
+  AccessModel M;
+  const RoleId Main = M.declareRole("main", 1);
+  const RoleId Workers = M.declareRole("workers", 4);
+  const LockId L = M.declareLock("l");
+  // Provable by thread-escape AND read-only AND lockset: the verdict
+  // must come from the highest-priority pass (thread-escape).
+  const VarId Multi = M.declareVar("multi");
+  M.declareSite(P(1, 1), SiteAccess::Read, Multi, {Main}, {L});
+  // Provable by exactly one pass (lockset): shared, written, locked.
+  const VarId Single = M.declareVar("single");
+  M.declareSite(P(2, 1), SiteAccess::Write, Single, {Workers}, {L});
+  M.declareSite(P(2, 2), SiteAccess::Read, Single, {Workers}, {L});
+
+  AnalysisResult R = analyzeAccessModel(M);
+  EXPECT_EQ(R.Vars[Multi].Kind, VarVerdictKind::ThreadLocal);
+  EXPECT_EQ(R.Vars[Multi].ProvedBy, AnalysisPass::ThreadEscape);
+  EXPECT_EQ(R.Vars[Single].Kind, VarVerdictKind::LockConsistent);
+
+  // Differential attribution credits each site to AT MOST one pass: the
+  // attribution sets are pairwise disjoint, and a site provable by two
+  // passes (Multi's) is attributed to neither.
+  std::set<Pc> Seen;
+  for (size_t I = 0; I != kNumAnalysisPasses; ++I) {
+    for (Pc Site : passAttribution(M, static_cast<AnalysisPass>(I))) {
+      EXPECT_TRUE(Seen.insert(Site).second)
+          << "site attributed to two passes";
+    }
+  }
+  EXPECT_EQ(Seen.count(P(1, 1)), 0u);
+  // Single's sites are the lockset pass's exclusive credit... except the
+  // MHP pass can also discharge them pairwise via the common lock, so
+  // with both enabled neither is charged. Verify by disabling MHP.
+  std::vector<Pc> LocksetOnly = passAttribution(M, AnalysisPass::Lockset);
+  EXPECT_TRUE(LocksetOnly.empty());
+  AnalysisOptions NoMhp = AnalysisOptions::allExcept(AnalysisPass::Mhp);
+  AnalysisOptions Neither = NoMhp;
+  Neither.set(AnalysisPass::Lockset, false);
+  EXPECT_EQ(analyzeAccessModel(M, NoMhp).Policy.elidable(P(2, 1)), true);
+  EXPECT_EQ(analyzeAccessModel(M, Neither).Policy.elidable(P(2, 1)), false);
+}
+
+TEST(ConservatismFuzzerTest, BundledModelsSurviveRandomWeakening) {
+  const WorkloadKind Kinds[] = {WorkloadKind::Channel,
+                                WorkloadKind::Httpd1,
+                                WorkloadKind::BrowserStart,
+                                WorkloadKind::ConcRTMessaging};
+  for (WorkloadKind Kind : Kinds) {
+    std::unique_ptr<Workload> W = makeWorkload(Kind);
+    RuntimeConfig Config;
+    Config.Mode = RunMode::Baseline;
+    Runtime RT(Config, nullptr);
+    W->bind(RT);
+    MutationFuzzResult Result =
+        fuzzModelConservatism(RT.accessModel(), /*Trials=*/24);
+    EXPECT_TRUE(Result.passed()) << Result.FirstViolation;
+    EXPECT_EQ(Result.Trials, 24u);
+    EXPECT_GT(Result.MutationsApplied, 0u);
+  }
+}
+
+TEST(ConservatismFuzzerTest, WeakeningsAreMonotone) {
+  // Directly check a cross-section of weakenings on a phase+region model:
+  // each one may only SHRINK the elidable set.
+  AccessModel M;
+  const RoleId Main = M.declareRole("main", 1);
+  const RoleId Workers = M.declareRole("workers", 4);
+  const LockId L = M.declareLock("l");
+  const PhaseId Init = M.declarePhase("init");
+  const PhaseId Steady = M.declarePhase("steady");
+  M.orderPhases(Init, Steady);
+  const VarId A = M.declareVar("a");
+  M.declareSite(P(1, 1), SiteAccess::Write, A, {Main}, {}, Init);
+  M.declareSite(P(2, 1), SiteAccess::Read, A, {Workers}, {}, Steady);
+  const VarId B = M.declareVar("b");
+  M.declareSite(P(3, 1), SiteAccess::Read, B, {Workers}, {L});
+  M.declareSite(P(3, 2), SiteAccess::Write, B, {Workers}, {L});
+  M.declareSite(P(3, 3), SiteAccess::Read, B, {Workers}, {L});
+  M.declareRegion("blk", {P(3, 1), P(3, 2), P(3, 3)});
+
+  std::vector<Pc> BaseVec = analyzeAccessModel(M).Policy.elidableSites();
+  std::set<Pc> Base(BaseVec.begin(), BaseVec.end());
+
+  auto CheckSubset = [&](AccessModel Mutant, const char *What) {
+    for (Pc Site : analyzeAccessModel(Mutant).Policy.elidableSites())
+      EXPECT_TRUE(Base.count(Site)) << What;
+  };
+  {
+    AccessModel Mut = M;
+    Mut.weakenClearPhase(0);
+    CheckSubset(Mut, "clear phase");
+  }
+  {
+    AccessModel Mut = M;
+    Mut.weakenDropPhaseOrder(0);
+    CheckSubset(Mut, "drop order");
+  }
+  {
+    AccessModel Mut = M;
+    Mut.weakenDropRegion(0);
+    CheckSubset(Mut, "drop region");
+  }
+  {
+    AccessModel Mut = M;
+    Mut.weakenDropRegionSite(0, 1);
+    CheckSubset(Mut, "drop region site");
+  }
+  {
+    AccessModel Mut = M;
+    Mut.weakenWidenRole(Main);
+    CheckSubset(Mut, "widen role");
+  }
+}
+
+TEST(PassNotesTest, ExplainChainRecordsEveryAttemptedPass) {
+  std::unique_ptr<Workload> W = makeWorkload(WorkloadKind::Channel);
+  RuntimeConfig Config;
+  Config.Mode = RunMode::Baseline;
+  Runtime RT(Config, nullptr);
+  W->bind(RT);
+  const AccessModel &M = RT.accessModel();
+
+  AnalysisResult R = analyzeAccessModel(M);
+  for (const VarVerdict &V : R.Vars) {
+    ASSERT_FALSE(V.PassNotes.empty()) << M.varName(V.Var);
+    if (V.Kind != VarVerdictKind::Racy) {
+      // The last race-freedom note is the winner's PROVED line.
+      bool Proved = false;
+      for (const std::string &Note : V.PassNotes)
+        Proved |= Note.find("PROVED") != std::string::npos;
+      EXPECT_TRUE(Proved) << M.varName(V.Var);
+    }
+  }
+
+  // Disabled passes are marked so --explain shows why nothing fired.
+  AnalysisResult None = analyzeAccessModel(M, AnalysisOptions::none());
+  ASSERT_FALSE(None.Vars.empty());
+  bool SawDisabled = false;
+  for (const std::string &Note : None.Vars[0].PassNotes)
+    SawDisabled |= Note.find("disabled") != std::string::npos;
+  EXPECT_TRUE(SawDisabled);
+}
+
 TEST(SitePolicyTest, ViewExposesPerFunctionBits) {
   SitePolicy Policy;
   Policy.markElidable(P(3, 5));
@@ -191,44 +549,54 @@ std::vector<std::string> policyLabels(WorkloadKind Kind) {
 
 TEST(GoldenPolicyTest, WorkloadPoliciesMatchSnapshots) {
   using Labels = std::vector<std::string>;
+  // chan.push:2 / chan.pop:21 (the ring cells) are proven by the MHP
+  // pass via the init<steady phase order plus the queue lock;
+  // pipeline.consume:64/65 by steady<teardown; chan.push:8 / chan.pop:25
+  // are dominated rechecks elided Redundant.
   EXPECT_EQ(policyLabels(WorkloadKind::Channel),
-            (Labels{"chan.push:1", "chan.push:3", "chan.pop:20",
-                    "chan.pop:22", "pipeline.produce:41",
-                    "pipeline.consume:63"}));
+            (Labels{"chan.push:1", "chan.push:2", "chan.push:3",
+                    "chan.push:8", "chan.pop:20", "chan.pop:21",
+                    "chan.pop:22", "chan.pop:25", "pipeline.produce:41",
+                    "pipeline.consume:63", "pipeline.consume:64",
+                    "pipeline.consume:65"}));
   // With the instrumented stdlib bound, the payload folds alias the
   // library's caller-buffer writes, so they are no longer declared
   // read-only; the stdlib adds its per-thread format buffer instead.
   EXPECT_EQ(policyLabels(WorkloadKind::ChannelWithStdLib),
-            (Labels{"chan.push:1", "chan.push:3", "chan.pop:20",
-                    "chan.pop:22", "stdlib.formatUint:26"}));
+            (Labels{"chan.push:1", "chan.push:2", "chan.push:3",
+                    "chan.push:8", "chan.pop:20", "chan.pop:21",
+                    "chan.pop:22", "chan.pop:25", "pipeline.consume:64",
+                    "pipeline.consume:65", "stdlib.formatUint:26"}));
   EXPECT_EQ(policyLabels(WorkloadKind::ConcRTMessaging),
             (Labels{"rt.enqueue:2", "rt.dequeue:20", "rt.execute:40",
-                    "agent.send:80", "agent.receive:100"}));
+                    "rt.execute:44", "agent.send:80", "agent.send:84",
+                    "agent.receive:100"}));
   EXPECT_EQ(policyLabels(WorkloadKind::ConcRTScheduling),
             policyLabels(WorkloadKind::ConcRTMessaging));
   EXPECT_EQ(policyLabels(WorkloadKind::Httpd1),
             (Labels{"http.parse:6", "http.serveStatic:20",
                     "http.serveStatic:21", "http.serveStatic:27",
                     "http.serveStatic:28", "http.serveStatic:30",
+                    "http.serveStatic:32", "http.serveStatic:33",
                     "http.serveCgi:50", "http.serveCgi:51",
                     "http.logAccess:74", "srv.enqueue:90", "srv.dequeue:91",
                     "srv.scrub:151"}));
   EXPECT_EQ(policyLabels(WorkloadKind::Httpd2),
             policyLabels(WorkloadKind::Httpd1));
   EXPECT_EQ(policyLabels(WorkloadKind::BrowserStart),
-            (Labels{"svc.loadItem:20", "svc.loadItem:21",
+            (Labels{"svc.loadItem:20", "svc.loadItem:21", "svc.loadItem:24",
                     "reg.registerComponent:40", "reg.registerComponent:41",
-                    "reg.lookup:60", "layout.measureText:180",
-                    "style.resolve:200", "style.resolve:201",
-                    "style.resolve:202", "render.paint:190",
-                    "render.paint:191"}));
+                    "reg.lookup:60", "layout.reflowBox:167",
+                    "layout.measureText:180", "style.resolve:200",
+                    "style.resolve:201", "style.resolve:202",
+                    "render.paint:190", "render.paint:191"}));
   EXPECT_EQ(policyLabels(WorkloadKind::BrowserRender),
             policyLabels(WorkloadKind::BrowserStart));
   EXPECT_EQ(policyLabels(WorkloadKind::LKRHash),
             (Labels{"lkr.insert:1", "lkr.insert:2", "lkr.insert:3",
                     "lkr.lookup:1", "lkr.lookup:4"}));
   // The lock-free list and the stencil kernel are correct via publication
-  // ordering and band partitioning — facts beyond the three analyses, so
+  // ordering and band partitioning — facts beyond all five analyses, so
   // nothing may be elided.
   EXPECT_EQ(policyLabels(WorkloadKind::LFList), Labels{});
   EXPECT_EQ(policyLabels(WorkloadKind::SciComputeFn), Labels{});
@@ -289,11 +657,56 @@ TEST(RuntimeElisionTest, PolicyMetaStampIsLoggedAndReplayable) {
   EXPECT_EQ(Stamp.Kind, EventKind::PolicyMeta);
   EXPECT_EQ(Stamp.Addr, R.Policy.fingerprint());
   EXPECT_EQ(Stamp.Pc, R.Policy.numElidableSites());
+  EXPECT_EQ(Stamp.Ts, R.RedundantSites); // 0: all RaceFree for LKRHash.
 
   // The stamped log must replay cleanly through the detector.
   RaceReport Report;
   EXPECT_TRUE(detectRaces(T, Report));
   EXPECT_EQ(Report.numStaticRaces(), 0u); // LKRHash is race-free.
+}
+
+TEST(RuntimeElisionTest, PolicyMetaStampRecordsRedundantCount) {
+  WorkloadParams Params;
+  Params.Scale = 0.02;
+  RuntimeConfig Config;
+  Config.Mode = RunMode::FullLogging;
+  MemorySink Sink(/*NumTimestampCounters=*/128);
+  Runtime RT(Config, &Sink);
+  std::unique_ptr<Workload> W = makeWorkload(WorkloadKind::Channel);
+  W->bind(RT);
+  AnalysisResult R = analyzeAndInstall(RT);
+  ASSERT_EQ(R.RedundantSites, 2u); // chan.push:8 and chan.pop:25.
+  W->run(RT, Params);
+
+  Trace T = Sink.takeTrace();
+  ASSERT_FALSE(T.PerThread.empty());
+  ASSERT_FALSE(T.PerThread[0].empty());
+  const EventRecord &Stamp = T.PerThread[0].front();
+  ASSERT_EQ(Stamp.Kind, EventKind::PolicyMeta);
+  EXPECT_EQ(Stamp.Ts, 2u);
+}
+
+TEST(SoundnessTest, PerPassAblationAttributesAndStaysSound) {
+  WorkloadParams Params;
+  Params.Scale = 0.04;
+  ElisionRow Row =
+      runElisionExperiment(WorkloadKind::Channel, Params, /*Repeats=*/1);
+  ASSERT_EQ(Row.Ablations.size(), kNumAnalysisPasses);
+  uint64_t TotalAttributed = 0;
+  for (const PassAblation &Ablation : Row.Ablations) {
+    EXPECT_TRUE(Ablation.Sound) << passName(Ablation.Pass);
+    TotalAttributed += Ablation.RecordsAttributed;
+  }
+  // The new passes carry real, attributable log reduction on Channel.
+  EXPECT_GT(
+      Row.Ablations[static_cast<size_t>(AnalysisPass::Mhp)].SitesAttributed,
+      0u);
+  EXPECT_GT(Row.Ablations[static_cast<size_t>(AnalysisPass::Redundancy)]
+                .SitesAttributed,
+            0u);
+  // Attribution can never credit more than the policy actually elides.
+  EXPECT_LE(TotalAttributed, Row.ElidedMemRecords);
+  EXPECT_EQ(Row.RedundantSites, 2u);
 }
 
 TEST(SoundnessTest, ElisionHidesNoSeededRaceAtFullSampling) {

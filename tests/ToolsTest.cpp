@@ -167,6 +167,96 @@ TEST(ToolsTest, AnalyzeRejectsUnknownWorkload) {
   auto [Code, Out] = runCommand(toolPath("literace-analyze") + " nope");
   EXPECT_EQ(Code, 2);
   EXPECT_NE(Out.find("usage:"), std::string::npos);
+  // The usage error lists the valid workload names (parity with
+  // literace-run, which shares the same registry).
+  EXPECT_NE(Out.find("workloads:"), std::string::npos);
+  EXPECT_NE(Out.find("channel-stdlib"), std::string::npos);
+  EXPECT_NE(Out.find("scicompute"), std::string::npos);
+  auto [RunCode, RunOut] = runCommand(toolPath("literace-run") + " nope x");
+  EXPECT_EQ(RunCode, 2);
+  EXPECT_NE(RunOut.find("channel-stdlib"), std::string::npos);
+}
+
+TEST(ToolsTest, AnalyzeExplainPrintsTheProofChain) {
+  auto [Code, Out] = runCommand(toolPath("literace-analyze") +
+                                " channel --explain chan.ring");
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("chan.ring: phase-ordered"), std::string::npos);
+  EXPECT_NE(Out.find("proof chain"), std::string::npos);
+  EXPECT_NE(Out.find("PROVED"), std::string::npos);
+  // The chain shows what each earlier pass concluded before mhp fired.
+  EXPECT_NE(Out.find("thread-escape:"), std::string::npos);
+  EXPECT_NE(Out.find("lockset:"), std::string::npos);
+
+  auto [BadCode, BadOut] = runCommand(toolPath("literace-analyze") +
+                                      " channel --explain no.such.var");
+  EXPECT_EQ(BadCode, 2);
+  EXPECT_NE(BadOut.find("unknown variable"), std::string::npos);
+  EXPECT_NE(BadOut.find("chan.ring"), std::string::npos); // Offered names.
+}
+
+TEST(ToolsTest, AnalyzeJsonDumpIsWellFormedAndRedirectable) {
+  auto [Code, Out] =
+      runCommand(toolPath("literace-analyze") + " channel --json");
+  EXPECT_EQ(Code, 0) << Out;
+  // Bare --json replaces the human report: first byte is the document.
+  ASSERT_FALSE(Out.empty());
+  EXPECT_EQ(Out[0], '{');
+  EXPECT_NE(Out.find("\"workload\": \"channel\""), std::string::npos);
+  EXPECT_NE(Out.find("\"verdict\": \"phase-ordered\""), std::string::npos);
+  EXPECT_NE(Out.find("\"class\": \"redundant\""), std::string::npos);
+
+  std::string Path = std::string(::testing::TempDir()) + "verdicts.json";
+  auto [FileCode, FileOut] = runCommand(
+      toolPath("literace-analyze") + " channel --json=" + Path);
+  EXPECT_EQ(FileCode, 0) << FileOut;
+  // --json=PATH keeps the human report on stdout.
+  EXPECT_NE(FileOut.find("Per-variable verdicts"), std::string::npos);
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(File, nullptr);
+  std::fclose(File);
+  std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, AnalyzePassesFlagRestrictsTheAnalysis) {
+  // With only the lockset pass, Channel's phase-ordered and redundant
+  // elisions disappear; the lock-protected queue state survives.
+  auto [Code, Out] = runCommand(toolPath("literace-analyze") +
+                                " channel --passes lockset");
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_EQ(Out.find("phase-ordered"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("(redundant)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("lock-consistent"), std::string::npos);
+
+  auto [AllCode, AllOut] =
+      runCommand(toolPath("literace-analyze") + " channel --passes all");
+  EXPECT_EQ(AllCode, 0) << AllOut;
+  EXPECT_NE(AllOut.find("phase-ordered"), std::string::npos);
+  EXPECT_NE(AllOut.find("(redundant)"), std::string::npos);
+
+  auto [BadCode, BadOut] = runCommand(toolPath("literace-analyze") +
+                                      " lkrhash --passes bogus");
+  EXPECT_EQ(BadCode, 2);
+  EXPECT_NE(BadOut.find("unknown pass"), std::string::npos);
+}
+
+TEST(ToolsTest, AnalyzeAuditReportsPerPassAttribution) {
+  auto [Code, Out] = runCommand(toolPath("literace-analyze") +
+                                " channel --audit --scale 0.04");
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("per-pass differential audit"), std::string::npos);
+  EXPECT_NE(Out.find("mhp"), std::string::npos);
+  EXPECT_NE(Out.find("redundancy"), std::string::npos);
+  EXPECT_EQ(Out.find("RACE LOST"), std::string::npos) << Out;
+}
+
+TEST(ToolsTest, AnalyzeFuzzRunsTheConservatismCheck) {
+  auto [Code, Out] =
+      runCommand(toolPath("literace-analyze") + " browser-start --fuzz");
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("conservatism fuzzer"), std::string::npos);
+  EXPECT_NE(Out.find("0 violations"), std::string::npos);
+  EXPECT_NE(Out.find("fuzzer passed"), std::string::npos);
 }
 
 TEST(ToolsTest, RunElideFlagShrinksTheLog) {

@@ -4,20 +4,30 @@
 //
 // Runs the pre-execution static analysis over a workload's declared access
 // model and prints the resulting elision policy with per-variable
-// justification: which analysis (thread-escape, read-only, lockset) proved
-// each variable race-free, and which sites therefore skip logging. With
+// justification: which pass (thread-escape, read-only, lockset, mhp)
+// proved each variable race-free, and which sites therefore skip logging
+// (including sites elided as Redundant by the redundancy pass). With
 // --audit it additionally executes the workload fully logged, applies the
-// policy offline, and verifies that detection still finds every seeded
-// race family found on the full trace.
+// policy offline, verifies that detection still finds every seeded race
+// family found on the full trace, and repeats the check with each pass
+// disabled in turn to attribute every elided site and log-reduction
+// percentage point to exactly one pass. With --fuzz it runs the
+// model-mutation conservatism fuzzer: random monotone weakenings of the
+// model must never make a new site elidable.
 //
 // Usage:
-//   literace-analyze <workload> [--audit] [--scale <x>] [--seed <n>]
+//   literace-analyze <workload> [--audit] [--fuzz] [--explain <var>]
+//                    [--passes <p1,p2,...|all>] [--json[=PATH]]
+//                    [--scale <x>] [--seed <n>]
 //
-// Exit codes: 0 ok, 2 usage error, 4 audit failed (a seeded race family
-// detected on the full trace disappeared after elision).
+// Exit codes: 0 ok, 2 usage error (unknown workload, flag, pass, or
+// variable), 4 audit failed (a seeded race family detected on the full
+// trace disappeared after elision, in the full policy or any single-pass
+// ablation), 5 conservatism fuzzer found a violation.
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/ModelMutation.h"
 #include "analysis/StaticAnalysis.h"
 #include "detector/HBDetector.h"
 #include "support/TableFormatter.h"
@@ -30,45 +40,21 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 using namespace literace;
 
 namespace {
 
-std::optional<WorkloadKind> parseWorkload(const std::string &Name) {
-  if (Name == "channel-stdlib")
-    return WorkloadKind::ChannelWithStdLib;
-  if (Name == "channel")
-    return WorkloadKind::Channel;
-  if (Name == "concrt-messaging")
-    return WorkloadKind::ConcRTMessaging;
-  if (Name == "concrt-scheduling")
-    return WorkloadKind::ConcRTScheduling;
-  if (Name == "httpd-1")
-    return WorkloadKind::Httpd1;
-  if (Name == "httpd-2")
-    return WorkloadKind::Httpd2;
-  if (Name == "browser-start")
-    return WorkloadKind::BrowserStart;
-  if (Name == "browser-render")
-    return WorkloadKind::BrowserRender;
-  if (Name == "lkrhash")
-    return WorkloadKind::LKRHash;
-  if (Name == "lflist")
-    return WorkloadKind::LFList;
-  if (Name == "scicompute")
-    return WorkloadKind::SciComputeFn;
-  return std::nullopt;
-}
-
 int usage(const char *Argv0) {
   std::fprintf(
       stderr,
-      "usage: %s <workload> [--audit] [--scale <x>] [--seed <n>]\n"
-      "workloads: channel-stdlib channel concrt-messaging\n"
-      "           concrt-scheduling httpd-1 httpd-2 browser-start\n"
-      "           browser-render lkrhash lflist scicompute\n",
-      Argv0);
+      "usage: %s <workload> [--audit] [--fuzz] [--explain <var>]\n"
+      "          [--passes <p1,p2,...|all>] [--json[=PATH]]\n"
+      "          [--scale <x>] [--seed <n>]\n"
+      "passes: thread-escape read-only lockset mhp redundancy\n"
+      "workloads:\n%s\n",
+      Argv0, workloadNameList("  ").c_str());
   return 2;
 }
 
@@ -93,22 +79,172 @@ familiesDetected(const RaceReport &Report,
   return Found;
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += std::string("\\") + C;
+    else if (static_cast<unsigned char>(C) < 0x20)
+      Out += ' ';
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+/// Everything the optional --json dump needs, accumulated as the run
+/// progresses so audit/fuzz results land in the same document.
+struct JsonState {
+  bool AuditRan = false;
+  bool AuditPassed = false;
+  size_t MemFull = 0, MemFiltered = 0;
+  size_t FamiliesTotal = 0, FamiliesFull = 0, FamiliesFiltered = 0;
+  std::vector<std::string> Lost;
+  struct PassRow {
+    std::string Name;
+    size_t Sites = 0;
+    uint64_t Records = 0;
+    double Points = 0.0;
+    bool Sound = true;
+  };
+  std::vector<PassRow> Passes;
+  bool FuzzRan = false;
+  MutationFuzzResult Fuzz;
+};
+
+void writeJson(std::FILE *Out, const std::string &Workload,
+               const AnalysisOptions &Opts, const AccessModel &Model,
+               const AnalysisResult &Analysis, const FunctionRegistry &Reg,
+               const JsonState &State) {
+  std::fprintf(Out, "{\n  \"workload\": \"%s\",\n  \"passes\": [",
+               jsonEscape(Workload).c_str());
+  bool First = true;
+  for (size_t I = 0; I != kNumAnalysisPasses; ++I)
+    if (Opts.enabled(static_cast<AnalysisPass>(I))) {
+      std::fprintf(Out, "%s\"%s\"", First ? "" : ", ",
+                   passName(static_cast<AnalysisPass>(I)));
+      First = false;
+    }
+  std::fprintf(Out,
+               "],\n  \"declared_sites\": %zu,\n  \"elidable_sites\": %zu,\n"
+               "  \"redundant_sites\": %zu,\n  \"fingerprint\": \"%016llx\",\n",
+               Analysis.DeclaredSites, Analysis.ElidableSites,
+               Analysis.RedundantSites,
+               static_cast<unsigned long long>(Analysis.Policy.fingerprint()));
+  std::fprintf(Out, "  \"vars\": [\n");
+  for (size_t I = 0; I != Analysis.Vars.size(); ++I) {
+    const VarVerdict &V = Analysis.Vars[I];
+    std::fprintf(Out,
+                 "    {\"name\": \"%s\", \"verdict\": \"%s\", "
+                 "\"sites_elided\": %zu, \"why\": \"%s\"",
+                 jsonEscape(Model.varName(V.Var)).c_str(),
+                 verdictName(V.Kind), V.SitesElided,
+                 jsonEscape(V.Why).c_str());
+    if (V.Kind != VarVerdictKind::Racy)
+      std::fprintf(Out, ", \"proved_by\": \"%s\"", passName(V.ProvedBy));
+    std::fprintf(Out, ", \"notes\": [");
+    for (size_t N = 0; N != V.PassNotes.size(); ++N)
+      std::fprintf(Out, "%s\"%s\"", N ? ", " : "",
+                   jsonEscape(V.PassNotes[N]).c_str());
+    std::fprintf(Out, "]}%s\n", I + 1 == Analysis.Vars.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ],\n  \"elidable\": [\n");
+  std::vector<Pc> Sites = Analysis.Policy.elidableSites();
+  for (size_t I = 0; I != Sites.size(); ++I)
+    std::fprintf(Out, "    {\"site\": \"%s\", \"class\": \"%s\"}%s\n",
+                 jsonEscape(pcLabel(Reg, Sites[I])).c_str(),
+                 elisionClassName(Analysis.Policy.elisionClass(Sites[I])),
+                 I + 1 == Sites.size() ? "" : ",");
+  std::fprintf(Out, "  ]");
+  if (State.AuditRan) {
+    std::fprintf(Out,
+                 ",\n  \"audit\": {\"passed\": %s, \"mem_full\": %zu, "
+                 "\"mem_filtered\": %zu, \"families\": %zu, "
+                 "\"families_full\": %zu, \"families_filtered\": %zu, "
+                 "\"lost\": [",
+                 State.AuditPassed ? "true" : "false", State.MemFull,
+                 State.MemFiltered, State.FamiliesTotal, State.FamiliesFull,
+                 State.FamiliesFiltered);
+    for (size_t I = 0; I != State.Lost.size(); ++I)
+      std::fprintf(Out, "%s\"%s\"", I ? ", " : "",
+                   jsonEscape(State.Lost[I]).c_str());
+    std::fprintf(Out, "], \"per_pass\": [\n");
+    for (size_t I = 0; I != State.Passes.size(); ++I) {
+      const JsonState::PassRow &Row = State.Passes[I];
+      std::fprintf(Out,
+                   "    {\"pass\": \"%s\", \"sites\": %zu, \"records\": "
+                   "%llu, \"reduction_points\": %.4f, \"sound\": %s}%s\n",
+                   Row.Name.c_str(), Row.Sites,
+                   static_cast<unsigned long long>(Row.Records), Row.Points,
+                   Row.Sound ? "true" : "false",
+                   I + 1 == State.Passes.size() ? "" : ",");
+    }
+    std::fprintf(Out, "  ]}");
+  }
+  if (State.FuzzRan)
+    std::fprintf(Out,
+                 ",\n  \"fuzz\": {\"trials\": %zu, \"mutations\": %zu, "
+                 "\"violations\": %zu, \"first_violation\": \"%s\"}",
+                 State.Fuzz.Trials, State.Fuzz.MutationsApplied,
+                 State.Fuzz.Violations,
+                 jsonEscape(State.Fuzz.FirstViolation).c_str());
+  std::fprintf(Out, "\n}\n");
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage(Argv[0]);
-  auto Kind = parseWorkload(Argv[1]);
+  auto Kind = workloadKindByName(Argv[1]);
   if (!Kind) {
     std::fprintf(stderr, "error: unknown workload '%s'\n", Argv[1]);
     return usage(Argv[0]);
   }
-  bool Audit = false;
+  bool Audit = false, Fuzz = false;
+  std::string ExplainVar;
+  bool Json = false;
+  std::string JsonPath;
+  AnalysisOptions Opts;
   WorkloadParams Params;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--audit") {
       Audit = true;
+    } else if (Arg == "--fuzz") {
+      Fuzz = true;
+    } else if (Arg == "--explain" && I + 1 < Argc) {
+      ExplainVar = Argv[++I];
+    } else if (Arg == "--json" || Arg.rfind("--json=", 0) == 0) {
+      Json = true;
+      if (Arg.size() > 7)
+        JsonPath = Arg.substr(7);
+    } else if (Arg == "--passes" && I + 1 < Argc) {
+      std::string List = Argv[++I];
+      if (List != "all") {
+        Opts = AnalysisOptions::none();
+        size_t Pos = 0;
+        while (Pos <= List.size()) {
+          size_t Comma = List.find(',', Pos);
+          std::string Name = List.substr(
+              Pos, Comma == std::string::npos ? std::string::npos
+                                              : Comma - Pos);
+          bool Known = false;
+          for (size_t P = 0; P != kNumAnalysisPasses; ++P)
+            if (Name == passName(static_cast<AnalysisPass>(P))) {
+              Opts.set(static_cast<AnalysisPass>(P), true);
+              Known = true;
+            }
+          if (!Known) {
+            std::fprintf(stderr, "error: unknown pass '%s'\n", Name.c_str());
+            return usage(Argv[0]);
+          }
+          if (Comma == std::string::npos)
+            break;
+          Pos = Comma + 1;
+        }
+      }
     } else if (Arg == "--scale" && I + 1 < Argc) {
       Params.Scale = std::atof(Argv[++I]);
     } else if (Arg == "--seed" && I + 1 < Argc) {
@@ -130,74 +266,211 @@ int main(int Argc, char **Argv) {
   W->bind(RT);
 
   const AccessModel &Model = RT.accessModel();
-  AnalysisResult Analysis = analyzeAccessModel(Model);
+  AnalysisResult Analysis = analyzeAccessModel(Model, Opts);
   const FunctionRegistry &Reg = RT.registry();
+  JsonState State;
+  // Bare --json replaces the human-readable report on stdout; --json=PATH
+  // keeps the report and writes the dump to the file.
+  bool Quiet = Json && JsonPath.empty();
 
-  std::printf("%s: %zu vars, %zu locks, %zu roles, %zu declared sites\n",
-              W->name().c_str(), Model.numVars(), Model.numLocks(),
-              Model.numRoles(), Analysis.DeclaredSites);
-  std::printf("policy: %zu/%zu sites elidable, fingerprint %016llx\n\n",
-              Analysis.ElidableSites, Analysis.DeclaredSites,
-              static_cast<unsigned long long>(Analysis.Policy.fingerprint()));
-
-  TableFormatter Table("Per-variable verdicts");
-  Table.addRow({"Variable", "Verdict", "Sites Elided", "Justification"});
-  for (const VarVerdict &V : Analysis.Vars)
-    Table.addRow({Model.varName(V.Var), verdictName(V.Kind),
-                  std::to_string(V.SitesElided), V.Why});
-  Table.print();
-
-  if (!Analysis.Policy.empty()) {
-    std::printf("\nelidable sites:\n");
-    for (Pc Site : Analysis.Policy.elidableSites())
-      std::printf("  %s\n", pcLabel(Reg, Site).c_str());
-  }
-
-  if (!Audit)
-    return 0;
-
-  // ---- Soundness audit: full log once, elide offline, compare the
-  // detected seeded families on the identical interleaving.
-  std::printf("\nrunning soundness audit (full log at scale %.2f)...\n",
-              Params.Scale);
-  W->run(RT, Params);
-  Trace Full = Sink.takeTrace();
-
-  RaceReport FullReport, FilteredReport;
-  bool Consistent = detectRaces(Full, FullReport);
-  Trace Filtered = filterTrace(Full, Analysis.Policy);
-  Consistent &= detectRaces(Filtered, FilteredReport);
-
-  const std::vector<SeededRaceSpec> Manifest = W->seededRaces();
-  std::set<std::string> InFull = familiesDetected(FullReport, Manifest);
-  std::set<std::string> InFiltered = familiesDetected(FilteredReport, Manifest);
-
-  size_t MemFull = Full.memoryOps(), MemFiltered = Filtered.memoryOps();
-  std::printf("full log: %zu memory records, %zu/%zu seeded families "
-              "detected\n",
-              MemFull, InFull.size(), Manifest.size());
-  std::printf("after elision: %zu memory records (-%.1f%%), %zu/%zu seeded "
-              "families detected\n",
-              MemFiltered,
-              MemFull ? 100.0 * static_cast<double>(MemFull - MemFiltered) /
-                            static_cast<double>(MemFull)
-                      : 0.0,
-              InFiltered.size(), Manifest.size());
-
-  bool Lost = false;
-  for (const std::string &Label : InFull)
-    if (!InFiltered.count(Label)) {
-      std::printf("LOST: %s\n", Label.c_str());
-      Lost = true;
+  if (!ExplainVar.empty()) {
+    std::optional<VarId> Target;
+    for (VarId V = 0; V != Model.numVars(); ++V)
+      if (Model.varName(V) == ExplainVar)
+        Target = V;
+    if (!Target) {
+      std::fprintf(stderr, "error: unknown variable '%s'\nvariables:\n",
+                   ExplainVar.c_str());
+      for (VarId V = 0; V != Model.numVars(); ++V)
+        std::fprintf(stderr, "  %s\n", Model.varName(V).c_str());
+      return 2;
     }
-  if (!Consistent) {
-    std::printf("audit FAILED: replay found the log inconsistent\n");
-    return 4;
+    const VarVerdict &V = Analysis.Vars[*Target];
+    std::printf("%s: %s\n", ExplainVar.c_str(), verdictName(V.Kind));
+    std::printf("  %s\n", V.Why.c_str());
+    std::printf("proof chain (passes in priority order):\n");
+    for (const std::string &Note : V.PassNotes)
+      std::printf("  %s\n", Note.c_str());
+    std::printf("sites elided: %zu\n", V.SitesElided);
+    for (Pc Site : Analysis.Policy.elidableSites()) {
+      bool Mine = false;
+      for (const SiteDecl &D : Model.declarations())
+        if (D.Site == Site && D.Var == *Target)
+          Mine = true;
+      if (Mine)
+        std::printf("  %s (%s)\n", pcLabel(Reg, Site).c_str(),
+                    elisionClassName(Analysis.Policy.elisionClass(Site)));
+    }
+  } else if (!Quiet) {
+    std::printf("%s: %zu vars, %zu locks, %zu roles, %zu declared sites\n",
+                W->name().c_str(), Model.numVars(), Model.numLocks(),
+                Model.numRoles(), Analysis.DeclaredSites);
+    std::printf(
+        "policy: %zu/%zu sites elidable (%zu redundant), fingerprint "
+        "%016llx\n\n",
+        Analysis.ElidableSites, Analysis.DeclaredSites,
+        Analysis.RedundantSites,
+        static_cast<unsigned long long>(Analysis.Policy.fingerprint()));
+
+    TableFormatter Table("Per-variable verdicts");
+    Table.addRow({"Variable", "Verdict", "Sites Elided", "Justification"});
+    for (const VarVerdict &V : Analysis.Vars)
+      Table.addRow({Model.varName(V.Var), verdictName(V.Kind),
+                    std::to_string(V.SitesElided), V.Why});
+    Table.print();
+
+    if (!Analysis.Policy.empty()) {
+      std::printf("\nelidable sites:\n");
+      for (Pc Site : Analysis.Policy.elidableSites()) {
+        ElisionClass Class = Analysis.Policy.elisionClass(Site);
+        std::printf("  %s%s\n", pcLabel(Reg, Site).c_str(),
+                    Class == ElisionClass::Redundant ? " (redundant)" : "");
+      }
+    }
   }
-  if (Lost) {
-    std::printf("audit FAILED: elision hid seeded races\n");
-    return 4;
+
+  int ExitCode = 0;
+
+  if (Audit) {
+    // ---- Soundness audit: full log once, elide offline, compare the
+    // detected seeded families on the identical interleaving.
+    if (!Quiet)
+      std::printf("\nrunning soundness audit (full log at scale %.2f)...\n",
+                  Params.Scale);
+    W->run(RT, Params);
+    Trace Full = Sink.takeTrace();
+
+    RaceReport FullReport, FilteredReport;
+    bool Consistent = detectRaces(Full, FullReport);
+    Trace Filtered = filterTrace(Full, Analysis.Policy);
+    Consistent &= detectRaces(Filtered, FilteredReport);
+
+    const std::vector<SeededRaceSpec> Manifest = W->seededRaces();
+    std::set<std::string> InFull = familiesDetected(FullReport, Manifest);
+    std::set<std::string> InFiltered =
+        familiesDetected(FilteredReport, Manifest);
+
+    size_t MemFull = Full.memoryOps(), MemFiltered = Filtered.memoryOps();
+    if (!Quiet) {
+      std::printf("full log: %zu memory records, %zu/%zu seeded families "
+                  "detected\n",
+                  MemFull, InFull.size(), Manifest.size());
+      std::printf("after elision: %zu memory records (-%.1f%%), %zu/%zu "
+                  "seeded families detected\n",
+                  MemFiltered,
+                  MemFull ? 100.0 *
+                                static_cast<double>(MemFull - MemFiltered) /
+                                static_cast<double>(MemFull)
+                          : 0.0,
+                  InFiltered.size(), Manifest.size());
+    }
+
+    bool Lost = false;
+    for (const std::string &Label : InFull)
+      if (!InFiltered.count(Label)) {
+        if (!Quiet)
+          std::printf("LOST: %s\n", Label.c_str());
+        State.Lost.push_back(Label);
+        Lost = true;
+      }
+
+    // ---- Per-pass differential audit on the same trace: disable each
+    // enabled pass in turn, credit it with the sites and log-reduction
+    // points only it proves, and re-audit the ablated policy so no pass
+    // can hide a soundness bug behind another pass's proof.
+    if (!Quiet)
+      std::printf("\nper-pass differential audit:\n");
+    for (size_t PI = 0; PI != kNumAnalysisPasses; ++PI) {
+      AnalysisPass Pass = static_cast<AnalysisPass>(PI);
+      if (!Opts.enabled(Pass))
+        continue;
+      std::vector<Pc> Attributed = passAttribution(Model, Pass);
+      std::set<Pc> AttrSet(Attributed.begin(), Attributed.end());
+      uint64_t Records = 0;
+      for (const std::vector<EventRecord> &Stream : Full.PerThread)
+        for (const EventRecord &R : Stream)
+          if (isMemoryKind(R.Kind) && AttrSet.count(R.Pc))
+            ++Records;
+      double Points =
+          MemFull ? static_cast<double>(Records) /
+                        static_cast<double>(MemFull)
+                  : 0.0;
+
+      AnalysisResult Ablated =
+          analyzeAccessModel(Model, AnalysisOptions::allExcept(Pass));
+      RaceReport AblatedReport;
+      bool PassSound =
+          detectRaces(filterTrace(Full, Ablated.Policy), AblatedReport);
+      std::set<std::string> InAblated =
+          familiesDetected(AblatedReport, Manifest);
+      for (const std::string &Label : InFull)
+        if (!InAblated.count(Label))
+          PassSound = false;
+      if (!PassSound)
+        Lost = true;
+
+      if (!Quiet)
+        std::printf("  %-13s %2zu sites, %8llu records (%5.1f pts), "
+                    "ablated audit %s\n",
+                    passName(Pass), AttrSet.size(),
+                    static_cast<unsigned long long>(Records), 100.0 * Points,
+                    PassSound ? "sound" : "RACE LOST");
+      State.Passes.push_back({passName(Pass), AttrSet.size(), Records,
+                              Points, PassSound});
+    }
+
+    State.AuditRan = true;
+    State.MemFull = MemFull;
+    State.MemFiltered = MemFiltered;
+    State.FamiliesTotal = Manifest.size();
+    State.FamiliesFull = InFull.size();
+    State.FamiliesFiltered = InFiltered.size();
+    State.AuditPassed = Consistent && !Lost;
+    if (!Consistent) {
+      if (!Quiet)
+        std::printf("audit FAILED: replay found the log inconsistent\n");
+      ExitCode = 4;
+    } else if (Lost) {
+      if (!Quiet)
+        std::printf("audit FAILED: elision hid seeded races\n");
+      ExitCode = 4;
+    } else if (!Quiet) {
+      std::printf("audit passed: elision hides no seeded race in any "
+                  "configuration\n");
+    }
   }
-  std::printf("audit passed: elision hides no seeded race\n");
-  return 0;
+
+  if (Fuzz) {
+    State.Fuzz = fuzzModelConservatism(Model);
+    State.FuzzRan = true;
+    if (!Quiet)
+      std::printf("\nconservatism fuzzer: %zu trials, %zu mutations, %zu "
+                  "violations\n",
+                  State.Fuzz.Trials, State.Fuzz.MutationsApplied,
+                  State.Fuzz.Violations);
+    if (!State.Fuzz.passed()) {
+      if (!Quiet)
+        std::printf("fuzzer FAILED: %s\n",
+                    State.Fuzz.FirstViolation.c_str());
+      if (ExitCode == 0)
+        ExitCode = 5;
+    } else if (!Quiet) {
+      std::printf("fuzzer passed: no weakening increased elision\n");
+    }
+  }
+
+  if (Json) {
+    std::FILE *Out = stdout;
+    if (!JsonPath.empty()) {
+      Out = std::fopen(JsonPath.c_str(), "w");
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+        return 2;
+      }
+    }
+    writeJson(Out, Argv[1], Opts, Model, Analysis, Reg, State);
+    if (Out != stdout)
+      std::fclose(Out);
+  }
+  return ExitCode;
 }

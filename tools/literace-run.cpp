@@ -66,30 +66,6 @@ using namespace literace;
 
 namespace {
 
-std::optional<WorkloadKind> parseWorkload(const std::string &Name) {
-  if (Name == "channel-stdlib")
-    return WorkloadKind::ChannelWithStdLib;
-  if (Name == "channel")
-    return WorkloadKind::Channel;
-  if (Name == "concrt-messaging")
-    return WorkloadKind::ConcRTMessaging;
-  if (Name == "concrt-scheduling")
-    return WorkloadKind::ConcRTScheduling;
-  if (Name == "httpd-1")
-    return WorkloadKind::Httpd1;
-  if (Name == "httpd-2")
-    return WorkloadKind::Httpd2;
-  if (Name == "browser-start")
-    return WorkloadKind::BrowserStart;
-  if (Name == "browser-render")
-    return WorkloadKind::BrowserRender;
-  if (Name == "lkrhash")
-    return WorkloadKind::LKRHash;
-  if (Name == "lflist")
-    return WorkloadKind::LFList;
-  return std::nullopt;
-}
-
 std::optional<RunMode> parseMode(const std::string &Name) {
   if (Name == "sync")
     return RunMode::SyncLogging;
@@ -108,10 +84,8 @@ int usage(const char *Argv0) {
       "          [--format v1|v2|v2z] [--flush sync|async]\n"
       "          [--flush-policy block|drop] [--kill-after-bytes <n>]\n"
       "          [--abort-after-bytes <n>]\n"
-      "workloads: channel-stdlib channel concrt-messaging\n"
-      "           concrt-scheduling httpd-1 httpd-2 browser-start\n"
-      "           browser-render lkrhash lflist\n",
-      Argv0);
+      "workloads:\n%s\n",
+      Argv0, workloadNameList("  ").c_str());
   return 2;
 }
 
@@ -175,7 +149,7 @@ int main(int Argc, char **Argv) {
   if (Argc < 3)
     return usage(Argv[0]);
 
-  auto Kind = parseWorkload(Argv[1]);
+  auto Kind = workloadKindByName(Argv[1]);
   if (!Kind) {
     std::fprintf(stderr, "error: unknown workload '%s'\n", Argv[1]);
     return usage(Argv[0]);
