@@ -12,15 +12,18 @@
 // Then sweeps the sharded happens-before pipeline (docs/DETECTOR.md) over
 // shards ∈ {1, 2, 4, 8} on the same trace, verifying the merged report is
 // byte-identical to the serial one at every width and reporting the
-// speedup trajectory. With --json[=PATH] the sweep is also written as
-// JSON (default BENCH_detector_shards.json) so successive PRs can track
-// the speedup. LITERACE_REPEATS>1 takes the best of N timings per width.
+// speedup trajectory. With --json[=PATH] both the backend comparison and
+// the shard sweep are written as JSON (default
+// BENCH_detector_throughput.json) so successive PRs can track the
+// trajectory with tools/bench-compare. LITERACE_REPEATS>1 takes the best
+// of N timings per backend and per width.
 //
 //===----------------------------------------------------------------------===//
 
 #include "detector/FastTrackDetector.h"
 #include "detector/HBDetector.h"
 #include "detector/LocksetDetector.h"
+#include "detector/OnlineDetector.h"
 #include "detector/ShardedDetector.h"
 #include "harness/DetectionExperiment.h"
 #include "harness/Tables.h"
@@ -37,6 +40,17 @@
 using namespace literace;
 
 namespace {
+
+/// One backend's best-of-N measurement, for the table and the JSON
+/// snapshot. Label is a stable slug (bench-compare keys list entries on
+/// it, so renaming one orphans its history).
+struct BackendPoint {
+  const char *Label = "";
+  size_t Races = 0;
+  size_t RacyAddrs = 0;
+  double Seconds = 0.0;
+  double EventsPerSec = 0.0;
+};
 
 struct SweepPoint {
   unsigned Shards = 1;
@@ -55,7 +69,7 @@ int main(int Argc, char **Argv) {
   std::string JsonPath;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--json") == 0)
-      JsonPath = "BENCH_detector_shards.json";
+      JsonPath = "BENCH_detector_throughput.json";
     else if (std::strncmp(Argv[I], "--json=", 7) == 0)
       JsonPath = Argv[I] + 7;
   }
@@ -72,28 +86,46 @@ int main(int Argc, char **Argv) {
   TableFormatter Table("Detector backend throughput on one Dryad Channel "
                        "+ stdlib trace");
   Table.addRow({"Detector", "Races", "Racy addrs", "Time", "M events/s"});
-  auto Measure = [&](const char *Name, auto Detect) {
-    RaceReport Report;
-    WallTimer Timer;
-    bool Ok = Detect(T, Report);
-    double Seconds = Timer.seconds();
-    Table.addRow({Name, std::to_string(Report.numStaticRaces()),
-                  std::to_string(Report.racyAddresses().size()),
-                  TableFormatter::num(Seconds, 3) + "s",
-                  TableFormatter::num(
-                      static_cast<double>(T.totalEvents()) / 1e6 / Seconds,
-                      1)});
-    if (!Ok)
-      std::fprintf(stderr, "warning: %s saw an inconsistent log\n", Name);
+  std::vector<BackendPoint> Backends;
+  auto Measure = [&](const char *Name, const char *Label, auto Detect) {
+    BackendPoint P;
+    P.Label = Label;
+    for (unsigned Rep = 0; Rep != (Repeats == 0 ? 1 : Repeats); ++Rep) {
+      RaceReport Report;
+      WallTimer Timer;
+      bool Ok = Detect(T, Report);
+      double Seconds = Timer.seconds();
+      if (!Ok)
+        std::fprintf(stderr, "warning: %s saw an inconsistent log\n", Name);
+      if (Rep == 0 || Seconds < P.Seconds)
+        P.Seconds = Seconds;
+      P.Races = Report.numStaticRaces();
+      P.RacyAddrs = Report.racyAddresses().size();
+    }
+    P.EventsPerSec = static_cast<double>(T.totalEvents()) / P.Seconds;
+    Backends.push_back(P);
+    Table.addRow({Name, std::to_string(P.Races),
+                  std::to_string(P.RacyAddrs),
+                  TableFormatter::num(P.Seconds, 3) + "s",
+                  TableFormatter::num(P.EventsPerSec / 1e6, 1)});
   };
-  Measure("happens-before (vector clocks)",
+  Measure("happens-before (vector clocks)", "hb",
           [](const Trace &Tr, RaceReport &R) { return detectRaces(Tr, R); });
-  Measure("FastTrack (epochs)", [](const Trace &Tr, RaceReport &R) {
-    return detectRacesFastTrack(Tr, R);
-  });
-  Measure("lockset (Eraser; imprecise)",
+  Measure("FastTrack (epochs)", "fasttrack",
+          [](const Trace &Tr, RaceReport &R) {
+            return detectRacesFastTrack(Tr, R);
+          });
+  Measure("lockset (Eraser; imprecise)", "lockset",
           [](const Trace &Tr, RaceReport &R) {
             return detectLocksetViolations(Tr, R);
+          });
+  Measure("online (streaming sink)", "online",
+          [](const Trace &Tr, RaceReport &R) {
+            OnlineDetector D(Tr.NumTimestampCounters, R);
+            for (ThreadId Tid = 0; Tid != Tr.PerThread.size(); ++Tid)
+              D.writeChunk(Tid, Tr.PerThread[Tid].data(),
+                           Tr.PerThread[Tid].size());
+            return D.finish();
           });
   Table.print();
 
@@ -192,11 +224,21 @@ int main(int Argc, char **Argv) {
     std::fprintf(File,
                  "{\n  \"benchmark\": \"%s\",\n  \"events\": %zu,\n"
                  "  \"mem_ops\": %zu,\n  \"sync_ops\": %zu,\n"
-                 "  \"host_cores\": %u,\n  \"identical_reports\": %s,\n"
-                 "  \"sweep\": [\n",
+                 "  \"host_cores\": %u,\n  \"identical_reports\": %s,\n",
                  W->name().c_str(), T.totalEvents(), T.memoryOps(),
                  T.syncOps(), std::thread::hardware_concurrency(),
                  Identical ? "true" : "false");
+    std::fprintf(File, "  \"backends\": [\n");
+    for (size_t I = 0; I != Backends.size(); ++I) {
+      const BackendPoint &P = Backends[I];
+      std::fprintf(File,
+                   "    {\"backend\": \"%s\", \"seconds\": %.6f, "
+                   "\"events_per_sec\": %.1f, \"static_races\": %zu, "
+                   "\"racy_addrs\": %zu}%s\n",
+                   P.Label, P.Seconds, P.EventsPerSec, P.Races, P.RacyAddrs,
+                   I + 1 == Backends.size() ? "" : ",");
+    }
+    std::fprintf(File, "  ],\n  \"sweep\": [\n");
     for (size_t I = 0; I != Sweep.size(); ++I) {
       const SweepPoint &P = Sweep[I];
       std::fprintf(File,

@@ -1,0 +1,192 @@
+//===-- fuzz/ScheduleEngine.cpp - Deterministic schedule fuzzer ----------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ScheduleEngine.h"
+
+#include "runtime/ThreadContext.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace literace;
+
+SchedulePerturber::~SchedulePerturber() = default;
+
+ScheduleEngine::ScheduleEngine(const PerturbOptions &Options)
+    : Rng(Options.Seed), Opts(Options) {}
+
+ScheduleEngine::~ScheduleEngine() = default;
+
+ScheduleEngine::ThreadState &ScheduleEngine::stateOf(ThreadId Tid) {
+  auto It = Threads.find(Tid);
+  assert(It != Threads.end() && "thread not attached to the engine");
+  return It->second;
+}
+
+// Picks the next thread for one scheduling decision and hands it the
+// token, then (in reschedule) blocks until Self is granted again. Penalty
+// counters of every other runnable thread age by one per decision, so a
+// delayed/demoted thread rejoins the normal pool after its steps elapse.
+//
+// Candidate preference: normal > demoted (priority-inverted) > delayed,
+// where the delayed pool is touched only when the caller must give the
+// token away (blocked waits, self-delay, detach). The pick within a pool
+// is a PRNG draw; pools are built in Tid order, so the whole decision is
+// a deterministic function of the seed and the point sequence.
+void ScheduleEngine::reschedule(std::unique_lock<std::mutex> &L,
+                                ThreadState &Self, bool MustSwitch) {
+  std::vector<ThreadState *> Normal, Demoted, Delayed;
+  for (auto &KV : Threads) {
+    ThreadState &S = KV.second;
+    if (&S == &Self || S.Finished)
+      continue;
+    const bool WasDelayed = S.DelaySteps > 0;
+    const bool WasDemoted = S.DemotedSteps > 0;
+    if (S.DelaySteps)
+      --S.DelaySteps;
+    if (S.DemotedSteps)
+      --S.DemotedSteps;
+    (WasDelayed ? Delayed : WasDemoted ? Demoted : Normal).push_back(&S);
+  }
+  std::vector<ThreadState *> *Pool =
+      !Normal.empty()                  ? &Normal
+      : !Demoted.empty()               ? &Demoted
+      : (MustSwitch && !Delayed.empty()) ? &Delayed
+                                         : nullptr;
+  if (!Pool)
+    return; // Nobody else runnable: the token stays with Self.
+  ThreadState &Next =
+      *(*Pool)[Pool->size() == 1 ? 0 : Rng.nextBelow(Pool->size())];
+  ++Stats.Switches;
+  Self.Granted = false;
+  Next.Granted = true;
+  Owner = &Next;
+  Cv.notify_all();
+  Cv.wait(L, [&] { return Self.Granted; });
+}
+
+void ScheduleEngine::attach(ThreadContext &TC) {
+  std::unique_lock<std::mutex> L(Mu);
+  ThreadState &S = Threads[TC.tid()];
+  S.Tid = TC.tid();
+  ++AttachGen;
+  LastAttached = TC.tid();
+  uint32_t Live = 0;
+  for (const auto &KV : Threads)
+    if (!KV.second.Finished)
+      ++Live;
+  Stats.MaxThreads = std::max(Stats.MaxThreads, Live);
+  AttachCv.notify_all();
+  if (!Owner) {
+    S.Granted = true;
+    Owner = &S;
+    return;
+  }
+  Cv.wait(L, [&] { return S.Granted; });
+}
+
+void ScheduleEngine::detach(ThreadContext &TC) {
+  std::unique_lock<std::mutex> L(Mu);
+  ThreadState &S = stateOf(TC.tid());
+  S.Finished = true;
+  if (Owner == &S) {
+    // Hand the token on without waiting to be rescheduled: this thread is
+    // leaving. If nobody is runnable the engine goes idle until the next
+    // attach (or a joiner's cooperative wait notices the detach).
+    S.Granted = false;
+    Owner = nullptr;
+    std::vector<ThreadState *> Runnable;
+    for (auto &KV : Threads)
+      if (!KV.second.Finished)
+        Runnable.push_back(&KV.second);
+    if (!Runnable.empty()) {
+      ThreadState &Next =
+          *Runnable[Runnable.size() == 1 ? 0 : Rng.nextBelow(Runnable.size())];
+      ++Stats.Switches;
+      Next.Granted = true;
+      Owner = &Next;
+    }
+  }
+  Cv.notify_all();
+}
+
+void ScheduleEngine::perturb(PerturbPoint Point, ThreadContext &TC) {
+  switch (Point) {
+  case PerturbPoint::FunctionEntry:
+    if (!Opts.AtFunctionEntry)
+      return;
+    break;
+  case PerturbPoint::MemoryOp:
+    if (!Opts.AtMemoryOps)
+      return;
+    break;
+  case PerturbPoint::SyncOp:
+    if (!Opts.AtSyncOps)
+      return;
+    break;
+  }
+  std::unique_lock<std::mutex> L(Mu);
+  ThreadState &S = stateOf(TC.tid());
+  assert(Owner == &S && "perturbation point from a thread without the token");
+  ++Stats.Points;
+  if (Rng.nextBernoulli(Opts.DelayProb)) {
+    ++Stats.Delays;
+    S.DelaySteps =
+        1 + (Opts.DelayStepsMax ? static_cast<uint32_t>(
+                                      Rng.nextBelow(Opts.DelayStepsMax))
+                                : 0);
+    reschedule(L, S, /*MustSwitch=*/true);
+  } else if (Rng.nextBernoulli(Opts.InvertProb)) {
+    ++Stats.Inversions;
+    S.DemotedSteps = Opts.InvertSteps;
+    reschedule(L, S, /*MustSwitch=*/true);
+  } else if (Rng.nextBernoulli(Opts.PreemptProb)) {
+    ++Stats.Preemptions;
+    reschedule(L, S, /*MustSwitch=*/false);
+  }
+}
+
+uint64_t ScheduleEngine::prepareFork(ThreadContext &Parent) {
+  (void)Parent;
+  std::unique_lock<std::mutex> L(Mu);
+  return AttachGen;
+}
+
+ThreadId ScheduleEngine::awaitAttach(ThreadContext &Parent, uint64_t Ticket) {
+  (void)Parent;
+  std::unique_lock<std::mutex> L(Mu);
+  // The ticket was taken before the OS thread was spawned, so a child that
+  // attached before we got here already satisfies the predicate — no
+  // wakeup can be lost.
+  AttachCv.wait(L, [&] { return AttachGen != Ticket; });
+  return LastAttached;
+}
+
+void ScheduleEngine::yieldUntilDetached(ThreadContext &Waiter,
+                                        ThreadId Child) {
+  std::unique_lock<std::mutex> L(Mu);
+  ThreadState &Self = stateOf(Waiter.tid());
+  for (;;) {
+    auto It = Threads.find(Child);
+    if (It != Threads.end() && It->second.Finished)
+      return;
+    ++Stats.BlockedYields;
+    reschedule(L, Self, /*MustSwitch=*/true);
+  }
+}
+
+void ScheduleEngine::blockedYield(ThreadContext &TC) {
+  std::unique_lock<std::mutex> L(Mu);
+  ThreadState &S = stateOf(TC.tid());
+  ++Stats.BlockedYields;
+  reschedule(L, S, /*MustSwitch=*/true);
+}
+
+PerturbStats ScheduleEngine::stats() const {
+  std::unique_lock<std::mutex> L(Mu);
+  return Stats;
+}

@@ -1,0 +1,124 @@
+//===-- fuzz/ScheduleEngine.h - Deterministic schedule fuzzer --*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seeded schedule-perturbation engine. All attached
+/// threads serialize on a single execution token; at every perturbation
+/// point the token holder consults one seeded PRNG (under the engine lock,
+/// so draws are globally ordered) and may
+///
+///   - preempt itself: hand the token to another runnable thread,
+///   - delay itself: go ineligible for the next k scheduling decisions,
+///   - priority-invert itself: become a last-resort candidate for the next
+///     k decisions, scheduled only when no normal candidate exists.
+///
+/// Because exactly one thread runs at a time and every scheduling decision
+/// is a deterministic function of (seed, sequence of perturbation points),
+/// the same seed reproduces the same interleaving — and therefore the same
+/// trace (after fuzz/TraceCanon address/timestamp canonicalization) and
+/// the same race reports. Token handoff goes through a mutex + condition
+/// variable, which creates real happens-before edges between consecutive
+/// quanta; a fuzzed execution is thus TSan-clean even when the workload
+/// seeds intentional data races, letting recall tests run in the sanitizer
+/// CI tier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_FUZZ_SCHEDULEENGINE_H
+#define LITERACE_FUZZ_SCHEDULEENGINE_H
+
+#include "fuzz/SchedulePerturber.h"
+#include "support/SplitMix64.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace literace {
+
+/// Perturbation policy knobs. Probabilities are per perturbation point.
+struct PerturbOptions {
+  uint64_t Seed = 1;
+  /// Probability of handing the token to another thread at a point.
+  double PreemptProb = 0.10;
+  /// Probability of self-delaying; the thread sits out the next
+  /// 1..DelayStepsMax scheduling decisions.
+  double DelayProb = 0.04;
+  uint32_t DelayStepsMax = 12;
+  /// Probability of self-inverting; the thread becomes a last-resort
+  /// candidate for the next InvertSteps decisions.
+  double InvertProb = 0.02;
+  uint32_t InvertSteps = 32;
+  /// Which instrumentation points participate.
+  bool AtFunctionEntry = true;
+  bool AtMemoryOps = true;
+  bool AtSyncOps = true;
+};
+
+/// Counters describing what the engine did during one run.
+struct PerturbStats {
+  uint64_t Points = 0;        ///< perturbation points observed
+  uint64_t Switches = 0;      ///< token handoffs (all causes)
+  uint64_t Preemptions = 0;   ///< switches caused by preemption draws
+  uint64_t Delays = 0;        ///< self-delay draws
+  uint64_t Inversions = 0;    ///< priority-inversion draws
+  uint64_t BlockedYields = 0; ///< cooperative yields from blocked waits
+  uint32_t MaxThreads = 0;    ///< peak simultaneously attached threads
+};
+
+/// The one SchedulePerturber implementation. Must outlive every
+/// ThreadContext attached to the Runtime it is installed on.
+class ScheduleEngine final : public SchedulePerturber {
+public:
+  explicit ScheduleEngine(const PerturbOptions &Options = PerturbOptions());
+  ~ScheduleEngine() override;
+
+  void attach(ThreadContext &TC) override;
+  void detach(ThreadContext &TC) override;
+  void perturb(PerturbPoint Point, ThreadContext &TC) override;
+  uint64_t prepareFork(ThreadContext &Parent) override;
+  ThreadId awaitAttach(ThreadContext &Parent, uint64_t Ticket) override;
+  void yieldUntilDetached(ThreadContext &Waiter, ThreadId Child) override;
+  void blockedYield(ThreadContext &TC) override;
+
+  const PerturbOptions &options() const { return Opts; }
+  PerturbStats stats() const;
+
+private:
+  struct ThreadState {
+    ThreadId Tid = 0;
+    bool Granted = false;       ///< holds (or has been handed) the token
+    bool Finished = false;      ///< detached; never scheduled again
+    uint32_t DelaySteps = 0;    ///< decisions left to sit out
+    uint32_t DemotedSteps = 0;  ///< decisions left as last-resort candidate
+  };
+
+  ThreadState &stateOf(ThreadId Tid);
+  /// Picks the next thread and hands over the token; if \p MustSwitch,
+  /// delay credits are ignored rather than leave the token with \p Self.
+  /// Blocks until \p Self is granted again (unless no candidate existed).
+  void reschedule(std::unique_lock<std::mutex> &L, ThreadState &Self,
+                  bool MustSwitch);
+
+  mutable std::mutex Mu;
+  std::condition_variable Cv;       ///< token grants
+  std::condition_variable AttachCv; ///< fork protocol
+  /// Ordered by Tid so candidate enumeration is deterministic. std::map
+  /// gives stable addresses across inserts (threads hold no iterators,
+  /// but reschedule keeps a ThreadState& across waits).
+  std::map<ThreadId, ThreadState> Threads;
+  ThreadState *Owner = nullptr;
+  SplitMix64 Rng;
+  PerturbOptions Opts;
+  PerturbStats Stats;
+  uint64_t AttachGen = 0;
+  ThreadId LastAttached = 0;
+};
+
+} // namespace literace
+
+#endif // LITERACE_FUZZ_SCHEDULEENGINE_H

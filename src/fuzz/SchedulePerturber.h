@@ -1,0 +1,94 @@
+//===-- fuzz/SchedulePerturber.h - Schedule perturbation hook --*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime-side interface of the schedule fuzzer. A perturber installed
+/// on a Runtime (Runtime::installPerturber) is consulted by every attached
+/// ThreadContext at instrumentation-site granularity: function entry
+/// (the dispatch check), each logged memory operation, and each
+/// synchronization primitive entry. The hooks live in the existing dispatch
+/// path, so workloads need no changes to become fuzzable.
+///
+/// The interface is cooperative: threads attach on ThreadContext
+/// construction and detach on destruction, and the sync primitives replace
+/// their blocking waits with try + blockedYield() loops when a perturber is
+/// present, so the engine can hold the whole execution on a single token
+/// and pick the next runnable thread deterministically (fuzz/ScheduleEngine
+/// is the one implementation). Fork/join get explicit protocol calls so
+/// thread-id assignment stays deterministic: the parent keeps the token
+/// while the child attaches (awaitAttach), and join spins cooperatively
+/// until the child has detached before touching the real OS join.
+///
+/// Hook placement rule: never inside ThreadContext::logSync — the AtomicU64
+/// primitive calls it while holding its spinlock, and parking the token
+/// there would deadlock the engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_FUZZ_SCHEDULEPERTURBER_H
+#define LITERACE_FUZZ_SCHEDULEPERTURBER_H
+
+#include "runtime/Ids.h"
+
+namespace literace {
+
+class ThreadContext;
+
+/// Where in the instrumentation path a perturbation point fired.
+enum class PerturbPoint : uint8_t {
+  FunctionEntry = 0, ///< ThreadContext dispatch check (computeSampleMask)
+  MemoryOp = 1,      ///< each logged memory access (logMemory)
+  SyncOp = 2,        ///< entry of a sync primitive (src/sync)
+};
+
+/// Abstract schedule perturber. All methods are called from the thread
+/// being scheduled; implementations serialize internally.
+class SchedulePerturber {
+public:
+  virtual ~SchedulePerturber();
+
+  /// Registers \p TC and blocks until it is granted the execution token.
+  /// Called at the end of ThreadContext's constructor.
+  virtual void attach(ThreadContext &TC) = 0;
+
+  /// Unregisters \p TC and passes the token on. Called first thing in
+  /// ThreadContext's destructor; after this the thread runs free (its
+  /// remaining work — buffer flush, stats accumulation — is lock-protected
+  /// and carries no instrumentation points).
+  virtual void detach(ThreadContext &TC) = 0;
+
+  /// One perturbation point: may delay, preempt, or priority-invert the
+  /// calling thread. The caller must hold the token (i.e. be attached).
+  virtual void perturb(PerturbPoint Point, ThreadContext &TC) = 0;
+
+  /// Fork protocol, step 1: called by the parent (token holder)
+  /// immediately before spawning the OS thread. Returns a ticket naming
+  /// the current attach generation, so awaitAttach can tell whether the
+  /// child has already registered — the child does not need the token to
+  /// attach and may win the race to the engine lock.
+  virtual uint64_t prepareFork(ThreadContext &Parent) = 0;
+
+  /// Fork protocol, step 2: blocks the parent — without releasing the
+  /// token — until one attach newer than \p Ticket has happened (which may
+  /// already be the case on entry), and returns the new thread's id.
+  /// Serializing forks this way makes dense thread-id assignment
+  /// deterministic.
+  virtual ThreadId awaitAttach(ThreadContext &Parent, uint64_t Ticket) = 0;
+
+  /// Join protocol: cooperatively schedules other threads until \p Child
+  /// has detached, so the caller's subsequent OS-level join cannot park
+  /// the token holder on a thread the engine would never schedule.
+  virtual void yieldUntilDetached(ThreadContext &Waiter, ThreadId Child) = 0;
+
+  /// Called by a sync primitive whose try-acquire failed: yields the token
+  /// so another thread can make the awaited state change. The caller
+  /// retries its try-acquire when rescheduled.
+  virtual void blockedYield(ThreadContext &TC) = 0;
+};
+
+} // namespace literace
+
+#endif // LITERACE_FUZZ_SCHEDULEPERTURBER_H

@@ -1,0 +1,68 @@
+//===-- fuzz/TraceCanon.cpp - Canonical trace form for replay ------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/TraceCanon.h"
+
+#include "support/Crc32.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace literace;
+
+namespace {
+
+constexpr uint64_t SyncKindTagMask = 0xffULL << 56;
+
+} // namespace
+
+CanonicalTrace literace::canonicalizeTrace(const Trace &T) {
+  // Pass 1 (streams scanned in thread-id order): assign dense ids to
+  // memory addresses and sync-variable identities by first appearance,
+  // and collect each canonical sync variable's raw timestamps.
+  std::unordered_map<uint64_t, uint64_t> MemIds, SyncIds;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> SyncTs;
+  for (const auto &Stream : T.PerThread) {
+    for (const EventRecord &R : Stream) {
+      if (isMemoryKind(R.Kind)) {
+        MemIds.emplace(R.Addr, MemIds.size() + 1);
+      } else if (isSyncKind(R.Kind)) {
+        auto It = SyncIds.emplace(R.Addr, SyncIds.size() + 1).first;
+        const uint64_t Canon = (R.Addr & SyncKindTagMask) | It->second;
+        SyncTs[Canon].push_back(R.Ts);
+      }
+    }
+  }
+  // Rank each variable's timestamps. Raw Ts values of one variable are
+  // drawn from a monotone counter, so they are distinct and their sorted
+  // order is exactly the order the draws happened in.
+  std::unordered_map<uint64_t, std::map<uint64_t, uint64_t>> TsRank;
+  for (auto &KV : SyncTs) {
+    std::sort(KV.second.begin(), KV.second.end());
+    std::map<uint64_t, uint64_t> &Ranks = TsRank[KV.first];
+    for (uint64_t I = 0; I != KV.second.size(); ++I)
+      Ranks[KV.second[I]] = I + 1;
+  }
+  // Pass 2: rewrite.
+  CanonicalTrace Out;
+  Out.Records.reserve(T.totalEvents());
+  for (const auto &Stream : T.PerThread) {
+    for (const EventRecord &R : Stream) {
+      EventRecord C = R;
+      if (isMemoryKind(R.Kind)) {
+        C.Addr = MemIds[R.Addr];
+      } else if (isSyncKind(R.Kind)) {
+        C.Addr = (R.Addr & SyncKindTagMask) | SyncIds[R.Addr];
+        C.Ts = TsRank[C.Addr][R.Ts];
+      }
+      Out.Records.push_back(C);
+    }
+  }
+  Out.Digest = crc32c(Out.Records.data(),
+                      Out.Records.size() * sizeof(EventRecord));
+  return Out;
+}

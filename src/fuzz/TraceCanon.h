@@ -1,0 +1,52 @@
+//===-- fuzz/TraceCanon.h - Canonical trace form for replay ----*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonicalization of a Trace for the fuzz harness's determinism check.
+///
+/// Under the ScheduleEngine a given seed fixes the interleaving exactly,
+/// but two runs of the same seed still differ in OS-provided bits that the
+/// log happens to capture: heap addresses move under ASLR (changing every
+/// Read/Write Addr and every SyncVar identity), and because the timestamp
+/// manager hashes the raw SyncVar to pick a counter, the raw Ts values
+/// shift too. None of that is schedule state. canonicalizeTrace() strips
+/// it: memory addresses and sync-variable identities are densely
+/// renumbered by order of first appearance (scanning the per-thread
+/// streams in thread-id order; sync vars keep their kind tag byte), and
+/// each sync event's Ts is replaced by its rank among the sync events of
+/// the same canonical variable — well-defined because a variable's raw
+/// timestamps strictly increase. Two same-seed runs then produce
+/// byte-identical canonical records, and any difference in the digest
+/// means the interleaving itself diverged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_FUZZ_TRACECANON_H
+#define LITERACE_FUZZ_TRACECANON_H
+
+#include "runtime/EventLog.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace literace {
+
+/// A trace with run-variant bits (ASLR addresses, hashed-counter timestamp
+/// values) replaced by schedule-determined equivalents.
+struct CanonicalTrace {
+  /// Canonical records, all threads concatenated in thread-id order.
+  std::vector<EventRecord> Records;
+  /// CRC32C over the record bytes; equal digests <=> equal canonical form.
+  uint32_t Digest = 0;
+};
+
+/// Produces the canonical form of \p T. Pure function of the trace
+/// content; see the file comment for what is normalized.
+CanonicalTrace canonicalizeTrace(const Trace &T);
+
+} // namespace literace
+
+#endif // LITERACE_FUZZ_TRACECANON_H

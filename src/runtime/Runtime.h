@@ -42,6 +42,8 @@
 
 namespace literace {
 
+class SchedulePerturber;
+
 /// Instrumentation configuration of one execution. See file comment.
 enum class RunMode : uint8_t {
   Baseline = 0,
@@ -166,6 +168,16 @@ public:
   /// activation. Empty (elides nothing) when no policy is installed.
   ElideView elideView(FunctionId F) const { return Policy.view(F); }
 
+  /// Installs a schedule-perturbation engine (fuzz/SchedulePerturber.h).
+  /// Every ThreadContext constructed afterwards attaches to it and
+  /// consults it at instrumentation-site granularity. Must be installed
+  /// before any thread attaches and must outlive all of them. Null by
+  /// default: the hot paths test one cached pointer and pay nothing.
+  void installPerturber(SchedulePerturber *P) { Perturber = P; }
+
+  /// The installed perturber, or null.
+  SchedulePerturber *perturber() const { return Perturber; }
+
   /// Attaches a sampler to the Experiment-mode suite; returns its slot.
   unsigned addSampler(std::unique_ptr<Sampler> S);
 
@@ -219,6 +231,7 @@ private:
   RuntimeStats GlobalStats;
   telemetry::MetricsRegistry *Metrics = nullptr;
   RuntimeMetricIds MetricIds;
+  SchedulePerturber *Perturber = nullptr;
 };
 
 } // namespace literace

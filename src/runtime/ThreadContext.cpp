@@ -6,6 +6,7 @@
 
 #include "runtime/ThreadContext.h"
 
+#include "fuzz/SchedulePerturber.h"
 #include "support/Hashing.h"
 #include "support/Timer.h"
 #include "telemetry/Timeline.h"
@@ -31,9 +32,19 @@ ThreadContext::ThreadContext(Runtime &RT)
     R.Tid = Tid;
     append(R);
   }
+  // Attach to the fuzz engine last: attach() blocks until this thread is
+  // granted the execution token, and everything above is thread-local.
+  Perturber = RT.perturber();
+  if (Perturber)
+    Perturber->attach(*this);
 }
 
 ThreadContext::~ThreadContext() {
+  // Leave the fuzz engine first so the token moves on; the remaining
+  // teardown (buffer flush, stats fold) is mutex-protected and carries no
+  // perturbation points, so it is safe to run off-token.
+  if (Perturber)
+    Perturber->detach(*this);
   if (RT.syncLoggingEnabled()) {
     EventRecord R;
     R.Kind = EventKind::ThreadEnd;
@@ -148,6 +159,11 @@ LR_ALWAYS_INLINE bool ThreadContext::stepPrimary(FunctionId F) {
 }
 
 LR_CACHE_ALIGNED_FN uint16_t ThreadContext::computeSampleMask(FunctionId F) {
+  // Function entry is a perturbation point of the schedule fuzzer: the
+  // dispatch check is exactly where the paper's instrumentation gains
+  // control, so hooking here covers every workload with no changes.
+  if (LR_UNLIKELY(Perturber != nullptr))
+    Perturber->perturb(PerturbPoint::FunctionEntry, *this);
   switch (RT.mode()) {
   case RunMode::Baseline:
     return 0;
@@ -184,6 +200,10 @@ LR_CACHE_ALIGNED_FN uint16_t ThreadContext::computeSampleMask(FunctionId F) {
 void ThreadContext::logMemory(EventKind K, const void *Addr, Pc P,
                               uint16_t Mask) {
   assert(isMemoryKind(K) && "logMemory expects Read or Write");
+  // Memory-op granularity perturbation (never in logSync: the AtomicU64
+  // primitive calls that while holding its spinlock).
+  if (LR_UNLIKELY(Perturber != nullptr))
+    Perturber->perturb(PerturbPoint::MemoryOp, *this);
   EventRecord R;
   R.Addr = reinterpret_cast<uint64_t>(Addr);
   R.Pc = P;

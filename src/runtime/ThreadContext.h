@@ -49,6 +49,11 @@ public:
   Runtime &runtime() { return RT; }
   SplitMix64 &rng() { return Rng; }
 
+  /// The runtime's schedule perturber, cached at attach (null when no fuzz
+  /// engine is installed). The sync primitives branch on this to swap
+  /// their blocking waits for cooperative try + yield loops.
+  SchedulePerturber *perturber() const { return Perturber; }
+
   /// Runs \p Body as an instrumented code region. \p Body must be callable
   /// with either tracer type; memory accesses inside it go through the
   /// tracer it receives. This is the dispatch check of Fig. 3.
@@ -121,6 +126,8 @@ private:
   telemetry::ThreadSlab *TelSlab = nullptr;
   std::atomic<uint64_t> *SampledCell = nullptr;
   std::atomic<uint64_t> *UnsampledCell = nullptr;
+  /// Cached Runtime::perturber(); null outside fuzz runs.
+  SchedulePerturber *Perturber = nullptr;
 };
 
 /// Tracer for the uninstrumented function copy: performs the accesses,

@@ -6,11 +6,44 @@
 
 #include "sync/Primitives.h"
 
+#include "fuzz/SchedulePerturber.h"
+
 #include <cassert>
 
 using namespace literace;
 
+namespace {
+
+/// Fires the sync-op perturbation point when a fuzz engine is installed.
+/// Called at primitive entry, before any lock or timestamp draw — never
+/// from inside AtomicU64's spin section (that would park the engine's
+/// token while holding the spinlock).
+inline void syncPoint(ThreadContext &TC) {
+  if (SchedulePerturber *P = TC.perturber())
+    P->perturb(PerturbPoint::SyncOp, TC);
+}
+
+} // namespace
+
+void Mutex::lockPerturbed(ThreadContext &TC) {
+  SchedulePerturber *P = TC.perturber();
+  P->perturb(PerturbPoint::SyncOp, TC);
+  // Cooperative acquire: only the engine's token holder runs, so a failed
+  // try_lock means the holder is a descheduled thread — yield the token
+  // until it runs again and releases.
+  while (!Impl.try_lock())
+    P->blockedYield(TC);
+  TC.logAcquire(syncVar());
+}
+
+void Mutex::unlockPerturbed(ThreadContext &TC) {
+  syncPoint(TC);
+  TC.logRelease(syncVar());
+  Impl.unlock();
+}
+
 void ManualResetEvent::set(ThreadContext &TC) {
+  syncPoint(TC);
   // Timestamp before the notify (§4.2): any waiter that wakes because of
   // this signal draws its timestamp afterwards.
   TC.logRelease(syncVar());
@@ -22,7 +55,17 @@ void ManualResetEvent::set(ThreadContext &TC) {
 }
 
 void ManualResetEvent::wait(ThreadContext &TC) {
-  {
+  if (SchedulePerturber *P = TC.perturber()) {
+    P->perturb(PerturbPoint::SyncOp, TC);
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> Guard(Lock);
+        if (Signalled)
+          break;
+      }
+      P->blockedYield(TC);
+    }
+  } else {
     std::unique_lock<std::mutex> Guard(Lock);
     Cond.wait(Guard, [&] { return Signalled; });
   }
@@ -42,6 +85,7 @@ bool ManualResetEvent::isSet() {
 
 void Semaphore::release(ThreadContext &TC, uint32_t N) {
   assert(N > 0 && "release of zero permits");
+  syncPoint(TC);
   TC.logRelease(syncVar());
   {
     std::lock_guard<std::mutex> Guard(Lock);
@@ -54,7 +98,19 @@ void Semaphore::release(ThreadContext &TC, uint32_t N) {
 }
 
 void Semaphore::acquire(ThreadContext &TC) {
-  {
+  if (SchedulePerturber *P = TC.perturber()) {
+    P->perturb(PerturbPoint::SyncOp, TC);
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> Guard(Lock);
+        if (Count > 0) {
+          --Count;
+          break;
+        }
+      }
+      P->blockedYield(TC);
+    }
+  } else {
     std::unique_lock<std::mutex> Guard(Lock);
     Cond.wait(Guard, [&] { return Count > 0; });
     --Count;
@@ -67,6 +123,7 @@ Barrier::Barrier(uint32_t Parties) : Parties(Parties) {
 }
 
 void Barrier::arriveAndWait(ThreadContext &TC) {
+  syncPoint(TC);
   // Read the generation first. It cannot advance until we arrive (we are
   // one of the parties it is waiting for), so the release below is
   // guaranteed to land on the generation we actually join.
@@ -78,7 +135,25 @@ void Barrier::arriveAndWait(ThreadContext &TC) {
   // Release before blocking: every party's pre-barrier work is published
   // on this generation's variable.
   TC.logRelease(generationVar(MyGeneration));
-  {
+  if (SchedulePerturber *P = TC.perturber()) {
+    {
+      std::lock_guard<std::mutex> Guard(Lock);
+      if (++Waiting == Parties) {
+        Waiting = 0;
+        ++Generation;
+      }
+    }
+    // Late parties poll cooperatively; the opener advanced Generation
+    // above, so everyone's predicate flips without a condition variable.
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> Guard(Lock);
+        if (Generation != MyGeneration)
+          break;
+      }
+      P->blockedYield(TC);
+    }
+  } else {
     std::unique_lock<std::mutex> Guard(Lock);
     if (++Waiting == Parties) {
       Waiting = 0;
@@ -104,11 +179,19 @@ std::atomic<uint64_t> NextThreadUniqueId{1};
 
 Thread::Thread(Runtime &RT, ThreadContext &Parent,
                std::function<void(ThreadContext &)> Fn)
-    : UniqueId(NextThreadUniqueId.fetch_add(1, std::memory_order_relaxed)) {
+    : UniqueId(NextThreadUniqueId.fetch_add(1, std::memory_order_relaxed)),
+      Perturber(Parent.perturber()) {
+  if (Perturber)
+    Perturber->perturb(PerturbPoint::SyncOp, Parent);
   SyncVar ForkVar = makeSyncVar(SyncObjectKind::ThreadFork, UniqueId);
   // Parent's timestamp is drawn before the thread exists, so it is smaller
   // than the child's acquire timestamp on the same SyncVar.
   Parent.logRelease(ForkVar);
+  // The fork ticket must predate the spawn: the child attaches without
+  // needing the token and can beat the parent to the engine lock.
+  uint64_t ForkTicket = 0;
+  if (Perturber)
+    ForkTicket = Perturber->prepareFork(Parent);
   Impl = std::thread([&RT, Fn = std::move(Fn), UniqueId = UniqueId] {
     ThreadContext TC(RT);
     TC.logAcquire(makeSyncVar(SyncObjectKind::ThreadFork, UniqueId));
@@ -116,6 +199,11 @@ Thread::Thread(Runtime &RT, ThreadContext &Parent,
     // Published to whoever joins us.
     TC.logRelease(makeSyncVar(SyncObjectKind::ThreadExit, UniqueId));
   });
+  // Fuzz-engine fork protocol: the parent keeps the execution token while
+  // the child's ThreadContext attaches, so at most one unattached child
+  // exists at a time and dense thread-id assignment is deterministic.
+  if (Perturber)
+    ChildTid = Perturber->awaitAttach(Parent, ForkTicket);
 }
 
 Thread::~Thread() {
@@ -126,6 +214,12 @@ Thread::~Thread() {
 
 void Thread::join(ThreadContext &Parent) {
   assert(!Joined && "double join");
+  // Under the fuzz engine, drive the schedule until the child has
+  // detached before parking in the OS join: a token holder blocked in
+  // join() would deadlock the engine (the child can only run when handed
+  // the token).
+  if (Perturber)
+    Perturber->yieldUntilDetached(Parent, ChildTid);
   Impl.join();
   // The child's exit release was logged before the join returned.
   Parent.logAcquire(makeSyncVar(SyncObjectKind::ThreadExit, UniqueId));
@@ -134,6 +228,11 @@ void Thread::join(ThreadContext &Parent) {
 
 template <typename OpT>
 auto AtomicU64::guarded(ThreadContext &TC, EventKind K, OpT Op) {
+  // Perturbation point before the spin section, never inside it. Under
+  // the engine the section cannot contend anyway: it contains no
+  // perturbation points, so the token holder always clears the flag
+  // before anyone else can run.
+  syncPoint(TC);
   // §4.2 critical section: without it, two CASes could log timestamps in
   // the opposite of their execution order, fabricating races downstream.
   while (Spin.test_and_set(std::memory_order_acquire)) {

@@ -49,12 +49,20 @@ public:
   /// Acquires the lock, then draws and logs the timestamp (so this lock's
   /// timestamp is greater than the previous unlock's).
   void lock(ThreadContext &TC) {
+    if (LR_UNLIKELY(TC.perturber() != nullptr)) {
+      lockPerturbed(TC);
+      return;
+    }
     Impl.lock();
     TC.logAcquire(syncVar());
   }
 
   /// Draws and logs the timestamp, then releases the lock.
   void unlock(ThreadContext &TC) {
+    if (LR_UNLIKELY(TC.perturber() != nullptr)) {
+      unlockPerturbed(TC);
+      return;
+    }
     TC.logRelease(syncVar());
     Impl.unlock();
   }
@@ -65,6 +73,12 @@ public:
   }
 
 private:
+  /// Fuzz-engine paths: a perturbation point at entry, and a cooperative
+  /// try_lock + blockedYield loop instead of a blocking lock, so the
+  /// schedule engine's single execution token never parks inside the OS.
+  void lockPerturbed(ThreadContext &TC);
+  void unlockPerturbed(ThreadContext &TC);
+
   std::mutex Impl;
 };
 
@@ -196,6 +210,12 @@ private:
   uint64_t UniqueId;
   std::thread Impl;
   bool Joined = false;
+  /// Fuzz-engine fork protocol state: the engine the parent was attached
+  /// to at spawn time (null outside fuzz runs) and the child's dense
+  /// thread id, learned from SchedulePerturber::awaitAttach so join() can
+  /// cooperatively wait for exactly this child to detach.
+  SchedulePerturber *Perturber = nullptr;
+  ThreadId ChildTid = 0;
 };
 
 /// A logged 64-bit atomic cell. Every read-modify-write is wrapped in an

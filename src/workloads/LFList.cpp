@@ -61,25 +61,43 @@ void LFListWorkload::bind(Runtime &RT) {
   // Access model: node keys and payloads ARE race-free in the program,
   // but only via publication ordering through the CAS chains — a fact
   // none of the three static analyses (escape, read-only, lockset) can
-  // express. Declared honestly (shared, written, lock-free), so the
-  // analysis keeps every site logged: zero elision, conservatively
-  // correct.
+  // express. Declared honestly (shared, written, lock-free), so those
+  // passes keep every site logged. The one elidable access is the
+  // publish-block recheck below: a sync-free re-read of the key the same
+  // activation just wrote, which the redundancy pass may drop.
   AccessModel &M = RT.accessModel();
   const RoleId Worker = M.declareRole("lfl-worker", 3);
+
+  // All instrumented sites run in worker threads between fork and join;
+  // init (list construction) and teardown (deferred reclamation) touch
+  // the structure without tracers, so no site carries those tags.
+  const PhaseId Init = M.declarePhase("init");
+  const PhaseId Steady = M.declarePhase("steady");
+  const PhaseId Teardown = M.declarePhase("teardown");
+  M.orderPhases(Init, Steady, PhaseOrderKind::ForkJoin);
+  M.orderPhases(Steady, Teardown, PhaseOrderKind::ForkJoin);
+
   const VarId Keys = M.declareVar("lfl.node-keys");
   M.declareSite(makePc(FnInsert, SiteKeyRead), SiteAccess::Read, Keys,
-                {Worker});
+                {Worker}, {}, Steady);
   M.declareSite(makePc(FnRemove, SiteKeyRead), SiteAccess::Read, Keys,
-                {Worker});
+                {Worker}, {}, Steady);
   M.declareSite(makePc(FnContains, SiteKeyRead), SiteAccess::Read, Keys,
-                {Worker});
+                {Worker}, {}, Steady);
   M.declareSite(makePc(FnInsert, SiteKeyWrite), SiteAccess::Write, Keys,
-                {Worker});
+                {Worker}, {}, Steady);
+  M.declareSite(makePc(FnInsert, SiteKeyRecheck), SiteAccess::Read, Keys,
+                {Worker}, {}, Steady);
   const VarId Payloads = M.declareVar("lfl.node-payloads");
   M.declareSite(makePc(FnInsert, SitePayloadWrite), SiteAccess::Write,
-                Payloads, {Worker});
+                Payloads, {Worker}, {}, Steady);
   M.declareSite(makePc(FnContains, SitePayloadRead), SiteAccess::Read,
-                Payloads, {Worker});
+                Payloads, {Worker}, {}, Steady);
+
+  // Publish block: the key store and its recheck hit the same node field
+  // back to back with no synchronization between them.
+  M.declareRegion("lfl.publish-block", {makePc(FnInsert, SiteKeyWrite),
+                                        makePc(FnInsert, SiteKeyRecheck)});
   Bound = true;
 }
 
@@ -147,6 +165,10 @@ void LFListWorkload::threadMain(ThreadContext &TC, SharedState &S,
             T.store(&Fresh->Payload[K], static_cast<uint8_t>(Key + K),
                     SitePayloadWrite);
           T.store(&Fresh->Key, Key, SiteKeyWrite);
+          // Redundant readback of the just-written key (publish-block
+          // region): dominated by the store, so the redundancy pass may
+          // elide it without losing a race.
+          (void)T.load(&Fresh->Key, SiteKeyRecheck);
           uint64_t Expected = toBits(Curr);
           if (Pred->Next.compareExchange(TC, Expected, toBits(Fresh)))
             return;

@@ -41,6 +41,9 @@ public:
     SiteKeyWrite = 2,
     SitePayloadWrite = 3,
     SitePayloadRead = 4,
+    /// Re-read of the key just written, inside the publish block; the
+    /// redundancy pass elides it (same address, sync-free straight line).
+    SiteKeyRecheck = 5,
   };
 
   struct Node;

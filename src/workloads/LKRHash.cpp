@@ -41,18 +41,36 @@ void LKRHashWorkload::bind(Runtime &RT) {
   AccessModel &M = RT.accessModel();
   const RoleId Worker = M.declareRole("lkr-worker", 3);
   const LockId Stripe = M.declareLock("lkr.stripe-lock");
+
+  // Every instrumented site runs in a worker between fork and join; the
+  // table itself is built (zero-initialized) before the spawn and read
+  // by nobody after the joins, so only steady carries sites.
+  const PhaseId Init = M.declarePhase("init");
+  const PhaseId Steady = M.declarePhase("steady");
+  const PhaseId Teardown = M.declarePhase("teardown");
+  M.orderPhases(Init, Steady, PhaseOrderKind::ForkJoin);
+  M.orderPhases(Steady, Teardown, PhaseOrderKind::ForkJoin);
+
   const VarId Keys = M.declareVar("lkr.keys");
   M.declareSite(makePc(FnInsert, SiteProbeKey), SiteAccess::Read, Keys,
-                {Worker}, {Stripe});
+                {Worker}, {Stripe}, Steady);
   M.declareSite(makePc(FnInsert, SiteSlotKeyWrite), SiteAccess::Write, Keys,
-                {Worker}, {Stripe});
+                {Worker}, {Stripe}, Steady);
+  M.declareSite(makePc(FnInsert, SiteSlotKeyRecheck), SiteAccess::Read,
+                Keys, {Worker}, {Stripe}, Steady);
   M.declareSite(makePc(FnLookup, SiteProbeKey), SiteAccess::Read, Keys,
-                {Worker}, {Stripe});
+                {Worker}, {Stripe}, Steady);
   const VarId Vals = M.declareVar("lkr.vals");
   M.declareSite(makePc(FnInsert, SiteSlotValWrite), SiteAccess::Write, Vals,
-                {Worker}, {Stripe});
+                {Worker}, {Stripe}, Steady);
   M.declareSite(makePc(FnLookup, SiteSlotValRead), SiteAccess::Read, Vals,
-                {Worker}, {Stripe});
+                {Worker}, {Stripe}, Steady);
+
+  // Slot block: key store and recheck hit the same slot back to back,
+  // with the stripe lock held throughout and no sync between them.
+  M.declareRegion("lkr.slot-block",
+                  {makePc(FnInsert, SiteSlotKeyWrite),
+                   makePc(FnInsert, SiteSlotKeyRecheck)});
   Bound = true;
 }
 
@@ -84,6 +102,9 @@ void LKRHashWorkload::threadMain(ThreadContext &TC, SharedState &S,
           uint64_t Existing = T.load(&S.Keys[Slot], SiteProbeKey);
           if (Existing == 0 || Existing == Key) {
             T.store(&S.Keys[Slot], Key, SiteSlotKeyWrite);
+            // Redundant readback (slot-block region): dominated by the
+            // store it follows, so the redundancy pass may elide it.
+            (void)T.load(&S.Keys[Slot], SiteSlotKeyRecheck);
             T.store(&S.Vals[Slot], Payload, SiteSlotValWrite);
             Placed = true;
           }

@@ -39,6 +39,10 @@ public:
     SiteSlotValWrite = 3,
     SiteSlotValRead = 4,
     SitePayloadMix = 5,
+    /// Re-read of the key just stored, still under the stripe lock; the
+    /// redundancy pass elides it via the slot-block region (the lockset
+    /// pass would elide it anyway — the passes must agree).
+    SiteSlotKeyRecheck = 6,
   };
 
 private:

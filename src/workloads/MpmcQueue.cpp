@@ -1,0 +1,476 @@
+//===-- workloads/MpmcQueue.cpp - Lock-free MPMC queue workload ----------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/MpmcQueue.h"
+
+#include "fuzz/SchedulePerturber.h"
+#include "sync/Primitives.h"
+
+#include <cassert>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+using namespace literace;
+
+/// A pool node. Value is sampled application memory; Next is queue
+/// structure (a plain 1-based pool index, 0 = null) and doubles as the
+/// free-stack link while the node is unallocated.
+struct MpmcQueueWorkload::Node {
+  uint64_t Value = 0;
+  AtomicU64 Next;
+};
+
+namespace {
+
+/// Head/Tail/FreeHead hold tagged references: a 32-bit generation counter
+/// in the high half and the 1-based node index in the low half. Every
+/// successful CAS bumps the tag, so a pointer that leaves and comes back
+/// (the classic ABA scenario of pool-recycling queues) never compares
+/// equal to a stale snapshot.
+uint64_t makeRef(uint64_t Tag, uint64_t Idx) { return (Tag << 32) | Idx; }
+
+uint32_t idxOf(uint64_t Ref) { return static_cast<uint32_t>(Ref); }
+
+uint64_t tagOf(uint64_t Ref) { return Ref >> 32; }
+
+/// Consumers retire dequeued sentinels locally and scan hazards only once
+/// this many have piled up, keeping the scan off the per-op fast path.
+constexpr size_t ReclaimThreshold = 3;
+
+/// Backoff for waiting-for-progress polls. Under the fuzz engine the
+/// token MUST be yielded (a spinning holder stalls the whole schedule);
+/// free-running, a short sleep keeps the poll from flooding the log with
+/// millions of sync ops while another thread catches up.
+void pollBackoff(ThreadContext &TC) {
+  if (SchedulePerturber *P = TC.perturber())
+    P->blockedYield(TC);
+  else
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+} // namespace
+
+struct MpmcQueueWorkload::SharedState {
+  static constexpr unsigned NumProducers = 2;
+  static constexpr unsigned NumConsumers = 2;
+  /// Two hazard slots per worker (producers use only their first).
+  static constexpr unsigned NumHazardSlots =
+      2 * (NumProducers + NumConsumers);
+  /// Small enough to force free-list pressure (producers back off when it
+  /// drains), large enough that two consumers' retired backlogs plus the
+  /// in-queue nodes never exhaust it.
+  static constexpr uint32_t NumNodes = 96;
+
+  Node &node(uint32_t Idx) {
+    assert(Idx >= 1 && Idx <= NumNodes && "node index out of pool");
+    return Pool[Idx - 1];
+  }
+
+  Node Pool[NumNodes];
+  AtomicU64 Head;     ///< Tagged ref; node 1 is the initial sentinel.
+  AtomicU64 Tail;     ///< Tagged ref.
+  AtomicU64 FreeHead; ///< Tagged Treiber stack of free node indices.
+  AtomicU64 Hazard[NumHazardSlots]; ///< Published node index, 0 = none.
+  AtomicU64 DoneCount;              ///< Producers that have finished.
+
+  /// Deliberately bare shared fields — the seeded races.
+  uint64_t EnqTally = 0;     ///< Hot: RMW per enqueue, read per dequeue.
+  uint64_t TuningHint = 0;   ///< Cold: main writes post-fork, workers read.
+  uint64_t ProducersDone = 0; ///< Cold: bare mirror of DoneCount.
+  uint64_t LastScanSize = 0; ///< Rare: reclamation-scan diagnostic.
+};
+
+std::string MpmcQueueWorkload::name() const { return "MPMC Queue"; }
+
+void MpmcQueueWorkload::bind(Runtime &RT) {
+  assert(!Bound && "workload bound twice");
+  FnInit = RT.registry().registerFunction("mpmc.init");
+  FnEnqueue = RT.registry().registerFunction("mpmc.enqueue");
+  FnDequeue = RT.registry().registerFunction("mpmc.dequeue");
+  FnReclaim = RT.registry().registerFunction("mpmc.reclaim");
+  FnWarmup = RT.registry().registerFunction("mpmc.warmup");
+  FnTune = RT.registry().registerFunction("mpmc.tune");
+  FnFinish = RT.registry().registerFunction("mpmc.finish");
+  FnDrain = RT.registry().registerFunction("mpmc.drain");
+  FnTeardown = RT.registry().registerFunction("mpmc.teardown");
+
+  AccessModel &M = RT.accessModel();
+  const RoleId Producer = M.declareRole("mpmc-producer", 2);
+  const RoleId Consumer = M.declareRole("mpmc-consumer", 2);
+  const RoleId MainRole = M.declareRole("mpmc-main", 1);
+
+  // Phase structure: the init block runs on the main thread before any
+  // worker is forked, teardown after every join. The tune write runs
+  // between the forks and the joins, so it is steady — that is the point
+  // of the seeded hint race.
+  const PhaseId Init = M.declarePhase("init");
+  const PhaseId Steady = M.declarePhase("steady");
+  const PhaseId Teardown = M.declarePhase("teardown");
+  M.orderPhases(Init, Steady, PhaseOrderKind::ForkJoin);
+  M.orderPhases(Steady, Teardown, PhaseOrderKind::ForkJoin);
+
+  auto P = [](FunctionId F, uint32_t Site) { return makePc(F, Site); };
+
+  // Node values ARE race-free, but only via the hazard-pointer protocol:
+  // reader's value load → hazard clear (release) → scanner's hazard load
+  // (acquire) → free-stack push → allocator's pop → next value write.
+  // No static analysis can express that chain; declared honestly (shared,
+  // written, lock-free) so every site stays logged.
+  const VarId Values = M.declareVar("mpmc.node-values");
+  M.declareSite(P(FnEnqueue, SiteValueWrite), SiteAccess::Write, Values,
+                {Producer}, {}, Steady);
+  M.declareSite(P(FnEnqueue, SiteValueRecheck), SiteAccess::Read, Values,
+                {Producer}, {}, Steady);
+  M.declareSite(P(FnDequeue, SiteValueRead), SiteAccess::Read, Values,
+                {Consumer}, {}, Steady);
+
+  const VarId Tally = M.declareVar("mpmc.enq-tally");
+  M.declareSite(P(FnInit, SiteInitTallyWrite), SiteAccess::Write, Tally,
+                {MainRole}, {}, Init);
+  M.declareSite(P(FnEnqueue, SiteEnqTallyRead), SiteAccess::Read, Tally,
+                {Producer}, {}, Steady);
+  M.declareSite(P(FnEnqueue, SiteEnqTallyWrite), SiteAccess::Write, Tally,
+                {Producer}, {}, Steady);
+  M.declareSite(P(FnDequeue, SiteDeqTallyRead), SiteAccess::Read, Tally,
+                {Consumer}, {}, Steady);
+  M.declareSite(P(FnTeardown, SiteFinalTallyRead), SiteAccess::Read, Tally,
+                {MainRole}, {}, Teardown);
+
+  const VarId Hint = M.declareVar("mpmc.tuning-hint");
+  M.declareSite(P(FnInit, SiteInitHintWrite), SiteAccess::Write, Hint,
+                {MainRole}, {}, Init);
+  M.declareSite(P(FnWarmup, SiteHintRead), SiteAccess::Read, Hint,
+                {Producer, Consumer}, {}, Steady);
+  M.declareSite(P(FnTune, SiteHintWrite), SiteAccess::Write, Hint,
+                {MainRole}, {}, Steady);
+
+  const VarId DoneFlag = M.declareVar("mpmc.drain-flag");
+  M.declareSite(P(FnFinish, SiteDoneRead), SiteAccess::Read, DoneFlag,
+                {Producer}, {}, Steady);
+  M.declareSite(P(FnFinish, SiteDoneWrite), SiteAccess::Write, DoneFlag,
+                {Producer}, {}, Steady);
+  M.declareSite(P(FnDrain, SiteDrainDoneRead), SiteAccess::Read, DoneFlag,
+                {Consumer}, {}, Steady);
+
+  const VarId ScanSize = M.declareVar("mpmc.scan-size");
+  M.declareSite(P(FnReclaim, SiteScanSizeRead), SiteAccess::Read, ScanSize,
+                {Consumer}, {}, Steady);
+  M.declareSite(P(FnReclaim, SiteScanSizeWrite), SiteAccess::Write,
+                ScanSize, {Consumer}, {}, Steady);
+  M.declareSite(P(FnTeardown, SiteFinalScanRead), SiteAccess::Read,
+                ScanSize, {MainRole}, {}, Teardown);
+
+  // The publish block re-reads the value it just wrote — same node, no
+  // synchronization in between — so the redundancy pass elides the
+  // recheck even though the variable stays logged everywhere else.
+  M.declareRegion("mpmc.publish-block", {P(FnEnqueue, SiteValueWrite),
+                                         P(FnEnqueue, SiteValueRecheck)});
+  Bound = true;
+}
+
+void MpmcQueueWorkload::enqueueOne(ThreadContext &TC, SharedState &S,
+                                   unsigned HazardSlot, uint64_t Value) {
+  TC.run(FnEnqueue, [&](auto &T) {
+    // Hot seeded race, placed before the first atomic of the activation so
+    // the two producers' first tallies are provably unordered.
+    uint64_t Tally = T.load(&S.EnqTally, SiteEnqTallyRead);
+    T.store(&S.EnqTally, Tally + 1, SiteEnqTallyWrite);
+
+    // Pop a node off the free stack; an empty stack means consumers are
+    // behind, so back off (cooperatively under the fuzz engine — a token
+    // holder that spins without yielding would stall the whole schedule).
+    uint32_t Idx = 0;
+    for (;;) {
+      uint64_t FreeRef = S.FreeHead.load(TC);
+      uint32_t FreeIdx = idxOf(FreeRef);
+      if (FreeIdx == 0) {
+        pollBackoff(TC);
+        continue;
+      }
+      uint64_t NextIdx = S.node(FreeIdx).Next.load(TC);
+      uint64_t Expected = FreeRef;
+      if (S.FreeHead.compareExchange(
+              TC, Expected, makeRef(tagOf(FreeRef) + 1, NextIdx))) {
+        Idx = FreeIdx;
+        break;
+      }
+    }
+
+    // Publish block: the node is private here (just popped), so the write
+    // and the recheck form a sync-free region.
+    Node &N = S.node(Idx);
+    T.store(&N.Value, Value, SiteValueWrite);
+    (void)T.load(&N.Value, SiteValueRecheck);
+    N.Next.store(TC, 0);
+
+    // Michael-Scott enqueue with a hazard on the observed tail: the
+    // hazard keeps the node from being recycled between the validation
+    // re-read and the link CAS, so Next can never be reset to 0 under us
+    // (the tag bump catches recycling before the validation).
+    for (;;) {
+      uint64_t TailRef = S.Tail.load(TC);
+      uint32_t TailIdx = idxOf(TailRef);
+      S.Hazard[HazardSlot].store(TC, TailIdx);
+      if (S.Tail.load(TC) != TailRef)
+        continue;
+      uint64_t NextIdx = S.node(TailIdx).Next.load(TC);
+      if (NextIdx != 0) {
+        // Tail lags behind the real last node; help it forward.
+        uint64_t Expected = TailRef;
+        S.Tail.compareExchange(TC, Expected,
+                               makeRef(tagOf(TailRef) + 1, NextIdx));
+        continue;
+      }
+      uint64_t Expected = 0;
+      if (S.node(TailIdx).Next.compareExchange(TC, Expected, Idx)) {
+        uint64_t ExpTail = TailRef;
+        S.Tail.compareExchange(TC, ExpTail,
+                               makeRef(tagOf(TailRef) + 1, Idx));
+        break;
+      }
+    }
+    S.Hazard[HazardSlot].store(TC, 0);
+  });
+}
+
+bool MpmcQueueWorkload::dequeueOne(ThreadContext &TC, SharedState &S,
+                                   unsigned HazardBase,
+                                   std::vector<uint32_t> &Retired,
+                                   uint64_t &ValueOut) {
+  bool Got = false;
+  TC.run(FnDequeue, [&](auto &T) {
+    for (;;) {
+      uint64_t HeadRef = S.Head.load(TC);
+      uint32_t HeadIdx = idxOf(HeadRef);
+      S.Hazard[HazardBase].store(TC, HeadIdx);
+      if (S.Head.load(TC) != HeadRef)
+        continue;
+      uint32_t NextIdx =
+          static_cast<uint32_t>(S.node(HeadIdx).Next.load(TC));
+      if (NextIdx == 0)
+        break; // Head validated and has no successor: genuinely empty.
+      // Protect the successor too, then re-validate: only if the head is
+      // STILL unchanged is the successor guaranteed un-recycled, making
+      // the value read below safe.
+      S.Hazard[HazardBase + 1].store(TC, NextIdx);
+      if (S.Head.load(TC) != HeadRef)
+        continue;
+      uint64_t TailRef = S.Tail.load(TC);
+      if (idxOf(TailRef) == HeadIdx) {
+        // Tail lags; help before swinging Head past it.
+        uint64_t Expected = TailRef;
+        S.Tail.compareExchange(TC, Expected,
+                               makeRef(tagOf(TailRef) + 1, NextIdx));
+        continue;
+      }
+      uint64_t Expected = HeadRef;
+      if (S.Head.compareExchange(TC, Expected,
+                                 makeRef(tagOf(HeadRef) + 1, NextIdx))) {
+        // The successor is the new sentinel; its hazard keeps it alive
+        // for this read even if another consumer retires it immediately.
+        ValueOut = T.load(&S.node(NextIdx).Value, SiteValueRead);
+        Retired.push_back(HeadIdx);
+        (void)T.load(&S.EnqTally, SiteDeqTallyRead);
+        Got = true;
+        break;
+      }
+    }
+    S.Hazard[HazardBase].store(TC, 0);
+    S.Hazard[HazardBase + 1].store(TC, 0);
+  });
+  return Got;
+}
+
+void MpmcQueueWorkload::reclaim(ThreadContext &TC, SharedState &S,
+                                std::vector<uint32_t> &Retired) {
+  TC.run(FnReclaim, [&](auto &T) {
+    // Rare seeded race: a bare scan-size diagnostic on a branch the hot
+    // dequeue path takes only once per ReclaimThreshold retirements.
+    (void)T.load(&S.LastScanSize, SiteScanSizeRead);
+    T.store(&S.LastScanSize, static_cast<uint64_t>(Retired.size()),
+            SiteScanSizeWrite);
+
+    // Snapshot every hazard slot, then push unprotected nodes back onto
+    // the free stack. A node whose hazard store we miss stays retired —
+    // reclamation is delayed, never unsafe.
+    uint64_t Hazards[SharedState::NumHazardSlots];
+    for (unsigned I = 0; I != SharedState::NumHazardSlots; ++I)
+      Hazards[I] = S.Hazard[I].load(TC);
+    std::vector<uint32_t> Kept;
+    for (uint32_t Idx : Retired) {
+      bool InUse = false;
+      for (unsigned I = 0; I != SharedState::NumHazardSlots; ++I)
+        InUse |= (Hazards[I] == Idx);
+      if (InUse) {
+        Kept.push_back(Idx);
+        continue;
+      }
+      for (;;) {
+        uint64_t FreeRef = S.FreeHead.load(TC);
+        S.node(Idx).Next.store(TC, idxOf(FreeRef));
+        uint64_t Expected = FreeRef;
+        if (S.FreeHead.compareExchange(TC, Expected,
+                                       makeRef(tagOf(FreeRef) + 1, Idx)))
+          break;
+      }
+    }
+    Retired = std::move(Kept);
+  });
+}
+
+void MpmcQueueWorkload::producerMain(ThreadContext &TC, SharedState &S,
+                                     unsigned Worker, uint32_t Ops) {
+  // Thread-cold seeded race: one bare hint read in each worker's first
+  // activation, against the main thread's post-fork tune write.
+  TC.run(FnWarmup,
+         [&](auto &T) { (void)T.load(&S.TuningHint, SiteHintRead); });
+  const unsigned HazardSlot = 2 * Worker;
+  for (uint32_t I = 0; I != Ops; ++I)
+    enqueueOne(TC, S, HazardSlot,
+               (static_cast<uint64_t>(Worker + 1) << 32) | (I + 1));
+  // Cold seeded race: a bare done-mirror RMW. Both producers run it after
+  // their last enqueue and before their only DoneCount access, so no
+  // release→acquire chain can order the two RMWs — the write-write race
+  // manifests under every schedule.
+  TC.run(FnFinish, [&](auto &T) {
+    uint64_t Done = T.load(&S.ProducersDone, SiteDoneRead);
+    T.store(&S.ProducersDone, Done + 1, SiteDoneWrite);
+  });
+  S.DoneCount.fetchAdd(TC, 1);
+}
+
+void MpmcQueueWorkload::consumerMain(ThreadContext &TC, SharedState &S,
+                                     unsigned HazardBase, uint64_t &Popped,
+                                     uint64_t &Sum) {
+  TC.run(FnWarmup,
+         [&](auto &T) { (void)T.load(&S.TuningHint, SiteHintRead); });
+  std::vector<uint32_t> Retired;
+  for (;;) {
+    uint64_t Value = 0;
+    if (dequeueOne(TC, S, HazardBase, Retired, Value)) {
+      ++Popped;
+      Sum += Value;
+      if (Retired.size() >= ReclaimThreshold)
+        reclaim(TC, S, Retired);
+      continue;
+    }
+    // Queue looked empty: read the bare done mirror (racy with the
+    // producers' finish RMWs until the DoneCount acquire below orders
+    // later reads), then check the real counter.
+    TC.run(FnDrain, [&](auto &T) {
+      (void)T.load(&S.ProducersDone, SiteDrainDoneRead);
+    });
+    if (S.DoneCount.load(TC) == SharedState::NumProducers) {
+      // Every enqueue happened before the last producer's DoneCount
+      // release, which this load acquired: one final sweep sees them all.
+      while (dequeueOne(TC, S, HazardBase, Retired, Value)) {
+        ++Popped;
+        Sum += Value;
+        if (Retired.size() >= ReclaimThreshold)
+          reclaim(TC, S, Retired);
+      }
+      break;
+    }
+    pollBackoff(TC);
+  }
+}
+
+void MpmcQueueWorkload::run(Runtime &RT, const WorkloadParams &Params) {
+  assert(Bound && "bind() must run before run()");
+  auto S = std::make_unique<SharedState>();
+  ThreadContext Main(RT);
+  const uint32_t Ops = Params.scaled(40000, 60);
+
+  // Structural init: logged atomics, main thread, pre-fork. Node 1 is the
+  // sentinel; nodes 2..N chain into the free stack.
+  S->Head.store(Main, makeRef(0, 1));
+  S->Tail.store(Main, makeRef(0, 1));
+  for (uint32_t I = 2; I != SharedState::NumNodes; ++I)
+    S->node(I).Next.store(Main, I + 1);
+  S->node(SharedState::NumNodes).Next.store(Main, 0);
+  S->FreeHead.store(Main, makeRef(0, 2));
+
+  Main.run(FnInit, [&](auto &T) {
+    T.store(&S->EnqTally, uint64_t{0}, SiteInitTallyWrite);
+    T.store(&S->TuningHint, Params.Seed & 0xff, SiteInitHintWrite);
+  });
+
+  std::vector<uint64_t> Popped(SharedState::NumConsumers, 0);
+  std::vector<uint64_t> Sums(SharedState::NumConsumers, 0);
+  std::vector<std::unique_ptr<Thread>> Threads;
+  for (unsigned W = 0; W != SharedState::NumProducers; ++W)
+    Threads.push_back(std::make_unique<Thread>(
+        RT, Main, [this, &S, W, Ops](ThreadContext &TC) {
+          producerMain(TC, *S, W, Ops);
+        }));
+  for (unsigned W = 0; W != SharedState::NumConsumers; ++W) {
+    const unsigned HazardBase = 2 * (SharedState::NumProducers + W);
+    Threads.push_back(std::make_unique<Thread>(
+        RT, Main,
+        [this, &S, HazardBase, &Popped, &Sums, W](ThreadContext &TC) {
+          consumerMain(TC, *S, HazardBase, Popped[W], Sums[W]);
+        }));
+  }
+
+  // The seeded hint race: written after every fork, read by each worker's
+  // warmup, and no release of ours after this point is ever acquired by a
+  // worker — unordered under every schedule.
+  Main.run(FnTune, [&](auto &T) {
+    T.store(&S->TuningHint, 1 + ((Params.Seed >> 8) & 0xff),
+            SiteHintWrite);
+  });
+
+  for (auto &Th : Threads)
+    Th->join(Main);
+
+  Main.run(FnTeardown, [&](auto &T) {
+    (void)T.load(&S->EnqTally, SiteFinalTallyRead);
+    (void)T.load(&S->LastScanSize, SiteFinalScanRead);
+  });
+
+  // Linearizability check: every enqueued item was dequeued exactly once.
+  uint64_t TotalPopped = 0;
+  uint64_t TotalSum = 0;
+  for (unsigned W = 0; W != SharedState::NumConsumers; ++W) {
+    TotalPopped += Popped[W];
+    TotalSum += Sums[W];
+  }
+  uint64_t ExpectedSum = 0;
+  for (unsigned W = 0; W != SharedState::NumProducers; ++W)
+    for (uint32_t I = 0; I != Ops; ++I)
+      ExpectedSum += (static_cast<uint64_t>(W + 1) << 32) | (I + 1);
+  assert(TotalPopped ==
+         static_cast<uint64_t>(SharedState::NumProducers) * Ops);
+  assert(TotalSum == ExpectedSum);
+  (void)TotalPopped;
+  (void)TotalSum;
+  (void)ExpectedSum;
+}
+
+std::vector<SeededRaceSpec> MpmcQueueWorkload::seededRaces() const {
+  assert(Bound && "seededRaces() requires bind()");
+  auto P = [](FunctionId F, uint32_t Site) { return makePc(F, Site); };
+  return {
+      {"mpmc-enq-tally",
+       {P(FnInit, SiteInitTallyWrite), P(FnEnqueue, SiteEnqTallyRead),
+        P(FnEnqueue, SiteEnqTallyWrite), P(FnDequeue, SiteDeqTallyRead),
+        P(FnTeardown, SiteFinalTallyRead)},
+       /*ExpectFrequent=*/true},
+      {"mpmc-tuning-hint",
+       {P(FnInit, SiteInitHintWrite), P(FnWarmup, SiteHintRead),
+        P(FnTune, SiteHintWrite)},
+       /*ExpectFrequent=*/false},
+      {"mpmc-drain-flag",
+       {P(FnFinish, SiteDoneRead), P(FnFinish, SiteDoneWrite),
+        P(FnDrain, SiteDrainDoneRead)},
+       /*ExpectFrequent=*/false},
+      {"mpmc-reclaim-scan",
+       {P(FnReclaim, SiteScanSizeRead), P(FnReclaim, SiteScanSizeWrite),
+        P(FnTeardown, SiteFinalScanRead)},
+       /*ExpectFrequent=*/false},
+  };
+}

@@ -1,0 +1,104 @@
+//===-- workloads/MpmcQueue.h - Lock-free MPMC queue workload -*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adversarial workload: a Michael-Scott-style lock-free multi-producer
+/// multi-consumer queue over a fixed node pool, with hazard-pointer-style
+/// deferred reclamation. Every structural pointer (queue head/tail, node
+/// next links, the free-list head, the hazard slots) is a logged AtomicU64,
+/// so the payload traffic is race-free purely through publication and
+/// hazard-scan ordering — the hardest kind of protocol for a sampling race
+/// detector to stay silent on. Tagged references (generation counter in the
+/// high half) guard the CAS loops against ABA.
+///
+/// Seeded races (see seededRaces()):
+///  - mpmc-enq-tally   hot/frequent: bare operation tally, producers RMW
+///                     per enqueue, consumers read per dequeue
+///  - mpmc-tuning-hint thread-cold: main writes a bare hint after forking;
+///                     every worker reads it once in its warmup
+///  - mpmc-drain-flag  cold: bare producers-done counter, RMW once per
+///                     producer at exit, read by draining consumers
+///  - mpmc-reclaim-scan rare/schedule-dependent: bare last-scan-size
+///                     diagnostic in the reclamation scan, a rarely taken
+///                     branch of the hot dequeue path
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_WORKLOADS_MPMCQUEUE_H
+#define LITERACE_WORKLOADS_MPMCQUEUE_H
+
+#include "workloads/Workload.h"
+
+namespace literace {
+
+/// "MPMC Queue" adversarial workload.
+class MpmcQueueWorkload : public Workload {
+public:
+  MpmcQueueWorkload() = default;
+
+  std::string name() const override;
+  void bind(Runtime &RT) override;
+  void run(Runtime &RT, const WorkloadParams &Params) override;
+  std::vector<SeededRaceSpec> seededRaces() const override;
+
+  enum Site : uint32_t {
+    // mpmc.enqueue
+    SiteValueWrite = 1,
+    SiteValueRecheck = 2,
+    SiteEnqTallyRead = 3,
+    SiteEnqTallyWrite = 4,
+    // mpmc.dequeue
+    SiteValueRead = 20,
+    SiteDeqTallyRead = 21,
+    // mpmc.warmup
+    SiteHintRead = 40,
+    // mpmc.tune
+    SiteHintWrite = 41,
+    // mpmc.finish
+    SiteDoneRead = 50,
+    SiteDoneWrite = 51,
+    // mpmc.drain
+    SiteDrainDoneRead = 52,
+    // mpmc.reclaim
+    SiteScanSizeRead = 60,
+    SiteScanSizeWrite = 61,
+    // mpmc.init / mpmc.teardown (main thread, phase-ordered)
+    SiteInitTallyWrite = 70,
+    SiteInitHintWrite = 71,
+    SiteFinalTallyRead = 80,
+    SiteFinalScanRead = 81,
+  };
+
+  struct Node;
+  struct SharedState;
+
+private:
+  void enqueueOne(ThreadContext &TC, SharedState &S, unsigned HazardSlot,
+                  uint64_t Value);
+  bool dequeueOne(ThreadContext &TC, SharedState &S, unsigned HazardBase,
+                  std::vector<uint32_t> &Retired, uint64_t &ValueOut);
+  void reclaim(ThreadContext &TC, SharedState &S,
+               std::vector<uint32_t> &Retired);
+  void producerMain(ThreadContext &TC, SharedState &S, unsigned Worker,
+                    uint32_t Ops);
+  void consumerMain(ThreadContext &TC, SharedState &S, unsigned HazardBase,
+                    uint64_t &Popped, uint64_t &Sum);
+
+  bool Bound = false;
+  FunctionId FnInit = 0;
+  FunctionId FnEnqueue = 0;
+  FunctionId FnDequeue = 0;
+  FunctionId FnReclaim = 0;
+  FunctionId FnWarmup = 0;
+  FunctionId FnTune = 0;
+  FunctionId FnFinish = 0;
+  FunctionId FnDrain = 0;
+  FunctionId FnTeardown = 0;
+};
+
+} // namespace literace
+
+#endif // LITERACE_WORKLOADS_MPMCQUEUE_H

@@ -1,0 +1,336 @@
+//===-- workloads/TaskExecutor.cpp - Work-stealing executor --------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/TaskExecutor.h"
+
+#include "fuzz/SchedulePerturber.h"
+#include "support/Hashing.h"
+#include "support/SplitMix64.h"
+#include "sync/Primitives.h"
+
+#include <cassert>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace literace;
+
+/// One task. Input is filled before the fork (read-only at runtime);
+/// Result is written exactly once, by the executing worker. NextIdx is
+/// the Treiber-stack link (plain 1-based index, 0 = null).
+struct TaskExecutorWorkload::Task {
+  uint64_t Input = 0;
+  uint64_t Result = 0;
+  AtomicU64 NextIdx;
+};
+
+namespace {
+
+/// Stack heads are tagged references — generation counter in the high
+/// half, 1-based task index in the low half — so a pop CAS can never
+/// succeed against a head that was popped and re-pushed in between.
+uint64_t makeRef(uint64_t Tag, uint64_t Idx) { return (Tag << 32) | Idx; }
+
+uint32_t idxOf(uint64_t Ref) { return static_cast<uint32_t>(Ref); }
+
+uint64_t tagOf(uint64_t Ref) { return Ref >> 32; }
+
+/// Each worker fires the rare-mark RMW exactly once, on this step of its
+/// task loop — deep enough into the hot phase that the accesses key off
+/// per-worker progress, not off any shared synchronization.
+constexpr uint64_t PoisonStep = 7;
+
+/// Backoff for waiting-for-progress polls. Under the fuzz engine the
+/// token MUST be yielded (a spinning holder stalls the whole schedule);
+/// free-running, a short sleep keeps the idle poll from flooding the log
+/// with sync ops while other workers finish.
+void pollBackoff(ThreadContext &TC) {
+  if (SchedulePerturber *P = TC.perturber())
+    P->blockedYield(TC);
+  else
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+} // namespace
+
+struct TaskExecutorWorkload::SharedState {
+  static constexpr unsigned NumWorkers = 3;
+
+  SharedState(uint32_t NumTasks, uint64_t Seed) : Tasks(NumTasks) {
+    // Plain pre-fork writes, never through instrumentation: the inputs
+    // are genuinely read-only once the workers exist.
+    for (uint32_t I = 0; I != NumTasks; ++I)
+      Tasks[I].Input = mix64(Seed + I);
+  }
+
+  uint32_t numTasks() const { return static_cast<uint32_t>(Tasks.size()); }
+
+  Task &task(uint32_t Idx) {
+    assert(Idx >= 1 && Idx <= Tasks.size() && "task index out of pool");
+    return Tasks[Idx - 1];
+  }
+
+  std::vector<Task> Tasks;
+  AtomicU64 StackHead[NumWorkers]; ///< Per-worker tagged Treiber stacks.
+  AtomicU64 ExecutedCount;         ///< Tasks completed, all workers.
+
+  /// Deliberately bare shared fields — the seeded races.
+  uint64_t ExecTally = 0;    ///< Hot: RMW once per task.
+  uint64_t DeadlineHint = 0; ///< Cold: main writes post-fork, workers read.
+  uint64_t IdleMark = 0;     ///< Rare: first-idle marker per worker.
+  uint64_t GrandTotal = 0;   ///< Cold: per-worker totals, RMW at exit.
+  uint64_t RareMark = 0;     ///< Rare-in-hot: poisoned-step marker.
+};
+
+std::string TaskExecutorWorkload::name() const { return "Task Executor"; }
+
+void TaskExecutorWorkload::bind(Runtime &RT) {
+  assert(!Bound && "workload bound twice");
+  FnInit = RT.registry().registerFunction("exec.init");
+  FnTask = RT.registry().registerFunction("exec.task");
+  FnIdle = RT.registry().registerFunction("exec.idle");
+  FnWarmup = RT.registry().registerFunction("exec.warmup");
+  FnTune = RT.registry().registerFunction("exec.tune");
+  FnFinish = RT.registry().registerFunction("exec.finish");
+  FnTeardown = RT.registry().registerFunction("exec.teardown");
+
+  AccessModel &M = RT.accessModel();
+  const RoleId Worker = M.declareRole("exec-worker", 3);
+  const RoleId MainRole = M.declareRole("exec-main", 1);
+
+  const PhaseId Init = M.declarePhase("init");
+  const PhaseId Steady = M.declarePhase("steady");
+  const PhaseId Teardown = M.declarePhase("teardown");
+  M.orderPhases(Init, Steady, PhaseOrderKind::ForkJoin);
+  M.orderPhases(Steady, Teardown, PhaseOrderKind::ForkJoin);
+
+  auto P = [](FunctionId F, uint32_t Site) { return makePc(F, Site); };
+
+  // Inputs: reads only — written before the fork, outside instrumentation
+  // — so the read-only analysis soundly elides this site.
+  const VarId Inputs = M.declareVar("exec.task-inputs");
+  M.declareSite(P(FnTask, SiteInputRead), SiteAccess::Read, Inputs,
+                {Worker}, {}, Steady);
+
+  // Results: written once per task by its executor, ordered by the stack
+  // publication chains. Race-free in reality, but only via lock-free
+  // publication, so every site stays logged.
+  const VarId Results = M.declareVar("exec.task-results");
+  M.declareSite(P(FnTask, SiteResultWrite), SiteAccess::Write, Results,
+                {Worker}, {}, Steady);
+  M.declareSite(P(FnTask, SiteResultRecheck), SiteAccess::Read, Results,
+                {Worker}, {}, Steady);
+  M.declareSite(P(FnTeardown, SiteFinalResultRead), SiteAccess::Read,
+                Results, {MainRole}, {}, Teardown);
+
+  const VarId Tally = M.declareVar("exec.tally");
+  M.declareSite(P(FnTask, SiteTallyRead), SiteAccess::Read, Tally,
+                {Worker}, {}, Steady);
+  M.declareSite(P(FnTask, SiteTallyWrite), SiteAccess::Write, Tally,
+                {Worker}, {}, Steady);
+
+  const VarId Hint = M.declareVar("exec.deadline-hint");
+  M.declareSite(P(FnInit, SiteInitHintWrite), SiteAccess::Write, Hint,
+                {MainRole}, {}, Init);
+  M.declareSite(P(FnWarmup, SiteHintRead), SiteAccess::Read, Hint,
+                {Worker}, {}, Steady);
+  M.declareSite(P(FnTune, SiteHintWrite), SiteAccess::Write, Hint,
+                {MainRole}, {}, Steady);
+
+  const VarId Idle = M.declareVar("exec.idle-mark");
+  M.declareSite(P(FnIdle, SiteIdleRead), SiteAccess::Read, Idle, {Worker},
+                {}, Steady);
+  M.declareSite(P(FnIdle, SiteIdleWrite), SiteAccess::Write, Idle,
+                {Worker}, {}, Steady);
+
+  const VarId Total = M.declareVar("exec.grand-total");
+  M.declareSite(P(FnFinish, SiteTotalRead), SiteAccess::Read, Total,
+                {Worker}, {}, Steady);
+  M.declareSite(P(FnFinish, SiteTotalWrite), SiteAccess::Write, Total,
+                {Worker}, {}, Steady);
+  M.declareSite(P(FnTeardown, SiteFinalTotalRead), SiteAccess::Read, Total,
+                {MainRole}, {}, Teardown);
+
+  const VarId Rare = M.declareVar("exec.rare-mark");
+  M.declareSite(P(FnTask, SiteRareRead), SiteAccess::Read, Rare, {Worker},
+                {}, Steady);
+  M.declareSite(P(FnTask, SiteRareWrite), SiteAccess::Write, Rare,
+                {Worker}, {}, Steady);
+
+  // The result block re-reads the slot it just wrote — same task, no
+  // synchronization in between (the child pushes come after) — so the
+  // redundancy pass elides the recheck.
+  M.declareRegion("exec.result-block", {P(FnTask, SiteResultWrite),
+                                        P(FnTask, SiteResultRecheck)});
+  Bound = true;
+}
+
+void TaskExecutorWorkload::pushTask(ThreadContext &TC, SharedState &S,
+                                    unsigned Stack, uint32_t Idx) {
+  for (;;) {
+    uint64_t Head = S.StackHead[Stack].load(TC);
+    S.task(Idx).NextIdx.store(TC, idxOf(Head));
+    uint64_t Expected = Head;
+    if (S.StackHead[Stack].compareExchange(TC, Expected,
+                                           makeRef(tagOf(Head) + 1, Idx)))
+      return;
+  }
+}
+
+uint32_t TaskExecutorWorkload::popTask(ThreadContext &TC, SharedState &S,
+                                       unsigned Stack) {
+  for (;;) {
+    uint64_t Head = S.StackHead[Stack].load(TC);
+    uint32_t Idx = idxOf(Head);
+    if (Idx == 0)
+      return 0;
+    uint64_t Next = S.task(Idx).NextIdx.load(TC);
+    uint64_t Expected = Head;
+    if (S.StackHead[Stack].compareExchange(TC, Expected,
+                                           makeRef(tagOf(Head) + 1, Next)))
+      return Idx;
+  }
+}
+
+void TaskExecutorWorkload::workerMain(ThreadContext &TC, SharedState &S,
+                                      unsigned Worker, uint64_t Seed,
+                                      uint64_t &Executed) {
+  // Thread-cold seeded race: one bare hint read in the worker's first
+  // activation, against the main thread's post-fork tune write.
+  TC.run(FnWarmup,
+         [&](auto &T) { (void)T.load(&S.DeadlineHint, SiteHintRead); });
+  SplitMix64 Rng(Seed);
+  uint64_t LocalExec = 0;
+  bool IdleMarked = false;
+  const uint32_t NumTasks = S.numTasks();
+  while (S.ExecutedCount.load(TC) < NumTasks) {
+    uint32_t Idx = popTask(TC, S, Worker);
+    if (Idx == 0) {
+      // Steal from a random victim, then sweep the rest.
+      unsigned Start =
+          static_cast<unsigned>(Rng.nextBelow(SharedState::NumWorkers));
+      for (unsigned K = 0; K != SharedState::NumWorkers && Idx == 0; ++K) {
+        unsigned Victim = (Start + K) % SharedState::NumWorkers;
+        if (Victim != Worker)
+          Idx = popTask(TC, S, Victim);
+      }
+    }
+    if (Idx == 0) {
+      // Rare seeded race: mark the first time this worker runs dry. Two
+      // workers typically hit this at startup, before any steal has
+      // chained their clocks together.
+      if (!IdleMarked) {
+        IdleMarked = true;
+        TC.run(FnIdle, [&](auto &T) {
+          uint64_t Mark = T.load(&S.IdleMark, SiteIdleRead);
+          T.store(&S.IdleMark, Mark + 1, SiteIdleWrite);
+        });
+      }
+      pollBackoff(TC);
+      continue;
+    }
+    TC.run(FnTask, [&](auto &T) {
+      // Hot seeded race: one bare tally RMW per task.
+      uint64_t Tally = T.load(&S.ExecTally, SiteTallyRead);
+      T.store(&S.ExecTally, Tally + 1, SiteTallyWrite);
+      // Rare-in-hot seeded race: fires on exactly one step per worker.
+      if (LocalExec == PoisonStep) {
+        uint64_t Mark = T.load(&S.RareMark, SiteRareRead);
+        T.store(&S.RareMark, Mark + 1, SiteRareWrite);
+      }
+      Task &Tk = S.task(Idx);
+      uint64_t In = T.load(&Tk.Input, SiteInputRead);
+      T.store(&Tk.Result, mix64(In), SiteResultWrite);
+      (void)T.load(&Tk.Result, SiteResultRecheck);
+      // Spawn the children onto our own stack (heap numbering: the tree
+      // covers every task exactly once).
+      uint32_t Child = 2 * Idx;
+      if (Child <= NumTasks)
+        pushTask(TC, S, Worker, Child);
+      if (Child + 1 <= NumTasks)
+        pushTask(TC, S, Worker, Child + 1);
+    });
+    S.ExecutedCount.fetchAdd(TC, 1);
+    ++LocalExec;
+  }
+  // Cold seeded race: every worker folds its total after its last
+  // ExecutedCount access, so no chain can order two of these RMWs — the
+  // write-write race manifests under every schedule.
+  TC.run(FnFinish, [&](auto &T) {
+    uint64_t Total = T.load(&S.GrandTotal, SiteTotalRead);
+    T.store(&S.GrandTotal, Total + LocalExec, SiteTotalWrite);
+  });
+  Executed = LocalExec;
+}
+
+void TaskExecutorWorkload::run(Runtime &RT, const WorkloadParams &Params) {
+  assert(Bound && "bind() must run before run()");
+  const uint32_t NumTasks = Params.scaled(60000, 150);
+  auto S = std::make_unique<SharedState>(NumTasks, Params.Seed);
+  ThreadContext Main(RT);
+
+  Main.run(FnInit, [&](auto &T) {
+    T.store(&S->DeadlineHint, Params.Seed & 0xff, SiteInitHintWrite);
+  });
+  // Seed the root task onto worker 0's stack (logged atomics, pre-fork).
+  pushTask(Main, *S, 0, 1);
+
+  std::vector<uint64_t> Executed(SharedState::NumWorkers, 0);
+  std::vector<std::unique_ptr<Thread>> Threads;
+  for (unsigned W = 0; W != SharedState::NumWorkers; ++W)
+    Threads.push_back(std::make_unique<Thread>(
+        RT, Main, [this, &S, W, &Params, &Executed](ThreadContext &TC) {
+          workerMain(TC, *S, W, Params.Seed + W * 131, Executed[W]);
+        }));
+
+  // The seeded hint race: written after every fork, read by each worker's
+  // warmup, with no later release of ours that a worker acquires.
+  Main.run(FnTune, [&](auto &T) {
+    T.store(&S->DeadlineHint, 1 + ((Params.Seed >> 8) & 0xff),
+            SiteHintWrite);
+  });
+
+  for (auto &Th : Threads)
+    Th->join(Main);
+
+  Main.run(FnTeardown, [&](auto &T) {
+    (void)T.load(&S->GrandTotal, SiteFinalTotalRead);
+    (void)T.load(&S->task(1).Result, SiteFinalResultRead);
+  });
+
+  // Every task in the tree executed exactly once.
+  uint64_t TotalExecuted = 0;
+  for (uint64_t E : Executed)
+    TotalExecuted += E;
+  assert(TotalExecuted == NumTasks);
+  assert(S->task(1).Result == mix64(S->task(1).Input));
+  (void)TotalExecuted;
+}
+
+std::vector<SeededRaceSpec> TaskExecutorWorkload::seededRaces() const {
+  assert(Bound && "seededRaces() requires bind()");
+  auto P = [](FunctionId F, uint32_t Site) { return makePc(F, Site); };
+  return {
+      {"exec-tally",
+       {P(FnTask, SiteTallyRead), P(FnTask, SiteTallyWrite)},
+       /*ExpectFrequent=*/true},
+      {"exec-deadline-hint",
+       {P(FnInit, SiteInitHintWrite), P(FnWarmup, SiteHintRead),
+        P(FnTune, SiteHintWrite)},
+       /*ExpectFrequent=*/false},
+      {"exec-idle-flag",
+       {P(FnIdle, SiteIdleRead), P(FnIdle, SiteIdleWrite)},
+       /*ExpectFrequent=*/false},
+      {"exec-grand-total",
+       {P(FnFinish, SiteTotalRead), P(FnFinish, SiteTotalWrite),
+        P(FnTeardown, SiteFinalTotalRead)},
+       /*ExpectFrequent=*/false},
+      {"exec-rare-mark",
+       {P(FnTask, SiteRareRead), P(FnTask, SiteRareWrite)},
+       /*ExpectFrequent=*/false},
+  };
+}

@@ -1,0 +1,97 @@
+//===-- workloads/TaskExecutor.h - Work-stealing executor -----*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adversarial workload: an async task executor with work stealing. Three
+/// workers process a binary tree of tasks; each task's execution pushes
+/// its children onto the executor's own lock-free stack, and an
+/// out-of-work worker steals from a random victim. All deque structure is
+/// logged AtomicU64 (tagged Treiber stacks), so task inputs/results are
+/// ordered purely by the push/pop publication chains.
+///
+/// The input array is filled before any worker is forked and never
+/// written through instrumentation afterwards, so its only declared sites
+/// are reads — the one workload where the read-only static analysis gets
+/// to elide something real.
+///
+/// Seeded races (see seededRaces()):
+///  - exec-tally         hot/frequent: bare executed-ops tally, RMW once
+///                       per task by every worker
+///  - exec-deadline-hint thread-cold: main writes a bare hint after
+///                       forking; every worker reads it once in warmup
+///  - exec-idle-flag     rare: bare idle marker, RMW the first time a
+///                       worker finds all stacks empty
+///  - exec-grand-total   cold: bare per-run total, RMW once per worker at
+///                       exit with no ordering chain between workers
+///  - exec-rare-mark     rare-in-hot: bare marker on one poisoned step of
+///                       each worker's hot task loop
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_WORKLOADS_TASKEXECUTOR_H
+#define LITERACE_WORKLOADS_TASKEXECUTOR_H
+
+#include "workloads/Workload.h"
+
+namespace literace {
+
+/// "Task Executor" adversarial workload.
+class TaskExecutorWorkload : public Workload {
+public:
+  TaskExecutorWorkload() = default;
+
+  std::string name() const override;
+  void bind(Runtime &RT) override;
+  void run(Runtime &RT, const WorkloadParams &Params) override;
+  std::vector<SeededRaceSpec> seededRaces() const override;
+
+  enum Site : uint32_t {
+    // exec.task
+    SiteTallyRead = 1,
+    SiteTallyWrite = 2,
+    SiteRareRead = 3,
+    SiteRareWrite = 4,
+    SiteInputRead = 5,
+    SiteResultWrite = 6,
+    SiteResultRecheck = 7,
+    // exec.warmup / exec.tune / exec.init
+    SiteHintRead = 20,
+    SiteHintWrite = 21,
+    SiteInitHintWrite = 22,
+    // exec.idle
+    SiteIdleRead = 30,
+    SiteIdleWrite = 31,
+    // exec.finish
+    SiteTotalRead = 40,
+    SiteTotalWrite = 41,
+    // exec.teardown (main thread, phase-ordered)
+    SiteFinalTotalRead = 50,
+    SiteFinalResultRead = 51,
+  };
+
+  struct Task;
+  struct SharedState;
+
+private:
+  void pushTask(ThreadContext &TC, SharedState &S, unsigned Stack,
+                uint32_t Idx);
+  uint32_t popTask(ThreadContext &TC, SharedState &S, unsigned Stack);
+  void workerMain(ThreadContext &TC, SharedState &S, unsigned Worker,
+                  uint64_t Seed, uint64_t &Executed);
+
+  bool Bound = false;
+  FunctionId FnInit = 0;
+  FunctionId FnTask = 0;
+  FunctionId FnIdle = 0;
+  FunctionId FnWarmup = 0;
+  FunctionId FnTune = 0;
+  FunctionId FnFinish = 0;
+  FunctionId FnTeardown = 0;
+};
+
+} // namespace literace
+
+#endif // LITERACE_WORKLOADS_TASKEXECUTOR_H

@@ -13,7 +13,9 @@
 #include "workloads/Httpd.h"
 #include "workloads/LFList.h"
 #include "workloads/LKRHash.h"
+#include "workloads/MpmcQueue.h"
 #include "workloads/SciCompute.h"
+#include "workloads/TaskExecutor.h"
 
 using namespace literace;
 
@@ -47,6 +49,10 @@ std::unique_ptr<Workload> literace::makeWorkload(WorkloadKind Kind) {
     return std::make_unique<SciComputeWorkload>(/*UseLoopHints=*/false);
   case WorkloadKind::SciComputeLoop:
     return std::make_unique<SciComputeWorkload>(/*UseLoopHints=*/true);
+  case WorkloadKind::MpmcQueue:
+    return std::make_unique<MpmcQueueWorkload>();
+  case WorkloadKind::TaskExecutor:
+    return std::make_unique<TaskExecutorWorkload>();
   }
   literaceUnreachable("invalid workload kind");
 }
@@ -65,6 +71,8 @@ const std::vector<WorkloadNameEntry> &literace::workloadNameTable() {
       {"lflist", WorkloadKind::LFList},
       {"scicompute", WorkloadKind::SciComputeFn},
       {"scicompute-loop", WorkloadKind::SciComputeLoop},
+      {"mpmc-queue", WorkloadKind::MpmcQueue},
+      {"task-executor", WorkloadKind::TaskExecutor},
   };
   return Table;
 }

@@ -105,6 +105,10 @@ enum class WorkloadKind {
   LFList,            ///< micro-benchmark: lock-free list
   SciComputeFn,      ///< §7 extension: loop-heavy kernel, function-level
   SciComputeLoop,    ///< §7 extension: same kernel with loop hints
+  MpmcQueue,         ///< adversarial: lock-free MPMC queue + hazard
+                     ///< pointers (schedule-fuzz target)
+  TaskExecutor,      ///< adversarial: work-stealing async executor
+                     ///< (schedule-fuzz target)
 };
 
 /// Creates one workload instance.

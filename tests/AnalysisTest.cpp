@@ -592,13 +592,18 @@ TEST(GoldenPolicyTest, WorkloadPoliciesMatchSnapshots) {
                     "render.paint:190", "render.paint:191"}));
   EXPECT_EQ(policyLabels(WorkloadKind::BrowserRender),
             policyLabels(WorkloadKind::BrowserStart));
+  // lkr.insert:6 is the slot-block recheck: elided RaceFree by the
+  // lockset pass (which beats its Redundant re-mark).
   EXPECT_EQ(policyLabels(WorkloadKind::LKRHash),
             (Labels{"lkr.insert:1", "lkr.insert:2", "lkr.insert:3",
-                    "lkr.lookup:1", "lkr.lookup:4"}));
-  // The lock-free list and the stencil kernel are correct via publication
-  // ordering and band partitioning — facts beyond all five analyses, so
-  // nothing may be elided.
-  EXPECT_EQ(policyLabels(WorkloadKind::LFList), Labels{});
+                    "lkr.insert:6", "lkr.lookup:1", "lkr.lookup:4"}));
+  // The lock-free list is correct via publication ordering — a fact
+  // beyond all five analyses — so only the publish-block recheck (a
+  // dominated re-read of the key the activation just wrote) is elidable,
+  // and only under the Redundant class.
+  EXPECT_EQ(policyLabels(WorkloadKind::LFList), (Labels{"lfl.insert:5"}));
+  // The stencil kernel is correct via band partitioning; nothing may be
+  // elided.
   EXPECT_EQ(policyLabels(WorkloadKind::SciComputeFn), Labels{});
   EXPECT_EQ(policyLabels(WorkloadKind::SciComputeLoop), Labels{});
 }

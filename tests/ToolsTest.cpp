@@ -149,8 +149,8 @@ TEST(ToolsTest, SuppressionsChangeTheExitCode) {
 TEST(ToolsTest, AnalyzePrintsPolicyAndJustifications) {
   auto [Code, Out] = runCommand(toolPath("literace-analyze") + " lkrhash");
   EXPECT_EQ(Code, 0) << Out;
-  // All five declared sites of the stripe-locked table are elidable.
-  EXPECT_NE(Out.find("policy: 5/5 sites elidable"), std::string::npos);
+  // All six declared sites of the stripe-locked table are elidable.
+  EXPECT_NE(Out.find("policy: 6/6 sites elidable"), std::string::npos);
   EXPECT_NE(Out.find("lock-consistent"), std::string::npos);
   EXPECT_NE(Out.find("lkr.insert:1"), std::string::npos);
 }
@@ -270,7 +270,7 @@ TEST(ToolsTest, RunElideFlagShrinksTheLog) {
                                 Elided +
                                 " --mode full --scale 0.02 --seed 7 --elide");
   ASSERT_EQ(Code, 0) << Out;
-  EXPECT_NE(Out.find("static analysis: 5/5 declared sites elided"),
+  EXPECT_NE(Out.find("static analysis: 6/6 declared sites elided"),
             std::string::npos);
   // Every LKRHash memory op comes from an elided site.
   EXPECT_NE(Out.find(", 0 memory ops"), std::string::npos);
@@ -284,6 +284,44 @@ TEST(ToolsTest, RunElideFlagShrinksTheLog) {
   EXPECT_EQ(NoElideOut.find(", 0 memory ops"), std::string::npos);
   std::remove(Log.c_str());
   std::remove(Elided.c_str());
+}
+
+TEST(ToolsTest, FuzzSweepsReportsRecallAndWritesJson) {
+  std::string Json = std::string(::testing::TempDir()) + "fuzz.json";
+  auto [Code, Out] =
+      runCommand(toolPath("literace-fuzz") +
+                 " mpmc-queue --seeds 5 --scale 0.01 --json=" + Json);
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("Fuzz recall"), std::string::npos);
+  EXPECT_NE(Out.find("mpmc-enq-tally"), std::string::npos);
+  EXPECT_NE(Out.find("Per-seed outcomes"), std::string::npos);
+  std::FILE *File = std::fopen(Json.c_str(), "r");
+  ASSERT_NE(File, nullptr);
+  char Buf[4096] = {};
+  size_t Got = std::fread(Buf, 1, sizeof(Buf) - 1, File);
+  std::fclose(File);
+  std::string Doc(Buf, Got);
+  EXPECT_NE(Doc.find("\"benchmark\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"families\""), std::string::npos);
+  std::remove(Json.c_str());
+}
+
+TEST(ToolsTest, FuzzReplaysASeedBitForBit) {
+  // --check-determinism runs the seed twice with a fresh engine and
+  // workload; --seed makes it a repro run (no sweep-level recall gate).
+  auto [Code, Out] = runCommand(
+      toolPath("literace-fuzz") +
+      " task-executor --seed 3 --scale 0.01 --check-determinism");
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("identical"), std::string::npos);
+}
+
+TEST(ToolsTest, FuzzRejectsUnknownWorkloadWithUsage) {
+  auto [Code, Out] = runCommand(toolPath("literace-fuzz") + " nope");
+  EXPECT_EQ(Code, 2);
+  EXPECT_NE(Out.find("usage:"), std::string::npos);
+  EXPECT_NE(Out.find("mpmc-queue"), std::string::npos);
+  EXPECT_NE(Out.find("task-executor"), std::string::npos);
 }
 
 /// Extracts the integer rendered after \p Name in literace-stat's

@@ -15,8 +15,11 @@
 
 #include "workloads/Workload.h"
 
+#include "analysis/AccessModel.h"
 #include "detector/HBDetector.h"
 #include "harness/DetectionExperiment.h"
+#include "workloads/LFList.h"
+#include "workloads/LKRHash.h"
 
 #include <gtest/gtest.h>
 #include <set>
@@ -131,6 +134,96 @@ INSTANTIATE_TEST_SUITE_P(Micro, MicroBenchmarkSilenceTest,
                                       ? "LKRHash"
                                       : "LFList";
                          });
+
+/// Binds a workload on a throwaway runtime and hands its access model plus
+/// registry to \p Check.
+template <typename CheckT>
+void withBoundModel(WorkloadKind Kind, CheckT Check) {
+  auto W = makeWorkload(Kind);
+  MemorySink Sink(128);
+  RuntimeConfig Config;
+  Config.Mode = RunMode::Experiment;
+  Runtime RT(Config, &Sink);
+  W->bind(RT);
+  Check(RT.accessModel(), RT);
+}
+
+/// The micro-benchmark models must carry the same structural facts the
+/// application workloads do: a fork/join phase skeleton with every site
+/// tagged, and a declared sync-free recheck region the redundancy pass
+/// can act on.
+TEST(MicroBenchmarkModelTest, LKRHashDeclaresPhasesAndSlotRegion) {
+  withBoundModel(WorkloadKind::LKRHash, [](const AccessModel &M,
+                                           Runtime &RT) {
+    ASSERT_EQ(M.numPhases(), 3u);
+    EXPECT_EQ(M.phaseName(0), "init");
+    EXPECT_EQ(M.phaseName(1), "steady");
+    EXPECT_EQ(M.phaseName(2), "teardown");
+    ASSERT_EQ(M.phaseOrders().size(), 2u);
+    for (const PhaseOrder &O : M.phaseOrders())
+      EXPECT_EQ(O.Kind, PhaseOrderKind::ForkJoin);
+    for (const SiteDecl &D : M.declarations())
+      EXPECT_NE(D.Phase, kNoPhase)
+          << RT.registry().name(pcFunction(D.Site));
+
+    ASSERT_EQ(M.numRegions(), 1u);
+    const RegionDecl &R = M.regions()[0];
+    EXPECT_EQ(R.Name, "lkr.slot-block");
+    ASSERT_EQ(R.Sites.size(), 2u);
+    EXPECT_EQ(RT.registry().name(pcFunction(R.Sites[0])), "lkr.insert");
+    EXPECT_EQ(pcSite(R.Sites[0]), LKRHashWorkload::SiteSlotKeyWrite);
+    EXPECT_EQ(pcSite(R.Sites[1]), LKRHashWorkload::SiteSlotKeyRecheck);
+  });
+}
+
+TEST(MicroBenchmarkModelTest, LFListDeclaresPhasesAndPublishRegion) {
+  withBoundModel(WorkloadKind::LFList, [](const AccessModel &M,
+                                          Runtime &RT) {
+    ASSERT_EQ(M.numPhases(), 3u);
+    EXPECT_EQ(M.phaseName(0), "init");
+    EXPECT_EQ(M.phaseName(1), "steady");
+    EXPECT_EQ(M.phaseName(2), "teardown");
+    ASSERT_EQ(M.phaseOrders().size(), 2u);
+    for (const SiteDecl &D : M.declarations())
+      EXPECT_NE(D.Phase, kNoPhase)
+          << RT.registry().name(pcFunction(D.Site));
+
+    ASSERT_EQ(M.numRegions(), 1u);
+    const RegionDecl &R = M.regions()[0];
+    EXPECT_EQ(R.Name, "lfl.publish-block");
+    ASSERT_EQ(R.Sites.size(), 2u);
+    EXPECT_EQ(RT.registry().name(pcFunction(R.Sites[0])), "lfl.insert");
+    EXPECT_EQ(pcSite(R.Sites[0]), LFListWorkload::SiteKeyWrite);
+    EXPECT_EQ(pcSite(R.Sites[1]), LFListWorkload::SiteKeyRecheck);
+  });
+}
+
+/// The two adversarial fuzz workloads declare full models too: phases,
+/// regions, and a non-empty seeded-race manifest with both rare and
+/// frequent families (the fuzz recall tables depend on that split).
+TEST(MicroBenchmarkModelTest, FuzzWorkloadsDeclareModelsAndManifests) {
+  for (WorkloadKind Kind :
+       {WorkloadKind::MpmcQueue, WorkloadKind::TaskExecutor}) {
+    auto W = makeWorkload(Kind);
+    MemorySink Sink(128);
+    RuntimeConfig Config;
+    Config.Mode = RunMode::Experiment;
+    Runtime RT(Config, &Sink);
+    W->bind(RT);
+    const AccessModel &M = RT.accessModel();
+    EXPECT_GE(M.numPhases(), 3u) << W->name();
+    EXPECT_GE(M.phaseOrders().size(), 2u) << W->name();
+    EXPECT_GE(M.numRegions(), 1u) << W->name();
+
+    auto Manifest = W->seededRaces();
+    ASSERT_GE(Manifest.size(), 4u);
+    size_t Rare = 0, Frequent = 0;
+    for (const SeededRaceSpec &Spec : Manifest)
+      (Spec.ExpectFrequent ? Frequent : Rare) += 1;
+    EXPECT_GE(Rare, 3u) << W->name();
+    EXPECT_GE(Frequent, 1u) << W->name();
+  }
+}
 
 TEST(WorkloadSuiteTest, DetectionSuiteHasTheEightPaperPairs) {
   auto Suite = makeDetectionSuite();

@@ -1,0 +1,209 @@
+//===-- tools/literace-fuzz.cpp - Schedule-perturbation fuzzer ------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Runs a workload under the deterministic schedule-perturbation engine
+// (src/fuzz) across a range of seeds and reports per-family × per-sampler
+// recall, backend agreement, and the canonical trace digest of every
+// seed. A failing seed from CI is replayed exactly with --seed; the run
+// is bit-reproducible because the engine serializes all threads on one
+// token and every scheduling decision is a deterministic function of
+// (seed, perturbation-point sequence).
+//
+// Usage:
+//   literace-fuzz <workload> [--seed <n> | --seeds <count>]
+//                 [--first-seed <n>] [--scale <x>] [--json[=PATH]]
+//                 [--check-determinism] [--no-cross-check]
+//                 [--preempt <p>] [--delay <p>] [--invert <p>]
+//
+// Exit codes: 0 ok, 2 usage error, 4 recall/validation failure (a log was
+// inconsistent, a race escaped the seeded manifest, or backends
+// disagreed), 5 determinism mismatch (same seed produced a different
+// canonical trace or race report).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/FuzzExperiment.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+using namespace literace;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <workload> [--seed <n> | --seeds <count>]\n"
+      "          [--first-seed <n>] [--scale <x>] [--json[=PATH]]\n"
+      "          [--check-determinism] [--no-cross-check]\n"
+      "          [--preempt <p>] [--delay <p>] [--invert <p>]\n"
+      "workloads:\n%s\n",
+      Argv0, workloadNameList("  ").c_str());
+  return 2;
+}
+
+std::optional<double> parseDouble(const char *S) {
+  char *End = nullptr;
+  double V = std::strtod(S, &End);
+  if (End == S || *End != '\0')
+    return std::nullopt;
+  return V;
+}
+
+std::optional<uint64_t> parseU64(const char *S) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (End == S || *End != '\0')
+    return std::nullopt;
+  return static_cast<uint64_t>(V);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage(argv[0]);
+  std::optional<WorkloadKind> Kind = workloadKindByName(argv[1]);
+  if (!Kind) {
+    std::fprintf(stderr, "unknown workload '%s'\n", argv[1]);
+    return usage(argv[0]);
+  }
+
+  FuzzSweepOptions Opts;
+  bool CheckDeterminism = false;
+  bool SingleSeed = false;
+  bool Json = false;
+  std::string JsonPath;
+
+  for (int I = 2; I < argc; ++I) {
+    const std::string Arg = argv[I];
+    auto takeValue = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--seed") {
+      const char *V = takeValue();
+      auto N = V ? parseU64(V) : std::nullopt;
+      if (!N)
+        return usage(argv[0]);
+      Opts.FirstSeed = *N;
+      Opts.NumSeeds = 1;
+      SingleSeed = true;
+    } else if (Arg == "--seeds") {
+      const char *V = takeValue();
+      auto N = V ? parseU64(V) : std::nullopt;
+      if (!N || *N == 0)
+        return usage(argv[0]);
+      Opts.NumSeeds = static_cast<unsigned>(*N);
+    } else if (Arg == "--first-seed") {
+      const char *V = takeValue();
+      auto N = V ? parseU64(V) : std::nullopt;
+      if (!N)
+        return usage(argv[0]);
+      Opts.FirstSeed = *N;
+    } else if (Arg == "--scale") {
+      const char *V = takeValue();
+      auto X = V ? parseDouble(V) : std::nullopt;
+      if (!X || *X <= 0.0)
+        return usage(argv[0]);
+      Opts.Scale = *X;
+    } else if (Arg == "--preempt") {
+      const char *V = takeValue();
+      auto P = V ? parseDouble(V) : std::nullopt;
+      if (!P || *P < 0.0 || *P > 1.0)
+        return usage(argv[0]);
+      Opts.Perturb.PreemptProb = *P;
+    } else if (Arg == "--delay") {
+      const char *V = takeValue();
+      auto P = V ? parseDouble(V) : std::nullopt;
+      if (!P || *P < 0.0 || *P > 1.0)
+        return usage(argv[0]);
+      Opts.Perturb.DelayProb = *P;
+    } else if (Arg == "--invert") {
+      const char *V = takeValue();
+      auto P = V ? parseDouble(V) : std::nullopt;
+      if (!P || *P < 0.0 || *P > 1.0)
+        return usage(argv[0]);
+      Opts.Perturb.InvertProb = *P;
+    } else if (Arg == "--check-determinism") {
+      CheckDeterminism = true;
+    } else if (Arg == "--no-cross-check") {
+      Opts.CrossCheckBackends = false;
+    } else if (Arg == "--json" || Arg.rfind("--json=", 0) == 0) {
+      Json = true;
+      if (Arg.size() > 7)
+        JsonPath = Arg.substr(7);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", Arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  if (CheckDeterminism) {
+    FuzzDeterminismCheck Check =
+        checkFuzzDeterminism(*Kind, Opts.FirstSeed, Opts);
+    std::printf("determinism seed=%llu: digests %08x/%08x, races %zu/%zu "
+                "=> %s\n",
+                static_cast<unsigned long long>(Opts.FirstSeed),
+                Check.DigestA, Check.DigestB, Check.RacesA, Check.RacesB,
+                Check.Identical ? "identical" : "MISMATCH");
+    if (!Check.Identical)
+      return 5;
+  }
+
+  FuzzResult Result = runFuzzSweep(*Kind, Opts);
+  printFuzzResult(Result);
+
+  if (Json) {
+    if (JsonPath.empty()) {
+      writeFuzzJson(Result, std::cout);
+    } else {
+      std::ofstream Out(JsonPath);
+      if (!Out) {
+        std::fprintf(stderr, "cannot write '%s'\n", JsonPath.c_str());
+        return 2;
+      }
+      writeFuzzJson(Result, Out);
+    }
+  }
+
+  if (!Result.AllLogsConsistent) {
+    std::fprintf(stderr, "FAIL: a replay found its log inconsistent\n");
+    return 4;
+  }
+  if (!Result.AllWithinSeededSites) {
+    std::fprintf(stderr,
+                 "FAIL: a detected race lies outside every seeded family\n");
+    return 4;
+  }
+  if (!Result.AllBackendsAgree) {
+    std::fprintf(stderr, "FAIL: detector backends disagreed\n");
+    return 4;
+  }
+  // In a sweep, every seeded family must manifest on at least one seed;
+  // a single-seed repro run only reports.
+  if (!SingleSeed) {
+    bool AllManifested = true;
+    for (const FuzzFamilyRecall &F : Result.Families)
+      if (F.SeedsManifested == 0) {
+        std::fprintf(stderr, "FAIL: family '%s' never manifested\n",
+                     F.Label.c_str());
+        AllManifested = false;
+      }
+    if (!AllManifested) {
+      std::vector<uint64_t> Weak = Result.weakestSeeds();
+      for (uint64_t Seed : Weak)
+        std::fprintf(stderr, "repro: --seed %llu\n",
+                     static_cast<unsigned long long>(Seed));
+      return 4;
+    }
+  }
+  return 0;
+}
