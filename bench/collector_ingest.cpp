@@ -1,0 +1,262 @@
+//===-- bench/collector_ingest.cpp - Collector ingest throughput ------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// The headline for the literace-collectd ingestion path (docs/COLLECTOR.md):
+// N concurrent clients stream identical pre-encoded v2 segment streams into
+// one in-process CollectorServer over real AF_UNIX sockets, and the run is
+// charged until every session has been decoded, detected, and triaged.
+// Sweeping the client count {1, 2, 4, 8} shows how the single detection
+// thread and the MPSC hand-off queue hold up as ingest concurrency grows:
+// aggregate events/second, wall time, queue high-water/parks, and the
+// dedup'd race count (which must not depend on the client count).
+//
+// With --json[=PATH] the results are also written as JSON (default
+// BENCH_collector_ingest.json) so successive PRs can track the numbers;
+// tools/bench-compare keys the sweep rows by their "clients" label.
+// LITERACE_SCALE scales the stream size per client.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collector/Collector.h"
+#include "detector/LogBuilder.h"
+#include "runtime/EventLog.h"
+#include "support/ByteOutput.h"
+#include "support/Timer.h"
+#include "telemetry/Metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace literace;
+using namespace literace::collector;
+
+namespace {
+
+struct Result {
+  unsigned Clients = 0;
+  double Seconds = 0.0;
+  double EventsPerSec = 0.0;
+  uint64_t EventsIngested = 0;
+  uint64_t BytesIngested = 0;
+  size_t DistinctRaces = 0;
+  uint64_t QueueDepthHighWater = 0;
+  uint64_t ProducerParks = 0;
+};
+
+std::string tempPath(const char *Name) {
+  const char *Dir = std::getenv("TMPDIR");
+  return std::string(Dir && *Dir ? Dir : "/tmp") + "/" + Name;
+}
+
+/// One client's payload: a multi-thread trace with sync traffic, a few
+/// races, and enough volume to make the decode/detect path the cost.
+Trace buildTrace(size_t Repeats) {
+  LogBuilder B(64);
+  B.onThread(0).threadStart();
+  B.onThread(1).threadStart();
+  B.onThread(2).threadStart();
+  for (size_t I = 0; I != Repeats; ++I) {
+    const uint64_t Base = 0x10000 + (I % 512) * 64;
+    B.onThread(0)
+        .lock(1)
+        .write(Base, makePc(1, 1))
+        .read(Base + 8, makePc(1, 2))
+        .unlock(1);
+    B.onThread(1)
+        .lock(1)
+        .write(Base, makePc(2, 1))
+        .unlock(1)
+        .write(0x9000, makePc(2, 7)); // Unsynchronized: races with t2.
+    B.onThread(2)
+        .write(0x9000, makePc(3, 7))
+        .read(Base + 8, makePc(3, 2));
+  }
+  B.onThread(0).threadEnd();
+  B.onThread(1).threadEnd();
+  B.onThread(2).threadEnd();
+  return B.build();
+}
+
+/// Encodes \p T as one on-disk v2 segment stream (what a client sends).
+std::vector<uint8_t> encodeTrace(const Trace &T) {
+  const std::string Path = tempPath("literace_collector_bench.bin");
+  {
+    SegmentedFileSink Sink(Path, T.NumTimestampCounters);
+    for (size_t Tid = 0; Tid != T.PerThread.size(); ++Tid) {
+      const std::vector<EventRecord> &Stream = T.PerThread[Tid];
+      for (size_t At = 0; At < Stream.size(); At += 2048)
+        Sink.writeChunk(static_cast<ThreadId>(Tid), Stream.data() + At,
+                        std::min<size_t>(2048, Stream.size() - At));
+    }
+    Sink.close();
+  }
+  std::vector<uint8_t> Bytes;
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (File) {
+    char Buf[65536];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), File)) != 0)
+      Bytes.insert(Bytes.end(), Buf, Buf + N);
+    std::fclose(File);
+  }
+  std::remove(Path.c_str());
+  return Bytes;
+}
+
+/// Pulls one numeric field out of a /status document by key.
+uint64_t jsonU64(const std::string &Json, const std::string &Key) {
+  const size_t At = Json.find("\"" + Key + "\": ");
+  if (At == std::string::npos)
+    return 0;
+  return std::strtoull(Json.c_str() + At + Key.size() + 4, nullptr, 10);
+}
+
+Result runClients(unsigned Clients, const std::vector<uint8_t> &Bytes,
+                  size_t EventsPerClient) {
+  const std::string Socket = tempPath("literace_collector_bench.sock");
+  Result R;
+  R.Clients = Clients;
+
+  telemetry::MetricsRegistry Registry;
+  CollectorConfig Config;
+  Config.IngestSocketPath = Socket;
+  Config.Triage.RatePerSec = 0; // Measure the pipeline, not the limiter.
+  Config.Metrics = &Registry;
+  CollectorServer Server(std::move(Config));
+  std::string Error;
+  if (!Server.start(&Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    std::exit(1);
+  }
+
+  WallTimer Timer;
+  std::vector<std::thread> Streams;
+  for (unsigned C = 0; C != Clients; ++C)
+    Streams.emplace_back([&] {
+      SocketByteOutput Out(Socket);
+      size_t At = 0;
+      while (Out.ok() && At < Bytes.size()) {
+        WriteResult W = Out.write(Bytes.data() + At,
+                                  std::min<size_t>(65536, Bytes.size() - At));
+        At += W.Written;
+        if (W.Written == 0 && !W.Transient)
+          break;
+      }
+      Out.close();
+    });
+  for (std::thread &S : Streams)
+    S.join();
+  // The clock runs until the last session is fully detected and triaged.
+  Server.waitForSessions(Clients);
+  R.Seconds = Timer.seconds();
+  const std::string Status = Server.statusJson();
+  Server.stop();
+
+  const telemetry::MetricsSnapshot Snap = Registry.snapshot();
+  R.EventsIngested = Snap.counter("collector.events.ingested");
+  R.BytesIngested = Snap.counter("collector.bytes.ingested");
+  R.QueueDepthHighWater = jsonU64(Status, "high_water");
+  R.ProducerParks = jsonU64(Status, "producer_parks");
+  R.DistinctRaces = Server.triage().distinctRaces();
+  R.EventsPerSec =
+      static_cast<double>(Clients) * static_cast<double>(EventsPerClient) /
+      R.Seconds;
+  std::remove(Socket.c_str());
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0)
+      JsonPath = "BENCH_collector_ingest.json";
+    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+    else {
+      std::fprintf(stderr, "usage: %s [--json[=PATH]]\n", Argv[0]);
+      return 2;
+    }
+  }
+
+  double Scale = 1.0;
+  if (const char *Env = std::getenv("LITERACE_SCALE"))
+    Scale = std::atof(Env);
+  if (Scale <= 0.0)
+    Scale = 1.0;
+  const size_t Repeats = static_cast<size_t>(20000 * Scale) + 1;
+
+  const Trace T = buildTrace(Repeats);
+  const std::vector<uint8_t> Bytes = encodeTrace(T);
+  const size_t EventsPerClient = T.totalEvents();
+  std::fprintf(stderr,
+               "per client: %zu events, %.1f MB encoded; sweeping client "
+               "counts\n",
+               EventsPerClient, static_cast<double>(Bytes.size()) / 1e6);
+
+  std::vector<Result> Results;
+  for (unsigned Clients : {1u, 2u, 4u, 8u})
+    Results.push_back(runClients(Clients, Bytes, EventsPerClient));
+
+  std::fprintf(stderr,
+               "\nCollector ingest throughput (decode + detect + triage, "
+               "wall-clocked to last session)\n");
+  std::fprintf(stderr, "  %-8s %-9s %-12s %-8s %-10s %-7s\n", "Clients",
+               "Time", "M events/s", "Races", "Queue HW", "Parks");
+  for (const Result &R : Results)
+    std::fprintf(stderr, "  %-8u %-9s %-12.1f %-8zu %-10llu %-7llu\n",
+                 R.Clients,
+                 (std::to_string(R.Seconds).substr(0, 5) + "s").c_str(),
+                 R.EventsPerSec / 1e6, R.DistinctRaces,
+                 static_cast<unsigned long long>(R.QueueDepthHighWater),
+                 static_cast<unsigned long long>(R.ProducerParks));
+
+  // The dedup invariant: the race set must not grow with the client count.
+  for (const Result &R : Results)
+    if (R.DistinctRaces != Results.front().DistinctRaces) {
+      std::fprintf(stderr,
+                   "error: race set varies with client count (%zu vs %zu)\n",
+                   R.DistinctRaces, Results.front().DistinctRaces);
+      return 1;
+    }
+
+  if (!JsonPath.empty()) {
+    std::FILE *File = std::fopen(JsonPath.c_str(), "w");
+    if (!File) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(File,
+                 "{\n  \"benchmark\": \"collector_ingest\",\n"
+                 "  \"events_per_client\": %zu,\n"
+                 "  \"encoded_bytes_per_client\": %zu,\n  \"sweep\": [\n",
+                 EventsPerClient, Bytes.size());
+    for (size_t I = 0; I != Results.size(); ++I) {
+      const Result &R = Results[I];
+      std::fprintf(
+          File,
+          "    {\"clients\": %u, \"seconds\": %.6f, "
+          "\"events_per_sec\": %.1f, \"events_ingested\": %llu, "
+          "\"bytes_ingested\": %llu, \"distinct_races\": %zu, "
+          "\"queue_depth_highwater\": %llu, \"producer_parks\": %llu}%s\n",
+          R.Clients, R.Seconds, R.EventsPerSec,
+          static_cast<unsigned long long>(R.EventsIngested),
+          static_cast<unsigned long long>(R.BytesIngested),
+          R.DistinctRaces,
+          static_cast<unsigned long long>(R.QueueDepthHighWater),
+          static_cast<unsigned long long>(R.ProducerParks),
+          I + 1 == Results.size() ? "" : ",");
+    }
+    std::fprintf(File, "  ]\n}\n");
+    std::fclose(File);
+    std::fprintf(stderr, "wrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

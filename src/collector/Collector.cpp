@@ -1,0 +1,734 @@
+//===-- collector/Collector.cpp - Always-on collection daemon ------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collector/Collector.h"
+
+#include "telemetry/Json.h"
+#include "telemetry/Prometheus.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace literace;
+using namespace literace::collector;
+
+namespace {
+
+void appendU64(std::string &Out, uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(V));
+  Out += Buf;
+}
+
+void appendBool(std::string &Out, bool V) { Out += V ? "true" : "false"; }
+
+std::string jsonString(std::string_view S) {
+  return "\"" + telemetry::jsonEscape(S) + "\"";
+}
+
+std::string siteName(Pc P) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "fn%u:%u", pcFunction(P), pcSite(P));
+  return Buf;
+}
+
+/// Binds and listens on an AF_UNIX stream socket, replacing a stale
+/// socket file. Returns the fd or -1 (errno describes the failure).
+int listenUnix(const std::string &Path) {
+  if (Path.empty() || Path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    errno = ENAMETOOLONG;
+    return -1;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  ::unlink(Path.c_str());
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 64) != 0) {
+    const int E = errno;
+    ::close(Fd);
+    errno = E;
+    return -1;
+  }
+  return Fd;
+}
+
+/// Connects to \p Path and immediately closes: wakes a thread blocked in
+/// accept() so shutdown does not depend on platform accept/shutdown
+/// interactions.
+void pokeUnix(const std::string &Path) {
+  if (Path.empty() || Path.size() >= sizeof(sockaddr_un{}.sun_path))
+    return;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  ::close(Fd);
+}
+
+bool writeAll(int Fd, const char *Data, size_t Size) {
+  size_t Off = 0;
+  while (Off < Size) {
+    ssize_t N = ::send(Fd, Data + Off, Size - Off, MSG_NOSIGNAL);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EINTR || errno == EAGAIN))
+      continue;
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+/// Detection-thread-private state of one in-flight session. Exactly one
+/// of Serial/Sharded is non-null once the first item arrives.
+struct CollectorServer::Detection {
+  std::unique_ptr<ReplayScheduler> Scheduler;
+  std::unique_ptr<HBDetector> Serial;
+  std::unique_ptr<ShardedHBDetector> Sharded;
+  RaceReport Report;
+  /// Dynamic counts already forwarded to triage, per site pair.
+  std::map<StaticRaceKey, uint64_t> Published;
+  std::shared_ptr<SessionState> State;
+
+  TraceConsumer &consumer() {
+    return Sharded ? static_cast<TraceConsumer &>(*Sharded)
+                   : static_cast<TraceConsumer &>(*Serial);
+  }
+};
+
+CollectorServer::CollectorServer(CollectorConfig ConfigIn)
+    : Config(std::move(ConfigIn)),
+      Triage(Config.Triage, Config.Suppressions ? Config.Suppressions
+                                                : &EmptySuppressions),
+      Queue(Config.QueueCapacity) {
+  Metrics = telemetry::resolveRegistry(Config.Metrics);
+}
+
+CollectorServer::~CollectorServer() { stop(); }
+
+bool CollectorServer::start(std::string *Error) {
+  if (Started.load())
+    return true;
+  ListenFd = listenUnix(Config.IngestSocketPath);
+  if (ListenFd < 0) {
+    if (Error)
+      *Error = "cannot listen on " + Config.IngestSocketPath + ": " +
+               std::strerror(errno);
+    return false;
+  }
+  Started.store(true);
+  Detector = std::thread(&CollectorServer::detectLoop, this);
+  Acceptor = std::thread(&CollectorServer::acceptLoop, this);
+  return true;
+}
+
+void CollectorServer::stop() {
+  if (!Started.load() || Stopping.exchange(true)) {
+    // Still wake any waitForSessions() callers on a never-started server.
+    Stopping.store(true);
+    SessionsCv.notify_all();
+    return;
+  }
+  // Unblock the acceptor, then retire the listener.
+  pokeUnix(Config.IngestSocketPath);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  ::unlink(Config.IngestSocketPath.c_str());
+
+  // End live sessions: readers observe EOF and finish with the same
+  // salvage semantics as a crashed producer's on-disk trace.
+  {
+    std::lock_guard<std::mutex> Guard(ReadersLock);
+    for (int Fd : LiveFds)
+      ::shutdown(Fd, SHUT_RD);
+  }
+  for (;;) {
+    std::thread Reader;
+    {
+      std::lock_guard<std::mutex> Guard(ReadersLock);
+      if (Readers.empty())
+        break;
+      Reader = std::move(Readers.back());
+      Readers.pop_back();
+    }
+    if (Reader.joinable())
+      Reader.join();
+  }
+
+  // Every End item is queued; drain and join the detection thread.
+  Queue.close();
+  if (Detector.joinable())
+    Detector.join();
+
+  // Retire the HTTP listeners.
+  {
+    std::lock_guard<std::mutex> Guard(HttpLock);
+    for (int Fd : HttpListenFds)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  {
+    std::lock_guard<std::mutex> Guard(HttpLock);
+    for (std::thread &T : HttpThreads)
+      if (T.joinable())
+        T.join();
+    for (int Fd : HttpListenFds)
+      ::close(Fd);
+    HttpThreads.clear();
+    HttpListenFds.clear();
+  }
+  SessionsCv.notify_all();
+}
+
+void CollectorServer::acceptLoop() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Stopping.load()) {
+      ::close(Fd);
+      break;
+    }
+    uint64_t Id;
+    auto State = std::make_shared<SessionState>();
+    {
+      std::lock_guard<std::mutex> Guard(SessionsLock);
+      Id = NextSessionId++;
+      State->Id = Id;
+      Sessions.emplace(Id, State);
+      ++Accepted;
+    }
+    if (Metrics)
+      Metrics->threadSlab().add(Metrics->counter("collector.sessions.accepted"));
+    std::lock_guard<std::mutex> Guard(ReadersLock);
+    LiveFds.push_back(Fd);
+    Readers.emplace_back(&CollectorServer::readerLoop, this, Id, Fd);
+  }
+}
+
+void CollectorServer::readerLoop(uint64_t SessionId, int Fd) {
+  std::shared_ptr<SessionState> State;
+  {
+    std::lock_guard<std::mutex> Guard(SessionsLock);
+    State = Sessions.at(SessionId);
+  }
+  SegmentStreamDecoder Decoder;
+  SegmentStreamDecoder::Chunk C;
+  uint8_t Buf[1 << 16];
+  bool QueueClosed = false;
+
+  auto Forward = [&] {
+    while (!QueueClosed && Decoder.take(C)) {
+      IngestItem Item;
+      Item.K = IngestItem::Kind::Chunk;
+      Item.SessionId = SessionId;
+      Item.Tid = C.Tid;
+      Item.Records = std::move(C.Records);
+      Item.NumCounters = Decoder.numTimestampCounters();
+      if (!Queue.push(Item))
+        QueueClosed = true; // daemon stopping; drop the rest
+    }
+    const TraceReadStats &S = Decoder.stats();
+    State->SegmentsRecovered.store(S.SegmentsRecovered,
+                                   std::memory_order_relaxed);
+    State->SegmentsDropped.store(S.SegmentsDropped,
+                                 std::memory_order_relaxed);
+  };
+
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break;
+    Decoder.feed(Buf, static_cast<size_t>(N));
+    State->Bytes.fetch_add(static_cast<uint64_t>(N),
+                           std::memory_order_relaxed);
+    if (Metrics)
+      Metrics->threadSlab().add(Metrics->counter("collector.bytes.ingested"),
+                                static_cast<uint64_t>(N));
+    Forward();
+  }
+  Decoder.finish();
+  Forward();
+  const TraceReadStats &S = Decoder.stats();
+  State->Clean.store(S.CleanShutdown, std::memory_order_relaxed);
+  if (Metrics) {
+    telemetry::ThreadSlab &Slab = Metrics->threadSlab();
+    Slab.add(Metrics->counter("collector.segments.recovered"),
+             S.SegmentsRecovered);
+    Slab.add(Metrics->counter("collector.segments.dropped"),
+             S.SegmentsDropped);
+  }
+  if (!QueueClosed) {
+    IngestItem End;
+    End.K = IngestItem::Kind::End;
+    End.SessionId = SessionId;
+    End.NumCounters = Decoder.numTimestampCounters();
+    End.Clean = S.CleanShutdown;
+    End.SegmentsRecovered = S.SegmentsRecovered;
+    End.SegmentsDropped = S.SegmentsDropped;
+    Queue.push(End);
+  }
+  {
+    std::lock_guard<std::mutex> Guard(ReadersLock);
+    for (size_t I = 0; I != LiveFds.size(); ++I)
+      if (LiveFds[I] == Fd) {
+        LiveFds.erase(LiveFds.begin() + I);
+        break;
+      }
+  }
+  ::close(Fd);
+}
+
+void CollectorServer::publish(Detection &D, uint64_t SessionId) {
+  uint64_t NewSightings = 0;
+  for (const StaticRace &R : D.Report.staticRaces()) {
+    uint64_t &Done = D.Published[R.Key];
+    if (R.DynamicCount > Done) {
+      Triage.observe(R.Key, R.DynamicCount - Done, R.SawWriteWrite,
+                     R.ExampleAddr, SessionId);
+      NewSightings += R.DynamicCount - Done;
+      Done = R.DynamicCount;
+    }
+  }
+  D.State->Races.store(D.Report.numStaticRaces(),
+                       std::memory_order_relaxed);
+  if (Metrics && NewSightings)
+    Metrics->threadSlab().add(
+        Metrics->counter("collector.races.sightings"), NewSightings);
+}
+
+void CollectorServer::finishSession(Detection &D, const IngestItem &End) {
+  uint64_t Gaps = 0;
+  if (D.Scheduler) {
+    D.Scheduler->drain(D.consumer());
+    if (!D.Scheduler->fullyDrained()) {
+      // Dropped segments punched holes into the timestamp order; skip
+      // them like file salvage does instead of stalling forever.
+      D.Scheduler->drainAllowingGaps(D.consumer());
+      Gaps = D.Scheduler->timestampGaps();
+    }
+    if (D.Sharded)
+      D.Sharded->finish(D.Report);
+    publish(D, End.SessionId);
+  }
+  D.State->TimestampGaps.store(Gaps, std::memory_order_relaxed);
+  D.State->Clean.store(End.Clean, std::memory_order_relaxed);
+  D.State->Active.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Guard(SessionsLock);
+    ++Completed;
+    if (End.Clean)
+      ++CleanCount;
+  }
+  if (Metrics) {
+    telemetry::ThreadSlab &Slab = Metrics->threadSlab();
+    Slab.add(Metrics->counter("collector.sessions.completed"));
+    if (End.Clean)
+      Slab.add(Metrics->counter("collector.sessions.clean"));
+    Slab.gaugeMax(Metrics->gaugeMax("collector.races.distinct"),
+                  Triage.distinctRaces());
+    Slab.gaugeMax(Metrics->gaugeMax("collector.queue.depth.highwater"),
+                  Queue.stats().DepthHighWater);
+  }
+  SessionsCv.notify_all();
+}
+
+void CollectorServer::detectLoop() {
+  std::map<uint64_t, Detection> Live;
+  IngestItem Item;
+  while (Queue.pop(Item)) {
+    Detection &D = Live[Item.SessionId];
+    if (!D.Scheduler) {
+      D.Scheduler =
+          std::make_unique<ReplayScheduler>(Item.NumCounters);
+      if (Config.Shards > 1) {
+        DetectorOptions Opts;
+        Opts.Shards = Config.Shards;
+        D.Sharded = std::make_unique<ShardedHBDetector>(Opts);
+      } else {
+        D.Serial = std::make_unique<HBDetector>(D.Report);
+      }
+      std::lock_guard<std::mutex> Guard(SessionsLock);
+      D.State = Sessions.at(Item.SessionId);
+    }
+    if (Item.K == IngestItem::Kind::Chunk) {
+      D.Scheduler->addEvents(Item.Tid, Item.Records.data(),
+                             Item.Records.size());
+      const size_t Delivered = D.Scheduler->drain(D.consumer());
+      D.State->Events.fetch_add(Delivered, std::memory_order_relaxed);
+      if (Metrics && Delivered)
+        Metrics->threadSlab().add(
+            Metrics->counter("collector.events.ingested"), Delivered);
+      // The serial detector's report is live; surface new sightings as
+      // they happen. (The sharded pipeline merges at session end.)
+      if (D.Serial)
+        publish(D, Item.SessionId);
+    } else {
+      finishSession(D, Item);
+      Live.erase(Item.SessionId);
+    }
+  }
+  // Queue closed with sessions still live (reader hit a closed queue
+  // mid-stream during shutdown): settle them as unclean.
+  for (auto &[Id, D] : Live) {
+    IngestItem End;
+    End.K = IngestItem::Kind::End;
+    End.SessionId = Id;
+    End.Clean = false;
+    finishSession(D, End);
+  }
+}
+
+bool CollectorServer::serveHttpUnix(const std::string &Path,
+                                    std::string *Error) {
+  int Fd = listenUnix(Path);
+  if (Fd < 0) {
+    if (Error)
+      *Error = "cannot listen on " + Path + ": " + std::strerror(errno);
+    return false;
+  }
+  std::lock_guard<std::mutex> Guard(HttpLock);
+  HttpListenFds.push_back(Fd);
+  HttpThreads.emplace_back(&CollectorServer::httpLoop, this, Fd);
+  return true;
+}
+
+bool CollectorServer::serveHttpTcp(uint16_t Port, uint16_t *BoundPort,
+                                   std::string *Error) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 16) != 0) {
+    if (Error)
+      *Error = std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  if (BoundPort) {
+    socklen_t Len = sizeof(Addr);
+    ::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len);
+    *BoundPort = ntohs(Addr.sin_port);
+  }
+  std::lock_guard<std::mutex> Guard(HttpLock);
+  HttpListenFds.push_back(Fd);
+  HttpThreads.emplace_back(&CollectorServer::httpLoop, this, Fd);
+  return true;
+}
+
+bool CollectorServer::route(const std::string &Path, std::string &Body,
+                            std::string &ContentType) const {
+  if (Path == "/metrics") {
+    Body = metricsText();
+    ContentType = "text/plain; version=0.0.4; charset=utf-8";
+    return true;
+  }
+  if (Path == "/status") {
+    Body = statusJson();
+    ContentType = "application/json";
+    return true;
+  }
+  if (Path == "/races") {
+    Body = racesJson();
+    ContentType = "application/json";
+    return true;
+  }
+  if (Path == "/") {
+    Body = "literace-collectd: /metrics /status /races\n";
+    ContentType = "text/plain; charset=utf-8";
+    return true;
+  }
+  return false;
+}
+
+void CollectorServer::httpLoop(int ListenSocket) {
+  for (;;) {
+    int C = ::accept(ListenSocket, nullptr, nullptr);
+    if (C < 0) {
+      if (errno == EINTR && !Stopping.load())
+        continue;
+      break;
+    }
+    HttpRequests.fetch_add(1, std::memory_order_relaxed);
+    if (Metrics)
+      Metrics->threadSlab().add(
+          Metrics->counter("collector.http.requests"));
+
+    // Read the request head (tiny GETs only; this is a triage endpoint,
+    // not a web server).
+    std::string Request;
+    char Buf[1024];
+    while (Request.size() < 8192 &&
+           Request.find("\r\n\r\n") == std::string::npos &&
+           Request.find("\n\n") == std::string::npos) {
+      ssize_t N = ::recv(C, Buf, sizeof(Buf), 0);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        break;
+      Request.append(Buf, static_cast<size_t>(N));
+    }
+
+    std::string Method, Path;
+    {
+      const size_t LineEnd = Request.find_first_of("\r\n");
+      const std::string Line = Request.substr(
+          0, LineEnd == std::string::npos ? Request.size() : LineEnd);
+      const size_t Sp1 = Line.find(' ');
+      const size_t Sp2 =
+          Sp1 == std::string::npos ? std::string::npos
+                                   : Line.find(' ', Sp1 + 1);
+      if (Sp1 != std::string::npos) {
+        Method = Line.substr(0, Sp1);
+        Path = Line.substr(Sp1 + 1, Sp2 == std::string::npos
+                                        ? std::string::npos
+                                        : Sp2 - Sp1 - 1);
+      }
+      const size_t Query = Path.find('?');
+      if (Query != std::string::npos)
+        Path.resize(Query);
+    }
+
+    std::string Body, ContentType, Status = "200 OK";
+    if (Method != "GET") {
+      Status = "405 Method Not Allowed";
+      Body = "only GET is supported\n";
+      ContentType = "text/plain; charset=utf-8";
+    } else if (!route(Path, Body, ContentType)) {
+      Status = "404 Not Found";
+      Body = "no such endpoint: " + Path + "\n";
+      ContentType = "text/plain; charset=utf-8";
+    }
+    std::string Response = "HTTP/1.0 " + Status +
+                           "\r\nContent-Type: " + ContentType +
+                           "\r\nContent-Length: " +
+                           std::to_string(Body.size()) +
+                           "\r\nConnection: close\r\n\r\n" + Body;
+    writeAll(C, Response.data(), Response.size());
+    ::close(C);
+  }
+}
+
+void CollectorServer::waitForSessions(uint64_t N) {
+  std::unique_lock<std::mutex> Guard(SessionsLock);
+  SessionsCv.wait(Guard, [&] {
+    return Completed >= N || Stopping.load();
+  });
+}
+
+uint64_t CollectorServer::sessionsAccepted() const {
+  std::lock_guard<std::mutex> Guard(SessionsLock);
+  return Accepted;
+}
+
+uint64_t CollectorServer::sessionsCompleted() const {
+  std::lock_guard<std::mutex> Guard(SessionsLock);
+  return Completed;
+}
+
+std::vector<SessionStatus> CollectorServer::sessionStatuses() const {
+  std::vector<SessionStatus> Out;
+  std::lock_guard<std::mutex> Guard(SessionsLock);
+  Out.reserve(Sessions.size());
+  for (const auto &[Id, State] : Sessions) {
+    SessionStatus S;
+    S.Id = Id;
+    S.Active = State->Active.load(std::memory_order_relaxed);
+    S.Clean = State->Clean.load(std::memory_order_relaxed);
+    S.Bytes = State->Bytes.load(std::memory_order_relaxed);
+    S.Events = State->Events.load(std::memory_order_relaxed);
+    S.SegmentsRecovered =
+        State->SegmentsRecovered.load(std::memory_order_relaxed);
+    S.SegmentsDropped =
+        State->SegmentsDropped.load(std::memory_order_relaxed);
+    S.TimestampGaps = State->TimestampGaps.load(std::memory_order_relaxed);
+    S.Races = State->Races.load(std::memory_order_relaxed);
+    Out.push_back(S);
+  }
+  return Out;
+}
+
+std::string CollectorServer::statusJson() const {
+  uint64_t AcceptedNow, CompletedNow, CleanNow;
+  {
+    std::lock_guard<std::mutex> Guard(SessionsLock);
+    AcceptedNow = Accepted;
+    CompletedNow = Completed;
+    CleanNow = CleanCount;
+  }
+  const std::vector<SessionStatus> Detail = sessionStatuses();
+  uint64_t Bytes = 0, Events = 0, SegRecovered = 0, SegDropped = 0;
+  for (const SessionStatus &S : Detail) {
+    Bytes += S.Bytes;
+    Events += S.Events;
+    SegRecovered += S.SegmentsRecovered;
+    SegDropped += S.SegmentsDropped;
+  }
+  const MpscQueueStats QStats = Queue.stats();
+
+  std::string J = "{\n  \"schema\": \"literace.status.v1\",\n";
+  J += "  \"listening\": " +
+       jsonString(Config.IngestSocketPath) + ",\n";
+  J += "  \"sessions\": {\"accepted\": ";
+  appendU64(J, AcceptedNow);
+  J += ", \"active\": ";
+  appendU64(J, AcceptedNow - CompletedNow);
+  J += ", \"completed\": ";
+  appendU64(J, CompletedNow);
+  J += ", \"clean\": ";
+  appendU64(J, CleanNow);
+  J += ", \"salvaged\": ";
+  appendU64(J, CompletedNow - CleanNow);
+  J += "},\n  \"ingest\": {\"bytes\": ";
+  appendU64(J, Bytes);
+  J += ", \"events\": ";
+  appendU64(J, Events);
+  J += ", \"segments_recovered\": ";
+  appendU64(J, SegRecovered);
+  J += ", \"segments_dropped\": ";
+  appendU64(J, SegDropped);
+  J += ", \"queue\": {\"capacity\": ";
+  appendU64(J, Queue.capacity());
+  J += ", \"depth\": ";
+  appendU64(J, Queue.approxSize());
+  J += ", \"high_water\": ";
+  appendU64(J, QStats.DepthHighWater);
+  J += ", \"producer_parks\": ";
+  appendU64(J, QStats.ProducerParks);
+  J += ", \"consumer_parks\": ";
+  appendU64(J, QStats.ConsumerParks);
+  J += "}},\n  \"http\": {\"requests\": ";
+  appendU64(J, HttpRequests.load(std::memory_order_relaxed));
+  J += "},\n  \"triage\": {\"distinct_races\": ";
+  appendU64(J, Triage.distinctRaces());
+  J += ", \"unsuppressed_races\": ";
+  appendU64(J, Triage.unsuppressedRaces());
+  J += ", \"sightings\": ";
+  appendU64(J, Triage.totalSightings());
+  J += ", \"suppressed_sightings\": ";
+  appendU64(J, Triage.suppressedSightings());
+  J += ", \"rate_limited_updates\": ";
+  appendU64(J, Triage.rateLimitedUpdates());
+  J += "},\n  \"session_detail\": [";
+  for (size_t I = 0; I != Detail.size(); ++I) {
+    const SessionStatus &S = Detail[I];
+    J += I ? ",\n    {" : "\n    {";
+    J += "\"id\": ";
+    appendU64(J, S.Id);
+    J += ", \"active\": ";
+    appendBool(J, S.Active);
+    J += ", \"clean\": ";
+    appendBool(J, S.Clean);
+    J += ", \"bytes\": ";
+    appendU64(J, S.Bytes);
+    J += ", \"events\": ";
+    appendU64(J, S.Events);
+    J += ", \"segments_recovered\": ";
+    appendU64(J, S.SegmentsRecovered);
+    J += ", \"segments_dropped\": ";
+    appendU64(J, S.SegmentsDropped);
+    J += ", \"timestamp_gaps\": ";
+    appendU64(J, S.TimestampGaps);
+    J += ", \"races\": ";
+    appendU64(J, S.Races);
+    J += "}";
+  }
+  J += Detail.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return J;
+}
+
+std::string CollectorServer::racesJson() const {
+  const std::vector<TriagedRace> Races = Triage.races();
+  std::string J = "{\n  \"schema\": \"literace.races.v1\",\n  \"races\": [";
+  for (size_t I = 0; I != Races.size(); ++I) {
+    const TriagedRace &R = Races[I];
+    J += I ? ",\n    {" : "\n    {";
+    J += "\"first_pc\": ";
+    appendU64(J, R.Key.first);
+    J += ", \"second_pc\": ";
+    appendU64(J, R.Key.second);
+    J += ", \"first_site\": " + jsonString(siteName(R.Key.first));
+    J += ", \"second_site\": " +
+         jsonString(siteName(R.Key.second));
+    J += ", \"count\": ";
+    appendU64(J, R.DynamicCount);
+    J += ", \"sessions\": ";
+    appendU64(J, R.Sessions);
+    J += ", \"example_addr\": ";
+    appendU64(J, R.ExampleAddr);
+    J += ", \"write_write\": ";
+    appendBool(J, R.SawWriteWrite);
+    J += ", \"suppressed\": ";
+    appendBool(J, R.Suppressed);
+    if (R.Suppressed)
+      J += ", \"suppression\": " + jsonString(R.SuppressionName);
+    J += ", \"emitted\": ";
+    appendU64(J, R.EmittedUpdates);
+    J += ", \"rate_limited\": ";
+    appendU64(J, R.RateLimitedUpdates);
+    J += "}";
+  }
+  J += Races.empty() ? "],\n" : "\n  ],\n";
+  const SuppressionSet &Supp =
+      Config.Suppressions ? *Config.Suppressions : EmptySuppressions;
+  J += "  \"suppressions_used\": [";
+  bool First = true;
+  for (size_t I = 0; I != Supp.size(); ++I) {
+    if (Supp.hits(I) == 0)
+      continue;
+    J += First ? "\n    {" : ",\n    {";
+    First = false;
+    J += "\"name\": " + jsonString(Supp.entry(I).Name) +
+         ", \"hits\": ";
+    appendU64(J, Supp.hits(I));
+    J += "}";
+  }
+  J += First ? "]\n}\n" : "\n  ]\n}\n";
+  return J;
+}
+
+std::string CollectorServer::metricsText() const {
+  telemetry::MetricsSnapshot Snap;
+  if (Metrics)
+    Snap = Metrics->snapshot();
+  Snap.stampCapture();
+  return telemetry::toPrometheusText(Snap);
+}

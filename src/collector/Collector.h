@@ -1,0 +1,215 @@
+//===-- collector/Collector.h - Always-on collection daemon ----*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The literace-collectd ingestion server (docs/COLLECTOR.md). Many
+/// concurrent `literace-run --connect` processes stream their v2
+/// segmented event logs — the exact on-disk byte format, CRC frames and
+/// all — over an AF_UNIX stream socket. One CollectorServer:
+///
+///   accept thread ──► per-connection reader threads
+///        each: recv ─► SegmentStreamDecoder ─► MpscChunkQueue
+///                                                   │
+///   detection thread ◄───────────────────── single consumer
+///        per-session ReplayScheduler + HBDetector (or sharded)
+///        race-count deltas ─► ReportTriage (dedup / suppress / limit)
+///
+/// Live observability rides on top: statusJson() / racesJson() /
+/// metricsText() render the daemon state, and serveHttpUnix() /
+/// serveHttpTcp() expose them as an HTTP/1.0 endpoint (`/status`,
+/// `/races`, `/metrics` in Prometheus text exposition).
+///
+/// A connection is one *session*: its stream is decoded and detected
+/// independently (threads from different processes never mix), and a
+/// broken connection degrades to the same salvage semantics as reading a
+/// crashed process's on-disk trace — intact frames are kept, the
+/// truncated tail is accounted, and the session finishes with
+/// gap-tolerant draining instead of hanging the daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_COLLECTOR_COLLECTOR_H
+#define LITERACE_COLLECTOR_COLLECTOR_H
+
+#include "collector/ReportTriage.h"
+#include "collector/Suppressions.h"
+#include "detector/HBDetector.h"
+#include "detector/Replay.h"
+#include "detector/ShardedDetector.h"
+#include "runtime/EventLog.h"
+#include "support/MpscChunkQueue.h"
+#include "telemetry/Metrics.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace literace {
+namespace collector {
+
+/// Configuration of a CollectorServer.
+struct CollectorConfig {
+  /// Path of the AF_UNIX ingest socket to listen on (required; an
+  /// existing socket file is replaced).
+  std::string IngestSocketPath;
+  /// Detection shards per session; 1 = serial HBDetector, which also
+  /// surfaces race updates live mid-session (the sharded pipeline merges
+  /// per-shard reports only at session end).
+  unsigned Shards = 1;
+  /// Ingest queue capacity (chunks); producers feel backpressure beyond.
+  size_t QueueCapacity = 1024;
+  /// Triage tuning (rate limit, injectable clock).
+  TriageConfig Triage;
+  /// Optional suppression set; must outlive the server.
+  SuppressionSet *Suppressions = nullptr;
+  /// Metrics override for tests (resolveRegistry semantics).
+  telemetry::MetricsRegistry *Metrics = nullptr;
+};
+
+/// Point-in-time status of one ingest session (for /status).
+struct SessionStatus {
+  uint64_t Id = 0;
+  bool Active = false;
+  bool Clean = false; ///< stream ended with a footer at EOF
+  uint64_t Bytes = 0;
+  uint64_t Events = 0;
+  uint64_t SegmentsRecovered = 0;
+  uint64_t SegmentsDropped = 0;
+  uint64_t TimestampGaps = 0;
+  uint64_t Races = 0; ///< distinct static races in this session
+};
+
+/// The daemon core: socket ingestion, per-session incremental detection,
+/// and the observability surface.
+class CollectorServer {
+public:
+  explicit CollectorServer(CollectorConfig Config);
+  ~CollectorServer();
+
+  CollectorServer(const CollectorServer &) = delete;
+  CollectorServer &operator=(const CollectorServer &) = delete;
+
+  /// Binds the ingest socket and starts the accept and detection
+  /// threads. False (with \p Error) if the socket cannot be bound.
+  bool start(std::string *Error = nullptr);
+
+  /// Graceful shutdown: stops accepting, ends live sessions with salvage
+  /// semantics, drains the queue, and joins every thread. Idempotent.
+  void stop();
+
+  /// Serves the HTTP endpoint on an AF_UNIX socket at \p Path.
+  bool serveHttpUnix(const std::string &Path, std::string *Error = nullptr);
+
+  /// Serves the HTTP endpoint on 127.0.0.1:\p Port (0 = ephemeral; the
+  /// bound port is returned in \p BoundPort).
+  bool serveHttpTcp(uint16_t Port, uint16_t *BoundPort = nullptr,
+                    std::string *Error = nullptr);
+
+  /// Blocks until \p N sessions have completed (connection closed and
+  /// every event detected) or stop() is called.
+  void waitForSessions(uint64_t N);
+
+  uint64_t sessionsAccepted() const;
+  uint64_t sessionsCompleted() const;
+
+  /// The triage pipeline (live race set, suppression/rate-limit state).
+  ReportTriage &triage() { return Triage; }
+  const ReportTriage &triage() const { return Triage; }
+
+  /// Per-session detail in id order.
+  std::vector<SessionStatus> sessionStatuses() const;
+
+  /// The literace.status.v1 JSON document served at /status.
+  std::string statusJson() const;
+
+  /// The literace.races.v1 JSON document served at /races.
+  std::string racesJson() const;
+
+  /// The Prometheus text exposition served at /metrics.
+  std::string metricsText() const;
+
+  /// Routes one HTTP request path to its response body + content type;
+  /// false for unknown paths. Exposed for direct testing.
+  bool route(const std::string &Path, std::string &Body,
+             std::string &ContentType) const;
+
+private:
+  /// One queued hand-off from a reader to the detection thread.
+  struct IngestItem {
+    enum class Kind : uint8_t { Chunk, End } K = Kind::Chunk;
+    uint64_t SessionId = 0;
+    ThreadId Tid = 0;
+    std::vector<EventRecord> Records;
+    unsigned NumCounters = 128;
+    bool Clean = false;
+    uint64_t SegmentsRecovered = 0;
+    uint64_t SegmentsDropped = 0;
+  };
+
+  /// Shared live state of one session (readers and the detection thread
+  /// update disjoint fields; /status reads them racily but torn-free).
+  struct SessionState {
+    uint64_t Id = 0;
+    std::atomic<bool> Active{true};
+    std::atomic<bool> Clean{false};
+    std::atomic<uint64_t> Bytes{0};
+    std::atomic<uint64_t> Events{0};
+    std::atomic<uint64_t> SegmentsRecovered{0};
+    std::atomic<uint64_t> SegmentsDropped{0};
+    std::atomic<uint64_t> TimestampGaps{0};
+    std::atomic<uint64_t> Races{0};
+  };
+
+  /// Detection-thread-private state of one in-flight session.
+  struct Detection;
+
+  void acceptLoop();
+  void readerLoop(uint64_t SessionId, int Fd);
+  void detectLoop();
+  void httpLoop(int ListenFd);
+  void publish(Detection &D, uint64_t SessionId);
+  void finishSession(Detection &D, const IngestItem &End);
+
+  CollectorConfig Config;
+  SuppressionSet EmptySuppressions;
+  ReportTriage Triage;
+  MpscChunkQueue<IngestItem> Queue;
+  telemetry::MetricsRegistry *Metrics = nullptr;
+
+  int ListenFd = -1;
+  std::atomic<bool> Started{false};
+  std::atomic<bool> Stopping{false};
+
+  mutable std::mutex SessionsLock;
+  std::map<uint64_t, std::shared_ptr<SessionState>> Sessions;
+  uint64_t NextSessionId = 1;
+  uint64_t Accepted = 0;   // guarded by SessionsLock
+  uint64_t Completed = 0;  // guarded by SessionsLock
+  uint64_t CleanCount = 0; // guarded by SessionsLock
+  std::condition_variable SessionsCv;
+
+  std::mutex ReadersLock;
+  std::vector<std::thread> Readers;
+  std::vector<int> LiveFds; // guarded by ReadersLock
+
+  std::thread Acceptor;
+  std::thread Detector;
+
+  std::mutex HttpLock;
+  std::vector<std::thread> HttpThreads;
+  std::vector<int> HttpListenFds; // guarded by HttpLock
+  std::atomic<uint64_t> HttpRequests{0};
+};
+
+} // namespace collector
+} // namespace literace
+
+#endif // LITERACE_COLLECTOR_COLLECTOR_H

@@ -1,0 +1,140 @@
+//===-- collector/ReportTriage.cpp - Report-hygiene pipeline -------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collector/ReportTriage.h"
+
+#include <chrono>
+
+using namespace literace;
+using namespace literace::collector;
+
+namespace {
+
+uint64_t steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+ReportTriage::ReportTriage(TriageConfig ConfigIn,
+                           SuppressionSet *SuppressionsIn)
+    : Config(std::move(ConfigIn)), Suppressions(SuppressionsIn) {
+  if (!Config.NowNs)
+    Config.NowNs = steadyNowNs;
+}
+
+void ReportTriage::setEmitter(EmitFn Fn) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Emitter = std::move(Fn);
+}
+
+void ReportTriage::observe(const StaticRaceKey &Key, uint64_t Delta,
+                           bool WriteWrite, uint64_t ExampleAddr,
+                           uint64_t SessionId) {
+  if (Delta == 0)
+    return;
+  TriagedRace Snapshot;
+  EmitFn Fire;
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    auto [It, Inserted] = Table.emplace(Key, Entry());
+    Entry &E = It->second;
+    if (Inserted) {
+      E.R.Key = Key;
+      E.R.ExampleAddr = ExampleAddr;
+      // Suppression status is a property of the site pair, so one check
+      // at first sight covers every later update.
+      if (Suppressions)
+        E.SuppressionIndex = Suppressions->match(Key);
+      if (E.SuppressionIndex >= 0) {
+        E.R.Suppressed = true;
+        E.R.SuppressionName =
+            Suppressions->entry(static_cast<size_t>(E.SuppressionIndex))
+                .Name;
+      }
+      // A fresh race starts with a full bucket: the first report of a new
+      // finding is never delayed.
+      E.Tokens = Config.Burst;
+      E.LastRefillNs = Config.NowNs();
+    }
+    E.R.DynamicCount += Delta;
+    E.R.SawWriteWrite |= WriteWrite;
+    E.SessionIds.insert(SessionId);
+    E.R.Sessions = E.SessionIds.size();
+    Sightings += Delta;
+
+    if (E.R.Suppressed) {
+      SuppressedHits += Delta;
+      if (Suppressions)
+        Suppressions->countHit(E.SuppressionIndex, Delta);
+      return;
+    }
+
+    if (Config.RatePerSec > 0) {
+      const uint64_t Now = Config.NowNs();
+      if (Now > E.LastRefillNs) {
+        E.Tokens += Config.RatePerSec *
+                    (static_cast<double>(Now - E.LastRefillNs) / 1e9);
+        if (E.Tokens > Config.Burst)
+          E.Tokens = Config.Burst;
+        E.LastRefillNs = Now;
+      }
+      if (E.Tokens < 1.0) {
+        ++E.R.RateLimitedUpdates;
+        ++RateLimited;
+        return;
+      }
+      E.Tokens -= 1.0;
+    }
+    ++E.R.EmittedUpdates;
+    Snapshot = E.R;
+    Fire = Emitter;
+  }
+  // Emit outside the lock: the emitter may log, write sockets, or call
+  // back into the accessors.
+  if (Fire)
+    Fire(Snapshot, Delta);
+}
+
+std::vector<TriagedRace> ReportTriage::races() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  std::vector<TriagedRace> Out;
+  Out.reserve(Table.size());
+  for (const auto &[Key, E] : Table)
+    Out.push_back(E.R);
+  return Out; // std::map iterates keys in canonical (sorted) order.
+}
+
+size_t ReportTriage::distinctRaces() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Table.size();
+}
+
+size_t ReportTriage::unsuppressedRaces() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  size_t N = 0;
+  for (const auto &[Key, E] : Table)
+    N += E.R.Suppressed ? 0 : 1;
+  return N;
+}
+
+uint64_t ReportTriage::totalSightings() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Sightings;
+}
+
+uint64_t ReportTriage::suppressedSightings() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return SuppressedHits;
+}
+
+uint64_t ReportTriage::rateLimitedUpdates() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return RateLimited;
+}

@@ -1,0 +1,257 @@
+//===-- collector/Suppressions.cpp - Race suppression files --------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collector/Suppressions.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace literace;
+using namespace literace::collector;
+
+bool SitePattern::matches(Pc P) const {
+  switch (K) {
+  case Kind::Any:
+    return true;
+  case Kind::ExactPc:
+    return P == ExactPc;
+  case Kind::Function:
+    return pcFunction(P) == Function;
+  case Kind::FunctionSite:
+    return pcFunction(P) == Function && pcSite(P) == Site;
+  }
+  return false;
+}
+
+std::string SitePattern::describe() const {
+  char Buf[64];
+  switch (K) {
+  case Kind::Any:
+    return "*";
+  case Kind::ExactPc:
+    std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                  static_cast<unsigned long long>(ExactPc));
+    return Buf;
+  case Kind::Function:
+    std::snprintf(Buf, sizeof(Buf), "fn%u:*", Function);
+    return Buf;
+  case Kind::FunctionSite:
+    std::snprintf(Buf, sizeof(Buf), "fn%u:%u", Function, Site);
+    return Buf;
+  }
+  return "?";
+}
+
+bool Suppression::matches(const StaticRaceKey &Key) const {
+  if (Sites.size() == 1)
+    return Sites[0].matches(Key.first) || Sites[0].matches(Key.second);
+  if (Sites.size() == 2) {
+    // Order-insensitive one-to-one cover of the (unordered) site pair.
+    return (Sites[0].matches(Key.first) && Sites[1].matches(Key.second)) ||
+           (Sites[0].matches(Key.second) && Sites[1].matches(Key.first));
+  }
+  return false;
+}
+
+namespace {
+
+std::string_view trim(std::string_view S) {
+  while (!S.empty() && (S.front() == ' ' || S.front() == '\t' ||
+                        S.front() == '\r'))
+    S.remove_prefix(1);
+  while (!S.empty() && (S.back() == ' ' || S.back() == '\t' ||
+                        S.back() == '\r'))
+    S.remove_suffix(1);
+  return S;
+}
+
+bool parseU32(std::string_view S, uint32_t &Out, size_t &Consumed) {
+  uint64_t V = 0;
+  size_t I = 0;
+  while (I < S.size() && S[I] >= '0' && S[I] <= '9') {
+    V = V * 10 + static_cast<uint64_t>(S[I] - '0');
+    if (V > UINT32_MAX)
+      return false;
+    ++I;
+  }
+  if (I == 0)
+    return false;
+  Out = static_cast<uint32_t>(V);
+  Consumed = I;
+  return true;
+}
+
+/// Parses one `site:` specifier body (after the prefix).
+bool parseSiteSpec(std::string_view Spec, SitePattern &Out) {
+  if (Spec == "*") {
+    Out.K = SitePattern::Kind::Any;
+    return true;
+  }
+  if (Spec.size() > 2 && Spec[0] == '0' && (Spec[1] == 'x' || Spec[1] == 'X')) {
+    char *End = nullptr;
+    const std::string Text(Spec);
+    const unsigned long long V = std::strtoull(Text.c_str(), &End, 16);
+    if (End != Text.c_str() + Text.size())
+      return false;
+    Out.K = SitePattern::Kind::ExactPc;
+    Out.ExactPc = V;
+    return true;
+  }
+  if (Spec.size() > 2 && Spec.substr(0, 2) == "fn") {
+    Spec.remove_prefix(2);
+    size_t Used = 0;
+    if (!parseU32(Spec, Out.Function, Used))
+      return false;
+    Spec.remove_prefix(Used);
+    if (Spec.empty() || Spec == ":*") {
+      Out.K = SitePattern::Kind::Function;
+      return true;
+    }
+    if (Spec[0] != ':')
+      return false;
+    Spec.remove_prefix(1);
+    if (!parseU32(Spec, Out.Site, Used) || Used != Spec.size())
+      return false;
+    Out.K = SitePattern::Kind::FunctionSite;
+    return true;
+  }
+  return false;
+}
+
+/// True if the comma-separated tool list names LiteRace (or `*`).
+bool toolListIncludesUs(std::string_view Tools) {
+  while (!Tools.empty()) {
+    const size_t Comma = Tools.find(',');
+    std::string_view Tool = trim(Tools.substr(0, Comma));
+    if (Tool == "LiteRace" || Tool == "*")
+      return true;
+    if (Comma == std::string_view::npos)
+      break;
+    Tools.remove_prefix(Comma + 1);
+  }
+  return false;
+}
+
+} // namespace
+
+bool SuppressionSet::parse(std::string_view Text, std::string *Error) {
+  std::vector<Suppression> Parsed;
+  size_t LineNo = 0;
+  size_t Pos = 0;
+
+  auto NextLine = [&](std::string_view &Out) {
+    if (Pos >= Text.size())
+      return false;
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    Out = trim(Text.substr(Pos, End - Pos));
+    Pos = End + 1;
+    ++LineNo;
+    return true;
+  };
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    return false;
+  };
+
+  std::string_view Line;
+  while (NextLine(Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    if (Line != "{")
+      return Fail("expected '{' to open a suppression block");
+
+    Suppression S;
+    // Block line 1: the entry name.
+    if (!NextLine(Line) || Line.empty() || Line == "}")
+      return Fail("suppression block lacks a name");
+    S.Name = std::string(Line);
+
+    // Block line 2: tool list and error kind, `tool[,tool]:kind`.
+    if (!NextLine(Line))
+      return Fail("suppression block lacks a tool:kind line");
+    const size_t Colon = Line.rfind(':');
+    if (Colon == std::string_view::npos)
+      return Fail("expected 'tool:kind' after the suppression name");
+    const bool ForUs = toolListIncludesUs(Line.substr(0, Colon));
+    const std::string_view ErrKind = trim(Line.substr(Colon + 1));
+    if (ForUs && ErrKind != "Race")
+      return Fail("unknown LiteRace suppression kind '" +
+                  std::string(ErrKind) + "'");
+
+    // Remaining lines until '}': site patterns.
+    bool Closed = false;
+    while (NextLine(Line)) {
+      if (Line == "}") {
+        Closed = true;
+        break;
+      }
+      if (Line.empty() || Line[0] == '#')
+        continue;
+      if (Line.substr(0, 5) != "site:")
+        return Fail("expected 'site:<spec>' or '}'");
+      SitePattern P;
+      if (!parseSiteSpec(trim(Line.substr(5)), P))
+        return Fail("bad site specifier '" + std::string(Line.substr(5)) +
+                    "'");
+      S.Sites.push_back(P);
+    }
+    if (!Closed)
+      return Fail("unterminated suppression block '" + S.Name + "'");
+    if (!ForUs)
+      continue; // Another tool's entry; skip it, Valgrind-style.
+    if (S.Sites.empty() || S.Sites.size() > 2)
+      return Fail("suppression '" + S.Name +
+                  "' must list one or two site patterns");
+    Parsed.push_back(std::move(S));
+  }
+
+  Entries = std::move(Parsed);
+  HitCounts.assign(Entries.size(), 0);
+  return true;
+}
+
+bool SuppressionSet::loadFile(const std::string &Path, std::string *Error) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    if (Error)
+      *Error = "cannot open " + Path;
+    return false;
+  }
+  std::string Text;
+  char Buf[1 << 12];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Text.append(Buf, N);
+  std::fclose(File);
+  return parse(Text, Error);
+}
+
+int SuppressionSet::match(const StaticRaceKey &Key) const {
+  for (size_t I = 0; I != Entries.size(); ++I)
+    if (Entries[I].matches(Key))
+      return static_cast<int>(I);
+  return -1;
+}
+
+void SuppressionSet::countHit(int Index, uint64_t N) {
+  if (Index >= 0 && static_cast<size_t>(Index) < HitCounts.size())
+    HitCounts[Index] += N;
+}
+
+std::string SuppressionSet::describeUsed() const {
+  std::string Out;
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    if (HitCounts[I] == 0)
+      continue;
+    Out += "used suppression: " + std::to_string(HitCounts[I]) + " " +
+           Entries[I].Name + "\n";
+  }
+  return Out;
+}

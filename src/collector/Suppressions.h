@@ -1,0 +1,109 @@
+//===-- collector/Suppressions.h - Race suppression files ------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Valgrind-style suppression files for the collector's triage pipeline
+/// (docs/COLLECTOR.md). A suppression file is a sequence of brace-
+/// delimited blocks, each naming the entry, the tool and error kind it
+/// applies to, and one or two site patterns:
+///
+/// \code
+///   # benign racy counter in the stats module
+///   {
+///     stats-counter
+///     LiteRace:Race
+///     site:fn3:7
+///     site:fn3:*
+///   }
+/// \endcode
+///
+/// Site patterns match one side of a static race's site pair: `*` matches
+/// any site, `0x<hex>` an exact encoded pc, `fnN` / `fnN:*` any site in
+/// function N, and `fnN:S` one exact site. A block with one pattern
+/// matches a race if either side matches; with two patterns both sides
+/// must be covered, order-insensitively. Blocks whose tool list does not
+/// include `LiteRace` (or `*`) belong to other tools and are skipped,
+/// mirroring Valgrind's behavior for shared suppression files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_COLLECTOR_SUPPRESSIONS_H
+#define LITERACE_COLLECTOR_SUPPRESSIONS_H
+
+#include "detector/RaceReport.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace literace {
+namespace collector {
+
+/// One site pattern of a suppression block.
+struct SitePattern {
+  enum class Kind : uint8_t {
+    Any,          ///< `*`
+    ExactPc,      ///< `0x<hex>` — an exact encoded pc
+    Function,     ///< `fnN` or `fnN:*` — any site in function N
+    FunctionSite, ///< `fnN:S`
+  };
+
+  Kind K = Kind::Any;
+  Pc ExactPc = 0;
+  uint32_t Function = 0;
+  uint32_t Site = 0;
+
+  bool matches(Pc P) const;
+  std::string describe() const;
+};
+
+/// One parsed suppression block.
+struct Suppression {
+  std::string Name;
+  std::vector<SitePattern> Sites; ///< one or two patterns
+
+  /// True if this block covers the static race \p Key (see file comment
+  /// for the one- vs two-pattern semantics).
+  bool matches(const StaticRaceKey &Key) const;
+};
+
+/// A parsed suppression file with per-entry hit accounting.
+class SuppressionSet {
+public:
+  /// Parses \p Text. On a grammar error, returns false with a line-
+  /// numbered diagnostic in \p Error and leaves the set unchanged.
+  bool parse(std::string_view Text, std::string *Error = nullptr);
+
+  /// Reads and parses \p Path.
+  bool loadFile(const std::string &Path, std::string *Error = nullptr);
+
+  /// Index of the first entry matching \p Key, or -1. Does not count a
+  /// hit — callers decide what one "hit" means (the collector counts
+  /// suppressed dynamic updates).
+  int match(const StaticRaceKey &Key) const;
+
+  /// Counts \p N hits against entry \p Index (from match()).
+  void countHit(int Index, uint64_t N = 1);
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+  const Suppression &entry(size_t I) const { return Entries[I]; }
+  uint64_t hits(size_t I) const { return HitCounts[I]; }
+
+  /// "used suppression: <hits> <name>" lines, Valgrind-style; entries
+  /// with zero hits are omitted.
+  std::string describeUsed() const;
+
+private:
+  std::vector<Suppression> Entries;
+  std::vector<uint64_t> HitCounts;
+};
+
+} // namespace collector
+} // namespace literace
+
+#endif // LITERACE_COLLECTOR_SUPPRESSIONS_H

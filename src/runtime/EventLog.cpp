@@ -878,3 +878,199 @@ std::optional<Trace> literace::readTraceFile(const std::string &Path) {
   std::fclose(File);
   return T;
 }
+
+//===----------------------------------------------------------------------===//
+// SegmentStreamDecoder
+//===----------------------------------------------------------------------===//
+
+SegmentStreamDecoder::SegmentStreamDecoder() {
+  Stats.Format = TraceFormat::V2Segmented;
+}
+
+SegmentStreamDecoder::~SegmentStreamDecoder() = default;
+
+void SegmentStreamDecoder::feed(const void *Data, size_t Size) {
+  if (Finished || Size == 0)
+    return;
+  BytesFed += Size;
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  Buffer.insert(Buffer.end(), P, P + Size);
+  parse();
+}
+
+void SegmentStreamDecoder::parse() {
+  const uint8_t *Data = Buffer.data();
+  const size_t Size = Buffer.size();
+  size_t O = Offset;
+
+  if (!HeaderSeen) {
+    if (Size - O < sizeof(FileHeader)) {
+      Offset = O;
+      return;
+    }
+    FileHeader Header;
+    std::memcpy(&Header, Data + O, sizeof(Header));
+    if (Header.Magic == FileMagic &&
+        Header.Version == SegmentedFileVersion &&
+        Header.NumTimestampCounters != 0) {
+      NumCounters = Header.NumTimestampCounters;
+      O += sizeof(FileHeader);
+    } else {
+      // Damaged or missing stream header. v2 frames are self-describing,
+      // so fall through to the frame loop, which will resync on the first
+      // CRC-valid frame magic — the same salvage readTrace() performs.
+      Stats.SalvagedHeader = true;
+    }
+    HeaderSeen = true;
+  }
+
+  while (O < Size) {
+    const size_t Avail = Size - O;
+    if (Avail < sizeof(SegmentHeader))
+      break; // Possibly a partial header; wait for more bytes.
+    SegmentHeader H;
+    if (!parseSegmentHeader(Data + O, Avail, H)) {
+      // Damaged header: the frame length cannot be trusted, so resync by
+      // scanning for the next frame whose header checks out. One damage
+      // episode counts as one dropped segment no matter how many feed()
+      // calls it spans (ResyncOpen carries that across calls).
+      LastDecodedWasFooter = false;
+      size_t Next = findNextHeader(Data, Size, O + 1);
+      if (Next == Size) {
+        // No validated header in the buffered bytes. A genuine header may
+        // straddle the buffer end, so keep the final header-sized-minus-
+        // one tail for re-examination once more bytes arrive.
+        const size_t Keep = sizeof(SegmentHeader) - 1;
+        const size_t Limit = Size - Keep;
+        if (Limit <= O)
+          break;
+        Next = Limit;
+      }
+      if (!ResyncOpen) {
+        ++Stats.SegmentsDropped;
+        ResyncOpen = true;
+      }
+      Stats.BytesDropped += Next - O;
+      O = Next;
+      continue;
+    }
+    ResyncOpen = false;
+    const size_t FrameBytes = sizeof(SegmentHeader) + H.PayloadBytes;
+    if (Avail < FrameBytes)
+      break; // Wait for the rest of the payload (finish() accounts it).
+
+    const uint8_t *Payload = Data + O + sizeof(SegmentHeader);
+    const bool IsFooter = (H.Flags & SegFlagFooter) != 0;
+    bool Decoded = false;
+    if (crc32c(Payload, H.PayloadBytes) == H.PayloadCrc) {
+      if (IsFooter) {
+        if (H.PayloadBytes == sizeof(SegmentFooterPayload) ||
+            H.PayloadBytes == LegacyFooterPayloadBytes) {
+          SegmentFooterPayload Footer{};
+          std::memcpy(&Footer, Payload, H.PayloadBytes);
+          FooterSeen = true;
+          FooterTotalEvents = Footer.TotalEvents;
+          FooterTotalSegments = Footer.TotalSegments;
+          FooterDroppedEvents = Footer.DroppedEvents;
+          Decoded = true;
+        }
+      } else if (H.Encoding == SegEncodingRaw) {
+        if (H.PayloadBytes ==
+            static_cast<uint64_t>(H.EventCount) * sizeof(EventRecord)) {
+          Chunk C;
+          C.Tid = H.Tid;
+          C.Records.resize(H.EventCount);
+          std::memcpy(C.Records.data(), Payload, H.PayloadBytes);
+          if (validRecords(C.Records.data(), C.Records.size())) {
+            Stats.EventsRecovered += C.Records.size();
+            noteThreadRecovered(Stats, H.Tid, C.Records.size());
+            ++Stats.SegmentsRecovered;
+            Ready.push_back(std::move(C));
+            Decoded = true;
+          }
+        }
+      } else {
+        auto Stream = decompressEventStream(Payload, H.PayloadBytes, H.Tid);
+        if (Stream && Stream->size() == H.EventCount) {
+          Chunk C;
+          C.Tid = H.Tid;
+          C.Records = std::move(*Stream);
+          Stats.EventsRecovered += C.Records.size();
+          noteThreadRecovered(Stats, H.Tid, C.Records.size());
+          ++Stats.SegmentsRecovered;
+          Ready.push_back(std::move(C));
+          Decoded = true;
+        }
+      }
+    }
+    if (!Decoded) {
+      ++Stats.SegmentsDropped;
+      Stats.BytesDropped += FrameBytes;
+      if (!IsFooter)
+        noteThreadDropped(Stats, H.Tid);
+    }
+    LastDecodedWasFooter = Decoded && IsFooter;
+    O += FrameBytes;
+  }
+
+  // Compact the consumed prefix; amortized so steady streaming does not
+  // memmove on every feed.
+  if (O == Size) {
+    Buffer.clear();
+    O = 0;
+  } else if (O >= (64u << 10)) {
+    Buffer.erase(Buffer.begin(), Buffer.begin() + O);
+    O = 0;
+  }
+  Offset = O;
+}
+
+void SegmentStreamDecoder::finish() {
+  if (Finished)
+    return;
+  Finished = true;
+  const size_t Leftover = Buffer.size() - Offset;
+  if (Leftover != 0) {
+    // The producer died (or the connection broke) mid-frame. A CRC-valid
+    // header in the tail is trustworthy, so the loss is attributable to
+    // its thread, exactly as in file salvage.
+    Stats.TruncatedTail = true;
+    if (!ResyncOpen)
+      ++Stats.SegmentsDropped;
+    Stats.BytesDropped += Leftover;
+    SegmentHeader H;
+    if (parseSegmentHeader(Buffer.data() + Offset, Leftover, H))
+      noteThreadDropped(Stats, H.Tid);
+    LastDecodedWasFooter = false;
+  }
+  Buffer.clear();
+  Buffer.shrink_to_fit();
+  Offset = 0;
+
+  Stats.CleanShutdown = LastDecodedWasFooter;
+  if (Stats.CleanShutdown) {
+    Stats.EventsDroppedByWriter = FooterDroppedEvents;
+    if (Stats.SegmentsDropped == 0 && !Stats.TruncatedTail &&
+        (FooterTotalEvents != Stats.EventsRecovered ||
+         FooterTotalSegments != Stats.SegmentsRecovered))
+      Stats.FooterTotalsMismatch = true;
+  }
+  const size_t Threads = std::max(Stats.PerThreadRecovered.size(),
+                                  Stats.PerThreadDropped.size());
+  Stats.PerThreadRecovered.resize(Threads);
+  Stats.PerThreadDropped.resize(Threads);
+}
+
+bool SegmentStreamDecoder::take(Chunk &Out) {
+  if (ReadyHead == Ready.size()) {
+    Ready.clear();
+    ReadyHead = 0;
+    return false;
+  }
+  Out = std::move(Ready[ReadyHead++]);
+  if (ReadyHead == Ready.size()) {
+    Ready.clear();
+    ReadyHead = 0;
+  }
+  return true;
+}

@@ -312,6 +312,75 @@ struct TraceReadOptions {
 TraceReadResult readTrace(const std::string &Path,
                           const TraceReadOptions &Options = TraceReadOptions());
 
+/// Incremental decoder for a v2 segmented byte *stream* (the same frames
+/// SegmentedFileSink writes to disk, arriving over a socket or pipe in
+/// arbitrary read sizes). Used by literace-collectd's per-connection
+/// readers: feed() consumes bytes as they arrive, take() yields decoded
+/// (thread, records) chunks in stream order, and the same salvage rules
+/// as readTrace() apply — a damaged frame is dropped and resynced over
+/// with exact accounting, never trusted into the decoded stream. finish()
+/// closes the stream (connection EOF) and settles the coverage stats:
+/// CleanShutdown is true iff the footer frame was the last bytes seen,
+/// exactly like a cleanly closed file.
+class SegmentStreamDecoder {
+public:
+  /// One decoded segment: a slice of thread \p Tid's program-order stream.
+  struct Chunk {
+    ThreadId Tid = 0;
+    std::vector<EventRecord> Records;
+  };
+
+  SegmentStreamDecoder();
+  ~SegmentStreamDecoder();
+
+  /// Consumes \p Size bytes of the stream. Decoded chunks become
+  /// available via take(); damaged regions fold into stats().
+  void feed(const void *Data, size_t Size);
+
+  /// Signals end-of-stream. Any buffered partial frame is accounted as a
+  /// truncated tail. Idempotent; feed() after finish() is ignored.
+  void finish();
+
+  /// Pops the next decoded chunk (FIFO). False when none are pending.
+  bool take(Chunk &Out);
+
+  /// True once a valid v2 file header was consumed (or salvage gave up on
+  /// one and started resyncing on frame magics).
+  bool headerSeen() const { return HeaderSeen; }
+
+  /// Timestamp-counter count from the stream header (128 if the header
+  /// was damaged — the writer default).
+  unsigned numTimestampCounters() const { return NumCounters; }
+
+  /// True once the footer frame was decoded (clean writer shutdown).
+  bool footerSeen() const { return FooterSeen; }
+
+  /// Coverage accounting, live during the stream and settled by finish().
+  const TraceReadStats &stats() const { return Stats; }
+
+  /// Raw bytes accepted by feed() so far.
+  uint64_t bytesConsumed() const { return BytesFed; }
+
+private:
+  void parse();
+
+  std::vector<uint8_t> Buffer;
+  size_t Offset = 0; ///< consumed prefix of Buffer
+  std::vector<Chunk> Ready;
+  size_t ReadyHead = 0;
+  TraceReadStats Stats;
+  unsigned NumCounters = 128;
+  uint64_t BytesFed = 0;
+  bool HeaderSeen = false;
+  bool FooterSeen = false;
+  bool LastDecodedWasFooter = false;
+  bool ResyncOpen = false; ///< current damage episode already counted
+  bool Finished = false;
+  uint64_t FooterTotalEvents = 0;
+  uint64_t FooterTotalSegments = 0;
+  uint64_t FooterDroppedEvents = 0;
+};
+
 /// One frame of a v2 segmented file, as seen by the scanner
 /// (literace-fsck's inventory).
 struct SegmentInfo {

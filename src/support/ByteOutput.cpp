@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 #include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 using namespace literace;
@@ -47,6 +49,100 @@ void FileByteOutput::close() {
     ::close(Fd);
     Fd = -1;
   }
+}
+
+SocketByteOutput::SocketByteOutput(const std::string &Path) {
+  if (Path.size() >= sizeof(sockaddr_un{}.sun_path))
+    return;
+  int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (S < 0)
+    return;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(S);
+    return;
+  }
+  Fd = S;
+}
+
+SocketByteOutput::SocketByteOutput(int ConnectedFd) : Fd(ConnectedFd) {}
+
+SocketByteOutput::~SocketByteOutput() { close(); }
+
+WriteResult SocketByteOutput::write(const void *Data, size_t Size) {
+  WriteResult Result;
+  if (Fd < 0)
+    return Result;
+  while (Result.Written < Size) {
+    // MSG_NOSIGNAL: a daemon that vanished mid-stream must surface as a
+    // failed send, not a SIGPIPE killing the traced program.
+    ssize_t N = ::send(Fd, static_cast<const uint8_t *>(Data) + Result.Written,
+                       Size - Result.Written, MSG_NOSIGNAL);
+    if (N > 0) {
+      Result.Written += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EINTR || errno == EAGAIN)) {
+      Result.Transient = true;
+      break;
+    }
+    // Connection gone: every later write would fail the same way.
+    close();
+    break;
+  }
+  return Result;
+}
+
+void SocketByteOutput::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+TeeByteOutput::TeeByteOutput(ByteOutput &Primary, ByteOutput &Secondary)
+    : Primary(Primary), Secondary(Secondary) {
+  SecondaryDead = !Secondary.ok();
+}
+
+WriteResult TeeByteOutput::write(const void *Data, size_t Size) {
+  WriteResult Result = Primary.write(Data, Size);
+  if (SecondaryDead) {
+    SecondaryLost += Result.Written;
+    return Result;
+  }
+  // Forward exactly the primary-accepted prefix, retrying transient
+  // secondary stalls a few times so a briefly busy daemon does not break
+  // stream equality; a persistent stall or hard failure kills the tee.
+  size_t Sent = 0;
+  unsigned Stalls = 0;
+  while (Sent < Result.Written) {
+    WriteResult R = Secondary.write(
+        static_cast<const uint8_t *>(Data) + Sent, Result.Written - Sent);
+    Sent += R.Written;
+    if (R.Written != 0)
+      continue;
+    if (!R.Transient || ++Stalls > 64) {
+      SecondaryDead = true;
+      SecondaryLost += Result.Written - Sent;
+      break;
+    }
+  }
+  return Result;
+}
+
+bool TeeByteOutput::flush() {
+  bool Ok = Primary.flush();
+  if (!SecondaryDead && !Secondary.flush())
+    SecondaryDead = true;
+  return Ok;
+}
+
+void TeeByteOutput::close() {
+  Primary.close();
+  Secondary.close();
 }
 
 FaultySink::FaultySink(ByteOutput &Under, const FaultPlan &Plan)

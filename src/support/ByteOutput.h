@@ -80,6 +80,56 @@ private:
   int Fd = -1;
 };
 
+/// Stream-connected unix-domain-socket output: the transport of
+/// `literace-run --connect`, carrying the exact v2 segmented byte stream
+/// to a literace-collectd daemon. EINTR/EAGAIN surface as Transient;
+/// a broken connection (daemon gone, ECONNRESET/EPIPE) makes the output
+/// permanently not-ok, which the tee layer treats as "continue file-only".
+class SocketByteOutput : public ByteOutput {
+public:
+  /// Connects to the AF_UNIX stream socket at \p Path. Check ok().
+  explicit SocketByteOutput(const std::string &Path);
+  /// Adopts an already-connected descriptor (tests, in-process benches).
+  explicit SocketByteOutput(int ConnectedFd);
+  ~SocketByteOutput() override;
+
+  WriteResult write(const void *Data, size_t Size) override;
+  void close() override;
+  bool ok() const override { return Fd >= 0; }
+
+private:
+  int Fd = -1;
+};
+
+/// Duplicates one byte stream into two outputs, with the primary
+/// authoritative: write() reports the primary's result, and only the
+/// bytes the primary accepted are forwarded to the secondary, so both
+/// destinations see byte-identical streams (the property the collector's
+/// live-vs-batch equivalence test relies on). A secondary failure never
+/// fails the write — the stream silently degrades to primary-only and
+/// the unsent bytes are counted.
+class TeeByteOutput : public ByteOutput {
+public:
+  /// Both outputs must outlive this decorator.
+  TeeByteOutput(ByteOutput &Primary, ByteOutput &Secondary);
+
+  WriteResult write(const void *Data, size_t Size) override;
+  bool flush() override;
+  void close() override;
+  bool ok() const override { return Primary.ok(); }
+
+  /// True while the secondary is still receiving the stream.
+  bool secondaryOk() const { return !SecondaryDead; }
+  /// Primary-accepted bytes the secondary did not take before it died.
+  uint64_t secondaryBytesLost() const { return SecondaryLost; }
+
+private:
+  ByteOutput &Primary;
+  ByteOutput &Secondary;
+  bool SecondaryDead = false;
+  uint64_t SecondaryLost = 0;
+};
+
 /// Deterministic fault schedule of a FaultySink. Write indices are
 /// 1-based counts of write() calls on the decorator.
 struct FaultPlan {

@@ -11,9 +11,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include <unistd.h>
 
 using namespace literace;
 using namespace literace::telemetry;
@@ -260,7 +263,27 @@ void MetricsSnapshot::setHistogram(HistogramValue Value) {
             });
 }
 
+void MetricsSnapshot::stampCapture(uint64_t UnixMillis, uint64_t Pid) {
+  if (UnixMillis == 0)
+    UnixMillis = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  if (Pid == 0)
+    Pid = static_cast<uint64_t>(::getpid());
+  CaptureUnixMillis = UnixMillis;
+  EmitterPid = Pid;
+}
+
 void MetricsSnapshot::merge(const MetricsSnapshot &Other) {
+  // Capture metadata: the merged snapshot is as fresh as its freshest
+  // input; the pid survives only when every input agrees (a merge across
+  // processes has no single emitter).
+  CaptureUnixMillis = std::max(CaptureUnixMillis, Other.CaptureUnixMillis);
+  if (EmitterPid == 0)
+    EmitterPid = Other.EmitterPid;
+  else if (Other.EmitterPid != 0 && Other.EmitterPid != EmitterPid)
+    EmitterPid = 0;
   for (const auto &[Name, Value] : Other.Counters)
     setCounter(Name, counter(Name) + Value);
   for (const auto &[Name, Value] : Other.Gauges)
@@ -282,6 +305,28 @@ void MetricsSnapshot::merge(const MetricsSnapshot &Other) {
 std::string MetricsSnapshot::toJson() const {
   std::string Out = "{\n  \"schema\": \"literace.metrics.v1\",\n";
   char Buf[64];
+
+  // Additive capture metadata: emitted only when stamped, so documents
+  // from pre-stamp writers and unstamped snapshots are byte-identical to
+  // the original schema.
+  if (CaptureUnixMillis != 0 || EmitterPid != 0) {
+    Out += "  \"meta\": {";
+    bool First = true;
+    if (CaptureUnixMillis != 0) {
+      std::snprintf(Buf, sizeof(Buf), "\"captured_unix_ms\": %llu",
+                    static_cast<unsigned long long>(CaptureUnixMillis));
+      Out += Buf;
+      First = false;
+    }
+    if (EmitterPid != 0) {
+      if (!First)
+        Out += ", ";
+      std::snprintf(Buf, sizeof(Buf), "\"pid\": %llu",
+                    static_cast<unsigned long long>(EmitterPid));
+      Out += Buf;
+    }
+    Out += "},\n";
+  }
 
   auto EmitMap = [&](const char *Key, const auto &Entries) {
     Out += "  \"";
@@ -343,6 +388,20 @@ MetricsSnapshot::fromJson(std::string_view Json) {
     return std::nullopt;
 
   MetricsSnapshot Snap;
+  if (const JsonValue *Meta = Doc->find("meta")) {
+    if (!Meta->isObject())
+      return std::nullopt;
+    if (const JsonValue *Ts = Meta->find("captured_unix_ms")) {
+      if (!Ts->IsUInt)
+        return std::nullopt;
+      Snap.CaptureUnixMillis = Ts->UInt;
+    }
+    if (const JsonValue *Pid = Meta->find("pid")) {
+      if (!Pid->IsUInt)
+        return std::nullopt;
+      Snap.EmitterPid = Pid->UInt;
+    }
+  }
   auto ReadMap = [](const JsonValue *Map,
                     std::vector<std::pair<std::string, uint64_t>> &Out) {
     if (!Map)
@@ -396,6 +455,13 @@ MetricsSnapshot::fromJson(std::string_view Json) {
 std::string MetricsSnapshot::describe() const {
   std::string Out;
   char Line[192];
+  if (CaptureUnixMillis != 0 || EmitterPid != 0) {
+    std::snprintf(Line, sizeof(Line),
+                  "  captured at unix_ms=%llu by pid=%llu\n",
+                  static_cast<unsigned long long>(CaptureUnixMillis),
+                  static_cast<unsigned long long>(EmitterPid));
+    Out += Line;
+  }
   for (const auto &[Name, Value] : Counters) {
     std::snprintf(Line, sizeof(Line), "  %-36s %14llu\n", Name.c_str(),
                   static_cast<unsigned long long>(Value));

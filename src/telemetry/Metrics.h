@@ -172,6 +172,18 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, uint64_t>> Gauges;
   std::vector<HistogramValue> Histograms;
 
+  /// Capture metadata (schema-additive; 0 = unknown, omitted from JSON).
+  /// Multi-process sidecars stamped with these merge and order
+  /// unambiguously: the capture time says which snapshot is newer, the
+  /// pid says which process emitted it.
+  uint64_t CaptureUnixMillis = 0;
+  uint64_t EmitterPid = 0;
+
+  /// Stamps this snapshot with its capture wall-clock time (Unix epoch
+  /// milliseconds) and the emitting process id. Pass 0/0 to read the
+  /// current time and pid from the system.
+  void stampCapture(uint64_t UnixMillis = 0, uint64_t Pid = 0);
+
   /// Looks up a counter / gauge value by name (Default when absent).
   uint64_t counter(std::string_view Name, uint64_t Default = 0) const;
   uint64_t gauge(std::string_view Name, uint64_t Default = 0) const;

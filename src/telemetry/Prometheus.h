@@ -1,0 +1,54 @@
+//===-- telemetry/Prometheus.h - Text exposition writer ---------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prometheus text-exposition rendering of a MetricsSnapshot
+/// (docs/COLLECTOR.md). Counters become `<prefix>_<name>_total` counter
+/// families, max-gauges become gauge families, and the pow2-bucketed
+/// histograms become native Prometheus histograms with cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`. Metric names are
+/// sanitized to the Prometheus grammar (dots and dashes collapse to
+/// underscores).
+///
+/// The companion validator checks a document against the exposition-format
+/// grammar (one TYPE per family, samples under their family, `le` bounds
+/// strictly increasing and cumulative, `+Inf` bucket equal to `_count`).
+/// It is what the collector tests — and the acceptance criterion that
+/// `/metrics` output parses — run against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_TELEMETRY_PROMETHEUS_H
+#define LITERACE_TELEMETRY_PROMETHEUS_H
+
+#include <string>
+#include <string_view>
+
+namespace literace {
+namespace telemetry {
+
+struct MetricsSnapshot;
+
+/// Sanitizes one metric name to the Prometheus grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]*; every other character becomes '_'.
+std::string prometheusName(std::string_view Name);
+
+/// Renders \p Snap in Prometheus text-exposition format. \p Prefix is
+/// prepended to every family name ("literace" by default). When the
+/// snapshot carries capture metadata (CaptureUnixMillis / EmitterPid),
+/// it is exposed as the `<prefix>_capture_info` gauge's labels.
+std::string toPrometheusText(const MetricsSnapshot &Snap,
+                             std::string_view Prefix = "literace");
+
+/// Validates \p Text against the text-exposition grammar. Returns true on
+/// success; otherwise false with a diagnostic in \p Error (if non-null).
+bool validatePrometheusText(std::string_view Text,
+                            std::string *Error = nullptr);
+
+} // namespace telemetry
+} // namespace literace
+
+#endif // LITERACE_TELEMETRY_PROMETHEUS_H

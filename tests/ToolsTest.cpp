@@ -9,9 +9,19 @@
 //===----------------------------------------------------------------------===//
 
 #include <array>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <gtest/gtest.h>
+#include <map>
+#include <cerrno>
+#include <set>
 #include <string>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
 
 #ifndef LITERACE_TOOL_DIR
 #error "CMake must define LITERACE_TOOL_DIR"
@@ -579,6 +589,341 @@ TEST(ToolsTest, AbortedRunStillWritesTheMetricsSidecar) {
   EXPECT_EQ(FsckCode, 4) << FsckOut;
   std::remove(Log.c_str());
   std::remove(Sidecar.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// literace-collectd end-to-end (docs/COLLECTOR.md)
+//===----------------------------------------------------------------------===//
+
+/// Waits for \p Path to appear on disk (the daemon binding its socket —
+/// stat(), because a socket file cannot be fopen()ed).
+bool waitForFile(const std::string &Path, int TimeoutMs = 5000) {
+  for (int Waited = 0; Waited < TimeoutMs; Waited += 20) {
+    struct stat St;
+    if (::stat(Path.c_str(), &St) == 0)
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+std::string readWholeFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return "";
+  std::string Data;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) != 0)
+    Data.append(Buf, N);
+  std::fclose(File);
+  return Data;
+}
+
+/// Extracts every "fnA:B <-> fnC:D  xN" race line from tool output as a
+/// set of "pair count" strings — the comparison key for live-vs-batch
+/// equivalence.
+std::set<std::string> raceLines(const std::string &Out) {
+  std::set<std::string> Lines;
+  size_t At = 0;
+  while ((At = Out.find("fn", At)) != std::string::npos) {
+    unsigned F1, S1, F2, S2;
+    unsigned long long Count;
+    if (std::sscanf(Out.c_str() + At, "fn%u:%u <-> fn%u:%u  x%llu", &F1,
+                    &S1, &F2, &S2, &Count) == 5) {
+      char Key[128];
+      std::snprintf(Key, sizeof(Key), "fn%u:%u<->fn%u:%u x%llu", F1, S1,
+                    F2, S2, Count);
+      Lines.insert(Key);
+      At = Out.find('\n', At);
+      if (At == std::string::npos)
+        break;
+    } else {
+      ++At;
+    }
+  }
+  return Lines;
+}
+
+/// Copies the daemon's final /status and /races dumps into the CI
+/// artifact directory when LITERACE_COLLECTOR_ARTIFACT_DIR is set.
+void saveCollectorArtifacts(const std::string &StatusJson,
+                            const std::string &RacesJson,
+                            const std::string &DaemonLog) {
+  const char *Dir = std::getenv("LITERACE_COLLECTOR_ARTIFACT_DIR");
+  if (!Dir)
+    return;
+  std::string D(Dir);
+  runCommand("mkdir -p " + D);
+  runCommand("cp " + StatusJson + " " + D + "/ 2>/dev/null; cp " +
+             RacesJson + " " + D + "/ 2>/dev/null; cp " + DaemonLog + " " +
+             D + "/ 2>/dev/null");
+}
+
+TEST(CollectdEndToEnd, ConcurrentClientsMatchBatchReports) {
+  const std::string Dir = ::testing::TempDir();
+  const std::string Socket = Dir + "collectd-e2e.sock";
+  const std::string StatusJson = Dir + "collectd-status.json";
+  const std::string RacesJson = Dir + "collectd-races.json";
+  const std::string DaemonLog = Dir + "collectd-daemon.log";
+  std::remove(Socket.c_str());
+
+  // The daemon, backgrounded in its own thread; --exit-after-clients
+  // turns it into a self-terminating fixture.
+  constexpr int NumClients = 4;
+  std::thread Daemon([&] {
+    runCommand(toolPath("literace-collectd") + " " + Socket +
+               " --exit-after-clients " + std::to_string(NumClients) +
+               " --rate-limit 0 --status-json " + StatusJson +
+               " --races-json " + RacesJson + " > " + DaemonLog + " 2>&1");
+  });
+  ASSERT_TRUE(waitForFile(Socket)) << readWholeFile(DaemonLog);
+
+  // Four concurrent clients: two workloads with different races, each
+  // recorded twice with the same seed, all streaming while writing their
+  // file sink through the tee.
+  const char *Workloads[NumClients] = {"channel", "channel",
+                                       "concrt-messaging",
+                                       "concrt-messaging"};
+  std::vector<std::string> Logs(NumClients);
+  std::vector<std::thread> Clients;
+  for (int I = 0; I < NumClients; ++I) {
+    Logs[I] = Dir + "collectd-client" + std::to_string(I) + ".bin";
+    Clients.emplace_back([&, I] {
+      auto [Code, Out] = runCommand(
+          toolPath("literace-run") + " " + std::string(Workloads[I]) + " " +
+          Logs[I] + " --mode full --scale 0.05 --seed 11 --connect " +
+          Socket);
+      EXPECT_EQ(Code, 0) << Out;
+      EXPECT_NE(Out.find("streamed the trace to collector"),
+                std::string::npos)
+          << Out;
+    });
+  }
+  for (std::thread &C : Clients)
+    C.join();
+  Daemon.join();
+
+  const std::string DaemonOut = readWholeFile(DaemonLog);
+  saveCollectorArtifacts(StatusJson, RacesJson, DaemonLog);
+  ASSERT_TRUE(waitForFile(StatusJson)) << DaemonOut;
+
+  // Ground truth: batch-replay the four file sinks through one detection
+  // and merge — the tee guarantees byte-identical streams, so the live
+  // deduped set must match exactly, counts included.
+  std::map<std::string, unsigned long long> Batch;
+  for (int I = 0; I < NumClients; ++I) {
+    auto [Code, Out] =
+        runCommand(toolPath("literace-report") + " " + Logs[I]);
+    EXPECT_EQ(Code, 3) << Out; // Both workloads race.
+    for (const std::string &Line : raceLines(Out)) {
+      const size_t Space = Line.rfind(" x");
+      Batch[Line.substr(0, Space)] +=
+          std::strtoull(Line.c_str() + Space + 2, nullptr, 10);
+    }
+  }
+  ASSERT_FALSE(Batch.empty());
+  std::set<std::string> BatchSet;
+  for (const auto &[Pair, Count] : Batch)
+    BatchSet.insert(Pair + " x" + std::to_string(Count));
+
+  // The daemon's final summary lists every triaged race with its total.
+  // Drop the live "race: ..." update lines first — they carry running
+  // (partial) counts by design.
+  std::string Summary;
+  size_t LineStart = 0;
+  while (LineStart < DaemonOut.size()) {
+    size_t LineEnd = DaemonOut.find('\n', LineStart);
+    if (LineEnd == std::string::npos)
+      LineEnd = DaemonOut.size();
+    const std::string Line =
+        DaemonOut.substr(LineStart, LineEnd - LineStart);
+    if (Line.compare(0, 5, "race:") != 0)
+      Summary += Line + "\n";
+    LineStart = LineEnd + 1;
+  }
+  EXPECT_EQ(raceLines(Summary), BatchSet) << DaemonOut;
+  EXPECT_NE(DaemonOut.find("collected 4 session(s)"), std::string::npos)
+      << DaemonOut;
+
+  // The JSON artifacts carry their schemas and the session accounting.
+  const std::string Status = readWholeFile(StatusJson);
+  EXPECT_NE(Status.find("\"schema\": \"literace.status.v1\""),
+            std::string::npos);
+  EXPECT_NE(Status.find("\"completed\": 4"), std::string::npos) << Status;
+  EXPECT_NE(Status.find("\"clean\": 4"), std::string::npos) << Status;
+  const std::string Races = readWholeFile(RacesJson);
+  EXPECT_NE(Races.find("\"schema\": \"literace.races.v1\""),
+            std::string::npos);
+
+  for (int I = 0; I < NumClients; ++I) {
+    std::remove(Logs[I].c_str());
+    std::remove((Logs[I] + ".metrics.json").c_str());
+  }
+  std::remove(StatusJson.c_str());
+  std::remove(RacesJson.c_str());
+  std::remove(DaemonLog.c_str());
+}
+
+/// Streams the bytes of \p FilePath into the AF_UNIX socket at
+/// \p SocketPath and closes the connection — a minimal raw-POSIX stand-in
+/// for a `literace-run --connect` client, used to replay a recorded log
+/// byte-for-byte into a daemon.
+bool streamFileToSocket(const std::string &FilePath,
+                        const std::string &SocketPath) {
+  const int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  sockaddr_un Addr = {};
+  Addr.sun_family = AF_UNIX;
+  std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s",
+                SocketPath.c_str());
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    ::close(Fd);
+    return false;
+  }
+  std::FILE *File = std::fopen(FilePath.c_str(), "rb");
+  if (!File) {
+    ::close(Fd);
+    return false;
+  }
+  char Buf[4096];
+  size_t N;
+  bool Ok = true;
+  while (Ok && (N = std::fread(Buf, 1, sizeof(Buf), File)) != 0) {
+    size_t At = 0;
+    while (At < N) {
+      const ssize_t Sent = ::send(Fd, Buf + At, N - At, MSG_NOSIGNAL);
+      if (Sent < 0) {
+        if (errno == EINTR)
+          continue;
+        Ok = false;
+        break;
+      }
+      At += static_cast<size_t>(Sent);
+    }
+  }
+  std::fclose(File);
+  ::close(Fd);
+  return Ok;
+}
+
+TEST(CollectdEndToEnd, SuppressionFileSilencesTheRaces) {
+  const std::string Dir = ::testing::TempDir();
+  const std::string Socket = Dir + "collectd-supp.sock";
+  const std::string Log = Dir + "collectd-supp.bin";
+  const std::string SuppPath = Dir + "collectd-supp.txt";
+  std::remove(Socket.c_str());
+
+  // Pass 1: record once, report the races offline.
+  ASSERT_EQ(runCommand(toolPath("literace-run") + " channel " + Log +
+                       " --mode full --scale 0.05 --seed 5")
+                .first,
+            0);
+  auto [RepCode, RepOut] =
+      runCommand(toolPath("literace-report") + " " + Log);
+  ASSERT_EQ(RepCode, 3) << RepOut;
+
+  // Build a suppression file covering every reported site pair.
+  std::FILE *Supp = std::fopen(SuppPath.c_str(), "w");
+  ASSERT_NE(Supp, nullptr);
+  int Entry = 0;
+  for (const std::string &Line : raceLines(RepOut)) {
+    unsigned F1, S1, F2, S2;
+    ASSERT_EQ(std::sscanf(Line.c_str(), "fn%u:%u<->fn%u:%u", &F1, &S1, &F2,
+                          &S2),
+              4);
+    std::fprintf(Supp,
+                 "{\n  triaged-%d\n  LiteRace:Race\n"
+                 "  site:fn%u:%u\n  site:fn%u:%u\n}\n",
+                 Entry++, F1, S1, F2, S2);
+  }
+  std::fclose(Supp);
+  ASSERT_GT(Entry, 0);
+
+  // Pass 2: replay the exact recorded bytes into a daemon loaded with
+  // the suppressions — same races, but now every one is silenced, the
+  // exit code drops to 0, and the Valgrind-style usage accounting names
+  // each entry.
+  const std::string DaemonLog = Dir + "collectd-supp-daemon.log";
+  std::thread Daemon([&] {
+    runCommand(toolPath("literace-collectd") + " " + Socket +
+               " --exit-after-clients 1 --suppressions " + SuppPath +
+               " > " + DaemonLog + " 2>&1");
+  });
+  ASSERT_TRUE(waitForFile(Socket));
+  EXPECT_TRUE(streamFileToSocket(Log, Socket));
+  Daemon.join();
+
+  const std::string DaemonOut = readWholeFile(DaemonLog);
+  EXPECT_NE(DaemonOut.find("0 unsuppressed"), std::string::npos)
+      << DaemonOut;
+  EXPECT_NE(DaemonOut.find("used suppression:"), std::string::npos)
+      << DaemonOut;
+  EXPECT_NE(DaemonOut.find("triaged-0"), std::string::npos) << DaemonOut;
+
+  std::remove(Log.c_str());
+  std::remove((Log + ".metrics.json").c_str());
+  std::remove(SuppPath.c_str());
+  std::remove(DaemonLog.c_str());
+}
+
+TEST(CollectdEndToEnd, RejectsV1FormatWithConnect) {
+  auto [Code, Out] =
+      runCommand(toolPath("literace-run") + " channel /tmp/x.bin" +
+                 " --format v1 --connect /tmp/nowhere.sock");
+  EXPECT_EQ(Code, 2);
+  EXPECT_NE(Out.find("cannot be combined with --format v1"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(ToolsTest, StatPrometheusFlagEmitsValidExposition) {
+  std::string Log = tempLog();
+  std::string PromOut = std::string(::testing::TempDir()) + "stat.prom";
+  ASSERT_EQ(runCommand(toolPath("literace-run") + " browser-start " + Log +
+                       " --mode literace --scale 0.5")
+                .first,
+            0);
+  auto [Code, Out] = runCommand(toolPath("literace-stat") + " " + Log +
+                                " --prometheus " + PromOut);
+  ASSERT_EQ(Code, 0) << Out;
+  const std::string Text = readWholeFile(PromOut);
+  ASSERT_FALSE(Text.empty());
+  // Spot-check the exposition shape; the tool already self-validated it
+  // against the full grammar before writing.
+  EXPECT_NE(Text.find("# TYPE literace_trace_events_total counter"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("literace_capture_info{"), std::string::npos)
+      << "runtime sidecars are capture-stamped";
+  // "-" streams the document to stdout instead.
+  auto [StdoutCode, StdoutOut] = runCommand(
+      toolPath("literace-stat") + " " + Log + " --prometheus - 2>/dev/null");
+  EXPECT_EQ(StdoutCode, 0);
+  EXPECT_NE(StdoutOut.find("# TYPE"), std::string::npos);
+  std::remove(Log.c_str());
+  std::remove((Log + ".metrics.json").c_str());
+  std::remove(PromOut.c_str());
+}
+
+TEST(ToolsTest, MetricsSidecarCarriesTheCaptureStamp) {
+  std::string Log = tempLog();
+  ASSERT_EQ(runCommand(toolPath("literace-run") + " channel " + Log +
+                       " --mode literace --scale 0.05")
+                .first,
+            0);
+  const std::string Sidecar = readWholeFile(Log + ".metrics.json");
+  ASSERT_FALSE(Sidecar.empty());
+  EXPECT_NE(Sidecar.find("\"schema\": \"literace.metrics.v1\""),
+            std::string::npos);
+  // The additive meta block: capture wall-clock and emitting pid.
+  EXPECT_NE(Sidecar.find("\"meta\""), std::string::npos) << Sidecar;
+  EXPECT_NE(Sidecar.find("\"captured_unix_ms\""), std::string::npos);
+  EXPECT_NE(Sidecar.find("\"pid\""), std::string::npos);
+  std::remove(Log.c_str());
+  std::remove((Log + ".metrics.json").c_str());
 }
 
 TEST(ToolsTest, LocksetBackendWarnsAboutImprecision) {

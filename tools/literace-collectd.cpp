@@ -1,0 +1,249 @@
+//===-- tools/literace-collectd.cpp - Collection daemon CLI ----------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Always-on collection daemon (docs/COLLECTOR.md): listens on an AF_UNIX
+// socket for v2 segment streams from concurrent `literace-run --connect`
+// processes, detects races incrementally per session, and pushes every
+// finding through the triage pipeline (dedup by site pair, suppression
+// file, per-race rate limit). Live state is served over HTTP/1.0:
+// /metrics (Prometheus text exposition), /status and /races (JSON).
+//
+// Usage:
+//   literace-collectd <ingest-socket>
+//                     [--http-socket <path>] [--http <port>]
+//                     [--port-file <path>] [--shards <n>]
+//                     [--suppressions <file>] [--rate-limit <per-sec>]
+//                     [--rate-burst <n>] [--exit-after-clients <n>]
+//                     [--status-json <path>] [--races-json <path>]
+//                     [--quiet]
+//
+//   --http-socket  serve the HTTP endpoint on a unix socket (tests, local
+//                  triage via curl --unix-socket)
+//   --http         serve the HTTP endpoint on 127.0.0.1:<port>; 0 picks an
+//                  ephemeral port (printed, and written to --port-file)
+//   --shards       per-session detection shards (1 = serial; live
+//                  mid-session race updates need the serial detector)
+//   --suppressions Valgrind-style suppression file (docs/COLLECTOR.md)
+//   --rate-limit   per-race emitted updates per second once the burst is
+//                  spent (default 1; 0 = unlimited)
+//   --rate-burst   per-race burst budget (default 5)
+//   --exit-after-clients
+//                  exit after this many sessions completed (tests/CI);
+//                  without it the daemon runs until SIGINT/SIGTERM
+//   --status-json / --races-json
+//                  dump the final /status and /races documents to files
+//                  at shutdown (CI artifacts)
+//
+// Exit status: 0 when no unsuppressed race was collected, 3 when at least
+// one was (matching literace-report), 1/2 on operational errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collector/Collector.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+using namespace literace;
+using namespace literace::collector;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <ingest-socket> [--http-socket <path>] [--http <port>]\n"
+      "          [--port-file <path>] [--shards <n>]\n"
+      "          [--suppressions <file>] [--rate-limit <per-sec>]\n"
+      "          [--rate-burst <n>] [--exit-after-clients <n>]\n"
+      "          [--status-json <path>] [--races-json <path>] [--quiet]\n",
+      Argv0);
+  return 2;
+}
+
+std::atomic<int> SignalSeen{0};
+
+void onSignal(int Sig) { SignalSeen.store(Sig); }
+
+bool writeFile(const std::string &Path, const std::string &Text) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  const bool Ok =
+      std::fwrite(Text.data(), 1, Text.size(), File) == Text.size();
+  std::fclose(File);
+  return Ok;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  const std::string IngestPath = Argv[1];
+  std::string HttpSocketPath, PortFilePath, SuppressionsPath;
+  std::string StatusJsonPath, RacesJsonPath;
+  bool HttpTcp = false;
+  uint16_t HttpPort = 0;
+  unsigned Shards = 1;
+  double RateLimit = 1.0, RateBurst = 5.0;
+  uint64_t ExitAfterClients = 0;
+  bool Quiet = false;
+
+  for (int I = 2; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--http-socket" && I + 1 < Argc) {
+      HttpSocketPath = Argv[++I];
+    } else if (Arg == "--http" && I + 1 < Argc) {
+      HttpTcp = true;
+      HttpPort = static_cast<uint16_t>(std::atoi(Argv[++I]));
+    } else if (Arg == "--port-file" && I + 1 < Argc) {
+      PortFilePath = Argv[++I];
+    } else if (Arg == "--shards" && I + 1 < Argc) {
+      Shards = static_cast<unsigned>(std::atoi(Argv[++I]));
+      if (Shards == 0)
+        Shards = 1;
+    } else if (Arg == "--suppressions" && I + 1 < Argc) {
+      SuppressionsPath = Argv[++I];
+    } else if (Arg == "--rate-limit" && I + 1 < Argc) {
+      RateLimit = std::atof(Argv[++I]);
+    } else if (Arg == "--rate-burst" && I + 1 < Argc) {
+      RateBurst = std::atof(Argv[++I]);
+    } else if (Arg == "--exit-after-clients" && I + 1 < Argc) {
+      ExitAfterClients = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--status-json" && I + 1 < Argc) {
+      StatusJsonPath = Argv[++I];
+    } else if (Arg == "--races-json" && I + 1 < Argc) {
+      RacesJsonPath = Argv[++I];
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
+      return usage(Argv[0]);
+    }
+  }
+
+  SuppressionSet Suppressions;
+  if (!SuppressionsPath.empty()) {
+    std::string Error;
+    if (!Suppressions.loadFile(SuppressionsPath, &Error)) {
+      std::fprintf(stderr, "error: bad suppression file '%s': %s\n",
+                   SuppressionsPath.c_str(), Error.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "loaded %zu suppression(s) from %s\n",
+                 Suppressions.size(), SuppressionsPath.c_str());
+  }
+
+  CollectorConfig Config;
+  Config.IngestSocketPath = IngestPath;
+  Config.Shards = Shards;
+  Config.Suppressions = &Suppressions;
+  Config.Triage.RatePerSec = RateLimit;
+  Config.Triage.Burst = RateBurst;
+
+  CollectorServer Server(std::move(Config));
+  if (!Quiet) {
+    Server.triage().setEmitter([](const TriagedRace &R, uint64_t Delta) {
+      std::fprintf(stderr,
+                   "race: fn%u:%u <-> fn%u:%u  x%llu (+%llu) in %llu "
+                   "session(s)%s\n",
+                   pcFunction(R.Key.first), pcSite(R.Key.first),
+                   pcFunction(R.Key.second), pcSite(R.Key.second),
+                   static_cast<unsigned long long>(R.DynamicCount),
+                   static_cast<unsigned long long>(Delta),
+                   static_cast<unsigned long long>(R.Sessions),
+                   R.SawWriteWrite ? "  [write/write]" : "");
+    });
+  }
+
+  std::string Error;
+  if (!Server.start(&Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "listening for traces on %s\n", IngestPath.c_str());
+
+  if (!HttpSocketPath.empty()) {
+    if (!Server.serveHttpUnix(HttpSocketPath, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serving http on %s\n", HttpSocketPath.c_str());
+  }
+  if (HttpTcp) {
+    uint16_t Bound = 0;
+    if (!Server.serveHttpTcp(HttpPort, &Bound, &Error)) {
+      std::fprintf(stderr, "error: cannot serve http: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serving http on 127.0.0.1:%u\n", Bound);
+    if (!PortFilePath.empty())
+      writeFile(PortFilePath, std::to_string(Bound) + "\n");
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  // Poll instead of blocking in waitForSessions(): a signal must win the
+  // race against a client that never finishes.
+  for (;;) {
+    if (SignalSeen.load() != 0)
+      break;
+    if (ExitAfterClients != 0 &&
+        Server.sessionsCompleted() >= ExitAfterClients)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (const int Sig = SignalSeen.load())
+    std::fprintf(stderr, "signal %d: shutting down\n", Sig);
+
+  Server.stop();
+
+  if (!StatusJsonPath.empty() && !writeFile(StatusJsonPath, Server.statusJson()))
+    std::fprintf(stderr, "warning: cannot write '%s'\n",
+                 StatusJsonPath.c_str());
+  if (!RacesJsonPath.empty() && !writeFile(RacesJsonPath, Server.racesJson()))
+    std::fprintf(stderr, "warning: cannot write '%s'\n",
+                 RacesJsonPath.c_str());
+
+  // Final triage summary, literace-report style.
+  const std::vector<TriagedRace> Races = Server.triage().races();
+  uint64_t Unsuppressed = 0;
+  for (const TriagedRace &R : Races) {
+    if (R.Suppressed)
+      continue;
+    ++Unsuppressed;
+    std::fprintf(stderr, "  fn%u:%u <-> fn%u:%u  x%llu  in %llu session(s)%s\n",
+                 pcFunction(R.Key.first), pcSite(R.Key.first),
+                 pcFunction(R.Key.second), pcSite(R.Key.second),
+                 static_cast<unsigned long long>(R.DynamicCount),
+                 static_cast<unsigned long long>(R.Sessions),
+                 R.SawWriteWrite ? "  [write/write]" : "");
+  }
+  std::fprintf(stderr,
+               "collected %llu session(s): %zu distinct race(s), %llu "
+               "unsuppressed, %llu sighting(s), %llu suppressed "
+               "sighting(s), %llu rate-limited update(s)\n",
+               static_cast<unsigned long long>(Server.sessionsCompleted()),
+               Races.size(),
+               static_cast<unsigned long long>(Unsuppressed),
+               static_cast<unsigned long long>(
+                   Server.triage().totalSightings()),
+               static_cast<unsigned long long>(
+                   Server.triage().suppressedSightings()),
+               static_cast<unsigned long long>(
+                   Server.triage().rateLimitedUpdates()));
+  const std::string Used = Suppressions.describeUsed();
+  if (!Used.empty())
+    std::fprintf(stderr, "%s", Used.c_str());
+
+  return Unsuppressed != 0 ? 3 : 0;
+}

@@ -18,6 +18,7 @@
 //                [--seed <n>] [--elide] [--no-elide] [--format v1|v2|v2z]
 //                [--flush sync|async] [--flush-policy block|drop]
 //                [--kill-after-bytes <n>] [--abort-after-bytes <n>]
+//                [--connect <socket>]
 //
 //   <workload>  channel-stdlib | channel | concrt-messaging |
 //               concrt-scheduling | httpd-1 | httpd-2 | browser-start |
@@ -42,11 +43,17 @@
 //               fault injection for the recovery tests: SIGKILL (no
 //               handler can run) or abort() the process once the sink has
 //               accepted that many payload bytes
+//   --connect   additionally stream the v2 byte stream to a
+//               literace-collectd daemon listening on the given unix
+//               socket (docs/COLLECTOR.md). The on-disk file stays
+//               authoritative; a dead or slow daemon degrades the run to
+//               file-only, never fails it. Requires --format v2/v2z.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/StaticAnalysis.h"
 #include "runtime/AsyncSink.h"
+#include "support/ByteOutput.h"
 #include "telemetry/Metrics.h"
 #include "workloads/Workload.h"
 
@@ -83,7 +90,7 @@ int usage(const char *Argv0) {
       "          [--scale <x>] [--seed <n>] [--elide] [--no-elide]\n"
       "          [--format v1|v2|v2z] [--flush sync|async]\n"
       "          [--flush-policy block|drop] [--kill-after-bytes <n>]\n"
-      "          [--abort-after-bytes <n>]\n"
+      "          [--abort-after-bytes <n>] [--connect <socket>]\n"
       "workloads:\n%s\n",
       Argv0, workloadNameList("  ").c_str());
   return 2;
@@ -102,6 +109,7 @@ void writeSidecarBestEffort() {
   if (!ActiveRuntime || !ActiveSidecarPath || !ActiveRuntime->metrics())
     return;
   telemetry::MetricsSnapshot Snap = ActiveRuntime->metricsSnapshot();
+  Snap.stampCapture();
   if (std::FILE *File = std::fopen(ActiveSidecarPath, "wb")) {
     const std::string Json = Snap.toJson();
     std::fwrite(Json.data(), 1, Json.size(), File);
@@ -163,6 +171,7 @@ int main(int Argc, char **Argv) {
   bool NoElide = false;
   uint64_t KillAfterBytes = 0;
   uint64_t AbortAfterBytes = 0;
+  std::string ConnectPath;
   WorkloadParams Params;
   for (int I = 3; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -215,6 +224,8 @@ int main(int Argc, char **Argv) {
       KillAfterBytes = std::strtoull(Argv[++I], nullptr, 10);
     } else if (Arg == "--abort-after-bytes" && I + 1 < Argc) {
       AbortAfterBytes = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--connect" && I + 1 < Argc) {
+      ConnectPath = Argv[++I];
     } else {
       std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
       return usage(Argv[0]);
@@ -227,7 +238,16 @@ int main(int Argc, char **Argv) {
   std::unique_ptr<FileSink> V1;
   std::unique_ptr<SegmentedFileSink> V2;
   std::unique_ptr<AsyncLogSink> Async;
+  std::unique_ptr<FileByteOutput> FileOut;
+  std::unique_ptr<SocketByteOutput> SocketOut;
+  std::unique_ptr<TeeByteOutput> Tee;
   LogSink *Sink = nullptr;
+  if (!ConnectPath.empty() && Format == "v1") {
+    std::fprintf(stderr,
+                 "error: --connect streams the v2 segmented format; "
+                 "it cannot be combined with --format v1\n");
+    return 2;
+  }
   if (Format == "v1") {
     V1 = std::make_unique<FileSink>(OutPath, /*NumTimestampCounters=*/128);
     if (!V1->ok()) {
@@ -239,6 +259,27 @@ int main(int Argc, char **Argv) {
   } else {
     SegmentedFileSink::Options SinkOpts;
     SinkOpts.Compress = (Format == "v2z");
+    if (!ConnectPath.empty()) {
+      // Tee the exact byte stream to the collector: the file stays
+      // authoritative (its WriteResult governs retries), and only
+      // file-accepted bytes are forwarded, so daemon and disk see
+      // byte-identical v2 streams.
+      FileOut = std::make_unique<FileByteOutput>(OutPath);
+      if (!FileOut->ok()) {
+        std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                     OutPath.c_str());
+        return 1;
+      }
+      SocketOut = std::make_unique<SocketByteOutput>(ConnectPath);
+      if (!SocketOut->ok()) {
+        std::fprintf(stderr,
+                     "error: cannot connect to collector socket '%s'\n",
+                     ConnectPath.c_str());
+        return 1;
+      }
+      Tee = std::make_unique<TeeByteOutput>(*FileOut, *SocketOut);
+      SinkOpts.Output = Tee.get();
+    }
     V2 = std::make_unique<SegmentedFileSink>(
         OutPath, /*NumTimestampCounters=*/128, SinkOpts);
     if (!V2->ok()) {
@@ -327,6 +368,17 @@ int main(int Argc, char **Argv) {
   } else {
     V1->close();
   }
+  if (Tee) {
+    if (Tee->secondaryOk())
+      std::fprintf(stderr, "streamed the trace to collector at %s\n",
+                   ConnectPath.c_str());
+    else
+      std::fprintf(stderr,
+                   "warning: collector connection lost; %llu byte(s) were "
+                   "not streamed (the on-disk trace is complete)\n",
+                   static_cast<unsigned long long>(
+                       Tee->secondaryBytesLost()));
+  }
   // The run is over; keep the handlers but detach the sink (it is closed).
   ActiveSink = nullptr;
 
@@ -345,6 +397,9 @@ int main(int Argc, char **Argv) {
   // LITERACE_TELEMETRY kill switch along with all other telemetry.
   if (RT.metrics()) {
     telemetry::MetricsSnapshot Snap = RT.metricsSnapshot();
+    // Stamp capture time and pid so sidecars from concurrent processes
+    // merge and order unambiguously (literace-stat --metrics a --metrics b).
+    Snap.stampCapture();
     if (std::FILE *File = std::fopen(SidecarPath.c_str(), "wb")) {
       const std::string Json = Snap.toJson();
       const bool Ok =

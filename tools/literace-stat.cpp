@@ -13,14 +13,21 @@
 // as a Chrome trace-event / Perfetto timeline.
 //
 // Usage:
-//   literace-stat <log.bin> [--metrics <sidecar.json>] [--shards <n>]
-//                 [--json <out.json>] [--perfetto <out.json>] [--quiet]
+//   literace-stat <log.bin> [--metrics <sidecar.json>]... [--shards <n>]
+//                 [--json <out.json>] [--prometheus <out.prom|->]
+//                 [--perfetto <out.json>] [--quiet]
 //
 //   --metrics   explicit sidecar path (default: <log.bin>.metrics.json
-//               when it exists)
+//               when it exists). Repeatable: sidecars from multiple
+//               concurrent processes merge (counters add, gauges max),
+//               and their capture stamps order the merged snapshot
 //   --shards    run sharded happens-before detection with <n> shards and
 //               include detector-plane telemetry
 //   --json      write the merged snapshot (literace.metrics.v1 schema)
+//   --prometheus
+//               write the merged snapshot in Prometheus text-exposition
+//               format ('-' = stdout), same writer as the collector's
+//               /metrics endpoint
 //   --perfetto  write the timeline (load at ui.perfetto.dev)
 //   --quiet     suppress the human-readable triage rendering
 //
@@ -30,7 +37,10 @@
 #include "runtime/EventLog.h"
 #include "runtime/TraceStats.h"
 #include "telemetry/Metrics.h"
+#include "telemetry/Prometheus.h"
 #include "telemetry/Timeline.h"
+
+#include <vector>
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,8 +54,9 @@ namespace {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s <log.bin> [--metrics <sidecar.json>] "
+               "usage: %s <log.bin> [--metrics <sidecar.json>]... "
                "[--shards <n>] [--json <out.json>] "
+               "[--prometheus <out.prom|->] "
                "[--perfetto <out.json>] [--quiet]\n",
                Argv0);
   return 2;
@@ -79,15 +90,18 @@ int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage(Argv[0]);
   std::string Path = Argv[1];
-  std::string SidecarPath = Path + ".metrics.json";
+  std::vector<std::string> SidecarPaths;
   std::string JsonOut;
+  std::string PrometheusOut;
   std::string PerfettoOut;
   unsigned Shards = 0;
   bool Quiet = false;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--metrics" && I + 1 < Argc)
-      SidecarPath = Argv[++I];
+      SidecarPaths.push_back(Argv[++I]);
+    else if (Arg == "--prometheus" && I + 1 < Argc)
+      PrometheusOut = Argv[++I];
     else if (Arg == "--shards" && I + 1 < Argc)
       Shards = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (Arg == "--json" && I + 1 < Argc)
@@ -123,9 +137,22 @@ int main(int Argc, char **Argv) {
   TraceStats Stats = TraceStats::compute(*T);
   telemetry::MetricsSnapshot Snap;
 
-  // Plane 1: the recording runtime's own counters, via the sidecar.
+  // Plane 1: the recording runtimes' own counters, via sidecars. More
+  // than one --metrics merges multi-process runs: counters add, gauges
+  // max, and the capture stamps (time + pid) say which processes
+  // contributed and how the snapshots order.
+  const std::string DefaultSidecar = Path + ".metrics.json";
+  if (SidecarPaths.empty())
+    SidecarPaths.push_back(DefaultSidecar);
   bool HaveSidecar = false;
-  if (auto Sidecar = readTextFile(SidecarPath)) {
+  for (const std::string &SidecarPath : SidecarPaths) {
+    auto Sidecar = readTextFile(SidecarPath);
+    if (!Sidecar) {
+      if (SidecarPath != DefaultSidecar)
+        std::fprintf(stderr, "warning: cannot read sidecar '%s'\n",
+                     SidecarPath.c_str());
+      continue;
+    }
     if (auto Recorded = telemetry::MetricsSnapshot::fromJson(*Sidecar)) {
       Snap.merge(*Recorded);
       HaveSidecar = true;
@@ -184,7 +211,7 @@ int main(int Argc, char **Argv) {
     if (!HaveSidecar)
       std::printf("(no runtime sidecar at %s — record with literace-run "
                   "to capture runtime counters)\n",
-                  SidecarPath.c_str());
+                  DefaultSidecar.c_str());
   }
 
   if (!JsonOut.empty()) {
@@ -193,6 +220,25 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     std::fprintf(stderr, "wrote %s\n", JsonOut.c_str());
+  }
+
+  if (!PrometheusOut.empty()) {
+    const std::string Text = telemetry::toPrometheusText(Snap);
+    std::string Error;
+    if (!telemetry::validatePrometheusText(Text, &Error)) {
+      std::fprintf(stderr, "internal error: invalid exposition: %s\n",
+                   Error.c_str());
+      return 1;
+    }
+    if (PrometheusOut == "-") {
+      std::fwrite(Text.data(), 1, Text.size(), stdout);
+    } else if (!writeTextFile(PrometheusOut, Text)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   PrometheusOut.c_str());
+      return 1;
+    } else {
+      std::fprintf(stderr, "wrote %s\n", PrometheusOut.c_str());
+    }
   }
 
   if (!PerfettoOut.empty()) {
