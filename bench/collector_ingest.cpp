@@ -16,6 +16,17 @@
 // tools/bench-compare keys the sweep rows by their "clients" label.
 // LITERACE_SCALE scales the stream size per client.
 //
+// A second, fault-injected sweep (docs/ROBUSTNESS.md) crosses the
+// disconnect rate with the client spool: every connection is torn at a
+// seeded byte offset (0, 4, or 16 tears per client stream), once with
+// the plain legacy transport — which drops the tail of the stream at
+// the first tear, the pre-spool behavior — and once with
+// SpoolingSocketOutput riding through the tears. The spooled rows must
+// lose zero bytes and report the same dedup'd race set as the fault-free
+// baseline; the legacy rows quantify what each disconnect rate costs in
+// lost bytes and missed races. The "fault_sweep" JSON rows are keyed by
+// {spool, tears_per_client}.
+//
 //===----------------------------------------------------------------------===//
 
 #include "collector/Collector.h"
@@ -26,6 +37,7 @@
 #include "telemetry/Metrics.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -171,6 +183,118 @@ Result runClients(unsigned Clients, const std::vector<uint8_t> &Bytes,
   return R;
 }
 
+struct FaultResult {
+  bool Spool = false;
+  unsigned TearsPerClient = 0;
+  double Seconds = 0.0;
+  double EventsPerSec = 0.0;
+  uint64_t EventsIngested = 0;
+  uint64_t BytesLost = 0;
+  uint64_t Reconnects = 0;
+  uint64_t ReplayedBytes = 0;
+  size_t DistinctRaces = 0;
+};
+
+/// One fault-injected run: \p Clients stream \p Bytes each while every
+/// connection is torn after Bytes.size()/Tears bytes. With \p Spool the
+/// clients ride through on SpoolingSocketOutput (spool + resume); without
+/// it they behave like the pre-spool tee and drop the tail at the first
+/// tear. Tears == 0 is the fault-free baseline on each transport.
+FaultResult runFaulted(bool Spool, unsigned Tears, unsigned Clients,
+                       const std::vector<uint8_t> &Bytes,
+                       size_t EventsPerClient) {
+  const std::string Socket = tempPath("literace_collector_bench.sock");
+  FaultResult R;
+  R.Spool = Spool;
+  R.TearsPerClient = Tears;
+  const uint64_t TearEvery =
+      Tears == 0 ? 0 : std::max<uint64_t>(Bytes.size() / Tears, 4096);
+
+  telemetry::MetricsRegistry Registry;
+  CollectorConfig Config;
+  Config.IngestSocketPath = Socket;
+  Config.Triage.RatePerSec = 0;
+  // Ack often so a tear replays at most 64 KB, not the 1 MB default —
+  // otherwise replay amplification, not the fault rate, dominates.
+  Config.AckEveryBytes = 64 << 10;
+  Config.Metrics = &Registry;
+  CollectorServer Server(std::move(Config));
+  std::string Error;
+  if (!Server.start(&Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    std::exit(1);
+  }
+
+  std::atomic<uint64_t> Lost{0}, Reconnects{0}, Replayed{0};
+  WallTimer Timer;
+  std::vector<std::thread> Streams;
+  for (unsigned C = 0; C != Clients; ++C)
+    Streams.emplace_back([&, C] {
+      if (Spool) {
+        SpoolingSocketOutput::Options Opts;
+        Opts.SocketPath = Socket;
+        Opts.SpoolPath = tempPath(
+            ("literace_collector_bench_spool" + std::to_string(C)).c_str());
+        Opts.BackoffInitialMs = 1;
+        Opts.BackoffMaxMs = 4;
+        Opts.JitterSeed = C + 1;
+        Opts.DrainDeadlineMs = 60000;
+        Opts.RunIdHi = 0xBE9C;
+        Opts.RunIdLo = C + 1;
+        if (TearEvery != 0) {
+          FaultPlan Tear;
+          Tear.FailAtByte = TearEvery; // Last plan repeats: every
+          Opts.SendFaults.push_back(Tear); // connection tears again.
+        }
+        SpoolingSocketOutput Out(std::move(Opts));
+        size_t At = 0;
+        while (Out.ok() && At < Bytes.size()) {
+          WriteResult W = Out.write(
+              Bytes.data() + At, std::min<size_t>(65536, Bytes.size() - At));
+          At += W.Written;
+          if (W.Written == 0 && !W.Transient)
+            break;
+        }
+        Out.close();
+        Lost += Out.bytesLost();
+        Reconnects += Out.reconnects();
+        Replayed += Out.replayedBytes();
+      } else {
+        SocketByteOutput Raw(Socket);
+        FaultPlan Tear;
+        Tear.FailAtByte = TearEvery; // 0 = never tears.
+        FaultySink Out(Raw, Tear);
+        size_t At = 0;
+        while (Out.ok() && At < Bytes.size()) {
+          WriteResult W = Out.write(
+              Bytes.data() + At, std::min<size_t>(65536, Bytes.size() - At));
+          At += W.Written;
+          if (W.Written == 0 && !W.Transient)
+            break;
+        }
+        Out.close();
+        Lost += Bytes.size() - At; // The tail the legacy tee drops.
+      }
+    });
+  for (std::thread &S : Streams)
+    S.join();
+  Server.waitForSessions(Clients);
+  R.Seconds = Timer.seconds();
+  Server.stop();
+
+  const telemetry::MetricsSnapshot Snap = Registry.snapshot();
+  R.EventsIngested = Snap.counter("collector.events.ingested");
+  R.BytesLost = Lost.load();
+  R.Reconnects = Reconnects.load();
+  R.ReplayedBytes = Replayed.load();
+  R.DistinctRaces = Server.triage().distinctRaces();
+  R.EventsPerSec =
+      static_cast<double>(Clients) * static_cast<double>(EventsPerClient) /
+      R.Seconds;
+  std::remove(Socket.c_str());
+  return R;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -227,6 +351,46 @@ int main(int Argc, char **Argv) {
       return 1;
     }
 
+  // Fault-injected sweep: disconnect rate x spool on/off, 4 clients.
+  const unsigned FaultClients = 4;
+  std::vector<FaultResult> Faulted;
+  for (unsigned Tears : {0u, 4u, 16u})
+    for (bool Spool : {false, true})
+      Faulted.push_back(
+          runFaulted(Spool, Tears, FaultClients, Bytes, EventsPerClient));
+
+  std::fprintf(stderr,
+               "\nFault-injected ingest (%u clients, connection torn "
+               "every size/N bytes)\n",
+               FaultClients);
+  std::fprintf(stderr, "  %-7s %-7s %-9s %-12s %-12s %-7s %-12s %-7s\n",
+               "Spool", "Tears", "Time", "M events/s", "Lost bytes",
+               "Reconn", "Replayed", "Races");
+  for (const FaultResult &R : Faulted)
+    std::fprintf(stderr,
+                 "  %-7s %-7u %-9s %-12.1f %-12llu %-7llu %-12llu %-7zu\n",
+                 R.Spool ? "on" : "off", R.TearsPerClient,
+                 (std::to_string(R.Seconds).substr(0, 5) + "s").c_str(),
+                 R.EventsPerSec / 1e6,
+                 static_cast<unsigned long long>(R.BytesLost),
+                 static_cast<unsigned long long>(R.Reconnects),
+                 static_cast<unsigned long long>(R.ReplayedBytes),
+                 R.DistinctRaces);
+
+  // The durability invariant: with the spool on, no disconnect rate may
+  // lose a byte or shrink the dedup'd race set below the baseline.
+  for (const FaultResult &R : Faulted)
+    if (R.Spool &&
+        (R.BytesLost != 0 || R.DistinctRaces != Results.front().DistinctRaces)) {
+      std::fprintf(stderr,
+                   "error: spooled run at %u tears lost %llu byte(s), "
+                   "%zu race(s) vs baseline %zu\n",
+                   R.TearsPerClient,
+                   static_cast<unsigned long long>(R.BytesLost),
+                   R.DistinctRaces, Results.front().DistinctRaces);
+      return 1;
+    }
+
   if (!JsonPath.empty()) {
     std::FILE *File = std::fopen(JsonPath.c_str(), "w");
     if (!File) {
@@ -253,6 +417,24 @@ int main(int Argc, char **Argv) {
           static_cast<unsigned long long>(R.QueueDepthHighWater),
           static_cast<unsigned long long>(R.ProducerParks),
           I + 1 == Results.size() ? "" : ",");
+    }
+    std::fprintf(File, "  ],\n  \"fault_clients\": %u,\n  \"fault_sweep\": [\n",
+                 FaultClients);
+    for (size_t I = 0; I != Faulted.size(); ++I) {
+      const FaultResult &R = Faulted[I];
+      std::fprintf(
+          File,
+          "    {\"spool\": %s, \"tears_per_client\": %u, "
+          "\"seconds\": %.6f, \"events_per_sec\": %.1f, "
+          "\"events_ingested\": %llu, \"bytes_lost\": %llu, "
+          "\"reconnects\": %llu, \"replayed_bytes\": %llu, "
+          "\"distinct_races\": %zu}%s\n",
+          R.Spool ? "true" : "false", R.TearsPerClient, R.Seconds,
+          R.EventsPerSec, static_cast<unsigned long long>(R.EventsIngested),
+          static_cast<unsigned long long>(R.BytesLost),
+          static_cast<unsigned long long>(R.Reconnects),
+          static_cast<unsigned long long>(R.ReplayedBytes), R.DistinctRaces,
+          I + 1 == Faulted.size() ? "" : ",");
     }
     std::fprintf(File, "  ]\n}\n");
     std::fclose(File);

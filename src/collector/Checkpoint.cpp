@@ -1,0 +1,302 @@
+//===-- collector/Checkpoint.cpp - Collector durability state ------------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collector/Checkpoint.h"
+
+#include "telemetry/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace literace;
+using namespace literace::collector;
+
+namespace {
+
+void appendU64(std::string &Out, uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu", static_cast<unsigned long long>(V));
+  Out += Buf;
+}
+
+void appendDouble(std::string &Out, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+uint64_t u64Field(const telemetry::JsonValue &V, std::string_view Key,
+                  uint64_t Default = 0) {
+  const telemetry::JsonValue *F = V.find(Key);
+  if (!F)
+    return Default;
+  if (F->IsUInt)
+    return F->UInt;
+  if (F->isNumber() && F->Number >= 0)
+    return static_cast<uint64_t>(F->Number);
+  return Default;
+}
+
+double doubleField(const telemetry::JsonValue &V, std::string_view Key,
+                   double Default = 0.0) {
+  const telemetry::JsonValue *F = V.find(Key);
+  return F && F->isNumber() ? F->Number : Default;
+}
+
+bool boolField(const telemetry::JsonValue &V, std::string_view Key) {
+  const telemetry::JsonValue *F = V.find(Key);
+  return F && F->Kind == telemetry::JsonValue::Type::Bool && F->BoolValue;
+}
+
+std::string stringField(const telemetry::JsonValue &V, std::string_view Key) {
+  const telemetry::JsonValue *F = V.find(Key);
+  return F && F->isString() ? F->Str : std::string();
+}
+
+} // namespace
+
+std::string collector::encodeCheckpoint(const CollectorCheckpoint &C) {
+  std::string J = "{\n  \"schema\": \"literace.triage.v1\",\n";
+  J += "  \"next_session_id\": ";
+  appendU64(J, C.NextSessionId);
+  J += ",\n  \"sightings\": ";
+  appendU64(J, C.Sightings);
+  J += ",\n  \"suppressed_sightings\": ";
+  appendU64(J, C.SuppressedSightings);
+  J += ",\n  \"rate_limited_updates\": ";
+  appendU64(J, C.RateLimitedUpdates);
+  J += ",\n  \"races\": [";
+  for (size_t I = 0; I != C.Races.size(); ++I) {
+    const TriageCheckpointEntry &E = C.Races[I];
+    J += I ? ",\n    {" : "\n    {";
+    J += "\"first_pc\": ";
+    appendU64(J, E.R.Key.first);
+    J += ", \"second_pc\": ";
+    appendU64(J, E.R.Key.second);
+    J += ", \"count\": ";
+    appendU64(J, E.R.DynamicCount);
+    J += ", \"example_addr\": ";
+    appendU64(J, E.R.ExampleAddr);
+    J += ", \"write_write\": ";
+    J += E.R.SawWriteWrite ? "true" : "false";
+    J += ", \"emitted\": ";
+    appendU64(J, E.R.EmittedUpdates);
+    J += ", \"rate_limited\": ";
+    appendU64(J, E.R.RateLimitedUpdates);
+    J += ", \"tokens\": ";
+    appendDouble(J, E.Tokens);
+    J += ", \"sessions\": [";
+    for (size_t S = 0; S != E.SessionIds.size(); ++S) {
+      if (S)
+        J += ", ";
+      appendU64(J, E.SessionIds[S]);
+    }
+    J += "]}";
+  }
+  J += C.Races.empty() ? "],\n" : "\n  ],\n";
+  J += "  \"suppression_hits\": [";
+  for (size_t I = 0; I != C.SuppressionHits.size(); ++I) {
+    J += I ? ",\n    {" : "\n    {";
+    J += "\"name\": \"" + telemetry::jsonEscape(C.SuppressionHits[I].first) +
+         "\", \"hits\": ";
+    appendU64(J, C.SuppressionHits[I].second);
+    J += "}";
+  }
+  J += C.SuppressionHits.empty() ? "],\n" : "\n  ],\n";
+  J += "  \"in_flight\": [";
+  for (size_t I = 0; I != C.Sessions.size(); ++I) {
+    const CheckpointSessionEntry &S = C.Sessions[I];
+    J += I ? ",\n    {" : "\n    {";
+    J += "\"session\": ";
+    appendU64(J, S.Id);
+    J += ", \"run_id_hi\": ";
+    appendU64(J, S.RunIdHi);
+    J += ", \"run_id_lo\": ";
+    appendU64(J, S.RunIdLo);
+    J += ", \"resumable\": ";
+    J += S.Resumable ? "true" : "false";
+    J += ", \"logical_pos\": ";
+    appendU64(J, S.LogicalPos);
+    J += ", \"journal_bytes\": ";
+    appendU64(J, S.JournalBytes);
+    J += ", \"published\": [";
+    for (size_t P = 0; P != S.Published.size(); ++P) {
+      J += P ? ", {" : "{";
+      J += "\"first_pc\": ";
+      appendU64(J, S.Published[P].first.first);
+      J += ", \"second_pc\": ";
+      appendU64(J, S.Published[P].first.second);
+      J += ", \"count\": ";
+      appendU64(J, S.Published[P].second);
+      J += "}";
+    }
+    J += "]}";
+  }
+  J += C.Sessions.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return J;
+}
+
+bool collector::decodeCheckpoint(const std::string &Json,
+                                 CollectorCheckpoint &C, std::string *Error) {
+  const std::optional<telemetry::JsonValue> Doc = telemetry::parseJson(Json);
+  if (!Doc || !Doc->isObject()) {
+    if (Error)
+      *Error = "malformed JSON";
+    return false;
+  }
+  if (stringField(*Doc, "schema") != "literace.triage.v1") {
+    if (Error)
+      *Error = "not a literace.triage.v1 document";
+    return false;
+  }
+  C = CollectorCheckpoint();
+  C.NextSessionId = u64Field(*Doc, "next_session_id", 1);
+  C.Sightings = u64Field(*Doc, "sightings");
+  C.SuppressedSightings = u64Field(*Doc, "suppressed_sightings");
+  C.RateLimitedUpdates = u64Field(*Doc, "rate_limited_updates");
+  if (const telemetry::JsonValue *Races = Doc->find("races"))
+    for (const telemetry::JsonValue &R : Races->Array) {
+      TriageCheckpointEntry E;
+      E.R.Key = {u64Field(R, "first_pc"), u64Field(R, "second_pc")};
+      E.R.DynamicCount = u64Field(R, "count");
+      E.R.ExampleAddr = u64Field(R, "example_addr");
+      E.R.SawWriteWrite = boolField(R, "write_write");
+      E.R.EmittedUpdates = u64Field(R, "emitted");
+      E.R.RateLimitedUpdates = u64Field(R, "rate_limited");
+      E.Tokens = doubleField(R, "tokens");
+      if (const telemetry::JsonValue *S = R.find("sessions"))
+        for (const telemetry::JsonValue &Id : S->Array)
+          if (Id.IsUInt)
+            E.SessionIds.push_back(Id.UInt);
+      C.Races.push_back(std::move(E));
+    }
+  if (const telemetry::JsonValue *Hits = Doc->find("suppression_hits"))
+    for (const telemetry::JsonValue &H : Hits->Array)
+      C.SuppressionHits.emplace_back(stringField(H, "name"),
+                                     u64Field(H, "hits"));
+  if (const telemetry::JsonValue *Flight = Doc->find("in_flight"))
+    for (const telemetry::JsonValue &S : Flight->Array) {
+      CheckpointSessionEntry E;
+      E.Id = u64Field(S, "session");
+      E.RunIdHi = u64Field(S, "run_id_hi");
+      E.RunIdLo = u64Field(S, "run_id_lo");
+      E.Resumable = boolField(S, "resumable");
+      E.LogicalPos = u64Field(S, "logical_pos");
+      E.JournalBytes = u64Field(S, "journal_bytes");
+      if (const telemetry::JsonValue *P = S.find("published"))
+        for (const telemetry::JsonValue &R : P->Array)
+          E.Published.emplace_back(
+              StaticRaceKey{u64Field(R, "first_pc"),
+                            u64Field(R, "second_pc")},
+              u64Field(R, "count"));
+      C.Sessions.push_back(std::move(E));
+    }
+  return true;
+}
+
+bool collector::writeFileAtomic(const std::string &Path,
+                                const std::string &Data) {
+  const std::string Tmp = Path + ".tmp";
+  const int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return false;
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    const ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  // The rename is the commit point: a crash leaves either the old or the
+  // new checkpoint, never a torn one.
+  if (::fsync(Fd) != 0 || ::close(Fd) != 0 ||
+      ::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool collector::readFileInto(const std::string &Path, std::string &Out) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  Out.clear();
+  char Buf[65536];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Out.append(Buf, N);
+  std::fclose(File);
+  return true;
+}
+
+std::string collector::checkpointFileName() { return "triage.json"; }
+
+std::string collector::journalFileName(uint64_t SessionId, uint64_t RunIdHi,
+                                       uint64_t RunIdLo, bool Resumable) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "session-%llu-%016llx%016llx-%c.journal",
+                static_cast<unsigned long long>(SessionId),
+                static_cast<unsigned long long>(RunIdHi),
+                static_cast<unsigned long long>(RunIdLo),
+                Resumable ? 'r' : 'l');
+  return Buf;
+}
+
+bool collector::parseJournalFileName(const std::string &Name,
+                                     uint64_t &SessionId, uint64_t &RunIdHi,
+                                     uint64_t &RunIdLo, bool &Resumable) {
+  const std::string Suffix = ".journal";
+  if (Name.size() <= Suffix.size() ||
+      Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+    return false;
+  unsigned long long Id = 0, Hi = 0, Lo = 0;
+  char Kind = 0;
+  int Consumed = 0;
+  if (std::sscanf(Name.c_str(), "session-%llu-%16llx%16llx-%c%n", &Id, &Hi,
+                  &Lo, &Kind, &Consumed) != 4 ||
+      (Kind != 'r' && Kind != 'l') ||
+      static_cast<size_t>(Consumed) + Suffix.size() != Name.size())
+    return false;
+  SessionId = Id;
+  RunIdHi = Hi;
+  RunIdLo = Lo;
+  Resumable = Kind == 'r';
+  return true;
+}
+
+std::vector<std::string> collector::listJournalFiles(const std::string &Dir) {
+  std::vector<std::string> Out;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return Out;
+  while (dirent *E = ::readdir(D)) {
+    uint64_t Id, Hi, Lo;
+    bool Resumable;
+    if (parseJournalFileName(E->d_name, Id, Hi, Lo, Resumable))
+      Out.push_back(E->d_name);
+  }
+  ::closedir(D);
+  std::sort(Out.begin(), Out.end(), [](const std::string &A,
+                                       const std::string &B) {
+    uint64_t Ia = 0, Ib = 0, H, L;
+    bool R;
+    parseJournalFileName(A, Ia, H, L, R);
+    parseJournalFileName(B, Ib, H, L, R);
+    return Ia < Ib;
+  });
+  return Out;
+}

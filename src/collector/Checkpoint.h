@@ -1,0 +1,104 @@
+//===-- collector/Checkpoint.h - Collector durability state ----*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The collector's crash-recovery state (docs/ROBUSTNESS.md): the
+/// `literace.triage.v1` checkpoint document and the session-journal
+/// naming scheme inside a `--spool-dir`.
+///
+/// A running daemon journals each session's raw v2 segment bytes to
+/// `session-<id>-<runid>-<r|l>.journal` *before* detection (write-ahead;
+/// the file is a byte prefix of the client's primary log, so `readTrace`
+/// salvages it like any crashed trace), and periodically checkpoints the
+/// triage table — dedup keys, dynamic counts, suppression hits,
+/// rate-limiter tokens — together with, per in-flight session, the
+/// counts already forwarded to triage. Recovery replays each surviving
+/// journal and observes only `finalCount - checkpointedPublished` per
+/// race, which makes every crash window idempotent: a journal whose
+/// session completed but was not yet unlinked replays to a delta of
+/// zero.
+///
+/// literace-fsck audits the same structures offline (`--spool`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_COLLECTOR_CHECKPOINT_H
+#define LITERACE_COLLECTOR_CHECKPOINT_H
+
+#include "collector/ReportTriage.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace literace {
+namespace collector {
+
+/// One in-flight session recorded in a checkpoint: enough to resume its
+/// ack accounting and to replay only the un-checkpointed delta.
+struct CheckpointSessionEntry {
+  uint64_t Id = 0;
+  uint64_t RunIdHi = 0;
+  uint64_t RunIdLo = 0;
+  bool Resumable = false;
+  /// Logical stream position journaled at checkpoint time (differs from
+  /// JournalBytes only when a client's spool cap shed a gap).
+  uint64_t LogicalPos = 0;
+  /// Physical journal size at checkpoint time. Recovery reconstructs the
+  /// logical position as LogicalPos + (fileSize - JournalBytes).
+  uint64_t JournalBytes = 0;
+  /// Dynamic counts already forwarded to triage, per race key.
+  std::vector<std::pair<StaticRaceKey, uint64_t>> Published;
+};
+
+/// A parsed/parseable `literace.triage.v1` document.
+struct CollectorCheckpoint {
+  uint64_t NextSessionId = 1;
+  uint64_t Sightings = 0;
+  uint64_t SuppressedSightings = 0;
+  uint64_t RateLimitedUpdates = 0;
+  std::vector<TriageCheckpointEntry> Races;
+  std::vector<std::pair<std::string, uint64_t>> SuppressionHits;
+  std::vector<CheckpointSessionEntry> Sessions;
+};
+
+/// Renders \p C as the literace.triage.v1 JSON document.
+std::string encodeCheckpoint(const CollectorCheckpoint &C);
+
+/// Parses a literace.triage.v1 document. False (with \p Error) on
+/// malformed input or a wrong schema tag.
+bool decodeCheckpoint(const std::string &Json, CollectorCheckpoint &C,
+                      std::string *Error = nullptr);
+
+/// Durable file replace: write to `<Path>.tmp`, fsync, rename over
+/// \p Path. False on any I/O failure (the destination is untouched).
+bool writeFileAtomic(const std::string &Path, const std::string &Data);
+
+/// Reads a whole file; false if it cannot be opened.
+bool readFileInto(const std::string &Path, std::string &Out);
+
+/// `triage.json` inside a spool directory.
+std::string checkpointFileName();
+
+/// `session-<id>-<runid hex>-<r|l>.journal` (r = resumable handshake
+/// session, l = legacy fire-and-forget stream).
+std::string journalFileName(uint64_t SessionId, uint64_t RunIdHi,
+                            uint64_t RunIdLo, bool Resumable);
+
+/// Parses a journal file name back into its parts; false if \p Name is
+/// not a journal.
+bool parseJournalFileName(const std::string &Name, uint64_t &SessionId,
+                          uint64_t &RunIdHi, uint64_t &RunIdLo,
+                          bool &Resumable);
+
+/// Base names of every `*.journal` in \p Dir, sorted by session id.
+std::vector<std::string> listJournalFiles(const std::string &Dir);
+
+} // namespace collector
+} // namespace literace
+
+#endif // LITERACE_COLLECTOR_CHECKPOINT_H

@@ -138,3 +138,54 @@ uint64_t ReportTriage::rateLimitedUpdates() const {
   std::lock_guard<std::mutex> Guard(Lock);
   return RateLimited;
 }
+
+std::vector<TriageCheckpointEntry> ReportTriage::checkpointEntries() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  std::vector<TriageCheckpointEntry> Out;
+  Out.reserve(Table.size());
+  for (const auto &[Key, E] : Table) {
+    TriageCheckpointEntry C;
+    C.R = E.R;
+    C.Tokens = E.Tokens;
+    C.SessionIds.assign(E.SessionIds.begin(), E.SessionIds.end());
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}
+
+void ReportTriage::checkpointTotals(uint64_t &SightingsOut,
+                                    uint64_t &SuppressedOut,
+                                    uint64_t &RateLimitedOut) const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  SightingsOut = Sightings;
+  SuppressedOut = SuppressedHits;
+  RateLimitedOut = RateLimited;
+}
+
+void ReportTriage::restore(const std::vector<TriageCheckpointEntry> &Entries,
+                           uint64_t SightingsIn, uint64_t SuppressedIn,
+                           uint64_t RateLimitedIn) {
+  const uint64_t Now = Config.NowNs();
+  std::lock_guard<std::mutex> Guard(Lock);
+  Table.clear();
+  for (const TriageCheckpointEntry &C : Entries) {
+    Entry &E = Table[C.R.Key];
+    E.R = C.R;
+    E.Tokens = C.Tokens;
+    E.LastRefillNs = Now;
+    E.SessionIds.insert(C.SessionIds.begin(), C.SessionIds.end());
+    E.R.Sessions = E.SessionIds.size();
+    // Suppression membership follows the file loaded *now*, not the one
+    // the checkpoint was written under.
+    E.SuppressionIndex = Suppressions ? Suppressions->match(C.R.Key) : -1;
+    E.R.Suppressed = E.SuppressionIndex >= 0;
+    E.R.SuppressionName =
+        E.R.Suppressed
+            ? Suppressions->entry(static_cast<size_t>(E.SuppressionIndex))
+                  .Name
+            : std::string();
+  }
+  Sightings = SightingsIn;
+  SuppressedHits = SuppressedIn;
+  RateLimited = RateLimitedIn;
+}

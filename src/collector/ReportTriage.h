@@ -61,6 +61,15 @@ struct TriagedRace {
   uint64_t RateLimitedUpdates = 0; ///< updates the bucket swallowed
 };
 
+/// Checkpointable state of one triaged race (collector/Checkpoint.h):
+/// the public TriagedRace plus the rate-limiter bucket and the session
+/// set backing the Sessions count.
+struct TriageCheckpointEntry {
+  TriagedRace R;
+  double Tokens = 0;
+  std::vector<uint64_t> SessionIds;
+};
+
 /// Deduplicating, suppressing, rate-limiting sink for live race updates.
 /// observe() is called by the collector's detection thread; the read
 /// accessors are safe from any thread (HTTP handlers).
@@ -91,6 +100,19 @@ public:
   uint64_t totalSightings() const;
   uint64_t suppressedSightings() const;
   uint64_t rateLimitedUpdates() const;
+
+  /// Full table state for a collector checkpoint, in key order.
+  std::vector<TriageCheckpointEntry> checkpointEntries() const;
+  /// Aggregate counters for a checkpoint (one consistent snapshot).
+  void checkpointTotals(uint64_t &SightingsOut, uint64_t &SuppressedOut,
+                        uint64_t &RateLimitedOut) const;
+  /// Replaces the table with checkpointed state (daemon recovery).
+  /// Suppression status is re-derived against the current suppression
+  /// set, and rate-limiter refill clocks restart at now (monotonic
+  /// clocks do not survive a restart); token balances are preserved.
+  void restore(const std::vector<TriageCheckpointEntry> &Entries,
+               uint64_t SightingsIn, uint64_t SuppressedIn,
+               uint64_t RateLimitedIn);
 
 private:
   struct Entry {

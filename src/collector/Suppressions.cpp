@@ -245,6 +245,19 @@ void SuppressionSet::countHit(int Index, uint64_t N) {
     HitCounts[Index] += N;
 }
 
+int SuppressionSet::findByName(std::string_view Name) const {
+  for (size_t I = 0; I != Entries.size(); ++I)
+    if (Entries[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+void SuppressionSet::restoreHits(std::string_view Name, uint64_t Hits) {
+  const int I = findByName(Name);
+  if (I >= 0)
+    HitCounts[static_cast<size_t>(I)] = Hits;
+}
+
 std::string SuppressionSet::describeUsed() const {
   std::string Out;
   for (size_t I = 0; I != Entries.size(); ++I) {

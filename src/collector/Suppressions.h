@@ -89,6 +89,14 @@ public:
   /// Counts \p N hits against entry \p Index (from match()).
   void countHit(int Index, uint64_t N = 1);
 
+  /// Index of the entry named \p Name, or -1.
+  int findByName(std::string_view Name) const;
+
+  /// Sets (not adds) the hit count of the entry named \p Name; a no-op
+  /// when no such entry exists. Used by collector checkpoint recovery,
+  /// where the counts were accumulated by a previous daemon life.
+  void restoreHits(std::string_view Name, uint64_t Hits);
+
   size_t size() const { return Entries.size(); }
   bool empty() const { return Entries.empty(); }
   const Suppression &entry(size_t I) const { return Entries[I]; }

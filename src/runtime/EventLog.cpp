@@ -1025,6 +1025,29 @@ void SegmentStreamDecoder::parse() {
   Offset = O;
 }
 
+void SegmentStreamDecoder::noteGap(uint64_t ShedBytes) {
+  if (Finished || ShedBytes == 0)
+    return;
+  const size_t Buffered = Buffer.size() - Offset;
+  if (Buffered != 0) {
+    // The buffered partial frame can never complete: its remainder is
+    // inside the hole. A CRC-valid header in it still attributes the
+    // loss to its thread, as in finish()'s truncated-tail accounting.
+    SegmentHeader H;
+    if (parseSegmentHeader(Buffer.data() + Offset, Buffered, H))
+      noteThreadDropped(Stats, H.Tid);
+    Stats.BytesDropped += Buffered;
+    Buffer.clear();
+    Offset = 0;
+  }
+  if (!ResyncOpen) {
+    ++Stats.SegmentsDropped;
+    ResyncOpen = true;
+  }
+  Stats.BytesDropped += ShedBytes;
+  LastDecodedWasFooter = false;
+}
+
 void SegmentStreamDecoder::finish() {
   if (Finished)
     return;

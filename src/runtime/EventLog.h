@@ -341,6 +341,15 @@ public:
   /// truncated tail. Idempotent; feed() after finish() is ignored.
   void finish();
 
+  /// Declares an upstream hole of \p ShedBytes that will never arrive (a
+  /// resuming client shed them at its spool cap; docs/ROBUSTNESS.md).
+  /// The shed bytes fold into BytesDropped *exactly* — resyncing alone
+  /// would only count the seam residue it happens to scan over — and any
+  /// buffered partial frame is dropped with them, since its remainder is
+  /// gone. The hole plus the following resync count as one damage
+  /// episode, the same discipline a corrupt region gets.
+  void noteGap(uint64_t ShedBytes);
+
   /// Pops the next decoded chunk (FIFO). False when none are pending.
   bool take(Chunk &Out);
 

@@ -6,9 +6,12 @@
 
 #include "support/ByteOutput.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -21,6 +24,11 @@ bool ByteOutput::flush() { return true; }
 
 FileByteOutput::FileByteOutput(const std::string &Path) {
   Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+}
+
+FileByteOutput::FileByteOutput(const std::string &Path, bool Append) {
+  Fd = ::open(Path.c_str(),
+              O_WRONLY | O_CREAT | (Append ? O_APPEND : O_TRUNC), 0644);
 }
 
 FileByteOutput::~FileByteOutput() { close(); }
@@ -153,20 +161,32 @@ FaultySink::FaultySink(ByteOutput &Under, const FaultPlan &Plan)
 
 bool FaultySink::ok() const {
   return Under.ok() &&
-         (Plan.FailAtWrite == 0 || Attempts + 1 < Plan.FailAtWrite);
+         (Plan.FailAtWrite == 0 || Attempts + 1 < Plan.FailAtWrite) &&
+         (Plan.FailAtByte == 0 || StreamOffset < Plan.FailAtByte);
 }
 
 WriteResult FaultySink::write(const void *Data, size_t Size) {
   ++Attempts;
   if (Plan.FailAtWrite && Attempts >= Plan.FailAtWrite)
     return WriteResult{}; // Hard failure, nothing accepted, not retryable.
+  if (Plan.FailAtByte && StreamOffset >= Plan.FailAtByte)
+    return WriteResult{}; // Torn at the seeded byte offset.
   if (Plan.TransientAtWrite && Attempts >= Plan.TransientAtWrite &&
       Attempts < Plan.TransientAtWrite + Plan.TransientCount)
     return WriteResult{0, /*Transient=*/true};
 
   size_t Accept = Size;
-  if (Plan.MaxWriteBytes && Accept > Plan.MaxWriteBytes)
+  bool AtTear = false;
+  if (Plan.FailAtByte && StreamOffset + Accept > Plan.FailAtByte) {
+    // Accept exactly up to the tear so the break lands at the same
+    // stream byte no matter how the writer batches.
+    Accept = static_cast<size_t>(Plan.FailAtByte - StreamOffset);
+    AtTear = true;
+  }
+  if (Plan.MaxWriteBytes && Accept > Plan.MaxWriteBytes) {
     Accept = Plan.MaxWriteBytes;
+    AtTear = false; // the short-write regime cut first; still retryable
+  }
 
   const uint8_t *Bytes = static_cast<const uint8_t *>(Data);
   if (Plan.BitFlipEveryBytes) {
@@ -188,8 +208,461 @@ WriteResult FaultySink::write(const void *Data, size_t Size) {
   WriteResult Result = Under.write(Bytes, Accept);
   StreamOffset += Result.Written;
   // A plan-induced short write leaves a retryable remainder, like a
-  // partially accepted write(2).
+  // partially accepted write(2) — unless the tear boundary cut it, in
+  // which case the remainder is gone for good (connection torn).
   if (Result.Written == Accept && Accept < Size)
-    Result.Transient = true;
+    Result.Transient = !AtTear;
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Resumable collector stream protocol
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void putU64Le(uint8_t *Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out[I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+uint64_t getU64Le(const uint8_t *In) {
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(In[I]) << (8 * I);
+  return V;
+}
+
+uint64_t steadyNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int connectUnixFd(const std::string &Path) {
+  if (Path.empty() || Path.size() >= sizeof(sockaddr_un{}.sun_path))
+    return -1;
+  int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (S < 0)
+    return -1;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(S);
+    return -1;
+  }
+  return S;
+}
+
+} // namespace
+
+bool literace::isStreamHello(const uint8_t *First4) {
+  return std::memcmp(First4, "LRH1", 4) == 0;
+}
+
+void literace::encodeStreamHello(uint64_t RunIdHi, uint64_t RunIdLo,
+                                 uint8_t *Out) {
+  std::memcpy(Out, "LRH1", 4);
+  putU64Le(Out + 4, RunIdHi);
+  putU64Le(Out + 12, RunIdLo);
+}
+
+bool literace::decodeStreamHello(const uint8_t *Buf, uint64_t &RunIdHi,
+                                 uint64_t &RunIdLo) {
+  if (std::memcmp(Buf, "LRH1", 4) != 0)
+    return false;
+  RunIdHi = getU64Le(Buf + 4);
+  RunIdLo = getU64Le(Buf + 12);
+  return true;
+}
+
+void literace::encodeStreamAck(uint64_t Received, uint8_t *Out) {
+  std::memcpy(Out, "LRA1", 4);
+  putU64Le(Out + 4, Received);
+}
+
+bool literace::decodeStreamAck(const uint8_t *Buf, uint64_t &Received) {
+  if (std::memcmp(Buf, "LRA1", 4) != 0)
+    return false;
+  Received = getU64Le(Buf + 4);
+  return true;
+}
+
+void literace::encodeStreamResume(uint64_t Offset, uint8_t *Out) {
+  std::memcpy(Out, "LRR1", 4);
+  putU64Le(Out + 4, Offset);
+}
+
+bool literace::decodeStreamResume(const uint8_t *Buf, uint64_t &Offset) {
+  if (std::memcmp(Buf, "LRR1", 4) != 0)
+    return false;
+  Offset = getU64Le(Buf + 4);
+  return true;
+}
+
+bool literace::sendAllDeadline(int Fd, const void *Data, size_t Size,
+                               int DeadlineMs) {
+  const uint8_t *Bytes = static_cast<const uint8_t *>(Data);
+  const uint64_t Start = steadyNowMs();
+  size_t Off = 0;
+  while (Off < Size) {
+    const uint64_t Elapsed = steadyNowMs() - Start;
+    if (Elapsed >= static_cast<uint64_t>(DeadlineMs))
+      return false;
+    pollfd P{Fd, POLLOUT, 0};
+    const int R =
+        ::poll(&P, 1, static_cast<int>(DeadlineMs - Elapsed));
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R <= 0 || (P.revents & (POLLERR | POLLHUP | POLLNVAL)))
+      return false;
+    const ssize_t N = ::send(Fd, Bytes + Off, Size - Off,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EINTR || errno == EAGAIN))
+      continue;
+    return false;
+  }
+  return true;
+}
+
+bool literace::recvAllDeadline(int Fd, void *Data, size_t Size,
+                               int DeadlineMs) {
+  uint8_t *Bytes = static_cast<uint8_t *>(Data);
+  const uint64_t Start = steadyNowMs();
+  size_t Off = 0;
+  while (Off < Size) {
+    const uint64_t Elapsed = steadyNowMs() - Start;
+    if (Elapsed >= static_cast<uint64_t>(DeadlineMs))
+      return false;
+    pollfd P{Fd, POLLIN, 0};
+    const int R =
+        ::poll(&P, 1, static_cast<int>(DeadlineMs - Elapsed));
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R <= 0)
+      return false;
+    const ssize_t N = ::recv(Fd, Bytes + Off, Size - Off, MSG_DONTWAIT);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EINTR || errno == EAGAIN))
+      continue;
+    return false; // EOF or hard error
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// SpoolingSocketOutput
+//===----------------------------------------------------------------------===//
+
+SpoolingSocketOutput::SpoolingSocketOutput(Options OptsIn)
+    : Opts(std::move(OptsIn)), Jitter(Opts.JitterSeed) {
+  if (!Opts.NowMs)
+    Opts.NowMs = steadyNowMs;
+  if (!Opts.SleepMs)
+    Opts.SleepMs = [](uint64_t Ms) { ::usleep(Ms * 1000); };
+  if (Opts.RunIdHi == 0 && Opts.RunIdLo == 0) {
+    SplitMix64 R(Opts.JitterSeed ^
+                 (static_cast<uint64_t>(::getpid()) << 32) ^ steadyNowMs());
+    Opts.RunIdHi = R.next();
+    Opts.RunIdLo = R.next();
+  }
+  SpoolFd = ::open(Opts.SpoolPath.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (SpoolFd < 0) {
+    SpoolDead = true;
+    ++SpoolErrors;
+  } else {
+    pump(); // first connection attempt, so the session exists from byte 0
+  }
+}
+
+SpoolingSocketOutput::~SpoolingSocketOutput() { close(); }
+
+bool SpoolingSocketOutput::spoolAppend(const uint8_t *Data, size_t Size) {
+  size_t Off = 0;
+  while (Off < Size) {
+    const ssize_t N =
+        ::pwrite(SpoolFd, Data + Off, Size - Off,
+                 static_cast<off_t>(Written - SpoolStart + Off));
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+void SpoolingSocketOutput::spoolFailed() {
+  // The spool is the durability story; without it the secondary cannot
+  // keep its exactly-once resume accounting, so give up on delivery and
+  // account every unsent byte as lost (the tee stays alive regardless).
+  ++SpoolErrors;
+  SpoolDead = true;
+  Gap += Written - Sent;
+  Sent = Written;
+  SpoolStart = Written;
+  dropConnection();
+}
+
+void SpoolingSocketOutput::compactSpool() {
+  // Slide the unacked tail to the front of the file so a long healthy
+  // run keeps the spool near the unacked working set, not the full
+  // stream.
+  uint8_t Buf[1 << 16];
+  uint64_t From = Acked - SpoolStart;
+  const uint64_t End = Written - SpoolStart;
+  uint64_t To = 0;
+  while (From < End) {
+    const ssize_t Got =
+        ::pread(SpoolFd, Buf, std::min<uint64_t>(sizeof(Buf), End - From),
+                static_cast<off_t>(From));
+    if (Got <= 0) {
+      spoolFailed();
+      return;
+    }
+    if (::pwrite(SpoolFd, Buf, static_cast<size_t>(Got),
+                 static_cast<off_t>(To)) != Got) {
+      spoolFailed();
+      return;
+    }
+    From += static_cast<uint64_t>(Got);
+    To += static_cast<uint64_t>(Got);
+  }
+  if (::ftruncate(SpoolFd, static_cast<off_t>(To)) != 0) {
+    spoolFailed();
+    return;
+  }
+  SpoolStart = Acked;
+}
+
+void SpoolingSocketOutput::scheduleRetry() {
+  ++ConsecFails;
+  uint64_t Delay = Opts.BackoffInitialMs
+                   << std::min<unsigned>(ConsecFails - 1, 16);
+  if (Delay > Opts.BackoffMaxMs)
+    Delay = Opts.BackoffMaxMs;
+  // Jitter into [Delay/2, Delay] so a fleet of clients does not stampede
+  // a restarting daemon in lockstep.
+  const uint64_t Low = Delay / 2;
+  Delay = Low + Jitter.nextBelow(Delay - Low + 1);
+  NextAttemptMs = Opts.NowMs() + Delay;
+}
+
+void SpoolingSocketOutput::dropConnection() {
+  Faulty.reset();
+  Wire = nullptr;
+  Sock.reset(); // closes the fd
+  Fd = -1;
+  AckFill = 0;
+}
+
+bool SpoolingSocketOutput::maybeConnect() {
+  if (SpoolDead || Opts.NowMs() < NextAttemptMs)
+    return false;
+  const int NewFd =
+      Opts.ConnectFd ? Opts.ConnectFd() : connectUnixFd(Opts.SocketPath);
+  if (NewFd < 0) {
+    scheduleRetry();
+    return false;
+  }
+  const int Deadline = static_cast<int>(Opts.HandshakeTimeoutMs);
+  uint8_t Hello[StreamHelloSize];
+  encodeStreamHello(Opts.RunIdHi, Opts.RunIdLo, Hello);
+  uint8_t Ack[StreamAckSize];
+  uint64_t R = 0;
+  if (!sendAllDeadline(NewFd, Hello, sizeof(Hello), Deadline) ||
+      !recvAllDeadline(NewFd, Ack, sizeof(Ack), Deadline) ||
+      !decodeStreamAck(Ack, R)) {
+    ::close(NewFd);
+    scheduleRetry();
+    return false;
+  }
+  if (R > Written)
+    R = Written; // never trust an ack beyond our own accounting
+  uint64_t Resume = std::max(R, SpoolStart);
+  uint8_t ResumeFrame[StreamResumeSize];
+  encodeStreamResume(Resume, ResumeFrame);
+  if (!sendAllDeadline(NewFd, ResumeFrame, sizeof(ResumeFrame), Deadline)) {
+    ::close(NewFd);
+    scheduleRetry();
+    return false;
+  }
+  // Handshake complete: only now realize the accounting, so a failed
+  // attempt never double-counts a gap.
+  if (R > Acked)
+    Acked = R;
+  if (Resume > R)
+    Gap += Resume - R; // the spool cap already shed these bytes
+  Fd = NewFd;
+  Sock = std::make_unique<SocketByteOutput>(NewFd);
+  Wire = Sock.get();
+  if (!Opts.SendFaults.empty()) {
+    const size_t I =
+        std::min<size_t>(static_cast<size_t>(Connects),
+                         Opts.SendFaults.size() - 1);
+    Faulty = std::make_unique<FaultySink>(*Sock, Opts.SendFaults[I]);
+    Wire = Faulty.get();
+  }
+  ++Connects;
+  ConsecFails = 0;
+  NextAttemptMs = 0;
+  AckFill = 0;
+  Sent = Resume;
+  ReplayHigh = Written; // backlog below here counts as replayed
+  return true;
+}
+
+void SpoolingSocketOutput::drainAcks() {
+  while (Fd >= 0) {
+    const ssize_t N = ::recv(Fd, AckBuf + AckFill, sizeof(AckBuf) - AckFill,
+                             MSG_DONTWAIT);
+    if (N <= 0)
+      break; // empty, or peer death that the next send will surface
+    AckFill += static_cast<size_t>(N);
+    if (AckFill == sizeof(AckBuf)) {
+      uint64_t R = 0;
+      if (decodeStreamAck(AckBuf, R)) {
+        if (R > Acked && R <= Written)
+          Acked = R;
+        AckFill = 0;
+      } else {
+        // Torn/unknown frame: slide one byte and rescan for the magic.
+        std::memmove(AckBuf, AckBuf + 1, sizeof(AckBuf) - 1);
+        AckFill = sizeof(AckBuf) - 1;
+      }
+    }
+  }
+  if (!SpoolDead && Acked > SpoolStart &&
+      Acked - SpoolStart >=
+          std::max<uint64_t>(Opts.SpoolCapBytes / 2, 1 << 20))
+    compactSpool();
+}
+
+void SpoolingSocketOutput::pump() {
+  if (Closed || SpoolDead)
+    return;
+  if (Fd < 0 && !maybeConnect())
+    return;
+  drainAcks();
+  unsigned Stalls = 0;
+  uint8_t Buf[1 << 16];
+  while (Fd >= 0 && Sent < Written) {
+    const size_t Want =
+        static_cast<size_t>(std::min<uint64_t>(sizeof(Buf), Written - Sent));
+    const ssize_t Got = ::pread(SpoolFd, Buf, Want,
+                                static_cast<off_t>(Sent - SpoolStart));
+    if (Got <= 0) {
+      spoolFailed();
+      return;
+    }
+    const WriteResult W = Wire->write(Buf, static_cast<size_t>(Got));
+    if (Sent < ReplayHigh)
+      Replayed += std::min<uint64_t>(W.Written, ReplayHigh - Sent);
+    Sent += W.Written;
+    if (W.complete(static_cast<size_t>(Got)))
+      continue;
+    if (W.Transient) {
+      if (W.Written == 0 && ++Stalls > 2)
+        return; // briefly busy daemon: retry on the next write/flush
+      continue;
+    }
+    // Hard failure: the connection tore. The spool keeps the tail; back
+    // off and resume at the next handshake.
+    dropConnection();
+    scheduleRetry();
+    return;
+  }
+}
+
+WriteResult SpoolingSocketOutput::write(const void *Data, size_t Size) {
+  if (Closed)
+    return WriteResult{};
+  if (Size == 0)
+    return WriteResult{0, false};
+  const uint8_t *Bytes = static_cast<const uint8_t *>(Data);
+  if (SpoolDead) {
+    // Degraded: no durable resume accounting is possible, so the
+    // secondary admits the loss instead of guessing at offsets.
+    Written += Size;
+    Gap += Size;
+    Sent = Written;
+    SpoolStart = Written;
+    return WriteResult{Size, false};
+  }
+  const uint64_t Retained = Written - std::max(Acked, SpoolStart);
+  if (Retained > 0 && Retained + Size > Opts.SpoolCapBytes) {
+    // Cap hit: shed the whole unacked extent. If the live cursor was
+    // inside it, tear the connection so the gap is declared through the
+    // handshake RESUME rather than silently skipped mid-stream.
+    ++CapHits;
+    Trimmed += Retained;
+    const bool HoleUnderCursor = Fd >= 0 && Sent < Written;
+    if (::ftruncate(SpoolFd, 0) != 0) {
+      spoolFailed();
+      Written += Size;
+      Gap += Size;
+      Sent = Written;
+      SpoolStart = Written;
+      return WriteResult{Size, false};
+    }
+    SpoolStart = Written;
+    if (HoleUnderCursor) {
+      dropConnection();
+      scheduleRetry();
+    }
+  }
+  if (!spoolAppend(Bytes, Size)) {
+    spoolFailed();
+    Written += Size;
+    Gap += Size;
+    Sent = Written;
+    SpoolStart = Written;
+    return WriteResult{Size, false};
+  }
+  const bool Behind = Fd < 0 || Sent < Written;
+  Written += Size;
+  if (Behind)
+    Spooled += Size;
+  pump();
+  return WriteResult{Size, false};
+}
+
+bool SpoolingSocketOutput::flush() {
+  if (!Closed)
+    pump();
+  return true;
+}
+
+void SpoolingSocketOutput::close() {
+  if (Closed)
+    return;
+  // Final drain: keep reconnecting and replaying until the tail is out
+  // or the deadline expires; whatever remains is admitted as loss.
+  const uint64_t Deadline = Opts.NowMs() + Opts.DrainDeadlineMs;
+  while (!SpoolDead && Sent < Written) {
+    pump();
+    if (Sent >= Written || Opts.NowMs() >= Deadline)
+      break;
+    Opts.SleepMs(1);
+  }
+  Undelivered = Written - Sent;
+  dropConnection();
+  if (SpoolFd >= 0) {
+    ::close(SpoolFd);
+    SpoolFd = -1;
+  }
+  if (!Opts.SpoolPath.empty())
+    ::unlink(Opts.SpoolPath.c_str());
+  Closed = true;
 }

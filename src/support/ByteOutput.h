@@ -26,6 +26,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -70,6 +72,10 @@ class FileByteOutput : public ByteOutput {
 public:
   /// Opens \p Path for writing (created/truncated). Check ok().
   explicit FileByteOutput(const std::string &Path);
+  /// With \p Append, opens \p Path for appending without truncation —
+  /// the mode the collector's session journals resume in after a daemon
+  /// restart.
+  FileByteOutput(const std::string &Path, bool Append);
   ~FileByteOutput() override;
 
   WriteResult write(const void *Data, size_t Size) override;
@@ -136,6 +142,11 @@ struct FaultPlan {
   /// Hard failure: this call and every later one accept nothing and are
   /// not retryable. 0 disables.
   uint64_t FailAtWrite = 0;
+  /// Hard failure at an absolute stream offset: bytes up to the offset
+  /// are accepted, everything after is refused non-retryably — a torn
+  /// socket connection at byte N, independent of write batching.
+  /// 0 disables.
+  uint64_t FailAtByte = 0;
   /// Transient failure: calls [TransientAtWrite, TransientAtWrite +
   /// TransientCount) accept nothing but report Transient, then writes
   /// succeed again. 0 disables.
@@ -176,6 +187,177 @@ private:
   uint64_t NextFlipAt = 0;
   uint64_t BitsFlipped = 0;
   std::vector<uint8_t> Scratch;
+};
+
+//===----------------------------------------------------------------------===//
+// Resumable collector stream protocol (docs/ROBUSTNESS.md)
+//===----------------------------------------------------------------------===//
+//
+// On every (re)connect of a fault-tolerant client:
+//
+//   client ── HELLO "LRH1" + 16-byte run id ─────────────► daemon
+//   client ◄─ ACK   "LRA1" + u64 LE stream position ────── daemon
+//   client ── RESUME "LRR1" + u64 LE resume offset ──────► daemon
+//   client ── raw v2 segment bytes from the resume offset ► daemon
+//   client ◄─ unsolicited ACK frames as bytes are journaled daemon
+//
+// The daemon acks the stream position it has durably journaled for the
+// run id, so bytes survive both a torn connection *and* a daemon
+// restart; the client resumes at max(ack, spool start) and reports a
+// RESUME above the ack only when its spool cap already shed the gap.
+// Legacy clients never send HELLO — the first bytes of a v2 stream are
+// the file magic, which cannot collide with "LRH1" — and keep the plain
+// fire-and-forget path.
+
+/// Sizes of the fixed handshake frames.
+constexpr size_t StreamHelloSize = 20; ///< "LRH1" + 16-byte run id
+constexpr size_t StreamAckSize = 12;   ///< "LRA1" + u64 LE position
+constexpr size_t StreamResumeSize = 12; ///< "LRR1" + u64 LE offset
+
+/// True if \p First4 opens a HELLO frame (vs. a raw v2 stream).
+bool isStreamHello(const uint8_t *First4);
+/// Encodes a HELLO into \p Out (StreamHelloSize bytes).
+void encodeStreamHello(uint64_t RunIdHi, uint64_t RunIdLo, uint8_t *Out);
+/// Decodes the run id out of a full HELLO frame. False on bad magic.
+bool decodeStreamHello(const uint8_t *Buf, uint64_t &RunIdHi,
+                       uint64_t &RunIdLo);
+/// Encodes an ACK carrying stream position \p Received.
+void encodeStreamAck(uint64_t Received, uint8_t *Out);
+bool decodeStreamAck(const uint8_t *Buf, uint64_t &Received);
+/// Encodes a RESUME carrying the client's chosen resume offset.
+void encodeStreamResume(uint64_t Offset, uint8_t *Out);
+bool decodeStreamResume(const uint8_t *Buf, uint64_t &Offset);
+
+/// poll(2)-bounded full-buffer send on \p Fd; false once \p DeadlineMs
+/// elapses or the peer goes away. Never raises SIGPIPE.
+bool sendAllDeadline(int Fd, const void *Data, size_t Size, int DeadlineMs);
+/// poll(2)-bounded full-buffer recv on \p Fd; false on deadline or EOF.
+bool recvAllDeadline(int Fd, void *Data, size_t Size, int DeadlineMs);
+
+/// Fault-tolerant collector transport: the `--connect` secondary that
+/// never dies. Every byte written is appended to a bounded on-disk spool
+/// before (and independent of) the live send, so a torn connection, a
+/// slow daemon, or a daemon restart costs nothing until the spool cap is
+/// hit: the client reconnects with capped exponential backoff + jitter,
+/// learns from the handshake ack how far the daemon's journal got, and
+/// replays the spool from there before resuming live tee. write() always
+/// accepts (ok() stays true), so a TeeByteOutput above never degrades —
+/// loss is possible only when the cap forces a trim, and every shed byte
+/// is accounted (gapBytes / undeliveredBytes).
+///
+/// The clock, sleeper, and transport are injectable so the robustness
+/// tests drive reconnect schedules deterministically; send faults are
+/// injected per connection via FaultPlan (FailAtByte = torn connection
+/// at a seeded byte offset).
+class SpoolingSocketOutput : public ByteOutput {
+public:
+  struct Options {
+    /// AF_UNIX socket of the collector (used by the default connector).
+    std::string SocketPath;
+    /// On-disk spool file (required). Created/truncated; unlinked on
+    /// close.
+    std::string SpoolPath;
+    /// Retained-unacked spool budget. When exceeded the whole unacked
+    /// extent is trimmed (counted in trimmedBytes/capHits) and the
+    /// resulting stream gap is realized at the next handshake.
+    uint64_t SpoolCapBytes = 64ull << 20;
+    /// Reconnect backoff: first delay, cap, and jitter seed.
+    uint64_t BackoffInitialMs = 50;
+    uint64_t BackoffMaxMs = 2000;
+    uint64_t JitterSeed = 1;
+    /// Budget for each handshake round-trip.
+    uint64_t HandshakeTimeoutMs = 2000;
+    /// close() keeps reconnecting/draining this long before giving up
+    /// and counting the tail as undelivered.
+    uint64_t DrainDeadlineMs = 5000;
+    /// Run identity for resume; 0/0 derives one from pid + seed.
+    uint64_t RunIdHi = 0;
+    uint64_t RunIdLo = 0;
+    /// Injectable monotonic millisecond clock (tests use a fake).
+    std::function<uint64_t()> NowMs;
+    /// Injectable sleeper for the close() drain loop.
+    std::function<void(uint64_t)> SleepMs;
+    /// Injectable transport: returns a connected fd or -1. Default
+    /// connects to SocketPath.
+    std::function<int()> ConnectFd;
+    /// Per-connection fault plans: plan[i] decorates the i-th
+    /// connection's sends (the last plan repeats). Empty = no faults.
+    std::vector<FaultPlan> SendFaults;
+  };
+
+  explicit SpoolingSocketOutput(Options Opts);
+  ~SpoolingSocketOutput() override;
+
+  WriteResult write(const void *Data, size_t Size) override;
+  bool flush() override;
+  void close() override;
+  /// Always true until close(): a broken connection spools, it does not
+  /// fail the stream.
+  bool ok() const override { return !Closed; }
+
+  /// True while a handshaken connection is live.
+  bool connected() const { return Fd >= 0; }
+  /// Successful connections beyond the first.
+  uint64_t reconnects() const { return Connects ? Connects - 1 : 0; }
+  /// Bytes appended to the spool while the live send was broken/behind.
+  uint64_t spooledBytes() const { return Spooled; }
+  /// Backlog bytes replayed from the spool after (re)connects.
+  uint64_t replayedBytes() const { return Replayed; }
+  /// Times the cap forced a trim, and the bytes those trims shed.
+  uint64_t capHits() const { return CapHits; }
+  uint64_t trimmedBytes() const { return Trimmed; }
+  /// Stream bytes the daemon asked for that the spool no longer held.
+  uint64_t gapBytes() const { return Gap; }
+  /// Bytes never handed to a live connection (valid after close()).
+  uint64_t undeliveredBytes() const { return Undelivered; }
+  /// Unrecovered loss this transport admits to: trimmed-away gaps plus
+  /// the undrained tail at close.
+  uint64_t bytesLost() const { return Gap + Undelivered; }
+  /// Spool append failures (disk full); the stream degrades to
+  /// live-send-only.
+  uint64_t spoolErrors() const { return SpoolErrors; }
+  uint64_t runIdHi() const { return Opts.RunIdHi; }
+  uint64_t runIdLo() const { return Opts.RunIdLo; }
+
+private:
+  bool spoolAppend(const uint8_t *Data, size_t Size);
+  void spoolFailed();
+  void compactSpool();
+  bool maybeConnect();
+  void scheduleRetry();
+  void dropConnection();
+  void drainAcks();
+  void pump();
+
+  Options Opts;
+  SplitMix64 Jitter;
+  int SpoolFd = -1;
+  int Fd = -1;
+  std::unique_ptr<SocketByteOutput> Sock;
+  std::unique_ptr<FaultySink> Faulty;
+  ByteOutput *Wire = nullptr;
+
+  uint64_t Written = 0;    ///< stream bytes accepted from the writer
+  uint64_t SpoolStart = 0; ///< stream offset of spool file byte 0
+  uint64_t Acked = 0;      ///< daemon-journaled stream position
+  uint64_t Sent = 0;       ///< next stream offset to send when live
+  uint64_t ReplayHigh = 0; ///< sends below this count as replayed
+  bool SpoolDead = false;
+  bool Closed = false;
+
+  uint64_t Connects = 0;
+  unsigned ConsecFails = 0;
+  uint64_t NextAttemptMs = 0;
+  uint8_t AckBuf[StreamAckSize];
+  size_t AckFill = 0;
+
+  uint64_t Spooled = 0;
+  uint64_t Replayed = 0;
+  uint64_t CapHits = 0;
+  uint64_t Trimmed = 0;
+  uint64_t Gap = 0;
+  uint64_t Undelivered = 0;
+  uint64_t SpoolErrors = 0;
 };
 
 } // namespace literace

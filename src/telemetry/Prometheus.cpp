@@ -34,7 +34,102 @@ void appendU64(std::string &Out, uint64_t V) {
   Out += Buf;
 }
 
+/// Curated HELP catalog. An operator staring at a dashboard during an
+/// incident should not have to read source to learn what a counter
+/// means, so the durability plane (sink.tee.*, collector.journal.*,
+/// collector.spill.*, checkpoints, gaps) gets precise one-liners;
+/// accounting identities are stated where they exist. Keep entries
+/// sorted by name within each plane.
+struct HelpEntry {
+  std::string_view Name;
+  const char *Help;
+};
+
+constexpr HelpEntry HelpCatalog[] = {
+    // Client spool-and-reconnect transport (SpoolingSocketOutput).
+    {"sink.tee.cap_hits",
+     "Times the client spool hit its byte cap and shed oldest bytes."},
+    {"sink.tee.gap_bytes",
+     "Bytes declared lost to the daemon via the resume handshake after "
+     "spool-cap trims; gap + undelivered = lost."},
+    {"sink.tee.lost_bytes",
+     "Bytes the client could not deliver: realized gaps plus bytes still "
+     "undelivered at close."},
+    {"sink.tee.reconnects",
+     "Socket reconnect attempts that completed a resume handshake."},
+    {"sink.tee.replayed_bytes",
+     "Spooled bytes re-sent after a reconnect, from the daemon's acked "
+     "position."},
+    {"sink.tee.spool_errors",
+     "Client spool file I/O failures (writes continue, durability "
+     "degrades)."},
+    {"sink.tee.spooled_bytes",
+     "Bytes appended to the client's on-disk spool while the collector "
+     "was unreachable."},
+    {"sink.tee.trimmed_bytes",
+     "Bytes evicted from the client spool at its cap; they become "
+     "gap_bytes at the next resume handshake."},
+    {"sink.tee.undelivered_bytes",
+     "Bytes neither acked nor declared as a gap when the sink closed."},
+    // Daemon ingest, journaling, checkpointing, recovery.
+    {"collector.bytes.ingested", "Stream bytes accepted from clients."},
+    {"collector.checkpoint.errors",
+     "Triage checkpoint commits that failed (recovery falls back to "
+     "journal replay)."},
+    {"collector.checkpoints.written",
+     "Triage checkpoints committed to the spool directory."},
+    {"collector.events.ingested",
+     "Events decoded from client streams and forwarded to triage."},
+    {"collector.http.io_timeouts",
+     "Status/metrics connections cut off by the per-connection I/O "
+     "deadline."},
+    {"collector.http.requests", "HTTP status/metrics requests served."},
+    {"collector.ingest.gap_bytes",
+     "Bytes clients declared shed at their spool cap; equals the sum of "
+     "resume offsets past the acked positions."},
+    {"collector.journal.bytes",
+     "Bytes appended to per-session write-ahead journals."},
+    {"collector.journal.errors",
+     "Journal append failures (the session keeps ingesting, replay "
+     "coverage shrinks)."},
+    {"collector.races.distinct", "Distinct races after triage dedup."},
+    {"collector.races.sightings",
+     "Race sightings reported by detectors before dedup."},
+    {"collector.segments.dropped",
+     "Damage episodes in client streams (corrupt regions and declared "
+     "gaps; one resync each)."},
+    {"collector.segments.recovered",
+     "Segment frames decoded intact from client streams."},
+    {"collector.sessions.accepted", "Client connections accepted."},
+    {"collector.sessions.clean",
+     "Sessions that ended with a decoded v2 footer."},
+    {"collector.sessions.completed", "Sessions that reached end of "
+                                     "stream."},
+    {"collector.sessions.detached",
+     "Sessions whose connection dropped with resumable state retained."},
+    {"collector.sessions.idle_timeout",
+     "Detached sessions reaped after the idle timeout."},
+    {"collector.sessions.recovered",
+     "Sessions rebuilt from journals after a daemon restart."},
+    {"collector.sessions.resumed",
+     "Reconnects that resumed a detached session via the handshake."},
+    // Overload spill.
+    {"collector.spill.events",
+     "Events diverted to the journal while the triage queue was "
+     "saturated (status reports degraded)."},
+    {"collector.spill.replayed_events",
+     "Spilled events replayed through triage once pressure eased."},
+    {"collector.spill.sessions", "Sessions that entered spill mode."},
+};
+
 } // namespace
+
+const char *literace::telemetry::metricHelp(std::string_view Name) {
+  for (const HelpEntry &E : HelpCatalog)
+    if (E.Name == Name)
+      return E.Help;
+  return nullptr;
+}
 
 std::string literace::telemetry::prometheusName(std::string_view Name) {
   std::string Out;
@@ -72,7 +167,8 @@ std::string literace::telemetry::toPrometheusText(const MetricsSnapshot &Snap,
 
   for (const auto &[Name, Value] : Snap.Counters) {
     const std::string Fam = P + prometheusName(Name) + "_total";
-    Family(Fam, "counter", "literace counter.");
+    const char *Help = metricHelp(Name);
+    Family(Fam, "counter", Help ? Help : "literace counter.");
     Out += Fam + " ";
     appendU64(Out, Value);
     Out += "\n";
@@ -80,7 +176,9 @@ std::string literace::telemetry::toPrometheusText(const MetricsSnapshot &Snap,
 
   for (const auto &[Name, Value] : Snap.Gauges) {
     const std::string Fam = P + prometheusName(Name);
-    Family(Fam, "gauge", "literace max-gauge (high-water mark).");
+    const char *Help = metricHelp(Name);
+    Family(Fam, "gauge",
+           Help ? Help : "literace max-gauge (high-water mark).");
     Out += Fam + " ";
     appendU64(Out, Value);
     Out += "\n";

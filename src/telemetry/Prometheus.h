@@ -36,6 +36,13 @@ struct MetricsSnapshot;
 /// [a-zA-Z_:][a-zA-Z0-9_:]*; every other character becomes '_'.
 std::string prometheusName(std::string_view Name);
 
+/// Returns the curated HELP text for a known metric \p Name (the raw
+/// registry name, before prometheusName sanitization), or nullptr when
+/// the metric has no catalog entry. toPrometheusText falls back to a
+/// generic per-kind help line for uncataloged metrics, so new counters
+/// never break the exposition — they just scrape with less context.
+const char *metricHelp(std::string_view Name);
+
 /// Renders \p Snap in Prometheus text-exposition format. \p Prefix is
 /// prepended to every family name ("literace" by default). When the
 /// snapshot carries capture metadata (CaptureUnixMillis / EmitterPid),

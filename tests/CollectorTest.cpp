@@ -181,6 +181,33 @@ TEST(PrometheusTest, RendersAndValidatesARegistrySnapshot) {
   EXPECT_NE(Text.find("pid=\"4242\""), std::string::npos);
 }
 
+TEST(PrometheusTest, CuratedHelpRidesTheExpositionAndUnknownsFallBack) {
+  // Durability-plane metrics carry their catalog one-liners so a
+  // dashboard explains itself; everything else keeps the generic help.
+  ASSERT_NE(telemetry::metricHelp("sink.tee.gap_bytes"), nullptr);
+  ASSERT_NE(telemetry::metricHelp("collector.ingest.gap_bytes"), nullptr);
+  EXPECT_EQ(telemetry::metricHelp("no.such.metric"), nullptr);
+
+  telemetry::MetricsRegistry Registry;
+  auto Gap = Registry.counter("collector.ingest.gap_bytes");
+  auto Odd = Registry.counter("experimental.oddball");
+  auto &Slab = Registry.threadSlab();
+  Slab.add(Gap, 7);
+  Slab.add(Odd, 1);
+  const std::string Text =
+      telemetry::toPrometheusText(Registry.snapshot());
+  std::string Error;
+  EXPECT_TRUE(telemetry::validatePrometheusText(Text, &Error)) << Error;
+  const std::string WantHelp =
+      std::string("# HELP literace_collector_ingest_gap_bytes_total ") +
+      telemetry::metricHelp("collector.ingest.gap_bytes");
+  EXPECT_NE(Text.find(WantHelp), std::string::npos) << Text;
+  EXPECT_NE(Text.find("# HELP literace_experimental_oddball_total "
+                      "literace counter."),
+            std::string::npos)
+      << Text;
+}
+
 TEST(PrometheusTest, NameSanitizationFollowsTheGrammar) {
   EXPECT_EQ(telemetry::prometheusName("detector.shard0.memory_events"),
             "detector_shard0_memory_events");

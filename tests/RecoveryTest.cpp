@@ -1,0 +1,854 @@
+//===-- tests/RecoveryTest.cpp - Collection-plane fault tolerance -----------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+// Crash-only collection plane (docs/ROBUSTNESS.md): the client-side
+// spool-and-reconnect transport (SpoolingSocketOutput), the daemon-side
+// write-ahead journals and triage checkpoints, and the recovery proof —
+// a daemon killed at a seeded byte offset and restarted must end up
+// reporting exactly what an uninterrupted batch run over the same bytes
+// would. Everything runs on synthetic LogBuilder traces over real
+// AF_UNIX sockets; no instrumented workload threads, so the suite is
+// TSan-clean.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collector/Checkpoint.h"
+#include "collector/Collector.h"
+#include "telemetry/Metrics.h"
+#include "detector/HBDetector.h"
+#include "detector/LogBuilder.h"
+#include "detector/Replay.h"
+#include "runtime/EventLog.h"
+#include "support/ByteOutput.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <gtest/gtest.h>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace literace;
+using namespace literace::collector;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return std::string(::testing::TempDir()) + Name;
+}
+
+/// Fresh spool directory for one test (cleared of leftovers).
+std::string tempSpoolDir(const std::string &Name) {
+  const std::string Dir = tempPath(Name.c_str());
+  ::mkdir(Dir.c_str(), 0755);
+  for (const std::string &J : listJournalFiles(Dir))
+    std::remove((Dir + "/" + J).c_str());
+  std::remove((Dir + "/" + checkpointFileName()).c_str());
+  return Dir;
+}
+
+/// On test failure, copies the spool directory (journals + triage
+/// checkpoint) into $LITERACE_COLLECTOR_ARTIFACT_DIR so CI ships the
+/// exact on-disk state a restarted daemon would have salvaged, instead
+/// of a bare assertion. No-op when the test passes or the env is unset.
+class SpoolArtifactGuard {
+public:
+  explicit SpoolArtifactGuard(std::string Dir) : Dir(std::move(Dir)) {}
+  ~SpoolArtifactGuard() {
+    const char *Out = std::getenv("LITERACE_COLLECTOR_ARTIFACT_DIR");
+    if (!Out || !::testing::Test::HasFailure())
+      return;
+    const ::testing::TestInfo *Info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string Dest = std::string(Out) + "/" +
+                       (Info ? Info->name() : "recovery") + "-spool";
+    std::string Cmd = "mkdir -p '" + Dest + "' && cp -r '" + Dir +
+                      "'/. '" + Dest + "'";
+    if (std::system(Cmd.c_str()) != 0)
+      std::fprintf(stderr, "warning: failed to save spool artifact %s\n",
+                   Dest.c_str());
+  }
+
+private:
+  std::string Dir;
+};
+
+/// Writes \p T through a SegmentedFileSink in round-robin chunks of
+/// \p ChunkSize so the file holds many small frames.
+void writeSegmented(const Trace &T, const std::string &Path,
+                    size_t ChunkSize) {
+  SegmentedFileSink::Options Opts;
+  SegmentedFileSink Sink(Path, T.NumTimestampCounters, Opts);
+  ASSERT_TRUE(Sink.ok());
+  std::vector<size_t> Pos(T.PerThread.size(), 0);
+  bool More = true;
+  while (More) {
+    More = false;
+    for (size_t Tid = 0; Tid < T.PerThread.size(); ++Tid) {
+      size_t Left = T.PerThread[Tid].size() - Pos[Tid];
+      if (Left == 0)
+        continue;
+      size_t N = std::min(ChunkSize, Left);
+      Sink.writeChunk(static_cast<ThreadId>(Tid),
+                      T.PerThread[Tid].data() + Pos[Tid], N);
+      Pos[Tid] += N;
+      More = true;
+    }
+  }
+  EXPECT_TRUE(Sink.close());
+}
+
+std::vector<uint8_t> readFileBytes(const std::string &Path) {
+  std::vector<uint8_t> Bytes;
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return Bytes;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) != 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  std::fclose(File);
+  return Bytes;
+}
+
+/// Two threads racing on fresh addresses every round, no sync edges:
+/// exactly two static races — (fn3:9, fn4:11) write/write and
+/// (fn3:10, fn4:12) read/write — each with \p Rounds dynamic sightings.
+/// Rounds scales the byte size so kill offsets land mid-stream.
+Trace racyTrace(unsigned Rounds) {
+  LogBuilder B(16);
+  B.onThread(0).threadStart();
+  B.onThread(1).threadStart();
+  for (unsigned I = 0; I < Rounds; ++I) {
+    // Two disjoint address families, one fresh address per round each.
+    B.onThread(0)
+        .write(0x100000 + 16ull * I, makePc(3, 9))
+        .read(0x900000 + 16ull * I, makePc(3, 10));
+    B.onThread(1)
+        .write(0x100000 + 16ull * I, makePc(4, 11))
+        .write(0x900000 + 16ull * I, makePc(4, 12));
+  }
+  B.onThread(0).threadEnd();
+  B.onThread(1).threadEnd();
+  return B.build();
+}
+
+/// Serial ground truth: replays \p T through one HBDetector.
+RaceReport detectOffline(const Trace &T) {
+  RaceReport Report;
+  HBDetector Detector(Report);
+  ReplayScheduler Scheduler(T.NumTimestampCounters);
+  for (size_t Tid = 0; Tid < T.PerThread.size(); ++Tid)
+    Scheduler.addEvents(static_cast<ThreadId>(Tid), T.PerThread[Tid].data(),
+                        T.PerThread[Tid].size());
+  Scheduler.drain(Detector);
+  return Report;
+}
+
+/// The server's triaged set must equal the offline report — same races,
+/// same dynamic counts.
+void expectMatchesOffline(const CollectorServer &Server,
+                          const RaceReport &Offline) {
+  const std::vector<StaticRace> Expected = Offline.staticRaces();
+  const std::vector<TriagedRace> Live = Server.triage().races();
+  ASSERT_EQ(Live.size(), Expected.size());
+  for (size_t I = 0; I < Expected.size(); ++I) {
+    EXPECT_EQ(Live[I].Key, Expected[I].Key);
+    EXPECT_EQ(Live[I].DynamicCount, Expected[I].DynamicCount)
+        << "count drift on race " << I;
+    EXPECT_EQ(Live[I].SawWriteWrite, Expected[I].SawWriteWrite);
+  }
+}
+
+/// An in-memory ByteOutput recording everything it accepts.
+class CaptureOutput : public ByteOutput {
+public:
+  WriteResult write(const void *Data, size_t Size) override {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    Bytes.insert(Bytes.end(), P, P + Size);
+    return {Size, false};
+  }
+  void close() override {}
+  bool ok() const override { return true; }
+
+  std::vector<uint8_t> Bytes;
+};
+
+//===----------------------------------------------------------------------===//
+// Fault-plan surface: torn connections at a byte offset
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPlanTest, FailAtByteTearsTheStreamAtTheExactOffset) {
+  CaptureOutput Under;
+  FaultPlan Plan;
+  Plan.FailAtByte = 100;
+  FaultySink Sink(Under, Plan);
+
+  uint8_t Buf[64];
+  std::memset(Buf, 0xAB, sizeof(Buf));
+  WriteResult R = Sink.write(Buf, 64); // [0, 64): all accepted
+  EXPECT_EQ(R.Written, 64u);
+  R = Sink.write(Buf, 64); // [64, 128): only up to byte 100 goes through
+  EXPECT_EQ(R.Written, 36u);
+  EXPECT_FALSE(R.Transient) << "a torn connection is not retryable";
+  R = Sink.write(Buf, 64); // dead forever after
+  EXPECT_EQ(R.Written, 0u);
+  EXPECT_FALSE(R.Transient);
+  EXPECT_FALSE(Sink.ok());
+  EXPECT_EQ(Under.Bytes.size(), 100u);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint codec
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointTest, EncodeDecodeRoundTripsEveryField) {
+  CollectorCheckpoint C;
+  C.NextSessionId = 42;
+  C.Sightings = 1000;
+  C.SuppressedSightings = 7;
+  C.RateLimitedUpdates = 3;
+  TriageCheckpointEntry E;
+  E.R.Key = makeStaticRaceKey(makePc(3, 9), makePc(4, 11));
+  E.R.DynamicCount = 123;
+  E.R.ExampleAddr = 0x3000;
+  E.R.SawWriteWrite = true;
+  E.R.EmittedUpdates = 5;
+  E.R.RateLimitedUpdates = 2;
+  E.Tokens = 3.25;
+  E.SessionIds = {1, 4, 9};
+  C.Races.push_back(E);
+  C.SuppressionHits.emplace_back("benign-counter", 17);
+  CheckpointSessionEntry S;
+  S.Id = 4;
+  S.RunIdHi = 0xdeadbeefcafef00dull;
+  S.RunIdLo = 0x0123456789abcdefull;
+  S.Resumable = true;
+  S.LogicalPos = 9000;
+  S.JournalBytes = 8500;
+  S.Published.emplace_back(makeStaticRaceKey(makePc(3, 9), makePc(4, 11)),
+                           60);
+  C.Sessions.push_back(S);
+
+  CollectorCheckpoint D;
+  std::string Error;
+  ASSERT_TRUE(decodeCheckpoint(encodeCheckpoint(C), D, &Error)) << Error;
+  EXPECT_EQ(D.NextSessionId, 42u);
+  EXPECT_EQ(D.Sightings, 1000u);
+  EXPECT_EQ(D.SuppressedSightings, 7u);
+  EXPECT_EQ(D.RateLimitedUpdates, 3u);
+  ASSERT_EQ(D.Races.size(), 1u);
+  EXPECT_EQ(D.Races[0].R.Key, E.R.Key);
+  EXPECT_EQ(D.Races[0].R.DynamicCount, 123u);
+  EXPECT_TRUE(D.Races[0].R.SawWriteWrite);
+  EXPECT_EQ(D.Races[0].R.EmittedUpdates, 5u);
+  EXPECT_EQ(D.Races[0].R.RateLimitedUpdates, 2u);
+  EXPECT_DOUBLE_EQ(D.Races[0].Tokens, 3.25);
+  EXPECT_EQ(D.Races[0].SessionIds, E.SessionIds);
+  ASSERT_EQ(D.SuppressionHits.size(), 1u);
+  EXPECT_EQ(D.SuppressionHits[0].first, "benign-counter");
+  EXPECT_EQ(D.SuppressionHits[0].second, 17u);
+  ASSERT_EQ(D.Sessions.size(), 1u);
+  EXPECT_EQ(D.Sessions[0].Id, 4u);
+  EXPECT_EQ(D.Sessions[0].RunIdHi, S.RunIdHi);
+  EXPECT_EQ(D.Sessions[0].RunIdLo, S.RunIdLo);
+  EXPECT_TRUE(D.Sessions[0].Resumable);
+  EXPECT_EQ(D.Sessions[0].LogicalPos, 9000u);
+  EXPECT_EQ(D.Sessions[0].JournalBytes, 8500u);
+  ASSERT_EQ(D.Sessions[0].Published.size(), 1u);
+  EXPECT_EQ(D.Sessions[0].Published[0].first, E.R.Key);
+  EXPECT_EQ(D.Sessions[0].Published[0].second, 60u);
+}
+
+TEST(CheckpointTest, DecodeRejectsGarbageAndWrongSchema) {
+  CollectorCheckpoint C;
+  EXPECT_FALSE(decodeCheckpoint("not json", C));
+  EXPECT_FALSE(decodeCheckpoint("{\"schema\": \"other.v1\"}", C));
+}
+
+TEST(CheckpointTest, JournalFileNameRoundTripsAndRejectsImpostors) {
+  const std::string Name =
+      journalFileName(7, 0x1111222233334444ull, 0x5555666677778888ull, true);
+  uint64_t Id = 0, Hi = 0, Lo = 0;
+  bool Resumable = false;
+  ASSERT_TRUE(parseJournalFileName(Name, Id, Hi, Lo, Resumable));
+  EXPECT_EQ(Id, 7u);
+  EXPECT_EQ(Hi, 0x1111222233334444ull);
+  EXPECT_EQ(Lo, 0x5555666677778888ull);
+  EXPECT_TRUE(Resumable);
+  EXPECT_FALSE(
+      parseJournalFileName("session-7.journal", Id, Hi, Lo, Resumable));
+  EXPECT_FALSE(parseJournalFileName("trace.bin", Id, Hi, Lo, Resumable));
+  EXPECT_FALSE(parseJournalFileName(Name + ".bak", Id, Hi, Lo, Resumable));
+}
+
+//===----------------------------------------------------------------------===//
+// Client transport: spool, reconnect, resume
+//===----------------------------------------------------------------------===//
+
+TEST(SpoolingClientTest, RidesThroughSeededTornConnectionsLosslessly) {
+  const std::string LogPath = tempPath("spool-torn.bin");
+  const std::string SocketPath = tempPath("spool-torn.sock");
+  const Trace T = racyTrace(2000);
+  writeSegmented(T, LogPath, 16);
+  const std::vector<uint8_t> Bytes = readFileBytes(LogPath);
+  ASSERT_GT(Bytes.size(), 40000u);
+  const RaceReport Offline = detectOffline(T);
+
+  CollectorConfig Config;
+  Config.IngestSocketPath = SocketPath;
+  Config.Triage.RatePerSec = 0;
+  Config.AckEveryBytes = 2048; // frequent acks keep the spool small
+  CollectorServer Server(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  // Tear the first three connections at seeded byte offsets (relative to
+  // each connection's own send stream); the fourth and later run clean.
+  // Every reconnect resumes from the daemon's acked durable position.
+  SpoolingSocketOutput::Options Opts;
+  Opts.SocketPath = SocketPath;
+  Opts.SpoolPath = tempPath("spool-torn.spool");
+  Opts.RunIdHi = 0x1001;
+  Opts.RunIdLo = 0x2002;
+  Opts.BackoffInitialMs = 1;
+  Opts.BackoffMaxMs = 5;
+  FaultPlan Tear;
+  Tear.FailAtByte = 10000;
+  Opts.SendFaults.push_back(Tear);
+  Tear.FailAtByte = 7777;
+  Opts.SendFaults.push_back(Tear);
+  Tear.FailAtByte = 3000;
+  Opts.SendFaults.push_back(Tear);
+  Opts.SendFaults.push_back(FaultPlan{}); // clean from here on
+  SpoolingSocketOutput Out(std::move(Opts));
+  size_t At = 0;
+  while (At < Bytes.size()) {
+    const size_t N = std::min<size_t>(1024, Bytes.size() - At);
+    WriteResult R = Out.write(Bytes.data() + At, N);
+    ASSERT_EQ(R.Written, N) << "the spooling transport always accepts";
+    ASSERT_TRUE(Out.ok());
+    At += N;
+  }
+  Out.close();
+  EXPECT_GE(Out.reconnects(), 3u);
+  EXPECT_GT(Out.spooledBytes(), 0u);
+  EXPECT_GT(Out.replayedBytes(), 0u);
+  EXPECT_EQ(Out.bytesLost(), 0u) << "no cap hit, so no loss";
+
+  Server.waitForSessions(1);
+  Server.stop();
+  EXPECT_EQ(Server.sessionsCompleted(), 1u);
+  const std::vector<SessionStatus> Sessions = Server.sessionStatuses();
+  ASSERT_EQ(Sessions.size(), 1u);
+  EXPECT_TRUE(Sessions[0].Clean)
+      << "the delivered stream must be byte-identical, footer included";
+  EXPECT_TRUE(Sessions[0].Resumable);
+  EXPECT_EQ(Sessions[0].Bytes, Bytes.size());
+  EXPECT_EQ(Sessions[0].SegmentsDropped, 0u);
+  expectMatchesOffline(Server, Offline);
+  std::remove(LogPath.c_str());
+}
+
+TEST(SpoolingClientTest, CapOverflowAccountsEveryShedByte) {
+  // No daemon at all: every byte spools, and a tiny cap forces trims.
+  SpoolingSocketOutput::Options Opts;
+  Opts.SocketPath = tempPath("spool-cap-nowhere.sock");
+  Opts.SpoolPath = tempPath("spool-cap.spool");
+  Opts.SpoolCapBytes = 4096;
+  Opts.BackoffInitialMs = 1;
+  Opts.BackoffMaxMs = 2;
+  Opts.DrainDeadlineMs = 10; // close() must not hang on a dead daemon
+  Opts.RunIdHi = 1;
+  Opts.RunIdLo = 2;
+  const uint64_t Cap = Opts.SpoolCapBytes;
+  SpoolingSocketOutput Out(std::move(Opts));
+
+  uint8_t Buf[512];
+  std::memset(Buf, 0x5A, sizeof(Buf));
+  const uint64_t Total = 64 * sizeof(Buf);
+  for (unsigned I = 0; I < 64; ++I) {
+    WriteResult R = Out.write(Buf, sizeof(Buf));
+    ASSERT_EQ(R.Written, sizeof(Buf)) << "cap pressure never fails write()";
+    ASSERT_TRUE(Out.ok());
+  }
+  Out.close();
+  EXPECT_GT(Out.capHits(), 0u);
+  // Conservation: nothing was ever delivered, so the whole stream must
+  // be admitted as loss — trims shed the retained extent each time they
+  // fire, and the undrained remainder is counted at close.
+  EXPECT_GE(Out.trimmedBytes(), Total - Cap - sizeof(Buf));
+  EXPECT_EQ(Out.bytesLost(), Total);
+  EXPECT_EQ(Out.reconnects(), 0u);
+  EXPECT_EQ(Out.spoolErrors(), 0u);
+}
+
+TEST(SpoolingClientTest, ReconnectDuringBurstKeepsStreamOrdered) {
+  const std::string LogPath = tempPath("spool-burst.bin");
+  const std::string SocketPath = tempPath("spool-burst.sock");
+  const Trace T = racyTrace(2000);
+  writeSegmented(T, LogPath, 8);
+  const std::vector<uint8_t> Bytes = readFileBytes(LogPath);
+
+  CollectorConfig Config;
+  Config.IngestSocketPath = SocketPath;
+  Config.Triage.RatePerSec = 0;
+  Config.AckEveryBytes = 1024;
+  CollectorServer Server(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  // Many small torn connections while the writer bursts the whole trace
+  // in one call — reconnection happens under write pressure, not in a
+  // quiet period between writes.
+  SpoolingSocketOutput::Options Opts;
+  Opts.SocketPath = SocketPath;
+  Opts.SpoolPath = tempPath("spool-burst.spool");
+  Opts.RunIdHi = 0xBEEF;
+  Opts.RunIdLo = 0xF00D;
+  Opts.BackoffInitialMs = 1;
+  Opts.BackoffMaxMs = 3;
+  for (uint64_t TearAt = 3000; TearAt <= 27000; TearAt += 3000) {
+    FaultPlan Tear;
+    Tear.FailAtByte = TearAt;
+    Opts.SendFaults.push_back(Tear);
+  }
+  Opts.SendFaults.push_back(FaultPlan{});
+  SpoolingSocketOutput Out(std::move(Opts));
+  WriteResult R = Out.write(Bytes.data(), Bytes.size()); // one giant burst
+  ASSERT_EQ(R.Written, Bytes.size());
+  Out.close();
+  EXPECT_EQ(Out.bytesLost(), 0u);
+  EXPECT_GE(Out.reconnects(), 1u);
+
+  Server.waitForSessions(1);
+  Server.stop();
+  const std::vector<SessionStatus> Sessions = Server.sessionStatuses();
+  ASSERT_EQ(Sessions.size(), 1u);
+  EXPECT_TRUE(Sessions[0].Clean);
+  EXPECT_EQ(Sessions[0].Bytes, Bytes.size());
+  EXPECT_EQ(Sessions[0].SegmentsDropped, 0u)
+      << "an out-of-order or duplicated replay would corrupt frames";
+  std::remove(LogPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Declared-gap accounting (spool-cap overflow reaching the daemon)
+//===----------------------------------------------------------------------===//
+
+TEST(GapAccountingTest, DeclaredGapFoldsExactlyIntoCoverageStats) {
+  const std::string Path = tempPath("gap-exact.bin");
+  const Trace T = racyTrace(200);
+  writeSegmented(T, Path, 64);
+  const std::vector<uint8_t> Bytes = readFileBytes(Path);
+  const std::vector<SegmentInfo> Segs = scanSegments(Path);
+  ASSERT_GT(Segs.size(), 6u);
+
+  // Shed frames [2, 5) on a frame boundary: resyncing over the seam
+  // would count nothing here (the resume point parses immediately), so
+  // only the declared gap puts the shed bytes on the books.
+  const uint64_t CutA = Segs[2].Offset;
+  const uint64_t CutB = Segs[5].Offset;
+  SegmentStreamDecoder D;
+  D.feed(Bytes.data(), CutA);
+  D.noteGap(CutB - CutA);
+  D.feed(Bytes.data() + CutB, Bytes.size() - CutB);
+  D.finish();
+  EXPECT_EQ(D.stats().BytesDropped, CutB - CutA);
+  EXPECT_EQ(D.stats().SegmentsDropped, 1u) << "one damage episode";
+  EXPECT_TRUE(D.stats().CleanShutdown) << "the footer still arrived last";
+  uint64_t Shed = 0;
+  for (size_t I = 2; I != 5; ++I)
+    Shed += Segs[I].EventCount;
+  EXPECT_EQ(D.stats().EventsRecovered + Shed, T.totalEvents());
+
+  // Mid-frame cut on both ends: the buffered partial frame and the
+  // resync scan each account their residue, so the books still balance
+  // to exactly the undelivered extent.
+  SegmentStreamDecoder M;
+  M.feed(Bytes.data(), CutA + 7);
+  M.noteGap(CutB - CutA - 7 + 9); // hole [CutA + 7, CutB + 9)
+  M.feed(Bytes.data() + CutB + 9, Bytes.size() - CutB - 9);
+  M.finish();
+  const uint64_t Frame5 = Segs[5].Offset;
+  const uint64_t Frame6 = Segs[6].Offset;
+  // Frame 5's torn remainder is scanned over; frames [2,5) plus the
+  // partial head of frame 2 and torn frame 5 are all dropped.
+  EXPECT_EQ(M.stats().BytesDropped, (CutB - CutA) + (Frame6 - Frame5));
+  EXPECT_TRUE(M.stats().CleanShutdown);
+  std::remove(Path.c_str());
+}
+
+TEST(GapAccountingTest, CapOverflowGapIsDeclaredToTheDaemonExactly) {
+  const std::string LogPath = tempPath("gap-declared.bin");
+  const std::string SocketPath = tempPath("gap-declared.sock");
+  const Trace T = racyTrace(2000);
+  writeSegmented(T, LogPath, 16);
+  const std::vector<uint8_t> Bytes = readFileBytes(LogPath);
+  ASSERT_GT(Bytes.size(), 40000u);
+
+  telemetry::MetricsRegistry Registry;
+  CollectorConfig Config;
+  Config.IngestSocketPath = SocketPath;
+  Config.Triage.RatePerSec = 0;
+  Config.Metrics = &Registry;
+  CollectorServer Server(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  // The first connection tears at byte 1000; then the collector is
+  // "unreachable" (the gated connector refuses) while writes overflow a
+  // tiny spool cap; finally the gate opens and close() drains. The
+  // resume handshake must declare the trimmed extent as a gap, and the
+  // daemon must put every shed byte on the session's books.
+  std::atomic<bool> Gate{false};
+  std::atomic<unsigned> Attempts{0};
+  SpoolingSocketOutput::Options Opts;
+  Opts.SocketPath = SocketPath;
+  Opts.SpoolPath = tempPath("gap-declared.spool");
+  Opts.SpoolCapBytes = 4096;
+  Opts.BackoffInitialMs = 1;
+  Opts.BackoffMaxMs = 2;
+  Opts.DrainDeadlineMs = 30000;
+  Opts.RunIdHi = 0x6A50;
+  Opts.RunIdLo = 0x0CA9;
+  Opts.ConnectFd = [&]() -> int {
+    if (Attempts.fetch_add(1) != 0 && !Gate.load())
+      return -1;
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return -1;
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, SocketPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                  sizeof(Addr)) != 0) {
+      ::close(Fd);
+      return -1;
+    }
+    return Fd;
+  };
+  FaultPlan Tear;
+  Tear.FailAtByte = 1000;
+  Opts.SendFaults.push_back(Tear);
+  Opts.SendFaults.push_back(FaultPlan{});
+  SpoolingSocketOutput Out(std::move(Opts));
+  size_t At = 0;
+  while (At < Bytes.size()) {
+    const size_t N = std::min<size_t>(512, Bytes.size() - At);
+    WriteResult R = Out.write(Bytes.data() + At, N);
+    ASSERT_EQ(R.Written, N);
+    At += N;
+  }
+  EXPECT_GT(Out.capHits(), 0u) << "the cap must have fired while gated";
+  Gate.store(true);
+  Out.close();
+
+  EXPECT_GE(Out.reconnects(), 1u);
+  EXPECT_GT(Out.gapBytes(), 0u);
+  EXPECT_LE(Out.gapBytes(), Out.trimmedBytes());
+  EXPECT_EQ(Out.bytesLost(), Out.gapBytes())
+      << "after the drain, all loss is realized gap, nothing undelivered";
+
+  Server.waitForSessions(1);
+  Server.stop();
+  const std::vector<SessionStatus> Sessions = Server.sessionStatuses();
+  ASSERT_EQ(Sessions.size(), 1u);
+  const SessionStatus &S = Sessions[0];
+  // Stream-position conservation: delivered bytes plus the declared hole
+  // span the client's whole logical stream.
+  EXPECT_EQ(S.Bytes + Out.gapBytes(), Bytes.size());
+  EXPECT_EQ(S.LogicalPos, Bytes.size());
+  EXPECT_GE(S.BytesDropped, Out.gapBytes())
+      << "the hole plus seam residue must be on the session's books";
+  EXPECT_GT(S.SegmentsDropped, 0u);
+  const telemetry::MetricsSnapshot Snap = Registry.snapshot();
+  EXPECT_EQ(Snap.counter("collector.ingest.gap_bytes"), Out.gapBytes());
+  std::remove(LogPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon crash recovery
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonRecoveryTest, KillAtSeededOffsetsThenRestartMatchesBatch) {
+  const std::string LogPath = tempPath("recovery-kill.bin");
+  const Trace T = racyTrace(3000);
+  writeSegmented(T, LogPath, 16);
+  const std::vector<uint8_t> Bytes = readFileBytes(LogPath);
+  const RaceReport Offline = detectOffline(T);
+  ASSERT_GT(Bytes.size(), 60000u);
+
+  // Seeded kill offsets across the stream: early (little detected yet),
+  // middle, late (most already journaled and detected).
+  const uint64_t KillAt[] = {2000, Bytes.size() / 3, Bytes.size() - 20000};
+  int Round = 0;
+  for (const uint64_t Offset : KillAt) {
+    SCOPED_TRACE("kill at byte " + std::to_string(Offset));
+    const std::string SocketPath =
+        tempPath(("recovery-kill" + std::to_string(Round) + ".sock").c_str());
+    const std::string SpoolDir =
+        tempSpoolDir("recovery-spool" + std::to_string(Round));
+    SpoolArtifactGuard Guard(SpoolDir);
+    ++Round;
+
+    // Life 1: crash once ingestion passes the offset. The client only
+    // sends up to just past the offset before the crash, and holds the
+    // tail (footer included) until the second life is up — so the kill
+    // deterministically lands mid-session, as in a real deployment where
+    // the client outlives the daemon.
+    CollectorConfig Config1;
+    Config1.IngestSocketPath = SocketPath;
+    Config1.SpoolDir = SpoolDir;
+    Config1.Triage.RatePerSec = 0;
+    Config1.AckEveryBytes = 2048;
+    Config1.CheckpointEveryUpdates = 8;
+    auto Server1 = std::make_unique<CollectorServer>(std::move(Config1));
+    std::string Error;
+    ASSERT_TRUE(Server1->start(&Error)) << Error;
+
+    std::atomic<bool> Restarted{false};
+    const size_t CutAt = std::min<size_t>(
+        static_cast<size_t>(Offset) + 8192, Bytes.size() - 64);
+    uint64_t ClientLost = ~0ull;
+    uint64_t ClientReconnects = 0;
+    std::thread Client([&] {
+      SpoolingSocketOutput::Options Opts;
+      Opts.SocketPath = SocketPath;
+      Opts.SpoolPath = SocketPath + ".spool";
+      Opts.RunIdHi = 0xAAAA;
+      Opts.RunIdLo = 0x1000u + static_cast<uint64_t>(Offset);
+      Opts.BackoffInitialMs = 2;
+      Opts.BackoffMaxMs = 20;
+      Opts.DrainDeadlineMs = 30000;
+      SpoolingSocketOutput Out(std::move(Opts));
+      auto Send = [&](size_t From, size_t To) {
+        while (From < To) {
+          const size_t N = std::min<size_t>(512, To - From);
+          Out.write(Bytes.data() + From, N);
+          From += N;
+        }
+      };
+      Send(0, CutAt);
+      while (!Restarted.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      Send(CutAt, Bytes.size());
+      Out.close(); // keeps reconnecting until the second life drains it
+      ClientLost = Out.bytesLost();
+      ClientReconnects = Out.reconnects();
+    });
+
+    while (Server1->bytesIngested() < Offset)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Server1->crashForTest(); // SIGKILL semantics: no settling, no unlinks
+    Server1.reset();
+
+    // Life 2: recover the spool, let the client resume and finish.
+    CollectorConfig Config2;
+    Config2.IngestSocketPath = SocketPath;
+    Config2.SpoolDir = SpoolDir;
+    Config2.Triage.RatePerSec = 0;
+    Config2.AckEveryBytes = 2048;
+    CollectorServer Server2(std::move(Config2));
+    ASSERT_TRUE(Server2.start(&Error)) << Error;
+    Restarted.store(true);
+    Client.join();
+    EXPECT_EQ(ClientLost, 0u);
+    EXPECT_GE(ClientReconnects, 1u);
+    Server2.waitForSessions(1);
+    Server2.stop();
+
+    // The recovered-and-resumed live set must equal the uninterrupted
+    // batch run over the same bytes — same races, same counts.
+    expectMatchesOffline(Server2, Offline);
+    const std::vector<SessionStatus> Sessions = Server2.sessionStatuses();
+    ASSERT_EQ(Sessions.size(), 1u);
+    EXPECT_TRUE(Sessions[0].Clean);
+    EXPECT_TRUE(Sessions[0].Recovered);
+    EXPECT_TRUE(Sessions[0].Resumable);
+    EXPECT_EQ(Sessions[0].LogicalPos, Bytes.size())
+        << "resume must account every stream byte exactly once";
+    EXPECT_GT(Server2.checkpointsWritten(), 0u);
+  }
+  std::remove(LogPath.c_str());
+}
+
+TEST(DaemonRecoveryTest, CleanRestartCarriesTriageTotalsForward) {
+  const std::string LogPath = tempPath("recovery-carry.bin");
+  const std::string SocketPath = tempPath("recovery-carry.sock");
+  const std::string SpoolDir = tempSpoolDir("recovery-carry-spool");
+  SpoolArtifactGuard Guard(SpoolDir);
+  const Trace T = racyTrace(300);
+  writeSegmented(T, LogPath, 32);
+  const std::vector<uint8_t> Bytes = readFileBytes(LogPath);
+  const RaceReport Offline = detectOffline(T);
+
+  // Life 1: one complete legacy (fire-and-forget) session, graceful
+  // shutdown. The final checkpoint is the hand-off.
+  uint64_t FirstSightings = 0;
+  {
+    CollectorConfig Config;
+    Config.IngestSocketPath = SocketPath;
+    Config.SpoolDir = SpoolDir;
+    Config.Triage.RatePerSec = 0;
+    CollectorServer Server(std::move(Config));
+    std::string Error;
+    ASSERT_TRUE(Server.start(&Error)) << Error;
+    SocketByteOutput Out(SocketPath);
+    ASSERT_TRUE(Out.ok());
+    ASSERT_EQ(Out.write(Bytes.data(), Bytes.size()).Written, Bytes.size());
+    Out.close();
+    Server.waitForSessions(1);
+    Server.stop();
+    FirstSightings = Server.triage().totalSightings();
+    EXPECT_GT(FirstSightings, 0u);
+    EXPECT_GT(Server.checkpointsWritten(), 0u);
+  }
+
+  // Life 2: the totals and the race table survive the restart, and a
+  // second session doubles the counts on the recovered base.
+  {
+    CollectorConfig Config;
+    Config.IngestSocketPath = SocketPath;
+    Config.SpoolDir = SpoolDir;
+    Config.Triage.RatePerSec = 0;
+    CollectorServer Server(std::move(Config));
+    std::string Error;
+    ASSERT_TRUE(Server.start(&Error)) << Error;
+    EXPECT_EQ(Server.triage().totalSightings(), FirstSightings)
+        << "restored from the checkpoint before accepting clients";
+    SocketByteOutput Out(SocketPath);
+    ASSERT_TRUE(Out.ok());
+    ASSERT_EQ(Out.write(Bytes.data(), Bytes.size()).Written, Bytes.size());
+    Out.close();
+    Server.waitForSessions(1);
+    Server.stop();
+    EXPECT_EQ(Server.triage().totalSightings(), 2 * FirstSightings);
+    const std::vector<TriagedRace> Live = Server.triage().races();
+    const std::vector<StaticRace> Expected = Offline.staticRaces();
+    ASSERT_EQ(Live.size(), Expected.size());
+    for (size_t I = 0; I < Expected.size(); ++I)
+      EXPECT_EQ(Live[I].DynamicCount, 2 * Expected[I].DynamicCount);
+  }
+  std::remove(LogPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Overload spill
+//===----------------------------------------------------------------------===//
+
+TEST(OverloadSpillTest, ForcedSpillReplaysTheJournalExactly) {
+  const std::string LogPath = tempPath("spill-force.bin");
+  const std::string SocketPath = tempPath("spill-force.sock");
+  const std::string SpoolDir = tempSpoolDir("spill-force-spool");
+  SpoolArtifactGuard Guard(SpoolDir);
+  const Trace T = racyTrace(1000);
+  writeSegmented(T, LogPath, 16);
+  const std::vector<uint8_t> Bytes = readFileBytes(LogPath);
+  const RaceReport Offline = detectOffline(T);
+
+  CollectorConfig Config;
+  Config.IngestSocketPath = SocketPath;
+  Config.SpoolDir = SpoolDir;
+  Config.Triage.RatePerSec = 0;
+  Config.TestForceSpill = true; // every chunk defers to the journal
+  CollectorServer Server(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  SocketByteOutput Out(SocketPath);
+  ASSERT_TRUE(Out.ok());
+  size_t At = 0;
+  while (At < Bytes.size()) {
+    const size_t N = std::min<size_t>(4096, Bytes.size() - At);
+    WriteResult R = Out.write(Bytes.data() + At, N);
+    ASSERT_EQ(R.Written, N);
+    At += N;
+  }
+  // While the session is live and spilling, the daemon must say so.
+  bool SawDegraded = false;
+  for (int I = 0; I < 2000 && !SawDegraded; ++I) {
+    SawDegraded = Server.degraded();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(SawDegraded) << "a spilling session must surface as degraded";
+  Out.close();
+  Server.waitForSessions(1);
+  Server.stop();
+
+  // Detection ran entirely from the journal replay at session end; the
+  // result must still be exact.
+  expectMatchesOffline(Server, Offline);
+  const std::vector<SessionStatus> Sessions = Server.sessionStatuses();
+  ASSERT_EQ(Sessions.size(), 1u);
+  EXPECT_TRUE(Sessions[0].Clean);
+  EXPECT_TRUE(Sessions[0].Spilling);
+  EXPECT_GT(Sessions[0].SpilledEvents, 0u);
+  EXPECT_FALSE(Server.degraded()) << "spill clears once sessions settle";
+  std::remove(LogPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// HTTP deadline
+//===----------------------------------------------------------------------===//
+
+TEST(HttpDeadlineTest, StalledScraperIsCutOffAndServiceContinues) {
+  const std::string SocketPath = tempPath("http-deadline.sock");
+  const std::string HttpPath = tempPath("http-deadline-http.sock");
+  std::remove(HttpPath.c_str());
+  CollectorConfig Config;
+  Config.IngestSocketPath = SocketPath;
+  Config.HttpIoTimeoutMs = 150;
+  CollectorServer Server(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  ASSERT_TRUE(Server.serveHttpUnix(HttpPath, &Error)) << Error;
+
+  // A connection that sends nothing: the server must hang up on its own.
+  int Stall = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Stall, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s",
+                HttpPath.c_str());
+  ASSERT_EQ(
+      ::connect(Stall, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+      0);
+  uint8_t Byte;
+  const ssize_t N = ::recv(Stall, &Byte, 1, 0); // blocks until the cutoff
+  EXPECT_EQ(N, 0) << "expected EOF from the server's deadline";
+  ::close(Stall);
+
+  // The serving thread survived: a well-behaved request still works and
+  // the cutoff is visible in the status document.
+  int Good = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Good, 0);
+  ASSERT_EQ(
+      ::connect(Good, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+      0);
+  const char Req[] = "GET /status HTTP/1.0\r\n\r\n";
+  ASSERT_TRUE(sendAllDeadline(Good, Req, sizeof(Req) - 1, 2000));
+  std::string Response;
+  char Buf[1024];
+  ssize_t Got;
+  while ((Got = ::recv(Good, Buf, sizeof(Buf), 0)) > 0)
+    Response.append(Buf, static_cast<size_t>(Got));
+  ::close(Good);
+  EXPECT_NE(Response.find("200 OK"), std::string::npos) << Response;
+  EXPECT_NE(Response.find("literace.status.v1"), std::string::npos)
+      << Response;
+  EXPECT_NE(Response.find("\"io_timeouts\": 1"), std::string::npos)
+      << "the cutoff must be accounted: " << Response;
+  Server.stop();
+}
+
+} // namespace

@@ -765,6 +765,143 @@ TEST(CollectdEndToEnd, ConcurrentClientsMatchBatchReports) {
   std::remove(DaemonLog.c_str());
 }
 
+/// The end-to-end durability proof (docs/ROBUSTNESS.md): the daemon
+/// SIGKILLs itself mid-session at a seeded byte threshold, a second life
+/// recovers the spool directory, the client rides through on its own
+/// spool-and-reconnect, and the recovered live race set must match a
+/// batch literace-report over the client's primary log exactly — counts
+/// included — with the client admitting zero loss (--connect-strict
+/// exit 0). Afterwards literace-fsck --spool audits the directory clean.
+TEST(CollectdEndToEnd, DaemonKillRestartRecoversExactly) {
+  const std::string Dir = ::testing::TempDir();
+  const std::string Socket = Dir + "collectd-kill.sock";
+  const std::string SpoolDir = Dir + "collectd-kill-spool";
+  const std::string Log = Dir + "collectd-kill.bin";
+  const std::string StatusJson = Dir + "collectd-kill-status.json";
+  const std::string RacesJson = Dir + "collectd-kill-races.json";
+  const std::string Daemon1Log = Dir + "collectd-kill-d1.log";
+  const std::string Daemon2Log = Dir + "collectd-kill-d2.log";
+  std::remove(Socket.c_str());
+  runCommand("rm -rf " + SpoolDir);
+
+  // Life 1: journals to the spool, then SIGKILLs itself once 300000
+  // bytes have been ingested — deterministically mid-session for this
+  // workload/scale (the stream is several MB).
+  std::thread Daemon1([&] {
+    runCommand(toolPath("literace-collectd") + " " + Socket +
+               " --spool-dir " + SpoolDir +
+               " --ack-every-bytes 4096 --checkpoint-every 8" +
+               " --rate-limit 0 --kill-after-bytes 300000 > " + Daemon1Log +
+               " 2>&1");
+  });
+  ASSERT_TRUE(waitForFile(Socket)) << readWholeFile(Daemon1Log);
+
+  // The client starts against life 1 and must outlive the kill: its
+  // spool absorbs the outage, reconnects reach life 2, and strict mode
+  // makes any byte loss a hard failure.
+  int ClientCode = -1;
+  std::string ClientOut;
+  std::thread Client([&] {
+    std::tie(ClientCode, ClientOut) = runCommand(
+        toolPath("literace-run") + " channel " + Log +
+        " --mode full --scale 0.05 --seed 7 --connect " + Socket +
+        " --connect-strict --connect-drain-ms 20000");
+  });
+
+  Daemon1.join(); // dies by its own SIGKILL at the byte threshold
+  EXPECT_EQ(runCommand("test -d " + SpoolDir).first, 0);
+
+  // Life 2: recovers the journal + checkpoint, lets the client resume,
+  // and finishes the session normally.
+  std::thread Daemon2([&] {
+    runCommand(toolPath("literace-collectd") + " " + Socket +
+               " --spool-dir " + SpoolDir +
+               " --ack-every-bytes 4096 --rate-limit 0" +
+               " --exit-after-clients 1 --status-json " + StatusJson +
+               " --races-json " + RacesJson + " > " + Daemon2Log + " 2>&1");
+  });
+  Client.join();
+  Daemon2.join();
+
+  const std::string Daemon2Out = readWholeFile(Daemon2Log);
+  saveCollectorArtifacts(StatusJson, RacesJson, Daemon2Log);
+  EXPECT_EQ(ClientCode, 0) << ClientOut;
+  EXPECT_NE(ClientOut.find("streamed the trace to collector"),
+            std::string::npos)
+      << ClientOut;
+  EXPECT_NE(ClientOut.find("reconnect(s)"), std::string::npos) << ClientOut;
+
+  // Ground truth: batch-report the client's primary log. The recovered
+  // live set must be identical, counts included.
+  auto [RepCode, RepOut] = runCommand(toolPath("literace-report") + " " + Log);
+  EXPECT_EQ(RepCode, 3) << RepOut;
+  const std::set<std::string> BatchSet = raceLines(RepOut);
+  ASSERT_FALSE(BatchSet.empty());
+  std::string Summary;
+  size_t LineStart = 0;
+  while (LineStart < Daemon2Out.size()) {
+    size_t LineEnd = Daemon2Out.find('\n', LineStart);
+    if (LineEnd == std::string::npos)
+      LineEnd = Daemon2Out.size();
+    const std::string Line =
+        Daemon2Out.substr(LineStart, LineEnd - LineStart);
+    if (Line.compare(0, 5, "race:") != 0)
+      Summary += Line + "\n";
+    LineStart = LineEnd + 1;
+  }
+  EXPECT_EQ(raceLines(Summary), BatchSet) << Daemon2Out;
+  EXPECT_NE(Daemon2Out.find("collected 1 session(s)"), std::string::npos)
+      << Daemon2Out;
+
+  // The spool directory ends consistent: journal unlinked at session
+  // finish, checkpoint present — fsck audits it clean.
+  auto [FsckCode, FsckOut] =
+      runCommand(toolPath("literace-fsck") + " --spool " + SpoolDir);
+  EXPECT_EQ(FsckCode, 0) << FsckOut;
+  EXPECT_NE(FsckOut.find("checkpoint:     ok"), std::string::npos)
+      << FsckOut;
+
+  if (const char *ArtifactDir =
+          std::getenv("LITERACE_COLLECTOR_ARTIFACT_DIR")) {
+    std::string D(ArtifactDir);
+    runCommand("mkdir -p " + D + " && cp -r " + SpoolDir + " " + D +
+               "/ 2>/dev/null; cp " + Daemon1Log + " " + D + "/ 2>/dev/null");
+  }
+  std::remove(Log.c_str());
+  std::remove((Log + ".metrics.json").c_str());
+  std::remove(StatusJson.c_str());
+  std::remove(RacesJson.c_str());
+  std::remove(Daemon1Log.c_str());
+  std::remove(Daemon2Log.c_str());
+  runCommand("rm -rf " + SpoolDir);
+}
+
+/// --connect-strict with no reachable collector and a spool cap small
+/// enough to overflow: the run itself succeeds (the tee never degrades
+/// the primary sink) but the tool exits nonzero and admits the loss in
+/// both the console warning and the metrics sidecar.
+TEST(CollectdEndToEnd, ConnectStrictFailsClosedWhenCollectorUnreachable) {
+  const std::string Dir = ::testing::TempDir();
+  const std::string Log = Dir + "collectd-strict.bin";
+  auto [Code, Out] = runCommand(
+      toolPath("literace-run") + " channel " + Log +
+      " --mode full --scale 0.05 --seed 7 --connect " + Dir +
+      "no-such-collector.sock --connect-strict" +
+      " --connect-spool-cap 65536 --connect-drain-ms 100");
+  EXPECT_EQ(Code, 1) << Out;
+  EXPECT_NE(Out.find("byte(s) lost"), std::string::npos) << Out;
+  // The primary log is still complete and reportable.
+  auto [RepCode, RepOut] = runCommand(toolPath("literace-report") + " " + Log);
+  EXPECT_EQ(RepCode, 3) << RepOut;
+  // Loss is always accounted in the sidecar.
+  const std::string Sidecar = readWholeFile(Log + ".metrics.json");
+  EXPECT_NE(Sidecar.find("sink.tee.lost_bytes"), std::string::npos)
+      << Sidecar;
+  EXPECT_NE(Sidecar.find("sink.tee.cap_hits"), std::string::npos) << Sidecar;
+  std::remove(Log.c_str());
+  std::remove((Log + ".metrics.json").c_str());
+}
+
 /// Streams the bytes of \p FilePath into the AF_UNIX socket at
 /// \p SocketPath and closes the connection — a minimal raw-POSIX stand-in
 /// for a `literace-run --connect` client, used to replay a recorded log

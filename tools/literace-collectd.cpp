@@ -34,6 +34,27 @@
 //   --status-json / --races-json
 //                  dump the final /status and /races documents to files
 //                  at shutdown (CI artifacts)
+//   --spool-dir    crash-only operation (docs/ROBUSTNESS.md): journal
+//                  every session's raw bytes to this directory before
+//                  detection, checkpoint triage state there, and recover
+//                  both on the next start. Resumable clients reconnect
+//                  across a daemon restart and resume from the journaled
+//                  position.
+//   --checkpoint-every
+//                  triage checkpoint cadence in emitted race updates
+//                  (default 64; always checkpoints at session boundaries)
+//   --session-timeout-ms
+//                  finalize a detached resumable session (client gone,
+//                  not reconnecting) after this long (default 30000)
+//   --ack-every-bytes
+//                  ack journaled progress to resumable clients every N
+//                  stream bytes (default 1 MiB; tests lower it)
+//   --kill-after-bytes
+//                  fault injection for the recovery tests: SIGKILL this
+//                  daemon once it has ingested N bytes (counting recovery
+//                  replay), exactly like an operator's kill -9
+//   --force-spill  test hook: journaled sessions defer every chunk to the
+//                  journal replay, exercising the overload spill path
 //
 // Exit status: 0 when no unsuppressed race was collected, 3 when at least
 // one was (matching literace-report), 1/2 on operational errors.
@@ -51,6 +72,9 @@
 #include <string>
 #include <thread>
 
+#include <signal.h>
+#include <unistd.h>
+
 using namespace literace;
 using namespace literace::collector;
 
@@ -63,7 +87,10 @@ int usage(const char *Argv0) {
       "          [--port-file <path>] [--shards <n>]\n"
       "          [--suppressions <file>] [--rate-limit <per-sec>]\n"
       "          [--rate-burst <n>] [--exit-after-clients <n>]\n"
-      "          [--status-json <path>] [--races-json <path>] [--quiet]\n",
+      "          [--status-json <path>] [--races-json <path>] [--quiet]\n"
+      "          [--spool-dir <dir>] [--checkpoint-every <n>]\n"
+      "          [--session-timeout-ms <n>] [--ack-every-bytes <n>]\n"
+      "          [--kill-after-bytes <n>] [--force-spill]\n",
       Argv0);
   return 2;
 }
@@ -96,6 +123,12 @@ int main(int Argc, char **Argv) {
   double RateLimit = 1.0, RateBurst = 5.0;
   uint64_t ExitAfterClients = 0;
   bool Quiet = false;
+  std::string SpoolDir;
+  uint64_t CheckpointEvery = 64;
+  uint64_t SessionTimeoutMs = 30000;
+  uint64_t AckEveryBytes = 1 << 20;
+  uint64_t KillAfterBytes = 0;
+  bool ForceSpill = false;
 
   for (int I = 2; I < Argc; ++I) {
     const std::string Arg = Argv[I];
@@ -124,6 +157,18 @@ int main(int Argc, char **Argv) {
       RacesJsonPath = Argv[++I];
     } else if (Arg == "--quiet") {
       Quiet = true;
+    } else if (Arg == "--spool-dir" && I + 1 < Argc) {
+      SpoolDir = Argv[++I];
+    } else if (Arg == "--checkpoint-every" && I + 1 < Argc) {
+      CheckpointEvery = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--session-timeout-ms" && I + 1 < Argc) {
+      SessionTimeoutMs = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--ack-every-bytes" && I + 1 < Argc) {
+      AckEveryBytes = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--kill-after-bytes" && I + 1 < Argc) {
+      KillAfterBytes = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--force-spill") {
+      ForceSpill = true;
     } else {
       std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
       return usage(Argv[0]);
@@ -148,6 +193,11 @@ int main(int Argc, char **Argv) {
   Config.Suppressions = &Suppressions;
   Config.Triage.RatePerSec = RateLimit;
   Config.Triage.Burst = RateBurst;
+  Config.SpoolDir = SpoolDir;
+  Config.CheckpointEveryUpdates = CheckpointEvery;
+  Config.SessionIdleTimeoutMs = SessionTimeoutMs;
+  Config.AckEveryBytes = AckEveryBytes;
+  Config.TestForceSpill = ForceSpill;
 
   CollectorServer Server(std::move(Config));
   if (!Quiet) {
@@ -170,6 +220,25 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   std::fprintf(stderr, "listening for traces on %s\n", IngestPath.c_str());
+  if (!SpoolDir.empty())
+    std::fprintf(stderr, "spooling to %s (checkpoint every %llu updates)\n",
+                 SpoolDir.c_str(),
+                 static_cast<unsigned long long>(CheckpointEvery));
+
+  // Deterministic daemon-kill fault injection: a watcher SIGKILLs this
+  // process once the server has ingested N bytes (recovery replay
+  // included, so a restarted daemon with a lower threshold dies again at
+  // a reproducible point). No handler runs — recovery must work from
+  // whatever the journals and checkpoint held at that instant.
+  if (KillAfterBytes != 0) {
+    std::thread([&Server, KillAfterBytes] {
+      for (;;) {
+        if (Server.bytesIngested() >= KillAfterBytes)
+          ::kill(::getpid(), SIGKILL);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }).detach();
+  }
 
   if (!HttpSocketPath.empty()) {
     if (!Server.serveHttpUnix(HttpSocketPath, &Error)) {
@@ -244,6 +313,10 @@ int main(int Argc, char **Argv) {
   const std::string Used = Suppressions.describeUsed();
   if (!Used.empty())
     std::fprintf(stderr, "%s", Used.c_str());
+  if (!SpoolDir.empty())
+    std::fprintf(stderr, "durability: %llu checkpoint(s) written\n",
+                 static_cast<unsigned long long>(
+                     Server.checkpointsWritten()));
 
   return Unsuppressed != 0 ? 3 : 0;
 }

@@ -46,8 +46,31 @@
 //   --connect   additionally stream the v2 byte stream to a
 //               literace-collectd daemon listening on the given unix
 //               socket (docs/COLLECTOR.md). The on-disk file stays
-//               authoritative; a dead or slow daemon degrades the run to
-//               file-only, never fails it. Requires --format v2/v2z.
+//               authoritative. By default the connection is fault-
+//               tolerant (docs/ROBUSTNESS.md): bytes are retained in a
+//               bounded on-disk spool until the daemon acks them as
+//               journaled, and a torn connection or daemon restart is
+//               ridden out with capped exponential backoff + jitter and
+//               a resume handshake, so the delivered stream stays byte-
+//               identical. Loss happens only when the spool cap is hit,
+//               and every shed byte is accounted in the metrics sidecar
+//               (sink.tee.*). Requires --format v2/v2z.
+//   --connect-strict
+//               exit 1 when any streamed byte was lost (spool-cap trims
+//               or an undrained tail at exit); without it loss only
+//               degrades the stream and warns
+//   --connect-spool <path>
+//               spool file location (default <out.bin>.spool; unlinked
+//               on clean exit)
+//   --connect-spool-cap <bytes>
+//               retained-unacked spool budget (default 64 MiB); hitting
+//               it sheds the oldest unacked bytes
+//   --connect-drain-ms <ms>
+//               how long exit may keep reconnecting to drain the spool
+//               backlog (default 5000)
+//   --connect-legacy
+//               use the fire-and-forget stream (no spool, no resume);
+//               a broken connection degrades the run to file-only
 //
 //===----------------------------------------------------------------------===//
 
@@ -91,6 +114,9 @@ int usage(const char *Argv0) {
       "          [--format v1|v2|v2z] [--flush sync|async]\n"
       "          [--flush-policy block|drop] [--kill-after-bytes <n>]\n"
       "          [--abort-after-bytes <n>] [--connect <socket>]\n"
+      "          [--connect-strict] [--connect-spool <path>]\n"
+      "          [--connect-spool-cap <bytes>] [--connect-drain-ms <ms>]\n"
+      "          [--connect-legacy]\n"
       "workloads:\n%s\n",
       Argv0, workloadNameList("  ").c_str());
   return 2;
@@ -172,6 +198,11 @@ int main(int Argc, char **Argv) {
   uint64_t KillAfterBytes = 0;
   uint64_t AbortAfterBytes = 0;
   std::string ConnectPath;
+  bool ConnectStrict = false;
+  bool ConnectLegacy = false;
+  std::string ConnectSpoolPath;
+  uint64_t ConnectSpoolCap = 64ull << 20;
+  uint64_t ConnectDrainMs = 5000;
   WorkloadParams Params;
   for (int I = 3; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -226,6 +257,16 @@ int main(int Argc, char **Argv) {
       AbortAfterBytes = std::strtoull(Argv[++I], nullptr, 10);
     } else if (Arg == "--connect" && I + 1 < Argc) {
       ConnectPath = Argv[++I];
+    } else if (Arg == "--connect-strict") {
+      ConnectStrict = true;
+    } else if (Arg == "--connect-legacy") {
+      ConnectLegacy = true;
+    } else if (Arg == "--connect-spool" && I + 1 < Argc) {
+      ConnectSpoolPath = Argv[++I];
+    } else if (Arg == "--connect-spool-cap" && I + 1 < Argc) {
+      ConnectSpoolCap = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--connect-drain-ms" && I + 1 < Argc) {
+      ConnectDrainMs = std::strtoull(Argv[++I], nullptr, 10);
     } else {
       std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
       return usage(Argv[0]);
@@ -240,6 +281,7 @@ int main(int Argc, char **Argv) {
   std::unique_ptr<AsyncLogSink> Async;
   std::unique_ptr<FileByteOutput> FileOut;
   std::unique_ptr<SocketByteOutput> SocketOut;
+  std::unique_ptr<SpoolingSocketOutput> SpoolOut;
   std::unique_ptr<TeeByteOutput> Tee;
   LogSink *Sink = nullptr;
   if (!ConnectPath.empty() && Format == "v1") {
@@ -270,14 +312,33 @@ int main(int Argc, char **Argv) {
                      OutPath.c_str());
         return 1;
       }
-      SocketOut = std::make_unique<SocketByteOutput>(ConnectPath);
-      if (!SocketOut->ok()) {
-        std::fprintf(stderr,
-                     "error: cannot connect to collector socket '%s'\n",
-                     ConnectPath.c_str());
-        return 1;
+      ByteOutput *Secondary = nullptr;
+      if (ConnectLegacy) {
+        SocketOut = std::make_unique<SocketByteOutput>(ConnectPath);
+        if (!SocketOut->ok()) {
+          std::fprintf(stderr,
+                       "error: cannot connect to collector socket '%s'\n",
+                       ConnectPath.c_str());
+          return 1;
+        }
+        Secondary = SocketOut.get();
+      } else {
+        // Fault-tolerant transport: the stream survives torn connections
+        // and daemon restarts via the on-disk spool and the resume
+        // handshake; a daemon that never appears only costs the spool.
+        SpoolingSocketOutput::Options SpoolOpts;
+        SpoolOpts.SocketPath = ConnectPath;
+        SpoolOpts.SpoolPath = ConnectSpoolPath.empty()
+                                  ? OutPath + ".spool"
+                                  : ConnectSpoolPath;
+        SpoolOpts.SpoolCapBytes = ConnectSpoolCap;
+        SpoolOpts.DrainDeadlineMs = ConnectDrainMs;
+        SpoolOpts.JitterSeed = Params.Seed + 1;
+        SpoolOut = std::make_unique<SpoolingSocketOutput>(
+            std::move(SpoolOpts));
+        Secondary = SpoolOut.get();
       }
-      Tee = std::make_unique<TeeByteOutput>(*FileOut, *SocketOut);
+      Tee = std::make_unique<TeeByteOutput>(*FileOut, *Secondary);
       SinkOpts.Output = Tee.get();
     }
     V2 = std::make_unique<SegmentedFileSink>(
@@ -368,7 +429,31 @@ int main(int Argc, char **Argv) {
   } else {
     V1->close();
   }
-  if (Tee) {
+  uint64_t StreamLost = 0;
+  if (SpoolOut) {
+    // Seal the transport: drains the spool backlog (reconnecting under
+    // the --connect-drain-ms budget) before loss is assessed.
+    SpoolOut->close();
+    StreamLost = SpoolOut->bytesLost() + Tee->secondaryBytesLost();
+    if (StreamLost == 0)
+      std::fprintf(
+          stderr,
+          "streamed the trace to collector at %s "
+          "(%llu reconnect(s), %llu byte(s) spooled, %llu replayed)\n",
+          ConnectPath.c_str(),
+          static_cast<unsigned long long>(SpoolOut->reconnects()),
+          static_cast<unsigned long long>(SpoolOut->spooledBytes()),
+          static_cast<unsigned long long>(SpoolOut->replayedBytes()));
+    else
+      std::fprintf(
+          stderr,
+          "warning: %llu streamed byte(s) lost (%llu spool-cap gap, "
+          "%llu undelivered at exit; the on-disk trace is complete)\n",
+          static_cast<unsigned long long>(StreamLost),
+          static_cast<unsigned long long>(SpoolOut->gapBytes()),
+          static_cast<unsigned long long>(SpoolOut->undeliveredBytes()));
+  } else if (Tee) {
+    StreamLost = Tee->secondaryBytesLost();
     if (Tee->secondaryOk())
       std::fprintf(stderr, "streamed the trace to collector at %s\n",
                    ConnectPath.c_str());
@@ -391,6 +476,30 @@ int main(int Argc, char **Argv) {
                static_cast<unsigned long long>(Stats.MemOpsLogged),
                static_cast<unsigned long long>(Stats.SyncOps),
                RT.numThreads(), RT.registry().size());
+
+  // Streaming telemetry rides in the same sidecar so loss is always
+  // visible post-hoc, strict mode or not: sink.tee.lost_bytes is the
+  // one-number answer to "did the collector see everything?".
+  if (RT.metrics() && Tee) {
+    telemetry::MetricsRegistry *M = RT.metrics();
+    telemetry::ThreadSlab &Slab = M->threadSlab();
+    Slab.add(M->counter("sink.tee.lost_bytes"), StreamLost);
+    if (SpoolOut) {
+      Slab.add(M->counter("sink.tee.reconnects"), SpoolOut->reconnects());
+      Slab.add(M->counter("sink.tee.spooled_bytes"),
+               SpoolOut->spooledBytes());
+      Slab.add(M->counter("sink.tee.replayed_bytes"),
+               SpoolOut->replayedBytes());
+      Slab.add(M->counter("sink.tee.cap_hits"), SpoolOut->capHits());
+      Slab.add(M->counter("sink.tee.trimmed_bytes"),
+               SpoolOut->trimmedBytes());
+      Slab.add(M->counter("sink.tee.gap_bytes"), SpoolOut->gapBytes());
+      Slab.add(M->counter("sink.tee.undelivered_bytes"),
+               SpoolOut->undeliveredBytes());
+      Slab.add(M->counter("sink.tee.spool_errors"),
+               SpoolOut->spoolErrors());
+    }
+  }
 
   // Sidecar telemetry: the log format carries no runtime counters, so
   // literace-stat reads them from <out>.metrics.json. Suppressed by the
@@ -417,6 +526,13 @@ int main(int Argc, char **Argv) {
   ActiveRuntime = nullptr;
   ActiveSidecarPath = nullptr;
   // Data lost at the sink means the log on disk under-represents the run;
-  // report it in the exit code so scripted pipelines notice.
+  // report it in the exit code so scripted pipelines notice. Streaming
+  // loss counts only under --connect-strict (the file stays complete).
+  if (ConnectStrict && StreamLost != 0) {
+    std::fprintf(stderr,
+                 "error: --connect-strict: %llu streamed byte(s) lost\n",
+                 static_cast<unsigned long long>(StreamLost));
+    return 1;
+  }
   return SinkClean ? 0 : 1;
 }
