@@ -1,0 +1,171 @@
+//===-- bench/shadow_hash.cpp - Address-hash quality microbench -----------===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantifies the cost of keying address-indexed maps with the identity
+/// hash (libstdc++'s std::hash<uint64_t>) versus the splitmix64 mixing
+/// hash (support/Hashing.h) that the detectors now use, and versus the
+/// flat ShadowMap, over the address shapes detectors actually see:
+///
+///   stride64      cache-line-aligned accesses (a dense array walk)
+///   stride4096    page-aligned accesses (one lock/header per page)
+///   highbits      entropy only in bits 38+, low bits constant — the
+///                 adversarial shape for any power-of-two bucket mask
+///
+/// Each configuration inserts the working set once and then measures a
+/// hot mixed lookup/update loop. Results back the bench note in
+/// docs/DETECTOR.md ("Why a mixing hash").
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Hashing.h"
+#include "support/ShadowMap.h"
+#include "support/SplitMix64.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using namespace literace;
+
+namespace {
+
+std::vector<uint64_t> makeKeys(const std::string &Shape, size_t Count) {
+  SplitMix64 Rng(42);
+  std::vector<uint64_t> Keys;
+  Keys.reserve(Count);
+  for (size_t I = 0; I != Count; ++I) {
+    if (Shape == "stride64")
+      Keys.push_back(0x7f0000000000ULL + I * 64);
+    else if (Shape == "stride4096")
+      Keys.push_back(0x7f0000000000ULL + I * 4096);
+    else // highbits: low 38 bits constant, entropy above.
+      Keys.push_back((Rng.nextBelow(1u << 20) << 38) | 0x1040);
+  }
+  return Keys;
+}
+
+/// Access sequence over the key set, ~8 hits per key. Sequential mode
+/// replays the keys in address order (the page-local run shape the
+/// detectors see from real traces); shuffled mode destroys locality.
+std::vector<uint64_t> makeProbes(const std::vector<uint64_t> &Keys,
+                                 bool Sequential) {
+  std::vector<uint64_t> Probes;
+  Probes.reserve(Keys.size() * 8);
+  if (Sequential) {
+    for (int Round = 0; Round != 8; ++Round)
+      Probes.insert(Probes.end(), Keys.begin(), Keys.end());
+    return Probes;
+  }
+  SplitMix64 Rng(7);
+  for (size_t I = 0; I != Keys.size() * 8; ++I)
+    Probes.push_back(Keys[Rng.nextBelow(Keys.size())]);
+  return Probes;
+}
+
+template <typename MapT>
+double timeMap(MapT &Map, const std::vector<uint64_t> &Keys,
+               const std::vector<uint64_t> &Probes) {
+  for (uint64_t K : Keys)
+    Map[K] = K;
+  const auto Start = std::chrono::steady_clock::now();
+  uint64_t Sink = 0;
+  for (uint64_t P : Probes)
+    Sink += ++Map[P];
+  const auto End = std::chrono::steady_clock::now();
+  if (Sink == 0)
+    std::puts("");
+  return std::chrono::duration<double, std::nano>(End - Start).count() /
+         static_cast<double>(Probes.size());
+}
+
+/// Minimal power-of-two open-addressed table, the same probing scheme as
+/// the ShadowMap page directory (and of most modern flat hash maps).
+/// Chained std::unordered_map on libstdc++ reduces hashes modulo a PRIME
+/// bucket count, which happens to spread aligned strides even under the
+/// identity hash — this table shows what the identity hash does to the
+/// power-of-two topology the hot structures actually use.
+template <typename HashT> class OpenTable {
+public:
+  explicit OpenTable(size_t Capacity)
+      : Slots(Capacity), Used(Capacity), Mask(Capacity - 1) {}
+
+  uint64_t &operator[](uint64_t K) {
+    size_t I = HashT()(K) & Mask;
+    while (Used[I] && Slots[I].first != K)
+      I = (I + 1) & Mask;
+    if (!Used[I]) {
+      Used[I] = 1;
+      Slots[I] = {K, 0};
+    }
+    return Slots[I].second;
+  }
+
+private:
+  std::vector<std::pair<uint64_t, uint64_t>> Slots;
+  std::vector<uint8_t> Used;
+  size_t Mask;
+};
+
+struct IdentityHash {
+  size_t operator()(uint64_t X) const { return static_cast<size_t>(X); }
+};
+
+double timeShadow(const std::vector<uint64_t> &Keys,
+                  const std::vector<uint64_t> &Probes) {
+  ShadowMap<uint64_t> Map;
+  for (uint64_t K : Keys)
+    Map.ref(K) = K;
+  const auto Start = std::chrono::steady_clock::now();
+  uint64_t Sink = 0;
+  for (uint64_t P : Probes)
+    Sink += ++Map.ref(P);
+  const auto End = std::chrono::steady_clock::now();
+  if (Sink == 0)
+    std::puts("");
+  return std::chrono::duration<double, std::nano>(End - Start).count() /
+         static_cast<double>(Probes.size());
+}
+
+} // namespace
+
+int main() {
+  constexpr size_t WorkingSet = 1 << 13;
+  constexpr size_t OpenCapacity = WorkingSet * 4; // 25% load factor.
+  for (bool Sequential : {true, false}) {
+    std::printf(
+        "== %s probes: ns per lookup+increment, %zu keys, 8 probes/key ==\n",
+        Sequential ? "sequential (detector run shape)" : "shuffled",
+        WorkingSet);
+    std::printf("%-12s  %13s  %13s  %13s  %13s  %10s\n", "keys",
+                "chained+ident", "chained+mix", "open+ident", "open+mix",
+                "ShadowMap");
+    for (const char *Shape : {"stride64", "stride4096", "highbits"}) {
+      const auto Keys = makeKeys(Shape, WorkingSet);
+      const auto Probes = makeProbes(Keys, Sequential);
+      double Best[5] = {1e9, 1e9, 1e9, 1e9, 1e9};
+      for (int Rep = 0; Rep != 3; ++Rep) {
+        std::unordered_map<uint64_t, uint64_t> ChainedId;
+        std::unordered_map<uint64_t, uint64_t, Mix64Hash> ChainedMix;
+        OpenTable<IdentityHash> OpenId(OpenCapacity);
+        OpenTable<Mix64Hash> OpenMix(OpenCapacity);
+        Best[0] = std::min(Best[0], timeMap(ChainedId, Keys, Probes));
+        Best[1] = std::min(Best[1], timeMap(ChainedMix, Keys, Probes));
+        Best[2] = std::min(Best[2], timeMap(OpenId, Keys, Probes));
+        Best[3] = std::min(Best[3], timeMap(OpenMix, Keys, Probes));
+        Best[4] = std::min(Best[4], timeShadow(Keys, Probes));
+      }
+      std::printf("%-12s  %13.1f  %13.1f  %13.1f  %13.1f  %10.1f\n",
+                  Shape, Best[0], Best[1], Best[2], Best[3], Best[4]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

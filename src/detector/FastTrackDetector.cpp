@@ -63,14 +63,18 @@ void FastTrackDetector::onEvent(const EventRecord &R) {
   case EventKind::PolicyMeta:
     // Elision-policy stamp; carries no access and no HB edge.
     return;
-  case EventKind::Read:
+  case EventKind::Read: {
     ++MemoryEvents;
-    onRead(R);
+    const VectorClock &Clock = clockOf(R.Tid);
+    onRead(R, Clock, Clock.get(R.Tid));
     return;
-  case EventKind::Write:
+  }
+  case EventKind::Write: {
     ++MemoryEvents;
-    onWrite(R);
+    const VectorClock &Clock = clockOf(R.Tid);
+    onWrite(R, Clock, Clock.get(R.Tid));
     return;
+  }
   case EventKind::Acquire:
     acquire(R.Tid, R.Addr);
     return;
@@ -100,17 +104,18 @@ void FastTrackDetector::report(const Epoch &Old, const EventRecord &New,
   Report.record(Sighting);
 }
 
-void FastTrackDetector::onRead(const EventRecord &R) {
+void FastTrackDetector::onRead(const EventRecord &R,
+                               const VectorClock &Clock,
+                               uint64_t OwnEpoch) {
   const ThreadId T = R.Tid;
-  const VectorClock &Clock = clockOf(T);
-  AddressState &State = Shadow[R.Addr];
+  AddressState &State = Shadow.ref(R.Addr);
 
   // Read-write check against the single write epoch.
   if (State.Write.Clock != 0 && State.Write.Tid != T &&
       Clock.get(State.Write.Tid) < State.Write.Clock)
     report(State.Write, R, /*OldIsWrite=*/true);
 
-  const Epoch Mine{T, Clock.get(T), R.Pc};
+  const Epoch Mine{T, OwnEpoch, R.Pc};
   if (State.SharedRead) {
     // Slow path: per-thread read epochs.
     if (T >= State.ReadShared.size())
@@ -134,10 +139,11 @@ void FastTrackDetector::onRead(const EventRecord &R) {
   State.Read = Epoch();
 }
 
-void FastTrackDetector::onWrite(const EventRecord &R) {
+void FastTrackDetector::onWrite(const EventRecord &R,
+                                const VectorClock &Clock,
+                                uint64_t OwnEpoch) {
   const ThreadId T = R.Tid;
-  const VectorClock &Clock = clockOf(T);
-  AddressState &State = Shadow[R.Addr];
+  AddressState &State = Shadow.ref(R.Addr);
 
   // Write-write check against the single write epoch: writes to a
   // race-free variable are totally ordered, so one epoch suffices.
@@ -151,9 +157,12 @@ void FastTrackDetector::onWrite(const EventRecord &R) {
       if (Old.Clock != 0 && Old.Tid != T &&
           Clock.get(Old.Tid) < Old.Clock)
         report(Old, R, /*OldIsWrite=*/false);
-    // The write supersedes the read set (ordered reads are published;
-    // racing ones were just reported — either way future conflicts are
-    // caught against this write).
+    // Demotion (FastTrack's W_x := E_t rule): the write supersedes the
+    // read set. Ordered reads are published; racing ones were just
+    // reported — either way future conflicts are caught against this
+    // write, so the expensive per-thread view is dropped and subsequent
+    // reads restart on the exclusive-epoch fast path.
+    ++Demotions;
     State.SharedRead = false;
     State.ReadShared.clear();
   } else if (State.Read.Clock != 0 && State.Read.Tid != T &&
@@ -166,11 +175,30 @@ void FastTrackDetector::onWrite(const EventRecord &R) {
     State.Read = Epoch();
   }
 
-  State.Write = Epoch{T, Clock.get(T), R.Pc};
+  State.Write = Epoch{T, OwnEpoch, R.Pc};
+}
+
+size_t FastTrackDetector::onMemoryRun(const EventRecord *Records,
+                                      size_t MaxCount) {
+  // One thread, no intervening sync within the run: clock and epoch
+  // hold until the first non-memory record, where the walk stops.
+  const VectorClock &Clock = clockOf(Records[0].Tid);
+  const uint64_t OwnEpoch = Clock.get(Records[0].Tid);
+  size_t I = 0;
+  do {
+    const EventRecord &R = Records[I];
+    if (R.Kind == EventKind::Write)
+      onWrite(R, Clock, OwnEpoch);
+    else
+      onRead(R, Clock, OwnEpoch);
+    ++I;
+  } while (I != MaxCount && isMemoryKind(Records[I].Kind));
+  MemoryEvents += I;
+  return I;
 }
 
 bool literace::detectRacesFastTrack(const Trace &T, RaceReport &Report,
                                     const ReplayOptions &Options) {
   FastTrackDetector Detector(Report);
-  return replayTrace(T, Detector, Options);
+  return replayTraceWith(T, Detector, Options);
 }

@@ -30,6 +30,9 @@
 #include "detector/RaceReport.h"
 #include "detector/Replay.h"
 #include "detector/VectorClock.h"
+#include "support/Hashing.h"
+#include "support/ShadowMap.h"
+#include "support/SmallVector.h"
 
 #include <unordered_map>
 #include <vector>
@@ -37,7 +40,8 @@
 namespace literace {
 
 /// Epoch-based happens-before detector over replayed event streams.
-class FastTrackDetector : public TraceConsumer {
+/// `final` so replayTraceWith devirtualizes onEvent (see HBDetector).
+class FastTrackDetector final : public TraceConsumer {
 public:
   explicit FastTrackDetector(RaceReport &Report);
 
@@ -55,7 +59,20 @@ public:
   /// per-thread view (the slow path; exposed for tests and benches).
   uint64_t readSharePromotions() const { return Promotions; }
 
+  /// Number of read-shared address states demoted back to a single-epoch
+  /// representation by a write (W_x := E_t supersedes the read set).
+  /// Promotions and demotions together account for every transition of
+  /// the read representation, so promotions - demotions is the number of
+  /// addresses currently read shared.
+  uint64_t readShareDemotions() const { return Demotions; }
+
   uint64_t memoryEventsProcessed() const { return MemoryEvents; }
+
+  /// Batch entry point used by replayTraceWith (see
+  /// HBDetector::onMemoryRun): consumes the maximal leading run of
+  /// memory events with the clock and epoch hoisted out of the loop,
+  /// returning how many records it took.
+  size_t onMemoryRun(const EventRecord *Records, size_t MaxCount);
 
 private:
   /// A (thread, clock) pair plus the access site for reporting. Clock 0
@@ -71,25 +88,30 @@ private:
     /// Exclusive/ordered read epoch; unused once SharedRead.
     Epoch Read;
     bool SharedRead = false;
-    /// Per-thread read epochs while read shared.
-    std::vector<Epoch> ReadShared;
+    /// Per-thread read epochs while read shared, indexed by ThreadId.
+    /// Two entries inline: a just-promoted address holds exactly the two
+    /// threads whose concurrent reads forced the promotion.
+    SmallVector<Epoch, 2> ReadShared;
   };
 
   VectorClock &clockOf(ThreadId T);
   void acquire(ThreadId T, SyncVar S);
   void release(ThreadId T, SyncVar S);
-  void onRead(const EventRecord &R);
-  void onWrite(const EventRecord &R);
+  void onRead(const EventRecord &R, const VectorClock &Clock,
+              uint64_t OwnEpoch);
+  void onWrite(const EventRecord &R, const VectorClock &Clock,
+               uint64_t OwnEpoch);
   void report(const Epoch &Old, const EventRecord &New, bool OldIsWrite);
 
   RaceReport &Report;
   std::vector<VectorClock> ThreadClocks;
-  std::unordered_map<SyncVar, VectorClock> SyncClocks;
-  std::unordered_map<uint64_t, AddressState> Shadow;
+  std::unordered_map<SyncVar, VectorClock, Mix64Hash> SyncClocks;
+  ShadowMap<AddressState> Shadow;
   /// See HBDetector::GapBarrier.
   VectorClock GapBarrier;
   uint64_t CoverageGaps = 0;
   uint64_t Promotions = 0;
+  uint64_t Demotions = 0;
   uint64_t MemoryEvents = 0;
 };
 

@@ -105,71 +105,93 @@ void HBDetector::onEventAt(const EventRecord &R, uint64_t EventIndex) {
   literaceUnreachable("invalid event kind");
 }
 
-void HBDetector::checkAgainst(const std::vector<AccessRecord> &Prior,
-                              const EventRecord &New,
-                              const VectorClock &NewClock,
-                              bool PriorAreWrites) {
-  const bool NewIsWrite = New.Kind == EventKind::Write;
-  for (const AccessRecord &Old : Prior) {
-    if (Old.Tid == New.Tid)
-      continue;
-    if (!PriorAreWrites && !NewIsWrite)
-      continue; // Read/read pairs never conflict.
-    if (NewClock.get(Old.Tid) >= Old.Clock)
-      continue; // Ordered: Old happens-before New.
-    RaceSighting Sighting;
-    Sighting.FirstPc = Old.Site;
-    Sighting.SecondPc = New.Pc;
-    Sighting.Addr = New.Addr;
-    Sighting.FirstTid = Old.Tid;
-    Sighting.SecondTid = New.Tid;
-    Sighting.FirstIsWrite = PriorAreWrites;
-    Sighting.SecondIsWrite = NewIsWrite;
-    Sighting.EventIndex = CurrentEventIndex;
-    Report.record(Sighting);
-  }
+LR_NOINLINE void HBDetector::reportRace(const AccessRecord &Old,
+                                        const EventRecord &New,
+                                        bool OldIsWrite) {
+  RaceSighting Sighting;
+  Sighting.FirstPc = Old.Site;
+  Sighting.SecondPc = New.Pc;
+  Sighting.Addr = New.Addr;
+  Sighting.FirstTid = Old.Tid;
+  Sighting.SecondTid = New.Tid;
+  Sighting.FirstIsWrite = OldIsWrite;
+  Sighting.SecondIsWrite = New.Kind == EventKind::Write;
+  Sighting.EventIndex = CurrentEventIndex;
+  Report.record(Sighting);
 }
 
-void HBDetector::updateAccessList(std::vector<AccessRecord> &List,
-                                  ThreadId T, uint64_t Clock, Pc Site,
-                                  const VectorClock &NewClock) {
-  // Drop entries the new access happens-after: any future access racing a
-  // dropped entry also races the new one (and with a conflicting kind,
-  // because the new entry's kind matches or strengthens the list's kind).
-  List.erase(std::remove_if(List.begin(), List.end(),
-                            [&](const AccessRecord &Old) {
-                              return NewClock.get(Old.Tid) >= Old.Clock;
-                            }),
-             List.end());
-  List.push_back(AccessRecord{T, Clock, Site});
+LR_ALWAYS_INLINE void HBDetector::onMemoryWith(const EventRecord &R,
+                                               const VectorClock &Clock,
+                                               uint64_t Epoch) {
+  ++MemoryEvents;
+  AddressState &State = Shadow.ref(R.Addr);
+
+  // Each list is walked once: races are reported and the surviving
+  // entries compacted in the same pass. Survivor order matches the old
+  // checkAgainst + removeIf pair (both preserved relative order), so
+  // reports are byte-identical.
+  if (R.Kind == EventKind::Write) {
+    // A write checks against both lists, replaces its own write entry,
+    // and prunes every entry it happens-after: any future access racing
+    // a pruned entry also races this write (and every kind conflicts
+    // with a write), so nothing reportable is lost.
+    uint32_t Out = 0;
+    for (AccessRecord &Old : State.Writes) {
+      if (Old.Tid != R.Tid && Clock.get(Old.Tid) < Old.Clock) {
+        reportRace(Old, R, /*OldIsWrite=*/true);
+        State.Writes[Out++] = Old; // Unordered: survives the prune.
+      }
+      // Ordered entries (own included: the thread's component is
+      // monotone) are happens-before this write — pruned.
+    }
+    State.Writes.truncate(Out);
+    State.Writes.push_back(AccessRecord{Epoch, R.Pc, R.Tid});
+    Out = 0;
+    for (AccessRecord &Old : State.Reads) {
+      if (Old.Tid != R.Tid && Clock.get(Old.Tid) < Old.Clock) {
+        reportRace(Old, R, /*OldIsWrite=*/false);
+        State.Reads[Out++] = Old;
+      }
+    }
+    State.Reads.truncate(Out);
+  } else {
+    for (const AccessRecord &Old : State.Writes)
+      if (Old.Tid != R.Tid && Clock.get(Old.Tid) < Old.Clock)
+        reportRace(Old, R, /*OldIsWrite=*/true);
+    // Reads must never prune writes: a later read racing a pruned write
+    // would go unreported (read/read pairs do not conflict). The read
+    // list is updated in place; common case is the thread overwriting
+    // its own previous entry.
+    if (State.Reads.size() == 1 && State.Reads.front().Tid == R.Tid) {
+      State.Reads.front() = AccessRecord{Epoch, R.Pc, R.Tid};
+    } else {
+      uint32_t Out = 0;
+      for (AccessRecord &Old : State.Reads)
+        if (Clock.get(Old.Tid) < Old.Clock)
+          State.Reads[Out++] = Old; // Unordered with the new read.
+      State.Reads.truncate(Out);
+      State.Reads.push_back(AccessRecord{Epoch, R.Pc, R.Tid});
+    }
+  }
 }
 
 void HBDetector::onMemory(const EventRecord &R) {
-  ++MemoryEvents;
-  const ThreadId T = R.Tid;
-  const VectorClock &Clock = clockOf(T);
-  const uint64_t Epoch = Clock.get(T);
-  AddressState &State = Shadow[R.Addr];
+  const VectorClock &Clock = clockOf(R.Tid);
+  onMemoryWith(R, Clock, Clock.get(R.Tid));
+}
 
-  // A read conflicts with prior writes; a write conflicts with both.
-  checkAgainst(State.Writes, R, Clock, /*PriorAreWrites=*/true);
-  if (R.Kind == EventKind::Write) {
-    checkAgainst(State.Reads, R, Clock, /*PriorAreWrites=*/false);
-    updateAccessList(State.Writes, T, Epoch, R.Pc, Clock);
-    // A write that happens-after a read subsumes it: future accesses
-    // unordered with that read are also unordered with this write, and
-    // every access kind conflicts with a write.
-    State.Reads.erase(std::remove_if(State.Reads.begin(), State.Reads.end(),
-                                     [&](const AccessRecord &Old) {
-                                       return Clock.get(Old.Tid) >=
-                                              Old.Clock;
-                                     }),
-                      State.Reads.end());
-  } else {
-    // Reads must never prune writes: a later read racing a pruned write
-    // would go unreported (read/read pairs do not conflict).
-    updateAccessList(State.Reads, T, Epoch, R.Pc, Clock);
-  }
+size_t HBDetector::onMemoryRun(const EventRecord *Records, size_t MaxCount) {
+  // One thread, no intervening sync within the run: the clock and epoch
+  // hold until the first non-memory record, where the walk stops.
+  const VectorClock &Clock = clockOf(Records[0].Tid);
+  const uint64_t Epoch = Clock.get(Records[0].Tid);
+  size_t I = 0;
+  do {
+    CurrentEventIndex = NextEventIndex++;
+    onMemoryWith(Records[I], Clock, Epoch);
+    ++I;
+  } while (I != MaxCount && isMemoryKind(Records[I].Kind));
+  return I;
 }
 
 bool literace::detectRaces(const Trace &T, RaceReport &Report,
@@ -177,10 +199,10 @@ bool literace::detectRaces(const Trace &T, RaceReport &Report,
                            const DetectorOptions &DetOpts) {
   if (DetOpts.Shards <= 1) {
     HBDetector Detector(Report);
-    return replayTrace(T, Detector, Options);
+    return replayTraceWith(T, Detector, Options);
   }
   ShardedHBDetector Sharded(DetOpts);
-  bool Ok = replayTrace(T, Sharded, Options);
+  bool Ok = replayTraceWith(T, Sharded, Options);
   Sharded.finish(Report);
   return Ok;
 }

@@ -29,6 +29,9 @@
 #include "detector/RaceReport.h"
 #include "detector/Replay.h"
 #include "detector/VectorClock.h"
+#include "support/Hashing.h"
+#include "support/ShadowMap.h"
+#include "support/SmallVector.h"
 
 #include <unordered_map>
 #include <vector>
@@ -36,7 +39,9 @@
 namespace literace {
 
 /// Vector-clock happens-before detector over replayed event streams.
-class HBDetector : public TraceConsumer {
+/// `final` so the statically typed replay loop (replayTraceWith) and the
+/// sharded workers devirtualize onEvent into a direct, inlinable call.
+class HBDetector final : public TraceConsumer {
 public:
   /// Detected races are recorded into \p Report (owned by the caller).
   explicit HBDetector(RaceReport &Report);
@@ -61,6 +66,15 @@ public:
   /// indices a serial replay would assign.
   void onEventAt(const EventRecord &R, uint64_t EventIndex);
 
+  /// Batch entry point used by replayTraceWith: \p Records[0] is a
+  /// memory event, and the detector consumes the maximal leading run of
+  /// memory events (capped at \p MaxCount), returning how many it took.
+  /// Within a run there is no intervening sync event of the thread, so
+  /// its vector clock — and hence its epoch — is loop-invariant and
+  /// looked up once for the whole run. Event numbering and reports are
+  /// identical to delivering each record through onEvent().
+  size_t onMemoryRun(const EventRecord *Records, size_t MaxCount);
+
   /// Number of memory events processed (the detection workload).
   uint64_t memoryEventsProcessed() const { return MemoryEvents; }
 
@@ -76,15 +90,23 @@ public:
 private:
   /// Most recent logged access of one thread to one address.
   struct AccessRecord {
-    ThreadId Tid;
     uint64_t Clock;
     Pc Site;
-    };
+    ThreadId Tid;
+  };
+
+  /// Per-address list of live last-access records. One entry lives
+  /// inline in the shadow slot itself: most addresses have a single live
+  /// reader/writer at a time, and one inline entry per list keeps the
+  /// whole AddressState at 64 bytes — exactly one cache line per
+  /// address, which measures faster than a larger inline capacity even
+  /// though two-thread addresses then spill to the heap.
+  using AccessList = SmallVector<AccessRecord, 1>;
 
   /// Shadow state of one address: per-thread last read and last write.
   struct AddressState {
-    std::vector<AccessRecord> Writes;
-    std::vector<AccessRecord> Reads;
+    AccessList Writes;
+    AccessList Reads;
   };
 
   VectorClock &clockOf(ThreadId T);
@@ -92,23 +114,21 @@ private:
   void release(ThreadId T, SyncVar S);
   void onMemory(const EventRecord &R);
 
-  /// Reports races between the new access and every conflicting stored
-  /// access that is not ordered before it.
-  void checkAgainst(const std::vector<AccessRecord> &Prior,
-                    const EventRecord &New, const VectorClock &NewClock,
-                    bool PriorAreWrites);
+  /// The fused per-access step: checks \p R against both lists and
+  /// updates the one matching its kind, in a single pass per list.
+  /// \p Clock must be the accessing thread's current clock and \p Epoch
+  /// its own component (hoisted by onMemoryRun for whole runs).
+  void onMemoryWith(const EventRecord &R, const VectorClock &Clock,
+                    uint64_t Epoch);
 
-  /// Replaces thread \p T's entry in \p List with (\p T, \p Clock, \p
-  /// Site), dropping entries that the new access happens-after (they can
-  /// no longer race with anything the new entry would not also catch).
-  static void updateAccessList(std::vector<AccessRecord> &List, ThreadId T,
-                               uint64_t Clock, Pc Site,
-                               const VectorClock &NewClock);
+  /// Builds and records a sighting (off the hot path; rare).
+  void reportRace(const AccessRecord &Old, const EventRecord &New,
+                  bool OldIsWrite);
 
   RaceReport &Report;
   std::vector<VectorClock> ThreadClocks;
-  std::unordered_map<SyncVar, VectorClock> SyncClocks;
-  std::unordered_map<uint64_t, AddressState> Shadow;
+  std::unordered_map<SyncVar, VectorClock, Mix64Hash> SyncClocks;
+  ShadowMap<AddressState> Shadow;
   /// Join of every thread clock at the last coverage gap; threads first
   /// seen later start behind it so cross-gap pairs stay ordered.
   VectorClock GapBarrier;

@@ -60,7 +60,7 @@ void LocksetDetector::onEvent(const EventRecord &R) {
 }
 
 void LocksetDetector::onMemory(const EventRecord &R) {
-  AddressState &State = States[R.Addr];
+  AddressState &State = States.ref(R.Addr);
   const std::set<SyncVar> &Held = locksHeld(R.Tid);
   const bool IsWrite = R.Kind == EventKind::Write;
 
@@ -117,5 +117,5 @@ void LocksetDetector::onMemory(const EventRecord &R) {
 bool literace::detectLocksetViolations(const Trace &T, RaceReport &Report,
                                        const ReplayOptions &Options) {
   LocksetDetector Detector(Report);
-  return replayTrace(T, Detector, Options);
+  return replayTraceWith(T, Detector, Options);
 }

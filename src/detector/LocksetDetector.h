@@ -26,15 +26,16 @@
 
 #include "detector/RaceReport.h"
 #include "detector/Replay.h"
+#include "support/ShadowMap.h"
 
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 namespace literace {
 
 /// Lockset-based race detector over replayed event streams.
-class LocksetDetector : public TraceConsumer {
+/// `final` so replayTraceWith devirtualizes onEvent (see HBDetector).
+class LocksetDetector final : public TraceConsumer {
 public:
   /// Warnings (potential races) are recorded into \p Report; the "first"
   /// site of the sighting is the access that emptied the lockset.
@@ -76,7 +77,7 @@ private:
 
   RaceReport &Report;
   std::vector<std::set<SyncVar>> LocksHeldByThread;
-  std::unordered_map<uint64_t, AddressState> States;
+  ShadowMap<AddressState> States;
   std::set<uint64_t> Flagged;
   uint64_t CoverageGaps = 0;
 };

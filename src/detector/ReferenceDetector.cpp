@@ -8,6 +8,8 @@
 
 #include "support/Compiler.h"
 
+#include <algorithm>
+
 using namespace literace;
 
 VectorClock &ReferenceDetector::clockOf(ThreadId T) {
@@ -63,7 +65,17 @@ void ReferenceDetector::onEvent(const EventRecord &R) {
 }
 
 void ReferenceDetector::enumerateRaces(RaceReport &Report) const {
-  for (const auto &Entry : Accesses) {
+  // Enumerate in ascending address order so the oracle's report does not
+  // depend on hash-table iteration order (the map's hash is an
+  // implementation detail; the enumeration result must not be).
+  std::vector<const std::pair<const uint64_t, std::vector<Access>> *> Sorted;
+  Sorted.reserve(Accesses.size());
+  for (const auto &Entry : Accesses)
+    Sorted.push_back(&Entry);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const auto *A, const auto *B) { return A->first < B->first; });
+  for (const auto *EntryPtr : Sorted) {
+    const auto &Entry = *EntryPtr;
     const std::vector<Access> &List = Entry.second;
     for (size_t I = 0; I != List.size(); ++I) {
       for (size_t J = I + 1; J != List.size(); ++J) {
@@ -114,7 +126,7 @@ size_t ReferenceDetector::accessesRecorded() const {
 
 bool literace::detectRacesReference(const Trace &T, RaceReport &Report) {
   ReferenceDetector Oracle;
-  if (!replayTrace(T, Oracle))
+  if (!replayTraceWith(T, Oracle))
     return false;
   Oracle.enumerateRaces(Report);
   return true;

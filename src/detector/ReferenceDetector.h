@@ -27,6 +27,7 @@
 #include "detector/RaceReport.h"
 #include "detector/Replay.h"
 #include "detector/VectorClock.h"
+#include "support/Hashing.h"
 
 #include <set>
 #include <unordered_map>
@@ -36,7 +37,7 @@ namespace literace {
 
 /// Collects every memory access with its full vector clock, then
 /// enumerates all racing pairs on demand.
-class ReferenceDetector : public TraceConsumer {
+class ReferenceDetector final : public TraceConsumer {
 public:
   /// One recorded access with its complete happens-before knowledge.
   struct Access {
@@ -70,8 +71,8 @@ private:
   VectorClock &clockOf(ThreadId T);
 
   std::vector<VectorClock> ThreadClocks;
-  std::unordered_map<SyncVar, VectorClock> SyncClocks;
-  std::unordered_map<uint64_t, std::vector<Access>> Accesses;
+  std::unordered_map<SyncVar, VectorClock, Mix64Hash> SyncClocks;
+  std::unordered_map<uint64_t, std::vector<Access>, Mix64Hash> Accesses;
 };
 
 /// Replays \p T through a ReferenceDetector and enumerates all races.

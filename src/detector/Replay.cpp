@@ -6,11 +6,7 @@
 
 #include "detector/Replay.h"
 
-#include "runtime/TimestampManager.h"
-
 #include <cassert>
-#include <limits>
-#include <optional>
 
 using namespace literace;
 
@@ -18,138 +14,12 @@ TraceConsumer::~TraceConsumer() = default;
 
 void TraceConsumer::onCoverageGap() {}
 
-namespace {
-
-/// Returns true if \p R should be handed to the consumer under \p Options.
-bool passesFilter(const EventRecord &R, const ReplayOptions &Options) {
-  if (!isMemoryKind(R.Kind) || Options.SamplerSlot < 0)
-    return true;
-  return (R.Mask & (1u << Options.SamplerSlot)) != 0;
-}
-
-/// The gap to skip when every stream is stalled: which counter to
-/// advance, and to what timestamp.
-struct GapSkip {
-  unsigned Counter = 0;
-  uint64_t Ts = 0;
-};
-
-/// Shared earliest-blocked-event scan used by both gap-tolerant replay
-/// paths (batch replayTrace and incremental drainAllowingGaps), so their
-/// skip decisions — and therefore the delivered event sequences — cannot
-/// diverge. \p ForEachFront invokes its callback once per non-empty
-/// stream with that stream's front record. A front only blocks replay if
-/// it is a sync event with a real timestamp strictly ahead of its
-/// counter; among those the smallest timestamp wins, which makes the
-/// choice deterministic regardless of stream enumeration order (two
-/// fronts with equal Ts on the same counter pick the same skip; equal Ts
-/// on different counters cannot both be minimal more than once per
-/// round, and the next round handles the other).
-template <typename ForEachFrontFn>
-std::optional<GapSkip>
-findEarliestBlockedEvent(ForEachFrontFn &&ForEachFront,
-                         const std::vector<uint64_t> &NextTs,
-                         unsigned NumCounters) {
-  GapSkip Best;
-  Best.Ts = std::numeric_limits<uint64_t>::max();
-  bool Found = false;
-  ForEachFront([&](const EventRecord &R) {
-    // Non-sync and timestamp-less fronts never block (gap-tolerant
-    // drains deliver them unconditionally); a sync front at or behind
-    // its counter is deliverable, not blocked.
-    if (!isSyncKind(R.Kind) || R.Ts == 0)
-      return;
-    const unsigned Counter = counterForSyncVar(R.Addr, NumCounters);
-    if (R.Ts > NextTs[Counter] && R.Ts < Best.Ts) {
-      Best.Ts = R.Ts;
-      Best.Counter = Counter;
-      Found = true;
-    }
-  });
-  if (!Found)
-    return std::nullopt;
-  return Best;
-}
-
-} // namespace
-
 bool literace::replayTrace(const Trace &T, TraceConsumer &Consumer,
                            const ReplayOptions &Options) {
-  const unsigned NumCounters = T.NumTimestampCounters;
-  const size_t NumThreads = T.PerThread.size();
-  std::vector<size_t> Cursor(NumThreads, 0);
-  std::vector<uint64_t> NextTs(NumCounters, 1);
-
-  size_t Remaining = T.totalEvents();
-  while (Remaining > 0) {
-    bool Progress = false;
-    for (size_t Tid = 0; Tid != NumThreads; ++Tid) {
-      const auto &Stream = T.PerThread[Tid];
-      size_t &C = Cursor[Tid];
-      while (C < Stream.size()) {
-        const EventRecord &R = Stream[C];
-        if (isSyncKind(R.Kind)) {
-          if (R.Ts == 0) {
-            // Malformed: sync event without a timestamp. A salvaged trace
-            // is delivered without an ordering constraint (the gap
-            // machinery keeps detectors conservative); a trusted one is
-            // rejected.
-            if (!Options.AllowTimestampGaps)
-              return false;
-            Consumer.onEvent(R);
-          } else {
-            unsigned Counter = counterForSyncVar(R.Addr, NumCounters);
-            if (R.Ts < NextTs[Counter]) {
-              // Duplicate (strict: inconsistent log) or an event whose
-              // counter was gap-advanced past it; cross-gap order for
-              // this counter is already conservatively barriered, so
-              // deliver without touching the counter.
-              if (!Options.AllowTimestampGaps)
-                return false;
-              Consumer.onEvent(R);
-            } else if (R.Ts == NextTs[Counter]) {
-              ++NextTs[Counter];
-              Consumer.onEvent(R);
-            } else {
-              break; // Not yet enabled; try another thread.
-            }
-          }
-        } else if (passesFilter(R, Options)) {
-          Consumer.onEvent(R);
-        }
-        ++C;
-        --Remaining;
-        Progress = true;
-      }
-    }
-    if (Progress || Remaining == 0)
-      continue;
-    // Every unfinished thread is blocked on a timestamp that never
-    // arrives: with a trusted log that means it is inconsistent; with a
-    // salvaged one, the timestamps died with a dropped segment.
-    if (!Options.AllowTimestampGaps)
-      return false;
-    // Skip the smallest missing range: advance the counter of the
-    // earliest blocked event straight to that event's timestamp, using
-    // the same helper as the incremental path so both deliver identical
-    // sequences on the same gapped trace.
-    auto Skip = findEarliestBlockedEvent(
-        [&](auto &&Visit) {
-          for (size_t Tid = 0; Tid != NumThreads; ++Tid) {
-            const auto &Stream = T.PerThread[Tid];
-            if (Cursor[Tid] < Stream.size())
-              Visit(Stream[Cursor[Tid]]);
-          }
-        },
-        NextTs, NumCounters);
-    if (!Skip)
-      return false; // Defensive; cannot happen while Remaining > 0.
-    NextTs[Skip->Counter] = Skip->Ts;
-    if (Options.OutTimestampGaps)
-      ++*Options.OutTimestampGaps;
-    Consumer.onCoverageGap();
-  }
-  return true;
+  // The base-class instantiation of the shared loop: one virtual call
+  // per event. Detection wrappers use replayTraceWith<ConcreteDetector>
+  // directly so the per-event dispatch inlines away.
+  return replayTraceWith(T, Consumer, Options);
 }
 
 ReplayScheduler::ReplayScheduler(unsigned NumTimestampCounters,
@@ -194,7 +64,7 @@ size_t ReplayScheduler::drainImpl(TraceConsumer &Consumer, bool AllowStale) {
               break; // Waits for timestamps possibly not yet added.
             }
           }
-        } else if (passesFilter(R, Options)) {
+        } else if (replay_detail::passesFilter(R, Options)) {
           Consumer.onEvent(R);
         }
         Stream.pop_front();
@@ -217,7 +87,7 @@ size_t ReplayScheduler::drainAllowingGaps(TraceConsumer &Consumer) {
     // No more input is coming: whatever each stream is blocked on was
     // lost with a dropped segment. Skip the earliest gap and keep going,
     // through the helper shared with the batch replayTrace path.
-    auto Skip = findEarliestBlockedEvent(
+    auto Skip = replay_detail::findEarliestBlockedEvent(
         [&](auto &&Visit) {
           for (const auto &Stream : Streams)
             if (!Stream.empty())

@@ -167,7 +167,7 @@ bool literace::detectRacesSharded(const Trace &T, RaceReport &Report,
                                   const DetectorOptions &Options,
                                   const ReplayOptions &Replay) {
   ShardedHBDetector Detector(Options);
-  bool Ok = replayTrace(T, Detector, Replay);
+  bool Ok = replayTraceWith(T, Detector, Replay);
   Detector.finish(Report);
   return Ok;
 }

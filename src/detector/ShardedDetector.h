@@ -52,7 +52,7 @@ unsigned shardOfAddress(uint64_t Addr, unsigned Shards);
 /// TraceConsumer that fans a replayed stream out to per-shard HBDetector
 /// workers. Feed it events (from replayTrace or a ReplayScheduler), then
 /// call finish() to stop the workers and collect the merged report.
-class ShardedHBDetector : public TraceConsumer {
+class ShardedHBDetector final : public TraceConsumer {
 public:
   explicit ShardedHBDetector(const DetectorOptions &Options);
   ~ShardedHBDetector() override;

@@ -6,44 +6,25 @@
 
 #include "detector/VectorClock.h"
 
-#include <algorithm>
-
 using namespace literace;
 
-void VectorClock::set(ThreadId T, uint64_t V) {
-  if (T >= Clocks.size())
-    Clocks.resize(T + 1, 0);
-  Clocks[T] = V;
-}
-
-void VectorClock::joinWith(const VectorClock &Other) {
-  if (Other.Clocks.size() > Clocks.size())
-    Clocks.resize(Other.Clocks.size(), 0);
-  for (size_t I = 0; I != Other.Clocks.size(); ++I)
-    Clocks[I] = std::max(Clocks[I], Other.Clocks[I]);
-}
-
-bool VectorClock::dominates(const VectorClock &Other) const {
-  for (size_t I = 0; I != Other.Clocks.size(); ++I)
-    if (get(static_cast<ThreadId>(I)) < Other.Clocks[I])
-      return false;
-  return true;
-}
-
-bool VectorClock::operator==(const VectorClock &Other) const {
-  size_t N = std::max(Clocks.size(), Other.Clocks.size());
-  for (size_t I = 0; I != N; ++I)
-    if (get(static_cast<ThreadId>(I)) != Other.get(static_cast<ThreadId>(I)))
-      return false;
-  return true;
+void VectorClock::grow(uint32_t N) {
+  // Capacity stays a multiple of the SIMD block so rounded-up spans are
+  // always in bounds; doubling keeps growth amortized-constant.
+  uint32_t NewCap = std::max(Cap * 2, roundUpBlock(N));
+  uint64_t *NewData = new uint64_t[NewCap](); // Zeroed: slack invariant.
+  std::memcpy(NewData, data(), Sz * sizeof(uint64_t));
+  releaseHeap();
+  Heap = NewData;
+  Cap = NewCap;
 }
 
 std::string VectorClock::str() const {
   std::string Out = "[";
-  for (size_t I = 0; I != Clocks.size(); ++I) {
+  for (size_t I = 0; I != Sz; ++I) {
     if (I)
       Out += ", ";
-    Out += std::to_string(Clocks[I]);
+    Out += std::to_string(data()[I]);
   }
   Out += "]";
   return Out;

@@ -9,52 +9,378 @@
 /// indexed by dense ThreadId; a clock grows on demand and missing
 /// components read as zero.
 ///
+/// This is the hottest data structure in the offline detectors, so the
+/// representation is tuned rather than delegated to std::vector:
+///
+///   - Small-size inline storage: clocks of up to 4 threads (the common
+///     case for the paper's workloads) live entirely inside the object
+///     and never touch the heap.
+///   - Zeroed-slack invariant: every component in [size(), capacity())
+///     is kept zero and the capacity is always a multiple of 4, so
+///     joinWith/dominates/operator== can run whole 4-lane SIMD blocks
+///     without tail masking — trailing components read as zero whether
+///     they are allocated or not, exactly matching the scalar semantics
+///     on length-mismatched clocks.
+///   - Compile-time SIMD dispatch: AVX2 when the TU is compiled with it,
+///     an SSE2 path on baseline x86-64 (unsigned 64-bit compares are
+///     emulated with 32-bit half compares), and a portable scalar
+///     fallback everywhere else. All three paths are semantically
+///     identical, including for components >= 2^63.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LITERACE_DETECTOR_VECTORCLOCK_H
 #define LITERACE_DETECTOR_VECTORCLOCK_H
 
 #include "runtime/Ids.h"
+#include "support/Compiler.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <string>
-#include <vector>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define LITERACE_VECTORCLOCK_SIMD "avx2"
+#elif defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define LITERACE_VECTORCLOCK_SIMD "sse2"
+#else
+#define LITERACE_VECTORCLOCK_SIMD "scalar"
+#endif
 
 namespace literace {
+
+namespace vcsimd {
+
+#if defined(__AVX2__)
+
+/// Per-64-bit-lane mask of unsigned A > B (AVX2 has only signed 64-bit
+/// compares; biasing both operands by 2^63 makes the signed compare
+/// order unsigned values correctly).
+LR_ALWAYS_INLINE __m256i gtEpu64(__m256i A, __m256i B) {
+  const __m256i Bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(A, Bias),
+                            _mm256_xor_si256(B, Bias));
+}
+
+/// A[0..Words) = max(A, B) pointwise. Words must be a multiple of 4.
+LR_ALWAYS_INLINE void joinMax(uint64_t *A, const uint64_t *B,
+                              uint32_t Words) {
+  for (uint32_t I = 0; I < Words; I += 4) {
+    __m256i Va = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + I));
+    __m256i Vb = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(B + I));
+    __m256i TakeB = gtEpu64(Vb, Va);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(A + I),
+                        _mm256_blendv_epi8(Va, Vb, TakeB));
+  }
+}
+
+/// True if some lane of A[0..Words) is unsigned-less-than the matching
+/// lane of B. Words must be a multiple of 4.
+LR_ALWAYS_INLINE bool anyLess(const uint64_t *A, const uint64_t *B,
+                              uint32_t Words) {
+  for (uint32_t I = 0; I < Words; I += 4) {
+    __m256i Va = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + I));
+    __m256i Vb = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(B + I));
+    if (_mm256_movemask_epi8(gtEpu64(Vb, Va)) != 0)
+      return true;
+  }
+  return false;
+}
+
+/// True if some word of A[0..Words) is nonzero. Words: multiple of 4.
+LR_ALWAYS_INLINE bool anyNonZero(const uint64_t *A, uint32_t Words) {
+  __m256i Acc = _mm256_setzero_si256();
+  for (uint32_t I = 0; I < Words; I += 4)
+    Acc = _mm256_or_si256(
+        Acc, _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + I)));
+  return _mm256_testz_si256(Acc, Acc) == 0;
+}
+
+/// True if A[0..Words) == B[0..Words). Words: multiple of 4.
+LR_ALWAYS_INLINE bool allEqual(const uint64_t *A, const uint64_t *B,
+                               uint32_t Words) {
+  for (uint32_t I = 0; I < Words; I += 4) {
+    __m256i Va = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + I));
+    __m256i Vb = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(B + I));
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi64(Va, Vb)) != -1)
+      return false;
+  }
+  return true;
+}
+
+#elif defined(__SSE2__) || defined(_M_X64)
+
+/// Per-64-bit-lane mask of unsigned A > B using only SSE2: compare the
+/// 32-bit halves (biased so signed compares order them unsigned) and
+/// combine as HighGt | (HighEq & LowGt), broadcast to the whole lane.
+LR_ALWAYS_INLINE __m128i gtEpu64(__m128i A, __m128i B) {
+  const __m128i Bias = _mm_set1_epi32(static_cast<int>(0x80000000U));
+  __m128i Gt32 = _mm_cmpgt_epi32(_mm_xor_si128(A, Bias),
+                                 _mm_xor_si128(B, Bias));
+  __m128i Eq32 = _mm_cmpeq_epi32(A, B);
+  __m128i HighGt = _mm_shuffle_epi32(Gt32, _MM_SHUFFLE(3, 3, 1, 1));
+  __m128i LowGt = _mm_shuffle_epi32(Gt32, _MM_SHUFFLE(2, 2, 0, 0));
+  __m128i HighEq = _mm_shuffle_epi32(Eq32, _MM_SHUFFLE(3, 3, 1, 1));
+  return _mm_or_si128(HighGt, _mm_and_si128(HighEq, LowGt));
+}
+
+LR_ALWAYS_INLINE void joinMax(uint64_t *A, const uint64_t *B,
+                              uint32_t Words) {
+  for (uint32_t I = 0; I < Words; I += 2) {
+    __m128i Va = _mm_loadu_si128(reinterpret_cast<const __m128i *>(A + I));
+    __m128i Vb = _mm_loadu_si128(reinterpret_cast<const __m128i *>(B + I));
+    __m128i TakeB = gtEpu64(Vb, Va);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(A + I),
+                     _mm_or_si128(_mm_and_si128(TakeB, Vb),
+                                  _mm_andnot_si128(TakeB, Va)));
+  }
+}
+
+LR_ALWAYS_INLINE bool anyLess(const uint64_t *A, const uint64_t *B,
+                              uint32_t Words) {
+  for (uint32_t I = 0; I < Words; I += 2) {
+    __m128i Va = _mm_loadu_si128(reinterpret_cast<const __m128i *>(A + I));
+    __m128i Vb = _mm_loadu_si128(reinterpret_cast<const __m128i *>(B + I));
+    if (_mm_movemask_epi8(gtEpu64(Vb, Va)) != 0)
+      return true;
+  }
+  return false;
+}
+
+LR_ALWAYS_INLINE bool anyNonZero(const uint64_t *A, uint32_t Words) {
+  __m128i Acc = _mm_setzero_si128();
+  for (uint32_t I = 0; I < Words; I += 2)
+    Acc = _mm_or_si128(
+        Acc, _mm_loadu_si128(reinterpret_cast<const __m128i *>(A + I)));
+  return _mm_movemask_epi8(_mm_cmpeq_epi32(Acc, _mm_setzero_si128())) !=
+         0xffff;
+}
+
+LR_ALWAYS_INLINE bool allEqual(const uint64_t *A, const uint64_t *B,
+                               uint32_t Words) {
+  for (uint32_t I = 0; I < Words; I += 2) {
+    __m128i Va = _mm_loadu_si128(reinterpret_cast<const __m128i *>(A + I));
+    __m128i Vb = _mm_loadu_si128(reinterpret_cast<const __m128i *>(B + I));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi32(Va, Vb)) != 0xffff)
+      return false;
+  }
+  return true;
+}
+
+#else
+
+LR_ALWAYS_INLINE void joinMax(uint64_t *A, const uint64_t *B,
+                              uint32_t Words) {
+  for (uint32_t I = 0; I != Words; ++I)
+    A[I] = std::max(A[I], B[I]);
+}
+
+LR_ALWAYS_INLINE bool anyLess(const uint64_t *A, const uint64_t *B,
+                              uint32_t Words) {
+  for (uint32_t I = 0; I != Words; ++I)
+    if (A[I] < B[I])
+      return true;
+  return false;
+}
+
+LR_ALWAYS_INLINE bool anyNonZero(const uint64_t *A, uint32_t Words) {
+  for (uint32_t I = 0; I != Words; ++I)
+    if (A[I] != 0)
+      return true;
+  return false;
+}
+
+LR_ALWAYS_INLINE bool allEqual(const uint64_t *A, const uint64_t *B,
+                               uint32_t Words) {
+  return std::memcmp(A, B, Words * sizeof(uint64_t)) == 0;
+}
+
+#endif
+
+} // namespace vcsimd
 
 /// A growable vector clock over dense thread ids.
 class VectorClock {
 public:
+  /// Components stored inside the object itself; one SIMD block, and
+  /// enough that the common <= 4-thread clock never heap-allocates.
+  static constexpr uint32_t InlineCapacity = 4;
+
   VectorClock() = default;
 
-  /// Component for thread \p T (zero if never set).
-  uint64_t get(ThreadId T) const {
-    return T < Clocks.size() ? Clocks[T] : 0;
+  VectorClock(const VectorClock &Other) { copyFrom(Other); }
+
+  VectorClock(VectorClock &&Other) noexcept { moveFrom(Other); }
+
+  VectorClock &operator=(const VectorClock &Other) {
+    if (this != &Other) {
+      assignFrom(Other);
+    }
+    return *this;
   }
 
+  VectorClock &operator=(VectorClock &&Other) noexcept {
+    if (this != &Other) {
+      releaseHeap();
+      moveFrom(Other);
+    }
+    return *this;
+  }
+
+  ~VectorClock() { releaseHeap(); }
+
+  /// Component for thread \p T (zero if never set).
+  uint64_t get(ThreadId T) const { return T < Sz ? data()[T] : 0; }
+
   /// Sets the component for thread \p T.
-  void set(ThreadId T, uint64_t V);
+  void set(ThreadId T, uint64_t V) {
+    ensure(T + 1);
+    data()[T] = V;
+  }
 
-  /// Increments the component for thread \p T.
-  void tick(ThreadId T) { set(T, get(T) + 1); }
+  /// Increments the component for thread \p T. Single pass: one bounds
+  /// check and one in-place increment (no get-then-set round trip).
+  void tick(ThreadId T) {
+    ensure(T + 1);
+    ++data()[T];
+  }
 
-  /// Pointwise maximum with \p Other.
-  void joinWith(const VectorClock &Other);
+  /// Pointwise maximum with \p Other. Trailing components of the shorter
+  /// clock read as zero.
+  void joinWith(const VectorClock &Other) {
+    if (Other.Sz == 0)
+      return;
+    ensure(Other.Sz);
+    // Both buffers hold >= roundUp4(Other.Sz) words and the slack beyond
+    // each logical size is zero, so whole SIMD blocks are exact:
+    // max(x, 0) == x keeps our slack zeroed.
+    vcsimd::joinMax(data(), Other.data(), roundUpBlock(Other.Sz));
+  }
 
   /// True if every component of this clock is >= the corresponding
   /// component of \p Other (i.e. Other happened-before-or-equals this).
-  bool dominates(const VectorClock &Other) const;
+  bool dominates(const VectorClock &Other) const {
+    if (Other.Sz == 0)
+      return true;
+    const uint32_t Common = roundUpBlock(std::min(Sz, Other.Sz));
+    if (vcsimd::anyLess(data(), Other.data(), Common))
+      return false;
+    // Components of Other beyond our allocation read as zero on our
+    // side, so any nonzero one there breaks dominance. Other's slack is
+    // zero, so whole blocks are safe to scan.
+    const uint32_t OtherWords = roundUpBlock(Other.Sz);
+    if (OtherWords > Common &&
+        vcsimd::anyNonZero(Other.data() + Common, OtherWords - Common))
+      return false;
+    return true;
+  }
 
   /// Number of allocated components (trailing zeros may be omitted).
-  size_t size() const { return Clocks.size(); }
+  size_t size() const { return Sz; }
 
-  bool operator==(const VectorClock &Other) const;
+  bool operator==(const VectorClock &Other) const {
+    const uint32_t Common = roundUpBlock(std::min(Sz, Other.Sz));
+    if (!vcsimd::allEqual(data(), Other.data(), Common))
+      return false;
+    // The longer clock's surplus must be all zero (trailing explicit
+    // zeros equal omitted components).
+    const VectorClock &Longer = Sz >= Other.Sz ? *this : Other;
+    const uint32_t LongWords = roundUpBlock(Longer.Sz);
+    return LongWords == Common ||
+           !vcsimd::anyNonZero(Longer.data() + Common, LongWords - Common);
+  }
+
+  /// True when the components live in the object itself (no heap
+  /// allocation happened). Exposed for tests.
+  bool isInline() const { return Cap == InlineCapacity; }
 
   /// Debug rendering like "[3, 0, 7]".
   std::string str() const;
 
 private:
-  std::vector<uint64_t> Clocks;
+  /// Rounds \p N up to a whole SIMD block (multiple of 4 words). Every
+  /// buffer capacity is a multiple of 4, so rounded spans never read
+  /// out of bounds.
+  static constexpr uint32_t roundUpBlock(uint32_t N) {
+    return (N + 3u) & ~3u;
+  }
+
+  uint64_t *data() { return Cap == InlineCapacity ? Inline : Heap; }
+  const uint64_t *data() const {
+    return Cap == InlineCapacity ? Inline : Heap;
+  }
+
+  /// Grows the logical size to at least \p N, keeping the zeroed-slack
+  /// invariant (all words in [Sz, Cap) are zero).
+  LR_ALWAYS_INLINE void ensure(uint32_t N) {
+    if (LR_LIKELY(N <= Sz))
+      return;
+    if (LR_UNLIKELY(N > Cap))
+      grow(N);
+    Sz = N;
+  }
+
+  void grow(uint32_t N); // Out of line: the rare reallocation slow path.
+
+  void releaseHeap() {
+    if (Cap != InlineCapacity)
+      delete[] Heap;
+  }
+
+  /// Initializes *this (assumed raw/inline-empty) from \p Other.
+  void copyFrom(const VectorClock &Other) {
+    if (Other.Cap == InlineCapacity) {
+      std::memcpy(Inline, Other.Inline, sizeof(Inline));
+    } else {
+      Heap = new uint64_t[Other.Cap];
+      Cap = Other.Cap;
+      std::memcpy(Heap, Other.Heap, Other.Cap * sizeof(uint64_t));
+    }
+    Sz = Other.Sz;
+  }
+
+  /// Copy assignment into a possibly-allocated *this, reusing the
+  /// existing buffer when it is large enough.
+  void assignFrom(const VectorClock &Other) {
+    if (Other.Sz <= Cap) {
+      uint64_t *D = data();
+      std::memcpy(D, Other.data(), Other.Sz * sizeof(uint64_t));
+      if (Sz > Other.Sz) // Re-zero our surplus to keep the invariant.
+        std::memset(D + Other.Sz, 0, (Sz - Other.Sz) * sizeof(uint64_t));
+      Sz = Other.Sz;
+      return;
+    }
+    releaseHeap();
+    Cap = InlineCapacity;
+    copyFrom(Other);
+  }
+
+  /// Initializes *this (assumed raw) by stealing \p Other's storage.
+  /// Leaves \p Other valid, empty, and inline.
+  void moveFrom(VectorClock &Other) noexcept {
+    if (Other.Cap == InlineCapacity) {
+      std::memcpy(Inline, Other.Inline, sizeof(Inline));
+      Cap = InlineCapacity;
+    } else {
+      Heap = Other.Heap;
+      Cap = Other.Cap;
+    }
+    Sz = Other.Sz;
+    Other.Cap = InlineCapacity;
+    Other.Sz = 0;
+    std::memset(Other.Inline, 0, sizeof(Other.Inline));
+  }
+
+  uint32_t Sz = 0;
+  uint32_t Cap = InlineCapacity;
+  union {
+    uint64_t Inline[InlineCapacity] = {0, 0, 0, 0};
+    uint64_t *Heap;
+  };
 };
 
 } // namespace literace

@@ -7,6 +7,7 @@
 #include "fuzz/TraceCanon.h"
 
 #include "support/Crc32.h"
+#include "support/Hashing.h"
 
 #include <algorithm>
 #include <map>
@@ -24,8 +25,10 @@ CanonicalTrace literace::canonicalizeTrace(const Trace &T) {
   // Pass 1 (streams scanned in thread-id order): assign dense ids to
   // memory addresses and sync-variable identities by first appearance,
   // and collect each canonical sync variable's raw timestamps.
-  std::unordered_map<uint64_t, uint64_t> MemIds, SyncIds;
-  std::unordered_map<uint64_t, std::vector<uint64_t>> SyncTs;
+  // Mix64Hash: raw trace addresses are often aligned (strided) and
+  // libstdc++'s identity std::hash chains them into shared buckets.
+  std::unordered_map<uint64_t, uint64_t, Mix64Hash> MemIds, SyncIds;
+  std::unordered_map<uint64_t, std::vector<uint64_t>, Mix64Hash> SyncTs;
   for (const auto &Stream : T.PerThread) {
     for (const EventRecord &R : Stream) {
       if (isMemoryKind(R.Kind)) {
@@ -40,7 +43,8 @@ CanonicalTrace literace::canonicalizeTrace(const Trace &T) {
   // Rank each variable's timestamps. Raw Ts values of one variable are
   // drawn from a monotone counter, so they are distinct and their sorted
   // order is exactly the order the draws happened in.
-  std::unordered_map<uint64_t, std::map<uint64_t, uint64_t>> TsRank;
+  std::unordered_map<uint64_t, std::map<uint64_t, uint64_t>, Mix64Hash>
+      TsRank;
   for (auto &KV : SyncTs) {
     std::sort(KV.second.begin(), KV.second.end());
     std::map<uint64_t, uint64_t> &Ranks = TsRank[KV.first];

@@ -15,6 +15,7 @@
 #ifndef LITERACE_SUPPORT_HASHING_H
 #define LITERACE_SUPPORT_HASHING_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace literace {
@@ -31,6 +32,17 @@ inline uint64_t mix64(uint64_t X) {
 inline uint64_t hashCombine(uint64_t A, uint64_t B) {
   return mix64(A ^ (B + 0x9e3779b97f4a7c15ULL + (A << 6) + (A >> 2)));
 }
+
+/// Hash functor for std::unordered_map keyed by raw addresses or tagged
+/// SyncVars. libstdc++'s std::hash<uint64_t> is the identity, so
+/// cache-line-aligned addresses (all multiples of 64) collide into every
+/// 64th bucket and chain pathologically; mixing first restores uniform
+/// bucket occupancy for any stride.
+struct Mix64Hash {
+  size_t operator()(uint64_t X) const noexcept {
+    return static_cast<size_t>(mix64(X));
+  }
+};
 
 } // namespace literace
 

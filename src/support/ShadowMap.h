@@ -1,0 +1,223 @@
+//===-- support/ShadowMap.h - Two-level flat shadow memory ------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flat two-level shadow-memory table mapping 64-bit addresses to
+/// per-address detector state — the layout DRD and the mambo race
+/// detector plugins use in place of a general hash map on their hottest
+/// path. Addresses are split into (page number, page offset); the first
+/// level is a small open-addressed directory from page number to a
+/// lazily allocated fixed-size page, and the second level is a dense
+/// slot array indexed directly by the offset bits.
+///
+/// Why this beats std::unordered_map on the detector hot path:
+///
+///   - Accesses cluster: consecutive addresses land in consecutive slots
+///     of the same page, so the common case is "same page as last time"
+///     — one compare plus an indexed load, no hashing, no chains.
+///   - Page numbers are hashed with the splitmix64 finalizer before
+///     probing, so cache-line-aligned or high-bit-adversarial address
+///     distributions cannot cluster directory probes.
+///   - Pages never move once allocated (the directory stores pointers),
+///     so references returned by ref()/find() stay valid across growth.
+///
+/// Memory bound: one page holds 2^PageBits slots of T plus a presence
+/// bitmap, allocated only when an address in its range is first touched;
+/// total memory is O(pages touched * 2^PageBits * sizeof(T)) + the
+/// pointer directory. A presence bitmap (not a sentinel value of T)
+/// distinguishes "default-constructed state" from "never accessed", so
+/// iteration and size() are exact.
+///
+/// The iteration API (forEach, ascending address order) and clear() keep
+/// coverage-gap handling and report generation working unchanged on the
+/// flat layout; see docs/DETECTOR.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_SUPPORT_SHADOWMAP_H
+#define LITERACE_SUPPORT_SHADOWMAP_H
+
+#include "support/Compiler.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace literace {
+
+template <typename T, unsigned PageBits = 9> class ShadowMap {
+public:
+  static constexpr size_t PageSize = size_t(1) << PageBits;
+
+  ShadowMap() = default;
+  ShadowMap(const ShadowMap &) = delete;
+  ShadowMap &operator=(const ShadowMap &) = delete;
+  ~ShadowMap() { destroyPages(); }
+
+  /// State slot for \p Addr, default-constructing it on first touch.
+  LR_ALWAYS_INLINE T &ref(uint64_t Addr) {
+    const uint64_t Number = Addr >> PageBits;
+    const size_t Offset = static_cast<size_t>(Addr) & (PageSize - 1);
+    Page *P = LastPage;
+    if (LR_UNLIKELY(!P || P->Number != Number)) {
+      P = findOrCreatePage(Number);
+      LastPage = P;
+    }
+    P->Present[Offset >> 6] |= uint64_t(1) << (Offset & 63);
+    return P->Slots[Offset];
+  }
+
+  /// State slot for \p Addr, or nullptr if the address was never touched.
+  const T *find(uint64_t Addr) const {
+    const uint64_t Number = Addr >> PageBits;
+    const size_t Offset = static_cast<size_t>(Addr) & (PageSize - 1);
+    Page *P = LastPage;
+    if (!P || P->Number != Number) {
+      P = findPage(Number);
+      if (!P)
+        return nullptr;
+      LastPage = P;
+    }
+    if (!(P->Present[Offset >> 6] & (uint64_t(1) << (Offset & 63))))
+      return nullptr;
+    return &P->Slots[Offset];
+  }
+
+  T *find(uint64_t Addr) {
+    return const_cast<T *>(
+        static_cast<const ShadowMap *>(this)->find(Addr));
+  }
+
+  /// Number of addresses with materialized state (exact: counts presence
+  /// bits, not pages). O(pages), called off the hot path.
+  size_t size() const {
+    size_t Count = 0;
+    for (Page *P : Directory)
+      if (P)
+        for (uint64_t Word : P->Present)
+          Count += static_cast<size_t>(__builtin_popcountll(Word));
+    return Count;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Number of lazily allocated pages (exposed for tests and memory
+  /// accounting).
+  size_t pageCount() const { return Pages; }
+
+  /// Invokes \p Fn(Addr, Slot) for every materialized address, in
+  /// ascending address order (deterministic regardless of insertion or
+  /// hash order, so reports built from a sweep are stable).
+  template <typename Fn> void forEach(Fn &&Callback) const {
+    std::vector<Page *> Sorted;
+    Sorted.reserve(Pages);
+    for (Page *P : Directory)
+      if (P)
+        Sorted.push_back(P);
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const Page *A, const Page *B) {
+                return A->Number < B->Number;
+              });
+    for (Page *P : Sorted) {
+      for (size_t Word = 0; Word != PageSize / 64; ++Word) {
+        uint64_t Bits = P->Present[Word];
+        while (Bits) {
+          const unsigned Bit =
+              static_cast<unsigned>(__builtin_ctzll(Bits));
+          Bits &= Bits - 1;
+          const size_t Offset = Word * 64 + Bit;
+          Callback((P->Number << PageBits) | static_cast<uint64_t>(Offset),
+                   P->Slots[Offset]);
+        }
+      }
+    }
+  }
+
+  template <typename Fn> void forEach(Fn &&Callback) {
+    static_cast<const ShadowMap *>(this)->forEach(
+        [&](uint64_t Addr, const T &Slot) {
+          Callback(Addr, const_cast<T &>(Slot));
+        });
+  }
+
+  /// Drops every page (destructors of T run). Directory capacity is
+  /// kept, so a cleared map repopulates without rehashing.
+  void clear() {
+    destroyPages();
+    std::fill(Directory.begin(), Directory.end(), nullptr);
+    Pages = 0;
+    LastPage = nullptr;
+  }
+
+private:
+  struct Page {
+    uint64_t Number = 0;
+    uint64_t Present[PageSize / 64] = {};
+    T Slots[PageSize] = {};
+  };
+
+  Page *findPage(uint64_t Number) const {
+    if (Directory.empty())
+      return nullptr;
+    const size_t Mask = Directory.size() - 1;
+    for (size_t I = mix64(Number) & Mask;; I = (I + 1) & Mask) {
+      Page *P = Directory[I];
+      if (!P)
+        return nullptr;
+      if (P->Number == Number)
+        return P;
+    }
+  }
+
+  LR_NOINLINE Page *findOrCreatePage(uint64_t Number) {
+    if (LR_UNLIKELY(Directory.empty()))
+      Directory.resize(64, nullptr);
+    const size_t Mask = Directory.size() - 1;
+    size_t I = mix64(Number) & Mask;
+    for (; Directory[I]; I = (I + 1) & Mask)
+      if (Directory[I]->Number == Number)
+        return Directory[I];
+    Page *P = new Page;
+    P->Number = Number;
+    Directory[I] = P;
+    if (LR_UNLIKELY(++Pages * 4 > Directory.size() * 3))
+      rehash(Directory.size() * 2);
+    return P;
+  }
+
+  void rehash(size_t NewCapacity) {
+    assert((NewCapacity & (NewCapacity - 1)) == 0 &&
+           "directory capacity must stay a power of two");
+    std::vector<Page *> Old = std::move(Directory);
+    Directory.assign(NewCapacity, nullptr);
+    const size_t Mask = NewCapacity - 1;
+    for (Page *P : Old) {
+      if (!P)
+        continue;
+      size_t I = mix64(P->Number) & Mask;
+      while (Directory[I])
+        I = (I + 1) & Mask;
+      Directory[I] = P;
+    }
+  }
+
+  void destroyPages() {
+    for (Page *P : Directory)
+      delete P;
+  }
+
+  std::vector<Page *> Directory;
+  size_t Pages = 0;
+  /// Single-entry lookup cache: detector access streams are strongly
+  /// page-local, so most ref()/find() calls resolve with one compare.
+  mutable Page *LastPage = nullptr;
+};
+
+} // namespace literace
+
+#endif // LITERACE_SUPPORT_SHADOWMAP_H

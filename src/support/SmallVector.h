@@ -1,0 +1,132 @@
+//===-- support/SmallVector.h - Inline-capacity vector ----------*- C++ -*-===//
+//
+// Part of the LiteRace reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal vector with inline storage for its first N elements,
+/// restricted to trivially copyable element types. The detectors keep
+/// per-address access lists that hold one or two entries for almost every
+/// address; storing those inline keeps the whole per-address shadow state
+/// in one or two cache lines and avoids a heap allocation per address
+/// (std::vector allocates on the first push_back). Not a general-purpose
+/// container: no insert/erase middle operations, no exception guarantees
+/// beyond new throwing, and the inline buffer means moves are O(N).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LITERACE_SUPPORT_SMALLVECTOR_H
+#define LITERACE_SUPPORT_SMALLVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace literace {
+
+template <typename T, unsigned N> class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable types");
+  static_assert(N > 0, "inline capacity must be nonzero");
+
+public:
+  SmallVector() = default;
+  SmallVector(const SmallVector &) = delete;
+  SmallVector &operator=(const SmallVector &) = delete;
+  ~SmallVector() {
+    if (Cap != N)
+      delete[] Heap;
+  }
+
+  T *begin() { return data(); }
+  T *end() { return data() + Sz; }
+  const T *begin() const { return data(); }
+  const T *end() const { return data() + Sz; }
+
+  T &operator[](uint32_t I) {
+    assert(I < Sz);
+    return data()[I];
+  }
+  const T &operator[](uint32_t I) const {
+    assert(I < Sz);
+    return data()[I];
+  }
+
+  T &front() { return (*this)[0]; }
+  const T &front() const { return (*this)[0]; }
+
+  uint32_t size() const { return Sz; }
+  bool empty() const { return Sz == 0; }
+
+  void push_back(const T &V) {
+    if (Sz == Cap)
+      grow(Sz + 1);
+    data()[Sz++] = V;
+  }
+
+  /// Drops all elements past \p NewSize (which must not exceed size()).
+  void truncate(uint32_t NewSize) {
+    assert(NewSize <= Sz);
+    Sz = NewSize;
+  }
+
+  void clear() { Sz = 0; }
+
+  /// Grows to \p NewSize, value-initializing new elements.
+  void resize(uint32_t NewSize) {
+    if (NewSize > Sz) {
+      if (NewSize > Cap)
+        grow(NewSize);
+      std::memset(reinterpret_cast<void *>(data() + Sz), 0,
+                  (NewSize - Sz) * sizeof(T));
+    }
+    Sz = NewSize;
+  }
+
+  /// Removes every element for which \p Pred returns true, preserving the
+  /// relative order of the survivors (the detectors' report determinism
+  /// depends on stable list order).
+  template <typename PredFn> void removeIf(PredFn &&Pred) {
+    T *D = data();
+    uint32_t Out = 0;
+    for (uint32_t I = 0; I != Sz; ++I) {
+      if (!Pred(D[I])) {
+        if (Out != I)
+          D[Out] = D[I];
+        ++Out;
+      }
+    }
+    Sz = Out;
+  }
+
+private:
+  T *data() { return Cap == N ? reinterpret_cast<T *>(Inline) : Heap; }
+  const T *data() const {
+    return Cap == N ? reinterpret_cast<const T *>(Inline) : Heap;
+  }
+
+  void grow(uint32_t Need) {
+    uint32_t NewCap = Cap * 2;
+    while (NewCap < Need)
+      NewCap *= 2;
+    T *NewData = new T[NewCap];
+    std::memcpy(reinterpret_cast<void *>(NewData), data(), Sz * sizeof(T));
+    if (Cap != N)
+      delete[] Heap;
+    Heap = NewData;
+    Cap = NewCap;
+  }
+
+  uint32_t Sz = 0;
+  uint32_t Cap = N;
+  union {
+    alignas(T) unsigned char Inline[N * sizeof(T)];
+    T *Heap;
+  };
+};
+
+} // namespace literace
+
+#endif // LITERACE_SUPPORT_SMALLVECTOR_H

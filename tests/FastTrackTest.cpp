@@ -106,6 +106,57 @@ TEST(FastTrackTest, WriteDemotesReadSharedState) {
   EXPECT_EQ(fasttrack(B).numStaticRaces(), 0u);
 }
 
+TEST(FastTrackTest, DemotionAccountingOnPromoteWriteReread) {
+  // promote → totally-ordering write → re-read, with the counters
+  // checked at each transition: promotions − demotions must equal the
+  // number of addresses currently read shared.
+  LogBuilder B(16);
+  // Two unordered reads: promotion #1.
+  B.onThread(0).read(X, PcA).release(L);
+  B.onThread(1).read(X, PcB).release(L);
+  // A write ordered after both readers: W_x := E_t, demotion #1.
+  B.onThread(2).acquire(L).write(X, PcC).release(L);
+  // Ordered re-reads restart on the exclusive-epoch fast path; the two
+  // reads are again concurrent with each other, so they promote anew.
+  B.onThread(0).acquire(L).read(X, PcA);
+  B.onThread(1).acquire(L).read(X, PcB);
+
+  RaceReport Report;
+  FastTrackDetector D(Report);
+  ASSERT_TRUE(replayTrace(B.build(), D));
+  EXPECT_EQ(Report.numStaticRaces(), 0u) << Report.describe();
+  EXPECT_EQ(D.readSharePromotions(), 2u);
+  EXPECT_EQ(D.readShareDemotions(), 1u);
+  EXPECT_EQ(D.readSharePromotions() - D.readShareDemotions(), 1u)
+      << "one address should be read shared at end of trace";
+}
+
+TEST(FastTrackTest, PromoteWriteRereadVerdictsMatchHB) {
+  // Verdict equivalence vs the vector-clock detector on the demotion
+  // path: identical traces up to the final access, which is ordered in
+  // one variant (silent under both detectors) and unordered in the
+  // other (racy under both). A demotion bug that dropped or kept stale
+  // read epochs would break one of the two variants.
+  for (bool FinalReadOrdered : {true, false}) {
+    LogBuilder B(16);
+    B.onThread(0).read(X, PcA).release(L);
+    B.onThread(1).read(X, PcB).release(L);
+    B.onThread(2).acquire(L).write(X, PcC).release(L);
+    if (FinalReadOrdered)
+      B.onThread(0).acquire(L).read(X, PcA);
+    else
+      B.onThread(0).read(X, PcA); // Concurrent with T2's write.
+    const Trace T = B.build();
+    RaceReport HB, FT;
+    ASSERT_TRUE(detectRaces(T, HB));
+    ASSERT_TRUE(detectRacesFastTrack(T, FT));
+    EXPECT_EQ(HB.racyAddresses(), FT.racyAddresses())
+        << "ordered=" << FinalReadOrdered;
+    EXPECT_EQ(HB.numStaticRaces() == 0, FT.numStaticRaces() == 0);
+    EXPECT_EQ(FT.numStaticRaces() == 0, FinalReadOrdered);
+  }
+}
+
 /// The headline property: FastTrack and the vector-clock detector agree
 /// on WHICH ADDRESSES race, for randomized traces. (Witness pc pairs may
 /// differ; both report at least one per racy address.)

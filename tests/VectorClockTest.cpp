@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <utility>
+
 using namespace literace;
 
 namespace {
@@ -96,6 +99,96 @@ TEST(VectorClockTest, EqualityIgnoresAllocation) {
   EXPECT_FALSE(A == B);
 }
 
+TEST(VectorClockTest, TickGrowsInOnePass) {
+  // tick() on a never-set component must behave exactly like
+  // set(T, get(T) + 1): grow, see zero, land on one.
+  VectorClock Clock;
+  Clock.tick(9);
+  EXPECT_EQ(Clock.get(9), 1u);
+  EXPECT_EQ(Clock.get(8), 0u);
+  EXPECT_GE(Clock.size(), 10u);
+}
+
+TEST(VectorClockTest, InlineUntilFourThreads) {
+  VectorClock Clock;
+  for (ThreadId T = 0; T != VectorClock::InlineCapacity; ++T)
+    Clock.set(T, T + 1);
+  EXPECT_TRUE(Clock.isInline());
+  // The fifth component forces the heap; values must survive the move.
+  Clock.set(VectorClock::InlineCapacity, 99);
+  EXPECT_FALSE(Clock.isInline());
+  for (ThreadId T = 0; T != VectorClock::InlineCapacity; ++T)
+    EXPECT_EQ(Clock.get(T), T + 1u);
+  EXPECT_EQ(Clock.get(VectorClock::InlineCapacity), 99u);
+}
+
+TEST(VectorClockTest, HugeComponentsCompareUnsigned) {
+  // Components at and above 2^63 pin the SIMD unsigned-compare
+  // emulation (signed compares would order these backwards).
+  const uint64_t Big = uint64_t(1) << 63;
+  VectorClock A, B;
+  A.set(0, Big);
+  B.set(0, Big - 1);
+  EXPECT_TRUE(A.dominates(B));
+  EXPECT_FALSE(B.dominates(A));
+  B.joinWith(A);
+  EXPECT_EQ(B.get(0), Big);
+  // Same-high-half values exercise the SSE2 low-half tiebreak.
+  A.set(1, Big + 7);
+  B.set(1, Big + 9);
+  EXPECT_FALSE(A.dominates(B));
+  EXPECT_TRUE(B.dominates(A));
+}
+
+TEST(VectorClockTest, DominatesShorterThisAgainstLongerOther) {
+  // This clock is shorter than Other: Other's surplus components read
+  // as zero on our side, so a nonzero surplus breaks dominance even
+  // when the common prefix dominates — including surplus that sits past
+  // the shared SIMD block boundary.
+  VectorClock Short, Long;
+  Short.set(0, 5);
+  Long.set(0, 1);
+  Long.set(6, 1);
+  EXPECT_FALSE(Short.dominates(Long));
+  EXPECT_FALSE(Long.dominates(Short)); // Prefix 1 < 5.
+  Long.set(6, 0); // Trailing explicit zero == omitted component.
+  EXPECT_TRUE(Short.dominates(Long));
+}
+
+TEST(VectorClockTest, JoinAcrossInlineHeapBoundary) {
+  // Join in both directions between an inline clock and a heap clock,
+  // so whole-block SIMD joins run with mismatched allocation sizes.
+  VectorClock Small, Wide;
+  Small.set(1, 10);
+  Wide.set(1, 3);
+  Wide.set(9, 4);
+  ASSERT_TRUE(Small.isInline());
+  ASSERT_FALSE(Wide.isInline());
+
+  VectorClock A = Small;
+  A.joinWith(Wide);
+  EXPECT_EQ(A.get(1), 10u);
+  EXPECT_EQ(A.get(9), 4u);
+
+  VectorClock B = Wide;
+  B.joinWith(Small);
+  EXPECT_TRUE(A == B);
+}
+
+TEST(VectorClockTest, EqualityAtBlockBoundary) {
+  // Sizes straddling the 4-word SIMD block boundary: equality must
+  // treat the longer clock's surplus as significant only when nonzero.
+  VectorClock A, B;
+  A.set(3, 2); // Size 4: exactly one block.
+  B.set(3, 2);
+  B.set(4, 0); // Size 5: spills into a second block, all-zero surplus.
+  EXPECT_TRUE(A == B);
+  EXPECT_TRUE(B == A);
+  B.set(7, 1); // Nonzero surplus in the second block.
+  EXPECT_FALSE(A == B);
+  EXPECT_FALSE(B == A);
+}
+
 TEST(VectorClockTest, StrFormatsComponents) {
   VectorClock Clock;
   Clock.set(0, 3);
@@ -166,5 +259,65 @@ TEST_P(VectorClockPropertyTest, DominanceIsPartialOrder) {
 INSTANTIATE_TEST_SUITE_P(Seeds, VectorClockPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
                                            89));
+
+/// Differential sweep against a scalar reference model: whatever SIMD
+/// path the build selected (LITERACE_VECTORCLOCK_SIMD) must agree with
+/// infinite-width map semantics on clocks of every size in [0, 12] —
+/// covering the inline/heap boundary, whole-block tails, and huge
+/// components that distinguish signed from unsigned lane compares.
+using Model = std::array<uint64_t, 16>;
+
+uint64_t randomComponent(SplitMix64 &Rng) {
+  switch (Rng.nextBelow(4)) {
+  case 0:
+    return 0;
+  case 1:
+    return Rng.nextBelow(5);
+  case 2:
+    return (uint64_t(1) << 63) + Rng.nextBelow(5); // Sign-bit values.
+  default:
+    return Rng.next();
+  }
+}
+
+std::pair<VectorClock, Model> randomWideClock(SplitMix64 &Rng) {
+  VectorClock Clock;
+  Model M{};
+  const unsigned N = static_cast<unsigned>(Rng.nextBelow(13));
+  for (unsigned I = 0; I != N; ++I) {
+    const ThreadId T = static_cast<ThreadId>(Rng.nextBelow(12));
+    const uint64_t V = randomComponent(Rng);
+    Clock.set(T, V);
+    M[T] = V;
+  }
+  return {std::move(Clock), M};
+}
+
+class VectorClockSimdDifferentialTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VectorClockSimdDifferentialTest, MatchesScalarModel) {
+  SCOPED_TRACE(std::string("SIMD path: ") + LITERACE_VECTORCLOCK_SIMD);
+  SplitMix64 Rng(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+  for (int Round = 0; Round != 200; ++Round) {
+    auto [A, MA] = randomWideClock(Rng);
+    auto [B, MB] = randomWideClock(Rng);
+
+    bool ModelDom = true, ModelEq = true;
+    for (size_t I = 0; I != MA.size(); ++I) {
+      ModelDom &= MA[I] >= MB[I];
+      ModelEq &= MA[I] == MB[I];
+    }
+    EXPECT_EQ(A.dominates(B), ModelDom);
+    EXPECT_EQ(A == B, ModelEq);
+
+    A.joinWith(B);
+    for (size_t I = 0; I != MA.size(); ++I)
+      EXPECT_EQ(A.get(static_cast<ThreadId>(I)), std::max(MA[I], MB[I]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorClockSimdDifferentialTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 } // namespace
